@@ -1,0 +1,1 @@
+examples/ewt_sizing.ml: C4 C4_model C4_nic C4_stats List Printf

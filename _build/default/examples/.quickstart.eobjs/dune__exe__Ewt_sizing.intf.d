@@ -1,0 +1,1 @@
+examples/ewt_sizing.mli:

@@ -1,0 +1,1 @@
+examples/linearizability_demo.ml: Bytes C4_consistency C4_kvs Format List Option

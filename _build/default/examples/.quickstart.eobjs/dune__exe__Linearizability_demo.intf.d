@@ -1,0 +1,1 @@
+examples/linearizability_demo.mli:

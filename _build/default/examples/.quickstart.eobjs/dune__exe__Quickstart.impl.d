@@ -1,0 +1,1 @@
+examples/quickstart.ml: C4 C4_model C4_workload Format

@@ -1,0 +1,1 @@
+examples/real_server.ml: Bytes C4_runtime C4_workload Fun List Printf Unix

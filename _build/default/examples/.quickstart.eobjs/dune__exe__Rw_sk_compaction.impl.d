@@ -1,0 +1,1 @@
+examples/rw_sk_compaction.ml: Array C4 C4_kvs C4_model C4_stats List

@@ -1,0 +1,1 @@
+examples/rw_sk_compaction.mli:

@@ -1,0 +1,1 @@
+examples/trace_analysis.ml: C4 C4_analysis C4_model C4_workload Float Format List

@@ -1,0 +1,1 @@
+examples/wi_uni_tail_latency.ml: C4 C4_model C4_stats List

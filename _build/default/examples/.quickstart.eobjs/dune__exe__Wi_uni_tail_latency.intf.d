@@ -1,0 +1,1 @@
+examples/wi_uni_tail_latency.mli:

@@ -1,0 +1,68 @@
+(* Sizing the Exclusive Writer Table (paper Sec. 5.2 / 7.1.1).
+
+   The EWT needs one entry per partition with an outstanding write; its
+   required size is the bandwidth-delay product of the write stream and
+   the per-write residence time. The paper estimates ~90 outstanding
+   writes at 200 MRPS / 75 % writes and confirms avg 30 / max 64 entries
+   at 90 MRPS / 50 % writes in simulation.
+
+   This example sweeps write fraction and load, printing the analytic
+   estimate beside the simulated occupancy, then shows what happens when
+   the table is undersized (d-CREW degrades to drops under the paper's
+   flow-control rule).
+
+   Run with: dune exec examples/ewt_sizing.exe *)
+
+module Experiment = C4_model.Experiment
+module Server = C4_model.Server
+module Table = C4_stats.Table
+
+let () =
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("f_wr %", Table.Right);
+          ("load MRPS", Table.Right);
+          ("estimate", Table.Right);
+          ("sim avg", Table.Right);
+          ("sim max", Table.Right);
+        ]
+  in
+  let cfg = C4.Config.model C4.Config.Dcrew in
+  List.iter
+    (fun (write_fraction, mrps) ->
+      let workload = C4.Config.workload_wi_uni ~write_fraction:(write_fraction /. 100.) in
+      let point = Experiment.run_at ~n_requests:80_000 cfg ~workload ~rate:(mrps /. 1e3) in
+      (* Little's law: outstanding writes = write rate x residence time
+         (one mean service, since pinned writes rarely queue). *)
+      let estimate =
+        mrps *. 1e6 *. (write_fraction /. 100.)
+        *. (point.Experiment.result.Server.mean_service *. 1e-9)
+      in
+      let avg, peak =
+        match point.Experiment.result.Server.ewt with
+        | Some s -> (s.C4_nic.Ewt.average, s.C4_nic.Ewt.peak)
+        | None -> (0.0, 0)
+      in
+      Table.add_row table
+        [
+          Table.cell_f ~decimals:0 write_fraction;
+          Table.cell_f ~decimals:0 mrps;
+          Table.cell_f ~decimals:1 estimate;
+          Table.cell_f ~decimals:1 avg;
+          Table.cell_i peak;
+        ])
+    [ (25.0, 60.0); (50.0, 60.0); (50.0, 90.0); (75.0, 90.0); (85.0, 90.0) ];
+  print_endline "EWT occupancy: Little's-law estimate vs simulation (capacity 128):";
+  Table.print table;
+
+  print_endline "\nundersized table (f_wr=85% @ 90 MRPS): EWT-full drops per 80k requests";
+  let workload = C4.Config.workload_wi_uni ~write_fraction:0.85 in
+  List.iter
+    (fun capacity ->
+      let cfg = { cfg with Server.ewt_capacity = capacity } in
+      let point = Experiment.run_at ~n_requests:80_000 cfg ~workload ~rate:0.09 in
+      Printf.printf "  capacity %4d -> %5d drops\n" capacity
+        point.Experiment.result.Server.ewt_drops)
+    [ 16; 32; 64; 128; 256 ]

@@ -1,0 +1,42 @@
+(* Quickstart: classify a workload on the paper's taxonomy, simulate the
+   state-of-the-art baseline (CREW) and C-4's recommended mechanism on
+   it, and compare tail latency.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* A Twitter-style write-intensive workload: uniform popularity, 60 %
+     writes, offered at 70 MRPS against a 64-core server. *)
+  let workload =
+    {
+      (C4.Config.workload_wi_uni ~write_fraction:0.6) with
+      C4_workload.Generator.rate = 0.07 (* requests per ns = 70 MRPS *);
+    }
+  in
+  let region =
+    C4.Region.of_workload workload
+  in
+  Format.printf "workload region: %a (problematic: %b)@." C4.Region.pp region
+    (C4.Region.problematic region);
+  let mechanism =
+    match C4.Region.recommended_mechanism region with
+    | `Dcrew -> C4.Config.Dcrew
+    | `Compaction -> C4.Config.Comp
+    | `Baseline_suffices -> C4.Config.Baseline
+  in
+  Format.printf "recommended C-4 mechanism: %s@." (C4.Config.name mechanism);
+
+  let simulate label system =
+    let result =
+      C4_model.Server.run (C4.Config.model system) ~workload ~n_requests:100_000
+    in
+    let m = result.C4_model.Server.metrics in
+    Format.printf "%-10s throughput %5.1f MRPS, mean %4.0f ns, p99 %5.0f ns@."
+      label
+      (C4_model.Metrics.throughput_mrps m)
+      (C4_model.Metrics.mean_latency m)
+      (C4_model.Metrics.p99 m)
+  in
+  simulate "baseline" C4.Config.Baseline;
+  simulate (C4.Config.name mechanism) mechanism;
+  simulate "ideal" C4.Config.Ideal

@@ -1,0 +1,70 @@
+(* The real multicore server (lib/runtime): worker domains serving the
+   actual store under CREW dispatch, with write compaction batching
+   dependent writes. Demonstrates functional behaviour and compaction
+   statistics on live domains; on a many-core machine the same program
+   doubles as a throughput demo.
+
+   Run with: dune exec examples/real_server.exe *)
+
+module Server = C4_runtime.Server
+module Promise = C4_runtime.Promise
+module Generator = C4_workload.Generator
+module Request = C4_workload.Request
+
+let run_workload ~compaction ~theta ~write_fraction ~n_ops =
+  let cfg = { Server.default_config with Server.n_workers = 4; compaction } in
+  let t = Server.start cfg in
+  Fun.protect
+    ~finally:(fun () -> Server.stop t)
+    (fun () ->
+      let gen =
+        Generator.create
+          { Generator.default with n_keys = 10_000; n_partitions = 256; theta; write_fraction; rate = 1.0 }
+          ~seed:7
+      in
+      let t0 = Unix.gettimeofday () in
+      (* Pipeline asynchronously in chunks so writes can pile up on the
+         owner and compaction gets a chance to batch. *)
+      let chunk = 256 in
+      let rec drive remaining =
+        if remaining > 0 then begin
+          let n = min chunk remaining in
+          let promises =
+            List.init n (fun i ->
+                let r = Generator.next gen in
+                match r.Request.op with
+                | Request.Write ->
+                  `W (Server.set_async t ~key:r.Request.key ~value:(Bytes.make 32 'v'))
+                | Request.Read -> `R (Server.get_async t ~key:r.Request.key) |> fun p -> ignore i; p)
+          in
+          List.iter
+            (function `W p -> Promise.await p | `R p -> ignore (Promise.await p))
+            promises;
+          drive (remaining - n)
+        end
+      in
+      drive n_ops;
+      let elapsed = Unix.gettimeofday () -. t0 in
+      let stats = Server.stats t in
+      Printf.printf
+        "%-14s ops=%6d  %7.0f ops/s  writes=%5d  batches=%4d  batched=%5d  retries=%d\n%!"
+        (if compaction then "compaction ON" else "compaction OFF")
+        stats.Server.ops_completed
+        (float_of_int stats.Server.ops_completed /. elapsed)
+        stats.Server.writes stats.Server.batches stats.Server.batched_writes
+        stats.Server.read_retries)
+
+let () =
+  print_endline "real multicore KVS server, 4 worker domains, skewed writes (gamma=1.2, 50% writes):";
+  run_workload ~compaction:false ~theta:1.2 ~write_fraction:0.5 ~n_ops:20_000;
+  run_workload ~compaction:true ~theta:1.2 ~write_fraction:0.5 ~n_ops:20_000;
+  print_endline "\nuniform keys (compaction finds nothing to batch):";
+  run_workload ~compaction:true ~theta:0.0 ~write_fraction:0.5 ~n_ops:20_000;
+  print_endline
+    "\nUnder skew the owner's queue fills with dependent writes and the\n\
+     compaction path applies them as single batched updates (cf. paper\n\
+     Sec. 4.3); with uniform keys the same code path degenerates to\n\
+     plain writes.";
+  print_endline
+    "(Throughput numbers are only meaningful on a multi-core machine;\n\
+     this container may be single-core.)"

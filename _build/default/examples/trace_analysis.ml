@@ -1,0 +1,59 @@
+(* Operator's-eye view (paper Sec. 2): profile production-style traces,
+   place each on the taxonomy, and check the recommendation against a
+   simulation of both the baseline and the recommended C-4 mechanism.
+
+   Run with: dune exec examples/trace_analysis.exe *)
+
+module Generator = C4_workload.Generator
+module Trace = C4_workload.Trace
+module Ycsb = C4_workload.Ycsb
+module Profile = C4_analysis.Profile
+module Experiment = C4_model.Experiment
+
+let profile_one label workload =
+  let gen = Generator.create { workload with Generator.rate = 0.05 } ~seed:23 in
+  let trace = Trace.record gen ~n:150_000 in
+  let profile = Profile.of_trace trace in
+  Format.printf "== %s@.%s@.@." label (Profile.report profile);
+  profile
+
+let simulate_recommendation profile workload =
+  let system =
+    match Profile.recommend profile with
+    | Profile.Use_dcrew -> C4.Config.Dcrew
+    | Profile.Use_compaction -> C4.Config.Comp
+    | Profile.Baseline_suffices -> C4.Config.Baseline
+  in
+  let rate = 0.05 in
+  let p99 cfg =
+    (Experiment.run_at ~n_requests:80_000 cfg ~workload ~rate).Experiment.p99_ns
+  in
+  let baseline = p99 (C4.Config.model C4.Config.Baseline) in
+  let recommended = p99 (C4.Config.model system) in
+  Format.printf "  at 50 MRPS: baseline p99 = %.0f ns, %s p99 = %.0f ns (%.2fx)@.@."
+    baseline (C4.Config.name system) recommended
+    (baseline /. Float.max 1.0 recommended)
+
+let () =
+  (* A Twitter-style write-heavy cluster [90] and a Facebook-style
+     ML-statistics store [11], as synthetic stand-ins. *)
+  let twitter =
+    { Generator.default with n_keys = 200_000; theta = 0.4; write_fraction = 0.65 }
+  in
+  let facebook =
+    { Generator.default with n_keys = 200_000; theta = 1.2; write_fraction = 0.92 }
+  in
+  let p = profile_one "Twitter-style write-heavy cache cluster" twitter in
+  simulate_recommendation p twitter;
+  let p = profile_one "Facebook-style ML-statistics store" facebook in
+  simulate_recommendation p facebook;
+
+  (* The YCSB core suite, placed on the taxonomy. *)
+  Format.printf "== YCSB core workloads on the taxonomy@.";
+  List.iter
+    (fun w ->
+      let cfg = Ycsb.config ~base:{ Generator.default with n_keys = 200_000 } w in
+      let region = C4.Region.of_workload cfg in
+      Format.printf "  YCSB-%s  %-55s -> %a@." (Ycsb.name w) (Ycsb.description w)
+        C4.Region.pp region)
+    Ycsb.all

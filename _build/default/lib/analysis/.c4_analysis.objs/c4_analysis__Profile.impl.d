@@ -1,0 +1,1 @@
+lib/analysis/profile.ml: Array C4_workload Format List Printf Seq Zipf_fit

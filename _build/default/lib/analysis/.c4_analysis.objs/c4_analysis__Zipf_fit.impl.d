@@ -1,0 +1,1 @@
+lib/analysis/zipf_fit.ml: Array Float Hashtbl Option Seq

@@ -1,0 +1,106 @@
+module Trace = C4_workload.Trace
+module Request = C4_workload.Request
+
+type t = {
+  n_requests : int;
+  n_distinct_keys : int;
+  write_fraction : float;
+  theta_hat : float;
+  offered_rate : float;
+  hottest_key_share : float;
+  top10_share : float;
+}
+
+let of_seq_with_rate accesses ~offered_rate =
+  let keys = ref [] and writes = ref 0 and n = ref 0 in
+  Seq.iter
+    (fun (key, is_write) ->
+      keys := key :: !keys;
+      if is_write then incr writes;
+      incr n)
+    accesses;
+  let counts = Zipf_fit.rank_counts (List.to_seq (List.rev !keys)) in
+  let total = float_of_int !n in
+  let share upto =
+    let acc = ref 0 in
+    Array.iteri (fun i c -> if i < upto then acc := !acc + c) counts;
+    if !n = 0 then 0.0 else float_of_int !acc /. total
+  in
+  {
+    n_requests = !n;
+    n_distinct_keys = Array.length counts;
+    write_fraction = (if !n = 0 then 0.0 else float_of_int !writes /. total);
+    theta_hat = Zipf_fit.estimate_theta counts;
+    offered_rate;
+    hottest_key_share = share 1;
+    top10_share = share 10;
+  }
+
+let of_accesses accesses = of_seq_with_rate accesses ~offered_rate:0.0
+
+let of_trace trace =
+  let accesses =
+    List.to_seq
+      (List.rev
+         (let acc = ref [] in
+          Trace.iter trace ~f:(fun (r : Request.t) ->
+              acc := (r.Request.key, Request.is_write r) :: !acc);
+          !acc))
+  in
+  let profile = of_seq_with_rate accesses ~offered_rate:(Trace.offered_rate trace) in
+  profile
+
+let pp ppf t =
+  Format.fprintf ppf
+    "requests=%d distinct=%d f_wr=%.1f%% gamma^=%.2f hot=%.1f%% top10=%.1f%%"
+    t.n_requests t.n_distinct_keys (100.0 *. t.write_fraction) t.theta_hat
+    (100.0 *. t.hottest_key_share)
+    (100.0 *. t.top10_share)
+
+type region = R_uni | R_sk | WI_uni | RW_sk
+
+(* Boundaries as in C4.Region: skew at gamma >= 0.9, skewed read-write
+   from 2% writes, write-intensive from 50%. *)
+let region t =
+  if t.theta_hat >= 0.9 then if t.write_fraction >= 0.02 then RW_sk else R_sk
+  else if t.write_fraction >= 0.5 then WI_uni
+  else R_uni
+
+let region_name = function
+  | R_uni -> "R_uni"
+  | R_sk -> "R_sk"
+  | WI_uni -> "WI_uni"
+  | RW_sk -> "RW_sk"
+
+type recommendation = Baseline_suffices | Use_dcrew | Use_compaction
+
+let recommend t =
+  match region t with
+  | WI_uni -> Use_dcrew
+  | RW_sk -> Use_compaction
+  | R_uni | R_sk -> Baseline_suffices
+
+let recommendation_name = function
+  | Baseline_suffices -> "baseline CREW suffices"
+  | Use_dcrew -> "enable d-CREW (dynamic write partitioning)"
+  | Use_compaction -> "enable write compaction"
+
+let report t =
+  let r = region t in
+  Format.asprintf
+    "%a@.region: %s@.recommendation: %s@.%s" pp t (region_name r)
+    (recommendation_name (recommend t))
+    (match r with
+    | RW_sk ->
+      Printf.sprintf
+        "rationale: the hottest key draws %.1f%% of accesses; at %.0f%% writes a \
+         single thread owns that load under static partitioning (paper Sec. 3.2)."
+        (100.0 *. t.hottest_key_share)
+        (100.0 *. t.write_fraction)
+    | WI_uni ->
+      Printf.sprintf
+        "rationale: %.0f%% of requests are writes that static partitioning cannot \
+         balance; d-CREW restores balancing for the independent ones (paper Sec. 3.1)."
+        (100.0 *. t.write_fraction)
+    | R_uni | R_sk ->
+      "rationale: read-mostly; concurrent lock-free readers already balance the load.")

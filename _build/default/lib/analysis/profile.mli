@@ -1,0 +1,38 @@
+(** Workload profiling: measure a trace, place it on the paper's
+    taxonomy, and recommend the C-4 mechanism — the decision the paper's
+    Fig. 1 regions encode, automated for operators with production
+    traces (Sec. 2's Twitter/Facebook studies are exactly such
+    profiles). *)
+
+type t = {
+  n_requests : int;
+  n_distinct_keys : int;
+  write_fraction : float;
+  theta_hat : float;  (** fitted Zipf coefficient *)
+  offered_rate : float;  (** requests per ns over the trace span *)
+  hottest_key_share : float;  (** fraction of accesses to the top key *)
+  top10_share : float;
+}
+
+(** Profile a recorded trace. *)
+val of_trace : C4_workload.Trace.t -> t
+
+(** Profile a raw access log: [(key, is_write)] pairs (no timing). *)
+val of_accesses : (int * bool) Seq.t -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** Region boundaries mirror {!C4.Region} (duplicated numerically so the
+    analysis library stays independent of the facade). *)
+type region = R_uni | R_sk | WI_uni | RW_sk
+
+val region : t -> region
+val region_name : region -> string
+
+type recommendation = Baseline_suffices | Use_dcrew | Use_compaction
+
+val recommend : t -> recommendation
+val recommendation_name : recommendation -> string
+
+(** A short operator-facing report. *)
+val report : t -> string

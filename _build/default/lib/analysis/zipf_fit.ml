@@ -1,0 +1,47 @@
+let rank_counts accesses =
+  let counts = Hashtbl.create 1024 in
+  Seq.iter
+    (fun key ->
+      Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
+    accesses;
+  let arr = Array.make (Hashtbl.length counts) 0 in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun _ c ->
+      arr.(!i) <- c;
+      incr i)
+    counts;
+  Array.sort (fun a b -> compare b a) arr;
+  arr
+
+let linear_fit ~x ~y =
+  let n = Array.length x in
+  assert (n = Array.length y && n > 0);
+  let fn = float_of_int n in
+  let sx = Array.fold_left ( +. ) 0.0 x and sy = Array.fold_left ( +. ) 0.0 y in
+  let sxx = Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 x in
+  let sxy = ref 0.0 in
+  Array.iteri (fun i xi -> sxy := !sxy +. (xi *. y.(i))) x;
+  let denom = (fn *. sxx) -. (sx *. sx) in
+  if abs_float denom < 1e-12 then (0.0, sy /. fn)
+  else begin
+    let slope = ((fn *. !sxy) -. (sx *. sy)) /. denom in
+    let intercept = (sy -. (slope *. sx)) /. fn in
+    (slope, intercept)
+  end
+
+let estimate_theta ?(min_count = 5) ?(max_ranks = 1000) counts =
+  let usable =
+    let rec count i =
+      if i >= Array.length counts || i >= max_ranks || counts.(i) < min_count then i
+      else count (i + 1)
+    in
+    count 0
+  in
+  if usable < 3 then 0.0
+  else begin
+    let x = Array.init usable (fun i -> log (float_of_int (i + 1))) in
+    let y = Array.init usable (fun i -> log (float_of_int counts.(i))) in
+    let slope, _ = linear_fit ~x ~y in
+    Float.max 0.0 (-.slope)
+  end

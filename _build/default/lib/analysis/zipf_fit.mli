@@ -1,0 +1,22 @@
+(** Estimating a workload's popularity skew from an observed trace.
+
+    The paper's motivation rests on production studies (Twitter,
+    Facebook) reporting Zipf coefficients of 1.4–2.5 — numbers obtained
+    by fitting rank–frequency data. This module provides that fit: for
+    item frequencies f(r) ∝ r^(−γ), regressing log f on log rank yields
+    −γ as the slope. The fit uses only ranks whose counts are large
+    enough to be statistically meaningful. *)
+
+(** Sorted (descending) access counts from an access sequence. *)
+val rank_counts : int Seq.t -> int array
+
+(** [estimate_theta counts] fits γ by least squares on the log–log
+    rank–frequency curve. [counts] must be sorted descending.
+    @param min_count ranks with fewer hits are excluded (default 5).
+    @param max_ranks cap on ranks used (default 1000, the statistically
+    stable head).
+    Returns 0 for degenerate inputs (fewer than 3 usable ranks). *)
+val estimate_theta : ?min_count:int -> ?max_ranks:int -> int array -> float
+
+(** Least-squares slope+intercept of y on x (exposed for tests). *)
+val linear_fit : x:float array -> y:float array -> float * float

@@ -1,0 +1,40 @@
+type t = { words : int array; cap : int; mutable count : int }
+
+let bits_per_word = 62
+
+let create cap =
+  if cap <= 0 then invalid_arg "Bitset.create";
+  { words = Array.make (((cap - 1) / bits_per_word) + 1) 0; cap; count = 0 }
+
+let capacity t = t.cap
+
+let check t i =
+  if i < 0 || i >= t.cap then invalid_arg "Bitset: index out of range"
+
+let mem t i =
+  check t i;
+  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add t i =
+  if not (mem t i) then begin
+    t.words.(i / bits_per_word) <- t.words.(i / bits_per_word) lor (1 lsl (i mod bits_per_word));
+    t.count <- t.count + 1
+  end
+
+let remove t i =
+  if mem t i then begin
+    t.words.(i / bits_per_word) <- t.words.(i / bits_per_word) land lnot (1 lsl (i mod bits_per_word));
+    t.count <- t.count - 1
+  end
+
+let clear t =
+  Array.fill t.words 0 (Array.length t.words) 0;
+  t.count <- 0
+
+let cardinal t = t.count
+let is_empty t = t.count = 0
+
+let iter t ~f =
+  for i = 0 to t.cap - 1 do
+    if mem t i then f i
+  done

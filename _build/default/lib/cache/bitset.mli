@@ -1,0 +1,18 @@
+(** Fixed-capacity mutable bitset (core ids in the directory's sharer
+    vectors; server CPUs have up to a few hundred cores, beyond one
+    machine word). *)
+
+type t
+
+val create : int -> t
+val capacity : t -> int
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val clear : t -> unit
+
+(** Number of set bits. *)
+val cardinal : t -> int
+
+val iter : t -> f:(int -> unit) -> unit
+val is_empty : t -> bool

@@ -1,0 +1,136 @@
+type params = {
+  t_fetch_shared : float;
+  t_fetch_dirty : float;
+  t_invalidate_per_sharer : float;
+  t_upgrade : float;
+  line_pipeline_factor : float;
+  max_tracked_sharers : int;
+}
+
+let default_params =
+  {
+    t_fetch_shared = 12.0;
+    t_fetch_dirty = 30.0;
+    t_invalidate_per_sharer = 40.0;
+    t_upgrade = 10.0;
+    line_pipeline_factor = 0.1;
+    max_tracked_sharers = 64;
+  }
+
+(* Cost of moving [lines] lines: the first at full latency, the rest
+   pipelined behind it. *)
+let transfer_cost p ~per_line ~lines =
+  per_line *. (1.0 +. (p.line_pipeline_factor *. float_of_int (max 0 (lines - 1))))
+
+(* Directory state of one partition's hot lines. *)
+type line_state = {
+  sharers : Bitset.t;
+  mutable owner : int; (* core holding the line modified; -1 = clean *)
+}
+
+type t = {
+  params : params;
+  lines : line_state array;
+  mutable inv_n : int;
+  mutable dirty_n : int;
+  mutable shared_n : int;
+  mutable upg_n : int;
+}
+
+let create ?(params = default_params) ~n_cores ~n_partitions () =
+  if n_cores <= 0 || n_partitions <= 0 then invalid_arg "Coherence.create";
+  {
+    params;
+    lines =
+      Array.init n_partitions (fun _ -> { sharers = Bitset.create n_cores; owner = -1 });
+    inv_n = 0;
+    dirty_n = 0;
+    shared_n = 0;
+    upg_n = 0;
+  }
+
+let read_cost t ~core ~partition ~lines =
+  let st = t.lines.(partition) in
+  if Bitset.mem st.sharers core && st.owner = core then 0.0 (* M/E hit *)
+  else if Bitset.mem st.sharers core && st.owner = -1 then 0.0 (* S hit *)
+  else begin
+    (* Miss: fetch the lines (pipelined); dirty if another core owns them. *)
+    let dirty = st.owner >= 0 && st.owner <> core in
+    let cost =
+      if dirty then transfer_cost t.params ~per_line:t.params.t_fetch_dirty ~lines
+      else transfer_cost t.params ~per_line:t.params.t_fetch_shared ~lines
+    in
+    if dirty then begin
+      t.dirty_n <- t.dirty_n + lines;
+      (* Writeback demotes the writer's M line to shared. *)
+      st.owner <- -1
+    end
+    else t.shared_n <- t.shared_n + lines;
+    Bitset.add st.sharers core;
+    cost
+  end
+
+let write_cost t ~core ~partition ~lines =
+  let st = t.lines.(partition) in
+  if st.owner = core then 0.0 (* already M: silent store *)
+  else begin
+    let others =
+      let n = Bitset.cardinal st.sharers in
+      if Bitset.mem st.sharers core then n - 1 else n
+    in
+    let others = min others t.params.max_tracked_sharers in
+    (* Invalidation/ack rounds serialise at the directory per sharer;
+       the lines of one partition pipeline within a round, so line count
+       contributes marginally (same factor as fetches). *)
+    let inval =
+      transfer_cost t.params ~per_line:t.params.t_invalidate_per_sharer ~lines
+      *. float_of_int others
+    in
+    let acquire =
+      if Bitset.mem st.sharers core then transfer_cost t.params ~per_line:t.params.t_upgrade ~lines
+      else if st.owner >= 0 then transfer_cost t.params ~per_line:t.params.t_fetch_dirty ~lines
+      else transfer_cost t.params ~per_line:t.params.t_fetch_shared ~lines
+    in
+    t.inv_n <- t.inv_n + others;
+    if st.owner >= 0 && st.owner <> core then t.dirty_n <- t.dirty_n + lines
+    else if not (Bitset.mem st.sharers core) then t.shared_n <- t.shared_n + lines
+    else t.upg_n <- t.upg_n + lines;
+    Bitset.clear st.sharers;
+    Bitset.add st.sharers core;
+    st.owner <- core;
+    inval +. acquire
+  end
+
+let private_append_cost _t ~lines:_ = 0.0
+
+let sharers t ~partition = Bitset.cardinal t.lines.(partition).sharers
+
+let owner t ~partition =
+  let o = t.lines.(partition).owner in
+  if o < 0 then None else Some o
+
+type stats = {
+  invalidations : int;
+  dirty_fetches : int;
+  shared_fetches : int;
+  upgrades : int;
+}
+
+let stats t =
+  {
+    invalidations = t.inv_n;
+    dirty_fetches = t.dirty_n;
+    shared_fetches = t.shared_n;
+    upgrades = t.upg_n;
+  }
+
+let reset t =
+  Array.iter
+    (fun st ->
+      Bitset.clear st.sharers;
+      st.owner <- -1)
+    t.lines;
+  t.inv_n <- 0;
+  t.dirty_n <- 0;
+  t.shared_n <- 0;
+  t.upg_n <- 0

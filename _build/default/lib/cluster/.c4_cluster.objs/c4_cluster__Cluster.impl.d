@@ -1,0 +1,1 @@
+lib/cluster/cluster.ml: Array C4_kvs C4_model C4_stats C4_workload List

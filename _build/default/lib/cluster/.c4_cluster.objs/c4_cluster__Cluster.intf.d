@@ -1,0 +1,1 @@
+lib/cluster/cluster.mli: C4_model C4_workload

@@ -1,0 +1,103 @@
+module Generator = C4_workload.Generator
+module Trace = C4_workload.Trace
+module Request = C4_workload.Request
+module Server = C4_model.Server
+module Metrics = C4_model.Metrics
+module Histogram = C4_stats.Histogram
+
+type netcache = { hot_keys : int; t_switch : float }
+
+type config = {
+  n_nodes : int;
+  node : Server.config;
+  workload : Generator.config;
+  netcache : netcache option;
+}
+
+type node_result = {
+  node_id : int;
+  requests : int;
+  result : Server.result;
+}
+
+type t = {
+  nodes : node_result list;
+  cluster_p99 : float;
+  cluster_mean : float;
+  cluster_tput_mrps : float;
+  imbalance : float;
+  switch_hits : int;
+}
+
+(* Salted mix so node sharding is independent of the in-node partition
+   function (a real deployment hashes twice: consistent hashing across
+   nodes, bucket hashing within one). *)
+let node_of_key ~n_nodes key =
+  C4_kvs.Hash.mix_int (key lxor 0x5DEECE66D) mod n_nodes
+
+let run ?(seed = 42) config ~n_requests =
+  if config.n_nodes <= 0 then invalid_arg "Cluster.run: n_nodes";
+  let gen = Generator.create config.workload ~seed in
+  let per_node = Array.make config.n_nodes [] in
+  let switch_hits = ref 0 in
+  let forwarded = ref 0 in
+  (* Keys are popularity ranks in the generator, so the switch's hot set
+     is exactly the keys below [hot_keys] — how NetCache's sampled
+     hot-key reports converge in steady state. Reads there are answered
+     in the network; everything else (and every write: write-through)
+     reaches the owning node. *)
+  let switch_serves (r : Request.t) =
+    match config.netcache with
+    | Some nc -> Request.is_read r && r.Request.key < nc.hot_keys
+    | None -> false
+  in
+  for _ = 1 to n_requests do
+    let r = Generator.next gen in
+    if switch_serves r then incr switch_hits
+    else begin
+      incr forwarded;
+      let node = node_of_key ~n_nodes:config.n_nodes r.Request.key in
+      per_node.(node) <- r :: per_node.(node)
+    end
+  done;
+  let nodes =
+    Array.to_list
+      (Array.mapi
+         (fun node_id reversed ->
+           let requests = Array.of_list (List.rev reversed) in
+           let node_cfg = { config.node with Server.seed = config.node.Server.seed + node_id } in
+           let result =
+             if Array.length requests = 0 then
+               (* An idle node: simulate a token stream so the result is
+                  well formed. *)
+               Server.run node_cfg
+                 ~workload:{ config.workload with Generator.rate = 1e-6 }
+                 ~n_requests:1
+             else Server.run_trace node_cfg ~trace:(Trace.of_array requests)
+                    ~n_partitions:config.workload.Generator.n_partitions
+           in
+           { node_id; requests = Array.length requests; result })
+         per_node)
+  in
+  let merged = Histogram.create () in
+  List.iter
+    (fun n -> Histogram.merge merged ~other:(Metrics.latency n.result.Server.metrics))
+    nodes;
+  (match config.netcache with
+  | Some nc when !switch_hits > 0 -> Histogram.add_many merged nc.t_switch !switch_hits
+  | _ -> ());
+  let tput =
+    List.fold_left
+      (fun acc n -> acc +. Metrics.throughput_mrps n.result.Server.metrics)
+      0.0 nodes
+  in
+  let max_requests = List.fold_left (fun acc n -> max acc n.requests) 0 nodes in
+  let fair = float_of_int (max 1 !forwarded) /. float_of_int config.n_nodes in
+  {
+    nodes;
+    cluster_p99 = Histogram.p99 merged;
+    cluster_mean = Histogram.mean merged;
+    cluster_tput_mrps = tput;
+    imbalance = (if fair > 0.0 then float_of_int max_requests /. fair else 1.0);
+    switch_hits = !switch_hits;
+  }

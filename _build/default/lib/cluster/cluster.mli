@@ -1,0 +1,57 @@
+(** Multi-node deployment model.
+
+    Production KVS shard the key space across many servers; the paper
+    (Sec. 8) observes that the write imbalances it identifies "would be
+    strictly worse in the multi-node distributed settings" — a hot key
+    overloads not just one thread but one whole node, while consistent
+    hashing gives the operator even less recourse than a NIC balancer.
+
+    This module models a cluster as N independent server simulations:
+    one generated request stream is sharded by key hash onto nodes
+    (clients route directly, as with memcached-style client-side
+    sharding); each node runs the single-node model with its own
+    concurrency-control configuration; cluster-level metrics aggregate
+    node results. Cross-node effects (replication, multi-get fan-out)
+    are out of scope — as they are for the paper. *)
+
+type netcache = {
+  hot_keys : int;
+      (** the switch caches the [hot_keys] most popular items (NetCache's
+          "small cache, big effect": O(N·log N) items suffice for N
+          servers) *)
+  t_switch : float;  (** ns a switch-served read takes *)
+}
+
+type config = {
+  n_nodes : int;
+  node : C4_model.Server.config;  (** per-node configuration *)
+  workload : C4_workload.Generator.config;
+      (** cluster-wide offered load; [rate] is the aggregate *)
+  netcache : netcache option;
+      (** optional in-network read cache in front of the nodes
+          (write-through: writes always reach the owning node) *)
+}
+
+type node_result = {
+  node_id : int;
+  requests : int;  (** requests routed to this node *)
+  result : C4_model.Server.result;
+}
+
+type t = {
+  nodes : node_result list;
+  cluster_p99 : float;  (** over all requests' latencies *)
+  cluster_mean : float;
+  cluster_tput_mrps : float;  (** sum of node throughputs *)
+  imbalance : float;
+      (** hottest node's offered share over the fair share 1/N; 1.0 =
+          perfectly balanced — computed over the requests that actually
+          reach the nodes (after any switch-cache hits) *)
+  switch_hits : int;  (** reads served by the in-network cache *)
+}
+
+(** Shard one generated stream and simulate every node. *)
+val run : ?seed:int -> config -> n_requests:int -> t
+
+(** Node a key routes to (exposed for tests). *)
+val node_of_key : n_nodes:int -> int -> int

@@ -1,0 +1,1 @@
+lib/consistency/history.ml: Format List

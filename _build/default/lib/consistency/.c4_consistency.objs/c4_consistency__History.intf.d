@@ -1,0 +1,1 @@
+lib/consistency/history.mli: Format

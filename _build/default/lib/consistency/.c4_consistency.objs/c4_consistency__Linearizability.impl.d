@@ -1,0 +1,1 @@
+lib/consistency/linearizability.ml: Array Format Hashtbl History List

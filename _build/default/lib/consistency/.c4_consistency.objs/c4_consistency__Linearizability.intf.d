@@ -1,0 +1,1 @@
+lib/consistency/linearizability.mli: Format History

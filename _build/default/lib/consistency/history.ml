@@ -1,0 +1,53 @@
+type kind = Set of int | Get of int
+
+type op = { client : string; kind : kind; invoked : float; responded : float }
+
+type t = op list
+
+let of_ops ops =
+  List.iter
+    (fun op ->
+      if op.responded < op.invoked then
+        invalid_arg "History.of_ops: response precedes invocation")
+    ops;
+  ops
+
+let ops t = t
+let length = List.length
+
+let set ~client ~value ~invoked ~responded =
+  { client; kind = Set value; invoked; responded }
+
+let get ~client ~value ~invoked ~responded =
+  { client; kind = Get value; invoked; responded }
+
+let precedes a b = a.responded < b.invoked
+let concurrent a b = not (precedes a b || precedes b a)
+
+let pp_op ppf op =
+  match op.kind with
+  | Set v -> Format.fprintf ppf "set(K=%d):%s [%.1f,%.1f]" v op.client op.invoked op.responded
+  | Get v -> Format.fprintf ppf "get(K)=%d:%s [%.1f,%.1f]" v op.client op.invoked op.responded
+
+let pp ppf t =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_op ppf t
+
+(* Fig. 7, E1: A's set is acknowledged (t=2) before C's get begins
+   (t=3), so C is ordered after A and must not observe the initial 0. *)
+let fig7_e1 =
+  of_ops
+    [
+      set ~client:"A" ~value:1 ~invoked:1.0 ~responded:2.0;
+      get ~client:"C" ~value:0 ~invoked:3.0 ~responded:6.0;
+      set ~client:"B" ~value:2 ~invoked:4.0 ~responded:5.0;
+    ]
+
+(* Fig. 7, E2: both set responses are deferred to the window close, so
+   A, B and C are pairwise concurrent and C may legally read 0. *)
+let fig7_e2 =
+  of_ops
+    [
+      set ~client:"A" ~value:1 ~invoked:1.0 ~responded:5.0;
+      get ~client:"C" ~value:0 ~invoked:3.0 ~responded:6.0;
+      set ~client:"B" ~value:2 ~invoked:4.0 ~responded:5.5;
+    ]

@@ -1,0 +1,47 @@
+(** Operation histories over a single key (linearizability is a local
+    property — Sec. 4.3.1 — so one key suffices).
+
+    An operation spans real time from invocation to response; two
+    operations are {e concurrent} when their spans overlap, and
+    partially ordered when one's response precedes the other's
+    invocation. *)
+
+type kind =
+  | Set of int  (** write the given value *)
+  | Get of int  (** read observed the given value *)
+
+type op = {
+  client : string;
+  kind : kind;
+  invoked : float;
+  responded : float;
+}
+
+type t
+
+(** Build from operations; raises [Invalid_argument] on an operation
+    with [responded < invoked]. *)
+val of_ops : op list -> t
+
+val ops : t -> op list
+val length : t -> int
+
+(** [set ~client ~value ~invoked ~responded] convenience constructor. *)
+val set : client:string -> value:int -> invoked:float -> responded:float -> op
+
+val get : client:string -> value:int -> invoked:float -> responded:float -> op
+
+(** [precedes a b]: a's response is before b's invocation. *)
+val precedes : op -> op -> bool
+
+val concurrent : op -> op -> bool
+val pp_op : Format.formatter -> op -> unit
+val pp : Format.formatter -> t -> unit
+
+(** The paper's Fig. 7 executions. [e1] defers nothing: client A's set
+    is acknowledged while its value is still buffered, then C reads the
+    pre-window value — illegal. [e2] defers both set responses past C's
+    get — legal, with linearization E'. *)
+val fig7_e1 : t
+
+val fig7_e2 : t

@@ -1,0 +1,64 @@
+type verdict = Linearizable of History.op list | Not_linearizable
+
+let pp_verdict ppf = function
+  | Linearizable _ -> Format.pp_print_string ppf "linearizable"
+  | Not_linearizable -> Format.pp_print_string ppf "NOT linearizable"
+
+let apply state (op : History.op) =
+  match op.kind with
+  | History.Set v -> Some v
+  | History.Get v -> if v = state then Some state else None
+
+let check ?(initial = 0) history =
+  let ops = Array.of_list (History.ops history) in
+  let n = Array.length ops in
+  if n > 62 then invalid_arg "Linearizability.check: history too long (max 62 ops)";
+  if n = 0 then Linearizable []
+  else begin
+    let full = (1 lsl n) - 1 in
+    (* Failed (mask, state) configurations; successes short-circuit. *)
+    let failed : (int * int, unit) Hashtbl.t = Hashtbl.create 1024 in
+    (* An op is minimal among the pending set when its invocation
+       precedes every pending response: nothing pending is required to
+       linearize before it. *)
+    let minimal_ops mask =
+      let earliest_response = ref infinity in
+      for i = 0 to n - 1 do
+        if mask land (1 lsl i) = 0 && ops.(i).History.responded < !earliest_response
+        then earliest_response := ops.(i).History.responded
+      done;
+      let acc = ref [] in
+      for i = n - 1 downto 0 do
+        if mask land (1 lsl i) = 0 && ops.(i).History.invoked <= !earliest_response
+        then acc := i :: !acc
+      done;
+      !acc
+    in
+    let rec search mask state acc =
+      if mask = full then Some (List.rev acc)
+      else if Hashtbl.mem failed (mask, state) then None
+      else begin
+        let rec try_candidates = function
+          | [] ->
+            Hashtbl.replace failed (mask, state) ();
+            None
+          | i :: rest -> (
+            match apply state ops.(i) with
+            | None -> try_candidates rest
+            | Some state' -> (
+              match search (mask lor (1 lsl i)) state' (ops.(i) :: acc) with
+              | Some _ as witness -> witness
+              | None -> try_candidates rest))
+        in
+        try_candidates (minimal_ops mask)
+      end
+    in
+    match search 0 initial [] with
+    | Some witness -> Linearizable witness
+    | None -> Not_linearizable
+  end
+
+let is_linearizable ?initial history =
+  match check ?initial history with
+  | Linearizable _ -> true
+  | Not_linearizable -> false

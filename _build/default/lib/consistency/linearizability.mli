@@ -1,0 +1,26 @@
+(** Single-object linearizability checking (Herlihy & Wing).
+
+    A history is linearizable when there exists a sequential reordering
+    that (1) respects every real-time precedence in the original and
+    (2) is legal for the object's sequential specification — here a
+    read/write register with a configurable initial value.
+
+    The checker is the Wing–Gong tree search with memoisation on
+    (linearized-set, register-state): at each step any {e minimal}
+    pending operation (one invoked before every pending response) may
+    linearize next if legal. Worst case exponential — linearizability
+    checking is NP-complete — but with memoisation it handles the
+    hundreds-of-ops histories our compaction tests generate in
+    milliseconds. Histories are limited to 62 operations (bitmask). *)
+
+type verdict =
+  | Linearizable of History.op list  (** a witness linearization *)
+  | Not_linearizable
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** [check ?initial history]; [initial] defaults to 0 (the paper's
+    K = 0). *)
+val check : ?initial:int -> History.t -> verdict
+
+val is_linearizable : ?initial:int -> History.t -> bool

@@ -1,0 +1,1 @@
+lib/core/config.ml: C4_cache C4_kvs C4_model C4_workload Printf String

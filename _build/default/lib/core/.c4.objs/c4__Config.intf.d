@@ -1,0 +1,1 @@
+lib/core/config.mli: C4_kvs C4_model C4_workload

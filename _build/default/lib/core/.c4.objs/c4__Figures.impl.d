@@ -1,0 +1,1 @@
+lib/core/figures.ml: Array Buffer C4_kvs C4_model C4_nic C4_stats C4_workload Config Float List Printf

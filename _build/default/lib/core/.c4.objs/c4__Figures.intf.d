@@ -1,0 +1,1 @@
+lib/core/figures.mli: C4_kvs C4_stats Config

@@ -1,0 +1,1 @@
+lib/core/region.ml: C4_workload Format

@@ -1,0 +1,1 @@
+lib/core/region.mli: C4_workload Format

@@ -1,0 +1,78 @@
+module Server = C4_model.Server
+module Policy = C4_model.Policy
+module Service = C4_model.Service
+module Generator = C4_workload.Generator
+
+type system = Baseline | Erew | Ideal | Rlu | Mv_rlu | Dcrew | Comp
+
+let all = [ Baseline; Erew; Ideal; Rlu; Mv_rlu; Dcrew; Comp ]
+
+let name = function
+  | Baseline -> "Baseline"
+  | Erew -> "EREW"
+  | Ideal -> "Ideal"
+  | Rlu -> "RLU"
+  | Mv_rlu -> "MV-RLU"
+  | Dcrew -> "d-CREW"
+  | Comp -> "Comp"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "baseline" | "crew" -> Ok Baseline
+  | "erew" -> Ok Erew
+  | "ideal" -> Ok Ideal
+  | "rlu" -> Ok Rlu
+  | "mv-rlu" | "mvrlu" -> Ok Mv_rlu
+  | "d-crew" | "dcrew" -> Ok Dcrew
+  | "comp" | "compaction" -> Ok Comp
+  | _ ->
+    Error
+      (Printf.sprintf
+         "unknown system %S (expected baseline|erew|ideal|rlu|mv-rlu|d-crew|comp)" s)
+
+let policy_of = function
+  | Baseline | Comp -> Policy.Crew
+  | Erew -> Policy.Erew
+  | Ideal -> Policy.Ideal
+  | Rlu -> Policy.Crcw_rlu Policy.rlu_default
+  | Mv_rlu -> Policy.Crcw_rlu Policy.mvrlu_default
+  | Dcrew -> Policy.Dcrew
+
+let model ?(seed = 42) system =
+  {
+    Server.default_config with
+    Server.policy = policy_of system;
+    compaction = (match system with Comp -> Some Server.default_compaction | _ -> None);
+    seed;
+  }
+
+let full ?seed ?(item = C4_kvs.Item.large) system =
+  {
+    (model ?seed system) with
+    Server.cache = Some C4_cache.Coherence.default_params;
+    service = Service.with_item item;
+  }
+
+(* The paper's dataset: 1.6 M items; we group the 1 M-bucket index into
+   8 K partitions (the NIC's minimal balancing unit spans a couple of
+   hundred keys). The rate placeholder is overwritten per experiment. *)
+let base_workload =
+  {
+    Generator.n_keys = 1_600_000;
+    n_partitions = 8192;
+    theta = 0.0;
+    write_fraction = 0.5;
+    rate = 0.05;
+    value_size = 512;
+    large_value_size = 0;
+    large_fraction = 0.0;
+  }
+
+let workload_wi_uni ~write_fraction =
+  { base_workload with Generator.theta = 0.0; write_fraction }
+
+let workload_rw_sk ~theta ~write_fraction =
+  { base_workload with Generator.theta; write_fraction }
+
+let slo_default = 10.0
+let slo_relaxed = 20.0

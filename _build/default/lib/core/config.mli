@@ -1,0 +1,38 @@
+(** The six evaluated system configurations (paper Sec. 6) plus the
+    workloads of every figure, as ready-made values.
+
+    All build on {!C4_model.Server.config}; "full-system" variants add
+    the coherence cost layer, mirroring the split between the paper's
+    queueing-model results (Figs. 3–4) and cycle-accurate results
+    (Figs. 9–13, Table 2). *)
+
+type system =
+  | Baseline  (** unmodified MICA: CREW concurrency control *)
+  | Erew
+  | Ideal  (** read-only upper bound *)
+  | Rlu
+  | Mv_rlu
+  | Dcrew  (** C-4's dynamic write partitioning *)
+  | Comp  (** C-4's software write compaction over CREW *)
+
+val all : system list
+val name : system -> string
+val of_name : string -> (system, string) result
+
+(** Queueing-model configuration (Sec. 3): no coherence layer. *)
+val model : ?seed:int -> system -> C4_model.Server.config
+
+(** Full-system configuration: adds the coherence cost layer, used for
+    the Figs. 9–13 and Table 2 reproductions. *)
+val full : ?seed:int -> ?item:C4_kvs.Item.t -> system -> C4_model.Server.config
+
+(** Workloads as used in the paper's experiments. [rate] is filled in by
+    the experiment drivers. *)
+val workload_wi_uni : write_fraction:float -> C4_workload.Generator.config
+
+val workload_rw_sk : theta:float -> write_fraction:float -> C4_workload.Generator.config
+
+(** The paper's SLO: 99th-percentile target of [multiplier]×S̄. *)
+val slo_default : float
+
+val slo_relaxed : float

@@ -1,0 +1,783 @@
+module Experiment = C4_model.Experiment
+module Metrics = C4_model.Metrics
+module Server = C4_model.Server
+module Generator = C4_workload.Generator
+module Table = C4_stats.Table
+module Csv = C4_stats.Csv
+
+type scale = [ `Smoke | `Quick | `Full ]
+
+let n_requests = function `Smoke -> 20_000 | `Quick -> 80_000 | `Full -> 400_000
+
+let search_iterations = function `Smoke -> 6 | `Quick -> 8 | `Full -> 10
+
+let tput_at_slo ?(slo = Config.slo_default) ~scale cfg workload =
+  Experiment.max_tput_under_slo ~n_requests:(n_requests scale)
+    ~iterations:(search_iterations scale) cfg ~workload ~slo_multiplier:slo
+
+let pct x = x /. 100.0
+
+(* ------------------------------------------------------------------ *)
+
+module Fig3 = struct
+  type row = {
+    write_fraction : float;
+    tput_norm : (Config.system * float) list;
+    excess_p99 : (Config.system * float) list;
+  }
+
+  type t = { ideal_mrps : float; rows : row list }
+
+  let systems = [ Config.Erew; Config.Baseline; Config.Dcrew ]
+
+  let write_fractions = function
+    | `Smoke -> [ 50.0 ]
+    | `Quick -> [ 0.0; 25.0; 50.0; 75.0; 90.0; 100.0 ]
+    | `Full -> [ 0.0; 10.0; 20.0; 30.0; 40.0; 50.0; 60.0; 70.0; 80.0; 90.0; 100.0 ]
+
+  let run ?(scale = `Quick) () =
+    let ideal_cfg = Config.model Config.Ideal in
+    (* Ideal treats every request as a balanced read, so one calibration
+       point covers all write fractions. *)
+    let ideal_workload = Config.workload_wi_uni ~write_fraction:0.5 in
+    let ideal_mrps, _ = tput_at_slo ~scale ideal_cfg ideal_workload in
+    let row write_fraction =
+      let workload = Config.workload_wi_uni ~write_fraction:(pct write_fraction) in
+      let evaluate system =
+        let cfg = Config.model system in
+        let mrps, peak = tput_at_slo ~scale cfg workload in
+        let ideal_at_peak =
+          Experiment.run_at ~n_requests:(n_requests scale) ideal_cfg ~workload
+            ~rate:(peak.Experiment.offered_mrps /. 1e3)
+        in
+        let excess =
+          if ideal_at_peak.Experiment.p99_ns <= 0.0 then 1.0
+          else peak.Experiment.p99_ns /. ideal_at_peak.Experiment.p99_ns
+        in
+        (system, mrps /. ideal_mrps, excess)
+      in
+      let results = List.map evaluate systems in
+      {
+        write_fraction;
+        tput_norm = List.map (fun (s, t, _) -> (s, t)) results;
+        excess_p99 = List.map (fun (s, _, e) -> (s, e)) results;
+      }
+    in
+    { ideal_mrps; rows = List.map row (write_fractions scale) }
+
+  let to_table t =
+    let columns =
+      ("f_wr %", Table.Right)
+      :: List.concat_map
+           (fun s ->
+             [
+               (Config.name s ^ " tput/ideal", Table.Right);
+               (Config.name s ^ " 99th/ideal", Table.Right);
+             ])
+           systems
+    in
+    let table = Table.create ~columns in
+    List.iter
+      (fun row ->
+        let cells =
+          Table.cell_f ~decimals:0 row.write_fraction
+          :: List.concat_map
+               (fun s ->
+                 [
+                   Table.cell_f (List.assoc s row.tput_norm);
+                   Table.cell_f (List.assoc s row.excess_p99);
+                 ])
+               systems
+        in
+        Table.add_row table cells)
+      t.rows;
+    table
+
+  let to_csv t =
+    let header =
+      "write_fraction"
+      :: List.concat_map
+           (fun s -> [ Config.name s ^ "_tput_norm"; Config.name s ^ "_excess_p99" ])
+           systems
+    in
+    let csv = Csv.create ~header in
+    List.iter
+      (fun row ->
+        Csv.add_row csv
+          (Printf.sprintf "%.0f" row.write_fraction
+          :: List.concat_map
+               (fun s ->
+                 [
+                   Printf.sprintf "%.4f" (List.assoc s row.tput_norm);
+                   Printf.sprintf "%.4f" (List.assoc s row.excess_p99);
+                 ])
+               systems))
+      t.rows;
+    csv
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Fig4 = struct
+  type cell = {
+    theta : float;
+    write_fraction : float;
+    base_norm : float;
+    comp_norm : float;
+  }
+
+  type t = { ideal_mrps : float; cells : cell list }
+
+  let grid = function
+    | `Smoke -> ([ 0.99 ], [ 35.0 ])
+    | `Quick -> ([ 0.9; 0.99; 1.25; 1.4 ], [ 0.0; 5.0; 20.0; 35.0; 55.0; 80.0 ])
+    | `Full ->
+      ( [ 0.9; 0.99; 1.1; 1.2; 1.25; 1.3; 1.4 ],
+        [ 0.0; 5.0; 10.0; 20.0; 30.0; 35.0; 40.0; 50.0; 55.0; 60.0; 70.0; 80.0 ] )
+
+  let run ?(scale = `Quick) () =
+    let gammas, write_fractions = grid scale in
+    let ideal_mrps, _ =
+      tput_at_slo ~scale (Config.model Config.Ideal)
+        (Config.workload_wi_uni ~write_fraction:0.0)
+    in
+    let cells =
+      Experiment.surface ~gammas ~write_fractions ~f:(fun ~theta ~write_fraction ->
+          let workload = Config.workload_rw_sk ~theta ~write_fraction:(pct write_fraction) in
+          let base, _ = tput_at_slo ~scale (Config.model Config.Baseline) workload in
+          let comp, _ = tput_at_slo ~scale (Config.model Config.Comp) workload in
+          (base /. ideal_mrps, comp /. ideal_mrps))
+      |> List.map (fun (theta, write_fraction, (base_norm, comp_norm)) ->
+             { theta; write_fraction; base_norm; comp_norm })
+    in
+    { ideal_mrps; cells }
+
+  let to_table t =
+    let table =
+      Table.create
+        ~columns:
+          [
+            ("gamma", Table.Right);
+            ("f_wr %", Table.Right);
+            ("CREW tput/ideal", Table.Right);
+            ("Comp tput/ideal", Table.Right);
+            ("speedup", Table.Right);
+          ]
+    in
+    List.iter
+      (fun c ->
+        Table.add_row table
+          [
+            Table.cell_f c.theta;
+            Table.cell_f ~decimals:0 c.write_fraction;
+            Table.cell_f c.base_norm;
+            Table.cell_f c.comp_norm;
+            Table.cell_f (if c.base_norm > 0.0 then c.comp_norm /. c.base_norm else 1.0);
+          ])
+      t.cells;
+    table
+
+  let to_csv t =
+    let csv = Csv.create ~header:[ "gamma"; "write_fraction"; "base_norm"; "comp_norm" ] in
+    List.iter
+      (fun c ->
+        Csv.add_row csv
+          [
+            Printf.sprintf "%.2f" c.theta;
+            Printf.sprintf "%.0f" c.write_fraction;
+            Printf.sprintf "%.4f" c.base_norm;
+            Printf.sprintf "%.4f" c.comp_norm;
+          ])
+      t.cells;
+    csv
+
+  (* One shaded character per cell, gamma down the side, f_wr across. *)
+  let to_heatmap t =
+    let shades = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '%'; '@' |] in
+    let shade v =
+      let v = Float.max 0.0 (Float.min 1.0 v) in
+      shades.(min 9 (int_of_float (v *. 10.0)))
+    in
+    let gammas = List.sort_uniq compare (List.map (fun c -> c.theta) t.cells) in
+    let fwrs = List.sort_uniq compare (List.map (fun c -> c.write_fraction) t.cells) in
+    let cell theta write_fraction =
+      List.find_opt (fun c -> c.theta = theta && c.write_fraction = write_fraction) t.cells
+    in
+    let buf = Buffer.create 512 in
+    let render title value =
+      Buffer.add_string buf (Printf.sprintf "%s (tput/ideal; '@'=1.0, ' '=0)
+" title);
+      Buffer.add_string buf "gamma\\f_wr ";
+      List.iter (fun f -> Buffer.add_string buf (Printf.sprintf "%4.0f" f)) fwrs;
+      Buffer.add_char buf '
+';
+      List.iter
+        (fun g ->
+          Buffer.add_string buf (Printf.sprintf "      %4.2f " g);
+          List.iter
+            (fun f ->
+              match cell g f with
+              | Some c -> Buffer.add_string buf (Printf.sprintf "   %c" (shade (value c)))
+              | None -> Buffer.add_string buf "   ?")
+            fwrs;
+          Buffer.add_char buf '
+')
+        gammas;
+      Buffer.add_char buf '
+'
+    in
+    render "CREW baseline (Fig. 4a)" (fun c -> c.base_norm);
+    render "Compaction enabled (Fig. 4b)" (fun c -> c.comp_norm);
+    Buffer.contents buf
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Load_latency = struct
+  type series = {
+    system : Config.system;
+    write_fraction : float;
+    points : (float * float) list;
+  }
+
+  type t = { series : series list; mean_service : float }
+
+  let rates = function
+    | `Smoke -> [ 0.02; 0.05; 0.08 ]
+    | `Quick -> [ 0.004; 0.02; 0.04; 0.06; 0.07; 0.08; 0.085; 0.09 ]
+    | `Full -> [ 0.004; 0.01; 0.02; 0.03; 0.04; 0.05; 0.06; 0.065; 0.07; 0.075; 0.08; 0.085; 0.09; 0.095 ]
+
+  let curve ~scale system ~write_fraction =
+    let workload = Config.workload_wi_uni ~write_fraction:(pct write_fraction) in
+    let cfg = Config.full system in
+    let points =
+      Experiment.load_latency ~n_requests:(n_requests scale) cfg ~workload
+        ~rates:(rates scale)
+      |> List.map (fun (p : Experiment.point) -> (p.offered_mrps, p.p99_ns))
+    in
+    { system; write_fraction; points }
+
+  let mean_service () =
+    let cfg = Config.full Config.Baseline in
+    let probe =
+      Experiment.run_at ~n_requests:2_000 cfg
+        ~workload:(Config.workload_wi_uni ~write_fraction:0.5)
+        ~rate:0.001
+    in
+    probe.Experiment.result.Server.mean_service
+
+  let fig9 ?(scale = `Quick) () =
+    let systems =
+      [ Config.Erew; Config.Baseline; Config.Rlu; Config.Comp; Config.Dcrew; Config.Ideal ]
+    in
+    let series = List.map (fun s -> curve ~scale s ~write_fraction:50.0) systems in
+    (* MV-RLU: confirm it misses the 10× SLO even at the lowest load. *)
+    let lowest = List.hd (rates scale) in
+    let mvrlu =
+      Experiment.run_at ~n_requests:(n_requests scale) (Config.full Config.Mv_rlu)
+        ~workload:(Config.workload_wi_uni ~write_fraction:0.5)
+        ~rate:lowest
+    in
+    let target = Config.slo_default *. mvrlu.Experiment.result.Server.mean_service in
+    ( { series; mean_service = mean_service () },
+      mvrlu.Experiment.p99_ns > target )
+
+  let fig10 ?(scale = `Quick) () =
+    let series =
+      curve ~scale Config.Erew ~write_fraction:50.0
+      :: List.concat_map
+           (fun write_fraction ->
+             List.map
+               (fun s -> curve ~scale s ~write_fraction)
+               [ Config.Baseline; Config.Dcrew ])
+           [ 50.0; 85.0 ]
+      @ [ curve ~scale Config.Ideal ~write_fraction:50.0 ]
+    in
+    { series; mean_service = mean_service () }
+
+  let to_table t =
+    let table =
+      Table.create
+        ~columns:
+          [
+            ("system", Table.Left);
+            ("f_wr %", Table.Right);
+            ("load MRPS", Table.Right);
+            ("p99 ns", Table.Right);
+          ]
+    in
+    List.iter
+      (fun s ->
+        List.iter
+          (fun (mrps, p99) ->
+            Table.add_row table
+              [
+                Config.name s.system;
+                Table.cell_f ~decimals:0 s.write_fraction;
+                Table.cell_f ~decimals:1 mrps;
+                Table.cell_f ~decimals:0 p99;
+              ])
+          s.points)
+      t.series;
+    table
+
+  let to_csv t =
+    let csv = Csv.create ~header:[ "system"; "write_fraction"; "load_mrps"; "p99_ns" ] in
+    List.iter
+      (fun s ->
+        List.iter
+          (fun (mrps, p99) ->
+            Csv.add_row csv
+              [
+                Config.name s.system;
+                Printf.sprintf "%.0f" s.write_fraction;
+                Printf.sprintf "%.2f" mrps;
+                Printf.sprintf "%.0f" p99;
+              ])
+          s.points)
+      t.series;
+    csv
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Compaction_study = struct
+  type point = {
+    offered_mrps : float;
+    p99 : float;
+    hot_service : float;
+    achieved_mrps : float;
+  }
+
+  type t = {
+    theta : float;
+    write_fraction : float;
+    base : point list;
+    comp : point list;
+    base_tput_slo10 : float;
+    comp_tput_slo10 : float;
+    comp_tput_slo20 : float;
+    mean_service : float;
+  }
+
+  let rates = function
+    | `Smoke -> [ 0.02; 0.05; 0.08 ]
+    | `Quick -> [ 0.01; 0.02; 0.03; 0.04; 0.05; 0.06; 0.07; 0.08; 0.09 ]
+    | `Full ->
+      [ 0.01; 0.02; 0.03; 0.04; 0.045; 0.05; 0.055; 0.06; 0.065; 0.07; 0.075; 0.08; 0.085; 0.09 ]
+
+  let measure ~scale cfg workload =
+    List.map
+      (fun rate ->
+        let p = Experiment.run_at ~n_requests:(n_requests scale) cfg ~workload ~rate in
+        let metrics = p.Experiment.result.Server.metrics in
+        let hot = Metrics.hottest_worker metrics in
+        {
+          offered_mrps = p.Experiment.offered_mrps;
+          p99 = p.Experiment.p99_ns;
+          hot_service = (Metrics.worker_mean_service metrics).(hot);
+          achieved_mrps = p.Experiment.achieved_mrps;
+        })
+      (rates scale)
+
+  let study ?(scale = `Quick) ~theta ~write_fraction () =
+    let workload = Config.workload_rw_sk ~theta ~write_fraction:(pct write_fraction) in
+    let base_cfg = Config.full Config.Baseline in
+    let comp_cfg = Config.full Config.Comp in
+    let base = measure ~scale base_cfg workload in
+    let comp = measure ~scale comp_cfg workload in
+    let base_tput_slo10, _ = tput_at_slo ~scale base_cfg workload in
+    let comp_tput_slo10, _ = tput_at_slo ~scale comp_cfg workload in
+    let comp_tput_slo20, _ = tput_at_slo ~slo:Config.slo_relaxed ~scale comp_cfg workload in
+    let probe =
+      Experiment.run_at ~n_requests:2_000 base_cfg ~workload ~rate:0.001
+    in
+    {
+      theta;
+      write_fraction;
+      base;
+      comp;
+      base_tput_slo10;
+      comp_tput_slo10;
+      comp_tput_slo20;
+      mean_service = probe.Experiment.result.Server.mean_service;
+    }
+
+  let fig11 ?scale () = study ?scale ~theta:1.25 ~write_fraction:5.0 ()
+  let fig13 ?scale () = study ?scale ~theta:0.99 ~write_fraction:50.0 ()
+
+  let to_table t =
+    let table =
+      Table.create
+        ~columns:
+          [
+            ("system", Table.Left);
+            ("load MRPS", Table.Right);
+            ("p99 ns", Table.Right);
+            ("hot svc ns", Table.Right);
+          ]
+    in
+    let rows label points =
+      List.iter
+        (fun p ->
+          Table.add_row table
+            [
+              label;
+              Table.cell_f ~decimals:1 p.offered_mrps;
+              Table.cell_f ~decimals:0 p.p99;
+              Table.cell_f ~decimals:0 p.hot_service;
+            ])
+        points
+    in
+    rows "Baseline" t.base;
+    rows "Comp" t.comp;
+    table
+
+  let to_csv t =
+    let csv =
+      Csv.create ~header:[ "system"; "load_mrps"; "p99_ns"; "hot_service_ns"; "achieved_mrps" ]
+    in
+    let rows label points =
+      List.iter
+        (fun p ->
+          Csv.add_row csv
+            [
+              label;
+              Printf.sprintf "%.2f" p.offered_mrps;
+              Printf.sprintf "%.0f" p.p99;
+              Printf.sprintf "%.0f" p.hot_service;
+              Printf.sprintf "%.2f" p.achieved_mrps;
+            ])
+        points
+    in
+    rows "Baseline" t.base;
+    rows "Comp" t.comp;
+    csv
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Fig12 = struct
+  type thread_row = { rank : int; tput_mrps : float; utilization : float }
+
+  type t = {
+    base_load_mrps : float;
+    comp_load_mrps : float;
+    base : thread_row list;
+    comp : thread_row list;
+    base_hot_tput : float;
+    comp_hot_tput : float;
+  }
+
+  let per_thread metrics =
+    let tputs = Metrics.worker_throughput_mrps metrics in
+    let utils = Metrics.worker_utilization metrics in
+    let rows =
+      Array.to_list (Array.mapi (fun i t -> (t, utils.(i))) tputs)
+      |> List.sort (fun (a, _) (b, _) -> compare b a)
+      |> List.mapi (fun rank (tput_mrps, utilization) -> { rank; tput_mrps; utilization })
+    in
+    rows
+
+  let run ?(scale = `Quick) () =
+    let workload = Config.workload_rw_sk ~theta:1.25 ~write_fraction:0.05 in
+    let base_cfg = Config.full Config.Baseline in
+    let comp_cfg = Config.full Config.Comp in
+    let base_load, _ = tput_at_slo ~scale base_cfg workload in
+    let comp_load, _ = tput_at_slo ~scale comp_cfg workload in
+    let at cfg mrps =
+      (Experiment.run_at ~n_requests:(n_requests scale) cfg ~workload ~rate:(mrps /. 1e3))
+        .Experiment.result
+        .Server.metrics
+    in
+    let base_metrics = at base_cfg base_load in
+    let comp_metrics = at comp_cfg comp_load in
+    let hot_tput metrics =
+      let hot = Metrics.hottest_worker metrics in
+      (Metrics.worker_throughput_mrps metrics).(hot)
+    in
+    {
+      base_load_mrps = base_load;
+      comp_load_mrps = comp_load;
+      base = per_thread base_metrics;
+      comp = per_thread comp_metrics;
+      base_hot_tput = hot_tput base_metrics;
+      comp_hot_tput = hot_tput comp_metrics;
+    }
+
+  (* A readable subset: every 8th rank, as the paper plots a subset. *)
+  let sampled rows =
+    List.filter (fun r -> r.rank mod 8 = 0 || r.rank >= List.length rows - 2) rows
+
+  let to_table t =
+    let table =
+      Table.create
+        ~columns:
+          [
+            ("system", Table.Left);
+            ("rank", Table.Right);
+            ("tput MRPS", Table.Right);
+            ("util", Table.Right);
+          ]
+    in
+    let rows label data =
+      List.iter
+        (fun r ->
+          Table.add_row table
+            [
+              label;
+              Table.cell_i r.rank;
+              Table.cell_f r.tput_mrps;
+              Table.cell_pct r.utilization;
+            ])
+        (sampled data)
+    in
+    rows "Baseline" t.base;
+    rows "Comp" t.comp;
+    table
+
+  let to_csv t =
+    let csv = Csv.create ~header:[ "system"; "rank"; "tput_mrps"; "utilization" ] in
+    let rows label data =
+      List.iter
+        (fun r ->
+          Csv.add_row csv
+            [
+              label;
+              string_of_int r.rank;
+              Printf.sprintf "%.3f" r.tput_mrps;
+              Printf.sprintf "%.3f" r.utilization;
+            ])
+        data
+    in
+    rows "Baseline" t.base;
+    rows "Comp" t.comp;
+    csv
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Table2 = struct
+  type row = {
+    item : C4_kvs.Item.t;
+    base_mrps : float;
+    comp_mrps : float;
+    hot_speedup : float;
+    other_speedup : float;
+  }
+
+  type t = row list
+
+  let hot_and_other_service metrics =
+    let hot = Metrics.hottest_worker metrics in
+    let services = Metrics.worker_mean_service metrics in
+    let others =
+      let total = ref 0.0 and n = ref 0 in
+      Array.iteri
+        (fun i s ->
+          if i <> hot && s > 0.0 then begin
+            total := !total +. s;
+            incr n
+          end)
+        services;
+      if !n = 0 then 0.0 else !total /. float_of_int !n
+    in
+    (services.(hot), others)
+
+  let run ?(scale = `Quick) () =
+    List.map
+      (fun item ->
+        (* The request stream must carry the item's value size: the
+           service model prices each request by what it moves. *)
+        let workload =
+          {
+            (Config.workload_rw_sk ~theta:1.25 ~write_fraction:0.05) with
+            Generator.value_size = item.C4_kvs.Item.value_size;
+          }
+        in
+        let base_cfg = Config.full ~item Config.Baseline in
+        let comp_cfg = Config.full ~item Config.Comp in
+        let base_mrps, base_peak = tput_at_slo ~scale base_cfg workload in
+        let comp_mrps, comp_peak = tput_at_slo ~scale comp_cfg workload in
+        let base_hot, base_other =
+          hot_and_other_service base_peak.Experiment.result.Server.metrics
+        in
+        let comp_hot, comp_other =
+          hot_and_other_service comp_peak.Experiment.result.Server.metrics
+        in
+        let ratio a b = if b > 0.0 then a /. b else 1.0 in
+        {
+          item;
+          base_mrps;
+          comp_mrps;
+          hot_speedup = ratio base_hot comp_hot;
+          other_speedup = ratio base_other comp_other;
+        })
+      [ C4_kvs.Item.tiny; C4_kvs.Item.medium; C4_kvs.Item.large ]
+
+  let to_table t =
+    let table =
+      Table.create
+        ~columns:
+          [
+            ("item", Table.Left);
+            ("base MRPS", Table.Right);
+            ("comp MRPS", Table.Right);
+            ("tput gain", Table.Right);
+            ("hot speedup", Table.Right);
+            ("other speedup", Table.Right);
+          ]
+    in
+    List.iter
+      (fun r ->
+        Table.add_row table
+          [
+            C4_kvs.Item.name r.item;
+            Table.cell_f ~decimals:1 r.base_mrps;
+            Table.cell_f ~decimals:1 r.comp_mrps;
+            Table.cell_f (if r.base_mrps > 0.0 then r.comp_mrps /. r.base_mrps else 1.0);
+            Table.cell_f r.hot_speedup;
+            Table.cell_f r.other_speedup;
+          ])
+      t;
+    table
+
+  let to_csv t =
+    let csv =
+      Csv.create
+        ~header:[ "item"; "base_mrps"; "comp_mrps"; "hot_speedup"; "other_speedup" ]
+    in
+    List.iter
+      (fun r ->
+        Csv.add_row csv
+          [
+            C4_kvs.Item.name r.item;
+            Printf.sprintf "%.2f" r.base_mrps;
+            Printf.sprintf "%.2f" r.comp_mrps;
+            Printf.sprintf "%.2f" r.hot_speedup;
+            Printf.sprintf "%.2f" r.other_speedup;
+          ])
+      t;
+    csv
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Ewt_study = struct
+  type row = {
+    write_fraction : float;
+    load_mrps : float;
+    avg_entries : float;
+    max_entries : int;
+  }
+
+  type t = row list
+
+  let run ?(scale = `Quick) () =
+    let cfg = Config.model Config.Dcrew in
+    List.map
+      (fun write_fraction ->
+        let workload = Config.workload_wi_uni ~write_fraction:(pct write_fraction) in
+        (* The paper reports occupancy at 90 MRPS. *)
+        let rate = 0.09 in
+        let p = Experiment.run_at ~n_requests:(n_requests scale) cfg ~workload ~rate in
+        match p.Experiment.result.Server.ewt with
+        | None -> { write_fraction; load_mrps = rate *. 1e3; avg_entries = 0.0; max_entries = 0 }
+        | Some stats ->
+          {
+            write_fraction;
+            load_mrps = rate *. 1e3;
+            avg_entries = stats.C4_nic.Ewt.average;
+            max_entries = stats.C4_nic.Ewt.peak;
+          })
+      [ 50.0; 85.0 ]
+
+  let to_table t =
+    let table =
+      Table.create
+        ~columns:
+          [
+            ("f_wr %", Table.Right);
+            ("load MRPS", Table.Right);
+            ("avg EWT entries", Table.Right);
+            ("max EWT entries", Table.Right);
+          ]
+    in
+    List.iter
+      (fun r ->
+        Table.add_row table
+          [
+            Table.cell_f ~decimals:0 r.write_fraction;
+            Table.cell_f ~decimals:0 r.load_mrps;
+            Table.cell_f ~decimals:1 r.avg_entries;
+            Table.cell_i r.max_entries;
+          ])
+      t;
+    table
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Eqn1 = struct
+  type t = {
+    t_b : float;
+    t_c : float;
+    t_f : float;
+    n_avg : float;
+    a_model : float;
+    a_measured : float;
+  }
+
+  let acceleration ~t_b ~t_c ~t_f ~n = (t_b +. t_f) /. ((t_b /. n) +. t_c +. t_f)
+
+  let run ?(scale = `Quick) () =
+    let workload = Config.workload_rw_sk ~theta:1.25 ~write_fraction:0.05 in
+    let base_cfg = Config.full Config.Baseline in
+    let comp_cfg = Config.full Config.Comp in
+    (* Measure near the baseline's saturation, where contention peaks. *)
+    let base_mrps, base_peak = tput_at_slo ~scale base_cfg workload in
+    let comp_point =
+      Experiment.run_at ~n_requests:(n_requests scale) comp_cfg ~workload
+        ~rate:(Float.max 0.07 (base_mrps /. 1e3))
+    in
+    let hot_service metrics =
+      (Metrics.worker_mean_service metrics).(Metrics.hottest_worker metrics)
+    in
+    let base_hot = hot_service base_peak.Experiment.result.Server.metrics in
+    let comp_hot = hot_service comp_point.Experiment.result.Server.metrics in
+    let params = Server.default_config.Server.service in
+    let t_f = params.C4_model.Service.t_fixed in
+    let t_c = params.C4_model.Service.t_comp in
+    (* T_b: baseline per-write on-core time at contention = hot thread's
+       measured mean minus the fixed part. *)
+    let t_b = Float.max 1.0 (base_hot -. t_f) in
+    let n_avg =
+      match comp_point.Experiment.result.Server.compaction with
+      | Some s when s.C4_kvs.Compaction_log.windows_opened > 0 ->
+        float_of_int s.C4_kvs.Compaction_log.writes_compacted
+        /. float_of_int s.C4_kvs.Compaction_log.windows_opened
+      | _ -> 1.0
+    in
+    {
+      t_b;
+      t_c;
+      t_f;
+      n_avg;
+      a_model = acceleration ~t_b ~t_c ~t_f ~n:n_avg;
+      a_measured = (if comp_hot > 0.0 then base_hot /. comp_hot else 1.0);
+    }
+
+  let to_table t =
+    let table = Table.create ~columns:[ ("quantity", Table.Left); ("value", Table.Right) ] in
+    List.iter
+      (fun (k, v) -> Table.add_row table [ k; v ])
+      [
+        ("T_b (ns)", Table.cell_f ~decimals:0 t.t_b);
+        ("T_c (ns)", Table.cell_f ~decimals:0 t.t_c);
+        ("T_f (ns)", Table.cell_f ~decimals:0 t.t_f);
+        ("N (avg window)", Table.cell_f ~decimals:1 t.n_avg);
+        ("A model", Table.cell_f t.a_model);
+        ("A measured", Table.cell_f t.a_measured);
+      ];
+    table
+end

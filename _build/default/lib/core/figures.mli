@@ -1,0 +1,171 @@
+(** One runner per evaluation figure/table. Each produces a typed result
+    plus a rendered text table whose rows mirror what the paper plots,
+    so `bench/main.exe` regenerates the entire evaluation.
+
+    [scale] trades fidelity for runtime: [`Smoke] for tests (seconds),
+    [`Quick] for the default bench run (a few minutes total), [`Full]
+    for dense grids and long runs. *)
+
+type scale = [ `Smoke | `Quick | `Full ]
+
+(** Requests per simulation at this scale. *)
+val n_requests : scale -> int
+
+(** {1 Fig. 3 — WI_uni: throughput under SLO and excess tail latency
+    versus write fraction (queueing model)} *)
+
+module Fig3 : sig
+  type row = {
+    write_fraction : float;  (** percent *)
+    tput_norm : (Config.system * float) list;
+        (** peak throughput under 10× SLO, normalised to Ideal *)
+    excess_p99 : (Config.system * float) list;
+        (** p99 at own peak over Ideal's p99 at the same load *)
+  }
+
+  type t = { ideal_mrps : float; rows : row list }
+
+  val run : ?scale:scale -> unit -> t
+  val to_table : t -> C4_stats.Table.t
+  val to_csv : t -> C4_stats.Csv.t
+end
+
+(** {1 Fig. 4 — RW_sk surface: throughput under SLO over (γ, f_wr),
+    CREW baseline versus compaction (queueing model)} *)
+
+module Fig4 : sig
+  type cell = { theta : float; write_fraction : float; base_norm : float; comp_norm : float }
+
+  type t = { ideal_mrps : float; cells : cell list }
+
+  val run : ?scale:scale -> unit -> t
+  val to_table : t -> C4_stats.Table.t
+  val to_csv : t -> C4_stats.Csv.t
+
+  (** Text heat maps of the two surfaces (like the paper's 3-D plots
+      viewed from above): one character cell per (γ, f_wr) point. *)
+  val to_heatmap : t -> string
+end
+
+(** {1 Figs. 9 & 10 — WI_uni load–latency curves (full-system)} *)
+
+module Load_latency : sig
+  type series = {
+    system : Config.system;
+    write_fraction : float;
+    points : (float * float) list;  (** (offered MRPS, p99 ns) *)
+  }
+
+  type t = { series : series list; mean_service : float }
+
+  (** Fig. 9: f_wr = 50 %, systems EREW/Baseline/RLU/Comp/d-CREW/Ideal,
+      plus the MV-RLU "cannot meet SLO at the lowest load" check. *)
+  val fig9 : ?scale:scale -> unit -> t * bool
+      (** the boolean: MV-RLU failed the 10× SLO at the lowest load *)
+
+  (** Fig. 10: f_wr ∈ {50, 85} for EREW/Baseline/d-CREW/Ideal. *)
+  val fig10 : ?scale:scale -> unit -> t
+
+  val to_table : t -> C4_stats.Table.t
+  val to_csv : t -> C4_stats.Csv.t
+end
+
+(** {1 Figs. 11–13 — RW_sk with compaction (full-system)} *)
+
+module Compaction_study : sig
+  type point = {
+    offered_mrps : float;
+    p99 : float;
+    hot_service : float;  (** hottest thread's mean on-core time, ns *)
+    achieved_mrps : float;
+  }
+
+  type t = {
+    theta : float;
+    write_fraction : float;
+    base : point list;
+    comp : point list;
+    base_tput_slo10 : float;
+    comp_tput_slo10 : float;
+    comp_tput_slo20 : float;
+    mean_service : float;
+  }
+
+  (** Fig. 11: γ = 1.25, f_wr = 5 %. *)
+  val fig11 : ?scale:scale -> unit -> t
+
+  (** Fig. 13: γ = 0.99, f_wr = 50 %. *)
+  val fig13 : ?scale:scale -> unit -> t
+
+  val to_table : t -> C4_stats.Table.t
+  val to_csv : t -> C4_stats.Csv.t
+end
+
+(** {1 Fig. 12 — per-thread throughput and utilisation at peak} *)
+
+module Fig12 : sig
+  type thread_row = { rank : int; tput_mrps : float; utilization : float }
+
+  type t = {
+    base_load_mrps : float;
+    comp_load_mrps : float;
+    base : thread_row list;  (** sorted by decreasing throughput *)
+    comp : thread_row list;
+    base_hot_tput : float;
+    comp_hot_tput : float;
+  }
+
+  val run : ?scale:scale -> unit -> t
+  val to_table : t -> C4_stats.Table.t
+  val to_csv : t -> C4_stats.Csv.t
+end
+
+(** {1 Table 2 — item-size sensitivity of compaction} *)
+
+module Table2 : sig
+  type row = {
+    item : C4_kvs.Item.t;
+    base_mrps : float;
+    comp_mrps : float;
+    hot_speedup : float;  (** hottest thread's service-time reduction *)
+    other_speedup : float;
+  }
+
+  type t = row list
+
+  val run : ?scale:scale -> unit -> t
+  val to_table : t -> C4_stats.Table.t
+  val to_csv : t -> C4_stats.Csv.t
+end
+
+(** {1 Sec. 7.1.1 — EWT occupancy} *)
+
+module Ewt_study : sig
+  type row = {
+    write_fraction : float;
+    load_mrps : float;
+    avg_entries : float;
+    max_entries : int;
+  }
+
+  type t = row list
+
+  val run : ?scale:scale -> unit -> t
+  val to_table : t -> C4_stats.Table.t
+end
+
+(** {1 Eqn. (1) — compaction acceleration model versus measurement} *)
+
+module Eqn1 : sig
+  type t = {
+    t_b : float;  (** baseline service time used in the model *)
+    t_c : float;
+    t_f : float;
+    n_avg : float;  (** measured mean compaction window size *)
+    a_model : float;
+    a_measured : float;  (** hottest-thread service-time ratio *)
+  }
+
+  val run : ?scale:scale -> unit -> t
+  val to_table : t -> C4_stats.Table.t
+end

@@ -1,0 +1,33 @@
+type t = R_uni | R_sk | WI_uni | RW_sk
+
+let skew_boundary = 0.9
+let write_intensive_boundary = 0.5
+
+(* Under heavy skew even single-digit write fractions overload the
+   hottest thread (Sec. 3.2), so the skewed read-write region starts at
+   a token write presence, not at 50 %. *)
+let skewed_write_boundary = 0.02
+
+let classify ~theta ~write_fraction =
+  if theta >= skew_boundary then
+    if write_fraction >= skewed_write_boundary then RW_sk else R_sk
+  else if write_fraction >= write_intensive_boundary then WI_uni
+  else R_uni
+
+let of_workload (w : C4_workload.Generator.config) =
+  classify ~theta:w.theta ~write_fraction:w.write_fraction
+
+let problematic = function WI_uni | RW_sk -> true | R_uni | R_sk -> false
+
+let recommended_mechanism = function
+  | WI_uni -> `Dcrew
+  | RW_sk -> `Compaction
+  | R_uni | R_sk -> `Baseline_suffices
+
+let name = function
+  | R_uni -> "R_uni"
+  | R_sk -> "R_sk"
+  | WI_uni -> "WI_uni"
+  | RW_sk -> "RW_sk"
+
+let pp ppf t = Format.pp_print_string ppf (name t)

@@ -1,0 +1,26 @@
+(** The paper's KVS workload taxonomy (Fig. 1): the cross product of
+    popularity skew and write fraction splits into four regions, of
+    which the two above the write-fraction line (WI_uni, RW_sk) are the
+    ones current KVS designs handle poorly and C-4 targets. *)
+
+type t = R_uni | R_sk | WI_uni | RW_sk
+
+(** Classify a workload. The boundaries follow the paper's usage:
+    "skewed" at γ ≥ 0.9 (the low end of the Fig. 4 sweep; production
+    skews reach 1.4–2.5); under skew, any non-token write fraction
+    (≥ 2 %) already puts the workload in RW_sk (Sec. 3.2 shows
+    single-digit write fractions bottleneck the hottest thread);
+    without skew, "write-intensive" starts at ≥ 50 % writes. *)
+val classify : theta:float -> write_fraction:float -> t
+
+val of_workload : C4_workload.Generator.config -> t
+
+(** Is the region one of the two C-4 targets? *)
+val problematic : t -> bool
+
+(** Which C-4 mechanism applies: d-CREW for WI_uni, compaction for
+    RW_sk, neither below the line. *)
+val recommended_mechanism : t -> [ `Dcrew | `Compaction | `Baseline_suffices ]
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/dsim/process.ml: Effect List Queue Sim

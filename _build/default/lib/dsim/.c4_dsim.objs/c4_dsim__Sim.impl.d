@@ -1,0 +1,1 @@
+lib/dsim/sim.ml: Hashtbl Heap Printf

@@ -1,0 +1,97 @@
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable head : int; (* index of the next element to pop *)
+  mutable size : int;
+}
+
+let create ?(capacity = 16) () =
+  { buf = Array.make (max capacity 1) None; head = 0; size = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let grow t =
+  let cap = Array.length t.buf in
+  let buf = Array.make (2 * cap) None in
+  for i = 0 to t.size - 1 do
+    buf.(i) <- t.buf.((t.head + i) mod cap)
+  done;
+  t.buf <- buf;
+  t.head <- 0
+
+let push t x =
+  if t.size = Array.length t.buf then grow t;
+  let tail = (t.head + t.size) mod Array.length t.buf in
+  t.buf.(tail) <- Some x;
+  t.size <- t.size + 1
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let x = t.buf.(t.head) in
+    t.buf.(t.head) <- None;
+    t.head <- (t.head + 1) mod Array.length t.buf;
+    t.size <- t.size - 1;
+    x
+  end
+
+let peek t = if t.size = 0 then None else t.buf.(t.head)
+
+let nth_slot t i = (t.head + i) mod Array.length t.buf
+
+let effective_depth t depth = if depth < 0 then t.size else min depth t.size
+
+let scan t ~depth ~f =
+  let d = effective_depth t depth in
+  for i = 0 to d - 1 do
+    match t.buf.(nth_slot t i) with
+    | Some x -> f x
+    | None -> assert false
+  done
+
+let exists t ~depth ~f =
+  let d = effective_depth t depth in
+  let rec loop i =
+    if i >= d then false
+    else
+      match t.buf.(nth_slot t i) with
+      | Some x -> f x || loop (i + 1)
+      | None -> assert false
+  in
+  loop 0
+
+let extract t ~depth ~f =
+  let d = effective_depth t depth in
+  let kept = ref [] and removed = ref [] in
+  (* Drain everything once, partitioning the first [d] elements. *)
+  let rest = ref [] in
+  for i = 0 to t.size - 1 do
+    match t.buf.(nth_slot t i) with
+    | Some x ->
+      if i < d then
+        if f x then removed := x :: !removed else kept := x :: !kept
+      else rest := x :: !rest
+    | None -> assert false
+  done;
+  if !removed = [] then []
+  else begin
+    let cap = Array.length t.buf in
+    Array.fill t.buf 0 cap None;
+    t.head <- 0;
+    t.size <- 0;
+    List.iter (push t) (List.rev !kept);
+    List.iter (push t) (List.rev !rest);
+    List.rev !removed
+  end
+
+let iter t ~f = scan t ~depth:(-1) ~f
+
+let to_list t =
+  let acc = ref [] in
+  iter t ~f:(fun x -> acc := x :: !acc);
+  List.rev !acc
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.head <- 0;
+  t.size <- 0

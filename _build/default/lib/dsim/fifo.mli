@@ -1,0 +1,37 @@
+(** Mutable FIFO queue with O(1) push/pop and O(n) in-place scan/removal.
+
+    Worker request queues need one operation beyond a plain queue: the
+    compaction layer scans the first [k] waiting requests for writes to a
+    given key and extracts them (paper Sec. 4.3, "scans a small number of
+    extra queue slots"). A ring buffer supports that directly. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** Append at the tail. *)
+val push : 'a t -> 'a -> unit
+
+(** Remove from the head. *)
+val pop : 'a t -> 'a option
+
+(** Head element without removing it. *)
+val peek : 'a t -> 'a option
+
+(** [scan t ~depth ~f] visits up to [depth] elements from the head in
+    order, calling [f] on each. [depth < 0] means the whole queue. *)
+val scan : 'a t -> depth:int -> f:('a -> unit) -> unit
+
+(** [extract t ~depth ~f] removes (stably) every element among the first
+    [depth] for which [f] holds and returns them in queue order.
+    [depth < 0] means the whole queue. O(n). *)
+val extract : 'a t -> depth:int -> f:('a -> bool) -> 'a list
+
+(** [exists t ~depth ~f]: does any of the first [depth] elements satisfy [f]? *)
+val exists : 'a t -> depth:int -> f:('a -> bool) -> bool
+
+val iter : 'a t -> f:('a -> unit) -> unit
+val to_list : 'a t -> 'a list
+val clear : 'a t -> unit

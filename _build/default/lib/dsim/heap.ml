@@ -1,0 +1,82 @@
+type 'a entry = { prio : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable entries : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ?(capacity = 64) () =
+  { entries = Array.make (max capacity 1) (Obj.magic 0); size = 0; next_seq = 0 }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+(* [e1] sorts before [e2]: priority first, insertion order as tiebreak. *)
+let before e1 e2 = e1.prio < e2.prio || (e1.prio = e2.prio && e1.seq < e2.seq)
+
+let grow h =
+  let cap = Array.length h.entries in
+  let entries = Array.make (2 * cap) h.entries.(0) in
+  Array.blit h.entries 0 entries 0 h.size;
+  h.entries <- entries
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before h.entries.(i) h.entries.(parent) then begin
+      let tmp = h.entries.(i) in
+      h.entries.(i) <- h.entries.(parent);
+      h.entries.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < h.size && before h.entries.(l) h.entries.(i) then l else i in
+  let smallest =
+    if r < h.size && before h.entries.(r) h.entries.(smallest) then r else smallest
+  in
+  if smallest <> i then begin
+    let tmp = h.entries.(i) in
+    h.entries.(i) <- h.entries.(smallest);
+    h.entries.(smallest) <- tmp;
+    sift_down h smallest
+  end
+
+let push h ~priority payload =
+  if h.size = Array.length h.entries then grow h;
+  let entry = { prio = priority; seq = h.next_seq; payload } in
+  h.next_seq <- h.next_seq + 1;
+  h.entries.(h.size) <- entry;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h =
+  if h.size = 0 then None
+  else
+    let e = h.entries.(0) in
+    Some (e.prio, e.payload)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.entries.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.entries.(0) <- h.entries.(h.size);
+      sift_down h 0
+    end;
+    Some (top.prio, top.payload)
+  end
+
+let clear h = h.size <- 0
+
+let fold h ~init ~f =
+  let acc = ref init in
+  for i = 0 to h.size - 1 do
+    let e = h.entries.(i) in
+    acc := f !acc e.prio e.payload
+  done;
+  !acc

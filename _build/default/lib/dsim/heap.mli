@@ -1,0 +1,29 @@
+(** Array-backed binary min-heap, specialised to [(priority, payload)] pairs
+    with [float] priorities and a monotonically increasing tiebreak sequence
+    so that equal-priority entries pop in insertion order (deterministic
+    simulation demands a total order on events). *)
+
+type 'a t
+
+(** [create ()] is an empty heap. *)
+val create : ?capacity:int -> unit -> 'a t
+
+(** Number of live entries. *)
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [push h ~priority x] inserts [x]. Amortised O(log n). *)
+val push : 'a t -> priority:float -> 'a -> unit
+
+(** Smallest-priority entry without removing it. *)
+val peek : 'a t -> (float * 'a) option
+
+(** Remove and return the smallest-priority entry. *)
+val pop : 'a t -> (float * 'a) option
+
+(** Remove every entry. The backing store is retained. *)
+val clear : 'a t -> unit
+
+(** Fold over entries in unspecified order (diagnostics only). *)
+val fold : 'a t -> init:'b -> f:('b -> float -> 'a -> 'b) -> 'b

@@ -1,0 +1,84 @@
+type t = { sim_ : Sim.t }
+
+(* A single polymorphic suspension effect: the performer hands the
+   handler a function that captures the continuation and arranges its
+   later resumption (via Sim events), keeping all scheduling decisions
+   in one place. *)
+type _ Effect.t +=
+  | Suspend : (('a, unit) Effect.Deep.continuation -> unit) -> 'a Effect.t
+
+let create sim = { sim_ = sim }
+let sim t = t.sim_
+let now t = Sim.now t.sim_
+
+let run_process body =
+  Effect.Deep.match_with body ()
+    {
+      retc = (fun () -> ());
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend capture ->
+            Some (fun (k : (a, unit) Effect.Deep.continuation) -> capture k)
+          | _ -> None);
+    }
+
+let spawn _t body = run_process body
+
+let spawn_at t ~time body =
+  ignore (Sim.schedule_at t.sim_ ~time (fun _ -> run_process body))
+
+let wait t delay =
+  Effect.perform
+    (Suspend
+       (fun k ->
+         ignore (Sim.schedule t.sim_ ~after:delay (fun _ -> Effect.Deep.continue k ()))))
+
+module Signal = struct
+  type process = t
+
+  type t = {
+    mutable waiting : (int, unit) Effect.Deep.continuation list; (* reversed *)
+  }
+
+  let create () = { waiting = [] }
+
+  let await (_p : process) s =
+    Effect.perform (Suspend (fun k -> s.waiting <- k :: s.waiting))
+
+  let emit (p : process) s value =
+    let waiters = List.rev s.waiting in
+    s.waiting <- [];
+    List.iter
+      (fun k ->
+        ignore (Sim.schedule p.sim_ ~after:0.0 (fun _ -> Effect.Deep.continue k value)))
+      waiters
+
+  let waiters s = List.length s.waiting
+end
+
+module Mailbox = struct
+  type process = t
+
+  type 'a t = {
+    values : 'a Queue.t;
+    mutable readers : ('a, unit) Effect.Deep.continuation list; (* reversed *)
+  }
+
+  let create () = { values = Queue.create (); readers = [] }
+
+  let send (p : process) m v =
+    match List.rev m.readers with
+    | [] -> Queue.push v m.values
+    | k :: rest ->
+      m.readers <- List.rev rest;
+      ignore (Sim.schedule p.sim_ ~after:0.0 (fun _ -> Effect.Deep.continue k v))
+
+  let recv (_p : process) m =
+    if Queue.is_empty m.values then
+      Effect.perform (Suspend (fun k -> m.readers <- k :: m.readers))
+    else Queue.pop m.values
+
+  let length m = Queue.length m.values
+end

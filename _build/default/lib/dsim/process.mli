@@ -1,0 +1,64 @@
+(** Coroutine-style simulation processes on top of {!Sim}, built with
+    OCaml 5 effect handlers.
+
+    The core engine is callback-driven; some models read more naturally
+    as sequential processes that block ("serve a request, then sleep
+    until the next poll"). [spawn] runs such a process; inside it,
+    {!wait} suspends for simulated time and {!await} blocks on a
+    {!Signal} until another process {!emit}s it. Suspension points are
+    implemented as effects, so a process is plain direct-style code.
+
+    Determinism is preserved: resumptions are ordinary simulator events
+    and obey the global time/FIFO order. *)
+
+type t
+(** A process environment bound to one simulator. *)
+
+val create : Sim.t -> t
+
+val sim : t -> Sim.t
+
+(** [spawn t body] starts [body] immediately (at the current simulated
+    time). The process ends when [body] returns. *)
+val spawn : t -> (unit -> unit) -> unit
+
+(** [spawn_at t ~time body] starts [body] at absolute [time]. *)
+val spawn_at : t -> time:float -> (unit -> unit) -> unit
+
+(** Suspend the calling process for [delay] simulated ns. Must be called
+    from within a spawned process. *)
+val wait : t -> float -> unit
+
+(** Current simulated time (usable anywhere). *)
+val now : t -> float
+
+(** Broadcast signals: processes block until the next emission. *)
+module Signal : sig
+  type process = t
+  type t
+
+  val create : unit -> t
+
+  (** Block the calling process until the signal is emitted; returns the
+      emitted value. *)
+  val await : process -> t -> int
+
+  (** Wake every waiter with [value]. Waiters resume at the current
+      time, in await order. *)
+  val emit : process -> t -> int -> unit
+
+  (** Number of processes currently blocked. *)
+  val waiters : t -> int
+end
+
+(** Unbounded process-to-process channel (a mailbox): [recv] blocks when
+    empty. *)
+module Mailbox : sig
+  type process = t
+  type 'a t
+
+  val create : unit -> 'a t
+  val send : process -> 'a t -> 'a -> unit
+  val recv : process -> 'a t -> 'a
+  val length : 'a t -> int
+end

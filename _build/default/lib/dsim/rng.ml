@@ -1,0 +1,55 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+(* SplitMix64 output function (Steele, Lea & Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = bits64 t in
+  { state = mix seed }
+
+let float t =
+  (* 53 high-quality bits -> [0, 1). *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let uniform t ~lo ~hi =
+  assert (lo <= hi);
+  lo +. ((hi -. lo) *. float t)
+
+let int t bound =
+  assert (bound > 0);
+  (* Rejection-free for our purposes: modulo bias is < 2^-40 for bounds
+     below 2^24, far under simulation noise. *)
+  let v = Int64.to_int (bits64 t) land ((1 lsl 62) - 1) in
+  v mod bound
+
+let exponential t ~mean =
+  assert (mean > 0.0);
+  let u = 1.0 -. float t in
+  -.mean *. log u
+
+let bernoulli t ~p =
+  if p <= 0.0 then false else if p >= 1.0 then true else float t < p
+
+let gaussian t =
+  let u1 = 1.0 -. float t and u2 = float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

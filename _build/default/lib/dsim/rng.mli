@@ -1,0 +1,40 @@
+(** Deterministic, splittable pseudo-random number generation.
+
+    The simulator must be reproducible across runs and platforms, so we
+    implement SplitMix64 directly instead of relying on [Stdlib.Random].
+    Streams can be [split] so that independent model components (arrival
+    process, key popularity, service times) draw from decorrelated
+    sequences, keeping experiments comparable when one component changes. *)
+
+type t
+
+(** [create seed] is a fresh generator. Equal seeds yield equal streams. *)
+val create : int -> t
+
+(** Derive an independent stream; the parent stream advances by one step. *)
+val split : t -> t
+
+(** Next raw 64-bit value. *)
+val bits64 : t -> int64
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** Uniform float in [lo, hi). Requires [lo <= hi]. *)
+val uniform : t -> lo:float -> hi:float -> float
+
+(** Uniform int in [0, bound). Requires [bound > 0]. *)
+val int : t -> int -> int
+
+(** Exponentially distributed value with the given [mean] (> 0).
+    Used for Poisson inter-arrival times. *)
+val exponential : t -> mean:float -> float
+
+(** True with probability [p] (clamped to [0, 1]). *)
+val bernoulli : t -> p:float -> bool
+
+(** Standard normal via Box–Muller (diagnostics and noise injection). *)
+val gaussian : t -> float
+
+(** [shuffle t a] permutes [a] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit

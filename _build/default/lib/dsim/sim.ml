@@ -1,0 +1,82 @@
+type event = { id : int; action : t -> unit }
+
+and t = {
+  mutable clock : float;
+  events : event Heap.t;
+  cancelled : (int, unit) Hashtbl.t;
+  mutable next_id : int;
+  mutable executed : int;
+  mutable live : int; (* pending minus cancelled *)
+}
+
+type event_id = int
+
+let create () =
+  {
+    clock = 0.0;
+    events = Heap.create ();
+    cancelled = Hashtbl.create 64;
+    next_id = 0;
+    executed = 0;
+    live = 0;
+  }
+
+let now t = t.clock
+
+let schedule_at t ~time action =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule_at: time %g is before now %g" time t.clock);
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  Heap.push t.events ~priority:time { id; action };
+  t.live <- t.live + 1;
+  id
+
+let schedule t ~after action =
+  if after < 0.0 then invalid_arg "Sim.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. after) action
+
+let cancel t id =
+  if not (Hashtbl.mem t.cancelled id) then begin
+    Hashtbl.replace t.cancelled id ();
+    t.live <- t.live - 1
+  end
+
+let pending t id = id < t.next_id && not (Hashtbl.mem t.cancelled id)
+
+let rec step t =
+  match Heap.pop t.events with
+  | None -> false
+  | Some (time, ev) ->
+    if Hashtbl.mem t.cancelled ev.id then begin
+      Hashtbl.remove t.cancelled ev.id;
+      step t
+    end
+    else begin
+      t.clock <- time;
+      t.executed <- t.executed + 1;
+      t.live <- t.live - 1;
+      ev.action t;
+      true
+    end
+
+let run ?until t =
+  let continue () =
+    match until with
+    | None -> true
+    | Some limit -> (
+      match Heap.peek t.events with
+      | None -> false
+      | Some (time, _) -> time < limit)
+  in
+  while continue () && step t do
+    ()
+  done;
+  match until with
+  | Some limit when t.clock < limit && Heap.peek t.events <> None -> t.clock <- limit
+  | Some limit when Heap.peek t.events = None && t.clock < limit -> ()
+  | _ -> ()
+
+let executed t = t.executed
+let pending_count t = t.live

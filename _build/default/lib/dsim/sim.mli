@@ -1,0 +1,45 @@
+(** Discrete-event simulator core.
+
+    Time is a [float] in nanoseconds (the paper's natural unit: service
+    times are hundreds of ns, SLOs are a few µs). The simulator executes
+    scheduled callbacks in nondecreasing time order; ties execute in
+    scheduling order, which together with {!Rng} makes whole experiments
+    bit-reproducible. *)
+
+type t
+
+(** Handle for a scheduled event, usable with {!cancel}. *)
+type event_id
+
+val create : unit -> t
+
+(** Current simulated time (ns). *)
+val now : t -> float
+
+(** [schedule t ~after f] runs [f t] at time [now t +. after].
+    [after] must be nonnegative. *)
+val schedule : t -> after:float -> (t -> unit) -> event_id
+
+(** [schedule_at t ~time f] runs [f t] at absolute [time >= now t]. *)
+val schedule_at : t -> time:float -> (t -> unit) -> event_id
+
+(** Cancel a pending event. Cancelling an already-fired or already-
+    cancelled event is a no-op. *)
+val cancel : t -> event_id -> unit
+
+(** Is the event still pending? *)
+val pending : t -> event_id -> bool
+
+(** Execute the next event, if any. Returns [false] when the queue is
+    empty. *)
+val step : t -> bool
+
+(** Run until the event queue drains or [until] (if given) is reached;
+    events scheduled exactly at [until] do not run. *)
+val run : ?until:float -> t -> unit
+
+(** Number of events executed so far (diagnostics). *)
+val executed : t -> int
+
+(** Number of events currently pending. *)
+val pending_count : t -> int

@@ -1,0 +1,1 @@
+lib/kvs/compaction_log.mli:

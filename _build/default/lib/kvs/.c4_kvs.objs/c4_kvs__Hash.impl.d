@@ -1,0 +1,1 @@
+lib/kvs/hash.ml: Char Int64 String

@@ -1,0 +1,1 @@
+lib/kvs/log_store.ml: Array Bytes Char Hash

@@ -1,0 +1,1 @@
+lib/kvs/seqlock.ml: Atomic Domain

@@ -1,0 +1,1 @@
+lib/kvs/store.ml: Array Bytes Hash List Seqlock

@@ -1,0 +1,89 @@
+type pending = {
+  request_id : int;
+  sender : int;
+  value : bytes;
+  buffered_at : float;
+}
+
+type closed = {
+  key : int;
+  opened_at : float;
+  closed_at : float;
+  writes : pending list;
+}
+
+type window = {
+  key : int;
+  opened_at : float;
+  deadline : float;
+  mutable entries : pending list; (* newest first *)
+  mutable count : int;
+}
+
+type t = {
+  scan_depth_ : int;
+  mutable window : window option;
+  mutable opened_total : int;
+  mutable compacted_total : int;
+  mutable largest : int;
+}
+
+let create ?(scan_depth = 8) () =
+  if scan_depth < 1 then invalid_arg "Compaction_log.create: scan_depth";
+  {
+    scan_depth_ = scan_depth;
+    window = None;
+    opened_total = 0;
+    compacted_total = 0;
+    largest = 0;
+  }
+
+let scan_depth t = t.scan_depth_
+let window_open t = t.window <> None
+
+let is_open_for t ~key =
+  match t.window with Some w -> w.key = key | None -> false
+
+let current_key t = Option.map (fun w -> w.key) t.window
+let expires_at t = Option.map (fun w -> w.deadline) t.window
+
+let open_window t ~key ~now ~expires_at =
+  if t.window <> None then failwith "Compaction_log.open_window: window already open";
+  if expires_at < now then invalid_arg "Compaction_log.open_window: deadline in the past";
+  t.window <- Some { key; opened_at = now; deadline = expires_at; entries = []; count = 0 };
+  t.opened_total <- t.opened_total + 1
+
+let absorb t ~key pending =
+  match t.window with
+  | None -> failwith "Compaction_log.absorb: no window open"
+  | Some w ->
+    if w.key <> key then failwith "Compaction_log.absorb: key mismatch";
+    w.entries <- pending :: w.entries;
+    w.count <- w.count + 1
+
+let buffered t = match t.window with Some w -> w.count | None -> 0
+
+let expired t ~now =
+  match t.window with Some w -> now >= w.deadline | None -> false
+
+let close t ~now =
+  match t.window with
+  | None -> None
+  | Some w ->
+    t.window <- None;
+    t.compacted_total <- t.compacted_total + w.count;
+    if w.count > t.largest then t.largest <- w.count;
+    Some { key = w.key; opened_at = w.opened_at; closed_at = now; writes = List.rev w.entries }
+
+type stats = {
+  windows_opened : int;
+  writes_compacted : int;
+  largest_window : int;
+}
+
+let stats t =
+  {
+    windows_opened = t.opened_total;
+    writes_compacted = t.compacted_total;
+    largest_window = t.largest;
+  }

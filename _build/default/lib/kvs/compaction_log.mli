@@ -1,0 +1,75 @@
+(** Per-thread write-compaction layer (Sec. 4.3, 5.3).
+
+    One thread owns one log. When the thread detects multiple dependent
+    writes (same key) in its queue, it opens a *compaction window* for
+    that key, buffers every subsequent write to the key in a private log
+    (no shared cache lines touched), and on expiry applies ONE combined
+    update and releases the buffered responses. Responses are deferred
+    until the window closes — the property that makes compaction
+    linearizable (Fig. 7: all compacted sets stay concurrent with
+    overlapping gets until the window closes).
+
+    The expiry time follows the paper: T_expiry = T_open + S·(SLO−1),
+    leaving one mean service time of slack to perform the final write
+    before the oldest compacted request would violate the SLO. *)
+
+type pending = {
+  request_id : int;
+  sender : int;  (** node id to respond to *)
+  value : bytes;
+  buffered_at : float;
+}
+
+type closed = {
+  key : int;
+  opened_at : float;
+  closed_at : float;
+  writes : pending list;  (** in buffering order *)
+}
+
+type t
+
+(** [create ()] — no window open.
+    @param scan_depth queue slots inspected when hunting for dependent
+    writes (default 8; the paper scans "a small number"). *)
+val create : ?scan_depth:int -> unit -> t
+
+val scan_depth : t -> int
+
+(** Is a window currently open (for any key / for this key)? *)
+val window_open : t -> bool
+
+val is_open_for : t -> key:int -> bool
+
+(** Key of the open window, if any. *)
+val current_key : t -> int option
+
+(** Expiry deadline of the open window. *)
+val expires_at : t -> float option
+
+(** Open a window for [key]. Raises if one is already open — a thread
+    compacts one key at a time. [expires_at] is the absolute deadline. *)
+val open_window : t -> key:int -> now:float -> expires_at:float -> unit
+
+(** Buffer one write into the open window. Raises if no window is open
+    or the key differs. O(1); models the T_c append cost. *)
+val absorb : t -> key:int -> pending -> unit
+
+(** Number of writes buffered in the open window. *)
+val buffered : t -> int
+
+(** True when [now] has reached the deadline. False when no window. *)
+val expired : t -> now:float -> bool
+
+(** Close the open window and return its contents (never raises; [None]
+    if no window was open). *)
+val close : t -> now:float -> closed option
+
+(** Lifetime counters. *)
+type stats = {
+  windows_opened : int;
+  writes_compacted : int;  (** total absorbed across closed windows *)
+  largest_window : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,20 @@
+(** Key hashing for the store's bucket index and the NIC's partition
+    mapping (Sec. 5.1: the NIC must apply the same f() as the KVS). *)
+
+(** FNV-1a over the bytes of a string key; 62-bit nonnegative result. *)
+val fnv1a : string -> int
+
+(** Finalised 64-bit mix of an integer key (SplitMix64 finaliser);
+    62-bit nonnegative result. *)
+val mix_int : int -> int
+
+(** Bucket index for a key in an index of [n_buckets]. *)
+val bucket_of_key : n_buckets:int -> int -> int
+
+(** Partition (bucket group) for a bucket: partitions are contiguous
+    groups of buckets, the minimal load-balancing unit ("a few tens of
+    keys", Sec. 5.1). *)
+val partition_of_bucket : n_buckets:int -> n_partitions:int -> int -> int
+
+(** Composition of the two: the f() communicated to the NIC. *)
+val partition_of_key : n_buckets:int -> n_partitions:int -> int -> int

@@ -1,0 +1,24 @@
+type t = { key_size : int; value_size : int }
+
+let tiny = { key_size = 8; value_size = 8 }
+let medium = { key_size = 16; value_size = 128 }
+let large = { key_size = 16; value_size = 512 }
+let cache_line_bytes = 64
+
+let value_lines t =
+  max 1 ((t.value_size + cache_line_bytes - 1) / cache_line_bytes)
+
+let total_lines t =
+  (* Header word, key, and the leading value bytes share the first line
+     when they fit; otherwise the key occupies the first line alone. *)
+  let header_and_key = 8 + t.key_size in
+  if header_and_key + t.value_size <= cache_line_bytes then 1
+  else 1 + value_lines t
+
+let pp ppf t = Format.fprintf ppf "%dB/%dB" t.key_size t.value_size
+
+let name t =
+  if t = tiny then "Tiny"
+  else if t = medium then "Med"
+  else if t = large then "Lg"
+  else Format.asprintf "%a" pp t

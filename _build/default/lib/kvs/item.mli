@@ -1,0 +1,21 @@
+(** Item geometry: key/value sizes and the cache-line footprint that
+    drives the coherence cost model and the Table 2 sensitivity study. *)
+
+type t = { key_size : int; value_size : int }
+
+(** The paper's three configurations (Table 2). *)
+val tiny : t (* 8 B / 8 B *)
+
+val medium : t (* 16 B / 128 B *)
+val large : t (* 16 B / 512 B, the default elsewhere *)
+
+val cache_line_bytes : int
+
+(** Cache lines touched when copying the value (at least 1). *)
+val value_lines : t -> int
+
+(** Lines touched by a full item access: header+key line plus value lines. *)
+val total_lines : t -> int
+
+val pp : Format.formatter -> t -> unit
+val name : t -> string

@@ -1,0 +1,167 @@
+type bucket = {
+  tags : int array;
+  offsets : int array; (* virtual log offsets; -1 = empty slot *)
+  mutable clock : int; (* round-robin eviction pointer *)
+}
+
+type t = {
+  arena : Bytes.t;
+  cap : int;
+  mutable head : int; (* virtual offset of the next append *)
+  buckets : bucket array;
+  slots : int;
+  mutable sets_n : int;
+  mutable gets_n : int;
+  mutable hits_n : int;
+  mutable evict_n : int;
+  mutable appended_n : int;
+  mutable wraps_n : int;
+}
+
+let header_bytes = 12 (* 8B key + 4B value length *)
+
+let create ?(bucket_slots = 8) ~log_bytes ~n_buckets () =
+  if log_bytes < 64 || n_buckets <= 0 || bucket_slots <= 0 then
+    invalid_arg "Log_store.create";
+  {
+    arena = Bytes.make log_bytes '\000';
+    cap = log_bytes;
+    head = 0;
+    buckets =
+      Array.init n_buckets (fun _ ->
+          { tags = Array.make bucket_slots 0; offsets = Array.make bucket_slots (-1); clock = 0 });
+    slots = bucket_slots;
+    sets_n = 0;
+    gets_n = 0;
+    hits_n = 0;
+    evict_n = 0;
+    appended_n = 0;
+    wraps_n = 0;
+  }
+
+let bucket_of_key t key = t.buckets.(Hash.mix_int key mod Array.length t.buckets)
+let tag_of_key key = (Hash.mix_int key lsr 16) land 0xFFFF
+
+let write_int64_le arena pos v =
+  for i = 0 to 7 do
+    Bytes.set arena (pos + i) (Char.chr ((v lsr (8 * i)) land 0xFF))
+  done
+
+let read_int64_le arena pos =
+  let v = ref 0 in
+  for i = 7 downto 0 do
+    v := (!v lsl 8) lor Char.code (Bytes.get arena (pos + i))
+  done;
+  !v
+
+let write_int32_le arena pos v =
+  for i = 0 to 3 do
+    Bytes.set arena (pos + i) (Char.chr ((v lsr (8 * i)) land 0xFF))
+  done
+
+let read_int32_le arena pos =
+  let v = ref 0 in
+  for i = 3 downto 0 do
+    v := (!v lsl 8) lor Char.code (Bytes.get arena (pos + i))
+  done;
+  !v
+
+(* A record at virtual offset [o] survives until the head advances one
+   full lap past it: bytes at virtual address v are destroyed once
+   head > v + cap, so the record (starting at its first byte) dies when
+   head > o + cap. *)
+let live t offset = offset >= 0 && t.head <= offset + t.cap
+
+let set t ~key ~value =
+  let len = header_bytes + Bytes.length value in
+  if len > t.cap then `Too_large
+  else begin
+    t.sets_n <- t.sets_n + 1;
+    (* Records never straddle the wrap boundary: pad to it instead. *)
+    let room_to_boundary = t.cap - (t.head mod t.cap) in
+    if len > room_to_boundary then begin
+      t.head <- t.head + room_to_boundary;
+      t.wraps_n <- t.wraps_n + 1
+    end;
+    let offset = t.head in
+    let pos = offset mod t.cap in
+    write_int64_le t.arena pos key;
+    write_int32_le t.arena (pos + 8) (Bytes.length value);
+    Bytes.blit value 0 t.arena (pos + header_bytes) (Bytes.length value);
+    t.head <- t.head + len;
+    t.appended_n <- t.appended_n + len;
+    (* Index update: refresh the key's slot if present, else take a free
+       slot, else evict round-robin (lossy). *)
+    let bucket = bucket_of_key t key in
+    let tag = tag_of_key key in
+    let slot =
+      let found = ref (-1) and free = ref (-1) in
+      for i = 0 to t.slots - 1 do
+        if bucket.offsets.(i) >= 0 && bucket.tags.(i) = tag then found := i
+        else if bucket.offsets.(i) < 0 && !free < 0 then free := i
+      done;
+      if !found >= 0 then !found
+      else if !free >= 0 then !free
+      else begin
+        t.evict_n <- t.evict_n + 1;
+        let victim = bucket.clock in
+        bucket.clock <- (bucket.clock + 1) mod t.slots;
+        victim
+      end
+    in
+    bucket.tags.(slot) <- tag;
+    bucket.offsets.(slot) <- offset;
+    `Ok
+  end
+
+let lookup t ~key =
+  let bucket = bucket_of_key t key in
+  let tag = tag_of_key key in
+  let rec scan i =
+    if i >= t.slots then None
+    else begin
+      let offset = bucket.offsets.(i) in
+      if offset >= 0 && bucket.tags.(i) = tag && live t offset then begin
+        let pos = offset mod t.cap in
+        (* Tags collide across keys: confirm against the stored key. *)
+        if read_int64_le t.arena pos = key then begin
+          let len = read_int32_le t.arena (pos + 8) in
+          Some (Bytes.sub t.arena (pos + header_bytes) len)
+        end
+        else scan (i + 1)
+      end
+      else scan (i + 1)
+    end
+  in
+  scan 0
+
+let get t ~key =
+  t.gets_n <- t.gets_n + 1;
+  match lookup t ~key with
+  | Some v ->
+    t.hits_n <- t.hits_n + 1;
+    Some v
+  | None -> None
+
+let mem t ~key = lookup t ~key <> None
+
+type stats = {
+  sets : int;
+  gets : int;
+  hits : int;
+  index_evictions : int;
+  bytes_appended : int;
+  wraps : int;
+}
+
+let stats t =
+  {
+    sets = t.sets_n;
+    gets = t.gets_n;
+    hits = t.hits_n;
+    index_evictions = t.evict_n;
+    bytes_appended = t.appended_n;
+    wraps = t.wraps_n;
+  }
+
+let capacity t = t.cap

@@ -1,0 +1,55 @@
+(** MICA cache-mode storage: circular log + lossy concurrent index.
+
+    The paper's KVS is MICA (Sec. 6), whose cache mode stores items in
+    a circular log — appends only, with old items implicitly evicted as
+    the head wraps — indexed by a fixed-size bucket array whose entries
+    hold a 16-bit key *tag* plus the item's log offset. The index is
+    lossy: a full bucket evicts its oldest entry. Both structures avoid
+    per-item allocation and make writes cache-friendly, which is what
+    lets a single MICA thread sustain millions of ops/s.
+
+    This is a faithful single-writer reconstruction:
+
+    - items live in one [Bytes] arena as [valid·key_len·val_len·key·value]
+      records;
+    - a get follows the index's offset, checks the full key (tags
+      collide), and validates the offset is still within the live window
+      (otherwise the item has been overwritten by wraparound — a miss);
+    - a set appends and updates the index, possibly evicting the oldest
+      tag in the bucket (lossy) — a later get for the evicted key
+      misses, it never reads the wrong value.
+
+    Reader/writer synchronisation stays in the caller (the partition
+    seqlocks of {!Store}); this module provides the memory layout and
+    eviction semantics underneath. *)
+
+type t
+
+(** [create ~log_bytes ~n_buckets ()] — arena size and index width.
+    @param bucket_slots entries per bucket (default 8, MICA's choice). *)
+val create : ?bucket_slots:int -> log_bytes:int -> n_buckets:int -> unit -> t
+
+(** Append or update. Returns [`Ok] or [`Too_large] when the item cannot
+    fit in the log at all. *)
+val set : t -> key:int -> value:bytes -> [ `Ok | `Too_large ]
+
+(** Lookup. [None] = never stored, index-evicted, or log-evicted. *)
+val get : t -> key:int -> bytes option
+
+(** Was the key's most recent version evicted by log wraparound? (For
+    tests distinguishing miss causes; false when present or never set.) *)
+val mem : t -> key:int -> bool
+
+type stats = {
+  sets : int;
+  gets : int;
+  hits : int;
+  index_evictions : int;  (** lossy bucket replacements *)
+  bytes_appended : int;
+  wraps : int;  (** times the log head wrapped around *)
+}
+
+val stats : t -> stats
+
+(** Bytes of live log window. *)
+val capacity : t -> int

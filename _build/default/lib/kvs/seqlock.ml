@@ -1,0 +1,37 @@
+type t = int Atomic.t
+
+let create () = Atomic.make 0
+let version t = Atomic.get t
+let write_in_flight t = Atomic.get t land 1 = 1
+
+let write_begin t =
+  let v = Atomic.get t in
+  if v land 1 = 1 then failwith "Seqlock.write_begin: concurrent writer (CREW violation)";
+  (* Single writer per partition by protocol, so a plain increment
+     suffices; [compare_and_set] still guards against protocol bugs. *)
+  if not (Atomic.compare_and_set t v (v + 1)) then
+    failwith "Seqlock.write_begin: lost race (CREW violation)"
+
+let write_end t =
+  let v = Atomic.get t in
+  if v land 1 = 0 then failwith "Seqlock.write_end: no update in flight";
+  Atomic.set t (v + 1)
+
+let read t f =
+  let rec attempt retries =
+    let v0 = Atomic.get t in
+    if v0 land 1 = 1 then begin
+      Domain.cpu_relax ();
+      attempt (retries + 1)
+    end
+    else begin
+      let result = f () in
+      let v1 = Atomic.get t in
+      if v0 = v1 then (result, retries)
+      else begin
+        Domain.cpu_relax ();
+        attempt (retries + 1)
+      end
+    end
+  in
+  attempt 0

@@ -1,0 +1,31 @@
+(** Sequence lock for one partition: the reader–writer synchronisation
+    the paper's KVS model assumes ("writers atomically increment the
+    partition's version at the beginning and end of each update, and
+    readers retry when their version checks fail", Sec. 3).
+
+    The writer side assumes the CREW invariant — at most one writer per
+    partition at a time — which is exactly what the concurrency-control
+    policies under study enforce; [write_begin] asserts it. Readers are
+    wait-free aside from retries and may run on other domains. *)
+
+type t
+
+val create : unit -> t
+
+(** Current version; even when stable, odd while an update is in flight. *)
+val version : t -> int
+
+(** Begin an update: bumps version to odd. Raises [Failure] if an update
+    is already in flight (CREW violation). *)
+val write_begin : t -> unit
+
+(** Finish an update: bumps version to even. *)
+val write_end : t -> unit
+
+(** [read t f] runs [f] until it completes with a stable, unchanged
+    version, returning the result and the number of retries. [f] must be
+    pure apart from reading the protected data. *)
+val read : t -> (unit -> 'a) -> 'a * int
+
+(** True while a writer is inside [write_begin]/[write_end]. *)
+val write_in_flight : t -> bool

@@ -1,0 +1,107 @@
+type entry = { key : int; mutable value : bytes }
+
+type t = {
+  buckets : entry list ref array;
+  locks : Seqlock.t array;
+  n_partitions : int;
+  mutable count : int;
+  mutable reads_n : int;
+  mutable writes_n : int;
+  mutable retries_n : int;
+}
+
+let create ?(n_buckets = 65536) ?(n_partitions = 1024) () =
+  if n_buckets <= 0 || n_partitions <= 0 then invalid_arg "Store.create";
+  {
+    buckets = Array.init n_buckets (fun _ -> ref []);
+    locks = Array.init n_partitions (fun _ -> Seqlock.create ());
+    n_partitions;
+    count = 0;
+    reads_n = 0;
+    writes_n = 0;
+    retries_n = 0;
+  }
+
+let n_buckets t = Array.length t.buckets
+let n_partitions t = t.n_partitions
+
+let partition_of_key t key =
+  Hash.partition_of_key ~n_buckets:(n_buckets t) ~n_partitions:t.n_partitions key
+
+let bucket_of_key t key = Hash.bucket_of_key ~n_buckets:(n_buckets t) key
+
+let find_entry chain key = List.find_opt (fun e -> e.key = key) chain
+
+(* Write [value] into [entry] in place when sizes match (the common case
+   for fixed-size KVS items), otherwise swap the buffer. *)
+let update_entry entry value =
+  if Bytes.length entry.value = Bytes.length value then
+    Bytes.blit value 0 entry.value 0 (Bytes.length value)
+  else entry.value <- Bytes.copy value
+
+let set_locked t ~key ~value =
+  let bucket = t.buckets.(bucket_of_key t key) in
+  (match find_entry !bucket key with
+  | Some entry -> update_entry entry value
+  | None ->
+    bucket := { key; value = Bytes.copy value } :: !bucket;
+    t.count <- t.count + 1);
+  t.writes_n <- t.writes_n + 1
+
+let set t ~key ~value =
+  let lock = t.locks.(partition_of_key t key) in
+  Seqlock.write_begin lock;
+  set_locked t ~key ~value;
+  Seqlock.write_end lock
+
+let set_batched t ~key ~values =
+  match List.rev values with
+  | [] -> ()
+  | final :: _earlier ->
+    let lock = t.locks.(partition_of_key t key) in
+    Seqlock.write_begin lock;
+    (* The batch counts as one combined update: one version bump, one
+       data-store write, regardless of how many writes were compacted. *)
+    set_locked t ~key ~value:final;
+    Seqlock.write_end lock
+
+let get t ~key =
+  let lock = t.locks.(partition_of_key t key) in
+  let result, retries =
+    Seqlock.read lock (fun () ->
+        let bucket = t.buckets.(bucket_of_key t key) in
+        match find_entry !bucket key with
+        | Some entry -> Some (Bytes.copy entry.value)
+        | None -> None)
+  in
+  t.reads_n <- t.reads_n + 1;
+  t.retries_n <- t.retries_n + retries;
+  (result, retries)
+
+let mem t ~key =
+  let bucket = t.buckets.(bucket_of_key t key) in
+  find_entry !bucket key <> None
+
+let remove t ~key =
+  let lock = t.locks.(partition_of_key t key) in
+  Seqlock.write_begin lock;
+  let bucket = t.buckets.(bucket_of_key t key) in
+  let present = find_entry !bucket key <> None in
+  if present then begin
+    bucket := List.filter (fun e -> e.key <> key) !bucket;
+    t.count <- t.count - 1
+  end;
+  Seqlock.write_end lock;
+  present
+
+let size t = t.count
+let partition_version t ~partition = Seqlock.version t.locks.(partition)
+
+type stats = { reads : int; writes : int; read_retries : int }
+
+let stats t = { reads = t.reads_n; writes = t.writes_n; read_retries = t.retries_n }
+
+let reset_stats t =
+  t.reads_n <- 0;
+  t.writes_n <- 0;
+  t.retries_n <- 0

@@ -1,0 +1,49 @@
+(** MICA-like in-memory key-value store.
+
+    A fixed-size array of hash buckets, each holding a chain of items;
+    buckets are grouped into partitions, each protected by a {!Seqlock}.
+    Readers run the optimistic protocol (read, version-check, retry);
+    writers follow the CREW discipline — whoever calls [set] must hold
+    the exclusive write right for the key's partition, which is exactly
+    what the NIC-side policies guarantee.
+
+    Keys are 63-bit integers (the workload's key ids); values are byte
+    strings mutated in place so concurrent readers genuinely need the
+    version protocol. *)
+
+type t
+
+val create : ?n_buckets:int -> ?n_partitions:int -> unit -> t
+val n_buckets : t -> int
+val n_partitions : t -> int
+
+(** The f() shared with the NIC (Sec. 5.1). *)
+val partition_of_key : t -> int -> int
+
+(** Insert or update. Runs one seqlock write section on the partition. *)
+val set : t -> key:int -> value:bytes -> unit
+
+(** Optimistic read; returns a private copy of the value and the number
+    of version-check retries taken. *)
+val get : t -> key:int -> (bytes option * int)
+
+val mem : t -> key:int -> bool
+
+(** Remove a key; true if it was present. *)
+val remove : t -> key:int -> bool
+
+(** Apply a batch of writes to a single key as ONE update: the combined
+    write a closing compaction window performs (Sec. 4.3). Only the
+    final value becomes visible; one version bump covers the batch. *)
+val set_batched : t -> key:int -> values:bytes list -> unit
+
+(** Number of items stored. *)
+val size : t -> int
+
+(** Partition version, for tests asserting update counts. *)
+val partition_version : t -> partition:int -> int
+
+type stats = { reads : int; writes : int; read_retries : int }
+
+val stats : t -> stats
+val reset_stats : t -> unit

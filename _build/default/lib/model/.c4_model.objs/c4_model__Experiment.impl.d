@@ -1,0 +1,1 @@
+lib/model/experiment.ml: C4_workload List Metrics Server

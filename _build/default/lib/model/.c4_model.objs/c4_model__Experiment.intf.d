@@ -1,0 +1,1 @@
+lib/model/experiment.mli: C4_workload Server

@@ -1,0 +1,1 @@
+lib/model/metrics.ml: Array C4_stats C4_workload Float Format

@@ -1,0 +1,1 @@
+lib/model/metrics.mli: C4_stats C4_workload Format

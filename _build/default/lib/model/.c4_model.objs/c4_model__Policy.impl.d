@@ -1,0 +1,1 @@
+lib/model/policy.ml: C4_workload Format

@@ -1,0 +1,1 @@
+lib/model/policy.mli: C4_workload Format

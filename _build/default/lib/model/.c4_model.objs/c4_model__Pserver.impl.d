@@ -1,0 +1,1 @@
+lib/model/pserver.ml: Array C4_dsim C4_stats C4_workload Float Queue Service

@@ -1,0 +1,1 @@
+lib/model/pserver.mli: C4_stats C4_workload

@@ -1,0 +1,1 @@
+lib/model/server.ml: Array Bytes C4_cache C4_dsim C4_kvs C4_nic C4_workload Float Hashtbl List Metrics Option Policy Printf Service

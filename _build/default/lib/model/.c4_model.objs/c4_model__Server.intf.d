@@ -1,0 +1,1 @@
+lib/model/server.mli: C4_cache C4_kvs C4_nic C4_workload Metrics Policy Service

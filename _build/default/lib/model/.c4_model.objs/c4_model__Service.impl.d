@@ -1,0 +1,1 @@
+lib/model/service.ml: C4_dsim C4_kvs

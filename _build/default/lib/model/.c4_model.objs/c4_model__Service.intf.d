@@ -1,0 +1,1 @@
+lib/model/service.mli: C4_dsim C4_kvs

@@ -1,0 +1,75 @@
+module Generator = C4_workload.Generator
+
+type point = {
+  offered_mrps : float;
+  achieved_mrps : float;
+  p99_ns : float;
+  mean_ns : float;
+  result : Server.result;
+}
+
+let default_n_requests = 100_000
+
+let run_at ?(n_requests = default_n_requests) cfg ~workload ~rate =
+  let workload = { workload with Generator.rate } in
+  let result = Server.run cfg ~workload ~n_requests in
+  {
+    offered_mrps = rate *. 1e3;
+    achieved_mrps = Metrics.throughput_mrps result.Server.metrics;
+    p99_ns = Metrics.p99 result.Server.metrics;
+    mean_ns = Metrics.mean_latency result.Server.metrics;
+    result;
+  }
+
+let load_latency ?n_requests cfg ~workload ~rates =
+  List.map (fun rate -> run_at ?n_requests cfg ~workload ~rate) rates
+
+let meets_slo ~slo_multiplier point =
+  let target = slo_multiplier *. point.result.Server.mean_service in
+  let total_drops =
+    Metrics.drops point.result.Server.metrics
+  in
+  let completed = Metrics.completed point.result.Server.metrics in
+  let drop_rate =
+    if completed + total_drops = 0 then 0.0
+    else float_of_int total_drops /. float_of_int (completed + total_drops)
+  in
+  point.p99_ns <= target
+  && drop_rate < 0.001
+  && point.achieved_mrps >= 0.98 *. point.offered_mrps
+
+let max_tput_under_slo ?n_requests ?(iterations = 9) ?(lo = 0.002) ?(hi = 0.2) cfg
+    ~workload ~slo_multiplier =
+  let probe rate = run_at ?n_requests cfg ~workload ~rate in
+  (* Establish the bracket: if even [lo] misses the SLO, report it. *)
+  let lo_point = probe lo in
+  if not (meets_slo ~slo_multiplier lo_point) then (lo *. 1e3, lo_point)
+  else begin
+    let best = ref (lo, lo_point) in
+    let lo = ref lo and hi = ref hi in
+    for _ = 1 to iterations do
+      let mid = (!lo +. !hi) /. 2.0 in
+      let point = probe mid in
+      if meets_slo ~slo_multiplier point then begin
+        best := (mid, point);
+        lo := mid
+      end
+      else hi := mid
+    done;
+    let rate, point = !best in
+    (rate *. 1e3, point)
+  end
+
+let excess_p99 ?n_requests cfg ~ideal ~workload ~slo_multiplier =
+  let _, peak = max_tput_under_slo ?n_requests cfg ~workload ~slo_multiplier in
+  let rate = peak.offered_mrps /. 1e3 in
+  let ideal_point = run_at ?n_requests ideal ~workload ~rate in
+  if ideal_point.p99_ns <= 0.0 then 1.0 else peak.p99_ns /. ideal_point.p99_ns
+
+let surface ~gammas ~write_fractions ~f =
+  List.concat_map
+    (fun theta ->
+      List.map
+        (fun write_fraction -> (theta, write_fraction, f ~theta ~write_fraction))
+        write_fractions)
+    gammas

@@ -1,0 +1,70 @@
+(** Experiment drivers: load–latency curves, maximum throughput under an
+    SLO, and the (γ, f_wr) surfaces — the measurement procedures behind
+    every figure in the paper's evaluation.
+
+    Following the paper, the SLO is a 99th-percentile target expressed
+    as a multiple of the mean service time S̄ (10× unless stated), and
+    "throughput under SLO" is the largest offered load whose measured
+    99th percentile stays within the target while the system actually
+    sustains the load (no drops, achieved ≈ offered). *)
+
+type point = {
+  offered_mrps : float;
+  achieved_mrps : float;
+  p99_ns : float;
+  mean_ns : float;
+  result : Server.result;
+}
+
+(** Run one simulation at [rate] (requests/ns). *)
+val run_at :
+  ?n_requests:int ->
+  Server.config ->
+  workload:C4_workload.Generator.config ->
+  rate:float ->
+  point
+
+(** A whole load–latency series (Figs. 9–11, 13). *)
+val load_latency :
+  ?n_requests:int ->
+  Server.config ->
+  workload:C4_workload.Generator.config ->
+  rates:float list ->
+  point list
+
+(** Was the SLO met at this point? Requires the p99 within
+    [slo_multiplier]·S̄, a drop rate under 0.1 %, and achieved
+    throughput within 2 % of offered. *)
+val meets_slo : slo_multiplier:float -> point -> bool
+
+(** Binary-search the maximum throughput (MRPS) meeting the SLO.
+    [hi] is the initial upper bound in requests/ns (default 0.2 =
+    200 MRPS). Also returns the measurement at the found load. *)
+val max_tput_under_slo :
+  ?n_requests:int ->
+  ?iterations:int ->
+  ?lo:float ->
+  ?hi:float ->
+  Server.config ->
+  workload:C4_workload.Generator.config ->
+  slo_multiplier:float ->
+  float * point
+
+(** [excess_p99 cfg ~ideal ~workload ~slo_multiplier] reproduces the
+    Fig. 3b metric: find the policy's peak load under SLO, then report
+    its p99 there divided by the Ideal system's p99 at the same load. *)
+val excess_p99 :
+  ?n_requests:int ->
+  Server.config ->
+  ideal:Server.config ->
+  workload:C4_workload.Generator.config ->
+  slo_multiplier:float ->
+  float
+
+(** Evaluate [f] over the cross product (row-major over gammas then
+    write fractions) — the Fig. 4 surface helper. *)
+val surface :
+  gammas:float list ->
+  write_fractions:float list ->
+  f:(theta:float -> write_fraction:float -> 'a) ->
+  (float * float * 'a) list

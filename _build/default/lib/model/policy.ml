@@ -1,0 +1,72 @@
+type rlu_params = {
+  read_factor : float;
+  write_factor : float;
+  commit_degree : int;
+  promotion_lo : float;
+  promotion_hi : float;
+  gc_period : int;
+  gc_stall : float;
+}
+
+let rlu_default =
+  {
+    read_factor = 1.75;
+    write_factor = 1.0;
+    commit_degree = 16;
+    promotion_lo = 10_000.0;
+    promotion_hi = 20_000.0;
+    gc_period = 0;
+    gc_stall = 0.0;
+  }
+
+let mvrlu_default =
+  {
+    read_factor = 1.75;
+    write_factor = 2.0;
+    commit_degree = 16;
+    promotion_lo = 2_000.0;
+    promotion_hi = 4_000.0;
+    gc_period = 32;
+    gc_stall = 70_000.0;
+  }
+
+type delegation_params = { t_forward : float }
+
+let delegation_default = { t_forward = 150.0 }
+
+type t =
+  | Erew
+  | Crew
+  | Dcrew
+  | Ideal
+  | Crcw_rlu of rlu_params
+  | Delegate of delegation_params
+  | Size_aware of size_aware_params
+
+and size_aware_params = { size_threshold : int; reserved_workers : int }
+
+let name = function
+  | Erew -> "EREW"
+  | Crew -> "CREW"
+  | Dcrew -> "d-CREW"
+  | Ideal -> "Ideal"
+  | Crcw_rlu p -> if p.gc_period > 0 then "MV-RLU" else "RLU"
+  | Delegate _ -> "Delegation"
+  | Size_aware _ -> "Size-aware d-CREW"
+
+let pp ppf t = Format.pp_print_string ppf (name t)
+
+let balanceable t (op : C4_workload.Request.op) =
+  match (t, op) with
+  | Erew, _ -> false
+  | Crew, Read -> true
+  | Crew, Write -> false
+  | Dcrew, _ -> true
+  | Ideal, _ -> true
+  | Crcw_rlu _, _ -> true
+  | Delegate _, _ -> true
+  | Size_aware _, _ -> true
+
+let uses_ewt = function
+  | Dcrew | Size_aware _ -> true
+  | Erew | Crew | Ideal | Crcw_rlu _ | Delegate _ -> false

@@ -1,0 +1,68 @@
+(** Concurrency-control policies under study (Sec. 3.1, Sec. 6).
+
+    The policy decides, per request, whether the NIC may load-balance it
+    (JBSQ) or must route it to a statically determined owner — and what
+    synchronisation surcharges the software pays. *)
+
+type rlu_params = {
+  read_factor : float;  (** read T_kvs multiplier (measured 1.75×) *)
+  write_factor : float;  (** write T_kvs multiplier *)
+  commit_degree : int;  (** writes per log promotion (deferral degree) *)
+  promotion_lo : float;
+      (** ns; log write-back duration bounds. Promotion runs on the
+          worker after the triggering response (commit deferral), so it
+          stalls queued requests rather than the promoting one *)
+  promotion_hi : float;
+  gc_period : int;  (** writes per GC stall; 0 = no GC (plain RLU) *)
+  gc_stall : float;  (** ns per GC stall (MV-RLU: ~70 µs) *)
+}
+
+(** Parameters from the paper's measurements (Secs. 2.1, 7.1). *)
+val rlu_default : rlu_params
+
+val mvrlu_default : rlu_params
+
+type delegation_params = {
+  t_forward : float;
+      (** ns a worker spends handing a write it does not own to the
+          owner's queue (enqueue + wakeup, the ffwd/RCL-style shuffle) *)
+}
+
+(** Calibrated to delegation literature: ~100-200 ns per cross-core
+    hand-off on a modern server. *)
+val delegation_default : delegation_params
+
+type t =
+  | Erew  (** everything statically hashed; no balancing at all *)
+  | Crew  (** reads balanced, writes hashed — state of the art *)
+  | Dcrew  (** reads balanced; writes balanced unless EWT-pinned (C-4) *)
+  | Ideal
+      (** everything balanced, no synchronisation cost: the unattainable
+          bound the paper normalises against *)
+  | Crcw_rlu of rlu_params  (** concurrent writers via (MV-)RLU *)
+  | Delegate of delegation_params
+      (** software delegation (ffwd / flat combining / RCL, Sec. 8):
+          the NIC balances everything, but a worker receiving a write it
+          does not own forwards it to the owner — CREW re-implemented in
+          software, paying the shuffle *)
+  | Size_aware of size_aware_params
+      (** the Minos adaptation the paper sketches (Sec. 8): d-CREW with
+          the EWT additionally steering large-item requests to a
+          reserved worker pool, so small requests never queue behind
+          multi-KB transfers *)
+
+and size_aware_params = {
+  size_threshold : int;  (** bytes; >= this routes to the reserved pool *)
+  reserved_workers : int;  (** workers dedicated to large items *)
+}
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** May the NIC load-balance this request under the policy? (For Dcrew
+    writes the answer is "yes unless pinned", resolved by the EWT at
+    dispatch time, so this returns true.) *)
+val balanceable : t -> C4_workload.Request.op -> bool
+
+(** Does the policy track writes in the EWT? *)
+val uses_ewt : t -> bool

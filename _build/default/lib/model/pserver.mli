@@ -1,0 +1,35 @@
+(** A second, independent implementation of the queueing model, written
+    in coroutine style on {!C4_dsim.Process} (SimPy-like processes and
+    mailboxes) instead of event callbacks.
+
+    It supports the stateless policies (Ideal, CREW, EREW) and exists for
+    differential validation: two implementations with different control
+    structures, different event orders and independently drawn service
+    times must agree on the steady-state distributions. The test suite
+    compares them point by point; a regression in either implementation's
+    queueing logic breaks the agreement.
+
+    (d-CREW, compaction, RLU and the extensions live only in {!Server} —
+    duplicating stateful mechanisms would test the duplication, not the
+    model.) *)
+
+type policy = Ideal | Crew | Erew
+
+type result = {
+  latency : C4_stats.Histogram.t;
+  completed : int;
+  duration : float;  (** measured interval, ns *)
+}
+
+val throughput_mrps : result -> float
+
+(** [run ~policy ~workload ~n_requests] with the same service model,
+    JBSQ(2) balancing and 20 % warm-up convention as {!Server.run}. *)
+val run :
+  ?seed:int ->
+  ?jbsq_bound:int ->
+  policy:policy ->
+  workload:C4_workload.Generator.config ->
+  n_requests:int ->
+  unit ->
+  result

@@ -1,0 +1,657 @@
+module Sim = C4_dsim.Sim
+module Rng = C4_dsim.Rng
+module Fifo = C4_dsim.Fifo
+module Request = C4_workload.Request
+module Generator = C4_workload.Generator
+module Jbsq = C4_nic.Jbsq
+module Ewt = C4_nic.Ewt
+module Flow_control = C4_nic.Flow_control
+module Coherence = C4_cache.Coherence
+module Compaction_log = C4_kvs.Compaction_log
+
+type compaction_config = {
+  scan_depth : int;
+  window_slo_multiplier : float;
+  window_budget_fraction : float;
+  scan_cost_per_slot : float;
+  adaptive_close : bool;
+  deadline_from_arrival : bool;
+}
+
+let default_compaction =
+  {
+    scan_depth = 8;
+    window_slo_multiplier = 10.0;
+    window_budget_fraction = 0.5;
+    scan_cost_per_slot = 5.0;
+    adaptive_close = false;
+    deadline_from_arrival = false;
+  }
+
+type config = {
+  n_workers : int;
+  policy : Policy.t;
+  service : Service.params;
+  jbsq_bound : int;
+  compaction : compaction_config option;
+  cache : Coherence.params option;
+  max_outstanding : int;
+  ewt_capacity : int;
+  ewt_max_outstanding : int;
+  ewt_release_delay : float;
+  boosted_workers : (int * float) list;
+  seed : int;
+}
+
+let default_config =
+  {
+    n_workers = 64;
+    policy = Policy.Crew;
+    service = Service.default;
+    jbsq_bound = 2;
+    compaction = None;
+    cache = None;
+    max_outstanding = 4096;
+    ewt_capacity = 128;
+    ewt_max_outstanding = 64;
+    ewt_release_delay = 0.0;
+    boosted_workers = [];
+    seed = 42;
+  }
+
+type result = {
+  metrics : Metrics.t;
+  ewt : Ewt.occupancy_stats option;
+  compaction : Compaction_log.stats option;
+  flow_drops : int;
+  ewt_drops : int;
+  offered_rate : float;
+  mean_service : float;
+}
+
+(* ------------------------------------------------------------------ *)
+
+type worker = {
+  wid : int;
+  queue : Request.t Fifo.t;
+  mutable busy : bool;
+  log : Compaction_log.t option;
+  window_reqs : (int, Request.t) Hashtbl.t; (* request id -> request *)
+  mutable window_timer : Sim.event_id option;
+  mutable rlu_writes : int;
+}
+
+type state = {
+  cfg : config;
+  sim : Sim.t;
+  svc : Service.t;
+  rlu_rng : Rng.t;
+  workers : worker array;
+  jbsq : Jbsq.t;
+  centrals : Request.t Fifo.t array; (* one per worker class *)
+  ewt : Ewt.t;
+  flow : Flow_control.t;
+  cache : Coherence.t option;
+  metrics : Metrics.t;
+  n_requests : int;
+  warmup : int;
+  mutable done_count : int;
+  mutable ewt_drop_count : int;
+  mutable rlu_global_writes : int;
+}
+
+let static_owner st partition = partition mod st.cfg.n_workers
+
+(* Size-aware partitioning of the worker pool: the last
+   [reserved_workers] ids serve large items, everyone else small ones.
+   Other policies see a single class spanning the whole pool. *)
+let class_of_request st (r : Request.t) =
+  match st.cfg.policy with
+  | Policy.Size_aware p when r.value_size >= p.Policy.size_threshold -> 1
+  | _ -> 0
+
+let class_of_worker st wid =
+  match st.cfg.policy with
+  | Policy.Size_aware p when wid >= st.cfg.n_workers - p.Policy.reserved_workers -> 1
+  | _ -> 0
+
+let class_range st cls =
+  match st.cfg.policy with
+  | Policy.Size_aware p ->
+    let boundary = st.cfg.n_workers - p.Policy.reserved_workers in
+    if cls = 1 then (boundary, st.cfg.n_workers) else (0, boundary)
+  | _ -> (0, st.cfg.n_workers)
+
+let try_dispatch_class st cls =
+  let lo, hi = class_range st cls in
+  Jbsq.try_dispatch_range st.jbsq ~lo ~hi
+
+(* The partition owner for statically hashed requests, confined to the
+   request's class range under size-aware partitioning. *)
+let static_owner_in_class st cls partition =
+  let lo, hi = class_range st cls in
+  lo + (partition mod (hi - lo))
+
+let note_done st =
+  st.done_count <- st.done_count + 1;
+  if st.done_count = st.warmup then Metrics.start_measuring st.metrics ~now:(Sim.now st.sim);
+  if st.done_count = st.n_requests then Metrics.stop st.metrics ~now:(Sim.now st.sim)
+
+(* Treat every request as a read under Ideal: the paper's Ideal is the
+   baseline running a read-only workload, i.e. perfect balance and no
+   writer-induced coherence traffic. *)
+let effective_op st (r : Request.t) =
+  match st.cfg.policy with Policy.Ideal -> Request.Read | _ -> r.op
+
+let boost_factor st wid =
+  match List.assoc_opt wid st.cfg.boosted_workers with
+  | Some f when f > 0.0 -> f
+  | _ -> 1.0
+
+(* Service duration of a normally processed (non-compacted) request:
+   the data-movement term follows the request's own value size, so
+   heterogeneous (size-aware) workloads cost what they carry. *)
+let normal_service st w (r : Request.t) =
+  let kvs =
+    Service.sample_kvs_sized st.svc ~value_size:r.value_size /. boost_factor st w.wid
+  in
+  let p = Service.params st.svc in
+  let kvs =
+    match (st.cfg.policy, effective_op st r) with
+    | Policy.Crcw_rlu rlu, Request.Read -> kvs *. rlu.read_factor
+    | Policy.Crcw_rlu rlu, Request.Write ->
+      let kvs = kvs *. rlu.write_factor in
+      st.rlu_global_writes <- st.rlu_global_writes + 1;
+      (* Version-chain garbage collection is on the critical path: the
+         write that needs a reclaimed slot waits out the whole cleanup
+         (the ~70 µs stalls Sec. 7.1 reports for MV-RLU). *)
+      if rlu.gc_period > 0 && st.rlu_global_writes mod rlu.gc_period = 0 then
+        kvs +. rlu.gc_stall
+      else kvs
+    | _ -> kvs
+  in
+  let coherence_cost =
+    match st.cache with
+    | None -> 0.0
+    | Some cache -> (
+      let lines = Service.lines_for st.svc ~value_size:r.value_size in
+      match effective_op st r with
+      | Request.Read -> Coherence.read_cost cache ~core:w.wid ~partition:r.partition ~lines
+      | Request.Write -> Coherence.write_cost cache ~core:w.wid ~partition:r.partition ~lines)
+  in
+  kvs +. p.Service.t_fixed +. coherence_cost
+
+(* The combined write a closing window performs against the datastore. *)
+let final_write_service st w ~partition =
+  let kvs = Service.sample_kvs st.svc /. boost_factor st w.wid in
+  let coherence_cost =
+    match st.cache with
+    | None -> 0.0
+    | Some cache ->
+      Coherence.write_cost cache ~core:w.wid ~partition ~lines:(Service.lines st.svc)
+  in
+  kvs +. coherence_cost
+
+(* RLU log promotion runs on the worker AFTER the triggering write's
+   response leaves (commit deferral): the promoting request meets its
+   own SLO, but the worker is occupied for 10-20 µs. The occupancy is
+   charged to the JBSQ counters, so at low load the balancer routes
+   around the promoting worker; once load leaves no idle workers,
+   requests pile up behind promotions — the deep-queue failure mode
+   that caps RLU's throughput under SLO (Sec. 7.1). *)
+let rlu_background_work st w (r : Request.t) =
+  match (st.cfg.policy, r.op) with
+  | Policy.Crcw_rlu rlu, Request.Write ->
+    w.rlu_writes <- w.rlu_writes + 1;
+    if rlu.commit_degree > 0 && w.rlu_writes mod rlu.commit_degree = 0 then
+      Rng.uniform st.rlu_rng ~lo:rlu.promotion_lo ~hi:rlu.promotion_hi
+    else 0.0
+  | _ -> 0.0
+
+let scan_cost st w =
+  match st.cfg.compaction with
+  | None -> 0.0
+  | Some c -> c.scan_cost_per_slot *. float_of_int (min (Fifo.length w.queue) c.scan_depth)
+
+(* Decrement the EWT's outstanding-write counter, either immediately
+   (the paper's release-on-completion) or after a lingering delay that
+   keeps the partition sticky to its writer for a while longer. *)
+let release_exclusive st ~partition =
+  if st.cfg.ewt_release_delay <= 0.0 then Ewt.note_response st.ewt ~partition
+  else
+    ignore
+      (Sim.schedule st.sim ~after:st.cfg.ewt_release_delay (fun _ ->
+           Ewt.note_response st.ewt ~partition))
+
+(* ------------------------------------------------------------------ *)
+
+let rec start_next st w =
+  if not w.busy then begin
+    (* A window whose deadline passed while the worker was busy (or that
+       must close because the queue ran dry under adaptive close) closes
+       before new work starts. *)
+    let must_close =
+      match (w.log, st.cfg.compaction) with
+      | Some log, Some c ->
+        Compaction_log.window_open log
+        && (Compaction_log.expired log ~now:(Sim.now st.sim)
+           || (c.adaptive_close && Fifo.is_empty w.queue))
+      | _ -> false
+    in
+    if must_close then close_window st w
+    else begin
+      match Fifo.pop w.queue with
+      | None -> ()
+      | Some r -> process st w r
+    end
+  end
+
+and process st w (r : Request.t) =
+  let now = Sim.now st.sim in
+  match (st.cfg.policy, r.op) with
+  | Policy.Delegate d, Request.Write when static_owner st r.partition <> w.wid ->
+    (* Software delegation: this worker does not own the partition, so
+       it spends the hand-off cost shuffling the write to the owner's
+       queue, where it waits again — CREW rebuilt in software. *)
+    forward st w r ~t_forward:d.Policy.t_forward
+  | _ -> process_local st w r ~now
+
+and process_local st w (r : Request.t) ~now =
+  match (w.log, r.op) with
+  | Some log, Request.Write when Compaction_log.is_open_for log ~key:r.key ->
+    absorb st w log r ~extra:0.0
+  | Some log, Request.Write when not (Compaction_log.window_open log) ->
+    (* Hunt for dependent writes among the next few queue slots. *)
+    let cost = scan_cost st w in
+    let dependent =
+      Fifo.exists w.queue ~depth:(Compaction_log.scan_depth log) ~f:(fun (q : Request.t) ->
+          q.op = Request.Write && q.key = r.key)
+    in
+    if dependent then begin
+      let c = Option.get st.cfg.compaction in
+      (* "Just in time before the SLO expires": the batch must complete
+         before the opener's own deadline, which runs from its arrival.
+         The paper's artifact anchors at the current clock instead
+         (equivalent when queueing delay is small); [deadline_from_arrival
+         = false] reproduces that choice for the ablation. *)
+      let anchor = if c.deadline_from_arrival then r.arrival else now in
+      (* A dependent write can wait out the tail of the current window
+         and then ride the whole next one, so each window consumes at
+         most [window_budget_fraction] (default half) of the SLO slack
+         S̄·(SLO−1) to keep every compacted response within SLO. The
+         paper's formula is the fraction-1 special case. *)
+      let slack =
+        Service.mean_service st.svc *. (c.window_slo_multiplier -. 1.0)
+        *. c.window_budget_fraction
+      in
+      let deadline = Float.max now (anchor +. slack) in
+      Compaction_log.open_window log ~key:r.key ~now ~expires_at:deadline;
+      let timer =
+        Sim.schedule_at st.sim ~time:deadline (fun _ ->
+            w.window_timer <- None;
+            if not w.busy then start_next st w)
+      in
+      w.window_timer <- Some timer;
+      absorb st w log r ~extra:cost
+    end
+    else run_for st w r ~service:(normal_service st w r +. cost)
+  | Some _, Request.Write ->
+    (* Window open for a different key: this write is independent of the
+       batch and runs normally (plus the mandatory scan). *)
+    run_for st w r ~service:(normal_service st w r +. scan_cost st w)
+  | _, _ -> run_for st w r ~service:(normal_service st w r)
+
+and forward st w (r : Request.t) ~t_forward =
+  w.busy <- true;
+  Metrics.add_busy st.metrics ~worker:w.wid t_forward;
+  ignore
+    (Sim.schedule st.sim ~after:t_forward (fun _ ->
+         w.busy <- false;
+         Jbsq.complete st.jbsq w.wid;
+         let owner = static_owner st r.Request.partition in
+         Jbsq.dispatch_to st.jbsq owner;
+         let target = st.workers.(owner) in
+         Fifo.push target.queue r;
+         if not target.busy then start_next st target;
+         refill_from_central st w.wid;
+         start_next st w))
+
+(* Buffer a write into the open window: occupies the core for
+   T_fixed + T_comp, touches no shared lines, defers the response. *)
+and absorb st w log (r : Request.t) ~extra =
+  let p = Service.params st.svc in
+  let service = p.Service.t_fixed +. p.Service.t_comp +. extra in
+  Compaction_log.absorb log ~key:r.key
+    {
+      Compaction_log.request_id = r.id;
+      sender = 0;
+      value = Bytes.empty;
+      buffered_at = Sim.now st.sim;
+    };
+  Hashtbl.replace w.window_reqs r.id r;
+  w.busy <- true;
+  Metrics.add_busy st.metrics ~worker:w.wid service;
+  ignore
+    (Sim.schedule st.sim ~after:service (fun _ ->
+         w.busy <- false;
+         (* The request left the worker's queue slot; balancing capacity
+            frees now, while the NIC buffer stays held until the
+            response goes out at window close. *)
+         Jbsq.complete st.jbsq w.wid;
+         Metrics.record_service st.metrics ~op:r.op ~worker:w.wid ~service;
+         refill_from_central st w.wid;
+         start_next st w))
+
+and run_for st w (r : Request.t) ~service =
+  w.busy <- true;
+  Metrics.add_busy st.metrics ~worker:w.wid service;
+  ignore
+    (Sim.schedule st.sim ~after:service (fun _ ->
+         let now = Sim.now st.sim in
+         w.busy <- false;
+         Jbsq.complete st.jbsq w.wid;
+         Flow_control.release st.flow;
+         if Policy.uses_ewt st.cfg.policy && r.op = Request.Write then
+           release_exclusive st ~partition:r.partition;
+         Metrics.record_service st.metrics ~op:r.op ~worker:w.wid ~service;
+         Metrics.record_latency st.metrics ~op:r.op ~latency:(now -. r.arrival)
+           ~compacted:false ~value_size:r.value_size;
+         note_done st;
+         let background = rlu_background_work st w r in
+         if background > 0.0 then begin
+           w.busy <- true;
+           Jbsq.dispatch_to st.jbsq w.wid;
+           Metrics.add_busy st.metrics ~worker:w.wid background;
+           ignore
+             (Sim.schedule st.sim ~after:background (fun _ ->
+                  w.busy <- false;
+                  Jbsq.complete st.jbsq w.wid;
+                  refill_from_central st w.wid;
+                  start_next st w))
+         end
+         else begin
+           refill_from_central st w.wid;
+           start_next st w
+         end))
+
+and close_window st w =
+  match w.log with
+  | None -> ()
+  | Some log -> (
+    (match w.window_timer with
+    | Some timer ->
+      Sim.cancel st.sim timer;
+      w.window_timer <- None
+    | None -> ());
+    match Compaction_log.close log ~now:(Sim.now st.sim) with
+    | None -> start_next st w
+    | Some closed ->
+      let partition =
+        match Hashtbl.length w.window_reqs with
+        | 0 -> 0
+        | _ ->
+          (* All buffered requests share the key, hence the partition. *)
+          let any = List.hd closed.Compaction_log.writes in
+          (Hashtbl.find w.window_reqs any.Compaction_log.request_id).Request.partition
+      in
+      let service = final_write_service st w ~partition in
+      w.busy <- true;
+      Metrics.add_busy st.metrics ~worker:w.wid service;
+      ignore
+        (Sim.schedule st.sim ~after:service (fun _ ->
+             let now = Sim.now st.sim in
+             w.busy <- false;
+             List.iter
+               (fun (pending : Compaction_log.pending) ->
+                 let r = Hashtbl.find w.window_reqs pending.Compaction_log.request_id in
+                 Hashtbl.remove w.window_reqs pending.Compaction_log.request_id;
+                 Flow_control.release st.flow;
+                 if Policy.uses_ewt st.cfg.policy then
+                   release_exclusive st ~partition:r.Request.partition;
+                 Metrics.record_latency st.metrics ~op:r.op
+                   ~latency:(now -. r.Request.arrival) ~compacted:true
+                   ~value_size:r.Request.value_size;
+                 note_done st)
+               closed.Compaction_log.writes;
+             refill_from_central st w.wid;
+             start_next st w)))
+
+(* After a worker frees a balanced slot, pull waiting work from the
+   NIC's central queue. Pinned d-CREW writes re-resolve against the EWT
+   at hand-out time and may route to a different worker. *)
+and refill_from_central st wid =
+  let w = st.workers.(wid) in
+  let central = st.centrals.(class_of_worker st wid) in
+  let rec loop () =
+    if Jbsq.has_slot st.jbsq wid && not (Fifo.is_empty central) then begin
+      match Fifo.pop central with
+      | None -> ()
+      | Some r ->
+        let routed_here = route_from_central st ~free_worker:wid r in
+        if routed_here then begin
+          if not w.busy then start_next st w;
+          loop ()
+        end
+        else loop ()
+    end
+  in
+  loop ()
+
+(* Returns true when the request consumed [free_worker]'s slot. *)
+and route_from_central st ~free_worker (r : Request.t) =
+  let enqueue wid =
+    Fifo.push st.workers.(wid).queue r;
+    let target = st.workers.(wid) in
+    if not target.busy then start_next st target
+  in
+  if Policy.uses_ewt st.cfg.policy && r.op = Request.Write then begin
+    match Ewt.lookup st.ewt ~partition:r.partition with
+    | Some owner -> (
+      match Ewt.note_write st.ewt ~partition:r.partition ~thread:owner with
+      | `Ok ->
+        Jbsq.dispatch_to st.jbsq owner;
+        enqueue owner;
+        owner = free_worker
+      | `Full | `Counter_saturated ->
+        drop_late st r;
+        false)
+    | None -> (
+      match Ewt.note_write st.ewt ~partition:r.partition ~thread:free_worker with
+      | `Ok ->
+        Jbsq.dispatch_to st.jbsq free_worker;
+        enqueue free_worker;
+        true
+      | `Full | `Counter_saturated ->
+        drop_late st r;
+        false)
+  end
+  else begin
+    Jbsq.dispatch_to st.jbsq free_worker;
+    enqueue free_worker;
+    true
+  end
+
+(* A request already admitted by flow control that the EWT cannot
+   accommodate: dropped, releasing its NIC buffer. *)
+and drop_late st _r =
+  Flow_control.release st.flow;
+  st.ewt_drop_count <- st.ewt_drop_count + 1;
+  Metrics.note_drop st.metrics;
+  note_done st
+
+(* ------------------------------------------------------------------ *)
+
+let enqueue_at st wid (r : Request.t) =
+  let w = st.workers.(wid) in
+  Fifo.push w.queue r;
+  if not w.busy then start_next st w
+
+let on_arrival st (r : Request.t) =
+  if not (Flow_control.admit st.flow) then begin
+    Metrics.note_drop st.metrics;
+    note_done st
+  end
+  else begin
+    let policy = st.cfg.policy in
+    let op = effective_op st r in
+    let cls = class_of_request st r in
+    if Policy.uses_ewt policy && op = Request.Write then begin
+      match Ewt.lookup st.ewt ~partition:r.partition with
+      | Some owner -> (
+        match Ewt.note_write st.ewt ~partition:r.partition ~thread:owner with
+        | `Ok ->
+          Jbsq.dispatch_to st.jbsq owner;
+          enqueue_at st owner r
+        | `Full | `Counter_saturated -> drop_late st r)
+      | None -> (
+        match try_dispatch_class st cls with
+        | Some wid -> (
+          match Ewt.note_write st.ewt ~partition:r.partition ~thread:wid with
+          | `Ok -> enqueue_at st wid r
+          | `Full | `Counter_saturated ->
+            Jbsq.complete st.jbsq wid;
+            drop_late st r)
+        | None -> Fifo.push st.centrals.(cls) r)
+    end
+    else if Policy.balanceable policy op then begin
+      match try_dispatch_class st cls with
+      | Some wid -> enqueue_at st wid r
+      | None -> Fifo.push st.centrals.(cls) r
+    end
+    else begin
+      let wid = static_owner_in_class st cls r.partition in
+      Jbsq.dispatch_to st.jbsq wid;
+      enqueue_at st wid r
+    end
+  end
+
+(* Shared driver: [next_request] yields the stream (generator- or
+   trace-backed); [n_requests] is its known length. *)
+let run_stream ?(warmup_fraction = 0.2) cfg ~next_request ~n_requests ~n_partitions
+    ~offered_rate =
+  if n_requests <= 0 then invalid_arg "Server.run: n_requests";
+  (match cfg.policy with
+  | Policy.Size_aware p ->
+    if p.Policy.reserved_workers < 1 || p.Policy.reserved_workers >= cfg.n_workers then
+      invalid_arg "Server.run: reserved_workers must leave both classes nonempty"
+  | _ -> ());
+  let sim = Sim.create () in
+  let root = Rng.create cfg.seed in
+  let svc = Service.create cfg.service (Rng.split root) in
+  let rlu_rng = Rng.split root in
+  let make_worker wid =
+    {
+      wid;
+      queue = Fifo.create ();
+      busy = false;
+      log =
+        Option.map
+          (fun (c : compaction_config) -> Compaction_log.create ~scan_depth:c.scan_depth ())
+          cfg.compaction;
+      window_reqs = Hashtbl.create 64;
+      window_timer = None;
+      rlu_writes = 0;
+    }
+  in
+  let st =
+    {
+      cfg;
+      sim;
+      svc;
+      rlu_rng;
+      workers = Array.init cfg.n_workers make_worker;
+      jbsq = Jbsq.create ~n_workers:cfg.n_workers ~bound:cfg.jbsq_bound;
+      centrals = [| Fifo.create (); Fifo.create () |];
+      ewt = Ewt.create ~capacity:cfg.ewt_capacity ~max_outstanding:cfg.ewt_max_outstanding ();
+      flow = Flow_control.create ~max_outstanding:cfg.max_outstanding;
+      cache =
+        Option.map
+          (fun params ->
+            Coherence.create ~params ~n_cores:cfg.n_workers ~n_partitions ())
+          cfg.cache;
+      metrics = Metrics.create ~n_workers:cfg.n_workers;
+      n_requests;
+      warmup = int_of_float (warmup_fraction *. float_of_int n_requests);
+      done_count = 0;
+      ewt_drop_count = 0;
+      rlu_global_writes = 0;
+    }
+  in
+  if st.warmup = 0 then Metrics.start_measuring st.metrics ~now:0.0;
+  let rec pump () =
+    match next_request () with
+    | None -> ()
+    | Some r ->
+      ignore
+        (Sim.schedule_at st.sim ~time:r.Request.arrival (fun _ ->
+             on_arrival st r;
+             pump ()))
+  in
+  pump ();
+  Sim.run st.sim;
+  (* Guard against unterminated runs (a bug, not a workload property). *)
+  if st.done_count <> n_requests then
+    failwith
+      (Printf.sprintf "Server.run: %d of %d requests unaccounted for"
+         (n_requests - st.done_count) n_requests);
+  {
+    metrics = st.metrics;
+    ewt =
+      (if Policy.uses_ewt cfg.policy then Some (Ewt.occupancy_stats st.ewt) else None);
+    compaction =
+      (match cfg.compaction with
+      | None -> None
+      | Some _ ->
+        let merged =
+          Array.fold_left
+            (fun (acc : Compaction_log.stats option) w ->
+              match (acc, w.log) with
+              | None, Some log -> Some (Compaction_log.stats log)
+              | Some a, Some log ->
+                let s = Compaction_log.stats log in
+                Some
+                  {
+                    Compaction_log.windows_opened =
+                      a.Compaction_log.windows_opened + s.Compaction_log.windows_opened;
+                    writes_compacted =
+                      a.Compaction_log.writes_compacted + s.Compaction_log.writes_compacted;
+                    largest_window =
+                      max a.Compaction_log.largest_window s.Compaction_log.largest_window;
+                  }
+              | acc, None -> acc)
+            None st.workers
+        in
+        merged);
+    flow_drops = Flow_control.rejected st.flow;
+    ewt_drops = st.ewt_drop_count;
+    offered_rate;
+    mean_service = Service.mean_service st.svc;
+  }
+
+let run ?warmup_fraction cfg ~workload ~n_requests =
+  let gen = Generator.create workload ~seed:(cfg.seed lxor 0x5bd1e995) in
+  let remaining = ref n_requests in
+  let next_request () =
+    if !remaining <= 0 then None
+    else begin
+      decr remaining;
+      Some (Generator.next gen)
+    end
+  in
+  run_stream ?warmup_fraction cfg ~next_request ~n_requests
+    ~n_partitions:workload.Generator.n_partitions
+    ~offered_rate:workload.Generator.rate
+
+let run_trace ?warmup_fraction cfg ~trace ~n_partitions =
+  let n_requests = C4_workload.Trace.length trace in
+  let index = ref 0 in
+  let next_request () =
+    if !index >= n_requests then None
+    else begin
+      let r = C4_workload.Trace.get trace !index in
+      incr index;
+      Some r
+    end
+  in
+  run_stream ?warmup_fraction cfg ~next_request ~n_requests ~n_partitions
+    ~offered_rate:(C4_workload.Trace.offered_rate trace)

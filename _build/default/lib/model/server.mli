@@ -1,0 +1,90 @@
+(** The modelled KVS server (paper Fig. 2): load generation → NIC load
+    balancer → worker threads, under a configurable concurrency-control
+    policy, with optional write compaction and an optional cache-
+    coherence cost layer.
+
+    One [run] simulates a fixed number of requests at a fixed offered
+    load and returns the measured {!Metrics.t} plus subsystem statistics.
+    Runs are deterministic in (config, workload, seed). *)
+
+type compaction_config = {
+  scan_depth : int;  (** queue slots scanned for dependent writes *)
+  window_slo_multiplier : float;
+      (** the SLO (in multiples of S̄) the window must respect *)
+  window_budget_fraction : float;
+      (** fraction of the SLO slack S̄·(multiplier − 1) one window may
+          consume. 0.5 (default) keeps even a write that just missed one
+          window inside the SLO; 1.0 reproduces the paper's
+          T_expiry = T_open + S̄·(SLO−1) formula *)
+  scan_cost_per_slot : float;  (** ns of service added per scanned slot *)
+  adaptive_close : bool;
+      (** close the window early when the worker would otherwise idle
+          (the Sec. 7.2 "software modification"); off = paper default *)
+  deadline_from_arrival : bool;
+      (** anchor the window deadline at the opening request's arrival
+          instead of the open instant (the paper's choice, and the
+          default): arrival anchoring protects the opener's SLO but
+          collapses window lengths once queueing delay builds, costing
+          throughput — see the ablation bench *)
+}
+
+val default_compaction : compaction_config
+
+type config = {
+  n_workers : int;
+  policy : Policy.t;
+  service : Service.params;
+  jbsq_bound : int;  (** k of JBSQ(k); the paper uses 2 *)
+  compaction : compaction_config option;
+  cache : C4_cache.Coherence.params option;
+      (** [Some _] enables the full-system coherence cost layer;
+          [None] reproduces the pure queueing model of Sec. 3 *)
+  max_outstanding : int;  (** NIC flow-control cap *)
+  ewt_capacity : int;
+  ewt_max_outstanding : int;
+  ewt_release_delay : float;
+      (** ns an exclusive mapping lingers after its last write completes
+          (0 = release immediately, the paper's choice). Lingering trades
+          balancing flexibility for write locality — the "interesting
+          future direction" of Sec. 5.1 *)
+  boosted_workers : (int * float) list;
+      (** per-worker frequency boost: KVS service time divided by the
+          factor. Models the DVFS remedy MICA's authors propose for the
+          overloaded writer (Sec. 8); empty = no boost *)
+  seed : int;
+}
+
+(** 64 workers, CREW, JBSQ(2), no compaction, no cache layer — the
+    paper's Baseline under the Sec. 3 queueing model. *)
+val default_config : config
+
+type result = {
+  metrics : Metrics.t;
+  ewt : C4_nic.Ewt.occupancy_stats option;  (** d-CREW only *)
+  compaction : C4_kvs.Compaction_log.stats option;
+  flow_drops : int;
+  ewt_drops : int;  (** EWT exhaustion / counter saturation drops *)
+  offered_rate : float;  (** requests per ns actually offered *)
+  mean_service : float;  (** S̄ of the service model, for SLO math *)
+}
+
+(** [run config ~workload ~n_requests] simulates; the first
+    [warmup_fraction] (default 0.2) of requests only warm the system. *)
+val run :
+  ?warmup_fraction:float ->
+  config ->
+  workload:C4_workload.Generator.config ->
+  n_requests:int ->
+  result
+
+(** [run_trace config ~trace] replays a recorded request stream instead
+    of generating one — the basis for trace-driven studies and the
+    multi-node cluster model, where one generated stream is sharded
+    across nodes. [n_partitions] tells the server how many partitions
+    the trace's requests were hashed into. *)
+val run_trace :
+  ?warmup_fraction:float ->
+  config ->
+  trace:C4_workload.Trace.t ->
+  n_partitions:int ->
+  result

@@ -1,0 +1,57 @@
+module Rng = C4_dsim.Rng
+module Item = C4_kvs.Item
+
+type params = {
+  t_fixed : float;
+  t_compute_lo : float;
+  t_compute_hi : float;
+  t_per_line : float;
+  t_comp : float;
+  item : Item.t;
+}
+
+(* Calibration: Item.large touches 1 + ceil(512/64) = 9 lines. With the
+   compute component U[160, 320] and 53.3 ns/line, T_kvs spans
+   [160+480, 320+480] = [640, 800]... we instead split so the bounds hit
+   the paper's U[400, 800]: compute U[40, 440] captures the variance and
+   lines carry the mean. 40 + 9*40 = 400 low, 440 + 9*40 = 800 high. *)
+let default =
+  {
+    t_fixed = 100.0;
+    t_compute_lo = 40.0;
+    t_compute_hi = 440.0;
+    t_per_line = 40.0;
+    t_comp = 100.0;
+    item = Item.large;
+  }
+
+let with_item item = { default with item }
+
+type t = { p : params; rng : Rng.t; lines_ : int }
+
+let create p rng =
+  if p.t_fixed < 0.0 || p.t_per_line < 0.0 || p.t_comp < 0.0 then
+    invalid_arg "Service.create: negative time parameter";
+  if p.t_compute_lo > p.t_compute_hi then
+    invalid_arg "Service.create: compute bounds inverted";
+  { p; rng; lines_ = Item.total_lines p.item }
+
+let params t = t.p
+
+let sample_kvs t =
+  Rng.uniform t.rng ~lo:t.p.t_compute_lo ~hi:t.p.t_compute_hi
+  +. (t.p.t_per_line *. float_of_int t.lines_)
+
+let lines_for t ~value_size =
+  Item.total_lines { t.p.item with Item.value_size }
+
+let sample_kvs_sized t ~value_size =
+  Rng.uniform t.rng ~lo:t.p.t_compute_lo ~hi:t.p.t_compute_hi
+  +. (t.p.t_per_line *. float_of_int (lines_for t ~value_size))
+
+let mean_kvs t =
+  ((t.p.t_compute_lo +. t.p.t_compute_hi) /. 2.0)
+  +. (t.p.t_per_line *. float_of_int t.lines_)
+
+let mean_service t = mean_kvs t +. t.p.t_fixed
+let lines t = t.lines_

@@ -1,0 +1,56 @@
+(** Request service-time model (paper Sec. 3 and Sec. 7.3).
+
+    Each request's on-core time is S = T_kvs + T_fixed, where T_kvs is
+    the KVS lookup/update proper and T_fixed the load-balancer/stack
+    interaction (100 ns for a hardware-terminated protocol).
+
+    T_kvs decomposes into a compute component (index walk, header
+    processing) and a data-movement component proportional to the item's
+    cache-line footprint; for the paper's default 16 B/512 B items the
+    sum is calibrated to the paper's U[400, 800] ns. This decomposition
+    is what makes the Table 2 item-size study fall out: shrinking items
+    shrinks only the per-line term.
+
+    Compacted writes instead cost S_comp = T_fixed + T_comp with
+    T_comp = 100 ns (measured as a pre-sized vector append, Sec. 3.2). *)
+
+type params = {
+  t_fixed : float;  (** ns; NIC/stack interaction per request *)
+  t_compute_lo : float;  (** ns; uniform bounds of compute component *)
+  t_compute_hi : float;
+  t_per_line : float;  (** ns per cache line of item footprint *)
+  t_comp : float;  (** ns; private-log append for a compacted write *)
+  item : C4_kvs.Item.t;
+}
+
+(** Calibrated so 16 B/512 B items give T_kvs ~ U[400, 800] ns. *)
+val default : params
+
+(** Same calibration with another item geometry (Table 2 rows). *)
+val with_item : C4_kvs.Item.t -> params
+
+type t
+
+val create : params -> C4_dsim.Rng.t -> t
+val params : t -> params
+
+(** One sample of T_kvs (excludes [t_fixed]). *)
+val sample_kvs : t -> float
+
+(** One sample of T_kvs for a specific value size (heterogeneous-item
+    workloads): same compute draw, line count from the actual value. *)
+val sample_kvs_sized : t -> value_size:int -> float
+
+(** Cache lines a [value_size]-byte item occupies (with this model's
+    key size). *)
+val lines_for : t -> value_size:int -> int
+
+(** Mean of T_kvs + T_fixed: the S̄ used to size SLOs and compaction
+    windows. *)
+val mean_service : t -> float
+
+(** Mean T_kvs alone. *)
+val mean_kvs : t -> float
+
+(** Cache lines one item access touches. *)
+val lines : t -> int

@@ -1,0 +1,36 @@
+let utilization ~lambda ~service_mean ~c =
+  lambda *. service_mean /. float_of_int c
+
+let mg1_mean_wait ~lambda ~service_mean ~service_var =
+  let rho = lambda *. service_mean in
+  if rho >= 1.0 then invalid_arg "Validation.mg1_mean_wait: unstable (rho >= 1)";
+  let second_moment = service_var +. (service_mean *. service_mean) in
+  lambda *. second_moment /. (2.0 *. (1.0 -. rho))
+
+let erlang_c ~lambda ~mu ~c =
+  let a = lambda /. mu in
+  let cf = float_of_int c in
+  if a >= cf then invalid_arg "Validation.erlang_c: unstable (a >= c)";
+  (* Sum a^k/k! computed incrementally to avoid overflow. *)
+  let rec sum k term acc =
+    if k > c - 1 then (acc, term)
+    else sum (k + 1) (term *. a /. float_of_int (k + 1)) (acc +. term)
+  in
+  let partial, term_c = sum 0 1.0 0.0 in
+  (* term_c now holds a^c/c!. *)
+  let tail = term_c *. cf /. (cf -. a) in
+  tail /. (partial +. tail)
+
+(* W_q = C(c, a) / (c·mu − lambda). *)
+let mmc_mean_wait ~lambda ~mu ~c =
+  erlang_c ~lambda ~mu ~c /. ((float_of_int c *. mu) -. lambda)
+
+let mgc_mean_wait_approx ~lambda ~service_mean ~service_var ~c =
+  let mu = 1.0 /. service_mean in
+  let scv = service_var /. (service_mean *. service_mean) in
+  mmc_mean_wait ~lambda ~mu ~c *. ((1.0 +. scv) /. 2.0)
+
+let uniform_moments ~lo ~hi =
+  let mean = (lo +. hi) /. 2.0 in
+  let var = (hi -. lo) *. (hi -. lo) /. 12.0 in
+  (mean, var)

@@ -1,0 +1,32 @@
+(** Closed-form queueing results used to validate the simulator.
+
+    The server model must agree with textbook queueing theory in the
+    regimes where closed forms exist; the test suite drives the
+    simulator into those regimes (single worker, balanced single-queue
+    multi-worker) and compares. This is the evidence that simulated
+    latencies mean what the paper's latencies mean. *)
+
+(** Mean waiting time (excluding service) of an M/G/1 queue via
+    Pollaczek–Khinchine: W = λ·E[S²] / (2·(1−ρ)).
+    [service_mean] and [service_var] describe the service distribution;
+    [lambda] is the arrival rate. Requires ρ = λ·E[S] < 1. *)
+val mg1_mean_wait :
+  lambda:float -> service_mean:float -> service_var:float -> float
+
+(** Erlang-C: probability an arrival waits in an M/M/c queue. *)
+val erlang_c : lambda:float -> mu:float -> c:int -> float
+
+(** Mean waiting time of an M/M/c queue. *)
+val mmc_mean_wait : lambda:float -> mu:float -> c:int -> float
+
+(** Allen–Cunneen approximation for the mean wait of M/G/c:
+    W ≈ W_mmc · (C_a² + C_s²)/2 with C_a² = 1 for Poisson arrivals. *)
+val mgc_mean_wait_approx :
+  lambda:float -> service_mean:float -> service_var:float -> c:int -> float
+
+(** Utilisation ρ = λ·E[S]/c. *)
+val utilization : lambda:float -> service_mean:float -> c:int -> float
+
+(** Mean and variance of the model's default uniform service
+    distribution over [lo, hi]. *)
+val uniform_moments : lo:float -> hi:float -> float * float

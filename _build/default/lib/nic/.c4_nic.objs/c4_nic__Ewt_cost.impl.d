@@ -1,0 +1,1 @@
+lib/nic/ewt_cost.ml: Format

@@ -1,0 +1,1 @@
+lib/nic/header.ml: Bytes Char Int64 Printf

@@ -1,0 +1,1 @@
+lib/nic/jbsq.ml: Array

@@ -1,0 +1,1 @@
+lib/nic/pipeline.ml: Ewt Flow_control Header Jbsq Queue

@@ -1,0 +1,1 @@
+lib/nic/pipeline.mli: Ewt Header

@@ -1,0 +1,1 @@
+lib/nic/rpc.ml: Array Bytes C4_dsim Hashtbl Header List Stack

@@ -1,0 +1,1 @@
+lib/nic/rpc.mli: Header

@@ -1,0 +1,1 @@
+lib/nic/setup.ml: Header List Option Rpc String

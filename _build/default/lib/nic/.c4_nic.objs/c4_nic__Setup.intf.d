@@ -1,0 +1,1 @@
+lib/nic/setup.mli: Header Rpc

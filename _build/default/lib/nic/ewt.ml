@@ -1,0 +1,79 @@
+type entry = { thread : int; mutable count : int }
+
+type t = {
+  cap : int;
+  max_outstanding : int;
+  table : (int, entry) Hashtbl.t;
+  mutable occ_sum : int;
+  mutable sample_n : int;
+  mutable peak_n : int;
+}
+
+let create ?(capacity = 128) ?(max_outstanding = 64) () =
+  if capacity <= 0 || max_outstanding <= 0 then invalid_arg "Ewt.create";
+  {
+    cap = capacity;
+    max_outstanding;
+    table = Hashtbl.create capacity;
+    occ_sum = 0;
+    sample_n = 0;
+    peak_n = 0;
+  }
+
+let capacity t = t.cap
+let occupancy t = Hashtbl.length t.table
+
+let sample t =
+  let occ = occupancy t in
+  t.occ_sum <- t.occ_sum + occ;
+  t.sample_n <- t.sample_n + 1;
+  if occ > t.peak_n then t.peak_n <- occ
+
+let lookup t ~partition =
+  match Hashtbl.find_opt t.table partition with
+  | Some e -> Some e.thread
+  | None -> None
+
+let note_write t ~partition ~thread =
+  match Hashtbl.find_opt t.table partition with
+  | Some e ->
+    if e.count >= t.max_outstanding then `Counter_saturated
+    else begin
+      e.count <- e.count + 1;
+      sample t;
+      `Ok
+    end
+  | None ->
+    if Hashtbl.length t.table >= t.cap then `Full
+    else begin
+      Hashtbl.replace t.table partition { thread; count = 1 };
+      sample t;
+      `Ok
+    end
+
+let note_response t ~partition =
+  match Hashtbl.find_opt t.table partition with
+  | None -> invalid_arg "Ewt.note_response: partition not mapped"
+  | Some e ->
+    e.count <- e.count - 1;
+    if e.count <= 0 then Hashtbl.remove t.table partition;
+    sample t
+
+let outstanding t ~partition =
+  match Hashtbl.find_opt t.table partition with Some e -> e.count | None -> 0
+
+type occupancy_stats = { average : float; peak : int; samples : int }
+
+let occupancy_stats t =
+  {
+    average =
+      (if t.sample_n = 0 then 0.0
+       else float_of_int t.occ_sum /. float_of_int t.sample_n);
+    peak = t.peak_n;
+    samples = t.sample_n;
+  }
+
+let reset_stats t =
+  t.occ_sum <- 0;
+  t.sample_n <- 0;
+  t.peak_n <- 0

@@ -1,0 +1,54 @@
+type geometry = {
+  entries : int;
+  partition_bits : int;
+  thread_bits : int;
+  counter_bits : int;
+}
+
+let paper_geometry = { entries = 128; partition_bits = 30; thread_bits = 6; counter_bits = 6 }
+
+(* A CAM cell costs roughly twice a RAM cell in both area and switching
+   energy (9-10T vs 6T cells plus match lines); express a geometry as
+   RAM-equivalent bits and anchor the scale on the paper's CACTI
+   numbers for [paper_geometry]. *)
+let cam_weight = 2.0
+
+let equivalent_bits g =
+  float_of_int g.entries
+  *. ((cam_weight *. float_of_int g.partition_bits)
+     +. float_of_int (g.thread_bits + g.counter_bits))
+
+let paper_area_mm2 = 0.004
+let paper_power_mw = 6.85
+let paper_bits = equivalent_bits paper_geometry
+
+let area_mm2 g = paper_area_mm2 *. equivalent_bits g /. paper_bits
+let dynamic_power_mw g = paper_power_mw *. equivalent_bits g /. paper_bits
+
+let power_fraction ?(chip_watts = 280.0) g =
+  dynamic_power_mw g /. 1000.0 /. chip_watts
+
+let ceil_log2 n =
+  let rec loop bits capacity = if capacity >= n then bits else loop (bits + 1) (capacity * 2) in
+  loop 0 1
+
+let size_for ?(headroom = 1.4) ~n_partitions ~n_threads ~max_outstanding_writes () =
+  if n_partitions <= 0 || n_threads <= 0 || max_outstanding_writes <= 0 then
+    invalid_arg "Ewt_cost.size_for";
+  (* Entries must absorb the bandwidth-delay product of in-flight
+     writes; callers pass their measured/estimated peak, we add slack
+     and round to a power of two. *)
+  let needed = int_of_float (ceil (headroom *. float_of_int max_outstanding_writes)) in
+  let entries = 1 lsl ceil_log2 (max needed 1) in
+  {
+    entries;
+    partition_bits = ceil_log2 n_partitions;
+    thread_bits = ceil_log2 n_threads;
+    counter_bits = ceil_log2 (max_outstanding_writes + 1);
+  }
+
+let pp ppf g =
+  Format.fprintf ppf "%d x (%db CAM + %db RAM): %.4f mm^2, %.2f mW" g.entries
+    g.partition_bits
+    (g.thread_bits + g.counter_bits)
+    (area_mm2 g) (dynamic_power_mw g)

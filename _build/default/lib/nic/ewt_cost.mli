@@ -1,0 +1,39 @@
+(** EWT hardware provisioning model (Sec. 5.2).
+
+    The paper sizes the table with CACTI 6.5 at 22 nm / 2 GHz: a
+    128-entry EWT with a 30-bit partition-id CAM and 12 bits of
+    direct-mapped RAM (6-bit thread id + 6-bit counter) costs
+    0.004 mm² and 6.85 mW — 0.002 % of a 280 W server chip.
+
+    This module scales those published points linearly in entry count
+    and field widths, with CAM bits weighted heavier than RAM bits
+    (content-addressable cells burn more area and energy per bit). It
+    exists so the capacity ablation can report the hardware budget next
+    to the performance numbers. *)
+
+type geometry = {
+  entries : int;
+  partition_bits : int;  (** CAM portion *)
+  thread_bits : int;  (** RAM portion *)
+  counter_bits : int;  (** RAM portion *)
+}
+
+(** The paper's configuration: 128 × (30 CAM + 6 + 6 RAM). *)
+val paper_geometry : geometry
+
+(** Geometry needed for a given deployment. [max_outstanding_writes]
+    sizes the counter; [n_threads] the thread id; [n_partitions] the
+    partition tag. Entry count rounds up to a power of two with
+    [headroom] multiplicative slack (default 1.4, the paper's
+    overprovisioning for transient bursts). *)
+val size_for :
+  ?headroom:float -> n_partitions:int -> n_threads:int -> max_outstanding_writes:int ->
+  unit -> geometry
+
+val area_mm2 : geometry -> float
+val dynamic_power_mw : geometry -> float
+
+(** Fraction of a [chip_watts] (default 280 W) server chip's power. *)
+val power_fraction : ?chip_watts:float -> geometry -> float
+
+val pp : Format.formatter -> geometry -> unit

@@ -1,0 +1,33 @@
+type t = {
+  cap : int;
+  mutable current : int;
+  mutable ok_n : int;
+  mutable drop_n : int;
+}
+
+let create ~max_outstanding =
+  if max_outstanding <= 0 then invalid_arg "Flow_control.create";
+  { cap = max_outstanding; current = 0; ok_n = 0; drop_n = 0 }
+
+let admit t =
+  if t.current < t.cap then begin
+    t.current <- t.current + 1;
+    t.ok_n <- t.ok_n + 1;
+    true
+  end
+  else begin
+    t.drop_n <- t.drop_n + 1;
+    false
+  end
+
+let release t =
+  if t.current <= 0 then invalid_arg "Flow_control.release: nothing in flight";
+  t.current <- t.current - 1
+
+let in_flight t = t.current
+let admitted t = t.ok_n
+let rejected t = t.drop_n
+
+let drop_rate t =
+  let total = t.ok_n + t.drop_n in
+  if total = 0 then 0.0 else float_of_int t.drop_n /. float_of_int total

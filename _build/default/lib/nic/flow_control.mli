@@ -1,0 +1,23 @@
+(** NIC-level admission control (Sec. 4.2, 7.2): when request arrival
+    outstrips processing, the transport throttles or drops instead of
+    queueing unboundedly. Modelled as a cap on in-flight requests —
+    arrivals beyond the cap are rejected and counted. Fig. 11b's service-
+    time plateau past saturation comes from this mechanism. *)
+
+type t
+
+(** [create ~max_outstanding]. *)
+val create : max_outstanding:int -> t
+
+(** Try to admit one request; false = dropped. *)
+val admit : t -> bool
+
+(** One request left the system. *)
+val release : t -> unit
+
+val in_flight : t -> int
+val admitted : t -> int
+val rejected : t -> int
+
+(** Fraction rejected so far. *)
+val drop_rate : t -> float

@@ -1,0 +1,71 @@
+type layout = { opcode_offset : int; key_offset : int; key_length : int }
+
+let default_layout = { opcode_offset = 0; key_offset = 1; key_length = 8 }
+
+type t = { layout : layout; n_buckets : int; n_partitions : int }
+
+let register ~layout ~n_buckets ~n_partitions =
+  if layout.key_length < 1 || layout.key_length > 8 then
+    invalid_arg "Header.register: key_length must be in 1..8";
+  if n_buckets <= 0 || n_partitions <= 0 then invalid_arg "Header.register";
+  { layout; n_buckets; n_partitions }
+
+type parsed = { op : [ `Read | `Write ]; key : int; partition : int }
+
+(* Same mix as C4_kvs.Hash.mix_int; duplicated numerically (not as a
+   dependency) because the NIC and KVS are distinct subsystems that
+   must merely agree on f() — which this constant layout guarantees. *)
+let mix_int key =
+  let z = Int64.of_int key in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int z land ((1 lsl 62) - 1)
+
+let partition_of_key t key =
+  let bucket = mix_int key mod t.n_buckets in
+  if t.n_partitions >= t.n_buckets then bucket mod t.n_partitions
+  else bucket * t.n_partitions / t.n_buckets
+
+let read_key_le packet ~offset ~length =
+  let v = ref 0L in
+  for i = length - 1 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code (Bytes.get packet (offset + i))))
+  done;
+  Int64.to_int !v
+
+let write_key_le packet ~offset ~length key =
+  let v = ref (Int64.of_int key) in
+  for i = 0 to length - 1 do
+    Bytes.set packet (offset + i) (Char.chr (Int64.to_int (Int64.logand !v 0xFFL)));
+    v := Int64.shift_right_logical !v 8
+  done
+
+let layout t = t.layout
+
+let header_size t =
+  max (t.layout.opcode_offset + 1) (t.layout.key_offset + t.layout.key_length)
+
+let parse t packet =
+  let { opcode_offset; key_offset; key_length } = t.layout in
+  let needed = max (opcode_offset + 1) (key_offset + key_length) in
+  if Bytes.length packet < needed then
+    Error
+      (Printf.sprintf "short packet: %d bytes, need %d" (Bytes.length packet) needed)
+  else begin
+    match Char.code (Bytes.get packet opcode_offset) with
+    | 0 | 1 ->
+      let op = if Bytes.get packet opcode_offset = '\000' then `Read else `Write in
+      let key = read_key_le packet ~offset:key_offset ~length:key_length in
+      Ok { op; key; partition = partition_of_key t key }
+    | c -> Error (Printf.sprintf "unknown opcode %d" c)
+  end
+
+let encode t ~op ~key ~value =
+  let { opcode_offset; key_offset; key_length } = t.layout in
+  let header_end = max (opcode_offset + 1) (key_offset + key_length) in
+  let packet = Bytes.make (header_end + Bytes.length value) '\000' in
+  Bytes.set packet opcode_offset (match op with `Read -> '\000' | `Write -> '\001');
+  write_key_le packet ~offset:key_offset ~length:key_length key;
+  Bytes.blit value 0 packet header_end (Bytes.length value);
+  packet

@@ -1,0 +1,43 @@
+(** Fixed-format application header parsing (Sec. 5.1).
+
+    d-CREW needs the NIC to recover (request type, key) from each
+    packet's application-level header. The KVS registers the field
+    geometry — offsets and lengths within the payload — during the setup
+    phase (the ioctl analogue here is {!register}), plus the number of
+    hash buckets so the NIC can compute the same key→partition function
+    as the software.
+
+    The wire format modelled is the simple fixed layout of MICA/eRPC
+    requests:
+
+    {v offset 0: opcode (1 B; 0 = GET, 1 = SET)
+       offset [key_offset]: key ([key_length] <= 8 B, little endian)
+       remainder: value v} *)
+
+type layout = {
+  opcode_offset : int;
+  key_offset : int;
+  key_length : int;  (** 1..8 bytes *)
+}
+
+val default_layout : layout
+
+type t
+
+(** NIC-side parser state, configured once at setup time. *)
+val register : layout:layout -> n_buckets:int -> n_partitions:int -> t
+
+type parsed = { op : [ `Read | `Write ]; key : int; partition : int }
+
+(** Parse a packet; [Error] on short packets or unknown opcodes. *)
+val parse : t -> bytes -> (parsed, string) result
+
+(** The registered layout. *)
+val layout : t -> layout
+
+(** Bytes occupied by the fixed header; the value starts here. *)
+val header_size : t -> int
+
+(** Encode a request into a packet (client-side helper used by tests and
+    examples; round-trips with {!parse}). *)
+val encode : t -> op:[ `Read | `Write ] -> key:int -> value:bytes -> bytes

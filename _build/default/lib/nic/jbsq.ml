@@ -1,0 +1,43 @@
+type t = { counts : int array; k : int; mutable next : int }
+
+let create ~n_workers ~bound =
+  if n_workers <= 0 || bound < 1 then invalid_arg "Jbsq.create";
+  { counts = Array.make n_workers 0; k = bound; next = 0 }
+
+let n_workers t = Array.length t.counts
+let bound t = t.k
+
+(* Ties break round-robin (a rotating hardware arbiter), not to the
+   lowest index — otherwise low-numbered workers systematically absorb
+   more load below saturation. *)
+let try_dispatch_range t ~lo ~hi =
+  if lo < 0 || hi > Array.length t.counts || lo >= hi then
+    invalid_arg "Jbsq.try_dispatch_range";
+  let span = hi - lo in
+  let best = ref (-1) and best_count = ref max_int in
+  for offset = 0 to span - 1 do
+    (* Positive modulo: t.next may lie outside [lo, hi). *)
+    let i = lo + (((((t.next - lo + offset) mod span) + span) mod span)) in
+    let c = t.counts.(i) in
+    if c < t.k && c < !best_count then begin
+      best := i;
+      best_count := c
+    end
+  done;
+  if !best < 0 then None
+  else begin
+    t.counts.(!best) <- t.counts.(!best) + 1;
+    t.next <- (!best + 1) mod Array.length t.counts;
+    Some !best
+  end
+
+let try_dispatch t = try_dispatch_range t ~lo:0 ~hi:(Array.length t.counts)
+
+let dispatch_to t w = t.counts.(w) <- t.counts.(w) + 1
+
+let complete t w =
+  if t.counts.(w) <= 0 then invalid_arg "Jbsq.complete: worker has no in-flight requests";
+  t.counts.(w) <- t.counts.(w) - 1
+
+let occupancy t w = t.counts.(w)
+let has_slot t w = t.counts.(w) < t.k

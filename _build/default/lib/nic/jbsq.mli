@@ -1,0 +1,40 @@
+(** Join-Bounded-Shortest-Queue dispatcher, JBSQ(k) (R2P2 / NeBuLa).
+
+    Approximates a single-queue system while keeping per-worker queues
+    short: each worker may have at most [k] requests on its private
+    (NIC-to-core) queue; surplus requests wait in the NIC's central
+    queue and are handed out as workers drain. The paper uses JBSQ(2).
+
+    This module tracks only occupancy counts and choice logic — the
+    actual request objects live in the server model's queues. *)
+
+type t
+
+(** [create ~n_workers ~bound] with [bound = k >= 1]. *)
+val create : n_workers:int -> bound:int -> t
+
+val n_workers : t -> int
+val bound : t -> int
+
+(** Pick the least-loaded worker with a free slot, if any, and charge
+    the slot. Ties break round-robin from the last dispatch point
+    (deterministic, unbiased). *)
+val try_dispatch : t -> int option
+
+(** Same, restricted to workers in [lo, hi) — class-partitioned
+    balancing (e.g. size-aware reservations). *)
+val try_dispatch_range : t -> lo:int -> hi:int -> int option
+
+(** Charge a slot on a specific worker regardless of the bound — used
+    for partitioned (hashed or EWT-pinned) requests, which bypass
+    balancing and may exceed [k]. *)
+val dispatch_to : t -> int -> unit
+
+(** A worker finished one request: release its slot. *)
+val complete : t -> int -> unit
+
+(** Worker occupancy (in-flight + queued at that worker). *)
+val occupancy : t -> int -> int
+
+(** True when the worker has a free balanced slot. *)
+val has_slot : t -> int -> bool

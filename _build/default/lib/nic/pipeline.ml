@@ -1,0 +1,186 @@
+type params = { t_parse : float; t_ewt : float; t_jbsq : float }
+
+let default_params = { t_parse = 0.5; t_ewt = 0.5; t_jbsq = 0.5 }
+
+type pending = { p_op : [ `Read | `Write ]; p_partition : int }
+
+type t = {
+  params : params;
+  header : Header.t;
+  ewt_ : Ewt.t;
+  jbsq : Jbsq.t;
+  flow : Flow_control.t;
+  central : pending Queue.t;
+  mutable decisions_n : int;
+  mutable pinned_n : int;
+  mutable balanced_n : int;
+  mutable parse_err_n : int;
+  mutable overload_n : int;
+  mutable ewt_full_n : int;
+}
+
+let create ?(params = default_params) ~header ~n_workers ~jbsq_bound ~ewt_capacity
+    ~max_outstanding () =
+  {
+    params;
+    header;
+    ewt_ = Ewt.create ~capacity:ewt_capacity ();
+    jbsq = Jbsq.create ~n_workers ~bound:jbsq_bound;
+    flow = Flow_control.create ~max_outstanding;
+    central = Queue.create ();
+    decisions_n = 0;
+    pinned_n = 0;
+    balanced_n = 0;
+    parse_err_n = 0;
+    overload_n = 0;
+    ewt_full_n = 0;
+  }
+
+type decision = {
+  worker : int option;
+  pinned : bool;
+  op : [ `Read | `Write ];
+  partition : int;
+  latency : float;
+}
+
+type reject = [ `Bad_packet of string | `Overload | `Ewt_exhausted ]
+
+let stage_latency t ~stages =
+  let { t_parse; t_ewt; t_jbsq } = t.params in
+  match stages with
+  | `Parse_only -> t_parse
+  | `No_ewt -> t_parse +. t_jbsq
+  | `All -> t_parse +. t_ewt +. t_jbsq
+  | `Ewt_hit -> t_parse +. t_ewt
+
+(* Stage 2+3 for a request already parsed; shared by admit and the
+   central-queue pull so both paths make identical choices. Dropped
+   requests release their flow-control slot (they were admitted). *)
+let route t (p : pending) =
+  match p.p_op with
+  | `Read -> (
+    match Jbsq.try_dispatch t.jbsq with
+    | Some worker ->
+      t.balanced_n <- t.balanced_n + 1;
+      t.decisions_n <- t.decisions_n + 1;
+      Ok
+        (Some
+           {
+             worker = Some worker;
+             pinned = false;
+             op = p.p_op;
+             partition = p.p_partition;
+             latency = stage_latency t ~stages:`No_ewt;
+           })
+    | None ->
+      Queue.push p t.central;
+      Ok None)
+  | `Write -> (
+    match Ewt.lookup t.ewt_ ~partition:p.p_partition with
+    | Some owner -> (
+      match Ewt.note_write t.ewt_ ~partition:p.p_partition ~thread:owner with
+      | `Ok ->
+        Jbsq.dispatch_to t.jbsq owner;
+        t.pinned_n <- t.pinned_n + 1;
+        t.decisions_n <- t.decisions_n + 1;
+        Ok
+          (Some
+             {
+               worker = Some owner;
+               pinned = true;
+               op = p.p_op;
+               partition = p.p_partition;
+               latency = stage_latency t ~stages:`Ewt_hit;
+             })
+      | `Full | `Counter_saturated ->
+        t.ewt_full_n <- t.ewt_full_n + 1;
+        Flow_control.release t.flow;
+        Error `Ewt_exhausted)
+    | None -> (
+      match Jbsq.try_dispatch t.jbsq with
+      | Some worker -> (
+        match Ewt.note_write t.ewt_ ~partition:p.p_partition ~thread:worker with
+        | `Ok ->
+          t.balanced_n <- t.balanced_n + 1;
+          t.decisions_n <- t.decisions_n + 1;
+          Ok
+            (Some
+               {
+                 worker = Some worker;
+                 pinned = false;
+                 op = p.p_op;
+                 partition = p.p_partition;
+                 latency = stage_latency t ~stages:`All;
+               })
+        | `Full | `Counter_saturated ->
+          Jbsq.complete t.jbsq worker;
+          t.ewt_full_n <- t.ewt_full_n + 1;
+          Flow_control.release t.flow;
+          Error `Ewt_exhausted)
+      | None ->
+        Queue.push p t.central;
+        Ok None))
+
+let admit t packet =
+  match Header.parse t.header packet with
+  | Error msg ->
+    t.parse_err_n <- t.parse_err_n + 1;
+    Error (`Bad_packet msg)
+  | Ok parsed ->
+    if not (Flow_control.admit t.flow) then begin
+      t.overload_n <- t.overload_n + 1;
+      Error `Overload
+    end
+    else begin
+      let pending = { p_op = parsed.Header.op; p_partition = parsed.Header.partition } in
+      match route t pending with
+      | Ok (Some d) -> Ok d
+      | Ok None ->
+        Ok
+          {
+            worker = None;
+            pinned = false;
+            op = parsed.Header.op;
+            partition = parsed.Header.partition;
+            latency = stage_latency t ~stages:`Parse_only;
+          }
+      | Error (`Ewt_exhausted as e) -> Error e
+    end
+
+let complete t ~worker ~partition ~was_write =
+  Jbsq.complete t.jbsq worker;
+  Flow_control.release t.flow;
+  if was_write then Ewt.note_response t.ewt_ ~partition;
+  (* The freed slot may admit the central queue's head. *)
+  if Queue.is_empty t.central then None
+  else begin
+    let p = Queue.pop t.central in
+    match route t p with
+    | Ok (Some d) -> Some d
+    | Ok None -> None (* re-queued: still nowhere to go *)
+    | Error `Ewt_exhausted -> None
+  end
+
+let central_depth t = Queue.length t.central
+
+type stats = {
+  decisions : int;
+  pinned_count : int;
+  balanced : int;
+  parse_errors : int;
+  overloads : int;
+  ewt_exhausted : int;
+}
+
+let stats t =
+  {
+    decisions = t.decisions_n;
+    pinned_count = t.pinned_n;
+    balanced = t.balanced_n;
+    parse_errors = t.parse_err_n;
+    overloads = t.overload_n;
+    ewt_exhausted = t.ewt_full_n;
+  }
+
+let ewt t = t.ewt_

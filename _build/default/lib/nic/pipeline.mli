@@ -1,0 +1,76 @@
+(** The modified NIC load-balancing pipeline of Fig. 8.
+
+    Incoming RPCs flow through three hardware stages:
+
+    1. {b KVS header extraction} — parse opcode and key, compute the
+       partition with the registered f();
+    2. {b EWT} — writes look up the Exclusive Writer Table: a hit pins
+       the request to the owning thread and bumps the outstanding
+       counter, a miss lets stage 3 decide and then installs a mapping;
+    3. {b JBSQ} — balanceable requests join the least-loaded queue
+       below the bound, or wait in the NIC's central queue.
+
+    Each stage has a latency (sub-ns at the paper's 2 GHz pipeline);
+    the composite per-decision latency feeds timing-sensitive studies,
+    and the stage counters feed the occupancy/fallback statistics.
+
+    This module binds the previously independent pieces — {!Header},
+    {!Ewt}, {!Jbsq}, {!Flow_control} — into the exact decision procedure
+    the simulated server implements, so tests can cross-check both
+    against each other packet by packet. *)
+
+type params = {
+  t_parse : float;  (** ns, stage 1 *)
+  t_ewt : float;  (** ns, stage 2 *)
+  t_jbsq : float;  (** ns, stage 3 *)
+}
+
+(** 0.5 ns per stage: one 2 GHz pipeline beat each. *)
+val default_params : params
+
+type t
+
+val create :
+  ?params:params ->
+  header:Header.t ->
+  n_workers:int ->
+  jbsq_bound:int ->
+  ewt_capacity:int ->
+  max_outstanding:int ->
+  unit ->
+  t
+
+type decision = {
+  worker : int option;  (** [None] = held in the NIC's central queue *)
+  pinned : bool;  (** routed by an EWT mapping *)
+  op : [ `Read | `Write ];
+  partition : int;
+  latency : float;  (** summed stage latencies for this decision *)
+}
+
+type reject = [ `Bad_packet of string | `Overload | `Ewt_exhausted ]
+
+(** Push one packet through the pipeline. *)
+val admit : t -> bytes -> (decision, reject) result
+
+(** A worker finished a request for [partition]; [was_write] releases
+    the EWT counter, and the freed JBSQ slot may pull the next central-
+    queue decision, returned so the caller can dispatch it. *)
+val complete : t -> worker:int -> partition:int -> was_write:bool -> decision option
+
+(** Queue the NIC holds when all workers are at the JBSQ bound. *)
+val central_depth : t -> int
+
+type stats = {
+  decisions : int;
+  pinned_count : int;
+  balanced : int;
+  parse_errors : int;
+  overloads : int;
+  ewt_exhausted : int;
+}
+
+val stats : t -> stats
+
+(** Underlying EWT (occupancy statistics etc.). *)
+val ewt : t -> Ewt.t

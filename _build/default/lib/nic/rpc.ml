@@ -1,0 +1,93 @@
+module Fifo = C4_dsim.Fifo
+
+type rpc = {
+  rpc_id : int;
+  sender : int;
+  parsed : Header.parsed;
+  payload : bytes;
+  buffer : int;
+}
+
+type response = {
+  resp_rpc_id : int;
+  resp_to : int;
+  resp_value : bytes option;
+  released_exclusive : bool;
+}
+
+type t = {
+  header : Header.t;
+  queues : rpc Fifo.t array;
+  free_buffers : int Stack.t;
+  live_buffers : (int, unit) Hashtbl.t;
+  mutable next_rpc_id : int;
+  mutable responses_rev : response list;
+}
+
+let create ~n_threads ~n_buffers ~header =
+  if n_threads <= 0 || n_buffers <= 0 then invalid_arg "Rpc.create";
+  let free_buffers = Stack.create () in
+  for i = n_buffers - 1 downto 0 do
+    Stack.push i free_buffers
+  done;
+  {
+    header;
+    queues = Array.init n_threads (fun _ -> Fifo.create ());
+    free_buffers;
+    live_buffers = Hashtbl.create n_buffers;
+    next_rpc_id = 0;
+    responses_rev = [];
+  }
+
+(* Everything past the fixed header is the value. *)
+let value_of_packet header packet =
+  let header_end = Header.header_size header in
+  if Bytes.length packet <= header_end then Bytes.empty
+  else Bytes.sub packet header_end (Bytes.length packet - header_end)
+
+let deliver t ~thread ~sender packet =
+  match Header.parse t.header packet with
+  | Error msg -> Error (`Bad_packet msg)
+  | Ok parsed ->
+    if Stack.is_empty t.free_buffers then Error `No_buffers
+    else begin
+      let buffer = Stack.pop t.free_buffers in
+      Hashtbl.replace t.live_buffers buffer ();
+      let payload =
+        match parsed.Header.op with
+        | `Write -> value_of_packet t.header packet
+        | `Read -> Bytes.empty
+      in
+      let rpc = { rpc_id = t.next_rpc_id; sender; parsed; payload; buffer } in
+      t.next_rpc_id <- t.next_rpc_id + 1;
+      Fifo.push t.queues.(thread) rpc;
+      Ok rpc
+    end
+
+let poll t ~thread = Fifo.pop t.queues.(thread)
+
+let scan t ~thread ~depth ~f = Fifo.scan t.queues.(thread) ~depth ~f
+
+let take_matching_writes t ~thread ~depth ~key =
+  Fifo.extract t.queues.(thread) ~depth ~f:(fun rpc ->
+      rpc.parsed.Header.op = `Write && rpc.parsed.Header.key = key)
+
+let respond t rpc ?value ~release_exclusive () =
+  if not (Hashtbl.mem t.live_buffers rpc.buffer) then
+    invalid_arg "Rpc.respond: buffer already freed (double completion)";
+  Hashtbl.remove t.live_buffers rpc.buffer;
+  Stack.push rpc.buffer t.free_buffers;
+  let response =
+    {
+      resp_rpc_id = rpc.rpc_id;
+      resp_to = rpc.sender;
+      resp_value = value;
+      released_exclusive = release_exclusive;
+    }
+  in
+  t.responses_rev <- response :: t.responses_rev;
+  response
+
+let responses t = List.rev t.responses_rev
+let buffers_free t = Stack.length t.free_buffers
+let queue_length t ~thread = Fifo.length t.queues.(thread)

@@ -1,0 +1,71 @@
+(** NeBuLa-style RPC layer model (Sec. 5.1, 5.3).
+
+    Captures the pieces of the NeBuLa stack C-4 modifies:
+
+    - a preallocated buffer pool managed by the NIC and freed by the RPC
+      layer;
+    - per-thread receive queues (queue pairs) the NIC appends parsed
+      requests to;
+    - a response path whose send function carries one extra argument —
+      [release_exclusive] — telling the NIC to decrement the EWT counter
+      for the request's partition (the Sec. 5.1 interface extension);
+    - the queue-scan hook ([scan], Sec. 5.3) letting the compaction layer
+      apply a function to each valid incoming request, BPF-style.
+
+    It is a functional model: no real sockets, but real accounting, so
+    buffer leaks and double-frees in the layers above become test
+    failures. *)
+
+type t
+
+(** An RPC in flight: parsed request plus transport metadata. *)
+type rpc = {
+  rpc_id : int;
+  sender : int;  (** client node id for the response *)
+  parsed : Header.parsed;
+  payload : bytes;  (** value bytes for writes; empty for reads *)
+  buffer : int;  (** buffer-pool slot owning this RPC's packet *)
+}
+
+type response = {
+  resp_rpc_id : int;
+  resp_to : int;
+  resp_value : bytes option;
+  released_exclusive : bool;
+}
+
+(** [create ~n_threads ~n_buffers ~header] builds the stack; [header]
+    is the registered parser from the setup phase. *)
+val create : n_threads:int -> n_buffers:int -> header:Header.t -> t
+
+(** NIC ingress: parse a raw packet from [sender] and append the RPC to
+    [thread]'s queue. [Error `No_buffers] models pool exhaustion;
+    [Error (`Bad_packet _)] a parse failure (packet dropped, buffer not
+    consumed). *)
+val deliver :
+  t ->
+  thread:int ->
+  sender:int ->
+  bytes ->
+  (rpc, [ `No_buffers | `Bad_packet of string ]) result
+
+(** Thread-side: pop the next RPC from this thread's queue. *)
+val poll : t -> thread:int -> rpc option
+
+(** Sec. 5.3's lambda interface: visit up to [depth] queued RPCs of
+    [thread] without consuming them. *)
+val scan : t -> thread:int -> depth:int -> f:(rpc -> unit) -> unit
+
+(** Extract queued writes to [key] from the first [depth] slots (the
+    compaction layer's dependent-write harvest). *)
+val take_matching_writes : t -> thread:int -> depth:int -> key:int -> rpc list
+
+(** Send a response and free the RPC's buffer. [release_exclusive]
+    mirrors C-4's extended send signature. Double-completion raises. *)
+val respond : t -> rpc -> ?value:bytes -> release_exclusive:bool -> unit -> response
+
+(** All responses sent, in order (test observation point). *)
+val responses : t -> response list
+
+val buffers_free : t -> int
+val queue_length : t -> thread:int -> int

@@ -1,0 +1,99 @@
+type state = {
+  mutable n_threads : int option;
+  mutable n_buffers : int option;
+  mutable layout : Header.layout option;
+  mutable index : (int * int) option;
+  mutable active : bool;
+}
+
+type t = state
+
+type error =
+  [ `Already_active
+  | `Invalid_layout of string
+  | `Invalid of string
+  | `Not_ready of string list ]
+
+let error_to_string = function
+  | `Already_active -> "setup already completed"
+  | `Invalid_layout m -> "invalid header layout: " ^ m
+  | `Invalid m -> "invalid argument: " ^ m
+  | `Not_ready missing -> "not ready, missing: " ^ String.concat ", " missing
+
+let create () =
+  { n_threads = None; n_buffers = None; layout = None; index = None; active = false }
+
+let guard_inactive t f = if t.active then Error `Already_active else f ()
+
+let register_queues t ~n_threads =
+  guard_inactive t (fun () ->
+      if n_threads <= 0 || n_threads > 4096 then Error (`Invalid "n_threads out of range")
+      else begin
+        t.n_threads <- Some n_threads;
+        Ok ()
+      end)
+
+let register_buffers t ~n_buffers =
+  guard_inactive t (fun () ->
+      if n_buffers <= 0 then Error (`Invalid "n_buffers must be positive")
+      else begin
+        t.n_buffers <- Some n_buffers;
+        Ok ()
+      end)
+
+let register_layout t layout =
+  guard_inactive t (fun () ->
+      if layout.Header.key_length < 1 || layout.Header.key_length > 8 then
+        Error (`Invalid_layout "key_length must be in 1..8")
+      else if layout.Header.opcode_offset < 0 || layout.Header.key_offset < 0 then
+        Error (`Invalid_layout "negative field offset")
+      else if
+        (* Fields must not overlap: the opcode byte may not fall inside
+           the key field. *)
+        layout.Header.opcode_offset >= layout.Header.key_offset
+        && layout.Header.opcode_offset < layout.Header.key_offset + layout.Header.key_length
+      then Error (`Invalid_layout "opcode overlaps key field")
+      else begin
+        t.layout <- Some layout;
+        Ok ()
+      end)
+
+let register_index t ~n_buckets ~n_partitions =
+  guard_inactive t (fun () ->
+      if n_buckets <= 0 || n_partitions <= 0 then
+        Error (`Invalid "index sizes must be positive")
+      else if n_partitions > n_buckets then
+        Error (`Invalid "more partitions than buckets")
+      else begin
+        t.index <- Some (n_buckets, n_partitions);
+        Ok ()
+      end)
+
+let missing t =
+  List.filter_map
+    (fun (name, present) -> if present then None else Some name)
+    [
+      ("queues", t.n_threads <> None);
+      ("buffers", t.n_buffers <> None);
+      ("header layout", t.layout <> None);
+      ("index geometry", t.index <> None);
+    ]
+
+let is_active t = t.active
+
+let activate t =
+  if t.active then Error `Already_active
+  else begin
+    match missing t with
+    | [] ->
+      let layout = Option.get t.layout in
+      let n_buckets, n_partitions = Option.get t.index in
+      let header = Header.register ~layout ~n_buckets ~n_partitions in
+      let rpc =
+        Rpc.create ~n_threads:(Option.get t.n_threads) ~n_buffers:(Option.get t.n_buffers)
+          ~header
+      in
+      t.active <- true;
+      Ok (header, rpc)
+    | steps -> Error (`Not_ready steps)
+  end

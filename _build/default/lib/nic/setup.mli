@@ -1,0 +1,41 @@
+(** NeBuLa setup phase (Sec. 5.1).
+
+    Before traffic flows, the KVS configures the NIC through ioctl-like
+    calls: it registers its receive queues and packet buffers, describes
+    the application header's field geometry (so d-CREW can extract key
+    and request type), and communicates the bucket count behind f().
+    Only a fully configured NIC activates; this module is that state
+    machine, with the validation a driver would perform. *)
+
+type t
+
+val create : unit -> t
+
+type error =
+  [ `Already_active
+  | `Invalid_layout of string
+  | `Invalid of string
+  | `Not_ready of string list  (** missing steps *) ]
+
+val error_to_string : error -> string
+
+(** Register [n] receive queues (one per worker thread). *)
+val register_queues : t -> n_threads:int -> (unit, error) result
+
+(** Preallocate the NIC-managed packet buffer pool. *)
+val register_buffers : t -> n_buffers:int -> (unit, error) result
+
+(** Describe the application header (offsets/lengths, Sec. 5.1). *)
+val register_layout : t -> Header.layout -> (unit, error) result
+
+(** Communicate the index geometry behind f(). *)
+val register_index : t -> n_buckets:int -> n_partitions:int -> (unit, error) result
+
+(** Activate: all four registrations must have happened. On success the
+    NIC hands back the configured parser and the RPC stack. *)
+val activate : t -> (Header.t * Rpc.t, error) result
+
+val is_active : t -> bool
+
+(** Steps still missing before activation. *)
+val missing : t -> string list

@@ -1,0 +1,1 @@
+lib/runtime/channel.ml: Condition List Mutex Queue

@@ -1,0 +1,1 @@
+lib/runtime/promise.ml: Condition Mutex

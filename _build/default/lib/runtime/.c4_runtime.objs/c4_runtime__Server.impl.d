@@ -1,0 +1,1 @@
+lib/runtime/server.ml: Array C4_kvs Channel Domain List Mutex Promise

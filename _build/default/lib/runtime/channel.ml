@@ -1,0 +1,70 @@
+type 'a t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : 'a Queue.t;
+  mutable closed : bool;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    queue = Queue.create ();
+    closed = false;
+  }
+
+let push t v =
+  Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Channel.push: closed"
+  end;
+  Queue.push v t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.mutex
+
+let pop t =
+  Mutex.lock t.mutex;
+  let rec wait () =
+    if not (Queue.is_empty t.queue) then begin
+      let v = Queue.pop t.queue in
+      Mutex.unlock t.mutex;
+      Some v
+    end
+    else if t.closed then begin
+      Mutex.unlock t.mutex;
+      None
+    end
+    else begin
+      Condition.wait t.nonempty t.mutex;
+      wait ()
+    end
+  in
+  wait ()
+
+let try_pop t =
+  Mutex.lock t.mutex;
+  let v = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+  Mutex.unlock t.mutex;
+  v
+
+let drain_matching t ~f =
+  Mutex.lock t.mutex;
+  let kept = Queue.create () and matched = ref [] in
+  Queue.iter (fun v -> if f v then matched := v :: !matched else Queue.push v kept) t.queue;
+  Queue.clear t.queue;
+  Queue.transfer kept t.queue;
+  Mutex.unlock t.mutex;
+  List.rev !matched
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  n
+
+let close t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex

@@ -1,0 +1,28 @@
+(** Multi-producer single-consumer channel backing each worker's request
+    queue. Besides pop, the consumer can drain every queued element
+    matching a predicate — the compaction layer's dependent-write
+    harvest, done under the same lock so producers never observe a
+    half-drained queue. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** Producer side; wakes a blocked consumer. *)
+val push : 'a t -> 'a -> unit
+
+(** Consumer side: block until an element is available.
+    Returns [None] after {!close} once the queue drains. *)
+val pop : 'a t -> 'a option
+
+(** Nonblocking pop. *)
+val try_pop : 'a t -> 'a option
+
+(** Remove and return (in order) every queued element satisfying [f]. *)
+val drain_matching : 'a t -> f:('a -> bool) -> 'a list
+
+val length : 'a t -> int
+
+(** Close the channel: producers may no longer push; the consumer sees
+    [None] after the backlog drains. *)
+val close : 'a t -> unit

@@ -1,0 +1,37 @@
+type 'a t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable value : 'a option;
+}
+
+let create () = { mutex = Mutex.create (); cond = Condition.create (); value = None }
+
+let fulfil t v =
+  Mutex.lock t.mutex;
+  (match t.value with
+  | Some _ ->
+    Mutex.unlock t.mutex;
+    invalid_arg "Promise.fulfil: already fulfilled"
+  | None ->
+    t.value <- Some v;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex)
+
+let await t =
+  Mutex.lock t.mutex;
+  let rec wait () =
+    match t.value with
+    | Some v ->
+      Mutex.unlock t.mutex;
+      v
+    | None ->
+      Condition.wait t.cond t.mutex;
+      wait ()
+  in
+  wait ()
+
+let peek t =
+  Mutex.lock t.mutex;
+  let v = t.value in
+  Mutex.unlock t.mutex;
+  v

@@ -1,0 +1,16 @@
+(** One-shot blocking promise for cross-domain replies: the worker
+    fulfils, the client blocks. Monitor-style (mutex + condition) so a
+    waiting client yields its core instead of spinning. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** Fulfil the promise; raises [Invalid_argument] on double fulfilment. *)
+val fulfil : 'a t -> 'a -> unit
+
+(** Block until fulfilled and return the value. *)
+val await : 'a t -> 'a
+
+(** Nonblocking poll. *)
+val peek : 'a t -> 'a option

@@ -1,0 +1,183 @@
+module Store = C4_kvs.Store
+
+type op =
+  | Get of int * bytes option Promise.t
+  | Set of int * bytes * unit Promise.t
+
+type worker_state = {
+  channel : op Channel.t;
+  mutable ops : int;
+  mutable writes_n : int;
+  mutable batches : int;
+  mutable batched_writes : int;
+  mutable retries : int;
+}
+
+type config = {
+  n_workers : int;
+  n_buckets : int;
+  n_partitions : int;
+  compaction : bool;
+  max_batch : int;
+}
+
+let default_config =
+  { n_workers = 4; n_buckets = 4096; n_partitions = 256; compaction = true; max_batch = 64 }
+
+type t = {
+  cfg : config;
+  store : Store.t;
+  workers : worker_state array;
+  domains : unit Domain.t array;
+  mutable next_reader : int;
+  reader_lock : Mutex.t;
+  mutable stopped : bool;
+}
+
+let owner_of_key t key = Store.partition_of_key t.store key mod t.cfg.n_workers
+
+let is_set_to key = function Set (k, _, _) -> k = key | Get _ -> false
+
+(* Worker loop: CREW writes for owned partitions, balanced reads, and
+   the compaction fast path — pop a write, harvest every queued write to
+   the same key, apply one batched update, answer all of them. *)
+let worker_loop cfg store (w : worker_state) =
+  let rec loop () =
+    match Channel.pop w.channel with
+    | None -> ()
+    | Some (Get (key, promise)) ->
+      let value, retries = Store.get store ~key in
+      w.retries <- w.retries + retries;
+      w.ops <- w.ops + 1;
+      Promise.fulfil promise value;
+      loop ()
+    | Some (Set (key, value, promise)) ->
+      if cfg.compaction then begin
+        let dependents = Channel.drain_matching w.channel ~f:(is_set_to key) in
+        let dependents =
+          if List.length dependents > cfg.max_batch - 1 then begin
+            (* Put the overflow back in order; rare, but the window must
+               stay bounded. *)
+            let keep, overflow =
+              List.filteri (fun i _ -> i < cfg.max_batch - 1) dependents,
+              List.filteri (fun i _ -> i >= cfg.max_batch - 1) dependents
+            in
+            List.iter (Channel.push w.channel) overflow;
+            keep
+          end
+          else dependents
+        in
+        match dependents with
+        | [] ->
+          Store.set store ~key ~value;
+          w.ops <- w.ops + 1;
+          w.writes_n <- w.writes_n + 1;
+          Promise.fulfil promise ();
+          loop ()
+        | _ :: _ ->
+          let values =
+            value :: List.map (function Set (_, v, _) -> v | Get _ -> assert false) dependents
+          in
+          Store.set_batched store ~key ~values;
+          let n = List.length values in
+          w.ops <- w.ops + n;
+          w.writes_n <- w.writes_n + n;
+          w.batches <- w.batches + 1;
+          w.batched_writes <- w.batched_writes + n;
+          (* Deferred responses: nothing was acknowledged before the
+             combined update hit the store. *)
+          Promise.fulfil promise ();
+          List.iter
+            (function Set (_, _, p) -> Promise.fulfil p () | Get _ -> assert false)
+            dependents;
+          loop ()
+      end
+      else begin
+        Store.set store ~key ~value;
+        w.ops <- w.ops + 1;
+        w.writes_n <- w.writes_n + 1;
+        Promise.fulfil promise ();
+        loop ()
+      end
+  in
+  loop ()
+
+let start cfg =
+  if cfg.n_workers < 1 then invalid_arg "Server.start: n_workers";
+  if cfg.max_batch < 1 then invalid_arg "Server.start: max_batch";
+  let store = Store.create ~n_buckets:cfg.n_buckets ~n_partitions:cfg.n_partitions () in
+  let workers =
+    Array.init cfg.n_workers (fun _ ->
+        {
+          channel = Channel.create ();
+          ops = 0;
+          writes_n = 0;
+          batches = 0;
+          batched_writes = 0;
+          retries = 0;
+        })
+  in
+  let domains =
+    Array.map (fun w -> Domain.spawn (fun () -> worker_loop cfg store w)) workers
+  in
+  {
+    cfg;
+    store;
+    workers;
+    domains;
+    next_reader = 0;
+    reader_lock = Mutex.create ();
+    stopped = false;
+  }
+
+let submit t ~worker op =
+  if t.stopped then invalid_arg "Server: stopped";
+  Channel.push t.workers.(worker).channel op
+
+let pick_reader t =
+  Mutex.lock t.reader_lock;
+  let r = t.next_reader in
+  t.next_reader <- (r + 1) mod t.cfg.n_workers;
+  Mutex.unlock t.reader_lock;
+  r
+
+let get_async t ~key =
+  let promise = Promise.create () in
+  submit t ~worker:(pick_reader t) (Get (key, promise));
+  promise
+
+let set_async t ~key ~value =
+  let promise = Promise.create () in
+  (* CREW: the partition owner is the only worker that ever writes it. *)
+  submit t ~worker:(owner_of_key t key) (Set (key, value, promise));
+  promise
+
+let get t ~key = Promise.await (get_async t ~key)
+let set t ~key ~value = Promise.await (set_async t ~key ~value)
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Array.iter (fun w -> Channel.close w.channel) t.workers;
+    Array.iter Domain.join t.domains
+  end
+
+type stats = {
+  ops_completed : int;
+  writes : int;
+  batches : int;
+  batched_writes : int;
+  read_retries : int;
+  per_worker_ops : int array;
+}
+
+let stats t =
+  let sum f = Array.fold_left (fun acc w -> acc + f w) 0 t.workers in
+  {
+    ops_completed = sum (fun w -> w.ops);
+    writes = sum (fun w -> w.writes_n);
+    batches = sum (fun w -> w.batches);
+    batched_writes = sum (fun w -> w.batched_writes);
+    read_retries = sum (fun w -> w.retries);
+    per_worker_ops = Array.map (fun w -> w.ops) t.workers;
+  }

@@ -1,0 +1,65 @@
+(** A real, multicore in-process KVS server: worker domains serving the
+    {!C4_kvs.Store} under CREW dispatch, with optional write compaction.
+
+    This is the runnable counterpart of the simulated server model —
+    the same concurrency-control rules executed by actual domains with
+    actual locks:
+
+    - writes are routed to the partition's owner worker (CREW), so the
+      store's per-partition seqlocks never see two writers — the
+      invariant the NIC enforces in C-4;
+    - reads are sprayed across workers round-robin and run the seqlock's
+      optimistic protocol against concurrent in-place updates;
+    - with compaction enabled, a worker that pops a write drains every
+      queued write to the same key from its channel (the dependent-write
+      harvest), applies ONE batched update, and only then answers all of
+      them — C-4's deferred-response rule, so recorded histories remain
+      linearizable, which the test suite verifies on real executions.
+
+    On a many-core machine this is a usable (if minimal) concurrent KVS;
+    on a single core it still exercises every synchronisation path via
+    preemptive interleaving. *)
+
+type t
+
+type config = {
+  n_workers : int;
+  n_buckets : int;
+  n_partitions : int;
+  compaction : bool;
+  max_batch : int;  (** cap on writes compacted into one batched update *)
+}
+
+val default_config : config
+
+(** Start the worker domains. *)
+val start : config -> t
+
+(** Blocking operations (thread-safe, callable from any domain). *)
+val get : t -> key:int -> bytes option
+
+val set : t -> key:int -> value:bytes -> unit
+
+(** Nonblocking variants returning promises. *)
+val get_async : t -> key:int -> bytes option Promise.t
+
+val set_async : t -> key:int -> value:bytes -> unit Promise.t
+
+(** Drain queues, join the domains. Idempotent. Operations submitted
+    after [stop] raise. *)
+val stop : t -> unit
+
+type stats = {
+  ops_completed : int;
+  writes : int;
+  batches : int;  (** batched updates applied (compaction only) *)
+  batched_writes : int;  (** writes answered from a batch *)
+  read_retries : int;  (** seqlock retries observed by readers *)
+  per_worker_ops : int array;
+}
+
+val stats : t -> stats
+
+(** The worker that owns a key's partition (CREW routing; exposed for
+    tests). *)
+val owner_of_key : t -> int -> int

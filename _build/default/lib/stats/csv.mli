@@ -1,0 +1,14 @@
+(** Minimal CSV writer, mirroring the paper artifact's CSV outputs so the
+    CLI's results can be diffed and re-plotted externally. *)
+
+type t
+
+(** Start a CSV with the given header row. *)
+val create : header:string list -> t
+
+val add_row : t -> string list -> unit
+
+(** RFC-4180 quoting is applied only where needed. *)
+val to_string : t -> string
+
+val save : t -> path:string -> unit

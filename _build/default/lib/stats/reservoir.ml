@@ -1,0 +1,48 @@
+type t = {
+  buf : float array;
+  mutable seen : int;
+  rng : int -> int; (* bounded random int *)
+}
+
+let create ~capacity ~seed =
+  assert (capacity > 0);
+  let state = ref (Int64.of_int (seed lxor 0x5DEECE66D)) in
+  let rng bound =
+    (* SplitMix64 step; local to avoid a dependency cycle with dsim. *)
+    state := Int64.add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    (Int64.to_int z land ((1 lsl 62) - 1)) mod bound
+  in
+  { buf = Array.make capacity 0.0; seen = 0; rng }
+
+let add t x =
+  let cap = Array.length t.buf in
+  if t.seen < cap then t.buf.(t.seen) <- x
+  else begin
+    let j = t.rng (t.seen + 1) in
+    if j < cap then t.buf.(j) <- x
+  end;
+  t.seen <- t.seen + 1
+
+let count t = t.seen
+
+let samples t =
+  let n = min t.seen (Array.length t.buf) in
+  Array.sub t.buf 0 n
+
+let quantile t q =
+  let s = samples t in
+  if Array.length s = 0 then 0.0
+  else begin
+    Array.sort compare s;
+    let n = Array.length s in
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    let rank = if rank < 1 then 1 else if rank > n then n else rank in
+    s.(rank - 1)
+  end
+
+let reset t = t.seen <- 0

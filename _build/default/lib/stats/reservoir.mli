@@ -1,0 +1,19 @@
+(** Fixed-size uniform reservoir sample (Vitter's algorithm R) for exact
+    small-sample quantiles and distribution snapshots when the stream is
+    too long to retain. *)
+
+type t
+
+(** [create ~capacity ~seed] holds at most [capacity] samples. *)
+val create : capacity:int -> seed:int -> t
+
+val add : t -> float -> unit
+val count : t -> int
+
+(** Samples currently retained, unsorted. *)
+val samples : t -> float array
+
+(** Exact quantile over the retained samples (nearest-rank). *)
+val quantile : t -> float -> float
+
+val reset : t -> unit

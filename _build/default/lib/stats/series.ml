@@ -1,0 +1,43 @@
+type t = {
+  mutable times : float list; (* change points, most recent first *)
+  mutable values : float list;
+  mutable peak : float;
+}
+
+let create () = { times = []; values = []; peak = neg_infinity }
+
+let set t ~time v =
+  (match t.times with
+  | last :: _ when time < last -> invalid_arg "Series.set: time went backwards"
+  | _ -> ());
+  t.times <- time :: t.times;
+  t.values <- v :: t.values;
+  if v > t.peak then t.peak <- v
+
+let mean_over t ~start_time ~end_time =
+  if end_time <= start_time then 0.0
+  else begin
+    (* Change points are stored most recent first; walk back, clipping
+       each interval to the window. *)
+    let rec loop times values upper acc =
+      match (times, values) with
+      | [], [] -> acc
+      | time :: times', v :: values' ->
+        if upper <= start_time then acc
+        else begin
+          let lo = Float.max time start_time in
+          let hi = Float.min upper end_time in
+          let acc = if hi > lo then acc +. (v *. (hi -. lo)) else acc in
+          if time <= start_time then acc else loop times' values' time acc
+        end
+      | _ -> assert false
+    in
+    loop t.times t.values infinity 0.0 /. (end_time -. start_time)
+  end
+
+let max_value t = if t.peak = neg_infinity then 0.0 else t.peak
+
+let reset t =
+  t.times <- [];
+  t.values <- [];
+  t.peak <- neg_infinity

@@ -1,0 +1,23 @@
+(** Time-weighted series for utilisation-style metrics.
+
+    A worker is busy or idle over intervals of simulated time; the mean
+    of a step function over a window is the time-weighted average of its
+    values, not the average of its change points. *)
+
+type t
+
+val create : unit -> t
+
+(** [set t ~time v]: the tracked quantity takes value [v] from [time]
+    onward. Times must be nondecreasing. *)
+val set : t -> time:float -> float -> unit
+
+(** Time-weighted mean over [(start_time, end_time)]. Requires at least
+    one [set] at or before [start_time]; the value in force at
+    [start_time] is used for the leading subinterval. *)
+val mean_over : t -> start_time:float -> end_time:float -> float
+
+(** Maximum value observed at any change point. *)
+val max_value : t -> float
+
+val reset : t -> unit

@@ -1,0 +1,55 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable lo : float;
+  mutable hi : float;
+  mutable total : float;
+}
+
+let create () =
+  { n = 0; mean = 0.0; m2 = 0.0; lo = infinity; hi = neg_infinity; total = 0.0 }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.lo then t.lo <- x;
+  if x > t.hi then t.hi <- x;
+  t.total <- t.total +. x
+
+let count t = t.n
+let mean t = if t.n = 0 then 0.0 else t.mean
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+let min t = t.lo
+let max t = t.hi
+let total t = t.total
+
+let merge t ~other =
+  if other.n > 0 then begin
+    let n1 = float_of_int t.n and n2 = float_of_int other.n in
+    let n = n1 +. n2 in
+    let delta = other.mean -. t.mean in
+    let mean = t.mean +. (delta *. n2 /. n) in
+    let m2 = t.m2 +. other.m2 +. (delta *. delta *. n1 *. n2 /. n) in
+    t.n <- t.n + other.n;
+    t.mean <- mean;
+    t.m2 <- m2;
+    if other.lo < t.lo then t.lo <- other.lo;
+    if other.hi > t.hi then t.hi <- other.hi;
+    t.total <- t.total +. other.total
+  end
+
+let reset t =
+  t.n <- 0;
+  t.mean <- 0.0;
+  t.m2 <- 0.0;
+  t.lo <- infinity;
+  t.hi <- neg_infinity;
+  t.total <- 0.0
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" t.n (mean t)
+    (stddev t) t.lo t.hi

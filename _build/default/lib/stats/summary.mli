@@ -1,0 +1,26 @@
+(** Streaming moments via Welford's algorithm: numerically stable mean and
+    variance without retaining samples. *)
+
+type t
+
+val create : unit -> t
+
+(** Record one observation. *)
+val add : t -> float -> unit
+
+val count : t -> int
+val mean : t -> float
+
+(** Unbiased sample variance; 0 for fewer than two observations. *)
+val variance : t -> float
+
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+val total : t -> float
+
+(** Merge [other] into [t] (parallel Welford combination). *)
+val merge : t -> other:t -> unit
+
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+type align = Left | Right
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~columns =
+  { headers = List.map fst columns; aligns = List.map snd columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- row :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length h) rows)
+      t.headers
+  in
+  let render_row cells =
+    String.concat "  "
+      (List.map2 (fun (w, a) c -> pad a w c) (List.combine widths t.aligns) cells)
+  in
+  let header = render_row t.headers in
+  let rule = String.make (String.length header) '-' in
+  String.concat "\n" (header :: rule :: List.map render_row rows)
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let cell_f ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
+let cell_i v = string_of_int v
+let cell_pct v = Printf.sprintf "%.1f%%" (100.0 *. v)

@@ -1,0 +1,1 @@
+lib/workload/generator.ml: C4_dsim Format Int64 Request Zipf

@@ -1,0 +1,1 @@
+lib/workload/request.ml: Format

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Array Buffer Generator List Printf Request String

@@ -1,0 +1,1 @@
+lib/workload/zipf.ml: Array C4_dsim Float Hashtbl Stack

@@ -1,0 +1,1 @@
+lib/workload/zipf.mli: C4_dsim

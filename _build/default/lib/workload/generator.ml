@@ -1,0 +1,111 @@
+module Rng = C4_dsim.Rng
+
+type region = R_uni | R_sk | WI_uni | RW_sk
+
+let pp_region ppf r =
+  Format.pp_print_string ppf
+    (match r with
+    | R_uni -> "R_uni"
+    | R_sk -> "R_sk"
+    | WI_uni -> "WI_uni"
+    | RW_sk -> "RW_sk")
+
+type config = {
+  n_keys : int;
+  n_partitions : int;
+  theta : float;
+  write_fraction : float;
+  rate : float;
+  value_size : int;
+  large_value_size : int;
+  large_fraction : float;
+}
+
+let default =
+  {
+    n_keys = 1_600_000;
+    n_partitions = 8192;
+    theta = 0.0;
+    write_fraction = 0.5;
+    rate = 0.05;
+    value_size = 512;
+    large_value_size = 0;
+    large_fraction = 0.0;
+  }
+
+let of_region = function
+  | R_uni -> { default with theta = 0.0; write_fraction = 0.05 }
+  | R_sk -> { default with theta = 0.99; write_fraction = 0.05 }
+  | WI_uni -> { default with theta = 0.0; write_fraction = 0.5 }
+  | RW_sk -> { default with theta = 1.25; write_fraction = 0.05 }
+
+type t = {
+  config : config;
+  zipf : Zipf.t;
+  arrivals : Rng.t;
+  ops : Rng.t;
+  mutable clock : float;
+  mutable count : int;
+}
+
+(* 64-bit finaliser (SplitMix64's mix) so that popularity rank and
+   partition id are decorrelated: adjacent hot ranks land on unrelated
+   partitions, as a real hash index would place them. *)
+let mix_key key =
+  let z = Int64.of_int key in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int z land ((1 lsl 62) - 1)
+
+let create ?(zipf_method = `Cdf) config ~seed =
+  if config.n_keys <= 0 then invalid_arg "Generator.create: n_keys";
+  if config.n_partitions <= 0 then invalid_arg "Generator.create: n_partitions";
+  if config.write_fraction < 0.0 || config.write_fraction > 1.0 then
+    invalid_arg "Generator.create: write_fraction";
+  if config.rate <= 0.0 then invalid_arg "Generator.create: rate";
+  let root = Rng.create seed in
+  if config.large_fraction < 0.0 || config.large_fraction > 1.0 then
+    invalid_arg "Generator.create: large_fraction";
+  let zipf_rng = Rng.split root in
+  let arrivals = Rng.split root in
+  let ops = Rng.split root in
+  {
+    config;
+    zipf = Zipf.create ~method_:zipf_method ~n:config.n_keys ~theta:config.theta zipf_rng;
+    arrivals;
+    ops;
+    clock = 0.0;
+    count = 0;
+  }
+
+let config t = t.config
+
+let partition_of_key t key = mix_key key mod t.config.n_partitions
+
+let next t =
+  let inter = Rng.exponential t.arrivals ~mean:(1.0 /. t.config.rate) in
+  t.clock <- t.clock +. inter;
+  let key = Zipf.sample t.zipf in
+  let op =
+    if Rng.bernoulli t.ops ~p:t.config.write_fraction then Request.Write
+    else Request.Read
+  in
+  let id = t.count in
+  t.count <- t.count + 1;
+  let partition = partition_of_key t key in
+  let value_size =
+    (* Item size is a property of where the item lives, not of the
+       request: size-segregated partitions, so write exclusivity never
+       crosses size classes. *)
+    if
+      t.config.large_fraction > 0.0
+      && float_of_int (mix_key (partition lxor 0x2545F4914F6CDD1D) mod 1_000_000)
+         < t.config.large_fraction *. 1_000_000.0
+    then t.config.large_value_size
+    else t.config.value_size
+  in
+  { Request.id; op; key; partition; arrival = t.clock; value_size }
+
+let generated t = t.count
+let hottest_partition t = partition_of_key t 0

@@ -1,0 +1,51 @@
+(** Open-loop workload generator (paper Fig. 2, step 1).
+
+    Requests arrive according to a Poisson process with configurable
+    rate; each request is a read or write (Bernoulli with the write
+    fraction) on a key drawn from a Zipfian popularity distribution.
+    Keys map to partitions through the same function the KVS uses to
+    pick hash buckets (Sec. 5.1), here a 64-bit mix modulo the partition
+    count so that popularity rank and partition id are decorrelated. *)
+
+type region = R_uni | R_sk | WI_uni | RW_sk
+
+val pp_region : Format.formatter -> region -> unit
+
+type config = {
+  n_keys : int;  (** distinct items *)
+  n_partitions : int;  (** hash-bucket groups; the load-balancing unit *)
+  theta : float;  (** Zipf skew γ; 0 = uniform *)
+  write_fraction : float;  (** in [0, 1] *)
+  rate : float;  (** mean arrivals per ns (e.g. 0.09 = 90 MRPS) *)
+  value_size : int;  (** bytes per value *)
+  large_value_size : int;  (** bytes of the occasional large item *)
+  large_fraction : float;
+      (** fraction of partitions holding [large_value_size] items
+          instead of [value_size] ones (size-segregated allocation, as
+          Minos does); 0 (default) = homogeneous items *)
+}
+
+(** Sensible defaults matching the paper's methodology: 1.6 M keys,
+    1 M-bucket index scaled to [n_partitions] groups, 512 B values. *)
+val default : config
+
+(** A representative config for each taxonomy region (Fig. 1). *)
+val of_region : region -> config
+
+type t
+
+val create : ?zipf_method:[ `Cdf | `Alias ] -> config -> seed:int -> t
+val config : t -> config
+
+(** Draw the next request; arrivals are strictly increasing. *)
+val next : t -> Request.t
+
+(** The partition a key belongs to (same mapping the generator used). *)
+val partition_of_key : t -> int -> int
+
+(** Number of requests generated so far. *)
+val generated : t -> int
+
+(** Hottest partition by expected write load: the partition holding the
+    rank-0 key. Used by experiments that inspect the overloaded writer. *)
+val hottest_partition : t -> int

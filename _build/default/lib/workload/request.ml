@@ -1,0 +1,21 @@
+type op = Read | Write
+
+type t = {
+  id : int;
+  op : op;
+  key : int;
+  partition : int;
+  arrival : float;
+  value_size : int;
+}
+
+let is_write r = r.op = Write
+let is_read r = r.op = Read
+
+let pp_op ppf = function
+  | Read -> Format.pp_print_string ppf "R"
+  | Write -> Format.pp_print_string ppf "W"
+
+let pp ppf r =
+  Format.fprintf ppf "#%d %a key=%d part=%d t=%.0f" r.id pp_op r.op r.key
+    r.partition r.arrival

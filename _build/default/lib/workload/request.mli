@@ -1,0 +1,18 @@
+(** KVS request representation shared by the workload generator, the NIC
+    model, and the server model. *)
+
+type op = Read | Write
+
+type t = {
+  id : int;  (** unique, monotonically increasing per generator *)
+  op : op;
+  key : int;  (** key identity; the store hashes it to a bucket *)
+  partition : int;  (** precomputed partition (hash-bucket group) id *)
+  arrival : float;  (** ns; when the request reached the NIC *)
+  value_size : int;  (** bytes; drives cache-line accounting *)
+}
+
+val is_write : t -> bool
+val is_read : t -> bool
+val pp_op : Format.formatter -> op -> unit
+val pp : Format.formatter -> t -> unit

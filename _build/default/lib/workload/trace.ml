@@ -1,0 +1,95 @@
+type t = Request.t array
+
+let record gen ~n = Array.init n (fun _ -> Generator.next gen)
+
+let of_array requests =
+  for i = 1 to Array.length requests - 1 do
+    if requests.(i).Request.arrival < requests.(i - 1).Request.arrival then
+      invalid_arg "Trace.of_array: arrivals must be nondecreasing"
+  done;
+  requests
+
+let length = Array.length
+let get t i = t.(i)
+let iter t ~f = Array.iter f t
+
+let write_fraction t =
+  if Array.length t = 0 then 0.0
+  else begin
+    let writes =
+      Array.fold_left (fun acc r -> if Request.is_write r then acc + 1 else acc) 0 t
+    in
+    float_of_int writes /. float_of_int (Array.length t)
+  end
+
+let offered_rate t =
+  let n = Array.length t in
+  if n < 2 then 0.0
+  else begin
+    let span = t.(n - 1).Request.arrival -. t.(0).Request.arrival in
+    if span <= 0.0 then 0.0 else float_of_int (n - 1) /. span
+  end
+
+let rescale t ~rate =
+  let current = offered_rate t in
+  if current <= 0.0 || rate <= 0.0 then Array.copy t
+  else begin
+    let factor = current /. rate in
+    let base = if Array.length t = 0 then 0.0 else t.(0).Request.arrival in
+    Array.map
+      (fun r ->
+        { r with Request.arrival = base +. ((r.Request.arrival -. base) *. factor) })
+      t
+  end
+
+let op_to_string = function Request.Read -> "R" | Request.Write -> "W"
+
+let op_of_string = function
+  | "R" -> Ok Request.Read
+  | "W" -> Ok Request.Write
+  | s -> Error (Printf.sprintf "unknown op %S" s)
+
+let to_csv t =
+  let buf = Buffer.create (Array.length t * 32) in
+  Buffer.add_string buf "id,op,key,partition,arrival,value_size\n";
+  Array.iter
+    (fun (r : Request.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%s,%d,%d,%.6f,%d\n" r.id (op_to_string r.op) r.key
+           r.partition r.arrival r.value_size))
+    t;
+  Buffer.contents buf
+
+let of_csv text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> Error "empty trace"
+  | _header :: rows ->
+    let parse_row line =
+      match String.split_on_char ',' line with
+      | [ id; op; key; partition; arrival; value_size ] -> (
+        match
+          ( int_of_string_opt id,
+            op_of_string op,
+            int_of_string_opt key,
+            int_of_string_opt partition,
+            float_of_string_opt arrival,
+            int_of_string_opt value_size )
+        with
+        | Some id, Ok op, Some key, Some partition, Some arrival, Some value_size
+          ->
+          Ok { Request.id; op; key; partition; arrival; value_size }
+        | _ -> Error (Printf.sprintf "malformed row %S" line))
+      | _ -> Error (Printf.sprintf "wrong arity in row %S" line)
+    in
+    let rec parse acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | row :: rest -> (
+        match parse_row row with
+        | Ok r -> parse (r :: acc) rest
+        | Error _ as e -> e)
+    in
+    parse [] rows

@@ -1,0 +1,33 @@
+(** Recorded request traces: capture a generated stream once and replay
+    it against several system configurations so policy comparisons see
+    identical arrivals (variance reduction), or load it from a CSV file
+    exported by another tool. *)
+
+type t
+
+(** Record the next [n] requests from a generator. *)
+val record : Generator.t -> n:int -> t
+
+(** Wrap an existing request array (shared, not copied); arrivals must
+    be nondecreasing. *)
+val of_array : Request.t array -> t
+
+val length : t -> int
+val get : t -> int -> Request.t
+val iter : t -> f:(Request.t -> unit) -> unit
+
+(** Fraction of writes actually present in the trace. *)
+val write_fraction : t -> float
+
+(** Offered load in requests per ns over the trace's time span. *)
+val offered_rate : t -> float
+
+(** [rescale t ~rate] returns a copy whose inter-arrival gaps are scaled
+    so that the offered load becomes [rate] while preserving ordering,
+    key sequence, and operation mix. *)
+val rescale : t -> rate:float -> t
+
+(** CSV round-trip: columns [id,op,key,partition,arrival,value_size]. *)
+val to_csv : t -> string
+
+val of_csv : string -> (t, string) result

@@ -1,0 +1,39 @@
+type t = A | B | C | D | E | F
+
+let all = [ A; B; C; D; E; F ]
+
+let name = function A -> "A" | B -> "B" | C -> "C" | D -> "D" | E -> "E" | F -> "F"
+
+let of_name s =
+  match String.uppercase_ascii (String.trim s) with
+  | "A" -> Ok A
+  | "B" -> Ok B
+  | "C" -> Ok C
+  | "D" -> Ok D
+  | "E" -> Ok E
+  | "F" -> Ok F
+  | other -> Error (Printf.sprintf "unknown YCSB workload %S (expected A-F)" other)
+
+let description = function
+  | A -> "update heavy (session store): 50% reads, 50% updates"
+  | B -> "read mostly (photo tagging): 95% reads, 5% updates"
+  | C -> "read only (user-profile cache)"
+  | D -> "read latest (status updates): 95% reads, 5% inserts"
+  | E -> "short ranges (threaded conversations), approximated as reads"
+  | F -> "read-modify-write (user database): 50% reads, 50% RMW"
+
+let write_fraction = function
+  | A -> 0.5
+  | B -> 0.05
+  | C -> 0.0
+  | D -> 0.05
+  | E -> 0.05
+  | F -> 0.5
+
+let config ?base t =
+  let base =
+    match base with
+    | Some b -> b
+    | None -> { Generator.default with n_keys = 1_600_000; n_partitions = 8192 }
+  in
+  { base with Generator.theta = 0.99; write_fraction = write_fraction t }

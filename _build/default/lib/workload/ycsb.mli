@@ -1,0 +1,31 @@
+(** YCSB core-workload presets mapped onto the generator.
+
+    The KVS literature the paper engages with (MICA, NetCache, KV-Direct
+    and the rest) reports against the Yahoo! Cloud Serving Benchmark's
+    core workloads; production studies (Sec. 2) are usually summarised in
+    the same vocabulary. These presets give each core workload's request
+    mix and the standard Zipfian constant (0.99), so experiments can be
+    phrased as "YCSB-A at 40 MRPS".
+
+    Scans (workload E) have no KVS analogue here and are approximated as
+    reads, as single-key KVS evaluations conventionally do. *)
+
+type t =
+  | A  (** update heavy: 50 % reads / 50 % updates *)
+  | B  (** read mostly: 95 % reads / 5 % updates *)
+  | C  (** read only *)
+  | D  (** read latest: 95 % reads / 5 % inserts *)
+  | E  (** short ranges: approximated as 95 % reads / 5 % inserts *)
+  | F  (** read-modify-write: 50 % reads / 50 % RMW (each RMW = 1 write) *)
+
+val all : t list
+val name : t -> string
+val of_name : string -> (t, string) result
+val description : t -> string
+
+(** The generator configuration for this workload (1.6 M keys, γ = 0.99,
+    rate left at the base config's). *)
+val config : ?base:Generator.config -> t -> Generator.config
+
+(** Where each preset lands on the paper's taxonomy axes. *)
+val write_fraction : t -> float

@@ -1,0 +1,91 @@
+module Rng = C4_dsim.Rng
+
+type impl =
+  | Cdf of float array (* cumulative probabilities, length n *)
+  | Alias of { prob : float array; alias : int array }
+
+type t = { n : int; theta : float; probs : float array; impl : impl; rng : Rng.t }
+
+(* Experiments build many samplers over the same (n, theta); memoise the
+   normalised weight vector, which dominates construction cost. *)
+let weight_cache : (int * float, float array) Hashtbl.t = Hashtbl.create 16
+
+let weights ~n ~theta =
+  match Hashtbl.find_opt weight_cache (n, theta) with
+  | Some w -> w
+  | None ->
+    let w = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) theta) in
+    let total = Array.fold_left ( +. ) 0.0 w in
+    let w = Array.map (fun x -> x /. total) w in
+    Hashtbl.replace weight_cache (n, theta) w;
+    w
+
+let build_cdf probs =
+  let n = Array.length probs in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. probs.(i);
+    cdf.(i) <- !acc
+  done;
+  cdf.(n - 1) <- 1.0;
+  Cdf cdf
+
+(* Walker/Vose alias table: O(n) construction, O(1) sampling. *)
+let build_alias probs =
+  let n = Array.length probs in
+  let scaled = Array.map (fun p -> p *. float_of_int n) probs in
+  let prob = Array.make n 0.0 and alias = Array.make n 0 in
+  let small = Stack.create () and large = Stack.create () in
+  Array.iteri
+    (fun i p -> if p < 1.0 then Stack.push i small else Stack.push i large)
+    scaled;
+  while (not (Stack.is_empty small)) && not (Stack.is_empty large) do
+    let s = Stack.pop small and l = Stack.pop large in
+    prob.(s) <- scaled.(s);
+    alias.(s) <- l;
+    scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.0;
+    if scaled.(l) < 1.0 then Stack.push l small else Stack.push l large
+  done;
+  let flush stack = Stack.iter (fun i -> prob.(i) <- 1.0) stack in
+  flush small;
+  flush large;
+  Alias { prob; alias }
+
+let create ?(method_ = `Cdf) ~n ~theta rng =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if theta < 0.0 then invalid_arg "Zipf.create: theta must be nonnegative";
+  let probs = weights ~n ~theta in
+  let impl =
+    match method_ with `Cdf -> build_cdf probs | `Alias -> build_alias probs
+  in
+  { n; theta; probs; impl; rng }
+
+let sample t =
+  match t.impl with
+  | Cdf cdf ->
+    let u = Rng.float t.rng in
+    (* First index whose cumulative probability exceeds u. *)
+    let rec bisect lo hi =
+      if lo >= hi then lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        if cdf.(mid) > u then bisect lo mid else bisect (mid + 1) hi
+      end
+    in
+    bisect 0 (t.n - 1)
+  | Alias { prob; alias } ->
+    let i = Rng.int t.rng t.n in
+    if Rng.float t.rng < prob.(i) then i else alias.(i)
+
+let n t = t.n
+let theta t = t.theta
+let prob t i = t.probs.(i)
+
+let head_mass t k =
+  let k = min k t.n in
+  let acc = ref 0.0 in
+  for i = 0 to k - 1 do
+    acc := !acc +. t.probs.(i)
+  done;
+  !acc

@@ -1,0 +1,33 @@
+(** Zipfian key-popularity sampler.
+
+    Item [i] (0-based rank) has probability proportional to
+    [1 / (i+1)^theta]. KVS literature (and this paper) calls the exponent
+    the skew coefficient γ; γ = 0 degenerates to uniform, γ ≈ 0.99 is the
+    classic YCSB default, and production traces reach 1.4–2.5.
+
+    Two implementations:
+    - CDF inversion over a precomputed cumulative table (exact, O(log n)
+      per sample, O(n) memory) — the default.
+    - Walker alias method (exact, O(1) per sample, O(n) memory) — used by
+      the high-rate benchmarks.
+
+    Both produce ranks; callers map ranks to keys (possibly through a
+    permutation so that popular keys are scattered across partitions). *)
+
+type t
+
+(** [create ~n ~theta rng]: sampler over ranks [0, n). [theta >= 0].
+    @param method_ default [`Cdf]. *)
+val create : ?method_:[ `Cdf | `Alias ] -> n:int -> theta:float -> C4_dsim.Rng.t -> t
+
+(** Draw a rank in [0, n); rank 0 is the most popular item. *)
+val sample : t -> int
+
+val n : t -> int
+val theta : t -> float
+
+(** Exact probability of rank [i] under this distribution. *)
+val prob : t -> int -> float
+
+(** Probability mass of the hottest [k] ranks. *)
+val head_mass : t -> int -> float

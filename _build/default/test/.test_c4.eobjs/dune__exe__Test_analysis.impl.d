@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest C4_analysis C4_dsim C4_workload List Seq String

@@ -1,0 +1,1 @@
+test/test_c4_facade.ml: Alcotest C4 C4_kvs C4_model C4_workload List

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest C4_cache Hashtbl List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array C4 C4_cluster C4_model C4_workload List

@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest C4_consistency Gen List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest C4_model C4_nic C4_stats C4_workload

@@ -1,0 +1,1 @@
+test/test_fifo.ml: Alcotest C4_dsim List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest C4_dsim List QCheck QCheck_alcotest

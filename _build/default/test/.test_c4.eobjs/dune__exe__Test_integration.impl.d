@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Bytes C4_consistency C4_kvs C4_nic List Option Printf QCheck QCheck_alcotest

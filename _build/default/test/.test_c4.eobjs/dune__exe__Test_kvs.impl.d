@@ -1,0 +1,1 @@
+test/test_kvs.ml: Alcotest Array Atomic Bytes C4_kvs Domain Gen Hashtbl List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_log_store.ml: Alcotest Bytes C4_kvs Char Gen Hashtbl List Option QCheck QCheck_alcotest String

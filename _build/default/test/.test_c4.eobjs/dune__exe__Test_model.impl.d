@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array C4_cache C4_dsim C4_kvs C4_model C4_nic C4_stats C4_workload Float List QCheck QCheck_alcotest

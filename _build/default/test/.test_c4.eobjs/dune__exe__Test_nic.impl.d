@@ -1,0 +1,1 @@
+test/test_nic.ml: Alcotest Bytes C4_nic Hashtbl List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Bytes C4_nic Hashtbl List Option

@@ -1,0 +1,1 @@
+test/test_pserver.ml: Alcotest C4_model C4_stats C4_workload Float

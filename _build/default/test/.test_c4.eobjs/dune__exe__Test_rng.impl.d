@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array C4_dsim Fun Printf QCheck QCheck_alcotest

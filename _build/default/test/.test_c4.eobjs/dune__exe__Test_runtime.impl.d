@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Bytes C4_consistency C4_dsim C4_runtime Domain Fun Hashtbl List Option Printf Unix

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest C4_dsim Gen List QCheck QCheck_alcotest

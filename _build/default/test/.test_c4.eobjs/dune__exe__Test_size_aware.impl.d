@@ -1,0 +1,1 @@
+test/test_size_aware.ml: Alcotest Array C4_dsim C4_model C4_stats C4_workload Printf

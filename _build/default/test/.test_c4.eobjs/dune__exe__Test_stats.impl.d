@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array C4_stats Gen List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_validation.ml: Alcotest C4_model C4_workload Float List Printf

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array C4_dsim C4_workload Format List QCheck QCheck_alcotest

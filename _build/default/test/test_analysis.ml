@@ -1,0 +1,120 @@
+(* Trace analysis: skew estimation recovers known Zipf coefficients from
+   synthetic traces, profiles measure mixes correctly, taxonomy
+   placement and recommendations match the facade's. *)
+
+module Zipf_fit = C4_analysis.Zipf_fit
+module Profile = C4_analysis.Profile
+module Generator = C4_workload.Generator
+module Trace = C4_workload.Trace
+module Zipf = C4_workload.Zipf
+module Rng = C4_dsim.Rng
+
+let synthetic_counts ~theta ~n_keys ~samples =
+  let z = Zipf.create ~n:n_keys ~theta (Rng.create 3) in
+  Zipf_fit.rank_counts (Seq.init samples (fun _ -> Zipf.sample z))
+
+let test_linear_fit_exact () =
+  (* y = 2x + 1 recovered exactly. *)
+  let x = [| 0.0; 1.0; 2.0; 3.0 |] and y = [| 1.0; 3.0; 5.0; 7.0 |] in
+  let slope, intercept = Zipf_fit.linear_fit ~x ~y in
+  Alcotest.(check (float 1e-9)) "slope" 2.0 slope;
+  Alcotest.(check (float 1e-9)) "intercept" 1.0 intercept
+
+let test_linear_fit_degenerate () =
+  let x = [| 1.0; 1.0 |] and y = [| 2.0; 4.0 |] in
+  let slope, _ = Zipf_fit.linear_fit ~x ~y in
+  Alcotest.(check (float 1e-9)) "vertical data -> 0 slope" 0.0 slope
+
+let check_theta_recovery theta () =
+  let counts = synthetic_counts ~theta ~n_keys:50_000 ~samples:300_000 in
+  let estimate = Zipf_fit.estimate_theta counts in
+  if abs_float (estimate -. theta) > 0.12 then
+    Alcotest.failf "theta %.2f estimated as %.2f" theta estimate
+
+let test_theta_uniform_is_zero () =
+  let counts = synthetic_counts ~theta:0.0 ~n_keys:1_000 ~samples:200_000 in
+  let estimate = Zipf_fit.estimate_theta counts in
+  if estimate > 0.1 then Alcotest.failf "uniform estimated as %.2f" estimate
+
+let test_theta_degenerate_inputs () =
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Zipf_fit.estimate_theta [||]);
+  Alcotest.(check (float 1e-9)) "too few ranks" 0.0 (Zipf_fit.estimate_theta [| 100; 50 |])
+
+let test_rank_counts_sorted () =
+  let counts = Zipf_fit.rank_counts (List.to_seq [ 1; 2; 2; 3; 3; 3 ]) in
+  Alcotest.(check (array int)) "descending" [| 3; 2; 1 |] counts
+
+let mk_trace ~theta ~write_fraction =
+  let gen =
+    Generator.create
+      { Generator.default with n_keys = 20_000; n_partitions = 256; theta; write_fraction; rate = 0.05 }
+      ~seed:11
+  in
+  Trace.record gen ~n:100_000
+
+let test_profile_measures_mix () =
+  let profile = Profile.of_trace (mk_trace ~theta:0.99 ~write_fraction:0.3) in
+  Alcotest.(check bool) "write fraction ~0.3" true
+    (abs_float (profile.Profile.write_fraction -. 0.3) < 0.01);
+  Alcotest.(check int) "request count" 100_000 profile.Profile.n_requests;
+  Alcotest.(check bool) "theta near 0.99" true
+    (abs_float (profile.Profile.theta_hat -. 0.99) < 0.15);
+  Alcotest.(check bool) "offered rate recovered" true
+    (abs_float (profile.Profile.offered_rate -. 0.05) < 0.005);
+  Alcotest.(check bool) "hot share < top10 share" true
+    (profile.Profile.hottest_key_share < profile.Profile.top10_share)
+
+let region_of ~theta ~write_fraction =
+  Profile.region (Profile.of_trace (mk_trace ~theta ~write_fraction))
+
+let test_profile_regions () =
+  Alcotest.(check string) "R_uni" "R_uni"
+    (Profile.region_name (region_of ~theta:0.0 ~write_fraction:0.05));
+  Alcotest.(check string) "WI_uni" "WI_uni"
+    (Profile.region_name (region_of ~theta:0.0 ~write_fraction:0.6));
+  Alcotest.(check string) "RW_sk" "RW_sk"
+    (Profile.region_name (region_of ~theta:1.3 ~write_fraction:0.05))
+
+let test_recommendations () =
+  let rec_of ~theta ~write_fraction =
+    Profile.recommend (Profile.of_trace (mk_trace ~theta ~write_fraction))
+  in
+  Alcotest.(check bool) "WI_uni -> dcrew" true
+    (rec_of ~theta:0.0 ~write_fraction:0.6 = Profile.Use_dcrew);
+  Alcotest.(check bool) "RW_sk -> compaction" true
+    (rec_of ~theta:1.3 ~write_fraction:0.05 = Profile.Use_compaction);
+  Alcotest.(check bool) "R_uni -> baseline" true
+    (rec_of ~theta:0.0 ~write_fraction:0.05 = Profile.Baseline_suffices)
+
+let test_report_mentions_mechanism () =
+  let report = Profile.report (Profile.of_trace (mk_trace ~theta:1.3 ~write_fraction:0.05)) in
+  let contains needle haystack =
+    let n = String.length needle and h = String.length haystack in
+    let rec loop i = i + n <= h && (String.sub haystack i n = needle || loop (i + 1)) in
+    loop 0
+  in
+  Alcotest.(check bool) "report names compaction" true (contains "compaction" report)
+
+let test_of_accesses () =
+  let accesses = Seq.init 1_000 (fun i -> (i mod 10, i mod 2 = 0)) in
+  let profile = Profile.of_accesses accesses in
+  Alcotest.(check int) "distinct" 10 profile.Profile.n_distinct_keys;
+  Alcotest.(check (float 0.01)) "write fraction" 0.5 profile.Profile.write_fraction;
+  Alcotest.(check (float 1e-9)) "no timing -> no rate" 0.0 profile.Profile.offered_rate
+
+let tests =
+  [
+    Alcotest.test_case "linear fit exact" `Quick test_linear_fit_exact;
+    Alcotest.test_case "linear fit degenerate" `Quick test_linear_fit_degenerate;
+    Alcotest.test_case "recovers gamma=0.8" `Slow (check_theta_recovery 0.8);
+    Alcotest.test_case "recovers gamma=1.0" `Slow (check_theta_recovery 1.0);
+    Alcotest.test_case "recovers gamma=1.4" `Slow (check_theta_recovery 1.4);
+    Alcotest.test_case "uniform estimates ~0" `Slow test_theta_uniform_is_zero;
+    Alcotest.test_case "degenerate inputs" `Quick test_theta_degenerate_inputs;
+    Alcotest.test_case "rank counts sorted" `Quick test_rank_counts_sorted;
+    Alcotest.test_case "profile measures the mix" `Slow test_profile_measures_mix;
+    Alcotest.test_case "profile regions" `Slow test_profile_regions;
+    Alcotest.test_case "recommendations" `Slow test_recommendations;
+    Alcotest.test_case "report names the mechanism" `Quick test_report_mentions_mechanism;
+    Alcotest.test_case "profiling raw access logs" `Quick test_of_accesses;
+  ]

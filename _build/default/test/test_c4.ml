@@ -1,0 +1,29 @@
+(* Aggregated test runner: one Alcotest suite per library. *)
+
+let () =
+  Alcotest.run "c4"
+    [
+      ("dsim.heap", Test_heap.tests);
+      ("dsim.rng", Test_rng.tests);
+      ("dsim.fifo", Test_fifo.tests);
+      ("dsim.sim", Test_sim.tests);
+      ("dsim.process", Test_process.tests);
+      ("stats", Test_stats.tests);
+      ("workload", Test_workload.tests);
+      ("kvs", Test_kvs.tests);
+      ("kvs.log_store", Test_log_store.tests);
+      ("cache", Test_cache.tests);
+      ("nic", Test_nic.tests);
+      ("nic.pipeline", Test_pipeline.tests);
+      ("consistency", Test_consistency.tests);
+      ("model", Test_model.tests);
+      ("model.validation", Test_validation.tests);
+      ("model.pserver", Test_pserver.tests);
+      ("facade", Test_c4_facade.tests);
+      ("integration", Test_integration.tests);
+      ("runtime", Test_runtime.tests);
+      ("analysis", Test_analysis.tests);
+      ("cluster", Test_cluster.tests);
+      ("extensions", Test_extensions.tests);
+      ("size_aware", Test_size_aware.tests);
+    ]

@@ -1,0 +1,160 @@
+(* Public facade: taxonomy classification, evaluated-configuration
+   builders, and smoke runs of the figure drivers (the full-size runs
+   live in bench/main.exe). *)
+
+module Region = C4.Region
+module Config = C4.Config
+module Figures = C4.Figures
+module Policy = C4_model.Policy
+module Server = C4_model.Server
+
+(* ---------------- Region ---------------- *)
+
+let region = Alcotest.testable Region.pp ( = )
+
+let test_classify_corners () =
+  Alcotest.check region "R_uni" Region.R_uni (Region.classify ~theta:0.0 ~write_fraction:0.05);
+  Alcotest.check region "R_sk" Region.R_sk (Region.classify ~theta:0.99 ~write_fraction:0.0);
+  Alcotest.check region "WI_uni" Region.WI_uni (Region.classify ~theta:0.0 ~write_fraction:0.5);
+  Alcotest.check region "RW_sk" Region.RW_sk (Region.classify ~theta:1.25 ~write_fraction:0.05)
+
+let test_classify_boundaries () =
+  (* Single-digit writes under heavy skew are already RW_sk (Sec. 3.2). *)
+  Alcotest.check region "5% writes + skew = RW_sk" Region.RW_sk
+    (Region.classify ~theta:1.4 ~write_fraction:0.05);
+  Alcotest.check region "49% writes uniform = R_uni" Region.R_uni
+    (Region.classify ~theta:0.0 ~write_fraction:0.49);
+  Alcotest.check region "1% writes + skew = R_sk" Region.R_sk
+    (Region.classify ~theta:1.4 ~write_fraction:0.01)
+
+let test_problematic_and_mechanism () =
+  Alcotest.(check bool) "WI_uni problematic" true (Region.problematic Region.WI_uni);
+  Alcotest.(check bool) "R_sk fine" false (Region.problematic Region.R_sk);
+  Alcotest.(check bool) "WI_uni -> dcrew" true
+    (Region.recommended_mechanism Region.WI_uni = `Dcrew);
+  Alcotest.(check bool) "RW_sk -> compaction" true
+    (Region.recommended_mechanism Region.RW_sk = `Compaction);
+  Alcotest.(check bool) "R_uni -> baseline" true
+    (Region.recommended_mechanism Region.R_uni = `Baseline_suffices)
+
+let test_region_of_workload () =
+  Alcotest.check region "workload mapping" Region.RW_sk
+    (Region.of_workload (Config.workload_rw_sk ~theta:1.25 ~write_fraction:0.05))
+
+(* ---------------- Config ---------------- *)
+
+let test_system_names_roundtrip () =
+  List.iter
+    (fun s ->
+      match Config.of_name (Config.name s) with
+      | Ok s' -> Alcotest.(check string) "roundtrip" (Config.name s) (Config.name s')
+      | Error e -> Alcotest.fail e)
+    Config.all;
+  (match Config.of_name "bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus accepted");
+  match Config.of_name "CREW" with
+  | Ok Config.Baseline -> ()
+  | _ -> Alcotest.fail "crew alias"
+
+let test_config_policies () =
+  Alcotest.(check bool) "baseline = CREW" true
+    ((Config.model Config.Baseline).Server.policy = Policy.Crew);
+  Alcotest.(check bool) "comp keeps CREW" true
+    ((Config.model Config.Comp).Server.policy = Policy.Crew);
+  Alcotest.(check bool) "comp enables compaction" true
+    ((Config.model Config.Comp).Server.compaction <> None);
+  Alcotest.(check bool) "baseline has no compaction" true
+    ((Config.model Config.Baseline).Server.compaction = None);
+  Alcotest.(check bool) "model has no cache layer" true
+    ((Config.model Config.Dcrew).Server.cache = None);
+  Alcotest.(check bool) "full has cache layer" true
+    ((Config.full Config.Dcrew).Server.cache <> None)
+
+let test_full_item_override () =
+  let cfg = Config.full ~item:C4_kvs.Item.tiny Config.Baseline in
+  Alcotest.(check bool) "item threaded into service" true
+    (cfg.Server.service.C4_model.Service.item = C4_kvs.Item.tiny)
+
+let test_workload_presets () =
+  let wl = Config.workload_wi_uni ~write_fraction:0.85 in
+  Alcotest.(check (float 1e-9)) "write fraction" 0.85 wl.C4_workload.Generator.write_fraction;
+  Alcotest.(check (float 1e-9)) "uniform" 0.0 wl.C4_workload.Generator.theta;
+  Alcotest.(check int) "paper dataset" 1_600_000 wl.C4_workload.Generator.n_keys
+
+(* ---------------- Figures (smoke) ---------------- *)
+
+let test_fig3_smoke () =
+  let t = Figures.Fig3.run ~scale:`Smoke () in
+  Alcotest.(check bool) "ideal peak plausible" true (t.Figures.Fig3.ideal_mrps > 50.0);
+  match t.Figures.Fig3.rows with
+  | [ row ] ->
+    let tput s = List.assoc s row.Figures.Fig3.tput_norm in
+    let excess s = List.assoc s row.Figures.Fig3.excess_p99 in
+    Alcotest.(check bool) "EREW loses throughput" true (tput Config.Erew < 0.9);
+    Alcotest.(check bool) "d-CREW keeps throughput" true (tput Config.Dcrew > 0.9);
+    Alcotest.(check bool) "d-CREW ~ ideal p99" true (excess Config.Dcrew < 1.3);
+    Alcotest.(check bool) "CREW inflates p99" true (excess Config.Baseline > 1.2)
+  | _ -> Alcotest.fail "smoke scale = one row"
+
+let test_fig4_smoke () =
+  (* Smoke grid is the paper's flagship cell (0.99, 35%), where static
+     write partitioning clearly bottlenecks even the pure queueing model. *)
+  let t = Figures.Fig4.run ~scale:`Smoke () in
+  match t.Figures.Fig4.cells with
+  | [ cell ] ->
+    Alcotest.(check bool) "baseline bottlenecked" true (cell.Figures.Fig4.base_norm < 0.9);
+    Alcotest.(check bool) "compaction improves" true
+      (cell.Figures.Fig4.comp_norm > cell.Figures.Fig4.base_norm)
+  | _ -> Alcotest.fail "smoke scale = one cell"
+
+let test_compaction_study_smoke () =
+  let t = Figures.Compaction_study.fig11 ~scale:`Smoke () in
+  Alcotest.(check bool) "comp >= base under relaxed SLO" true
+    (t.Figures.Compaction_study.comp_tput_slo20 >= t.Figures.Compaction_study.base_tput_slo10);
+  (* The hottest thread's service time falls under compaction at the
+     highest measured load — the Fig. 11b inversion. *)
+  let last points = List.nth points (List.length points - 1) in
+  let base_hot = (last t.Figures.Compaction_study.base).Figures.Compaction_study.hot_service in
+  let comp_hot = (last t.Figures.Compaction_study.comp).Figures.Compaction_study.hot_service in
+  Alcotest.(check bool) "hot-thread inversion" true (comp_hot < base_hot)
+
+let test_ewt_study_smoke () =
+  let rows = Figures.Ewt_study.run ~scale:`Smoke () in
+  Alcotest.(check int) "two write fractions" 2 (List.length rows);
+  match rows with
+  | [ a; b ] ->
+    Alcotest.(check bool) "occupancy grows with write fraction" true
+      (b.Figures.Ewt_study.avg_entries > a.Figures.Ewt_study.avg_entries);
+    Alcotest.(check bool) "peak bounded by capacity" true
+      (b.Figures.Ewt_study.max_entries <= 128)
+  | _ -> assert false
+
+let test_eqn1_smoke () =
+  let t = Figures.Eqn1.run ~scale:`Smoke () in
+  Alcotest.(check bool) "model acceleration > 1" true (t.Figures.Eqn1.a_model > 1.0);
+  Alcotest.(check bool) "measured acceleration > 1" true (t.Figures.Eqn1.a_measured > 1.0);
+  Alcotest.(check bool) "window size > 1" true (t.Figures.Eqn1.n_avg > 1.0)
+
+let test_scales () =
+  Alcotest.(check bool) "scales ordered" true
+    (Figures.n_requests `Smoke < Figures.n_requests `Quick
+    && Figures.n_requests `Quick < Figures.n_requests `Full)
+
+let tests =
+  [
+    Alcotest.test_case "taxonomy corners" `Quick test_classify_corners;
+    Alcotest.test_case "taxonomy boundaries" `Quick test_classify_boundaries;
+    Alcotest.test_case "problematic regions & mechanisms" `Quick test_problematic_and_mechanism;
+    Alcotest.test_case "region of workload config" `Quick test_region_of_workload;
+    Alcotest.test_case "system name round-trip" `Quick test_system_names_roundtrip;
+    Alcotest.test_case "configuration policies" `Quick test_config_policies;
+    Alcotest.test_case "item override in full config" `Quick test_full_item_override;
+    Alcotest.test_case "workload presets" `Quick test_workload_presets;
+    Alcotest.test_case "Fig. 3 smoke shape" `Slow test_fig3_smoke;
+    Alcotest.test_case "Fig. 4 smoke shape" `Slow test_fig4_smoke;
+    Alcotest.test_case "Fig. 11 smoke inversion" `Slow test_compaction_study_smoke;
+    Alcotest.test_case "EWT study smoke" `Slow test_ewt_study_smoke;
+    Alcotest.test_case "Eqn. 1 smoke" `Slow test_eqn1_smoke;
+    Alcotest.test_case "scale ordering" `Quick test_scales;
+  ]

@@ -1,0 +1,187 @@
+(* Coherence cost model: bitset, MESI-flavoured state transitions, cost
+   monotonicity in sharer count and line count — the mechanism behind
+   Fig. 11b's service-time inversion. *)
+
+module Bitset = C4_cache.Bitset
+module Coherence = C4_cache.Coherence
+
+(* ---------------- Bitset ---------------- *)
+
+let test_bitset_basic () =
+  let b = Bitset.create 100 in
+  Alcotest.(check int) "capacity" 100 (Bitset.capacity b);
+  Alcotest.(check bool) "empty" true (Bitset.is_empty b);
+  Bitset.add b 0;
+  Bitset.add b 63;
+  Bitset.add b 99;
+  Alcotest.(check int) "cardinal" 3 (Bitset.cardinal b);
+  Alcotest.(check bool) "mem 63" true (Bitset.mem b 63);
+  Alcotest.(check bool) "not mem 50" false (Bitset.mem b 50);
+  Bitset.add b 63;
+  Alcotest.(check int) "add idempotent" 3 (Bitset.cardinal b);
+  Bitset.remove b 63;
+  Alcotest.(check int) "removed" 2 (Bitset.cardinal b);
+  Bitset.remove b 63;
+  Alcotest.(check int) "remove idempotent" 2 (Bitset.cardinal b);
+  Bitset.clear b;
+  Alcotest.(check bool) "cleared" true (Bitset.is_empty b)
+
+let test_bitset_bounds () =
+  let b = Bitset.create 10 in
+  Alcotest.check_raises "over" (Invalid_argument "Bitset: index out of range") (fun () ->
+      Bitset.add b 10);
+  Alcotest.check_raises "negative" (Invalid_argument "Bitset: index out of range")
+    (fun () -> ignore (Bitset.mem b (-1)))
+
+let test_bitset_iter () =
+  let b = Bitset.create 200 in
+  List.iter (Bitset.add b) [ 3; 61; 62; 63; 150 ];
+  let seen = ref [] in
+  Bitset.iter b ~f:(fun i -> seen := i :: !seen);
+  Alcotest.(check (list int)) "iter ascending" [ 3; 61; 62; 63; 150 ] (List.rev !seen)
+
+let prop_bitset_models_set =
+  let op =
+    QCheck.(
+      oneof
+        [
+          map (fun i -> `Add i) (int_range 0 63);
+          map (fun i -> `Remove i) (int_range 0 63);
+        ])
+  in
+  QCheck.Test.make ~name:"bitset matches a reference set" ~count:300 (QCheck.list op)
+    (fun ops ->
+      let b = Bitset.create 64 in
+      let model = Hashtbl.create 16 in
+      List.for_all
+        (fun operation ->
+          (match operation with
+          | `Add i ->
+            Bitset.add b i;
+            Hashtbl.replace model i ()
+          | `Remove i ->
+            Bitset.remove b i;
+            Hashtbl.remove model i);
+          Bitset.cardinal b = Hashtbl.length model)
+        ops)
+
+(* ---------------- Coherence ---------------- *)
+
+let mk () = Coherence.create ~n_cores:64 ~n_partitions:16 ()
+
+let test_first_read_misses_then_hits () =
+  let c = mk () in
+  let cost1 = Coherence.read_cost c ~core:0 ~partition:3 ~lines:1 in
+  Alcotest.(check bool) "first read pays a fetch" true (cost1 > 0.0);
+  let cost2 = Coherence.read_cost c ~core:0 ~partition:3 ~lines:1 in
+  Alcotest.(check (float 0.0)) "second read hits" 0.0 cost2;
+  Alcotest.(check int) "one sharer" 1 (Coherence.sharers c ~partition:3)
+
+let test_write_invalidates_sharers () =
+  let c = mk () in
+  for core = 0 to 9 do
+    ignore (Coherence.read_cost c ~core ~partition:0 ~lines:1)
+  done;
+  Alcotest.(check int) "ten sharers" 10 (Coherence.sharers c ~partition:0);
+  let write_cost = Coherence.write_cost c ~core:50 ~partition:0 ~lines:1 in
+  Alcotest.(check bool) "write pays invalidations" true (write_cost > 0.0);
+  Alcotest.(check int) "sharers collapse to writer" 1 (Coherence.sharers c ~partition:0);
+  Alcotest.(check (option int)) "owner is writer" (Some 50) (Coherence.owner c ~partition:0)
+
+let test_write_cost_grows_with_sharers () =
+  let cost_with_sharers n =
+    let c = mk () in
+    for core = 0 to n - 1 do
+      ignore (Coherence.read_cost c ~core ~partition:0 ~lines:1)
+    done;
+    Coherence.write_cost c ~core:63 ~partition:0 ~lines:1
+  in
+  let c2 = cost_with_sharers 2 and c20 = cost_with_sharers 20 and c60 = cost_with_sharers 60 in
+  Alcotest.(check bool) "monotone in sharer count" true (c2 < c20 && c20 < c60)
+
+let test_read_after_write_pays_dirty_fetch () =
+  let c = mk () in
+  ignore (Coherence.write_cost c ~core:1 ~partition:0 ~lines:1);
+  let shared_fetch = Coherence.read_cost c ~core:2 ~partition:1 ~lines:1 in
+  let dirty_fetch = Coherence.read_cost c ~core:2 ~partition:0 ~lines:1 in
+  Alcotest.(check bool) "dirty fetch dearer than clean" true (dirty_fetch > shared_fetch);
+  Alcotest.(check (option int)) "line demoted after read" None (Coherence.owner c ~partition:0)
+
+let test_owner_rewrites_free () =
+  let c = mk () in
+  ignore (Coherence.write_cost c ~core:3 ~partition:5 ~lines:4);
+  Alcotest.(check (float 0.0)) "silent store in M state" 0.0
+    (Coherence.write_cost c ~core:3 ~partition:5 ~lines:4);
+  Alcotest.(check (float 0.0)) "owner read free" 0.0
+    (Coherence.read_cost c ~core:3 ~partition:5 ~lines:4)
+
+let test_costs_scale_with_lines () =
+  (* Multi-line fetches pipeline: a 9-line miss costs more than one line
+     but far less than nine sequential misses. *)
+  let c = mk () in
+  let one = Coherence.read_cost c ~core:0 ~partition:0 ~lines:1 in
+  let c2 = mk () in
+  let nine = Coherence.read_cost c2 ~core:0 ~partition:0 ~lines:9 in
+  Alcotest.(check bool) "more lines cost more" true (nine > one);
+  Alcotest.(check bool) "but pipelined below 9x" true (nine < 9.0 *. one);
+  Alcotest.(check (float 1e-9)) "matches the pipeline formula"
+    (one *. (1.0 +. (0.1 *. 8.0)))
+    nine
+
+let test_private_append_free () =
+  let c = mk () in
+  Alcotest.(check (float 0.0)) "private log append touches no shared lines" 0.0
+    (Coherence.private_append_cost c ~lines:9)
+
+let test_stats_and_reset () =
+  let c = mk () in
+  ignore (Coherence.read_cost c ~core:0 ~partition:0 ~lines:2);
+  ignore (Coherence.read_cost c ~core:1 ~partition:0 ~lines:2);
+  ignore (Coherence.write_cost c ~core:2 ~partition:0 ~lines:2);
+  ignore (Coherence.read_cost c ~core:0 ~partition:0 ~lines:2);
+  let st = Coherence.stats c in
+  Alcotest.(check bool) "counted shared fetches" true (st.Coherence.shared_fetches > 0);
+  Alcotest.(check bool) "counted invalidations" true (st.Coherence.invalidations > 0);
+  Alcotest.(check bool) "counted dirty fetches" true (st.Coherence.dirty_fetches > 0);
+  Coherence.reset c;
+  let st = Coherence.stats c in
+  Alcotest.(check int) "reset invalidations" 0 st.Coherence.invalidations;
+  Alcotest.(check int) "reset sharers" 0 (Coherence.sharers c ~partition:0)
+
+(* The Fig. 11b mechanism in miniature: under a read-write storm on one
+   partition, per-write cost with many readers far exceeds the
+   uncontended case, while reads between writes keep re-fetching. *)
+let test_contention_storm () =
+  let c = mk () in
+  let writer_cost = ref 0.0 and reader_cost = ref 0.0 in
+  for round = 1 to 100 do
+    for core = 1 to 63 do
+      reader_cost := !reader_cost +. Coherence.read_cost c ~core ~partition:0 ~lines:9
+    done;
+    ignore round;
+    writer_cost := !writer_cost +. Coherence.write_cost c ~core:0 ~partition:0 ~lines:9
+  done;
+  let uncontended = mk () in
+  let solo = ref 0.0 in
+  for _ = 1 to 100 do
+    solo := !solo +. Coherence.write_cost uncontended ~core:0 ~partition:0 ~lines:9
+  done;
+  Alcotest.(check bool) "storm writes dearer than solo writes" true (!writer_cost > !solo *. 5.0);
+  Alcotest.(check bool) "readers pay dirty fetches" true (!reader_cost > 0.0)
+
+let tests =
+  [
+    Alcotest.test_case "bitset basics" `Quick test_bitset_basic;
+    Alcotest.test_case "bitset bounds checking" `Quick test_bitset_bounds;
+    Alcotest.test_case "bitset iteration" `Quick test_bitset_iter;
+    QCheck_alcotest.to_alcotest prop_bitset_models_set;
+    Alcotest.test_case "read: miss then hit" `Quick test_first_read_misses_then_hits;
+    Alcotest.test_case "write invalidates sharer set" `Quick test_write_invalidates_sharers;
+    Alcotest.test_case "write cost grows with sharers" `Quick test_write_cost_grows_with_sharers;
+    Alcotest.test_case "read after write pays dirty fetch" `Quick test_read_after_write_pays_dirty_fetch;
+    Alcotest.test_case "owner re-accesses are free" `Quick test_owner_rewrites_free;
+    Alcotest.test_case "costs scale with line count" `Quick test_costs_scale_with_lines;
+    Alcotest.test_case "private append is free" `Quick test_private_append_free;
+    Alcotest.test_case "stats and reset" `Quick test_stats_and_reset;
+    Alcotest.test_case "read-write storm inflates writer cost" `Quick test_contention_storm;
+  ]

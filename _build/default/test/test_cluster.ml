@@ -1,0 +1,153 @@
+(* Multi-node cluster model: sharding correctness, trace replay
+   equivalence, the Sec. 8 claim that skewed write load overloads a
+   whole node, and that per-node C-4 lifts the cluster. *)
+
+module Cluster = C4_cluster.Cluster
+module Server = C4_model.Server
+module Metrics = C4_model.Metrics
+module Generator = C4_workload.Generator
+module Trace = C4_workload.Trace
+module Request = C4_workload.Request
+
+let workload ?(theta = 0.0) ?(write_fraction = 0.5) rate =
+  { Generator.default with n_keys = 100_000; n_partitions = 1024; theta; write_fraction; rate }
+
+let node_config policy =
+  { (C4.Config.model policy) with Server.n_workers = 8 }
+
+(* ---------------- trace replay ---------------- *)
+
+let test_run_trace_matches_run () =
+  (* Replaying a recorded trace reproduces the generator-driven run
+     exactly (same seed, same stream). *)
+  let wl = workload 0.01 in
+  let cfg = node_config C4.Config.Baseline in
+  let direct = Server.run cfg ~workload:wl ~n_requests:20_000 in
+  let gen = Generator.create wl ~seed:(cfg.Server.seed lxor 0x5bd1e995) in
+  let trace = Trace.record gen ~n:20_000 in
+  let replayed = Server.run_trace cfg ~trace ~n_partitions:wl.Generator.n_partitions in
+  Alcotest.(check (float 1e-9)) "same p99"
+    (Metrics.p99 direct.Server.metrics)
+    (Metrics.p99 replayed.Server.metrics);
+  Alcotest.(check int) "same completions"
+    (Metrics.completed direct.Server.metrics)
+    (Metrics.completed replayed.Server.metrics)
+
+let test_of_array_validation () =
+  let gen = Generator.create (workload 0.01) ~seed:1 in
+  let a = Generator.next gen and b = Generator.next gen in
+  Alcotest.check_raises "unsorted rejected"
+    (Invalid_argument "Trace.of_array: arrivals must be nondecreasing") (fun () ->
+      ignore (Trace.of_array [| b; a |]))
+
+(* ---------------- sharding ---------------- *)
+
+let test_sharding_covers_nodes () =
+  let seen = Array.make 4 0 in
+  for key = 0 to 9_999 do
+    let n = Cluster.node_of_key ~n_nodes:4 key in
+    seen.(n) <- seen.(n) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if c < 2_000 || c > 3_000 then Alcotest.failf "node %d got %d of 10000" i c)
+    seen
+
+let test_all_requests_routed () =
+  let t =
+    Cluster.run
+      { Cluster.n_nodes = 3; node = node_config C4.Config.Baseline; workload = workload 0.01; netcache = None }
+      ~n_requests:15_000
+  in
+  let total = List.fold_left (fun acc n -> acc + n.Cluster.requests) 0 t.Cluster.nodes in
+  Alcotest.(check int) "conservation across nodes" 15_000 total;
+  Alcotest.(check int) "node count" 3 (List.length t.Cluster.nodes)
+
+let test_uniform_cluster_balanced () =
+  let t =
+    Cluster.run
+      { Cluster.n_nodes = 4; node = node_config C4.Config.Baseline; workload = workload 0.02; netcache = None }
+      ~n_requests:40_000
+  in
+  Alcotest.(check bool) "near-fair sharding" true (t.Cluster.imbalance < 1.1)
+
+(* ---------------- the Sec. 8 story ---------------- *)
+
+let test_skew_overloads_one_node () =
+  (* gamma = 1.25: the hot key's node carries a disproportionate share,
+     and under CREW its hottest worker bottlenecks the whole cluster's
+     tail. *)
+  let skewed = workload ~theta:1.25 ~write_fraction:0.05 0.03 in
+  let t =
+    Cluster.run
+      { Cluster.n_nodes = 4; node = node_config C4.Config.Baseline; workload = skewed; netcache = None }
+      ~n_requests:60_000
+  in
+  Alcotest.(check bool) "hot node exceeds fair share" true (t.Cluster.imbalance > 1.3)
+
+let test_dcrew_lifts_cluster_tail () =
+  let wi = workload ~write_fraction:0.75 0.035 in
+  let run policy =
+    (Cluster.run
+       { Cluster.n_nodes = 4; node = node_config policy; workload = wi; netcache = None }
+       ~n_requests:60_000)
+      .Cluster.cluster_p99
+  in
+  let crew = run C4.Config.Baseline and dcrew = run C4.Config.Dcrew in
+  Alcotest.(check bool) "per-node d-CREW cuts cluster p99" true (dcrew < crew *. 0.8)
+
+let test_netcache_relieves_hot_node () =
+  (* Extreme skew: the hot key's node is the bottleneck; a switch cache
+     over the hottest keys removes both the imbalance and the tail. *)
+  let extreme = workload ~theta:1.25 ~write_fraction:0.05 0.06 in
+  let base =
+    Cluster.run
+      { Cluster.n_nodes = 4; node = node_config C4.Config.Baseline; workload = extreme; netcache = None }
+      ~n_requests:60_000
+  in
+  let cached =
+    Cluster.run
+      {
+        Cluster.n_nodes = 4;
+        node = node_config C4.Config.Baseline;
+        workload = extreme;
+        netcache = Some { Cluster.hot_keys = 128; t_switch = 300.0 };
+      }
+      ~n_requests:60_000
+  in
+  Alcotest.(check bool) "switch serves hot reads" true (cached.Cluster.switch_hits > 10_000);
+  Alcotest.(check bool) "imbalance shrinks" true
+    (cached.Cluster.imbalance < base.Cluster.imbalance -. 0.2);
+  Alcotest.(check bool) "cluster tail collapses" true
+    (cached.Cluster.cluster_p99 < base.Cluster.cluster_p99 /. 2.0)
+
+let test_netcache_write_through () =
+  (* Writes always reach the nodes: hits are reads only. *)
+  let wl = workload ~theta:1.25 ~write_fraction:1.0 0.01 in
+  let t =
+    Cluster.run
+      {
+        Cluster.n_nodes = 2;
+        node = node_config C4.Config.Baseline;
+        workload = wl;
+        netcache = Some { Cluster.hot_keys = 1_000; t_switch = 300.0 };
+      }
+      ~n_requests:10_000
+  in
+  Alcotest.(check int) "no write served by the switch" 0 t.Cluster.switch_hits;
+  let forwarded = List.fold_left (fun acc n -> acc + n.Cluster.requests) 0 t.Cluster.nodes in
+  Alcotest.(check int) "all writes forwarded" 10_000 forwarded
+
+let tests =
+  [
+    Alcotest.test_case "trace replay = generator run" `Quick test_run_trace_matches_run;
+    Alcotest.test_case "of_array validates ordering" `Quick test_of_array_validation;
+    Alcotest.test_case "sharding covers all nodes" `Quick test_sharding_covers_nodes;
+    Alcotest.test_case "requests conserved across nodes" `Quick test_all_requests_routed;
+    Alcotest.test_case "uniform keys shard fairly" `Quick test_uniform_cluster_balanced;
+    Alcotest.test_case "skew overloads one node" `Slow test_skew_overloads_one_node;
+    Alcotest.test_case "per-node d-CREW lifts the cluster" `Slow test_dcrew_lifts_cluster_tail;
+    Alcotest.test_case "NetCache-style switch relieves the hot node" `Slow
+      test_netcache_relieves_hot_node;
+    Alcotest.test_case "switch cache is write-through" `Quick test_netcache_write_through;
+  ]

@@ -1,0 +1,120 @@
+(* Extensions beyond the paper's evaluated set: the software-delegation
+   baseline (Sec. 8's dismissed alternative) and the EWT hardware-cost
+   model (Sec. 5.2's CACTI sizing). *)
+
+module Policy = C4_model.Policy
+module Server = C4_model.Server
+module Metrics = C4_model.Metrics
+module Experiment = C4_model.Experiment
+module Generator = C4_workload.Generator
+module Ewt_cost = C4_nic.Ewt_cost
+
+(* ---------------- Delegation ---------------- *)
+
+let wl rate =
+  { Generator.default with n_keys = 50_000; n_partitions = 1024; write_fraction = 0.5; rate }
+
+let cfg policy = { Server.default_config with Server.policy; n_workers = 16 }
+
+let test_delegation_completes () =
+  let r =
+    Server.run (cfg (Policy.Delegate Policy.delegation_default)) ~workload:(wl 0.01)
+      ~n_requests:20_000
+  in
+  let m = r.Server.metrics in
+  Alcotest.(check bool) "conserves requests" true
+    (Metrics.completed m + Metrics.drops m > 15_000)
+
+let test_delegation_pays_forwarding_tax () =
+  (* Mean write latency exceeds CREW's: the shuffle adds a hop plus a
+     second queueing stage. *)
+  let mean policy =
+    let r = Server.run (cfg policy) ~workload:(wl 0.012) ~n_requests:30_000 in
+    C4_stats.Histogram.mean (Metrics.write_latency r.Server.metrics)
+  in
+  let crew = mean Policy.Crew in
+  let delegation = mean (Policy.Delegate Policy.delegation_default) in
+  Alcotest.(check bool) "delegation write latency above CREW" true
+    (delegation > crew +. 100.0)
+
+let test_delegation_worse_than_dcrew () =
+  let p99 policy =
+    let r = Server.run (cfg policy) ~workload:(wl 0.018) ~n_requests:30_000 in
+    Metrics.p99 r.Server.metrics
+  in
+  Alcotest.(check bool) "d-CREW dominates delegation" true
+    (p99 Policy.Dcrew < p99 (Policy.Delegate Policy.delegation_default))
+
+let test_delegation_zero_cost_converges_to_crew_queueing () =
+  (* With a free shuffle, delegation is CREW plus an extra queueing hop:
+     still worse than or equal to CREW, never better. *)
+  let p99 policy =
+    let r = Server.run (cfg policy) ~workload:(wl 0.015) ~n_requests:30_000 in
+    Metrics.p99 r.Server.metrics
+  in
+  Alcotest.(check bool) "free delegation >= CREW" true
+    (p99 (Policy.Delegate { Policy.t_forward = 1.0 }) >= p99 Policy.Crew *. 0.9)
+
+let test_delegation_name_and_routing () =
+  Alcotest.(check string) "name" "Delegation"
+    (Policy.name (Policy.Delegate Policy.delegation_default));
+  Alcotest.(check bool) "balances everything" true
+    (Policy.balanceable (Policy.Delegate Policy.delegation_default) C4_workload.Request.Write);
+  Alcotest.(check bool) "no EWT" false
+    (Policy.uses_ewt (Policy.Delegate Policy.delegation_default))
+
+(* ---------------- EWT hardware cost ---------------- *)
+
+let test_paper_calibration_point () =
+  let g = Ewt_cost.paper_geometry in
+  Alcotest.(check (float 1e-9)) "area" 0.004 (Ewt_cost.area_mm2 g);
+  Alcotest.(check (float 1e-9)) "power" 6.85 (Ewt_cost.dynamic_power_mw g);
+  (* 6.85 mW of 280 W = 0.0024% — the paper's "0.002%". *)
+  let frac = Ewt_cost.power_fraction g in
+  Alcotest.(check bool) "negligible fraction" true (frac > 1e-5 && frac < 5e-5)
+
+let test_cost_scales_linearly_in_entries () =
+  let g = Ewt_cost.paper_geometry in
+  let double = { g with Ewt_cost.entries = 256 } in
+  Alcotest.(check (float 1e-9)) "2x entries = 2x area" (2.0 *. Ewt_cost.area_mm2 g)
+    (Ewt_cost.area_mm2 double)
+
+let test_cam_bits_cost_more () =
+  let g = Ewt_cost.paper_geometry in
+  let more_cam = { g with Ewt_cost.partition_bits = g.Ewt_cost.partition_bits + 6 } in
+  let more_ram = { g with Ewt_cost.thread_bits = g.Ewt_cost.thread_bits + 6 } in
+  Alcotest.(check bool) "CAM bits dearer than RAM bits" true
+    (Ewt_cost.area_mm2 more_cam > Ewt_cost.area_mm2 more_ram)
+
+let test_size_for () =
+  let g =
+    Ewt_cost.size_for ~n_partitions:8192 ~n_threads:64 ~max_outstanding_writes:64 ()
+  in
+  Alcotest.(check int) "entries: 64 * 1.4 -> 128" 128 g.Ewt_cost.entries;
+  Alcotest.(check int) "partition tag bits" 13 g.Ewt_cost.partition_bits;
+  Alcotest.(check int) "thread bits" 6 g.Ewt_cost.thread_bits;
+  Alcotest.(check int) "counter bits" 7 g.Ewt_cost.counter_bits;
+  Alcotest.(check bool) "still tiny" true (Ewt_cost.area_mm2 g < 0.01)
+
+let test_size_for_validation () =
+  Alcotest.(check bool) "rejects nonsense" true
+    (try
+       ignore (Ewt_cost.size_for ~n_partitions:0 ~n_threads:64 ~max_outstanding_writes:1 ());
+       false
+     with Invalid_argument _ -> true)
+
+let tests =
+  [
+    Alcotest.test_case "delegation completes all requests" `Quick test_delegation_completes;
+    Alcotest.test_case "delegation pays the forwarding tax" `Quick
+      test_delegation_pays_forwarding_tax;
+    Alcotest.test_case "d-CREW dominates delegation" `Quick test_delegation_worse_than_dcrew;
+    Alcotest.test_case "free delegation still >= CREW" `Quick
+      test_delegation_zero_cost_converges_to_crew_queueing;
+    Alcotest.test_case "delegation policy plumbing" `Quick test_delegation_name_and_routing;
+    Alcotest.test_case "EWT cost: paper calibration" `Quick test_paper_calibration_point;
+    Alcotest.test_case "EWT cost: linear in entries" `Quick test_cost_scales_linearly_in_entries;
+    Alcotest.test_case "EWT cost: CAM premium" `Quick test_cam_bits_cost_more;
+    Alcotest.test_case "EWT sizing helper" `Quick test_size_for;
+    Alcotest.test_case "EWT sizing validation" `Quick test_size_for_validation;
+  ]

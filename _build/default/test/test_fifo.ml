@@ -1,0 +1,129 @@
+(* FIFO ring-buffer tests, including the scan/extract operations the
+   compaction layer depends on, and a model-based property test against
+   a reference list implementation. *)
+
+module Fifo = C4_dsim.Fifo
+
+let to_l = Fifo.to_list
+
+let test_push_pop_order () =
+  let q = Fifo.create () in
+  List.iter (Fifo.push q) [ 1; 2; 3 ];
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Fifo.pop q);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Fifo.pop q);
+  Fifo.push q 4;
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Fifo.pop q);
+  Alcotest.(check (option int)) "pop 4" (Some 4) (Fifo.pop q);
+  Alcotest.(check (option int)) "empty" None (Fifo.pop q)
+
+let test_peek () =
+  let q = Fifo.create () in
+  Alcotest.(check (option int)) "peek empty" None (Fifo.peek q);
+  Fifo.push q 9;
+  Alcotest.(check (option int)) "peek" (Some 9) (Fifo.peek q);
+  Alcotest.(check int) "peek non-destructive" 1 (Fifo.length q)
+
+let test_wraparound () =
+  let q = Fifo.create ~capacity:4 () in
+  for i = 0 to 2 do
+    Fifo.push q i
+  done;
+  ignore (Fifo.pop q);
+  ignore (Fifo.pop q);
+  for i = 3 to 7 do
+    Fifo.push q i
+  done;
+  Alcotest.(check (list int)) "wraparound growth" [ 2; 3; 4; 5; 6; 7 ] (to_l q)
+
+let test_scan_depth () =
+  let q = Fifo.create () in
+  List.iter (Fifo.push q) [ 10; 20; 30; 40 ];
+  let seen = ref [] in
+  Fifo.scan q ~depth:2 ~f:(fun x -> seen := x :: !seen);
+  Alcotest.(check (list int)) "depth-limited scan" [ 10; 20 ] (List.rev !seen);
+  seen := [];
+  Fifo.scan q ~depth:(-1) ~f:(fun x -> seen := x :: !seen);
+  Alcotest.(check (list int)) "full scan" [ 10; 20; 30; 40 ] (List.rev !seen)
+
+let test_exists_depth () =
+  let q = Fifo.create () in
+  List.iter (Fifo.push q) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check bool) "found within depth" true (Fifo.exists q ~depth:3 ~f:(( = ) 3));
+  Alcotest.(check bool) "not within depth" false (Fifo.exists q ~depth:3 ~f:(( = ) 5));
+  Alcotest.(check bool) "unbounded finds it" true (Fifo.exists q ~depth:(-1) ~f:(( = ) 5))
+
+let test_extract () =
+  let q = Fifo.create () in
+  List.iter (Fifo.push q) [ 1; 2; 3; 4; 5; 6 ];
+  let evens = Fifo.extract q ~depth:4 ~f:(fun x -> x mod 2 = 0) in
+  Alcotest.(check (list int)) "extracted in order" [ 2; 4 ] evens;
+  Alcotest.(check (list int)) "remainder stable" [ 1; 3; 5; 6 ] (to_l q)
+
+let test_extract_none () =
+  let q = Fifo.create () in
+  List.iter (Fifo.push q) [ 1; 3; 5 ];
+  Alcotest.(check (list int)) "nothing extracted" []
+    (Fifo.extract q ~depth:(-1) ~f:(fun x -> x mod 2 = 0));
+  Alcotest.(check (list int)) "queue untouched" [ 1; 3; 5 ] (to_l q)
+
+let test_extract_past_depth_untouched () =
+  let q = Fifo.create () in
+  List.iter (Fifo.push q) [ 2; 1; 2 ];
+  let got = Fifo.extract q ~depth:1 ~f:(fun x -> x = 2) in
+  Alcotest.(check (list int)) "only first slot inspected" [ 2 ] got;
+  Alcotest.(check (list int)) "deep match left alone" [ 1; 2 ] (to_l q)
+
+let test_clear () =
+  let q = Fifo.create () in
+  List.iter (Fifo.push q) [ 1; 2; 3 ];
+  Fifo.clear q;
+  Alcotest.(check int) "cleared" 0 (Fifo.length q);
+  Fifo.push q 7;
+  Alcotest.(check (option int)) "usable after clear" (Some 7) (Fifo.pop q)
+
+(* Model-based property: a Fifo behaves like a list under an arbitrary
+   sequence of push/pop operations. *)
+let prop_model =
+  let op = QCheck.(oneof [ map (fun x -> `Push x) small_int; always `Pop ]) in
+  QCheck.Test.make ~name:"fifo matches list model" ~count:300 (QCheck.list op)
+    (fun ops ->
+      let q = Fifo.create ~capacity:1 () in
+      let model = ref [] in
+      List.for_all
+        (fun operation ->
+          match operation with
+          | `Push x ->
+            Fifo.push q x;
+            model := !model @ [ x ];
+            to_l q = !model
+          | `Pop -> (
+            let expected = match !model with [] -> None | x :: rest -> model := rest; Some x in
+            Fifo.pop q = expected && to_l q = !model))
+        ops)
+
+let prop_extract_partition =
+  QCheck.Test.make ~name:"extract = stable partition of the prefix" ~count:300
+    QCheck.(list small_int)
+    (fun xs ->
+      let q = Fifo.create () in
+      List.iter (Fifo.push q) xs;
+      let f x = x mod 3 = 0 in
+      let got = Fifo.extract q ~depth:(-1) ~f in
+      let expected_removed = List.filter f xs in
+      let expected_kept = List.filter (fun x -> not (f x)) xs in
+      got = expected_removed && to_l q = expected_kept)
+
+let tests =
+  [
+    Alcotest.test_case "FIFO order with interleaving" `Quick test_push_pop_order;
+    Alcotest.test_case "peek" `Quick test_peek;
+    Alcotest.test_case "wraparound + growth" `Quick test_wraparound;
+    Alcotest.test_case "scan honours depth" `Quick test_scan_depth;
+    Alcotest.test_case "exists honours depth" `Quick test_exists_depth;
+    Alcotest.test_case "extract removes stably" `Quick test_extract;
+    Alcotest.test_case "extract with no matches" `Quick test_extract_none;
+    Alcotest.test_case "extract leaves deep elements" `Quick test_extract_past_depth_untouched;
+    Alcotest.test_case "clear" `Quick test_clear;
+    QCheck_alcotest.to_alcotest prop_model;
+    QCheck_alcotest.to_alcotest prop_extract_partition;
+  ]

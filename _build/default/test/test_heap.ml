@@ -1,0 +1,114 @@
+(* Binary-heap unit and property tests: ordering, FIFO tiebreak (the
+   property deterministic simulation rests on), growth, clear. *)
+
+module Heap = C4_dsim.Heap
+
+let check = Alcotest.(check (list (pair (float 0.0) int)))
+
+let drain h =
+  let rec loop acc =
+    match Heap.pop h with None -> List.rev acc | Some e -> loop (e :: acc)
+  in
+  loop []
+
+let test_empty () =
+  let h = Heap.create () in
+  Alcotest.(check int) "empty length" 0 (Heap.length h);
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check (option (pair (float 0.0) int))) "peek none" None (Heap.peek h);
+  Alcotest.(check (option (pair (float 0.0) int))) "pop none" None (Heap.pop h)
+
+let test_ordering () =
+  let h = Heap.create () in
+  List.iter (fun (p, x) -> Heap.push h ~priority:p x)
+    [ (3.0, 3); (1.0, 1); (2.0, 2); (0.5, 0); (10.0, 10) ];
+  check "sorted" [ (0.5, 0); (1.0, 1); (2.0, 2); (3.0, 3); (10.0, 10) ] (drain h)
+
+let test_fifo_tiebreak () =
+  let h = Heap.create () in
+  List.iter (fun x -> Heap.push h ~priority:1.0 x) [ 1; 2; 3; 4; 5 ];
+  Heap.push h ~priority:0.0 0;
+  check "ties pop in insertion order"
+    [ (0.0, 0); (1.0, 1); (1.0, 2); (1.0, 3); (1.0, 4); (1.0, 5) ]
+    (drain h)
+
+let test_peek_does_not_remove () =
+  let h = Heap.create () in
+  Heap.push h ~priority:1.0 42;
+  Alcotest.(check (option (pair (float 0.0) int))) "peek" (Some (1.0, 42)) (Heap.peek h);
+  Alcotest.(check int) "still there" 1 (Heap.length h)
+
+let test_growth () =
+  let h = Heap.create ~capacity:2 () in
+  for i = 999 downto 0 do
+    Heap.push h ~priority:(float_of_int i) i
+  done;
+  Alcotest.(check int) "length" 1000 (Heap.length h);
+  let popped = drain h in
+  Alcotest.(check int) "drained all" 1000 (List.length popped);
+  Alcotest.(check (pair (float 0.0) int)) "min first" (0.0, 0) (List.hd popped)
+
+let test_clear () =
+  let h = Heap.create () in
+  for i = 0 to 9 do
+    Heap.push h ~priority:(float_of_int i) i
+  done;
+  Heap.clear h;
+  Alcotest.(check int) "cleared" 0 (Heap.length h);
+  Heap.push h ~priority:5.0 5;
+  Alcotest.(check (option (pair (float 0.0) int))) "usable after clear" (Some (5.0, 5))
+    (Heap.pop h)
+
+let test_fold () =
+  let h = Heap.create () in
+  List.iter (fun x -> Heap.push h ~priority:(float_of_int x) x) [ 1; 2; 3 ];
+  let sum = Heap.fold h ~init:0 ~f:(fun acc _ x -> acc + x) in
+  Alcotest.(check int) "fold sum" 6 sum
+
+let prop_pops_sorted =
+  QCheck.Test.make ~name:"heap pops in nondecreasing priority order" ~count:200
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun priorities ->
+      let h = Heap.create () in
+      List.iteri (fun i p -> Heap.push h ~priority:p i) priorities;
+      let popped = drain h in
+      let rec sorted = function
+        | (p1, _) :: ((p2, _) :: _ as rest) -> p1 <= p2 && sorted rest
+        | _ -> true
+      in
+      List.length popped = List.length priorities && sorted popped)
+
+let prop_interleaved_push_pop =
+  QCheck.Test.make ~name:"heap size invariant under interleaved push/pop" ~count:200
+    QCheck.(list (pair bool (float_bound_exclusive 100.0)))
+    (fun ops ->
+      let h = Heap.create () in
+      let size = ref 0 in
+      List.for_all
+        (fun (is_push, p) ->
+          if is_push then begin
+            Heap.push h ~priority:p ();
+            incr size
+          end
+          else begin
+            match Heap.pop h with
+            | Some _ ->
+              decr size;
+              ()
+            | None -> ()
+          end;
+          Heap.length h = max 0 !size)
+        ops)
+
+let tests =
+  [
+    Alcotest.test_case "empty heap behaviour" `Quick test_empty;
+    Alcotest.test_case "pops in priority order" `Quick test_ordering;
+    Alcotest.test_case "equal priorities pop FIFO" `Quick test_fifo_tiebreak;
+    Alcotest.test_case "peek is non-destructive" `Quick test_peek_does_not_remove;
+    Alcotest.test_case "grows past initial capacity" `Quick test_growth;
+    Alcotest.test_case "clear empties and stays usable" `Quick test_clear;
+    Alcotest.test_case "fold visits all entries" `Quick test_fold;
+    QCheck_alcotest.to_alcotest prop_pops_sorted;
+    QCheck_alcotest.to_alcotest prop_interleaved_push_pop;
+  ]

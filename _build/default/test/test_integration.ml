@@ -1,0 +1,222 @@
+(* Integration tests across substrates.
+
+   1. Randomised single-key schedules executed against the REAL
+      Store + Compaction_log with C-4's deferred-response rule, the
+      resulting history checked by the linearizability checker: the
+      Sec. 4.3.1 argument, validated mechanically over thousands of
+      interleavings.
+
+   2. The NIC pipeline end to end: packets through Header + Rpc, write
+      compaction harvesting dependent writes from the receive queue,
+      EWT bookkeeping for the d-CREW path, responses releasing
+      exclusivity — buffer-exact.
+
+   3. Server-model cross-checks tying several modules together. *)
+
+module Store = C4_kvs.Store
+module Log = C4_kvs.Compaction_log
+module History = C4_consistency.History
+module Lin = C4_consistency.Linearizability
+module Header = C4_nic.Header
+module Rpc = C4_nic.Rpc
+module Ewt = C4_nic.Ewt
+
+(* ------------------------------------------------------------------ *)
+(* 1. Compaction linearizability over random schedules.                *)
+
+type op_req = { at : float; is_set : bool; value : int }
+
+(* Execute a schedule against the store with compaction windows of
+   [window] length. Sets are buffered while a window is open and all
+   answered at window close; gets read the store immediately. Returns
+   the observable history. *)
+let execute ~window ops =
+  let key = 5 in
+  let store = Store.create ~n_buckets:32 ~n_partitions:4 () in
+  Store.set store ~key ~value:(Bytes.of_string "0");
+  let log = Log.create () in
+  let history = ref [] in
+  let client = ref 0 in
+  let fresh_client prefix =
+    incr client;
+    Printf.sprintf "%s%d" prefix !client
+  in
+  let close_window ~now =
+    match Log.close log ~now with
+    | None -> ()
+    | Some closed ->
+      let values = List.map (fun (p : Log.pending) -> p.Log.value) closed.Log.writes in
+      Store.set_batched store ~key ~values;
+      (* All buffered sets respond now — the C-4 rule. *)
+      List.iter
+        (fun (p : Log.pending) ->
+          history :=
+            History.set
+              ~client:(fresh_client "w")
+              ~value:(int_of_string (Bytes.to_string p.Log.value))
+              ~invoked:p.Log.buffered_at ~responded:now
+            :: !history)
+        closed.Log.writes
+  in
+  let step op =
+    (* Close an expired window before processing the next arrival. *)
+    if Log.window_open log && Log.expired log ~now:op.at then begin
+      let deadline = Option.get (Log.expires_at log) in
+      close_window ~now:deadline
+    end;
+    if op.is_set then begin
+      if not (Log.window_open log) then
+        Log.open_window log ~key ~now:op.at ~expires_at:(op.at +. window);
+      Log.absorb log ~key
+        {
+          Log.request_id = 0;
+          sender = 0;
+          value = Bytes.of_string (string_of_int op.value);
+          buffered_at = op.at;
+        }
+    end
+    else begin
+      let seen =
+        match fst (Store.get store ~key) with
+        | Some b -> int_of_string (Bytes.to_string b)
+        | None -> -1
+      in
+      history :=
+        History.get ~client:(fresh_client "r") ~value:seen ~invoked:op.at
+          ~responded:(op.at +. 0.001)
+        :: !history
+    end
+  in
+  List.iter step ops;
+  (* Drain any open window. *)
+  (match Log.expires_at log with Some deadline -> close_window ~now:deadline | None -> ());
+  History.of_ops !history
+
+let schedule_gen =
+  QCheck.Gen.(
+    let op =
+      map3
+        (fun dt is_set value -> (dt, is_set, value))
+        (float_range 0.1 5.0) bool (int_range 1 9)
+    in
+    list_size (int_range 1 20) op
+    |> map (fun steps ->
+           let time = ref 0.0 in
+           List.map
+             (fun (dt, is_set, value) ->
+               time := !time +. dt;
+               { at = !time; is_set; value })
+             steps))
+
+let prop_compaction_linearizable =
+  QCheck.Test.make ~name:"compaction with deferred responses linearizes (real store)"
+    ~count:500
+    (QCheck.make ~print:(fun ops -> string_of_int (List.length ops)) schedule_gen)
+    (fun ops -> Lin.is_linearizable ~initial:0 (execute ~window:4.0 ops))
+
+let prop_compaction_linearizable_long_windows =
+  QCheck.Test.make ~name:"linearizable with long windows too" ~count:200
+    (QCheck.make schedule_gen)
+    (fun ops -> Lin.is_linearizable ~initial:0 (execute ~window:50.0 ops))
+
+let test_final_value_is_last_buffered () =
+  let ops =
+    [
+      { at = 1.0; is_set = true; value = 3 };
+      { at = 2.0; is_set = true; value = 8 };
+      { at = 10.0; is_set = false; value = 0 } (* after the window *);
+    ]
+  in
+  let history = execute ~window:4.0 ops in
+  Alcotest.(check bool) "linearizable" true (Lin.is_linearizable ~initial:0 history);
+  let late_read =
+    List.find
+      (fun (op : History.op) -> match op.History.kind with History.Get _ -> true | _ -> false)
+      (History.ops history)
+  in
+  (match late_read.History.kind with
+  | History.Get v -> Alcotest.(check int) "reads last buffered value" 8 v
+  | History.Set _ -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* 2. NIC pipeline end to end.                                         *)
+
+let test_nic_pipeline_compaction () =
+  let header = Header.register ~layout:Header.default_layout ~n_buckets:256 ~n_partitions:16 in
+  let rpc = Rpc.create ~n_threads:4 ~n_buffers:32 ~header in
+  let ewt = Ewt.create () in
+  let store = Store.create ~n_buckets:256 ~n_partitions:16 () in
+  let key = 77 in
+  (* Client side: three dependent writes and one independent one. *)
+  let send ~thread ~sender op k v =
+    match Rpc.deliver rpc ~thread ~sender (Header.encode header ~op ~key:k ~value:v) with
+    | Ok r -> r
+    | Error _ -> Alcotest.fail "delivery failed"
+  in
+  let target_partition =
+    match Header.parse header (Header.encode header ~op:`Write ~key ~value:Bytes.empty) with
+    | Ok p -> p.Header.partition
+    | Error e -> Alcotest.failf "parse: %s" e
+  in
+  (* NIC: d-CREW pins the partition to thread 2 on first write. *)
+  Alcotest.(check bool) "ewt maps" true (Ewt.note_write ewt ~partition:target_partition ~thread:2 = `Ok);
+  let w1 = send ~thread:2 ~sender:10 `Write key (Bytes.of_string "v1") in
+  ignore (Ewt.note_write ewt ~partition:target_partition ~thread:2);
+  let _w2 = send ~thread:2 ~sender:11 `Write key (Bytes.of_string "v2") in
+  ignore (Ewt.note_write ewt ~partition:target_partition ~thread:2);
+  let _w3 = send ~thread:2 ~sender:12 `Write key (Bytes.of_string "v3") in
+  let other = send ~thread:2 ~sender:13 `Write (key + 1) (Bytes.of_string "zz") in
+  (* Server thread 2 polls the first write, scans for dependent ones. *)
+  let first = Option.get (Rpc.poll rpc ~thread:2) in
+  Alcotest.(check int) "first is w1" w1.Rpc.rpc_id first.Rpc.rpc_id;
+  let dependents = Rpc.take_matching_writes rpc ~thread:2 ~depth:8 ~key in
+  Alcotest.(check int) "harvested both dependents" 2 (List.length dependents);
+  Alcotest.(check int) "independent write left queued" 1 (Rpc.queue_length rpc ~thread:2);
+  (* Compact: one combined store update from the batch. *)
+  let batch = first :: dependents in
+  Store.set_batched store ~key ~values:(List.map (fun r -> r.Rpc.payload) batch);
+  Alcotest.(check (option string)) "store holds final value" (Some "v3")
+    (Option.map Bytes.to_string (fst (Store.get store ~key)));
+  (* Respond to every compacted write; the LAST response releases the
+     EWT mapping (outstanding counter reaches zero). *)
+  List.iteri
+    (fun i r ->
+      let resp = Rpc.respond rpc r ~release_exclusive:true () in
+      Alcotest.(check bool) "addressed correctly" true (resp.Rpc.resp_to = 10 + i);
+      Ewt.note_response ewt ~partition:target_partition)
+    batch;
+  Alcotest.(check (option int)) "partition balanceable again" None
+    (Ewt.lookup ewt ~partition:target_partition);
+  (* The independent write proceeds normally. *)
+  let o = Option.get (Rpc.poll rpc ~thread:2) in
+  Alcotest.(check int) "independent write polls" other.Rpc.rpc_id o.Rpc.rpc_id;
+  Store.set store ~key:(key + 1) ~value:o.Rpc.payload;
+  ignore (Rpc.respond rpc o ~release_exclusive:false ());
+  Alcotest.(check int) "all buffers returned" 32 (Rpc.buffers_free rpc)
+
+(* ------------------------------------------------------------------ *)
+(* 3. Cross-module sanity: the model's partition function agrees with
+      what the NIC parses from the wire. *)
+
+let test_partition_agreement () =
+  let n_buckets = 4096 and n_partitions = 64 in
+  let header = Header.register ~layout:Header.default_layout ~n_buckets ~n_partitions in
+  for key = 0 to 2_000 do
+    match Header.parse header (Header.encode header ~op:`Read ~key ~value:Bytes.empty) with
+    | Ok parsed ->
+      let expected = C4_kvs.Hash.partition_of_key ~n_buckets ~n_partitions key in
+      if parsed.Header.partition <> expected then
+        Alcotest.failf "key %d: NIC %d vs KVS %d" key parsed.Header.partition expected
+    | Error e -> Alcotest.failf "parse: %s" e
+  done
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_compaction_linearizable;
+    QCheck_alcotest.to_alcotest prop_compaction_linearizable_long_windows;
+    Alcotest.test_case "batch final value visible after close" `Quick
+      test_final_value_is_last_buffered;
+    Alcotest.test_case "NIC pipeline: parse, pin, compact, respond, release" `Quick
+      test_nic_pipeline_compaction;
+    Alcotest.test_case "NIC and KVS agree on f(key)" `Quick test_partition_agreement;
+  ]

@@ -1,0 +1,368 @@
+(* KVS substrate: hashing, item geometry, seqlock protocol (including a
+   real multi-domain reader/writer stress), store semantics, batched
+   updates, and the compaction log state machine. *)
+
+module Hash = C4_kvs.Hash
+module Item = C4_kvs.Item
+module Seqlock = C4_kvs.Seqlock
+module Store = C4_kvs.Store
+module Log = C4_kvs.Compaction_log
+
+(* ---------------- Hash ---------------- *)
+
+let test_fnv1a_stable () =
+  (* Known values pin the implementation against accidental change. *)
+  Alcotest.(check bool) "nonneg" true (Hash.fnv1a "hello" >= 0);
+  Alcotest.(check int) "deterministic" (Hash.fnv1a "hello") (Hash.fnv1a "hello");
+  Alcotest.(check bool) "distinct inputs differ" true
+    (Hash.fnv1a "hello" <> Hash.fnv1a "hellp")
+
+let test_mix_int_nonnegative () =
+  List.iter
+    (fun k ->
+      if Hash.mix_int k < 0 then Alcotest.failf "mix_int %d negative" k)
+    [ 0; 1; -1; max_int; min_int; 123456789 ]
+
+let test_bucket_partition_ranges () =
+  for key = 0 to 10_000 do
+    let b = Hash.bucket_of_key ~n_buckets:1024 key in
+    if b < 0 || b >= 1024 then Alcotest.failf "bucket %d" b;
+    let p = Hash.partition_of_key ~n_buckets:1024 ~n_partitions:64 key in
+    if p < 0 || p >= 64 then Alcotest.failf "partition %d" p
+  done
+
+let test_partition_of_bucket_contiguous () =
+  (* Buckets map to partitions in contiguous groups covering the range. *)
+  let seen = Array.make 16 false in
+  for b = 0 to 255 do
+    let p = Hash.partition_of_bucket ~n_buckets:256 ~n_partitions:16 b in
+    seen.(p) <- true;
+    Alcotest.(check int) "group arithmetic" (b / 16) p
+  done;
+  Array.iteri (fun i s -> Alcotest.(check bool) (Printf.sprintf "partition %d hit" i) true s) seen
+
+let prop_hash_distribution =
+  QCheck.Test.make ~name:"bucket distribution is roughly uniform" ~count:5
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let n_buckets = 64 in
+      let counts = Array.make n_buckets 0 in
+      let n = 64_000 in
+      for key = seed to seed + n - 1 do
+        let b = Hash.bucket_of_key ~n_buckets key in
+        counts.(b) <- counts.(b) + 1
+      done;
+      (* Expect 1000 per bucket; allow generous 25% deviation. *)
+      Array.for_all (fun c -> c > 750 && c < 1250) counts)
+
+(* ---------------- Item ---------------- *)
+
+let test_item_lines () =
+  Alcotest.(check int) "tiny fits one line" 1 (Item.total_lines Item.tiny);
+  Alcotest.(check int) "medium value lines" 2 (Item.value_lines Item.medium);
+  Alcotest.(check int) "medium total" 3 (Item.total_lines Item.medium);
+  Alcotest.(check int) "large value lines" 8 (Item.value_lines Item.large);
+  Alcotest.(check int) "large total" 9 (Item.total_lines Item.large)
+
+let test_item_names () =
+  Alcotest.(check string) "tiny" "Tiny" (Item.name Item.tiny);
+  Alcotest.(check string) "custom" "4B/100B"
+    (Item.name { Item.key_size = 4; value_size = 100 })
+
+(* ---------------- Seqlock ---------------- *)
+
+let test_seqlock_protocol () =
+  let l = Seqlock.create () in
+  Alcotest.(check int) "initial version" 0 (Seqlock.version l);
+  Seqlock.write_begin l;
+  Alcotest.(check bool) "in flight" true (Seqlock.write_in_flight l);
+  Alcotest.(check int) "odd during write" 1 (Seqlock.version l);
+  Seqlock.write_end l;
+  Alcotest.(check int) "even after write" 2 (Seqlock.version l);
+  Alcotest.(check bool) "not in flight" false (Seqlock.write_in_flight l)
+
+let test_seqlock_crew_violation () =
+  let l = Seqlock.create () in
+  Seqlock.write_begin l;
+  Alcotest.check_raises "second writer rejected"
+    (Failure "Seqlock.write_begin: concurrent writer (CREW violation)") (fun () ->
+      Seqlock.write_begin l)
+
+let test_seqlock_end_without_begin () =
+  let l = Seqlock.create () in
+  Alcotest.check_raises "end without begin"
+    (Failure "Seqlock.write_end: no update in flight") (fun () -> Seqlock.write_end l)
+
+let test_seqlock_read_stable () =
+  let l = Seqlock.create () in
+  let v, retries = Seqlock.read l (fun () -> 42) in
+  Alcotest.(check int) "value" 42 v;
+  Alcotest.(check int) "no retries uncontended" 0 retries
+
+(* Real concurrency: one writer domain mutating a two-word "item" under
+   the seqlock, reader domains verifying they never observe a torn pair.
+   This is the invariant the whole OCC scheme rests on. *)
+let test_seqlock_multicore () =
+  let l = Seqlock.create () in
+  let a = ref 0 and b = ref 0 in
+  let iterations = 20_000 in
+  let writer () =
+    for i = 1 to iterations do
+      Seqlock.write_begin l;
+      a := i;
+      (* Widen the race window a little. *)
+      if i mod 64 = 0 then Domain.cpu_relax ();
+      b := i;
+      Seqlock.write_end l
+    done
+  in
+  let torn = Atomic.make 0 in
+  let reader () =
+    for _ = 1 to iterations do
+      let (x, y), _retries = Seqlock.read l (fun () -> (!a, !b)) in
+      if x <> y then Atomic.incr torn
+    done
+  in
+  let wd = Domain.spawn writer in
+  let rd1 = Domain.spawn reader and rd2 = Domain.spawn reader in
+  Domain.join wd;
+  Domain.join rd1;
+  Domain.join rd2;
+  Alcotest.(check int) "no torn reads" 0 (Atomic.get torn);
+  Alcotest.(check int) "version = 2 x writes" (2 * iterations) (Seqlock.version l)
+
+(* ---------------- Store ---------------- *)
+
+let bytes_of s = Bytes.of_string s
+
+let test_store_set_get () =
+  let s = Store.create ~n_buckets:128 ~n_partitions:8 () in
+  Store.set s ~key:1 ~value:(bytes_of "one");
+  Store.set s ~key:2 ~value:(bytes_of "two");
+  Alcotest.(check (option string)) "get 1" (Some "one")
+    (Option.map Bytes.to_string (fst (Store.get s ~key:1)));
+  Alcotest.(check (option string)) "get 2" (Some "two")
+    (Option.map Bytes.to_string (fst (Store.get s ~key:2)));
+  Alcotest.(check (option string)) "miss" None
+    (Option.map Bytes.to_string (fst (Store.get s ~key:3)));
+  Alcotest.(check int) "size" 2 (Store.size s)
+
+let test_store_update_in_place () =
+  let s = Store.create () in
+  Store.set s ~key:5 ~value:(bytes_of "aaaa");
+  Store.set s ~key:5 ~value:(bytes_of "bbbb");
+  Alcotest.(check (option string)) "updated" (Some "bbbb")
+    (Option.map Bytes.to_string (fst (Store.get s ~key:5)));
+  Alcotest.(check int) "no duplicate" 1 (Store.size s)
+
+let test_store_get_returns_copy () =
+  let s = Store.create () in
+  Store.set s ~key:1 ~value:(bytes_of "orig");
+  (match fst (Store.get s ~key:1) with
+  | Some b -> Bytes.set b 0 'X'
+  | None -> Alcotest.fail "missing");
+  Alcotest.(check (option string)) "store unaffected by caller mutation" (Some "orig")
+    (Option.map Bytes.to_string (fst (Store.get s ~key:1)))
+
+let test_store_set_copies_input () =
+  let s = Store.create () in
+  let v = bytes_of "orig" in
+  Store.set s ~key:1 ~value:v;
+  Bytes.set v 0 'X';
+  Alcotest.(check (option string)) "store unaffected by input mutation" (Some "orig")
+    (Option.map Bytes.to_string (fst (Store.get s ~key:1)))
+
+let test_store_remove () =
+  let s = Store.create () in
+  Store.set s ~key:9 ~value:(bytes_of "x");
+  Alcotest.(check bool) "mem" true (Store.mem s ~key:9);
+  Alcotest.(check bool) "removed" true (Store.remove s ~key:9);
+  Alcotest.(check bool) "gone" false (Store.mem s ~key:9);
+  Alcotest.(check bool) "idempotent" false (Store.remove s ~key:9);
+  Alcotest.(check int) "size back to 0" 0 (Store.size s)
+
+let test_store_versions_count_updates () =
+  let s = Store.create ~n_buckets:64 ~n_partitions:4 () in
+  let key = 11 in
+  let p = Store.partition_of_key s key in
+  Store.set s ~key ~value:(bytes_of "a");
+  Store.set s ~key ~value:(bytes_of "b");
+  Alcotest.(check int) "two updates = version 4" 4 (Store.partition_version s ~partition:p)
+
+let test_store_batched_single_version_bump () =
+  let s = Store.create ~n_buckets:64 ~n_partitions:4 () in
+  let key = 3 in
+  let p = Store.partition_of_key s key in
+  Store.set_batched s ~key
+    ~values:[ bytes_of "v1"; bytes_of "v2"; bytes_of "v3" ];
+  Alcotest.(check int) "one version bump for the batch" 2
+    (Store.partition_version s ~partition:p);
+  Alcotest.(check (option string)) "final value visible" (Some "v3")
+    (Option.map Bytes.to_string (fst (Store.get s ~key)));
+  Store.set_batched s ~key ~values:[];
+  Alcotest.(check int) "empty batch is free" 2 (Store.partition_version s ~partition:p)
+
+let test_store_stats () =
+  let s = Store.create () in
+  Store.set s ~key:1 ~value:(bytes_of "v");
+  ignore (Store.get s ~key:1);
+  ignore (Store.get s ~key:2);
+  let st = Store.stats s in
+  Alcotest.(check int) "writes" 1 st.Store.writes;
+  Alcotest.(check int) "reads" 2 st.Store.reads;
+  Store.reset_stats s;
+  Alcotest.(check int) "reset" 0 (Store.stats s).Store.reads
+
+let test_store_many_keys_chaining () =
+  (* Force chains: more keys than buckets. *)
+  let s = Store.create ~n_buckets:16 ~n_partitions:4 () in
+  for key = 0 to 499 do
+    Store.set s ~key ~value:(bytes_of (string_of_int key))
+  done;
+  Alcotest.(check int) "all stored" 500 (Store.size s);
+  for key = 0 to 499 do
+    match fst (Store.get s ~key) with
+    | Some v when Bytes.to_string v = string_of_int key -> ()
+    | _ -> Alcotest.failf "key %d corrupted" key
+  done
+
+let prop_store_models_map =
+  let op =
+    QCheck.(
+      oneof
+        [
+          map (fun (k, v) -> `Set (k, v)) (pair (int_range 0 20) (int_range 0 1000));
+          map (fun k -> `Remove k) (int_range 0 20);
+          map (fun k -> `Get k) (int_range 0 20);
+        ])
+  in
+  QCheck.Test.make ~name:"store behaves like a map" ~count:200 (QCheck.list op)
+    (fun ops ->
+      let s = Store.create ~n_buckets:8 ~n_partitions:2 () in
+      let model = Hashtbl.create 16 in
+      List.for_all
+        (fun operation ->
+          match operation with
+          | `Set (k, v) ->
+            Store.set s ~key:k ~value:(bytes_of (string_of_int v));
+            Hashtbl.replace model k (string_of_int v);
+            true
+          | `Remove k ->
+            let expected = Hashtbl.mem model k in
+            Hashtbl.remove model k;
+            Store.remove s ~key:k = expected
+          | `Get k ->
+            let got = Option.map Bytes.to_string (fst (Store.get s ~key:k)) in
+            got = Hashtbl.find_opt model k)
+        ops)
+
+(* ---------------- Compaction log ---------------- *)
+
+let pending id = { Log.request_id = id; sender = 0; value = Bytes.empty; buffered_at = 0.0 }
+
+let test_log_lifecycle () =
+  let log = Log.create () in
+  Alcotest.(check bool) "initially closed" false (Log.window_open log);
+  Log.open_window log ~key:7 ~now:0.0 ~expires_at:100.0;
+  Alcotest.(check bool) "open" true (Log.window_open log);
+  Alcotest.(check bool) "open for key" true (Log.is_open_for log ~key:7);
+  Alcotest.(check bool) "not for other key" false (Log.is_open_for log ~key:8);
+  Alcotest.(check (option int)) "current key" (Some 7) (Log.current_key log);
+  Alcotest.(check (option (float 0.0))) "deadline" (Some 100.0) (Log.expires_at log);
+  Log.absorb log ~key:7 (pending 1);
+  Log.absorb log ~key:7 (pending 2);
+  Alcotest.(check int) "buffered" 2 (Log.buffered log);
+  Alcotest.(check bool) "not yet expired" false (Log.expired log ~now:99.0);
+  Alcotest.(check bool) "expired" true (Log.expired log ~now:100.0);
+  match Log.close log ~now:100.0 with
+  | None -> Alcotest.fail "close returned nothing"
+  | Some closed ->
+    Alcotest.(check int) "key" 7 closed.Log.key;
+    Alcotest.(check (list int)) "writes in order" [ 1; 2 ]
+      (List.map (fun (p : Log.pending) -> p.Log.request_id) closed.Log.writes);
+    Alcotest.(check bool) "closed now" false (Log.window_open log)
+
+let test_log_double_open_rejected () =
+  let log = Log.create () in
+  Log.open_window log ~key:1 ~now:0.0 ~expires_at:10.0;
+  Alcotest.check_raises "one window at a time"
+    (Failure "Compaction_log.open_window: window already open") (fun () ->
+      Log.open_window log ~key:2 ~now:0.0 ~expires_at:10.0)
+
+let test_log_absorb_guards () =
+  let log = Log.create () in
+  Alcotest.check_raises "absorb without window"
+    (Failure "Compaction_log.absorb: no window open") (fun () ->
+      Log.absorb log ~key:1 (pending 1));
+  Log.open_window log ~key:1 ~now:0.0 ~expires_at:10.0;
+  Alcotest.check_raises "absorb wrong key" (Failure "Compaction_log.absorb: key mismatch")
+    (fun () -> Log.absorb log ~key:2 (pending 1))
+
+let test_log_close_idempotent () =
+  let log = Log.create () in
+  Alcotest.(check bool) "close on closed log" true (Log.close log ~now:0.0 = None)
+
+let test_log_stats () =
+  let log = Log.create () in
+  Log.open_window log ~key:1 ~now:0.0 ~expires_at:10.0;
+  Log.absorb log ~key:1 (pending 1);
+  Log.absorb log ~key:1 (pending 2);
+  Log.absorb log ~key:1 (pending 3);
+  ignore (Log.close log ~now:10.0);
+  Log.open_window log ~key:2 ~now:20.0 ~expires_at:30.0;
+  Log.absorb log ~key:2 (pending 4);
+  ignore (Log.close log ~now:30.0);
+  let st = Log.stats log in
+  Alcotest.(check int) "windows" 2 st.Log.windows_opened;
+  Alcotest.(check int) "compacted" 4 st.Log.writes_compacted;
+  Alcotest.(check int) "largest" 3 st.Log.largest_window
+
+let test_log_scan_depth_validation () =
+  Alcotest.check_raises "scan_depth >= 1"
+    (Invalid_argument "Compaction_log.create: scan_depth") (fun () ->
+      ignore (Log.create ~scan_depth:0 ()))
+
+let prop_log_preserves_order =
+  QCheck.Test.make ~name:"compaction log preserves buffering order" ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 30) small_int)
+    (fun ids ->
+      let log = Log.create () in
+      Log.open_window log ~key:0 ~now:0.0 ~expires_at:1.0;
+      List.iter (fun id -> Log.absorb log ~key:0 (pending id)) ids;
+      match Log.close log ~now:1.0 with
+      | None -> false
+      | Some closed ->
+        List.map (fun (p : Log.pending) -> p.Log.request_id) closed.Log.writes = ids)
+
+let tests =
+  [
+    Alcotest.test_case "fnv1a stability" `Quick test_fnv1a_stable;
+    Alcotest.test_case "mix_int nonnegative" `Quick test_mix_int_nonnegative;
+    Alcotest.test_case "bucket/partition ranges" `Quick test_bucket_partition_ranges;
+    Alcotest.test_case "partition grouping is contiguous" `Quick test_partition_of_bucket_contiguous;
+    QCheck_alcotest.to_alcotest prop_hash_distribution;
+    Alcotest.test_case "item cache-line geometry" `Quick test_item_lines;
+    Alcotest.test_case "item names" `Quick test_item_names;
+    Alcotest.test_case "seqlock version protocol" `Quick test_seqlock_protocol;
+    Alcotest.test_case "seqlock rejects second writer" `Quick test_seqlock_crew_violation;
+    Alcotest.test_case "seqlock end without begin" `Quick test_seqlock_end_without_begin;
+    Alcotest.test_case "seqlock uncontended read" `Quick test_seqlock_read_stable;
+    Alcotest.test_case "seqlock multi-domain: no torn reads" `Slow test_seqlock_multicore;
+    Alcotest.test_case "store set/get/miss" `Quick test_store_set_get;
+    Alcotest.test_case "store update in place" `Quick test_store_update_in_place;
+    Alcotest.test_case "store get returns a copy" `Quick test_store_get_returns_copy;
+    Alcotest.test_case "store set copies input" `Quick test_store_set_copies_input;
+    Alcotest.test_case "store remove" `Quick test_store_remove;
+    Alcotest.test_case "store versions count updates" `Quick test_store_versions_count_updates;
+    Alcotest.test_case "batched write = one version bump" `Quick test_store_batched_single_version_bump;
+    Alcotest.test_case "store stats" `Quick test_store_stats;
+    Alcotest.test_case "store chains under small index" `Quick test_store_many_keys_chaining;
+    QCheck_alcotest.to_alcotest prop_store_models_map;
+    Alcotest.test_case "compaction log lifecycle" `Quick test_log_lifecycle;
+    Alcotest.test_case "compaction log: single window" `Quick test_log_double_open_rejected;
+    Alcotest.test_case "compaction log absorb guards" `Quick test_log_absorb_guards;
+    Alcotest.test_case "compaction log close idempotent" `Quick test_log_close_idempotent;
+    Alcotest.test_case "compaction log stats" `Quick test_log_stats;
+    Alcotest.test_case "compaction log scan-depth validation" `Quick test_log_scan_depth_validation;
+    QCheck_alcotest.to_alcotest prop_log_preserves_order;
+  ]

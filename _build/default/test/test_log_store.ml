@@ -1,0 +1,149 @@
+(* MICA cache-mode storage: round-trips, overwrite semantics, tag
+   collisions never return wrong values, lossy-index and log-wraparound
+   eviction behave like a cache (misses, never corruption), plus a
+   model-based property test with an eviction-aware oracle. *)
+
+module Log_store = C4_kvs.Log_store
+
+let bytes_of = Bytes.of_string
+
+let mk ?(bucket_slots = 8) ?(log_bytes = 1 lsl 16) ?(n_buckets = 64) () =
+  Log_store.create ~bucket_slots ~log_bytes ~n_buckets ()
+
+let get_s t key = Option.map Bytes.to_string (Log_store.get t ~key)
+
+let test_set_get_roundtrip () =
+  let t = mk () in
+  Alcotest.(check bool) "set ok" true (Log_store.set t ~key:1 ~value:(bytes_of "alpha") = `Ok);
+  Alcotest.(check bool) "set ok" true (Log_store.set t ~key:2 ~value:(bytes_of "beta") = `Ok);
+  Alcotest.(check (option string)) "get 1" (Some "alpha") (get_s t 1);
+  Alcotest.(check (option string)) "get 2" (Some "beta") (get_s t 2);
+  Alcotest.(check (option string)) "miss" None (get_s t 3)
+
+let test_overwrite_latest_wins () =
+  let t = mk () in
+  ignore (Log_store.set t ~key:5 ~value:(bytes_of "old"));
+  ignore (Log_store.set t ~key:5 ~value:(bytes_of "newer"));
+  Alcotest.(check (option string)) "latest version" (Some "newer") (get_s t 5)
+
+let test_empty_value () =
+  let t = mk () in
+  ignore (Log_store.set t ~key:9 ~value:Bytes.empty);
+  Alcotest.(check (option string)) "empty value stored" (Some "") (get_s t 9)
+
+let test_too_large_rejected () =
+  let t = mk ~log_bytes:256 () in
+  Alcotest.(check bool) "oversized item rejected" true
+    (Log_store.set t ~key:1 ~value:(Bytes.make 300 'x') = `Too_large);
+  Alcotest.(check (option string)) "not stored" None (get_s t 1)
+
+let test_log_wraparound_evicts_old () =
+  (* Arena of 1 KiB, 64 B values: ~12 items per lap. After many laps the
+     early keys are gone (miss), recent ones present and correct. *)
+  let t = mk ~log_bytes:1024 ~n_buckets:512 () in
+  for key = 0 to 99 do
+    ignore (Log_store.set t ~key ~value:(Bytes.make 64 (Char.chr (65 + (key mod 26)))))
+  done;
+  Alcotest.(check (option string)) "old key evicted by wrap" None (get_s t 0);
+  (match get_s t 99 with
+  | Some v -> Alcotest.(check char) "recent key intact" (Char.chr (65 + (99 mod 26))) v.[0]
+  | None -> Alcotest.fail "recent key missing");
+  Alcotest.(check bool) "wraps recorded" true ((Log_store.stats t).Log_store.wraps > 0)
+
+let test_lossy_index_eviction () =
+  (* One bucket, two slots: a third distinct key evicts the oldest. *)
+  let t = mk ~bucket_slots:2 ~n_buckets:1 ~log_bytes:(1 lsl 16) () in
+  ignore (Log_store.set t ~key:1 ~value:(bytes_of "a"));
+  ignore (Log_store.set t ~key:2 ~value:(bytes_of "b"));
+  ignore (Log_store.set t ~key:3 ~value:(bytes_of "c"));
+  let stats = Log_store.stats t in
+  Alcotest.(check int) "one eviction" 1 stats.Log_store.index_evictions;
+  let present = List.filter (fun k -> get_s t k <> None) [ 1; 2; 3 ] in
+  Alcotest.(check int) "two keys remain reachable" 2 (List.length present);
+  Alcotest.(check bool) "newest key reachable" true (List.mem 3 present)
+
+let test_updates_do_not_evict_siblings () =
+  (* Re-setting an existing key refreshes its slot in place. *)
+  let t = mk ~bucket_slots:2 ~n_buckets:1 ~log_bytes:(1 lsl 16) () in
+  ignore (Log_store.set t ~key:1 ~value:(bytes_of "a"));
+  ignore (Log_store.set t ~key:2 ~value:(bytes_of "b"));
+  for _ = 1 to 10 do
+    ignore (Log_store.set t ~key:1 ~value:(bytes_of "a2"))
+  done;
+  Alcotest.(check int) "no evictions from updates" 0
+    (Log_store.stats t).Log_store.index_evictions;
+  Alcotest.(check (option string)) "sibling survives" (Some "b") (get_s t 2)
+
+let test_stats_accounting () =
+  let t = mk () in
+  ignore (Log_store.set t ~key:1 ~value:(bytes_of "xy"));
+  ignore (Log_store.get t ~key:1);
+  ignore (Log_store.get t ~key:2);
+  let stats = Log_store.stats t in
+  Alcotest.(check int) "sets" 1 stats.Log_store.sets;
+  Alcotest.(check int) "gets" 2 stats.Log_store.gets;
+  Alcotest.(check int) "hits" 1 stats.Log_store.hits;
+  Alcotest.(check int) "bytes = header + value" 14 stats.Log_store.bytes_appended
+
+let test_mem () =
+  let t = mk () in
+  Alcotest.(check bool) "absent" false (Log_store.mem t ~key:4);
+  ignore (Log_store.set t ~key:4 ~value:(bytes_of "v"));
+  Alcotest.(check bool) "present" true (Log_store.mem t ~key:4)
+
+(* Cache-correctness property: against a reference map, a get returns
+   either the latest written value or a miss — NEVER a stale or foreign
+   value. (Misses are legal: the structure is lossy by design.) *)
+let prop_cache_never_lies =
+  let op =
+    QCheck.(
+      oneof
+        [
+          map (fun (k, v) -> `Set (k, v)) (pair (int_range 0 40) (string_of_size (Gen.int_range 0 40)));
+          map (fun k -> `Get k) (int_range 0 40);
+        ])
+  in
+  QCheck.Test.make ~name:"log store returns latest value or miss, never garbage" ~count:300
+    (QCheck.list op)
+    (fun ops ->
+      let t = mk ~log_bytes:2048 ~bucket_slots:2 ~n_buckets:8 () in
+      let model = Hashtbl.create 64 in
+      List.for_all
+        (fun operation ->
+          match operation with
+          | `Set (k, v) ->
+            (match Log_store.set t ~key:k ~value:(Bytes.of_string v) with
+            | `Ok -> Hashtbl.replace model k v
+            | `Too_large -> ());
+            true
+          | `Get k -> (
+            match get_s t k with
+            | None -> true (* lossy miss is legal *)
+            | Some v -> Hashtbl.find_opt model k = Some v))
+        ops)
+
+(* Hit-rate sanity: with an arena comfortably larger than the working
+   set and enough slots, everything hits. *)
+let test_no_eviction_when_sized_right () =
+  let t = mk ~log_bytes:(1 lsl 20) ~n_buckets:4096 ~bucket_slots:8 () in
+  for key = 0 to 999 do
+    ignore (Log_store.set t ~key ~value:(Bytes.make 32 'z'))
+  done;
+  for key = 0 to 999 do
+    if get_s t key = None then Alcotest.failf "key %d lost despite capacity" key
+  done
+
+let tests =
+  [
+    Alcotest.test_case "set/get round-trip" `Quick test_set_get_roundtrip;
+    Alcotest.test_case "overwrite: latest wins" `Quick test_overwrite_latest_wins;
+    Alcotest.test_case "empty values" `Quick test_empty_value;
+    Alcotest.test_case "oversized items rejected" `Quick test_too_large_rejected;
+    Alcotest.test_case "log wraparound evicts oldest" `Quick test_log_wraparound_evicts_old;
+    Alcotest.test_case "lossy index evicts round-robin" `Quick test_lossy_index_eviction;
+    Alcotest.test_case "updates refresh slots in place" `Quick test_updates_do_not_evict_siblings;
+    Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
+    Alcotest.test_case "mem" `Quick test_mem;
+    QCheck_alcotest.to_alcotest prop_cache_never_lies;
+    Alcotest.test_case "fully provisioned = no misses" `Quick test_no_eviction_when_sized_right;
+  ]

@@ -1,0 +1,418 @@
+(* Server-model tests: service-time calibration, policy routing rules,
+   metrics accounting, end-to-end conservation and determinism, the
+   paper's qualitative orderings at small scale, compaction invariants,
+   EWT behaviour inside the full loop, flow control, RLU costs. *)
+
+module Rng = C4_dsim.Rng
+module Service = C4_model.Service
+module Policy = C4_model.Policy
+module Metrics = C4_model.Metrics
+module Server = C4_model.Server
+module Experiment = C4_model.Experiment
+module Generator = C4_workload.Generator
+module Request = C4_workload.Request
+module Item = C4_kvs.Item
+
+(* ---------------- Service ---------------- *)
+
+let test_service_calibration () =
+  (* Large items must reproduce the paper's T_kvs ~ U[400, 800] ns. *)
+  let svc = Service.create Service.default (Rng.create 1) in
+  Alcotest.(check int) "large item lines" 9 (Service.lines svc);
+  let lo = ref infinity and hi = ref neg_infinity and total = ref 0.0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let s = Service.sample_kvs svc in
+    lo := Float.min !lo s;
+    hi := Float.max !hi s;
+    total := !total +. s
+  done;
+  if !lo < 400.0 || !hi > 800.0 then Alcotest.failf "T_kvs out of [400,800]: [%f,%f]" !lo !hi;
+  let mean = !total /. float_of_int n in
+  if abs_float (mean -. 600.0) > 5.0 then Alcotest.failf "T_kvs mean %f" mean;
+  Alcotest.(check (float 1e-9)) "mean service = 700" 700.0 (Service.mean_service svc)
+
+let test_service_item_scaling () =
+  let mean item = Service.mean_kvs (Service.create (Service.with_item item) (Rng.create 1)) in
+  let tiny = mean Item.tiny and med = mean Item.medium and lg = mean Item.large in
+  Alcotest.(check bool) "tiny < medium < large" true (tiny < med && med < lg);
+  (* The paper's Tiny/Large baseline throughput gap is ~3.5x; with the
+     fixed 100 ns added our service ratio should land near 2.5-3x. *)
+  let ratio = (lg +. 100.0) /. (tiny +. 100.0) in
+  if ratio < 1.8 || ratio > 4.0 then Alcotest.failf "item-size service ratio %f" ratio
+
+let test_service_validation () =
+  let bad p =
+    Alcotest.(check bool) "rejects" true
+      (try ignore (Service.create p (Rng.create 1)); false
+       with Invalid_argument _ -> true)
+  in
+  bad { Service.default with Service.t_fixed = -1.0 };
+  bad { Service.default with Service.t_compute_lo = 500.0; t_compute_hi = 100.0 }
+
+(* ---------------- Policy ---------------- *)
+
+let test_policy_balanceable () =
+  let open Policy in
+  Alcotest.(check bool) "erew read" false (balanceable Erew Request.Read);
+  Alcotest.(check bool) "erew write" false (balanceable Erew Request.Write);
+  Alcotest.(check bool) "crew read" true (balanceable Crew Request.Read);
+  Alcotest.(check bool) "crew write" false (balanceable Crew Request.Write);
+  Alcotest.(check bool) "dcrew write" true (balanceable Dcrew Request.Write);
+  Alcotest.(check bool) "ideal write" true (balanceable Ideal Request.Write);
+  Alcotest.(check bool) "rlu write" true (balanceable (Crcw_rlu rlu_default) Request.Write)
+
+let test_policy_names () =
+  Alcotest.(check string) "rlu" "RLU" (Policy.name (Policy.Crcw_rlu Policy.rlu_default));
+  Alcotest.(check string) "mv-rlu" "MV-RLU" (Policy.name (Policy.Crcw_rlu Policy.mvrlu_default));
+  Alcotest.(check bool) "only dcrew uses ewt" true
+    (Policy.uses_ewt Policy.Dcrew && not (Policy.uses_ewt Policy.Crew))
+
+(* ---------------- Metrics ---------------- *)
+
+let test_metrics_accounting () =
+  let m = Metrics.create ~n_workers:2 in
+  Metrics.start_measuring m ~now:0.0;
+  Metrics.record_service m ~op:Request.Read ~worker:0 ~service:100.0;
+  Metrics.record_service m ~op:Request.Write ~worker:1 ~service:200.0;
+  Metrics.record_latency m ~op:Request.Read ~latency:500.0 ~compacted:false ~value_size:512;
+  Metrics.record_latency m ~op:Request.Write ~latency:900.0 ~compacted:true ~value_size:512;
+  Metrics.add_busy m ~worker:0 300.0;
+  Metrics.stop m ~now:1000.0;
+  Alcotest.(check int) "completed" 2 (Metrics.completed m);
+  Alcotest.(check (float 1e-9)) "tput" (2.0 /. 1000.0) (Metrics.throughput m);
+  Alcotest.(check int) "compacted" 1 (Metrics.compacted_count m);
+  Alcotest.(check int) "hottest = writer" 1 (Metrics.hottest_worker m);
+  Alcotest.(check (float 0.01)) "utilization" 0.3 (Metrics.worker_utilization m).(0);
+  Alcotest.(check (float 0.01)) "mean service w1" 200.0 (Metrics.worker_mean_service m).(1)
+
+let test_metrics_warmup_excluded () =
+  let m = Metrics.create ~n_workers:1 in
+  (* Not yet measuring: nothing recorded. *)
+  Metrics.record_latency m ~op:Request.Read ~latency:1.0 ~compacted:false ~value_size:512;
+  Metrics.record_service m ~op:Request.Read ~worker:0 ~service:1.0;
+  Metrics.start_measuring m ~now:10.0;
+  Metrics.record_latency m ~op:Request.Read ~latency:2.0 ~compacted:false ~value_size:512;
+  Metrics.stop m ~now:20.0;
+  Alcotest.(check int) "warm-up excluded" 1 (C4_stats.Histogram.count (Metrics.latency m))
+
+(* ---------------- Server: conservation & determinism ---------------- *)
+
+let small_workload ?(theta = 0.0) ?(write_fraction = 0.5) ?(rate = 0.05) () =
+  { Generator.default with n_keys = 50_000; n_partitions = 1024; theta; write_fraction; rate }
+
+let small_config ?(policy = Policy.Crew) ?compaction ?cache () =
+  { Server.default_config with Server.policy; compaction; cache; n_workers = 16 }
+
+let run ?(n = 20_000) cfg wl = Server.run cfg ~workload:wl ~n_requests:n
+
+let test_server_conserves_requests () =
+  List.iter
+    (fun policy ->
+      let r = run (small_config ~policy ()) (small_workload ()) in
+      let m = r.Server.metrics in
+      (* With warm-up at 20%, the measured interval must account for
+         roughly 80% of requests; none may vanish. *)
+      Alcotest.(check bool)
+        (Policy.name policy ^ " completions plausible")
+        true
+        (Metrics.completed m + Metrics.drops m > 15_000
+        && Metrics.completed m + Metrics.drops m <= 20_000))
+    [ Policy.Erew; Policy.Crew; Policy.Dcrew; Policy.Ideal ]
+
+let test_server_deterministic () =
+  let once () =
+    let r = run (small_config ~policy:Policy.Dcrew ()) (small_workload ()) in
+    (Metrics.p99 r.Server.metrics, Metrics.completed r.Server.metrics)
+  in
+  let a = once () and b = once () in
+  Alcotest.(check bool) "bit-identical reruns" true (a = b)
+
+let test_server_seed_changes_results () =
+  let at seed =
+    let cfg = { (small_config ()) with Server.seed } in
+    Metrics.p99 (run cfg (small_workload ())).Server.metrics
+  in
+  Alcotest.(check bool) "different seeds differ" true (at 1 <> at 2)
+
+let test_latency_at_low_load_is_service_time () =
+  (* At negligible load, latency = service time: mean ~700 ns, p99 < 800+eps. *)
+  let r = run (small_config ~policy:Policy.Ideal ()) (small_workload ~rate:0.0005 ()) in
+  let m = r.Server.metrics in
+  let mean = Metrics.mean_latency m in
+  if abs_float (mean -. 700.0) > 25.0 then Alcotest.failf "mean %f" mean;
+  (* Service spans [500, 900] ns, so the p99 sits just under the upper
+     edge (plus bounded histogram error). *)
+  if Metrics.p99 m > 920.0 || Metrics.p99 m < 850.0 then
+    Alcotest.failf "p99 %f" (Metrics.p99 m)
+
+let test_policy_ordering_wi_uni () =
+  (* The paper's central claim at f_wr=50%, moderate load: Ideal ~
+     d-CREW < CREW < EREW in p99. *)
+  let wl = small_workload ~rate:0.018 () in
+  let p99 policy = Metrics.p99 (run (small_config ~policy ()) wl).Server.metrics in
+  let ideal = p99 Policy.Ideal
+  and dcrew = p99 Policy.Dcrew
+  and crew = p99 Policy.Crew
+  and erew = p99 Policy.Erew in
+  Alcotest.(check bool) "dcrew ~ ideal" true (dcrew < ideal *. 1.15);
+  Alcotest.(check bool) "crew worse than dcrew" true (crew > dcrew *. 1.2);
+  Alcotest.(check bool) "erew worst" true (erew > crew)
+
+let test_erew_insensitive_to_write_fraction () =
+  let p99 wf =
+    Metrics.p99
+      (run (small_config ~policy:Policy.Erew ()) (small_workload ~write_fraction:wf ~rate:0.015 ()))
+        .Server.metrics
+  in
+  let a = p99 0.0 and b = p99 1.0 in
+  (* Same queueing structure regardless of mix: within noise. *)
+  if abs_float (a -. b) > 0.35 *. a then Alcotest.failf "EREW sensitive: %f vs %f" a b
+
+let test_crew_converges_to_erew_at_full_writes () =
+  let wl = small_workload ~write_fraction:1.0 ~rate:0.015 () in
+  let crew = Metrics.p99 (run (small_config ~policy:Policy.Crew ()) wl).Server.metrics in
+  let erew = Metrics.p99 (run (small_config ~policy:Policy.Erew ()) wl).Server.metrics in
+  if abs_float (crew -. erew) > 0.3 *. erew then
+    Alcotest.failf "CREW %f should approach EREW %f at 100%% writes" crew erew
+
+let test_rlu_pays_for_writes () =
+  let wl = small_workload ~rate:0.004 () in
+  let rlu =
+    Metrics.mean_latency
+      (run (small_config ~policy:(Policy.Crcw_rlu Policy.rlu_default) ()) wl).Server.metrics
+  in
+  let ideal = Metrics.mean_latency (run (small_config ~policy:Policy.Ideal ()) wl).Server.metrics in
+  Alcotest.(check bool) "RLU mean latency well above ideal" true (rlu > ideal *. 1.2)
+
+let test_mvrlu_gc_stalls_tail () =
+  let wl = small_workload ~rate:0.004 () in
+  let p99 =
+    Metrics.p99
+      (run (small_config ~policy:(Policy.Crcw_rlu Policy.mvrlu_default) ()) wl).Server.metrics
+  in
+  Alcotest.(check bool) "GC stalls dominate the tail" true (p99 > 10_000.0)
+
+(* ---------------- Server: flow control & EWT ---------------- *)
+
+let test_flow_control_drops_under_overload () =
+  let cfg = { (small_config ()) with Server.max_outstanding = 64 } in
+  let r = run cfg (small_workload ~rate:0.1 ()) in
+  Alcotest.(check bool) "overload drops" true (r.Server.flow_drops > 0)
+
+let test_no_drops_at_low_load () =
+  let r = run (small_config ()) (small_workload ~rate:0.005 ()) in
+  Alcotest.(check int) "no drops" 0 (Metrics.drops r.Server.metrics)
+
+let test_ewt_stats_present_only_for_dcrew () =
+  let r = run (small_config ~policy:Policy.Dcrew ()) (small_workload ()) in
+  Alcotest.(check bool) "dcrew has ewt stats" true (r.Server.ewt <> None);
+  let r = run (small_config ~policy:Policy.Crew ()) (small_workload ()) in
+  Alcotest.(check bool) "crew has none" true (r.Server.ewt = None)
+
+let test_ewt_occupancy_tracks_load () =
+  let occupancy rate =
+    let r = run (small_config ~policy:Policy.Dcrew ()) (small_workload ~rate ()) in
+    match r.Server.ewt with Some s -> s.C4_nic.Ewt.average | None -> 0.0
+  in
+  Alcotest.(check bool) "occupancy grows with load" true (occupancy 0.02 > occupancy 0.005)
+
+let test_tiny_ewt_forces_drops () =
+  let cfg =
+    { (small_config ~policy:Policy.Dcrew ()) with Server.ewt_capacity = 2 }
+  in
+  let r = run cfg (small_workload ~rate:0.03 ()) in
+  Alcotest.(check bool) "EWT exhaustion drops" true (r.Server.ewt_drops > 0)
+
+(* ---------------- Server: compaction ---------------- *)
+
+let skewed ?(rate = 0.02) () = small_workload ~theta:1.3 ~write_fraction:0.3 ~rate ()
+
+let comp_config ?(compaction = Server.default_compaction) () =
+  small_config ~policy:Policy.Crew ~compaction ()
+
+let test_compaction_opens_windows_under_skew () =
+  let r = run (comp_config ()) (skewed ()) in
+  (match r.Server.compaction with
+  | Some s ->
+    Alcotest.(check bool) "windows opened" true (s.C4_kvs.Compaction_log.windows_opened > 0);
+    Alcotest.(check bool) "writes compacted" true
+      (s.C4_kvs.Compaction_log.writes_compacted >= s.C4_kvs.Compaction_log.windows_opened)
+  | None -> Alcotest.fail "compaction stats missing");
+  Alcotest.(check bool) "compacted latencies recorded" true
+    (Metrics.compacted_count r.Server.metrics > 0)
+
+let test_compaction_rare_on_uniform () =
+  (* With uniform keys, dependent writes within the scan window are
+     rare: few or no windows. *)
+  let r = run (comp_config ()) (small_workload ~rate:0.02 ()) in
+  match r.Server.compaction with
+  | Some s ->
+    Alcotest.(check bool) "few windows on uniform keys" true
+      (s.C4_kvs.Compaction_log.windows_opened < 50)
+  | None -> Alcotest.fail "stats missing"
+
+let test_compacted_latencies_bounded_by_window () =
+  (* Every compacted write responds by its window's deadline; with the
+     default budget that is within the 10x SLO plus one service time. *)
+  let r = run ~n:30_000 (comp_config ()) (skewed ()) in
+  let m = r.Server.metrics in
+  let slo = 10.0 *. r.Server.mean_service in
+  Alcotest.(check bool) "write p99 within ~2 windows" true
+    (C4_stats.Histogram.p99 (Metrics.write_latency m) < 2.2 *. slo)
+
+let test_compaction_conserves_responses () =
+  let r = run (comp_config ()) (skewed ()) in
+  let m = r.Server.metrics in
+  Alcotest.(check bool) "all measured requests answered" true
+    (Metrics.completed m + Metrics.drops m > 15_000)
+
+let test_adaptive_close_cuts_low_load_tail () =
+  let wl = skewed ~rate:0.008 () in
+  let p99 adaptive =
+    let compaction = { Server.default_compaction with Server.adaptive_close = adaptive } in
+    Metrics.p99 (run (comp_config ~compaction ()) wl).Server.metrics
+  in
+  Alcotest.(check bool) "adaptive close reduces low-load p99" true (p99 true < p99 false)
+
+let test_compaction_improves_hot_thread_under_cache_model () =
+  let wl = { (skewed ~rate:0.035 ()) with Generator.write_fraction = 0.1; theta = 1.4 } in
+  let hot cfg =
+    let r = run ~n:30_000 cfg wl in
+    let m = r.Server.metrics in
+    (Metrics.worker_mean_service m).(Metrics.hottest_worker m)
+  in
+  let base = hot (small_config ~cache:C4_cache.Coherence.default_params ()) in
+  let comp =
+    hot
+      (small_config ~compaction:Server.default_compaction
+         ~cache:C4_cache.Coherence.default_params ())
+  in
+  Alcotest.(check bool) "hot thread accelerated by compaction" true (comp < base *. 0.8)
+
+(* ---------------- Experiment drivers ---------------- *)
+
+let test_run_at_reports_offered () =
+  let p = Experiment.run_at ~n_requests:5_000 (small_config ()) ~workload:(small_workload ()) ~rate:0.01 in
+  Alcotest.(check (float 1e-9)) "offered mrps" 10.0 p.Experiment.offered_mrps;
+  Alcotest.(check bool) "achieved close to offered" true
+    (abs_float (p.Experiment.achieved_mrps -. 10.0) < 1.5)
+
+let test_meets_slo_logic () =
+  let p = Experiment.run_at ~n_requests:5_000 (small_config ()) ~workload:(small_workload ()) ~rate:0.005 in
+  Alcotest.(check bool) "low load meets 10x SLO" true (Experiment.meets_slo ~slo_multiplier:10.0 p);
+  Alcotest.(check bool) "nothing meets a 1.0x SLO" false
+    (Experiment.meets_slo ~slo_multiplier:1.0 p)
+
+let test_max_tput_bracketing () =
+  let mrps, point =
+    Experiment.max_tput_under_slo ~n_requests:8_000 ~iterations:5
+      (small_config ~policy:Policy.Ideal ())
+      ~workload:(small_workload ()) ~slo_multiplier:10.0
+  in
+  Alcotest.(check bool) "found a feasible point" true
+    (Experiment.meets_slo ~slo_multiplier:10.0 point);
+  (* 16 workers x ~700ns -> ~22.8 MRPS ceiling; search must land near
+     but not beyond it. *)
+  Alcotest.(check bool) "below capacity" true (mrps < 23.0);
+  Alcotest.(check bool) "finds most of capacity" true (mrps > 15.0)
+
+let test_load_latency_monotone () =
+  let points =
+    Experiment.load_latency ~n_requests:8_000 (small_config ()) ~workload:(small_workload ())
+      ~rates:[ 0.002; 0.01; 0.02 ]
+  in
+  match List.map (fun p -> p.Experiment.p99_ns) points with
+  | [ a; b; c ] -> Alcotest.(check bool) "p99 grows with load" true (a <= b && b <= c)
+  | _ -> Alcotest.fail "wrong point count"
+
+(* Robustness property: the server completes every configuration in a
+   broad random space without raising, conserves requests, and never
+   reports more achieved than offered throughput. *)
+let prop_server_robust =
+  let gen =
+    QCheck.Gen.(
+      let* policy_ix = int_range 0 4 in
+      let* theta = float_range 0.0 1.4 in
+      let* write_fraction = float_range 0.0 1.0 in
+      let* rate_scaled = int_range 1 60 in
+      return (policy_ix, theta, write_fraction, float_of_int rate_scaled /. 1000.0))
+  in
+  QCheck.Test.make ~name:"server robust over random configurations" ~count:40
+    (QCheck.make gen)
+    (fun (policy_ix, theta, write_fraction, rate) ->
+      let policy =
+        match policy_ix with
+        | 0 -> Policy.Erew
+        | 1 -> Policy.Crew
+        | 2 -> Policy.Dcrew
+        | 3 -> Policy.Ideal
+        | _ -> Policy.Crcw_rlu Policy.rlu_default
+      in
+      let wl = small_workload ~theta ~write_fraction ~rate () in
+      let r = Server.run (small_config ~policy ()) ~workload:wl ~n_requests:5_000 in
+      let m = r.Server.metrics in
+      let accounted = Metrics.completed m + Metrics.drops m in
+      accounted > 3_500
+      && Metrics.throughput_mrps m <= (rate *. 1e3 *. 1.05) +. 0.5
+      && Metrics.p99 m >= Metrics.mean_latency m)
+
+let prop_compaction_robust =
+  QCheck.Test.make ~name:"compaction robust over random skew/mix/load" ~count:25
+    QCheck.(triple (float_range 0.9 1.4) (float_range 0.01 0.9) (int_range 2 50))
+    (fun (theta, write_fraction, rate_scaled) ->
+      let rate = float_of_int rate_scaled /. 1000.0 in
+      let wl = small_workload ~theta ~write_fraction ~rate () in
+      let cfg =
+        small_config ~compaction:Server.default_compaction
+          ~cache:C4_cache.Coherence.default_params ()
+      in
+      let r = Server.run cfg ~workload:wl ~n_requests:5_000 in
+      Metrics.completed r.Server.metrics + Metrics.drops r.Server.metrics > 3_500)
+
+let test_surface_shape () =
+  let cells =
+    Experiment.surface ~gammas:[ 0.9; 1.2 ] ~write_fractions:[ 0.0; 10.0 ]
+      ~f:(fun ~theta ~write_fraction -> theta +. write_fraction)
+  in
+  Alcotest.(check int) "grid size" 4 (List.length cells);
+  Alcotest.(check bool) "row-major" true
+    (match cells with (0.9, 0.0, _) :: (0.9, 10.0, _) :: _ -> true | _ -> false)
+
+let tests =
+  [
+    Alcotest.test_case "service calibration U[400,800]" `Slow test_service_calibration;
+    Alcotest.test_case "service scales with item size" `Quick test_service_item_scaling;
+    Alcotest.test_case "service parameter validation" `Quick test_service_validation;
+    Alcotest.test_case "policy balanceability table" `Quick test_policy_balanceable;
+    Alcotest.test_case "policy names and EWT use" `Quick test_policy_names;
+    Alcotest.test_case "metrics accounting" `Quick test_metrics_accounting;
+    Alcotest.test_case "metrics exclude warm-up" `Quick test_metrics_warmup_excluded;
+    Alcotest.test_case "server conserves requests" `Slow test_server_conserves_requests;
+    Alcotest.test_case "server runs are deterministic" `Slow test_server_deterministic;
+    Alcotest.test_case "seed sensitivity" `Quick test_server_seed_changes_results;
+    Alcotest.test_case "low-load latency = service time" `Quick test_latency_at_low_load_is_service_time;
+    Alcotest.test_case "policy ordering on WI_uni" `Slow test_policy_ordering_wi_uni;
+    Alcotest.test_case "EREW insensitive to write mix" `Slow test_erew_insensitive_to_write_fraction;
+    Alcotest.test_case "CREW -> EREW at 100% writes" `Slow test_crew_converges_to_erew_at_full_writes;
+    Alcotest.test_case "RLU read/write surcharges" `Quick test_rlu_pays_for_writes;
+    Alcotest.test_case "MV-RLU GC stalls the tail" `Quick test_mvrlu_gc_stalls_tail;
+    Alcotest.test_case "flow control drops under overload" `Quick test_flow_control_drops_under_overload;
+    Alcotest.test_case "no drops at low load" `Quick test_no_drops_at_low_load;
+    Alcotest.test_case "EWT stats only under d-CREW" `Quick test_ewt_stats_present_only_for_dcrew;
+    Alcotest.test_case "EWT occupancy tracks load" `Quick test_ewt_occupancy_tracks_load;
+    Alcotest.test_case "tiny EWT forces drops" `Quick test_tiny_ewt_forces_drops;
+    Alcotest.test_case "compaction opens windows under skew" `Quick test_compaction_opens_windows_under_skew;
+    Alcotest.test_case "compaction rare on uniform keys" `Quick test_compaction_rare_on_uniform;
+    Alcotest.test_case "compacted latencies bounded" `Quick test_compacted_latencies_bounded_by_window;
+    Alcotest.test_case "compaction conserves responses" `Quick test_compaction_conserves_responses;
+    Alcotest.test_case "adaptive close cuts low-load tail" `Slow test_adaptive_close_cuts_low_load_tail;
+    Alcotest.test_case "compaction accelerates hot thread" `Slow test_compaction_improves_hot_thread_under_cache_model;
+    Alcotest.test_case "run_at bookkeeping" `Quick test_run_at_reports_offered;
+    Alcotest.test_case "meets_slo logic" `Quick test_meets_slo_logic;
+    Alcotest.test_case "SLO search brackets capacity" `Slow test_max_tput_bracketing;
+    Alcotest.test_case "load-latency curves monotone" `Quick test_load_latency_monotone;
+    Alcotest.test_case "surface iteration order" `Quick test_surface_shape;
+    QCheck_alcotest.to_alcotest prop_server_robust;
+    QCheck_alcotest.to_alcotest prop_compaction_robust;
+  ]

@@ -1,0 +1,298 @@
+(* NIC substrate: EWT protocol and occupancy accounting, JBSQ(k)
+   dispatch, header parse/encode round-trips, flow control, and the RPC
+   layer's buffer accounting + compaction scan hooks. *)
+
+module Ewt = C4_nic.Ewt
+module Jbsq = C4_nic.Jbsq
+module Header = C4_nic.Header
+module Flow = C4_nic.Flow_control
+module Rpc = C4_nic.Rpc
+
+(* ---------------- EWT ---------------- *)
+
+let test_ewt_map_and_release () =
+  let e = Ewt.create () in
+  Alcotest.(check (option int)) "initially unmapped" None (Ewt.lookup e ~partition:5);
+  Alcotest.(check bool) "first write maps" true (Ewt.note_write e ~partition:5 ~thread:3 = `Ok);
+  Alcotest.(check (option int)) "mapped to thread" (Some 3) (Ewt.lookup e ~partition:5);
+  Alcotest.(check int) "one outstanding" 1 (Ewt.outstanding e ~partition:5);
+  Alcotest.(check bool) "second write bumps" true (Ewt.note_write e ~partition:5 ~thread:3 = `Ok);
+  Alcotest.(check int) "two outstanding" 2 (Ewt.outstanding e ~partition:5);
+  Ewt.note_response e ~partition:5;
+  Alcotest.(check (option int)) "still mapped at one" (Some 3) (Ewt.lookup e ~partition:5);
+  Ewt.note_response e ~partition:5;
+  Alcotest.(check (option int)) "freed at zero" None (Ewt.lookup e ~partition:5);
+  Alcotest.(check int) "occupancy zero" 0 (Ewt.occupancy e)
+
+let test_ewt_capacity_full () =
+  let e = Ewt.create ~capacity:2 () in
+  Alcotest.(check bool) "p1" true (Ewt.note_write e ~partition:1 ~thread:0 = `Ok);
+  Alcotest.(check bool) "p2" true (Ewt.note_write e ~partition:2 ~thread:1 = `Ok);
+  Alcotest.(check bool) "p3 rejected" true (Ewt.note_write e ~partition:3 ~thread:2 = `Full);
+  (* Existing mappings still work when the table is full. *)
+  Alcotest.(check bool) "existing entry still bumps" true
+    (Ewt.note_write e ~partition:1 ~thread:0 = `Ok)
+
+let test_ewt_counter_saturation () =
+  let e = Ewt.create ~max_outstanding:3 () in
+  for _ = 1 to 3 do
+    Alcotest.(check bool) "ok" true (Ewt.note_write e ~partition:9 ~thread:1 = `Ok)
+  done;
+  Alcotest.(check bool) "saturated" true
+    (Ewt.note_write e ~partition:9 ~thread:1 = `Counter_saturated)
+
+let test_ewt_response_without_mapping () =
+  let e = Ewt.create () in
+  Alcotest.check_raises "protocol violation"
+    (Invalid_argument "Ewt.note_response: partition not mapped") (fun () ->
+      Ewt.note_response e ~partition:42)
+
+let test_ewt_occupancy_stats () =
+  let e = Ewt.create () in
+  ignore (Ewt.note_write e ~partition:1 ~thread:0);
+  ignore (Ewt.note_write e ~partition:2 ~thread:1);
+  ignore (Ewt.note_write e ~partition:3 ~thread:2);
+  Ewt.note_response e ~partition:1;
+  let st = Ewt.occupancy_stats e in
+  Alcotest.(check int) "peak" 3 st.Ewt.peak;
+  Alcotest.(check int) "samples" 4 st.Ewt.samples;
+  Alcotest.(check bool) "average sensible" true (st.Ewt.average > 0.0 && st.Ewt.average <= 3.0);
+  Ewt.reset_stats e;
+  Alcotest.(check int) "reset" 0 (Ewt.occupancy_stats e).Ewt.samples
+
+let prop_ewt_single_writer_invariant =
+  (* Under any interleaving of writes and matching responses, a
+     partition never reports two different owner threads while mapped. *)
+  QCheck.Test.make ~name:"EWT single-writer invariant" ~count:200
+    QCheck.(list (pair (int_range 0 5) (int_range 0 7)))
+    (fun writes ->
+      let e = Ewt.create () in
+      let owners = Hashtbl.create 8 in
+      let outstanding = Hashtbl.create 8 in
+      List.for_all
+        (fun (partition, thread) ->
+          let routed_thread =
+            match Ewt.lookup e ~partition with Some t -> t | None -> thread
+          in
+          match Ewt.note_write e ~partition ~thread:routed_thread with
+          | `Ok ->
+            let prev = Hashtbl.find_opt owners partition in
+            Hashtbl.replace owners partition routed_thread;
+            Hashtbl.replace outstanding partition
+              (1 + Option.value ~default:0 (Hashtbl.find_opt outstanding partition));
+            (match prev with Some t -> t = routed_thread | None -> true)
+          | `Full | `Counter_saturated -> true)
+        writes
+      && Hashtbl.fold
+           (fun partition n ok ->
+             (* Drain and confirm the entry frees exactly at zero. *)
+             let rec drain i =
+               if i = 0 then Ewt.lookup e ~partition = None
+               else begin
+                 let still = Ewt.lookup e ~partition <> None in
+                 Ewt.note_response e ~partition;
+                 still && drain (i - 1)
+               end
+             in
+             ok && drain n)
+           outstanding true)
+
+(* ---------------- JBSQ ---------------- *)
+
+let test_jbsq_prefers_least_loaded () =
+  let j = Jbsq.create ~n_workers:3 ~bound:2 in
+  Alcotest.(check (option int)) "first to 0" (Some 0) (Jbsq.try_dispatch j);
+  Alcotest.(check (option int)) "then 1" (Some 1) (Jbsq.try_dispatch j);
+  Alcotest.(check (option int)) "then 2" (Some 2) (Jbsq.try_dispatch j);
+  Jbsq.complete j 1;
+  Alcotest.(check (option int)) "freed worker preferred" (Some 1) (Jbsq.try_dispatch j)
+
+let test_jbsq_bound () =
+  let j = Jbsq.create ~n_workers:2 ~bound:2 in
+  for _ = 1 to 4 do
+    ignore (Jbsq.try_dispatch j)
+  done;
+  Alcotest.(check (option int)) "all at bound" None (Jbsq.try_dispatch j);
+  Jbsq.complete j 0;
+  Alcotest.(check (option int)) "slot freed" (Some 0) (Jbsq.try_dispatch j)
+
+let test_jbsq_dispatch_to_bypasses_bound () =
+  let j = Jbsq.create ~n_workers:2 ~bound:1 in
+  ignore (Jbsq.try_dispatch j);
+  ignore (Jbsq.try_dispatch j);
+  Jbsq.dispatch_to j 0;
+  Alcotest.(check int) "pinned request exceeds bound" 2 (Jbsq.occupancy j 0);
+  Alcotest.(check bool) "no balanced slot" false (Jbsq.has_slot j 0)
+
+let test_jbsq_complete_underflow () =
+  let j = Jbsq.create ~n_workers:1 ~bound:1 in
+  Alcotest.check_raises "underflow"
+    (Invalid_argument "Jbsq.complete: worker has no in-flight requests") (fun () ->
+      Jbsq.complete j 0)
+
+(* ---------------- Header ---------------- *)
+
+let header () = Header.register ~layout:Header.default_layout ~n_buckets:1024 ~n_partitions:64
+
+let test_header_roundtrip () =
+  let h = header () in
+  List.iter
+    (fun (op, key) ->
+      let packet = Header.encode h ~op ~key ~value:(Bytes.of_string "payload") in
+      match Header.parse h packet with
+      | Error e -> Alcotest.failf "parse failed: %s" e
+      | Ok parsed ->
+        Alcotest.(check bool) "op" true (parsed.Header.op = op);
+        Alcotest.(check int) "key" key parsed.Header.key;
+        Alcotest.(check bool) "partition in range" true
+          (parsed.Header.partition >= 0 && parsed.Header.partition < 64))
+    [ (`Read, 0); (`Write, 1); (`Read, 123456789); (`Write, (1 lsl 53) + 17) ]
+
+let test_header_short_packet () =
+  let h = header () in
+  match Header.parse h (Bytes.create 3) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short packet accepted"
+
+let test_header_bad_opcode () =
+  let h = header () in
+  let packet = Header.encode h ~op:`Read ~key:1 ~value:Bytes.empty in
+  Bytes.set packet 0 '\007';
+  match Header.parse h packet with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad opcode accepted"
+
+let test_header_size () =
+  let h = header () in
+  Alcotest.(check int) "1B opcode + 8B key" 9 (Header.header_size h)
+
+let test_header_key_length_validation () =
+  Alcotest.check_raises "key too wide"
+    (Invalid_argument "Header.register: key_length must be in 1..8") (fun () ->
+      ignore
+        (Header.register
+           ~layout:{ Header.opcode_offset = 0; key_offset = 1; key_length = 9 }
+           ~n_buckets:16 ~n_partitions:4))
+
+let prop_header_roundtrip =
+  QCheck.Test.make ~name:"header encode/parse round-trips" ~count:300
+    QCheck.(pair bool (int_bound ((1 lsl 60) - 1)))
+    (fun (is_write, key) ->
+      let h = header () in
+      let op = if is_write then `Write else `Read in
+      let packet = Header.encode h ~op ~key ~value:Bytes.empty in
+      match Header.parse h packet with
+      | Ok parsed -> parsed.Header.op = op && parsed.Header.key = key
+      | Error _ -> false)
+
+(* ---------------- Flow control ---------------- *)
+
+let test_flow_control () =
+  let f = Flow.create ~max_outstanding:2 in
+  Alcotest.(check bool) "admit 1" true (Flow.admit f);
+  Alcotest.(check bool) "admit 2" true (Flow.admit f);
+  Alcotest.(check bool) "reject 3" false (Flow.admit f);
+  Alcotest.(check int) "in flight" 2 (Flow.in_flight f);
+  Alcotest.(check int) "rejected" 1 (Flow.rejected f);
+  Flow.release f;
+  Alcotest.(check bool) "admit after release" true (Flow.admit f);
+  Alcotest.(check (float 1e-9)) "drop rate" (1.0 /. 4.0) (Flow.drop_rate f)
+
+let test_flow_release_underflow () =
+  let f = Flow.create ~max_outstanding:1 in
+  Alcotest.check_raises "underflow"
+    (Invalid_argument "Flow_control.release: nothing in flight") (fun () -> Flow.release f)
+
+(* ---------------- RPC ---------------- *)
+
+let rpc_stack () = Rpc.create ~n_threads:2 ~n_buffers:4 ~header:(header ())
+
+let deliver_write t ~thread ~key ~value =
+  let h = header () in
+  let packet = Header.encode h ~op:`Write ~key ~value:(Bytes.of_string value) in
+  match Rpc.deliver t ~thread ~sender:1 packet with
+  | Ok rpc -> rpc
+  | Error `No_buffers -> Alcotest.fail "no buffers"
+  | Error (`Bad_packet e) -> Alcotest.failf "bad packet: %s" e
+
+let test_rpc_deliver_poll () =
+  let t = rpc_stack () in
+  let rpc = deliver_write t ~thread:0 ~key:7 ~value:"hello" in
+  Alcotest.(check int) "queued" 1 (Rpc.queue_length t ~thread:0);
+  Alcotest.(check string) "payload extracted" "hello" (Bytes.to_string rpc.Rpc.payload);
+  (match Rpc.poll t ~thread:0 with
+  | Some polled -> Alcotest.(check int) "same rpc" rpc.Rpc.rpc_id polled.Rpc.rpc_id
+  | None -> Alcotest.fail "poll returned nothing");
+  Alcotest.(check (option Alcotest.reject)) "queue drained" None
+    (Option.map (fun _ -> assert false) (Rpc.poll t ~thread:0))
+
+let test_rpc_buffer_exhaustion () =
+  let t = rpc_stack () in
+  for i = 1 to 4 do
+    ignore (deliver_write t ~thread:0 ~key:i ~value:"x")
+  done;
+  Alcotest.(check int) "pool drained" 0 (Rpc.buffers_free t);
+  let h = header () in
+  let packet = Header.encode h ~op:`Read ~key:9 ~value:Bytes.empty in
+  (match Rpc.deliver t ~thread:0 ~sender:1 packet with
+  | Error `No_buffers -> ()
+  | _ -> Alcotest.fail "should exhaust buffers");
+  (* Responding frees a buffer for reuse. *)
+  let rpc = Option.get (Rpc.poll t ~thread:0) in
+  ignore (Rpc.respond t rpc ~release_exclusive:true ());
+  Alcotest.(check int) "buffer recycled" 1 (Rpc.buffers_free t)
+
+let test_rpc_double_completion () =
+  let t = rpc_stack () in
+  let rpc = deliver_write t ~thread:0 ~key:1 ~value:"v" in
+  ignore (Rpc.respond t rpc ~release_exclusive:false ());
+  Alcotest.check_raises "double completion"
+    (Invalid_argument "Rpc.respond: buffer already freed (double completion)") (fun () ->
+      ignore (Rpc.respond t rpc ~release_exclusive:false ()))
+
+let test_rpc_scan_and_extract () =
+  let t = rpc_stack () in
+  ignore (deliver_write t ~thread:0 ~key:1 ~value:"a");
+  ignore (deliver_write t ~thread:0 ~key:2 ~value:"b");
+  ignore (deliver_write t ~thread:0 ~key:1 ~value:"c");
+  let keys = ref [] in
+  Rpc.scan t ~thread:0 ~depth:(-1) ~f:(fun r -> keys := r.Rpc.parsed.Header.key :: !keys);
+  Alcotest.(check (list int)) "scan order" [ 1; 2; 1 ] (List.rev !keys);
+  let matches = Rpc.take_matching_writes t ~thread:0 ~depth:(-1) ~key:1 in
+  Alcotest.(check int) "dependent writes harvested" 2 (List.length matches);
+  Alcotest.(check int) "independent write remains" 1 (Rpc.queue_length t ~thread:0)
+
+let test_rpc_responses_recorded () =
+  let t = rpc_stack () in
+  let rpc = deliver_write t ~thread:1 ~key:5 ~value:"v" in
+  let resp = Rpc.respond t rpc ~value:(Bytes.of_string "ok") ~release_exclusive:true () in
+  Alcotest.(check bool) "release flag carried" true resp.Rpc.released_exclusive;
+  Alcotest.(check int) "addressed to sender" 1 resp.Rpc.resp_to;
+  Alcotest.(check int) "response log" 1 (List.length (Rpc.responses t))
+
+let tests =
+  [
+    Alcotest.test_case "EWT map/bump/release" `Quick test_ewt_map_and_release;
+    Alcotest.test_case "EWT capacity exhaustion" `Quick test_ewt_capacity_full;
+    Alcotest.test_case "EWT counter saturation" `Quick test_ewt_counter_saturation;
+    Alcotest.test_case "EWT response protocol check" `Quick test_ewt_response_without_mapping;
+    Alcotest.test_case "EWT occupancy stats" `Quick test_ewt_occupancy_stats;
+    QCheck_alcotest.to_alcotest prop_ewt_single_writer_invariant;
+    Alcotest.test_case "JBSQ picks least loaded" `Quick test_jbsq_prefers_least_loaded;
+    Alcotest.test_case "JBSQ bound enforced" `Quick test_jbsq_bound;
+    Alcotest.test_case "pinned dispatch bypasses bound" `Quick test_jbsq_dispatch_to_bypasses_bound;
+    Alcotest.test_case "JBSQ completion underflow" `Quick test_jbsq_complete_underflow;
+    Alcotest.test_case "header round-trip" `Quick test_header_roundtrip;
+    Alcotest.test_case "header rejects short packets" `Quick test_header_short_packet;
+    Alcotest.test_case "header rejects bad opcodes" `Quick test_header_bad_opcode;
+    Alcotest.test_case "header size" `Quick test_header_size;
+    Alcotest.test_case "header layout validation" `Quick test_header_key_length_validation;
+    QCheck_alcotest.to_alcotest prop_header_roundtrip;
+    Alcotest.test_case "flow control admit/reject/release" `Quick test_flow_control;
+    Alcotest.test_case "flow control underflow" `Quick test_flow_release_underflow;
+    Alcotest.test_case "rpc deliver + poll" `Quick test_rpc_deliver_poll;
+    Alcotest.test_case "rpc buffer pool accounting" `Quick test_rpc_buffer_exhaustion;
+    Alcotest.test_case "rpc double completion detected" `Quick test_rpc_double_completion;
+    Alcotest.test_case "rpc queue scan + dependent-write harvest" `Quick test_rpc_scan_and_extract;
+    Alcotest.test_case "rpc response metadata" `Quick test_rpc_responses_recorded;
+  ]

@@ -1,0 +1,183 @@
+(* NIC pipeline (Fig. 8) and setup-phase (Sec. 5.1) tests. *)
+
+module Setup = C4_nic.Setup
+module Pipeline = C4_nic.Pipeline
+module Header = C4_nic.Header
+module Ewt = C4_nic.Ewt
+
+(* ---------------- Setup ---------------- *)
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "setup: %s" (Setup.error_to_string e)
+
+let full_setup () =
+  let s = Setup.create () in
+  ok (Setup.register_queues s ~n_threads:4);
+  ok (Setup.register_buffers s ~n_buffers:64);
+  ok (Setup.register_layout s Header.default_layout);
+  ok (Setup.register_index s ~n_buckets:1024 ~n_partitions:64);
+  (s, ok (Setup.activate s))
+
+let test_setup_happy_path () =
+  let s, (header, rpc) = full_setup () in
+  Alcotest.(check bool) "active" true (Setup.is_active s);
+  Alcotest.(check int) "header sized" 9 (Header.header_size header);
+  Alcotest.(check int) "buffers allocated" 64 (C4_nic.Rpc.buffers_free rpc)
+
+let test_setup_incomplete_rejected () =
+  let s = Setup.create () in
+  ok (Setup.register_queues s ~n_threads:4);
+  (match Setup.activate s with
+  | Error (`Not_ready steps) ->
+    Alcotest.(check int) "three steps missing" 3 (List.length steps)
+  | _ -> Alcotest.fail "should not activate");
+  Alcotest.(check (list string)) "missing list"
+    [ "buffers"; "header layout"; "index geometry" ]
+    (Setup.missing s)
+
+let test_setup_validation () =
+  let s = Setup.create () in
+  (match Setup.register_queues s ~n_threads:0 with
+  | Error (`Invalid _) -> ()
+  | _ -> Alcotest.fail "0 threads accepted");
+  (match Setup.register_layout s { Header.opcode_offset = 2; key_offset = 0; key_length = 8 } with
+  | Error (`Invalid_layout _) -> ()
+  | _ -> Alcotest.fail "overlapping fields accepted");
+  match Setup.register_index s ~n_buckets:16 ~n_partitions:64 with
+  | Error (`Invalid _) -> ()
+  | _ -> Alcotest.fail "partitions > buckets accepted"
+
+let test_setup_frozen_after_activation () =
+  let s, _ = full_setup () in
+  match Setup.register_queues s ~n_threads:8 with
+  | Error `Already_active -> ()
+  | _ -> Alcotest.fail "reconfiguration after activation accepted"
+
+(* ---------------- Pipeline ---------------- *)
+
+let header () = Header.register ~layout:Header.default_layout ~n_buckets:1024 ~n_partitions:64
+
+let pipeline ?(n_workers = 4) ?(jbsq_bound = 2) ?(ewt_capacity = 32) ?(max_outstanding = 64) ()
+    =
+  Pipeline.create ~header:(header ()) ~n_workers ~jbsq_bound ~ewt_capacity ~max_outstanding ()
+
+let packet op key = Header.encode (header ()) ~op ~key ~value:Bytes.empty
+
+let admit_ok p pkt =
+  match Pipeline.admit p pkt with
+  | Ok d -> d
+  | Error `Overload -> Alcotest.fail "overload"
+  | Error `Ewt_exhausted -> Alcotest.fail "ewt exhausted"
+  | Error (`Bad_packet m) -> Alcotest.failf "bad packet: %s" m
+
+let test_pipeline_read_balances () =
+  let p = pipeline () in
+  let d = admit_ok p (packet `Read 1) in
+  Alcotest.(check bool) "assigned" true (d.Pipeline.worker <> None);
+  Alcotest.(check bool) "not pinned" false d.Pipeline.pinned;
+  Alcotest.(check (float 1e-9)) "two stages (no EWT)" 1.0 d.Pipeline.latency
+
+let test_pipeline_write_pins_second () =
+  let p = pipeline () in
+  let d1 = admit_ok p (packet `Write 7) in
+  Alcotest.(check bool) "first write balanced" false d1.Pipeline.pinned;
+  Alcotest.(check (float 1e-9)) "all three stages" 1.5 d1.Pipeline.latency;
+  let d2 = admit_ok p (packet `Write 7) in
+  Alcotest.(check bool) "second write pinned" true d2.Pipeline.pinned;
+  Alcotest.(check (option int)) "same worker" d1.Pipeline.worker d2.Pipeline.worker;
+  Alcotest.(check int) "EWT counts both" 2
+    (Ewt.outstanding (Pipeline.ewt p) ~partition:d1.Pipeline.partition)
+
+let test_pipeline_release_unpins () =
+  let p = pipeline () in
+  let d1 = admit_ok p (packet `Write 7) in
+  let worker = Option.get d1.Pipeline.worker in
+  ignore (Pipeline.complete p ~worker ~partition:d1.Pipeline.partition ~was_write:true);
+  Alcotest.(check (option int)) "mapping freed" None
+    (Ewt.lookup (Pipeline.ewt p) ~partition:d1.Pipeline.partition)
+
+let test_pipeline_central_queue () =
+  let p = pipeline ~n_workers:2 ~jbsq_bound:1 () in
+  (* Fill both workers, then overflow into the central queue. *)
+  let d1 = admit_ok p (packet `Read 1) in
+  let _d2 = admit_ok p (packet `Read 2) in
+  let d3 = admit_ok p (packet `Read 3) in
+  Alcotest.(check (option int)) "held centrally" None d3.Pipeline.worker;
+  Alcotest.(check int) "central depth" 1 (Pipeline.central_depth p);
+  (* Completion hands the held request out. *)
+  let handed =
+    Pipeline.complete p ~worker:(Option.get d1.Pipeline.worker)
+      ~partition:d1.Pipeline.partition ~was_write:false
+  in
+  (match handed with
+  | Some d -> Alcotest.(check bool) "dispatched on completion" true (d.Pipeline.worker <> None)
+  | None -> Alcotest.fail "central request not handed out");
+  Alcotest.(check int) "central drained" 0 (Pipeline.central_depth p)
+
+let test_pipeline_overload () =
+  let p = pipeline ~max_outstanding:2 () in
+  ignore (admit_ok p (packet `Read 1));
+  ignore (admit_ok p (packet `Read 2));
+  (match Pipeline.admit p (packet `Read 3) with
+  | Error `Overload -> ()
+  | _ -> Alcotest.fail "flow control did not trip");
+  Alcotest.(check int) "overload counted" 1 (Pipeline.stats p).Pipeline.overloads
+
+let test_pipeline_bad_packet () =
+  let p = pipeline () in
+  (match Pipeline.admit p (Bytes.create 2) with
+  | Error (`Bad_packet _) -> ()
+  | _ -> Alcotest.fail "short packet accepted");
+  Alcotest.(check int) "parse error counted" 1 (Pipeline.stats p).Pipeline.parse_errors
+
+let test_pipeline_ewt_exhaustion () =
+  let p = pipeline ~ewt_capacity:1 ~n_workers:8 ~jbsq_bound:8 () in
+  ignore (admit_ok p (packet `Write 1));
+  (* A write to a different partition cannot get a mapping. *)
+  let rec exhaust key attempts =
+    if attempts = 0 then Alcotest.fail "never exhausted"
+    else begin
+      match Pipeline.admit p (packet `Write key) with
+      | Error `Ewt_exhausted -> ()
+      | Ok _ -> exhaust (key + 1) (attempts - 1)
+      | Error _ -> Alcotest.fail "unexpected reject"
+    end
+  in
+  exhaust 2 20;
+  Alcotest.(check bool) "exhaustion counted" true
+    ((Pipeline.stats p).Pipeline.ewt_exhausted > 0)
+
+(* Differential check: the pipeline and the simulated server implement
+   the same d-CREW decision procedure — for a write-only stream with no
+   completions, every partition maps to exactly one worker and repeat
+   writes to a partition always land there. *)
+let test_pipeline_single_writer_invariant () =
+  let p = pipeline ~n_workers:8 ~jbsq_bound:64 ~ewt_capacity:512 ~max_outstanding:4096 () in
+  let owner = Hashtbl.create 64 in
+  for i = 0 to 499 do
+    let key = i mod 37 in
+    let d = admit_ok p (packet `Write key) in
+    match d.Pipeline.worker with
+    | None -> Alcotest.fail "unassigned write"
+    | Some w -> (
+      match Hashtbl.find_opt owner d.Pipeline.partition with
+      | None -> Hashtbl.replace owner d.Pipeline.partition w
+      | Some prev -> Alcotest.(check int) "single writer per partition" prev w)
+  done
+
+let tests =
+  [
+    Alcotest.test_case "setup happy path" `Quick test_setup_happy_path;
+    Alcotest.test_case "setup rejects incomplete activation" `Quick
+      test_setup_incomplete_rejected;
+    Alcotest.test_case "setup validates arguments" `Quick test_setup_validation;
+    Alcotest.test_case "setup frozen after activation" `Quick test_setup_frozen_after_activation;
+    Alcotest.test_case "reads balance through JBSQ" `Quick test_pipeline_read_balances;
+    Alcotest.test_case "second write pins to the owner" `Quick test_pipeline_write_pins_second;
+    Alcotest.test_case "response releases the pin" `Quick test_pipeline_release_unpins;
+    Alcotest.test_case "central queue holds overflow" `Quick test_pipeline_central_queue;
+    Alcotest.test_case "flow control trips on overload" `Quick test_pipeline_overload;
+    Alcotest.test_case "bad packets rejected" `Quick test_pipeline_bad_packet;
+    Alcotest.test_case "EWT exhaustion surfaces" `Quick test_pipeline_ewt_exhaustion;
+    Alcotest.test_case "single-writer invariant end to end" `Quick
+      test_pipeline_single_writer_invariant;
+  ]

@@ -1,0 +1,71 @@
+(* Differential validation: the coroutine-style server (Pserver) and the
+   event-driven server (Server) are independent implementations of the
+   same queueing model and must agree on steady-state distributions. *)
+
+module Pserver = C4_model.Pserver
+module Server = C4_model.Server
+module Metrics = C4_model.Metrics
+module Policy = C4_model.Policy
+module Generator = C4_workload.Generator
+module Histogram = C4_stats.Histogram
+
+let workload ?(write_fraction = 0.5) rate =
+  { Generator.default with n_keys = 100_000; n_partitions = 8192; write_fraction; rate }
+
+let event_driven policy wl =
+  let cfg = { Server.default_config with Server.policy } in
+  let r = Server.run cfg ~workload:wl ~n_requests:60_000 in
+  r.Server.metrics
+
+let agree name a b ~tolerance =
+  let rel = abs_float (a -. b) /. Float.max 1.0 (Float.max a b) in
+  if rel > tolerance then
+    Alcotest.failf "%s disagree: event %.1f vs process %.1f (%.1f%%)" name a b (100. *. rel)
+
+let compare_policies ~policy ~ppolicy ~rate ~write_fraction () =
+  let wl = workload ~write_fraction rate in
+  let ev = event_driven policy wl in
+  let pr = Pserver.run ~policy:ppolicy ~workload:wl ~n_requests:60_000 () in
+  agree "mean latency" (Metrics.mean_latency ev) (Histogram.mean pr.Pserver.latency)
+    ~tolerance:0.06;
+  agree "p99" (Metrics.p99 ev) (Histogram.p99 pr.Pserver.latency) ~tolerance:0.15;
+  agree "throughput"
+    (Metrics.throughput_mrps ev)
+    (Pserver.throughput_mrps pr) ~tolerance:0.05
+
+let test_low_load_latency_is_service () =
+  let pr = Pserver.run ~policy:Pserver.Ideal ~workload:(workload 0.001) ~n_requests:20_000 () in
+  let mean = Histogram.mean pr.Pserver.latency in
+  if abs_float (mean -. 700.0) > 25.0 then Alcotest.failf "mean %f" mean
+
+let test_conservation () =
+  let pr = Pserver.run ~policy:Pserver.Crew ~workload:(workload 0.05) ~n_requests:30_000 () in
+  (* 80 % of requests fall inside the measured interval. *)
+  Alcotest.(check int) "measured count" 24_000 pr.Pserver.completed
+
+let test_crew_vs_erew_ordering () =
+  let wl = workload 0.07 in
+  let p99 policy =
+    Histogram.p99 (Pserver.run ~policy ~workload:wl ~n_requests:60_000 ()).Pserver.latency
+  in
+  let ideal = p99 Pserver.Ideal and crew = p99 Pserver.Crew and erew = p99 Pserver.Erew in
+  Alcotest.(check bool) "ideal <= crew <= erew" true (ideal <= crew && crew <= erew)
+
+let tests =
+  [
+    Alcotest.test_case "low-load latency = service time" `Quick test_low_load_latency_is_service;
+    Alcotest.test_case "conserves measured requests" `Quick test_conservation;
+    Alcotest.test_case "policy ordering reproduced" `Slow test_crew_vs_erew_ordering;
+    Alcotest.test_case "differential: Ideal @ 50 MRPS" `Slow
+      (compare_policies ~policy:Policy.Ideal ~ppolicy:Pserver.Ideal ~rate:0.05
+         ~write_fraction:0.5);
+    Alcotest.test_case "differential: CREW @ 60 MRPS" `Slow
+      (compare_policies ~policy:Policy.Crew ~ppolicy:Pserver.Crew ~rate:0.06
+         ~write_fraction:0.5);
+    Alcotest.test_case "differential: EREW @ 40 MRPS" `Slow
+      (compare_policies ~policy:Policy.Erew ~ppolicy:Pserver.Erew ~rate:0.04
+         ~write_fraction:0.5);
+    Alcotest.test_case "differential: CREW @ 70 MRPS, 85% writes" `Slow
+      (compare_policies ~policy:Policy.Crew ~ppolicy:Pserver.Crew ~rate:0.07
+         ~write_fraction:0.85);
+  ]

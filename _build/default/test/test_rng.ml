@@ -1,0 +1,137 @@
+(* RNG tests: determinism, stream independence under split, range and
+   moment sanity for each distribution. *)
+
+module Rng = C4_dsim.Rng
+
+let test_determinism () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differ = ref false in
+  for _ = 1 to 10 do
+    if Rng.bits64 a <> Rng.bits64 b then differ := true
+  done;
+  Alcotest.(check bool) "different seeds diverge" true !differ
+
+let test_split_independence () =
+  let parent = Rng.create 7 in
+  let child = Rng.split parent in
+  (* Drawing from the child must not perturb the parent's future draws
+     relative to a parent that split and ignored the child. *)
+  let parent2 = Rng.create 7 in
+  let _ = Rng.split parent2 in
+  for _ = 1 to 50 do
+    ignore (Rng.bits64 child)
+  done;
+  Alcotest.(check int64) "parent unaffected by child draws" (Rng.bits64 parent2)
+    (Rng.bits64 parent)
+
+let test_float_range () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng in
+    if x < 0.0 || x >= 1.0 then Alcotest.failf "float out of range: %f" x
+  done
+
+let test_int_range () =
+  let rng = Rng.create 13 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 17 in
+    if x < 0 || x >= 17 then Alcotest.failf "int out of range: %d" x
+  done
+
+let test_int_covers_support () =
+  let rng = Rng.create 17 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 2_000 do
+    seen.(Rng.int rng 8) <- true
+  done;
+  Array.iteri (fun i s -> Alcotest.(check bool) (Printf.sprintf "value %d seen" i) true s) seen
+
+let test_uniform_bounds () =
+  let rng = Rng.create 19 in
+  for _ = 1 to 10_000 do
+    let x = Rng.uniform rng ~lo:400.0 ~hi:800.0 in
+    if x < 400.0 || x >= 800.0 then Alcotest.failf "uniform out of bounds: %f" x
+  done
+
+let test_exponential_mean () =
+  let rng = Rng.create 23 in
+  let n = 100_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Rng.exponential rng ~mean:50.0
+  done;
+  let mean = !total /. float_of_int n in
+  if abs_float (mean -. 50.0) > 1.5 then
+    Alcotest.failf "exponential mean %f too far from 50" mean
+
+let test_bernoulli_frequency () =
+  let rng = Rng.create 29 in
+  let n = 100_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng ~p:0.3 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  if abs_float (freq -. 0.3) > 0.01 then Alcotest.failf "bernoulli freq %f" freq
+
+let test_bernoulli_extremes () =
+  let rng = Rng.create 31 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never" false (Rng.bernoulli rng ~p:0.0);
+    Alcotest.(check bool) "p=1 always" true (Rng.bernoulli rng ~p:1.0)
+  done
+
+let test_gaussian_moments () =
+  let rng = Rng.create 37 in
+  let n = 100_000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let x = Rng.gaussian rng in
+    sum := !sum +. x;
+    sumsq := !sumsq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  if abs_float mean > 0.02 then Alcotest.failf "gaussian mean %f" mean;
+  if abs_float (var -. 1.0) > 0.03 then Alcotest.failf "gaussian var %f" var
+
+let test_shuffle_permutes () =
+  let rng = Rng.create 41 in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 100 Fun.id) sorted;
+  (* Astronomically unlikely to be the identity permutation. *)
+  Alcotest.(check bool) "actually shuffled" true (a <> Array.init 100 Fun.id)
+
+let prop_int_in_range =
+  QCheck.Test.make ~name:"Rng.int always lands in [0, bound)" ~count:500
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let x = Rng.int rng bound in
+      x >= 0 && x < bound)
+
+let tests =
+  [
+    Alcotest.test_case "equal seeds, equal streams" `Quick test_determinism;
+    Alcotest.test_case "different seeds diverge" `Quick test_seed_sensitivity;
+    Alcotest.test_case "split streams are independent" `Quick test_split_independence;
+    Alcotest.test_case "float in [0,1)" `Quick test_float_range;
+    Alcotest.test_case "int in [0,bound)" `Quick test_int_range;
+    Alcotest.test_case "int covers its support" `Quick test_int_covers_support;
+    Alcotest.test_case "uniform respects bounds" `Quick test_uniform_bounds;
+    Alcotest.test_case "exponential has requested mean" `Slow test_exponential_mean;
+    Alcotest.test_case "bernoulli frequency ~ p" `Slow test_bernoulli_frequency;
+    Alcotest.test_case "bernoulli extremes are deterministic" `Quick test_bernoulli_extremes;
+    Alcotest.test_case "gaussian has unit moments" `Slow test_gaussian_moments;
+    Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutes;
+    QCheck_alcotest.to_alcotest prop_int_in_range;
+  ]

@@ -1,0 +1,252 @@
+(* Real-runtime tests: promises and channels under actual domains, the
+   server's CREW routing and compaction batching, and — the crown — a
+   linearizability check over a history recorded from genuinely
+   concurrent execution. *)
+
+module Promise = C4_runtime.Promise
+module Channel = C4_runtime.Channel
+module Server = C4_runtime.Server
+module History = C4_consistency.History
+module Lin = C4_consistency.Linearizability
+
+(* ---------------- Promise ---------------- *)
+
+let test_promise_basic () =
+  let p = Promise.create () in
+  Alcotest.(check (option int)) "unfulfilled" None (Promise.peek p);
+  Promise.fulfil p 42;
+  Alcotest.(check int) "await" 42 (Promise.await p);
+  Alcotest.(check (option int)) "peek" (Some 42) (Promise.peek p)
+
+let test_promise_double_fulfil () =
+  let p = Promise.create () in
+  Promise.fulfil p 1;
+  Alcotest.check_raises "double fulfil" (Invalid_argument "Promise.fulfil: already fulfilled")
+    (fun () -> Promise.fulfil p 2)
+
+let test_promise_cross_domain () =
+  let p = Promise.create () in
+  let d = Domain.spawn (fun () -> Promise.await p) in
+  Promise.fulfil p "hello";
+  Alcotest.(check string) "woken across domains" "hello" (Domain.join d)
+
+(* ---------------- Channel ---------------- *)
+
+let test_channel_fifo () =
+  let c = Channel.create () in
+  Channel.push c 1;
+  Channel.push c 2;
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Channel.pop c);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Channel.pop c);
+  Alcotest.(check (option int)) "try_pop empty" None (Channel.try_pop c)
+
+let test_channel_close_semantics () =
+  let c = Channel.create () in
+  Channel.push c 7;
+  Channel.close c;
+  Alcotest.(check (option int)) "backlog drains" (Some 7) (Channel.pop c);
+  Alcotest.(check (option int)) "then None" None (Channel.pop c);
+  Alcotest.check_raises "push after close" (Invalid_argument "Channel.push: closed")
+    (fun () -> Channel.push c 9)
+
+let test_channel_drain_matching () =
+  let c = Channel.create () in
+  List.iter (Channel.push c) [ 1; 2; 3; 4; 5; 6 ];
+  let evens = Channel.drain_matching c ~f:(fun x -> x mod 2 = 0) in
+  Alcotest.(check (list int)) "drained in order" [ 2; 4; 6 ] evens;
+  Alcotest.(check int) "odds remain" 3 (Channel.length c);
+  Alcotest.(check (option int)) "order preserved" (Some 1) (Channel.pop c)
+
+let test_channel_blocking_pop () =
+  let c = Channel.create () in
+  let d = Domain.spawn (fun () -> Channel.pop c) in
+  (* Give the consumer a chance to block, then wake it. *)
+  Unix.sleepf 0.01;
+  Channel.push c 99;
+  Alcotest.(check (option int)) "blocked consumer woken" (Some 99) (Domain.join d)
+
+let test_channel_mpsc_stress () =
+  let c = Channel.create () in
+  let n_producers = 4 and per_producer = 2_000 in
+  let producers =
+    List.init n_producers (fun p ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_producer - 1 do
+              Channel.push c ((p * per_producer) + i)
+            done))
+  in
+  let seen = Hashtbl.create 1024 in
+  for _ = 1 to n_producers * per_producer do
+    match Channel.pop c with
+    | Some v ->
+      if Hashtbl.mem seen v then Alcotest.failf "duplicate %d" v;
+      Hashtbl.replace seen v ()
+    | None -> Alcotest.fail "premature close"
+  done;
+  List.iter Domain.join producers;
+  Alcotest.(check int) "all delivered exactly once" (n_producers * per_producer)
+    (Hashtbl.length seen)
+
+(* ---------------- Server ---------------- *)
+
+let with_server ?(cfg = Server.default_config) f =
+  let t = Server.start cfg in
+  Fun.protect ~finally:(fun () -> Server.stop t) (fun () -> f t)
+
+let test_server_set_get () =
+  with_server (fun t ->
+      Server.set t ~key:1 ~value:(Bytes.of_string "one");
+      Server.set t ~key:2 ~value:(Bytes.of_string "two");
+      Alcotest.(check (option string)) "get 1" (Some "one")
+        (Option.map Bytes.to_string (Server.get t ~key:1));
+      Alcotest.(check (option string)) "get 2" (Some "two")
+        (Option.map Bytes.to_string (Server.get t ~key:2));
+      Alcotest.(check (option string)) "miss" None
+        (Option.map Bytes.to_string (Server.get t ~key:3)))
+
+let test_server_overwrite () =
+  with_server (fun t ->
+      for i = 1 to 50 do
+        Server.set t ~key:9 ~value:(Bytes.of_string (string_of_int i))
+      done;
+      Alcotest.(check (option string)) "last write wins" (Some "50")
+        (Option.map Bytes.to_string (Server.get t ~key:9)))
+
+let test_server_stop_idempotent () =
+  let t = Server.start Server.default_config in
+  Server.stop t;
+  Server.stop t;
+  Alcotest.(check bool) "post-stop submit raises" true
+    (try ignore (Server.get t ~key:1); false with Invalid_argument _ -> true)
+
+let test_server_crew_routing () =
+  with_server (fun t ->
+      (* Every write to the same key goes to one worker; a full sweep of
+         keys touches all workers. *)
+      let owners = Hashtbl.create 8 in
+      for key = 0 to 999 do
+        Hashtbl.replace owners (Server.owner_of_key t key) ()
+      done;
+      Alcotest.(check int) "all workers own partitions"
+        Server.default_config.Server.n_workers (Hashtbl.length owners))
+
+let test_server_async_pipeline () =
+  with_server (fun t ->
+      let promises =
+        List.init 100 (fun i -> Server.set_async t ~key:i ~value:(Bytes.of_string (string_of_int i)))
+      in
+      List.iter Promise.await promises;
+      let reads = List.init 100 (fun i -> (i, Server.get_async t ~key:i)) in
+      List.iter
+        (fun (i, p) ->
+          Alcotest.(check (option string)) "async read" (Some (string_of_int i))
+            (Option.map Bytes.to_string (Promise.await p)))
+        reads)
+
+let test_server_compaction_batches () =
+  with_server
+    ~cfg:{ Server.default_config with Server.n_workers = 2; compaction = true }
+    (fun t ->
+      (* Fire many async writes to one key so they pile up in the
+         owner's channel, then confirm batching happened. *)
+      let promises =
+        List.init 500 (fun i -> Server.set_async t ~key:7 ~value:(Bytes.of_string (string_of_int i)))
+      in
+      List.iter Promise.await promises;
+      let stats = Server.stats t in
+      Alcotest.(check int) "all writes answered" 500 stats.Server.writes;
+      Alcotest.(check bool) "batches formed" true (stats.Server.batches > 0);
+      Alcotest.(check bool) "batched writes counted" true
+        (stats.Server.batched_writes > stats.Server.batches);
+      Alcotest.(check (option string)) "final value is the last submitted" (Some "499")
+        (Option.map Bytes.to_string (Server.get t ~key:7)))
+
+let test_server_no_compaction_no_batches () =
+  with_server ~cfg:{ Server.default_config with Server.compaction = false } (fun t ->
+      List.iter Promise.await
+        (List.init 200 (fun i ->
+             Server.set_async t ~key:3 ~value:(Bytes.of_string (string_of_int i))));
+      Alcotest.(check int) "no batches" 0 (Server.stats t).Server.batches)
+
+let test_server_concurrent_load () =
+  (* Several client domains hammer the server with mixed ops; the CREW
+     invariant must hold (the store raises on concurrent writers), every
+     op must complete, and per-key last-write state must be a value some
+     client actually wrote. *)
+  with_server ~cfg:{ Server.default_config with Server.n_workers = 3 } (fun t ->
+      let n_clients = 4 and per_client = 1_500 in
+      let clients =
+        List.init n_clients (fun c ->
+            Domain.spawn (fun () ->
+                let rng = C4_dsim.Rng.create (c + 1) in
+                for i = 0 to per_client - 1 do
+                  let key = C4_dsim.Rng.int rng 50 in
+                  if C4_dsim.Rng.bernoulli rng ~p:0.5 then
+                    Server.set t ~key ~value:(Bytes.of_string (Printf.sprintf "%d.%d" c i))
+                  else ignore (Server.get t ~key)
+                done))
+      in
+      List.iter Domain.join clients;
+      let stats = Server.stats t in
+      Alcotest.(check int) "every op completed" (n_clients * per_client)
+        stats.Server.ops_completed)
+
+(* Record a timestamped history from real concurrent execution against
+   one key and check it linearizes. Timestamps come from the wall clock;
+   invocation is taken before submission and response after the promise
+   resolves, so the recorded spans safely cover the true ones. *)
+let test_server_real_history_linearizable () =
+  with_server ~cfg:{ Server.default_config with Server.n_workers = 3 } (fun t ->
+      let key = 11 in
+      Server.set t ~key ~value:(Bytes.of_string "0");
+      let now () = Unix.gettimeofday () *. 1e6 in
+      let record_client c n_ops =
+        Domain.spawn (fun () ->
+            let rng = C4_dsim.Rng.create (1000 + c) in
+            List.init n_ops (fun i ->
+                let invoked = now () in
+                if C4_dsim.Rng.bernoulli rng ~p:0.4 then begin
+                  let v = (c * 100) + i + 1 in
+                  Server.set t ~key ~value:(Bytes.of_string (string_of_int v));
+                  History.set ~client:(string_of_int c) ~value:v ~invoked ~responded:(now ())
+                end
+                else begin
+                  let seen =
+                    match Server.get t ~key with
+                    | Some b -> int_of_string (Bytes.to_string b)
+                    | None -> -1
+                  in
+                  History.get ~client:(string_of_int c) ~value:seen ~invoked
+                    ~responded:(now ())
+                end))
+      in
+      let domains = List.init 3 (fun c -> record_client c 8) in
+      let history = List.concat_map Domain.join domains in
+      match Lin.check ~initial:0 (History.of_ops history) with
+      | Lin.Linearizable _ -> ()
+      | Lin.Not_linearizable ->
+        Alcotest.failf "real execution not linearizable:@.%a" History.pp
+          (History.of_ops history))
+
+let tests =
+  [
+    Alcotest.test_case "promise fulfil/await" `Quick test_promise_basic;
+    Alcotest.test_case "promise rejects double fulfil" `Quick test_promise_double_fulfil;
+    Alcotest.test_case "promise crosses domains" `Quick test_promise_cross_domain;
+    Alcotest.test_case "channel FIFO" `Quick test_channel_fifo;
+    Alcotest.test_case "channel close semantics" `Quick test_channel_close_semantics;
+    Alcotest.test_case "channel drain_matching" `Quick test_channel_drain_matching;
+    Alcotest.test_case "channel blocking pop" `Quick test_channel_blocking_pop;
+    Alcotest.test_case "channel MPSC stress" `Slow test_channel_mpsc_stress;
+    Alcotest.test_case "server set/get" `Quick test_server_set_get;
+    Alcotest.test_case "server overwrite" `Quick test_server_overwrite;
+    Alcotest.test_case "server stop idempotent" `Quick test_server_stop_idempotent;
+    Alcotest.test_case "server CREW routing covers workers" `Quick test_server_crew_routing;
+    Alcotest.test_case "server async pipeline" `Quick test_server_async_pipeline;
+    Alcotest.test_case "server compaction batches writes" `Quick test_server_compaction_batches;
+    Alcotest.test_case "server without compaction never batches" `Quick
+      test_server_no_compaction_no_batches;
+    Alcotest.test_case "server concurrent mixed load" `Slow test_server_concurrent_load;
+    Alcotest.test_case "real concurrent history linearizes" `Slow
+      test_server_real_history_linearizable;
+  ]

@@ -1,0 +1,139 @@
+(* Discrete-event simulator tests: time ordering, same-time FIFO,
+   cancellation, run-until semantics, re-entrant scheduling. *)
+
+module Sim = C4_dsim.Sim
+
+let test_time_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  let note tag sim = log := (tag, Sim.now sim) :: !log in
+  ignore (Sim.schedule sim ~after:30.0 (note "c"));
+  ignore (Sim.schedule sim ~after:10.0 (note "a"));
+  ignore (Sim.schedule sim ~after:20.0 (note "b"));
+  Sim.run sim;
+  Alcotest.(check (list (pair string (float 0.0))))
+    "events in time order"
+    [ ("a", 10.0); ("b", 20.0); ("c", 30.0) ]
+    (List.rev !log)
+
+let test_same_time_fifo () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 0 to 4 do
+    ignore (Sim.schedule sim ~after:5.0 (fun _ -> log := i :: !log))
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "ties run in scheduling order" [ 0; 1; 2; 3; 4 ]
+    (List.rev !log)
+
+let test_clock_advances () =
+  let sim = Sim.create () in
+  Alcotest.(check (float 0.0)) "starts at 0" 0.0 (Sim.now sim);
+  ignore (Sim.schedule sim ~after:42.5 (fun _ -> ()));
+  Sim.run sim;
+  Alcotest.(check (float 0.0)) "clock at last event" 42.5 (Sim.now sim)
+
+let test_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let id = Sim.schedule sim ~after:1.0 (fun _ -> fired := true) in
+  Alcotest.(check bool) "pending before" true (Sim.pending sim id);
+  Sim.cancel sim id;
+  Alcotest.(check bool) "not pending after" false (Sim.pending sim id);
+  Sim.run sim;
+  Alcotest.(check bool) "cancelled event did not fire" false !fired
+
+let test_cancel_twice_is_noop () =
+  let sim = Sim.create () in
+  let id = Sim.schedule sim ~after:1.0 (fun _ -> ()) in
+  ignore (Sim.schedule sim ~after:2.0 (fun _ -> ()));
+  Sim.cancel sim id;
+  Sim.cancel sim id;
+  Sim.run sim;
+  Alcotest.(check int) "one live event executed" 1 (Sim.executed sim)
+
+let test_reentrant_scheduling () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore
+    (Sim.schedule sim ~after:1.0 (fun sim ->
+         log := Sim.now sim :: !log;
+         ignore (Sim.schedule sim ~after:2.0 (fun sim -> log := Sim.now sim :: !log))));
+  Sim.run sim;
+  Alcotest.(check (list (float 0.0))) "chained events" [ 1.0; 3.0 ] (List.rev !log)
+
+let test_run_until () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  List.iter
+    (fun t -> ignore (Sim.schedule sim ~after:t (fun _ -> fired := t :: !fired)))
+    [ 5.0; 15.0; 25.0 ];
+  Sim.run ~until:20.0 sim;
+  Alcotest.(check (list (float 0.0))) "only events before the limit" [ 5.0; 15.0 ]
+    (List.rev !fired);
+  Sim.run sim;
+  Alcotest.(check int) "remaining event runs later" 3 (List.length !fired)
+
+let test_schedule_at_past_rejected () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule sim ~after:10.0 (fun _ -> ()));
+  Sim.run sim;
+  Alcotest.check_raises "absolute time in the past"
+    (Invalid_argument "Sim.schedule_at: time 5 is before now 10") (fun () ->
+      ignore (Sim.schedule_at sim ~time:5.0 (fun _ -> ())))
+
+let test_negative_delay_rejected () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "negative delay" (Invalid_argument "Sim.schedule: negative delay")
+    (fun () -> ignore (Sim.schedule sim ~after:(-1.0) (fun _ -> ())))
+
+let test_step () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule sim ~after:1.0 (fun _ -> ()));
+  Alcotest.(check bool) "step executes" true (Sim.step sim);
+  Alcotest.(check bool) "no more events" false (Sim.step sim)
+
+let test_pending_count () =
+  let sim = Sim.create () in
+  let a = Sim.schedule sim ~after:1.0 (fun _ -> ()) in
+  ignore (Sim.schedule sim ~after:2.0 (fun _ -> ()));
+  Alcotest.(check int) "two pending" 2 (Sim.pending_count sim);
+  Sim.cancel sim a;
+  Alcotest.(check int) "one after cancel" 1 (Sim.pending_count sim);
+  Sim.run sim;
+  Alcotest.(check int) "none after run" 0 (Sim.pending_count sim)
+
+(* Property: N events with random delays execute exactly once each, in
+   nondecreasing time order. *)
+let prop_execution_order =
+  QCheck.Test.make ~name:"events execute once, in time order" ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 50) (float_bound_exclusive 100.0))
+    (fun delays ->
+      let sim = Sim.create () in
+      let times = ref [] in
+      List.iter
+        (fun d -> ignore (Sim.schedule sim ~after:d (fun sim -> times := Sim.now sim :: !times)))
+        delays;
+      Sim.run sim;
+      let executed = List.rev !times in
+      let rec nondecreasing = function
+        | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+        | _ -> true
+      in
+      List.length executed = List.length delays && nondecreasing executed)
+
+let tests =
+  [
+    Alcotest.test_case "events fire in time order" `Quick test_time_order;
+    Alcotest.test_case "same-time events fire FIFO" `Quick test_same_time_fifo;
+    Alcotest.test_case "clock tracks last event" `Quick test_clock_advances;
+    Alcotest.test_case "cancel prevents execution" `Quick test_cancel;
+    Alcotest.test_case "double cancel is a no-op" `Quick test_cancel_twice_is_noop;
+    Alcotest.test_case "handlers can schedule" `Quick test_reentrant_scheduling;
+    Alcotest.test_case "run ~until stops early" `Quick test_run_until;
+    Alcotest.test_case "scheduling in the past rejected" `Quick test_schedule_at_past_rejected;
+    Alcotest.test_case "negative delay rejected" `Quick test_negative_delay_rejected;
+    Alcotest.test_case "step-by-step execution" `Quick test_step;
+    Alcotest.test_case "pending count" `Quick test_pending_count;
+    QCheck_alcotest.to_alcotest prop_execution_order;
+  ]

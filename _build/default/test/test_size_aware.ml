@@ -1,0 +1,151 @@
+(* Size-aware d-CREW (the Minos adaptation, paper Sec. 8): bimodal item
+   sizes segregated by partition, reserved workers for large items, and
+   the head-of-line blocking this removes for small requests. *)
+
+module Policy = C4_model.Policy
+module Server = C4_model.Server
+module Metrics = C4_model.Metrics
+module Generator = C4_workload.Generator
+module Request = C4_workload.Request
+module Service = C4_model.Service
+module Rng = C4_dsim.Rng
+
+(* Feasible bimodal mix: 0.5% of partitions hold 16 KiB items (~17 µs
+   service); at 8 MRPS on 16 workers the large class needs < 1 worker,
+   the small class ~6.5 — both classes comfortably provisioned. *)
+let bimodal ?(large_fraction = 0.005) rate =
+  {
+    Generator.default with
+    n_keys = 50_000;
+    n_partitions = 1024;
+    write_fraction = 0.3;
+    rate;
+    value_size = 512;
+    large_value_size = 16_384;
+    large_fraction;
+  }
+
+let size_aware = Policy.Size_aware { Policy.size_threshold = 4096; reserved_workers = 2 }
+
+let cfg policy = { Server.default_config with Server.policy; n_workers = 16 }
+
+(* ---------------- generator sizing ---------------- *)
+
+let test_generator_bimodal_sizes () =
+  let gen = Generator.create (bimodal ~large_fraction:0.1 0.01) ~seed:3 in
+  let large = ref 0 and n = 20_000 in
+  for _ = 1 to n do
+    let r = Generator.next gen in
+    match r.Request.value_size with
+    | 512 -> ()
+    | 16_384 -> incr large
+    | other -> Alcotest.failf "unexpected size %d" other
+  done;
+  let f = float_of_int !large /. float_of_int n in
+  (* Size is per partition (1024 of them), so the request-level share
+     carries partition-sampling noise. *)
+  if abs_float (f -. 0.1) > 0.04 then Alcotest.failf "large fraction %f" f
+
+let test_generator_homogeneous_by_default () =
+  let gen = Generator.create { (bimodal 0.01) with Generator.large_fraction = 0.0 } ~seed:3 in
+  for _ = 1 to 1_000 do
+    Alcotest.(check int) "all default size" 512 (Generator.next gen).Request.value_size
+  done
+
+let test_service_sized_sampling () =
+  let svc = Service.create Service.default (Rng.create 1) in
+  Alcotest.(check bool) "16KB item needs ~256 lines" true
+    (Service.lines_for svc ~value_size:16_384 > 250);
+  let small = Service.sample_kvs_sized svc ~value_size:512 in
+  let large = Service.sample_kvs_sized svc ~value_size:16_384 in
+  Alcotest.(check bool) "large far dearer" true (large > 10.0 *. small)
+
+(* ---------------- policy plumbing ---------------- *)
+
+let test_policy_plumbing () =
+  Alcotest.(check string) "name" "Size-aware d-CREW" (Policy.name size_aware);
+  Alcotest.(check bool) "uses the EWT" true (Policy.uses_ewt size_aware);
+  Alcotest.(check bool) "balances everything" true
+    (Policy.balanceable size_aware Request.Write)
+
+let test_reserved_workers_validated () =
+  let bad = Policy.Size_aware { Policy.size_threshold = 4096; reserved_workers = 16 } in
+  Alcotest.(check bool) "must leave both classes nonempty" true
+    (try
+       ignore (Server.run (cfg bad) ~workload:(bimodal 0.001) ~n_requests:100);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- behaviour ---------------- *)
+
+let test_size_aware_conserves () =
+  let r = Server.run (cfg size_aware) ~workload:(bimodal 0.004) ~n_requests:20_000 in
+  let m = r.Server.metrics in
+  Alcotest.(check bool) "requests conserved" true
+    (Metrics.completed m + Metrics.drops m > 15_000)
+
+let test_large_items_confined_to_reserved_pool () =
+  (* Under size-aware routing the large items' service time shows up
+     ONLY on the reserved workers (ids 14..15 of 16). *)
+  let r = Server.run (cfg size_aware) ~workload:(bimodal 0.004) ~n_requests:30_000 in
+  let services = Metrics.worker_mean_service r.Server.metrics in
+  (* A 16 KiB access costs ~17 µs; any worker averaging above 2 µs must
+     have served large items. *)
+  Array.iteri
+    (fun wid mean ->
+      if wid < 14 && mean > 2_000.0 then
+        Alcotest.failf "small-class worker %d shows large items (mean %.0f)" wid mean)
+    services;
+  let reserved_busy = Array.exists (fun m -> m > 2_000.0) (Array.sub services 14 2) in
+  Alcotest.(check bool) "reserved pool served the large items" true reserved_busy
+
+let test_small_request_tail_protected () =
+  (* The Minos scenario: under CREW (the paper's baseline), small writes
+     hash to workers that are stuck serving 17 µs transfers — classic
+     size-induced head-of-line blocking. Size-aware d-CREW confines
+     large items to the reserved pool AND balances the small writes, so
+     the small-item p99 collapses. (Plain JBSQ-balanced traffic barely
+     suffers — the central queue routes around stuck workers — which is
+     itself a finding: size-awareness matters for the partitioned
+     requests, exactly the writes.) *)
+  let wl = bimodal ~large_fraction:0.03 0.010 in
+  let aware_policy =
+    Policy.Size_aware { Policy.size_threshold = 4096; reserved_workers = 6 }
+  in
+  let small_p99 policy =
+    let m = (Server.run (cfg policy) ~workload:wl ~n_requests:60_000).Server.metrics in
+    C4_stats.Histogram.p99 (Metrics.small_latency m)
+  in
+  let crew = small_p99 Policy.Crew in
+  let aware = small_p99 aware_policy in
+  Alcotest.(check bool)
+    (Printf.sprintf "size-aware cuts small-item p99 (%.0f -> %.0f)" crew aware)
+    true
+    (aware < crew *. 0.6)
+
+let test_no_large_items_degenerates_to_dcrew () =
+  (* With homogeneous small items the reserved pool sits idle but the
+     system still works; p99 only modestly above plain d-CREW (fewer
+     balanced workers). *)
+  let wl = { (bimodal 0.008) with Generator.large_fraction = 0.0 } in
+  let r = Server.run (cfg size_aware) ~workload:wl ~n_requests:20_000 in
+  let m = r.Server.metrics in
+  Alcotest.(check bool) "still completes" true (Metrics.completed m > 14_000);
+  let tputs = Metrics.worker_throughput_mrps m in
+  let reserved_total = Array.fold_left ( +. ) 0.0 (Array.sub tputs 14 2) in
+  Alcotest.(check bool) "reserved pool idle without large items" true (reserved_total < 0.2)
+
+let tests =
+  [
+    Alcotest.test_case "generator produces bimodal sizes" `Slow test_generator_bimodal_sizes;
+    Alcotest.test_case "homogeneous by default" `Quick test_generator_homogeneous_by_default;
+    Alcotest.test_case "service scales with request size" `Quick test_service_sized_sampling;
+    Alcotest.test_case "policy plumbing" `Quick test_policy_plumbing;
+    Alcotest.test_case "reserved-worker validation" `Quick test_reserved_workers_validated;
+    Alcotest.test_case "size-aware conserves requests" `Quick test_size_aware_conserves;
+    Alcotest.test_case "large items confined to the reserved pool" `Quick
+      test_large_items_confined_to_reserved_pool;
+    Alcotest.test_case "small-request tail protected" `Slow test_small_request_tail_protected;
+    Alcotest.test_case "degenerates gracefully without large items" `Quick
+      test_no_large_items_degenerates_to_dcrew;
+  ]

@@ -1,0 +1,95 @@
+(* Validation of the simulator against closed-form queueing theory:
+   the single-worker model must match Pollaczek–Khinchine (M/G/1) and
+   the balanced multi-worker model must track the Allen–Cunneen M/G/c
+   approximation. This grounds every latency the reproduction reports. *)
+
+module Validation = C4_model.Validation
+module Server = C4_model.Server
+module Metrics = C4_model.Metrics
+module Policy = C4_model.Policy
+module Generator = C4_workload.Generator
+
+let feq ?(tol = 0.05) name expected got =
+  let err = abs_float (got -. expected) /. Float.max 1e-9 (abs_float expected) in
+  if err > tol then Alcotest.failf "%s: expected %f, got %f (err %.1f%%)" name expected got (100. *. err)
+
+(* ---------------- closed forms ---------------- *)
+
+let test_mm1_special_case () =
+  (* M/M/1 from both formulas: W = rho/(mu - lambda). *)
+  let lambda = 0.5 and mu = 1.0 in
+  let exact = lambda /. (mu *. (mu -. lambda)) in
+  feq "PK with exponential service" exact
+    (Validation.mg1_mean_wait ~lambda ~service_mean:1.0 ~service_var:1.0);
+  feq "Erlang-C with c=1" exact (Validation.mmc_mean_wait ~lambda ~mu ~c:1)
+
+let test_erlang_c_known_value () =
+  (* Classic call-centre example: a = 2 Erlangs, c = 3 -> C ~ 0.4444. *)
+  feq ~tol:0.001 "Erlang C(3,2)" 0.44444 (Validation.erlang_c ~lambda:2.0 ~mu:1.0 ~c:3)
+
+let test_erlang_c_monotone_in_c () =
+  let c2 = Validation.erlang_c ~lambda:1.5 ~mu:1.0 ~c:2 in
+  let c4 = Validation.erlang_c ~lambda:1.5 ~mu:1.0 ~c:4 in
+  let c8 = Validation.erlang_c ~lambda:1.5 ~mu:1.0 ~c:8 in
+  Alcotest.(check bool) "more servers, less waiting" true (c2 > c4 && c4 > c8)
+
+let test_unstable_rejected () =
+  Alcotest.(check bool) "rho >= 1 rejected" true
+    (try ignore (Validation.mg1_mean_wait ~lambda:2.0 ~service_mean:1.0 ~service_var:0.0); false
+     with Invalid_argument _ -> true)
+
+let test_uniform_moments () =
+  let mean, var = Validation.uniform_moments ~lo:500.0 ~hi:900.0 in
+  feq ~tol:1e-9 "mean" 700.0 mean;
+  feq ~tol:1e-9 "variance" (400.0 *. 400.0 /. 12.0) var
+
+(* ---------------- simulator vs theory ---------------- *)
+
+(* One worker, everything balanced, no cache layer: an M/G/1 queue with
+   uniform service on [500, 900] ns (T_kvs U[400,800] + T_fixed 100). *)
+let simulated_mean_wait ~n_workers ~rate =
+  let cfg =
+    {
+      Server.default_config with
+      Server.policy = Policy.Ideal;
+      n_workers;
+      jbsq_bound = 1 (* JBSQ(1) + central queue = exactly M/G/c *);
+      max_outstanding = 1_000_000;
+    }
+  in
+  let workload =
+    { Generator.default with n_keys = 10_000; n_partitions = 256; rate; write_fraction = 0.0 }
+  in
+  let r = Server.run cfg ~workload ~n_requests:400_000 in
+  Metrics.mean_latency r.Server.metrics -. 700.0
+
+let test_mg1_against_simulation () =
+  let mean, var = Validation.uniform_moments ~lo:500.0 ~hi:900.0 in
+  List.iter
+    (fun rate ->
+      let theory = Validation.mg1_mean_wait ~lambda:rate ~service_mean:mean ~service_var:var in
+      let sim = simulated_mean_wait ~n_workers:1 ~rate in
+      feq ~tol:0.08 (Printf.sprintf "M/G/1 wait at rho=%.2f" (rate *. mean)) theory sim)
+    [ 0.0005; 0.001 ]
+    (* rho = 0.35, 0.70 *)
+
+let test_mgc_against_simulation () =
+  let mean, var = Validation.uniform_moments ~lo:500.0 ~hi:900.0 in
+  let c = 8 in
+  let rate = 0.008 in
+  (* rho = 0.7 *)
+  let theory = Validation.mgc_mean_wait_approx ~lambda:rate ~service_mean:mean ~service_var:var ~c in
+  let sim = simulated_mean_wait ~n_workers:c ~rate in
+  (* Allen–Cunneen is itself an approximation: accept 25%. *)
+  feq ~tol:0.25 "M/G/8 wait at rho=0.7" theory sim
+
+let tests =
+  [
+    Alcotest.test_case "M/M/1 from both formulas" `Quick test_mm1_special_case;
+    Alcotest.test_case "Erlang-C textbook value" `Quick test_erlang_c_known_value;
+    Alcotest.test_case "Erlang-C monotone in servers" `Quick test_erlang_c_monotone_in_c;
+    Alcotest.test_case "unstable systems rejected" `Quick test_unstable_rejected;
+    Alcotest.test_case "uniform moments" `Quick test_uniform_moments;
+    Alcotest.test_case "simulator matches M/G/1 (PK)" `Slow test_mg1_against_simulation;
+    Alcotest.test_case "simulator matches M/G/c (Allen-Cunneen)" `Slow test_mgc_against_simulation;
+  ]

@@ -1,0 +1,277 @@
+(* Workload substrate: Zipf samplers (both methods, distribution checks),
+   Poisson arrival process, generator determinism and mix, traces. *)
+
+module Rng = C4_dsim.Rng
+module Zipf = C4_workload.Zipf
+module Generator = C4_workload.Generator
+module Request = C4_workload.Request
+module Trace = C4_workload.Trace
+
+(* ---------------- Zipf ---------------- *)
+
+let empirical_freqs ~method_ ~n ~theta ~samples =
+  let z = Zipf.create ~method_ ~n ~theta (Rng.create 99) in
+  let counts = Array.make n 0 in
+  for _ = 1 to samples do
+    let r = Zipf.sample z in
+    counts.(r) <- counts.(r) + 1
+  done;
+  (z, Array.map (fun c -> float_of_int c /. float_of_int samples) counts)
+
+let check_head_frequencies method_ () =
+  let n = 1000 and theta = 0.99 and samples = 200_000 in
+  let z, freqs = empirical_freqs ~method_ ~n ~theta ~samples in
+  (* The head ranks carry enough mass for a tight statistical check. *)
+  for rank = 0 to 4 do
+    let expected = Zipf.prob z rank in
+    let got = freqs.(rank) in
+    if abs_float (got -. expected) > 0.2 *. expected +. 0.002 then
+      Alcotest.failf "rank %d: freq %f vs prob %f" rank got expected
+  done
+
+let test_zipf_uniform_degenerate () =
+  let n = 100 in
+  let z, freqs = empirical_freqs ~method_:`Cdf ~n ~theta:0.0 ~samples:100_000 in
+  Alcotest.(check bool) "prob uniform" true (abs_float (Zipf.prob z 0 -. 0.01) < 1e-12);
+  Array.iteri
+    (fun i f ->
+      if abs_float (f -. 0.01) > 0.004 then Alcotest.failf "rank %d freq %f" i f)
+    freqs
+
+let test_zipf_probs_sum_to_one () =
+  let z = Zipf.create ~n:10_000 ~theta:1.25 (Rng.create 5) in
+  let total = ref 0.0 in
+  for i = 0 to 9_999 do
+    total := !total +. Zipf.prob z i
+  done;
+  if abs_float (!total -. 1.0) > 1e-9 then Alcotest.failf "sum %f" !total
+
+let test_zipf_head_mass_monotone_in_theta () =
+  let mass theta =
+    Zipf.head_mass (Zipf.create ~n:100_000 ~theta (Rng.create 1)) 10
+  in
+  let m0 = mass 0.5 and m1 = mass 0.99 and m2 = mass 1.4 in
+  Alcotest.(check bool) "skew concentrates mass" true (m0 < m1 && m1 < m2)
+
+let test_zipf_methods_agree () =
+  (* Both implementations sample the same distribution: compare head
+     frequencies against each other. *)
+  let n = 500 and theta = 1.2 and samples = 100_000 in
+  let _, f_cdf = empirical_freqs ~method_:`Cdf ~n ~theta ~samples in
+  let _, f_alias = empirical_freqs ~method_:`Alias ~n ~theta ~samples in
+  for rank = 0 to 3 do
+    if abs_float (f_cdf.(rank) -. f_alias.(rank)) > 0.015 then
+      Alcotest.failf "rank %d: cdf %f vs alias %f" rank f_cdf.(rank) f_alias.(rank)
+  done
+
+let test_zipf_invalid_args () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Zipf.create: n must be positive")
+    (fun () -> ignore (Zipf.create ~n:0 ~theta:1.0 (Rng.create 1)));
+  Alcotest.check_raises "negative theta"
+    (Invalid_argument "Zipf.create: theta must be nonnegative") (fun () ->
+      ignore (Zipf.create ~n:10 ~theta:(-1.0) (Rng.create 1)))
+
+let prop_zipf_sample_in_range =
+  QCheck.Test.make ~name:"zipf samples stay in [0, n)" ~count:100
+    QCheck.(pair (int_range 1 5000) (float_range 0.0 2.5))
+    (fun (n, theta) ->
+      let z = Zipf.create ~n ~theta (Rng.create (n + int_of_float (theta *. 100.))) in
+      let ok = ref true in
+      for _ = 1 to 200 do
+        let r = Zipf.sample z in
+        if r < 0 || r >= n then ok := false
+      done;
+      !ok)
+
+(* ---------------- Generator ---------------- *)
+
+let mk ?(theta = 0.0) ?(write_fraction = 0.5) ?(rate = 0.05) () =
+  Generator.create
+    { Generator.default with n_keys = 10_000; n_partitions = 64; theta; write_fraction; rate }
+    ~seed:7
+
+let test_generator_deterministic () =
+  let a = mk () and b = mk () in
+  for _ = 1 to 500 do
+    let ra = Generator.next a and rb = Generator.next b in
+    if ra <> rb then Alcotest.failf "divergence at request %d" ra.Request.id
+  done
+
+let test_generator_arrivals_increasing () =
+  let g = mk () in
+  let last = ref (-1.0) in
+  for _ = 1 to 1_000 do
+    let r = Generator.next g in
+    if r.Request.arrival <= !last then Alcotest.failf "non-increasing arrival";
+    last := r.Request.arrival
+  done
+
+let test_generator_rate () =
+  let g = mk ~rate:0.05 () in
+  let n = 100_000 in
+  let first = Generator.next g in
+  let last = ref first in
+  for _ = 2 to n do
+    last := Generator.next g
+  done;
+  let measured =
+    float_of_int (n - 1) /. (!last.Request.arrival -. first.Request.arrival)
+  in
+  if abs_float (measured -. 0.05) > 0.002 then Alcotest.failf "rate %f" measured
+
+let test_generator_write_fraction () =
+  let g = mk ~write_fraction:0.3 () in
+  let writes = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Request.is_write (Generator.next g) then incr writes
+  done;
+  let f = float_of_int !writes /. float_of_int n in
+  if abs_float (f -. 0.3) > 0.01 then Alcotest.failf "write fraction %f" f
+
+let test_generator_partition_range () =
+  let g = mk ~theta:1.4 () in
+  for _ = 1 to 10_000 do
+    let r = Generator.next g in
+    if r.Request.partition < 0 || r.Request.partition >= 64 then
+      Alcotest.failf "partition %d out of range" r.Request.partition
+  done
+
+let test_generator_partition_consistent () =
+  let g = mk () in
+  for _ = 1 to 1_000 do
+    let r = Generator.next g in
+    Alcotest.(check int) "partition = f(key)"
+      (Generator.partition_of_key g r.Request.key)
+      r.Request.partition
+  done
+
+let test_generator_ids_unique_and_dense () =
+  let g = mk () in
+  for expected = 0 to 999 do
+    let r = Generator.next g in
+    Alcotest.(check int) "dense ids" expected r.Request.id
+  done;
+  Alcotest.(check int) "generated count" 1000 (Generator.generated g)
+
+let test_generator_rejects_bad_config () =
+  let bad f = Alcotest.(check bool) "raises" true
+    (try ignore (f ()); false with Invalid_argument _ -> true) in
+  bad (fun () -> Generator.create { Generator.default with n_keys = 0 } ~seed:1);
+  bad (fun () -> Generator.create { Generator.default with write_fraction = 1.5 } ~seed:1);
+  bad (fun () -> Generator.create { Generator.default with rate = 0.0 } ~seed:1)
+
+let test_regions () =
+  let open Generator in
+  Alcotest.(check string) "R_uni" "R_uni" (Format.asprintf "%a" pp_region R_uni);
+  let c = of_region WI_uni in
+  Alcotest.(check bool) "WI_uni write-heavy" true (c.write_fraction >= 0.5);
+  let c = of_region RW_sk in
+  Alcotest.(check bool) "RW_sk skewed" true (c.theta >= 0.9)
+
+(* ---------------- YCSB presets ---------------- *)
+
+let test_ycsb_roundtrip () =
+  List.iter
+    (fun w ->
+      match C4_workload.Ycsb.of_name (C4_workload.Ycsb.name w) with
+      | Ok w' -> Alcotest.(check string) "roundtrip" (C4_workload.Ycsb.name w)
+                   (C4_workload.Ycsb.name w')
+      | Error e -> Alcotest.fail e)
+    C4_workload.Ycsb.all;
+  (match C4_workload.Ycsb.of_name " a " with
+  | Ok C4_workload.Ycsb.A -> ()
+  | _ -> Alcotest.fail "case/space-insensitive parse");
+  match C4_workload.Ycsb.of_name "Z" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "Z accepted"
+
+let test_ycsb_mixes () =
+  let open C4_workload.Ycsb in
+  Alcotest.(check (float 1e-9)) "A is half writes" 0.5 (write_fraction A);
+  Alcotest.(check (float 1e-9)) "C is read-only" 0.0 (write_fraction C);
+  let cfg = config A in
+  Alcotest.(check (float 1e-9)) "standard zipfian" 0.99 cfg.Generator.theta;
+  Alcotest.(check (float 1e-9)) "mix applied" 0.5 cfg.Generator.write_fraction;
+  (* A generated stream honours the preset's mix. *)
+  let gen = Generator.create { cfg with Generator.n_keys = 10_000 } ~seed:5 in
+  let writes = ref 0 in
+  for _ = 1 to 20_000 do
+    if Request.is_write (Generator.next gen) then incr writes
+  done;
+  let f = float_of_int !writes /. 20_000.0 in
+  if abs_float (f -. 0.5) > 0.02 then Alcotest.failf "YCSB-A write mix %f" f
+
+let test_ycsb_base_override () =
+  let base = { Generator.default with n_keys = 77; rate = 0.123 } in
+  let cfg = C4_workload.Ycsb.config ~base C4_workload.Ycsb.B in
+  Alcotest.(check int) "base keys kept" 77 cfg.Generator.n_keys;
+  Alcotest.(check (float 1e-9)) "base rate kept" 0.123 cfg.Generator.rate
+
+(* ---------------- Trace ---------------- *)
+
+let test_trace_record_replay () =
+  let g = mk () in
+  let t = Trace.record g ~n:100 in
+  Alcotest.(check int) "length" 100 (Trace.length t);
+  let r0 = Trace.get t 0 in
+  Alcotest.(check int) "first id" 0 r0.Request.id
+
+let test_trace_csv_roundtrip () =
+  let g = mk ~theta:0.99 () in
+  let t = Trace.record g ~n:50 in
+  match Trace.of_csv (Trace.to_csv t) with
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+  | Ok t' ->
+    Alcotest.(check int) "same length" (Trace.length t) (Trace.length t');
+    for i = 0 to Trace.length t - 1 do
+      let a = Trace.get t i and b = Trace.get t' i in
+      if a.Request.id <> b.Request.id || a.key <> b.key || a.op <> b.op then
+        Alcotest.failf "row %d mismatch" i
+    done
+
+let test_trace_of_csv_errors () =
+  (match Trace.of_csv "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty should error");
+  match Trace.of_csv "id,op,key,partition,arrival,value_size\n1,X,2,3,4.0,5\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad op should error"
+
+let test_trace_rescale () =
+  let g = mk ~rate:0.05 () in
+  let t = Trace.record g ~n:10_000 in
+  let t2 = Trace.rescale t ~rate:0.1 in
+  let measured = Trace.offered_rate t2 in
+  if abs_float (measured -. 0.1) > 0.005 then Alcotest.failf "rescaled rate %f" measured;
+  Alcotest.(check int) "same length" (Trace.length t) (Trace.length t2);
+  Alcotest.(check (float 0.0001)) "write mix preserved" (Trace.write_fraction t)
+    (Trace.write_fraction t2)
+
+let tests =
+  [
+    Alcotest.test_case "zipf head frequencies (CDF)" `Slow (check_head_frequencies `Cdf);
+    Alcotest.test_case "zipf head frequencies (alias)" `Slow (check_head_frequencies `Alias);
+    Alcotest.test_case "zipf theta=0 is uniform" `Slow test_zipf_uniform_degenerate;
+    Alcotest.test_case "zipf probabilities sum to 1" `Quick test_zipf_probs_sum_to_one;
+    Alcotest.test_case "head mass grows with skew" `Quick test_zipf_head_mass_monotone_in_theta;
+    Alcotest.test_case "CDF and alias methods agree" `Slow test_zipf_methods_agree;
+    Alcotest.test_case "zipf argument validation" `Quick test_zipf_invalid_args;
+    QCheck_alcotest.to_alcotest prop_zipf_sample_in_range;
+    Alcotest.test_case "generator is deterministic" `Quick test_generator_deterministic;
+    Alcotest.test_case "arrivals strictly increase" `Quick test_generator_arrivals_increasing;
+    Alcotest.test_case "poisson rate honoured" `Slow test_generator_rate;
+    Alcotest.test_case "write fraction honoured" `Slow test_generator_write_fraction;
+    Alcotest.test_case "partitions in range" `Quick test_generator_partition_range;
+    Alcotest.test_case "partition = f(key) always" `Quick test_generator_partition_consistent;
+    Alcotest.test_case "request ids dense" `Quick test_generator_ids_unique_and_dense;
+    Alcotest.test_case "config validation" `Quick test_generator_rejects_bad_config;
+    Alcotest.test_case "taxonomy region presets" `Quick test_regions;
+    Alcotest.test_case "YCSB name round-trip" `Quick test_ycsb_roundtrip;
+    Alcotest.test_case "YCSB mixes and presets" `Slow test_ycsb_mixes;
+    Alcotest.test_case "YCSB base override" `Quick test_ycsb_base_override;
+    Alcotest.test_case "trace record" `Quick test_trace_record_replay;
+    Alcotest.test_case "trace CSV round-trip" `Quick test_trace_csv_roundtrip;
+    Alcotest.test_case "trace CSV error handling" `Quick test_trace_of_csv_errors;
+    Alcotest.test_case "trace rescale" `Quick test_trace_rescale;
+  ]
