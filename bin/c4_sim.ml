@@ -117,6 +117,79 @@ let ewt scale =
   let t = C4.Figures.Ewt_study.run ~scale () in
   C4_stats.Table.print (C4.Figures.Ewt_study.to_table t)
 
+(* One traced run: request-lifecycle spans to Chrome trace-event JSON,
+   registry metrics to a CSV time series, and the per-stage latency
+   decomposition printed at the end. *)
+let trace_run system write_frac theta rate n_requests full_system trace_file sample
+    metrics_interval metrics_csv =
+  let module Server = C4_model.Server in
+  let module Trace = C4_obs.Trace in
+  let module Report = C4_obs.Report in
+  if sample < 1 then begin
+    prerr_endline "c4_sim: --trace-sample must be >= 1";
+    exit 2
+  end;
+  let tracer =
+    match trace_file with
+    | Some _ -> Trace.create ~sample ()
+    | None -> Trace.null
+  in
+  let registry = C4_obs.Registry.create () in
+  let cfg = if full_system then C4.Config.full system else C4.Config.model system in
+  let cfg =
+    {
+      cfg with
+      Server.trace = tracer;
+      registry = Some registry;
+      metrics_interval;
+    }
+  in
+  let workload =
+    {
+      (C4.Config.workload_rw_sk ~theta ~write_fraction:(write_frac /. 100.0)) with
+      C4_workload.Generator.rate = rate /. 1e3;
+    }
+  in
+  let r = Server.run cfg ~workload ~n_requests in
+  Printf.printf "system=%s gamma=%.2f f_wr=%.0f%% @ %.0f MRPS, %d requests\n"
+    (C4.Config.name system) theta write_frac rate n_requests;
+  Format.printf "%a@." C4_model.Metrics.pp_summary r.Server.metrics;
+  print_newline ();
+  print_endline "registered metrics:";
+  C4_stats.Table.print (C4_obs.Registry.to_table registry);
+  (match trace_file with
+  | None -> ()
+  | Some path ->
+    (try C4_obs.Chrome.save tracer ~path
+     with Sys_error msg ->
+       prerr_endline ("c4_sim: cannot write trace: " ^ msg);
+       exit 1);
+    Printf.printf "\nwrote %s (%d spans, %d events, every %d%s request)\n" path
+      (List.length (Trace.spans tracer))
+      (List.length (Trace.events tracer))
+      sample
+      (match sample with 1 -> "st" | 2 -> "nd" | 3 -> "rd" | _ -> "th");
+    let bad = Report.violations tracer ~tolerance_ns:1.0 in
+    Printf.printf "span-sum check: %d/%d traced requests within 1 ns of end-to-end latency\n"
+      (List.length (Trace.completed tracer) - List.length bad)
+      (List.length (Trace.completed tracer));
+    print_newline ();
+    print_endline "per-stage breakdown over traced requests:";
+    C4_stats.Table.print (Report.stage_table tracer);
+    (match Report.request_at_quantile tracer ~q:0.99 with
+    | None -> ()
+    | Some b ->
+      Printf.printf "\np99 traced request (#%d, arrived t=%.0f ns):\n" b.Report.req
+        b.Report.arrival;
+      C4_stats.Table.print (Report.breakdown_table b)));
+  match (metrics_csv, r.Server.snapshot) with
+  | Some path, Some csv ->
+    C4_stats.Csv.save csv ~path;
+    Printf.printf "wrote %s\n" path
+  | Some _, None ->
+    prerr_endline "warning: --metrics-csv needs --metrics-interval; no series collected"
+  | None, _ -> ()
+
 (* Profile a trace CSV (or a synthetic one) and recommend a mechanism. *)
 let analyze trace_file theta write_frac n =
   let trace =
@@ -350,6 +423,54 @@ let ewt_cmd =
     (Cmd.info "ewt" ~doc:"Reproduce Sec. 7.1.1: EWT occupancy statistics.")
     Term.(const ewt $ scale_arg)
 
+let trace_term =
+  let system =
+    Arg.(value & opt system_conv C4.Config.Comp & info [ "system" ] ~docv:"SYS"
+           ~doc:"System: baseline|erew|ideal|rlu|mv-rlu|d-crew|comp.")
+  in
+  let write_frac =
+    Arg.(value & opt float 5.0 & info [ "write-frac" ] ~docv:"PCT" ~doc:"Write percentage.")
+  in
+  let theta =
+    Arg.(value & opt float 1.25 & info [ "s"; "skew" ] ~docv:"GAMMA" ~doc:"Zipf coefficient.")
+  in
+  let rate =
+    Arg.(value & opt float 60.0 & info [ "rate" ] ~docv:"MRPS" ~doc:"Offered load.")
+  in
+  let n_requests =
+    Arg.(value & opt int 100_000 & info [ "reqs-to-sim" ] ~docv:"N"
+           ~doc:"Requests to simulate.")
+  in
+  let full_system =
+    Arg.(value & flag & info [ "full-system" ]
+           ~doc:"Enable the cache-coherence cost layer.")
+  in
+  let trace_file =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event JSON (chrome://tracing, Perfetto) to $(docv).")
+  in
+  let sample =
+    Arg.(value & opt int 1 & info [ "trace-sample" ] ~docv:"N"
+           ~doc:"Trace every $(docv)th request (default: all).")
+  in
+  let metrics_interval =
+    Arg.(value & opt (some float) None & info [ "metrics-interval" ] ~docv:"NS"
+           ~doc:"Snapshot every registered metric each $(docv) ns of simulated time.")
+  in
+  let metrics_csv =
+    Arg.(value & opt (some string) None & info [ "metrics-csv" ] ~docv:"FILE"
+           ~doc:"Write the metric time series (needs --metrics-interval) to $(docv).")
+  in
+  Term.(
+    const trace_run $ system $ write_frac $ theta $ rate $ n_requests $ full_system
+    $ trace_file $ sample $ metrics_interval $ metrics_csv)
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run once with end-to-end request tracing and live metrics (default command).")
+    trace_term
+
 let analyze_cmd =
   let trace =
     Arg.(value & opt (some file) None & info [ "trace" ] ~docv:"FILE"
@@ -421,7 +542,7 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info
+       (Cmd.group ~default:trace_term info
           [
             excess_cmd;
             surface_cmd;
@@ -429,6 +550,7 @@ let () =
             per_thread_cmd;
             item_size_cmd;
             ewt_cmd;
+            trace_cmd;
             analyze_cmd;
             taxonomy_cmd;
             validate_cmd;

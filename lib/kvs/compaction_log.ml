@@ -20,22 +20,36 @@ type window = {
   mutable count : int;
 }
 
+module Registry = C4_obs.Registry
+
 type t = {
   scan_depth_ : int;
   mutable window : window option;
   mutable opened_total : int;
   mutable compacted_total : int;
   mutable largest : int;
+  windows_c : Registry.counter;
+  absorbed_c : Registry.counter;
+  window_size_h : Registry.histogram;
 }
 
-let create ?(scan_depth = 8) () =
+let create ?registry ?(scan_depth = 8) () =
   if scan_depth < 1 then invalid_arg "Compaction_log.create: scan_depth";
+  (* Per-worker logs created against a shared registry all resolve to
+     the same named metrics, aggregating across the pool for free. *)
+  let reg = match registry with Some r -> r | None -> Registry.create () in
+  let windows_c = Registry.counter reg "compaction.windows" in
+  let absorbed_c = Registry.counter reg "compaction.absorbed" in
+  let window_size_h = Registry.histogram reg "compaction.window_size" in
   {
     scan_depth_ = scan_depth;
     window = None;
     opened_total = 0;
     compacted_total = 0;
     largest = 0;
+    windows_c;
+    absorbed_c;
+    window_size_h;
   }
 
 let scan_depth t = t.scan_depth_
@@ -51,7 +65,8 @@ let open_window t ~key ~now ~expires_at =
   if t.window <> None then failwith "Compaction_log.open_window: window already open";
   if expires_at < now then invalid_arg "Compaction_log.open_window: deadline in the past";
   t.window <- Some { key; opened_at = now; deadline = expires_at; entries = []; count = 0 };
-  t.opened_total <- t.opened_total + 1
+  t.opened_total <- t.opened_total + 1;
+  Registry.incr t.windows_c
 
 let absorb t ~key pending =
   match t.window with
@@ -59,7 +74,8 @@ let absorb t ~key pending =
   | Some w ->
     if w.key <> key then failwith "Compaction_log.absorb: key mismatch";
     w.entries <- pending :: w.entries;
-    w.count <- w.count + 1
+    w.count <- w.count + 1;
+    Registry.incr t.absorbed_c
 
 let buffered t = match t.window with Some w -> w.count | None -> 0
 
@@ -72,6 +88,7 @@ let close t ~now =
   | Some w ->
     t.window <- None;
     t.compacted_total <- t.compacted_total + w.count;
+    Registry.observe t.window_size_h (float_of_int w.count);
     if w.count > t.largest then t.largest <- w.count;
     Some { key = w.key; opened_at = w.opened_at; closed_at = now; writes = List.rev w.entries }
 

@@ -30,9 +30,13 @@ type closed = {
 type t
 
 (** [create ()] — no window open.
+    @param registry observability registry receiving the log's metrics
+    ([compaction.windows], [compaction.absorbed] counters and the
+    [compaction.window_size] histogram); all logs created against the
+    same registry share them. A private registry is used when omitted.
     @param scan_depth queue slots inspected when hunting for dependent
     writes (default 8; the paper scans "a small number"). *)
-val create : ?scan_depth:int -> unit -> t
+val create : ?registry:C4_obs.Registry.t -> ?scan_depth:int -> unit -> t
 
 val scan_depth : t -> int
 

@@ -13,7 +13,9 @@ type t = {
   busy_ns : float array;
   service : Summary.t array;
   mutable compacted_n : int;
-  mutable drops_n : int;
+  mutable drops_queue_full_n : int;
+  mutable drops_ewt_n : int;
+  mutable drops_slo_n : int;
   mutable t_start : float;
   mutable t_stop : float;
   mutable on : bool;
@@ -32,7 +34,9 @@ let create ~n_workers =
     busy_ns = Array.make n_workers 0.0;
     service = Array.init n_workers (fun _ -> Summary.create ());
     compacted_n = 0;
-    drops_n = 0;
+    drops_queue_full_n = 0;
+    drops_ewt_n = 0;
+    drops_slo_n = 0;
     t_start = 0.0;
     t_stop = 0.0;
     on = false;
@@ -73,7 +77,25 @@ let record_latency t ~op ~latency ~compacted ~value_size =
 
 let add_busy t ~worker ns = if t.on then t.busy_ns.(worker) <- t.busy_ns.(worker) +. ns
 
-let note_drop t = if t.on then t.drops_n <- t.drops_n + 1
+type drop_reason = Queue_full | Ewt_exhausted | Slo_expired
+
+let drop_reason_name = function
+  | Queue_full -> "queue_full"
+  | Ewt_exhausted -> "ewt_exhausted"
+  | Slo_expired -> "slo_expired"
+
+let note_drop t ~reason =
+  if t.on then
+    match reason with
+    | Queue_full -> t.drops_queue_full_n <- t.drops_queue_full_n + 1
+    | Ewt_exhausted -> t.drops_ewt_n <- t.drops_ewt_n + 1
+    | Slo_expired -> t.drops_slo_n <- t.drops_slo_n + 1
+
+let drops_by_reason t ~reason =
+  match reason with
+  | Queue_full -> t.drops_queue_full_n
+  | Ewt_exhausted -> t.drops_ewt_n
+  | Slo_expired -> t.drops_slo_n
 
 let duration t = Float.max 0.0 (t.t_stop -. t.t_start)
 
@@ -91,7 +113,7 @@ let small_latency t = t.lat_small
 let large_latency t = t.lat_large
 let p99 t = Histogram.p99 t.lat_all
 let mean_latency t = Histogram.mean t.lat_all
-let drops t = t.drops_n
+let drops t = t.drops_queue_full_n + t.drops_ewt_n + t.drops_slo_n
 let compacted_count t = t.compacted_n
 let worker_completed t = Array.copy t.completed_n
 
@@ -114,4 +136,4 @@ let hottest_worker t =
 
 let pp_summary ppf t =
   Format.fprintf ppf "tput=%.1f MRPS p99=%.0f ns mean=%.0f ns drops=%d"
-    (throughput_mrps t) (p99 t) (mean_latency t) t.drops_n
+    (throughput_mrps t) (p99 t) (mean_latency t) (drops t)

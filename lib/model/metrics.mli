@@ -45,7 +45,13 @@ val size_class_boundary : int
     the caller's responsibility to clip). *)
 val add_busy : t -> worker:int -> float -> unit
 
-val note_drop : t -> unit
+(** Why an admitted-or-arriving request was dropped: NIC buffers full
+    (flow control), the EWT could not accommodate the write, or the
+    request's SLO expired before service. *)
+type drop_reason = Queue_full | Ewt_exhausted | Slo_expired
+
+val drop_reason_name : drop_reason -> string
+val note_drop : t -> reason:drop_reason -> unit
 
 (* -- Results ---------------------------------------------------------- *)
 
@@ -71,7 +77,11 @@ val small_latency : t -> C4_stats.Histogram.t
 val large_latency : t -> C4_stats.Histogram.t
 val p99 : t -> float
 val mean_latency : t -> float
+
+(** Total drops across all reasons. *)
 val drops : t -> int
+
+val drops_by_reason : t -> reason:drop_reason -> int
 val compacted_count : t -> int
 
 (** Per-worker views (length [n_workers]). *)

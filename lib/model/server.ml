@@ -8,6 +8,9 @@ module Ewt = C4_nic.Ewt
 module Flow_control = C4_nic.Flow_control
 module Coherence = C4_cache.Coherence
 module Compaction_log = C4_kvs.Compaction_log
+module Trace = C4_obs.Trace
+module Registry = C4_obs.Registry
+module Snapshot = C4_obs.Snapshot
 
 type compaction_config = {
   scan_depth : int;
@@ -41,6 +44,9 @@ type config = {
   ewt_release_delay : float;
   boosted_workers : (int * float) list;
   seed : int;
+  trace : Trace.t;
+  registry : Registry.t option;
+  metrics_interval : float option;
 }
 
 let default_config =
@@ -57,6 +63,9 @@ let default_config =
     ewt_release_delay = 0.0;
     boosted_workers = [];
     seed = 42;
+    trace = Trace.null;
+    registry = None;
+    metrics_interval = None;
   }
 
 type result = {
@@ -67,6 +76,7 @@ type result = {
   ewt_drops : int;
   offered_rate : float;
   mean_service : float;
+  snapshot : C4_stats.Csv.t option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -85,6 +95,7 @@ type state = {
   cfg : config;
   sim : Sim.t;
   svc : Service.t;
+  tr : Trace.t;
   rlu_rng : Rng.t;
   workers : worker array;
   jbsq : Jbsq.t;
@@ -93,6 +104,10 @@ type state = {
   flow : Flow_control.t;
   cache : Coherence.t option;
   metrics : Metrics.t;
+  jbsq_depth_h : Registry.histogram;
+  drop_queue_c : Registry.counter;
+  drop_ewt_c : Registry.counter;
+  drop_slo_c : Registry.counter;
   n_requests : int;
   warmup : int;
   mutable done_count : int;
@@ -286,6 +301,10 @@ and process_local st w (r : Request.t) ~now =
       in
       let deadline = Float.max now (anchor +. slack) in
       Compaction_log.open_window log ~key:r.key ~now ~expires_at:deadline;
+      Trace.request_event st.tr ~id:r.id ~name:"window_open"
+        ~args:
+          [ ("key", string_of_int r.key); ("deadline", Printf.sprintf "%.1f" deadline) ]
+        ~ts:now ();
       let timer =
         Sim.schedule_at st.sim ~time:deadline (fun _ ->
             w.window_timer <- None;
@@ -302,12 +321,15 @@ and process_local st w (r : Request.t) ~now =
   | _, _ -> run_for st w r ~service:(normal_service st w r)
 
 and forward st w (r : Request.t) ~t_forward =
+  Trace.service_begin st.tr ~id:r.id ~lane:w.wid ~ts:(Sim.now st.sim);
   w.busy <- true;
   Metrics.add_busy st.metrics ~worker:w.wid t_forward;
   ignore
     (Sim.schedule st.sim ~after:t_forward (fun _ ->
          w.busy <- false;
          Jbsq.complete st.jbsq w.wid;
+         Trace.service_end st.tr ~id:r.id ~lane:w.wid ~phase:Trace.Forward
+           ~ts:(Sim.now st.sim);
          let owner = static_owner st r.Request.partition in
          Jbsq.dispatch_to st.jbsq owner;
          let target = st.workers.(owner) in
@@ -321,6 +343,7 @@ and forward st w (r : Request.t) ~t_forward =
 and absorb st w log (r : Request.t) ~extra =
   let p = Service.params st.svc in
   let service = p.Service.t_fixed +. p.Service.t_comp +. extra in
+  Trace.service_begin st.tr ~id:r.id ~lane:w.wid ~ts:(Sim.now st.sim);
   Compaction_log.absorb log ~key:r.key
     {
       Compaction_log.request_id = r.id;
@@ -338,11 +361,14 @@ and absorb st w log (r : Request.t) ~extra =
             frees now, while the NIC buffer stays held until the
             response goes out at window close. *)
          Jbsq.complete st.jbsq w.wid;
+         Trace.service_end st.tr ~id:r.id ~lane:w.wid ~phase:Trace.Absorb
+           ~ts:(Sim.now st.sim);
          Metrics.record_service st.metrics ~op:r.op ~worker:w.wid ~service;
          refill_from_central st w.wid;
          start_next st w))
 
 and run_for st w (r : Request.t) ~service =
+  Trace.service_begin st.tr ~id:r.id ~lane:w.wid ~ts:(Sim.now st.sim);
   w.busy <- true;
   Metrics.add_busy st.metrics ~worker:w.wid service;
   ignore
@@ -353,6 +379,8 @@ and run_for st w (r : Request.t) ~service =
          Flow_control.release st.flow;
          if Policy.uses_ewt st.cfg.policy && r.op = Request.Write then
            release_exclusive st ~partition:r.partition;
+         Trace.service_end st.tr ~id:r.id ~lane:w.wid ~phase:Trace.Service ~ts:now;
+         Trace.departure st.tr ~id:r.id ~lane:w.wid ~ts:now;
          Metrics.record_service st.metrics ~op:r.op ~worker:w.wid ~service;
          Metrics.record_latency st.metrics ~op:r.op ~latency:(now -. r.arrival)
            ~compacted:false ~value_size:r.value_size;
@@ -361,6 +389,8 @@ and run_for st w (r : Request.t) ~service =
          if background > 0.0 then begin
            w.busy <- true;
            Jbsq.dispatch_to st.jbsq w.wid;
+           Trace.lane_span st.tr ~lane:w.wid ~phase:Trace.Background ~t0:now
+             ~t1:(now +. background);
            Metrics.add_busy st.metrics ~worker:w.wid background;
            ignore
              (Sim.schedule st.sim ~after:background (fun _ ->
@@ -395,12 +425,15 @@ and close_window st w =
           (Hashtbl.find w.window_reqs any.Compaction_log.request_id).Request.partition
       in
       let service = final_write_service st w ~partition in
+      let flush_start = Sim.now st.sim in
       w.busy <- true;
       Metrics.add_busy st.metrics ~worker:w.wid service;
       ignore
         (Sim.schedule st.sim ~after:service (fun _ ->
              let now = Sim.now st.sim in
              w.busy <- false;
+             Trace.lane_span st.tr ~lane:w.wid ~phase:Trace.Flush ~t0:flush_start
+               ~t1:now;
              List.iter
                (fun (pending : Compaction_log.pending) ->
                  let r = Hashtbl.find w.window_reqs pending.Compaction_log.request_id in
@@ -408,6 +441,7 @@ and close_window st w =
                  Flow_control.release st.flow;
                  if Policy.uses_ewt st.cfg.policy then
                    release_exclusive st ~partition:r.Request.partition;
+                 Trace.departure st.tr ~id:r.Request.id ~lane:w.wid ~ts:now;
                  Metrics.record_latency st.metrics ~op:r.op
                    ~latency:(now -. r.Request.arrival) ~compacted:true
                    ~value_size:r.Request.value_size;
@@ -441,12 +475,17 @@ and refill_from_central st wid =
 and route_from_central st ~free_worker (r : Request.t) =
   let enqueue wid =
     Fifo.push st.workers.(wid).queue r;
+    Trace.request_event st.tr ~id:r.id ~name:"enqueue"
+      ~args:[ ("worker", string_of_int wid) ] ~ts:(Sim.now st.sim) ();
+    Registry.observe st.jbsq_depth_h (float_of_int (Jbsq.occupancy st.jbsq wid));
     let target = st.workers.(wid) in
     if not target.busy then start_next st target
   in
   if Policy.uses_ewt st.cfg.policy && r.op = Request.Write then begin
     match Ewt.lookup st.ewt ~partition:r.partition with
     | Some owner -> (
+      Trace.request_event st.tr ~id:r.id ~name:"ewt_hit"
+        ~args:[ ("owner", string_of_int owner) ] ~ts:(Sim.now st.sim) ();
       match Ewt.note_write st.ewt ~partition:r.partition ~thread:owner with
       | `Ok ->
         Jbsq.dispatch_to st.jbsq owner;
@@ -456,6 +495,7 @@ and route_from_central st ~free_worker (r : Request.t) =
         drop_late st r;
         false)
     | None -> (
+      Trace.request_event st.tr ~id:r.id ~name:"ewt_miss" ~ts:(Sim.now st.sim) ();
       match Ewt.note_write st.ewt ~partition:r.partition ~thread:free_worker with
       | `Ok ->
         Jbsq.dispatch_to st.jbsq free_worker;
@@ -473,10 +513,12 @@ and route_from_central st ~free_worker (r : Request.t) =
 
 (* A request already admitted by flow control that the EWT cannot
    accommodate: dropped, releasing its NIC buffer. *)
-and drop_late st _r =
+and drop_late st (r : Request.t) =
   Flow_control.release st.flow;
   st.ewt_drop_count <- st.ewt_drop_count + 1;
-  Metrics.note_drop st.metrics;
+  Registry.incr st.drop_ewt_c;
+  Metrics.note_drop st.metrics ~reason:Metrics.Ewt_exhausted;
+  Trace.drop st.tr ~id:r.id ~reason:"ewt_exhausted" ~ts:(Sim.now st.sim);
   note_done st
 
 (* ------------------------------------------------------------------ *)
@@ -484,11 +526,20 @@ and drop_late st _r =
 let enqueue_at st wid (r : Request.t) =
   let w = st.workers.(wid) in
   Fifo.push w.queue r;
+  Trace.request_event st.tr ~id:r.id ~name:"enqueue"
+    ~args:[ ("worker", string_of_int wid) ] ~ts:(Sim.now st.sim) ();
+  Registry.observe st.jbsq_depth_h (float_of_int (Jbsq.occupancy st.jbsq wid));
   if not w.busy then start_next st w
 
 let on_arrival st (r : Request.t) =
+  let now = Sim.now st.sim in
+  Trace.arrival st.tr ~id:r.id
+    ~op:(match r.op with Request.Read -> "R" | Request.Write -> "W")
+    ~partition:r.partition ~ts:now;
   if not (Flow_control.admit st.flow) then begin
-    Metrics.note_drop st.metrics;
+    Registry.incr st.drop_queue_c;
+    Metrics.note_drop st.metrics ~reason:Metrics.Queue_full;
+    Trace.drop st.tr ~id:r.id ~reason:"queue_full" ~ts:now;
     note_done st
   end
   else begin
@@ -498,12 +549,15 @@ let on_arrival st (r : Request.t) =
     if Policy.uses_ewt policy && op = Request.Write then begin
       match Ewt.lookup st.ewt ~partition:r.partition with
       | Some owner -> (
+        Trace.request_event st.tr ~id:r.id ~name:"ewt_hit"
+          ~args:[ ("owner", string_of_int owner) ] ~ts:now ();
         match Ewt.note_write st.ewt ~partition:r.partition ~thread:owner with
         | `Ok ->
           Jbsq.dispatch_to st.jbsq owner;
           enqueue_at st owner r
         | `Full | `Counter_saturated -> drop_late st r)
       | None -> (
+        Trace.request_event st.tr ~id:r.id ~name:"ewt_miss" ~ts:now ();
         match try_dispatch_class st cls with
         | Some wid -> (
           match Ewt.note_write st.ewt ~partition:r.partition ~thread:wid with
@@ -539,6 +593,16 @@ let run_stream ?(warmup_fraction = 0.2) cfg ~next_request ~n_requests ~n_partiti
   let root = Rng.create cfg.seed in
   let svc = Service.create cfg.service (Rng.split root) in
   let rlu_rng = Rng.split root in
+  (* All layers instrument against one registry; a private one when the
+     caller did not ask to observe the run. *)
+  let reg = match cfg.registry with Some r -> r | None -> Registry.create () in
+  (* Register server-level metrics up front: record-literal evaluation
+     order is unspecified, and the registry's registration order is the
+     exporters' column order. *)
+  let drop_queue_c = Registry.counter reg "drops.queue_full" in
+  let drop_ewt_c = Registry.counter reg "drops.ewt_exhausted" in
+  let drop_slo_c = Registry.counter reg "drops.slo_expired" in
+  let jbsq_depth_h = Registry.histogram reg "jbsq.depth" in
   let make_worker wid =
     {
       wid;
@@ -546,7 +610,8 @@ let run_stream ?(warmup_fraction = 0.2) cfg ~next_request ~n_requests ~n_partiti
       busy = false;
       log =
         Option.map
-          (fun (c : compaction_config) -> Compaction_log.create ~scan_depth:c.scan_depth ())
+          (fun (c : compaction_config) ->
+            Compaction_log.create ~registry:reg ~scan_depth:c.scan_depth ())
           cfg.compaction;
       window_reqs = Hashtbl.create 64;
       window_timer = None;
@@ -558,11 +623,14 @@ let run_stream ?(warmup_fraction = 0.2) cfg ~next_request ~n_requests ~n_partiti
       cfg;
       sim;
       svc;
+      tr = cfg.trace;
       rlu_rng;
       workers = Array.init cfg.n_workers make_worker;
       jbsq = Jbsq.create ~n_workers:cfg.n_workers ~bound:cfg.jbsq_bound;
       centrals = [| Fifo.create (); Fifo.create () |];
-      ewt = Ewt.create ~capacity:cfg.ewt_capacity ~max_outstanding:cfg.ewt_max_outstanding ();
+      ewt =
+        Ewt.create ~registry:reg ~capacity:cfg.ewt_capacity
+          ~max_outstanding:cfg.ewt_max_outstanding ();
       flow = Flow_control.create ~max_outstanding:cfg.max_outstanding;
       cache =
         Option.map
@@ -570,6 +638,10 @@ let run_stream ?(warmup_fraction = 0.2) cfg ~next_request ~n_requests ~n_partiti
             Coherence.create ~params ~n_cores:cfg.n_workers ~n_partitions ())
           cfg.cache;
       metrics = Metrics.create ~n_workers:cfg.n_workers;
+      jbsq_depth_h;
+      drop_queue_c;
+      drop_ewt_c;
+      drop_slo_c;
       n_requests;
       warmup = int_of_float (warmup_fraction *. float_of_int n_requests);
       done_count = 0;
@@ -578,6 +650,25 @@ let run_stream ?(warmup_fraction = 0.2) cfg ~next_request ~n_requests ~n_partiti
     }
   in
   if st.warmup = 0 then Metrics.start_measuring st.metrics ~now:0.0;
+  (* Periodic time-series rows: polled gauges are refreshed just before
+     each sample. Started after every layer has registered its metrics,
+     so the CSV header is complete. *)
+  let flow_g = Registry.gauge reg "flow.in_flight" in
+  let ewt_occ_g = Registry.gauge reg "ewt.occupancy" in
+  let central_g = Registry.gauge reg "central.depth" in
+  let snapshot =
+    Option.map
+      (fun interval_ns ->
+        Snapshot.start
+          ~pre:(fun () ->
+            Registry.set flow_g (float_of_int (Flow_control.in_flight st.flow));
+            Registry.set ewt_occ_g (float_of_int (Ewt.occupancy st.ewt));
+            Registry.set central_g
+              (float_of_int
+                 (Fifo.length st.centrals.(0) + Fifo.length st.centrals.(1))))
+          ~sim ~registry:reg ~interval_ns ())
+      cfg.metrics_interval
+  in
   let rec pump () =
     match next_request () with
     | None -> ()
@@ -626,6 +717,7 @@ let run_stream ?(warmup_fraction = 0.2) cfg ~next_request ~n_requests ~n_partiti
     ewt_drops = st.ewt_drop_count;
     offered_rate;
     mean_service = Service.mean_service st.svc;
+    snapshot = Option.map Snapshot.csv snapshot;
   }
 
 let run ?warmup_fraction cfg ~workload ~n_requests =

@@ -52,6 +52,19 @@ type config = {
           factor. Models the DVFS remedy MICA's authors propose for the
           overloaded writer (Sec. 8); empty = no boost *)
   seed : int;
+  trace : C4_obs.Trace.t;
+      (** request-lifecycle tracer. {!C4_obs.Trace.null} (the default)
+          records nothing and costs nothing; a collecting tracer gets
+          every request's queue/service/deferral spans plus NIC events
+          for Chrome-trace export *)
+  registry : C4_obs.Registry.t option;
+      (** metrics registry shared by every layer of the run (EWT,
+          pipeline, compaction logs, server drop counters). [None]
+          instruments against a private registry the caller never sees *)
+  metrics_interval : float option;
+      (** [Some ns] samples every registered metric into a CSV
+          time-series each [ns] of simulated time (see
+          {!result.snapshot}) *)
 }
 
 (** 64 workers, CREW, JBSQ(2), no compaction, no cache layer — the
@@ -66,6 +79,9 @@ type result = {
   ewt_drops : int;  (** EWT exhaustion / counter saturation drops *)
   offered_rate : float;  (** requests per ns actually offered *)
   mean_service : float;  (** S̄ of the service model, for SLO math *)
+  snapshot : C4_stats.Csv.t option;
+      (** metric time-series rows, when {!config.metrics_interval} was
+          set *)
 }
 
 (** [run config ~workload ~n_requests] simulates; the first

@@ -1,3 +1,5 @@
+module Registry = C4_obs.Registry
+
 type entry = { thread : int; mutable count : int }
 
 type t = {
@@ -7,10 +9,25 @@ type t = {
   mutable occ_sum : int;
   mutable sample_n : int;
   mutable peak_n : int;
+  hit_c : Registry.counter;
+  miss_c : Registry.counter;
+  insert_c : Registry.counter;
+  evict_c : Registry.counter;
+  reject_full_c : Registry.counter;
+  reject_saturated_c : Registry.counter;
 }
 
-let create ?(capacity = 128) ?(max_outstanding = 64) () =
+let create ?registry ?(capacity = 128) ?(max_outstanding = 64) () =
   if capacity <= 0 || max_outstanding <= 0 then invalid_arg "Ewt.create";
+  (* Without a caller-supplied registry the counters live in a private
+     one: instrumentation stays branch-free either way. *)
+  let reg = match registry with Some r -> r | None -> Registry.create () in
+  let hit_c = Registry.counter reg "ewt.hit" in
+  let miss_c = Registry.counter reg "ewt.miss" in
+  let insert_c = Registry.counter reg "ewt.insert" in
+  let evict_c = Registry.counter reg "ewt.evict" in
+  let reject_full_c = Registry.counter reg "ewt.reject_full" in
+  let reject_saturated_c = Registry.counter reg "ewt.reject_saturated" in
   {
     cap = capacity;
     max_outstanding;
@@ -18,6 +35,12 @@ let create ?(capacity = 128) ?(max_outstanding = 64) () =
     occ_sum = 0;
     sample_n = 0;
     peak_n = 0;
+    hit_c;
+    miss_c;
+    insert_c;
+    evict_c;
+    reject_full_c;
+    reject_saturated_c;
   }
 
 let capacity t = t.cap
@@ -31,22 +54,33 @@ let sample t =
 
 let lookup t ~partition =
   match Hashtbl.find_opt t.table partition with
-  | Some e -> Some e.thread
-  | None -> None
+  | Some e ->
+    Registry.incr t.hit_c;
+    Some e.thread
+  | None ->
+    Registry.incr t.miss_c;
+    None
 
 let note_write t ~partition ~thread =
   match Hashtbl.find_opt t.table partition with
   | Some e ->
-    if e.count >= t.max_outstanding then `Counter_saturated
+    if e.count >= t.max_outstanding then begin
+      Registry.incr t.reject_saturated_c;
+      `Counter_saturated
+    end
     else begin
       e.count <- e.count + 1;
       sample t;
       `Ok
     end
   | None ->
-    if Hashtbl.length t.table >= t.cap then `Full
+    if Hashtbl.length t.table >= t.cap then begin
+      Registry.incr t.reject_full_c;
+      `Full
+    end
     else begin
       Hashtbl.replace t.table partition { thread; count = 1 };
+      Registry.incr t.insert_c;
       sample t;
       `Ok
     end
@@ -56,7 +90,10 @@ let note_response t ~partition =
   | None -> invalid_arg "Ewt.note_response: partition not mapped"
   | Some e ->
     e.count <- e.count - 1;
-    if e.count <= 0 then Hashtbl.remove t.table partition;
+    if e.count <= 0 then begin
+      Hashtbl.remove t.table partition;
+      Registry.incr t.evict_c
+    end;
     sample t
 
 let outstanding t ~partition =

@@ -21,10 +21,15 @@
 type t
 
 (** [create ()] builds an empty table.
+    @param registry observability registry receiving the table's
+    counters ([ewt.hit], [ewt.miss], [ewt.insert], [ewt.evict],
+    [ewt.reject_full], [ewt.reject_saturated]); a private registry is
+    used when omitted.
     @param capacity number of entries (default 128, the paper's sizing).
     @param max_outstanding per-entry write counter limit (default 64,
     the 6-bit field). *)
-val create : ?capacity:int -> ?max_outstanding:int -> unit -> t
+val create :
+  ?registry:C4_obs.Registry.t -> ?capacity:int -> ?max_outstanding:int -> unit -> t
 
 val capacity : t -> int
 

@@ -1,3 +1,5 @@
+module Registry = C4_obs.Registry
+
 type params = { t_parse : float; t_ewt : float; t_jbsq : float }
 
 let default_params = { t_parse = 0.5; t_ewt = 0.5; t_jbsq = 0.5 }
@@ -11,29 +13,38 @@ type t = {
   jbsq : Jbsq.t;
   flow : Flow_control.t;
   central : pending Queue.t;
-  mutable decisions_n : int;
-  mutable pinned_n : int;
-  mutable balanced_n : int;
-  mutable parse_err_n : int;
-  mutable overload_n : int;
-  mutable ewt_full_n : int;
+  central_depth_g : Registry.gauge;
+  decisions_c : Registry.counter;
+  pinned_c : Registry.counter;
+  balanced_c : Registry.counter;
+  parse_err_c : Registry.counter;
+  overload_c : Registry.counter;
+  ewt_full_c : Registry.counter;
 }
 
-let create ?(params = default_params) ~header ~n_workers ~jbsq_bound ~ewt_capacity
-    ~max_outstanding () =
+let create ?registry ?(params = default_params) ~header ~n_workers ~jbsq_bound
+    ~ewt_capacity ~max_outstanding () =
+  let reg = match registry with Some r -> r | None -> Registry.create () in
+  let decisions_c = Registry.counter reg "pipeline.decisions" in
+  let pinned_c = Registry.counter reg "pipeline.pinned" in
+  let balanced_c = Registry.counter reg "pipeline.balanced" in
+  let parse_err_c = Registry.counter reg "pipeline.parse_error" in
+  let overload_c = Registry.counter reg "pipeline.overload" in
+  let ewt_full_c = Registry.counter reg "pipeline.ewt_exhausted" in
   {
     params;
     header;
-    ewt_ = Ewt.create ~capacity:ewt_capacity ();
+    ewt_ = Ewt.create ~registry:reg ~capacity:ewt_capacity ();
     jbsq = Jbsq.create ~n_workers ~bound:jbsq_bound;
     flow = Flow_control.create ~max_outstanding;
     central = Queue.create ();
-    decisions_n = 0;
-    pinned_n = 0;
-    balanced_n = 0;
-    parse_err_n = 0;
-    overload_n = 0;
-    ewt_full_n = 0;
+    central_depth_g = Registry.gauge reg "pipeline.central_depth";
+    decisions_c;
+    pinned_c;
+    balanced_c;
+    parse_err_c;
+    overload_c;
+    ewt_full_c;
   }
 
 type decision = {
@@ -62,8 +73,8 @@ let route t (p : pending) =
   | `Read -> (
     match Jbsq.try_dispatch t.jbsq with
     | Some worker ->
-      t.balanced_n <- t.balanced_n + 1;
-      t.decisions_n <- t.decisions_n + 1;
+      Registry.incr t.balanced_c;
+      Registry.incr t.decisions_c;
       Ok
         (Some
            {
@@ -75,6 +86,7 @@ let route t (p : pending) =
            })
     | None ->
       Queue.push p t.central;
+      Registry.set t.central_depth_g (float_of_int (Queue.length t.central));
       Ok None)
   | `Write -> (
     match Ewt.lookup t.ewt_ ~partition:p.p_partition with
@@ -82,8 +94,8 @@ let route t (p : pending) =
       match Ewt.note_write t.ewt_ ~partition:p.p_partition ~thread:owner with
       | `Ok ->
         Jbsq.dispatch_to t.jbsq owner;
-        t.pinned_n <- t.pinned_n + 1;
-        t.decisions_n <- t.decisions_n + 1;
+        Registry.incr t.pinned_c;
+        Registry.incr t.decisions_c;
         Ok
           (Some
              {
@@ -94,7 +106,7 @@ let route t (p : pending) =
                latency = stage_latency t ~stages:`Ewt_hit;
              })
       | `Full | `Counter_saturated ->
-        t.ewt_full_n <- t.ewt_full_n + 1;
+        Registry.incr t.ewt_full_c;
         Flow_control.release t.flow;
         Error `Ewt_exhausted)
     | None -> (
@@ -102,8 +114,8 @@ let route t (p : pending) =
       | Some worker -> (
         match Ewt.note_write t.ewt_ ~partition:p.p_partition ~thread:worker with
         | `Ok ->
-          t.balanced_n <- t.balanced_n + 1;
-          t.decisions_n <- t.decisions_n + 1;
+          Registry.incr t.balanced_c;
+          Registry.incr t.decisions_c;
           Ok
             (Some
                {
@@ -115,21 +127,22 @@ let route t (p : pending) =
                })
         | `Full | `Counter_saturated ->
           Jbsq.complete t.jbsq worker;
-          t.ewt_full_n <- t.ewt_full_n + 1;
+          Registry.incr t.ewt_full_c;
           Flow_control.release t.flow;
           Error `Ewt_exhausted)
       | None ->
         Queue.push p t.central;
+        Registry.set t.central_depth_g (float_of_int (Queue.length t.central));
         Ok None))
 
 let admit t packet =
   match Header.parse t.header packet with
   | Error msg ->
-    t.parse_err_n <- t.parse_err_n + 1;
+    Registry.incr t.parse_err_c;
     Error (`Bad_packet msg)
   | Ok parsed ->
     if not (Flow_control.admit t.flow) then begin
-      t.overload_n <- t.overload_n + 1;
+      Registry.incr t.overload_c;
       Error `Overload
     end
     else begin
@@ -156,6 +169,7 @@ let complete t ~worker ~partition ~was_write =
   if Queue.is_empty t.central then None
   else begin
     let p = Queue.pop t.central in
+    Registry.set t.central_depth_g (float_of_int (Queue.length t.central));
     match route t p with
     | Ok (Some d) -> Some d
     | Ok None -> None (* re-queued: still nowhere to go *)
@@ -175,12 +189,12 @@ type stats = {
 
 let stats t =
   {
-    decisions = t.decisions_n;
-    pinned_count = t.pinned_n;
-    balanced = t.balanced_n;
-    parse_errors = t.parse_err_n;
-    overloads = t.overload_n;
-    ewt_exhausted = t.ewt_full_n;
+    decisions = Registry.counter_value t.decisions_c;
+    pinned_count = Registry.counter_value t.pinned_c;
+    balanced = Registry.counter_value t.balanced_c;
+    parse_errors = Registry.counter_value t.parse_err_c;
+    overloads = Registry.counter_value t.overload_c;
+    ewt_exhausted = Registry.counter_value t.ewt_full_c;
   }
 
 let ewt t = t.ewt_

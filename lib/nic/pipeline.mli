@@ -30,7 +30,14 @@ val default_params : params
 
 type t
 
+(** [registry] receives the pipeline's stage counters
+    ([pipeline.decisions], [pipeline.pinned], [pipeline.balanced],
+    [pipeline.parse_error], [pipeline.overload],
+    [pipeline.ewt_exhausted]), the [pipeline.central_depth] gauge, and
+    the embedded {!Ewt}'s counters; a private registry is used when
+    omitted. *)
 val create :
+  ?registry:C4_obs.Registry.t ->
   ?params:params ->
   header:Header.t ->
   n_workers:int ->

@@ -1,0 +1,99 @@
+(* One lane per hardware timeline: the NIC (Trace.nic_lane = -1) maps
+   to tid 0 and worker w to tid w+1, so the Perfetto track order matches
+   the paper's dataflow (NIC on top, workers below). *)
+let tid_of_lane lane = lane + 1
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Timestamps are ns in the simulator, µs in the trace-event format. *)
+let us ns = ns /. 1e3
+
+(* Integer-looking values are emitted as JSON numbers so Perfetto can
+   sort and filter on them (request ids, partitions, latencies). *)
+let add_args buf args =
+  Buffer.add_string buf "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string buf ",";
+      match int_of_string_opt v with
+      | Some _ -> Buffer.add_string buf (Printf.sprintf "\"%s\":%s" (escape k) v)
+      | None ->
+        Buffer.add_string buf (Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)))
+    args;
+  Buffer.add_string buf "}"
+
+let add_event buf ~first json =
+  if not first then Buffer.add_string buf ",\n";
+  Buffer.add_string buf json
+
+let lane_name lane = if lane = Trace.nic_lane then "nic" else Printf.sprintf "worker %d" lane
+
+let render ~spans ~events =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  let first = ref true in
+  let emit json =
+    add_event buf ~first:!first json;
+    first := false
+  in
+  (* Thread-name metadata rows, one per lane seen, NIC first. *)
+  let lanes = Hashtbl.create 16 in
+  List.iter (fun (s : Trace.span) -> Hashtbl.replace lanes s.lane ()) spans;
+  List.iter (fun (e : Trace.event) -> Hashtbl.replace lanes e.ev_lane ()) events;
+  let sorted_lanes = List.sort compare (Hashtbl.fold (fun l () acc -> l :: acc) lanes []) in
+  List.iter
+    (fun lane ->
+      emit
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+           (tid_of_lane lane) (escape (lane_name lane))))
+    sorted_lanes;
+  List.iter
+    (fun (s : Trace.span) ->
+      let args =
+        if s.req >= 0 then [ ("req", string_of_int s.req) ] else []
+      in
+      let b = Buffer.create 160 in
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.4f,\"dur\":%.4f,\"pid\":0,\"tid\":%d,\"args\":"
+           (Trace.phase_name s.phase)
+           (if Trace.request_phase s.phase then "request" else "lane")
+           (us s.t0) (us (s.t1 -. s.t0)) (tid_of_lane s.lane));
+      add_args b args;
+      Buffer.add_string b "}";
+      emit (Buffer.contents b))
+    spans;
+  List.iter
+    (fun (e : Trace.event) ->
+      let b = Buffer.create 160 in
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.4f,\"pid\":0,\"tid\":%d,\"args\":"
+           (escape e.ev_name) (us e.ev_ts) (tid_of_lane e.ev_lane));
+      add_args b e.ev_args;
+      Buffer.add_string b "}";
+      emit (Buffer.contents b))
+    events;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let to_string t = render ~spans:(Trace.spans t) ~events:(Trace.events t)
+
+let save t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))

@@ -1,0 +1,17 @@
+(** Chrome [trace_event] JSON export.
+
+    Produces the JSON-object flavour of the trace-event format
+    ([{"traceEvents": [...], "displayTimeUnit": "ns"}]) loadable in
+    [chrome://tracing] and Perfetto. Each simulator lane becomes one
+    thread row under pid 0: tid 0 is the NIC, tid [w+1] is worker [w].
+    Spans are complete events ([ph:"X"]) with microsecond timestamps
+    (the format's unit); instants are thread-scoped [ph:"i"] events. *)
+
+(** Render a collected trace. *)
+val to_string : Trace.t -> string
+
+(** Render explicit span/event lists (exporters and tests). *)
+val render : spans:Trace.span list -> events:Trace.event list -> string
+
+(** Write {!to_string} to [path]. *)
+val save : Trace.t -> path:string -> unit

@@ -1,0 +1,104 @@
+module H = C4_stats.Histogram
+module Table = C4_stats.Table
+
+type counter = { mutable n : int }
+type gauge = { mutable v : float }
+type histogram = { hist : H.t }
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = {
+  tbl : (string, metric) Hashtbl.t;
+  mutable order : string list; (* registration order, reversed *)
+}
+
+let create () = { tbl = Hashtbl.create 32; order = [] }
+
+let register t name make =
+  match Hashtbl.find_opt t.tbl name with
+  | Some m -> m
+  | None ->
+    let m = make () in
+    Hashtbl.replace t.tbl name m;
+    t.order <- name :: t.order;
+    m
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let wrong_kind name ~want m =
+  invalid_arg
+    (Printf.sprintf "Registry.%s: %S already registered as a %s" want name
+       (kind_name m))
+
+let counter t name =
+  match register t name (fun () -> Counter { n = 0 }) with
+  | Counter c -> c
+  | m -> wrong_kind name ~want:"counter" m
+
+let gauge t name =
+  match register t name (fun () -> Gauge { v = 0.0 }) with
+  | Gauge g -> g
+  | m -> wrong_kind name ~want:"gauge" m
+
+let histogram t name =
+  match
+    register t name (fun () -> Histogram { hist = H.create () })
+  with
+  | Histogram h -> h
+  | m -> wrong_kind name ~want:"histogram" m
+
+let incr ?(by = 1) c = c.n <- c.n + by
+let counter_value c = c.n
+let set g v = g.v <- v
+let gauge_value g = g.v
+let observe h v = H.add h.hist v
+let histogram_values h = h.hist
+
+let names t = List.rev t.order
+
+let read_metric = function
+  | Counter c -> float_of_int c.n
+  | Gauge g -> g.v
+  | Histogram h -> float_of_int (H.count h.hist)
+
+let read t name = Option.map read_metric (Hashtbl.find_opt t.tbl name)
+
+let csv_header t = names t
+
+let cell_of = function
+  | Counter c -> string_of_int c.n
+  | Gauge g -> Printf.sprintf "%g" g.v
+  | Histogram h -> string_of_int (H.count h.hist)
+
+let csv_row t = List.map (fun name -> cell_of (Hashtbl.find t.tbl name)) t.order |> List.rev
+
+let to_table t =
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("metric", Table.Left);
+          ("kind", Table.Left);
+          ("value", Table.Right);
+          ("mean", Table.Right);
+          ("p99", Table.Right);
+        ]
+  in
+  List.iter
+    (fun name ->
+      let m = Hashtbl.find t.tbl name in
+      let value, mean, p99 =
+        match m with
+        | Counter c -> (string_of_int c.n, "-", "-")
+        | Gauge g -> (Printf.sprintf "%g" g.v, "-", "-")
+        | Histogram h ->
+          ( string_of_int (H.count h.hist),
+            Table.cell_f ~decimals:1 (H.mean h.hist),
+            Table.cell_f ~decimals:1 (H.p99 h.hist) )
+      in
+      Table.add_row table [ name; kind_name m; value; mean; p99 ])
+    (names t);
+  table

@@ -1,0 +1,57 @@
+(** Named run-time metrics: counters, gauges and histograms.
+
+    Every instrumented layer (NIC pipeline, EWT, model server, kvs
+    compaction log) registers its metrics here by name; exporters walk
+    the registry in registration order. Registration is find-or-create,
+    so the 64 per-worker compaction logs asking for
+    ["compaction.windows"] all share one counter.
+
+    Handles are plain mutable records: bumping a counter is one integer
+    store, cheap enough to leave permanently enabled (the zero-cost
+    story for the {!Trace} spans does not apply here). A module that is
+    instantiated without a registry can still instrument itself against
+    a private throwaway registry. *)
+
+type t
+
+(** A monotonically increasing integer. *)
+type counter
+
+(** A point-in-time float, overwritten by each {!set}. *)
+type gauge
+
+(** A value distribution, backed by {!C4_stats.Histogram}. *)
+type histogram
+
+val create : unit -> t
+
+(** Find-or-create. Raises [Invalid_argument] if [name] is already
+    registered as a different metric kind. *)
+val counter : t -> string -> counter
+
+val gauge : t -> string -> gauge
+val histogram : t -> string -> histogram
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+val observe : histogram -> float -> unit
+val histogram_values : histogram -> C4_stats.Histogram.t
+
+(** Registered names, in registration order. *)
+val names : t -> string list
+
+(** Current scalar reading of metric [name]: a counter's count, a
+    gauge's value, a histogram's sample count. *)
+val read : t -> string -> float option
+
+(** One CSV cell label / current-value cell per metric, in registration
+    order (the time-series snapshot row format). *)
+val csv_header : t -> string list
+
+val csv_row : t -> string list
+
+(** Human-readable end-of-run table: one row per metric with count,
+    mean and p99 where applicable. *)
+val to_table : t -> C4_stats.Table.t

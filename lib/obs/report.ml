@@ -1,0 +1,112 @@
+module Table = C4_stats.Table
+
+type breakdown = {
+  req : int;
+  arrival : float;
+  departure : float;
+  latency : float;
+  queue : float;
+  service : float;
+  deferral : float;
+}
+
+let breakdowns tr =
+  let sums = Hashtbl.create 256 in
+  List.iter
+    (fun (s : Trace.span) ->
+      if s.req >= 0 && Trace.request_phase s.phase then begin
+        let q, sv, d =
+          match Hashtbl.find_opt sums s.req with
+          | Some acc -> acc
+          | None -> (0.0, 0.0, 0.0)
+        in
+        let dt = s.t1 -. s.t0 in
+        let acc =
+          match s.phase with
+          | Trace.Queue -> (q +. dt, sv, d)
+          | Trace.Service | Trace.Forward | Trace.Absorb -> (q, sv +. dt, d)
+          | Trace.Deferral -> (q, sv, d +. dt)
+          | Trace.Flush | Trace.Background -> (q, sv, d)
+        in
+        Hashtbl.replace sums s.req acc
+      end)
+    (Trace.spans tr);
+  List.map
+    (fun (req, arrival, departure) ->
+      let queue, service, deferral =
+        match Hashtbl.find_opt sums req with
+        | Some acc -> acc
+        | None -> (0.0, 0.0, 0.0)
+      in
+      { req; arrival; departure; latency = departure -. arrival; queue; service; deferral })
+    (Trace.completed tr)
+
+let request_at_quantile tr ~q =
+  match breakdowns tr with
+  | [] -> None
+  | bs ->
+    let arr = Array.of_list bs in
+    Array.sort (fun a b -> compare a.latency b.latency) arr;
+    let n = Array.length arr in
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    let rank = if rank < 1 then 1 else if rank > n then n else rank in
+    Some arr.(rank - 1)
+
+let violations tr ~tolerance_ns =
+  List.filter
+    (fun b -> abs_float (b.queue +. b.service +. b.deferral -. b.latency) > tolerance_ns)
+    (breakdowns tr)
+
+let stage_table tr =
+  let bs = breakdowns tr in
+  let n = List.length bs in
+  let total field = List.fold_left (fun acc b -> acc +. field b) 0.0 bs in
+  let tq = total (fun b -> b.queue)
+  and ts = total (fun b -> b.service)
+  and td = total (fun b -> b.deferral) in
+  let tl = total (fun b -> b.latency) in
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("stage", Table.Left);
+          ("requests", Table.Right);
+          ("total ns", Table.Right);
+          ("mean ns", Table.Right);
+          ("share", Table.Right);
+        ]
+  in
+  let row name v =
+    Table.add_row table
+      [
+        name;
+        Table.cell_i n;
+        Table.cell_f ~decimals:0 v;
+        Table.cell_f ~decimals:1 (if n = 0 then 0.0 else v /. float_of_int n);
+        Table.cell_pct (if tl <= 0.0 then 0.0 else v /. tl);
+      ]
+  in
+  row "queue" tq;
+  row "service" ts;
+  row "deferral" td;
+  row "end-to-end" tl;
+  table
+
+let breakdown_table b =
+  let table =
+    Table.create ~columns:[ ("stage", Table.Left); ("ns", Table.Right); ("share", Table.Right) ]
+  in
+  let row name v =
+    Table.add_row table
+      [
+        name;
+        Table.cell_f ~decimals:1 v;
+        Table.cell_pct (if b.latency <= 0.0 then 0.0 else v /. b.latency);
+      ]
+  in
+  row "queue" b.queue;
+  row "service" b.service;
+  row "deferral" b.deferral;
+  row "end-to-end" b.latency;
+  table

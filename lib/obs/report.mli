@@ -1,0 +1,37 @@
+(** End-of-run analysis over a collected trace.
+
+    Derives the paper's "where did the time go" views (Figs. 9-13
+    methodology) from raw spans: per-stage aggregates, per-request
+    latency decompositions, and the invariant check that the stage
+    decomposition of every traced request tiles its end-to-end latency
+    exactly. *)
+
+(** Stage totals of one traced request. [queue + service + deferral]
+    equals [departure - arrival] for every completed request ([service]
+    folds in forwarding and window-absorb occupancy). *)
+type breakdown = {
+  req : int;
+  arrival : float;
+  departure : float;
+  latency : float;
+  queue : float;
+  service : float;
+  deferral : float;
+}
+
+(** Completed traced requests, in completion order. *)
+val breakdowns : Trace.t -> breakdown list
+
+(** The request at latency quantile [q] of the completed set. *)
+val request_at_quantile : Trace.t -> q:float -> breakdown option
+
+(** Requests whose span sum disagrees with the recorded end-to-end
+    latency by more than [tolerance_ns] (expect none). *)
+val violations : Trace.t -> tolerance_ns:float -> breakdown list
+
+(** Per-stage table over all traced requests: count, total ns, mean ns,
+    and share of total traced latency. *)
+val stage_table : Trace.t -> C4_stats.Table.t
+
+(** One-request decomposition as a printable table. *)
+val breakdown_table : breakdown -> C4_stats.Table.t

@@ -1,0 +1,38 @@
+module Sim = C4_dsim.Sim
+module Csv = C4_stats.Csv
+
+type t = {
+  registry : Registry.t;
+  pre : unit -> unit;
+  interval : float;
+  csv_ : Csv.t;
+  mutable rows_n : int;
+}
+
+let sample t ~now =
+  t.pre ();
+  Csv.add_row t.csv_ (Printf.sprintf "%.1f" now :: Registry.csv_row t.registry);
+  t.rows_n <- t.rows_n + 1
+
+let start ?(pre = fun () -> ()) ~sim ~registry ~interval_ns () =
+  if interval_ns <= 0.0 then invalid_arg "Snapshot.start: interval_ns";
+  let t =
+    {
+      registry;
+      pre;
+      interval = interval_ns;
+      csv_ = Csv.create ~header:("t_ns" :: Registry.csv_header registry);
+      rows_n = 0;
+    }
+  in
+  let rec tick sim =
+    sample t ~now:(Sim.now sim);
+    (* Re-arm only while the simulation still has work of its own;
+       otherwise the tick would keep an empty event loop running. *)
+    if Sim.pending_count sim > 0 then ignore (Sim.schedule sim ~after:t.interval tick)
+  in
+  ignore (Sim.schedule sim ~after:interval_ns tick);
+  t
+
+let csv t = t.csv_
+let rows t = t.rows_n

@@ -1,0 +1,26 @@
+(** Periodic time-series snapshots of a {!Registry}.
+
+    [start ~sim ~registry ~interval_ns] schedules a recurring simulator
+    tick that appends one CSV row (time plus every registered metric's
+    current scalar) per [interval_ns] of simulated time. The tick keeps
+    rescheduling itself only while other events remain pending, so it
+    never keeps an otherwise-drained simulation alive.
+
+    [pre] runs just before each row is sampled — the place to refresh
+    gauges that are polled rather than pushed (queue depths, table
+    occupancy). *)
+
+type t
+
+val start :
+  ?pre:(unit -> unit) ->
+  sim:C4_dsim.Sim.t ->
+  registry:Registry.t ->
+  interval_ns:float ->
+  unit ->
+  t
+
+(** Rows collected so far (header: ["t_ns"] followed by metric names). *)
+val csv : t -> C4_stats.Csv.t
+
+val rows : t -> int

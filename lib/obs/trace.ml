@@ -1,0 +1,172 @@
+type phase = Queue | Service | Forward | Absorb | Deferral | Flush | Background
+
+let phase_name = function
+  | Queue -> "queue"
+  | Service -> "service"
+  | Forward -> "forward"
+  | Absorb -> "absorb"
+  | Deferral -> "deferral"
+  | Flush -> "flush"
+  | Background -> "background"
+
+let request_phase = function
+  | Queue | Service | Forward | Absorb | Deferral -> true
+  | Flush | Background -> false
+
+type span = { req : int; lane : int; phase : phase; t0 : float; t1 : float }
+
+type event = {
+  ev_name : string;
+  ev_lane : int;
+  ev_ts : float;
+  ev_args : (string * string) list;
+}
+
+type sink = { on_span : span -> unit; on_event : event -> unit }
+
+(* Chain state of one live traced request: [mark] is the end of the
+   last emitted span (initially the arrival time), so the next span
+   always starts where the previous one stopped and the chain tiles
+   [arrival, departure] without gaps or overlaps. *)
+type live = { mutable mark : float; arrived : float }
+
+type t = {
+  on : bool;
+  every : int;
+  sink : sink;
+  live : (int, live) Hashtbl.t;
+  mutable spans_rev : span list;
+  mutable events_rev : event list;
+  mutable completed_rev : (int * float * float) list;
+}
+
+let nic_lane = -1
+
+let make ~on ~sample sink =
+  if sample < 1 then invalid_arg "Trace: sample must be >= 1";
+  {
+    on;
+    every = sample;
+    sink;
+    live = Hashtbl.create (if on then 256 else 0);
+    spans_rev = [];
+    events_rev = [];
+    completed_rev = [];
+  }
+
+let null_sink = { on_span = ignore; on_event = ignore }
+let null = make ~on:false ~sample:1 null_sink
+
+let with_sink ?(sample = 1) sink = make ~on:true ~sample sink
+
+let create ?(sample = 1) () =
+  if sample < 1 then
+    invalid_arg (Printf.sprintf "Trace.create: sample %d must be >= 1" sample);
+  (* The collecting sink needs the tracer it feeds; tie the knot
+     through a cell rather than a mutable sink field. *)
+  let cell = ref None in
+  let into f x = match !cell with None -> () | Some t -> f t x in
+  let sink =
+    {
+      on_span = into (fun t s -> t.spans_rev <- s :: t.spans_rev);
+      on_event = into (fun t e -> t.events_rev <- e :: t.events_rev);
+    }
+  in
+  let t = make ~on:true ~sample sink in
+  cell := Some t;
+  t
+
+let enabled t = t.on
+let sample t = t.every
+let sampled t ~id = t.on && (t.every = 1 || id mod t.every = 0)
+
+let emit_span t ~req ~lane ~phase ~t0 ~t1 =
+  if t1 > t0 then t.sink.on_span { req; lane; phase; t0; t1 }
+
+let arrival t ~id ~op ~partition ~ts =
+  if sampled t ~id then begin
+    Hashtbl.replace t.live id { mark = ts; arrived = ts };
+    t.sink.on_event
+      {
+        ev_name = "arrival";
+        ev_lane = nic_lane;
+        ev_ts = ts;
+        ev_args =
+          [
+            ("req", string_of_int id);
+            ("op", op);
+            ("partition", string_of_int partition);
+          ];
+      }
+  end
+
+let request_event t ~id ~name ?(args = []) ~ts () =
+  if t.on then
+    match Hashtbl.find_opt t.live id with
+    | None -> ()
+    | Some _ ->
+      t.sink.on_event
+        {
+          ev_name = name;
+          ev_lane = nic_lane;
+          ev_ts = ts;
+          ev_args = ("req", string_of_int id) :: args;
+        }
+
+let service_begin t ~id ~lane ~ts =
+  if t.on then
+    match Hashtbl.find_opt t.live id with
+    | None -> ()
+    | Some l ->
+      emit_span t ~req:id ~lane ~phase:Queue ~t0:l.mark ~t1:ts;
+      l.mark <- ts
+
+let service_end t ~id ~lane ~phase ~ts =
+  if t.on then
+    match Hashtbl.find_opt t.live id with
+    | None -> ()
+    | Some l ->
+      emit_span t ~req:id ~lane ~phase ~t0:l.mark ~t1:ts;
+      l.mark <- ts
+
+let departure t ~id ~lane ~ts =
+  if t.on then
+    match Hashtbl.find_opt t.live id with
+    | None -> ()
+    | Some l ->
+      emit_span t ~req:id ~lane ~phase:Deferral ~t0:l.mark ~t1:ts;
+      Hashtbl.remove t.live id;
+      t.completed_rev <- (id, l.arrived, ts) :: t.completed_rev;
+      t.sink.on_event
+        {
+          ev_name = "departure";
+          ev_lane = lane;
+          ev_ts = ts;
+          ev_args =
+            [
+              ("req", string_of_int id);
+              ("latency_ns", Printf.sprintf "%.1f" (ts -. l.arrived));
+            ];
+        }
+
+let drop t ~id ~reason ~ts =
+  if t.on then
+    match Hashtbl.find_opt t.live id with
+    | None -> ()
+    | Some _ ->
+      Hashtbl.remove t.live id;
+      t.sink.on_event
+        {
+          ev_name = "drop";
+          ev_lane = nic_lane;
+          ev_ts = ts;
+          ev_args = [ ("req", string_of_int id); ("reason", reason) ];
+        }
+
+let lane_span t ~lane ~phase ~t0 ~t1 =
+  if t.on then emit_span t ~req:(-1) ~lane ~phase ~t0 ~t1
+
+let spans t = List.rev t.spans_rev
+let events t = List.rev t.events_rev
+let completed t = List.rev t.completed_rev
+let live_count t = Hashtbl.length t.live

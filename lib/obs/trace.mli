@@ -1,0 +1,119 @@
+(** Per-request lifecycle tracer.
+
+    A traced request is decomposed into a contiguous chain of typed
+    spans — queue wait, on-core service (normal, forwarding or
+    window-absorb), and compaction-window deferral — whose durations sum
+    exactly to the request's end-to-end latency. Lane-level spans
+    (window flushes, RLU background promotion) and instant events (NIC
+    arrival, EWT lookup outcome, JBSQ dispatch, drops) fill in the
+    worker and NIC timelines around them.
+
+    The tracer is a function-pointer record over a {!sink}: {!null} is
+    a disabled instance whose operations test one boolean and return,
+    so instrumentation left in the hot path costs nothing when tracing
+    is off and cannot perturb simulation results. {!create} returns a
+    collecting instance that keeps every span and event in memory for
+    export ({!Chrome}, {!Report}).
+
+    Sampling: with [~sample:n], only requests whose id is a multiple of
+    [n] are traced — exactly every nth request of a sequentially
+    numbered stream. *)
+
+type phase =
+  | Queue  (** waiting in a worker or central queue *)
+  | Service  (** normal on-core service *)
+  | Forward  (** software-delegation hand-off occupancy *)
+  | Absorb  (** buffering a write into an open compaction window *)
+  | Deferral  (** response parked until the window flushes *)
+  | Flush  (** a closing window's combined write (lane span) *)
+  | Background  (** RLU log promotion etc. (lane span) *)
+
+val phase_name : phase -> string
+
+(** Phases that belong to a single request's latency decomposition
+    (queue + service + deferral variants); [Flush] and [Background]
+    occupy a lane but no one request. *)
+val request_phase : phase -> bool
+
+type span = {
+  req : int;  (** request id, or [-1] for lane-only spans *)
+  lane : int;  (** worker id; {!nic_lane} for the NIC *)
+  phase : phase;
+  t0 : float;
+  t1 : float;
+}
+
+type event = {
+  ev_name : string;
+  ev_lane : int;
+  ev_ts : float;
+  ev_args : (string * string) list;
+}
+
+type sink = { on_span : span -> unit; on_event : event -> unit }
+
+type t
+
+(** The NIC's lane id (-1); workers use their worker id. *)
+val nic_lane : int
+
+(** Disabled tracer: every operation is a no-op. *)
+val null : t
+
+(** Collecting tracer. [sample] defaults to 1 (trace everything). *)
+val create : ?sample:int -> unit -> t
+
+(** Route spans/events to a custom sink instead of collecting. *)
+val with_sink : ?sample:int -> sink -> t
+
+val enabled : t -> bool
+val sample : t -> int
+
+(** Is request [id] selected by the sampling filter? *)
+val sampled : t -> id:int -> bool
+
+(** {1 Request lifecycle} — calls for unsampled ids are no-ops. *)
+
+(** Start tracing request [id]: emits an [arrival] instant on the NIC
+    lane and anchors the span chain at [ts]. *)
+val arrival : t -> id:int -> op:string -> partition:int -> ts:float -> unit
+
+(** Instant event attributed to a live traced request. *)
+val request_event :
+  t -> id:int -> name:string -> ?args:(string * string) list -> ts:float -> unit ->
+  unit
+
+(** The request left a queue and went on-core at [ts] on [lane]:
+    closes the pending [Queue] span. *)
+val service_begin : t -> id:int -> lane:int -> ts:float -> unit
+
+(** On-core occupancy for the request ended at [ts]: emits a span of
+    [phase] ([Service], [Forward] or [Absorb]) from the chain mark. *)
+val service_end : t -> id:int -> lane:int -> phase:phase -> ts:float -> unit
+
+(** Response left the system at [ts]: closes a [Deferral] span if time
+    remains on the chain, emits a [departure] instant, and records the
+    (arrival, departure) pair. *)
+val departure : t -> id:int -> lane:int -> ts:float -> unit
+
+(** Request dropped before completion (emits a [drop] instant). *)
+val drop : t -> id:int -> reason:string -> ts:float -> unit
+
+(** {1 Lane activity not tied to one request} *)
+
+val lane_span : t -> lane:int -> phase:phase -> t0:float -> t1:float -> unit
+
+(** {1 Collected data} (empty unless built with {!create}) *)
+
+(** Spans in emission order. *)
+val spans : t -> span list
+
+(** Instant events in emission order. *)
+val events : t -> event list
+
+(** Completed traced requests as [(id, arrival, departure)], in
+    completion order. *)
+val completed : t -> (int * float * float) list
+
+(** Ids of requests currently mid-flight (diagnostics). *)
+val live_count : t -> int

@@ -9,6 +9,7 @@ let () =
       ("dsim.sim", Test_sim.tests);
       ("dsim.process", Test_process.tests);
       ("stats", Test_stats.tests);
+      ("obs", Test_obs.tests);
       ("workload", Test_workload.tests);
       ("kvs", Test_kvs.tests);
       ("kvs.log_store", Test_log_store.tests);

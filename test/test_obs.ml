@@ -1,0 +1,397 @@
+(* Observability layer: tracer span algebra, sampling, registry
+   semantics, Chrome trace-event export (round-tripped through a minimal
+   JSON parser), periodic snapshots, and the end-to-end properties the
+   subsystem promises — span sums tile latency, disabled tracing
+   perturbs nothing, trace output is deterministic. *)
+
+module Trace = C4_obs.Trace
+module Registry = C4_obs.Registry
+module Chrome = C4_obs.Chrome
+module Report = C4_obs.Report
+module Snapshot = C4_obs.Snapshot
+module Sim = C4_dsim.Sim
+module Server = C4_model.Server
+module Metrics = C4_model.Metrics
+
+(* ---------------- Registry ---------------- *)
+
+let test_registry_find_or_create () =
+  let r = Registry.create () in
+  let a = Registry.counter r "x" in
+  let b = Registry.counter r "x" in
+  Registry.incr a;
+  Registry.incr ~by:4 b;
+  Alcotest.(check int) "shared handle" 5 (Registry.counter_value a);
+  Alcotest.(check (list string)) "registered once" [ "x" ] (Registry.names r)
+
+let test_registry_kind_mismatch () =
+  let r = Registry.create () in
+  ignore (Registry.counter r "m");
+  Alcotest.check_raises "gauge over counter"
+    (Invalid_argument "Registry.gauge: \"m\" already registered as a counter")
+    (fun () -> ignore (Registry.gauge r "m"))
+
+let test_registry_order_and_read () =
+  let r = Registry.create () in
+  Registry.incr ~by:7 (Registry.counter r "c");
+  Registry.set (Registry.gauge r "g") 2.5;
+  Registry.observe (Registry.histogram r "h") 10.0;
+  Registry.observe (Registry.histogram r "h") 20.0;
+  Alcotest.(check (list string)) "registration order" [ "c"; "g"; "h" ]
+    (Registry.names r);
+  let read name = Option.get (Registry.read r name) in
+  Alcotest.(check (float 0.0)) "counter read" 7.0 (read "c");
+  Alcotest.(check (float 0.0)) "gauge read" 2.5 (read "g");
+  Alcotest.(check (float 0.0)) "histogram read = count" 2.0 (read "h");
+  Alcotest.(check bool) "unknown name" true (Registry.read r "nope" = None);
+  Alcotest.(check (list string)) "csv header order" [ "c"; "g"; "h" ]
+    (Registry.csv_header r);
+  Alcotest.(check int) "csv row width" 3 (List.length (Registry.csv_row r))
+
+(* ---------------- Tracer span algebra ---------------- *)
+
+(* Drive the lifecycle calls directly: ids 0..29 with sample=3 must
+   yield exactly the ids divisible by 3, and nothing else. *)
+let test_sampling_exact () =
+  let t = Trace.create ~sample:3 () in
+  for id = 0 to 29 do
+    let ts = float_of_int (100 * id) in
+    Trace.arrival t ~id ~op:"R" ~partition:0 ~ts;
+    Trace.service_begin t ~id ~lane:0 ~ts:(ts +. 10.0);
+    Trace.service_end t ~id ~lane:0 ~phase:Trace.Service ~ts:(ts +. 50.0);
+    Trace.departure t ~id ~lane:0 ~ts:(ts +. 50.0)
+  done;
+  let ids = List.map (fun (id, _, _) -> id) (Trace.completed t) in
+  Alcotest.(check (list int)) "every 3rd request, in order"
+    [ 0; 3; 6; 9; 12; 15; 18; 21; 24; 27 ]
+    ids;
+  Alcotest.(check int) "no one left live" 0 (Trace.live_count t)
+
+let test_span_chain_tiles_latency () =
+  let t = Trace.create () in
+  (* A compacted write: queue 10, absorb 5, deferral 85 → latency 100. *)
+  Trace.arrival t ~id:1 ~op:"W" ~partition:3 ~ts:1000.0;
+  Trace.service_begin t ~id:1 ~lane:2 ~ts:1010.0;
+  Trace.service_end t ~id:1 ~lane:2 ~phase:Trace.Absorb ~ts:1015.0;
+  Trace.departure t ~id:1 ~lane:2 ~ts:1100.0;
+  match Report.breakdowns t with
+  | [ b ] ->
+    Alcotest.(check (float 1e-9)) "queue" 10.0 b.Report.queue;
+    Alcotest.(check (float 1e-9)) "service (absorb)" 5.0 b.Report.service;
+    Alcotest.(check (float 1e-9)) "deferral" 85.0 b.Report.deferral;
+    Alcotest.(check (float 1e-9)) "latency" 100.0 b.Report.latency;
+    Alcotest.(check (float 1e-9)) "tiles exactly" b.Report.latency
+      (b.Report.queue +. b.Report.service +. b.Report.deferral)
+  | bs -> Alcotest.failf "expected 1 breakdown, got %d" (List.length bs)
+
+let test_null_tracer_is_inert () =
+  let t = Trace.null in
+  Trace.arrival t ~id:0 ~op:"R" ~partition:0 ~ts:0.0;
+  Trace.service_begin t ~id:0 ~lane:0 ~ts:1.0;
+  Trace.departure t ~id:0 ~lane:0 ~ts:2.0;
+  Alcotest.(check bool) "disabled" false (Trace.enabled t);
+  Alcotest.(check int) "no spans" 0 (List.length (Trace.spans t));
+  Alcotest.(check int) "no events" 0 (List.length (Trace.events t));
+  Alcotest.(check int) "no completions" 0 (List.length (Trace.completed t))
+
+let test_custom_sink () =
+  let spans = ref 0 and events = ref 0 in
+  let t =
+    Trace.with_sink
+      {
+        Trace.on_span = (fun _ -> incr spans);
+        on_event = (fun _ -> incr events);
+      }
+  in
+  Trace.arrival t ~id:0 ~op:"R" ~partition:0 ~ts:0.0;
+  Trace.service_begin t ~id:0 ~lane:0 ~ts:5.0;
+  Trace.service_end t ~id:0 ~lane:0 ~phase:Trace.Service ~ts:9.0;
+  Trace.departure t ~id:0 ~lane:0 ~ts:9.0;
+  Alcotest.(check int) "queue + service spans" 2 !spans;
+  Alcotest.(check int) "arrival + departure events" 2 !events
+
+(* ---------------- Minimal JSON parser (test-local) ---------------- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = Some c then advance () else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal lit v =
+    String.iter expect lit;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+        | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+        | Some 'b' -> Buffer.add_char buf '\b'; advance (); go ()
+        | Some 'f' -> Buffer.add_char buf '\012'; advance (); go ()
+        | Some 'u' ->
+          advance ();
+          let hex = String.sub s !pos 4 in
+          pos := !pos + 4;
+          Buffer.add_string buf (Printf.sprintf "\\u%s" hex);
+          go ()
+        | Some c -> Buffer.add_char buf c; advance (); go ()
+        | None -> fail "dangling escape")
+      | Some c -> Buffer.add_char buf c; advance (); go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> parse_obj ()
+    | Some '[' -> parse_arr ()
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+    | None -> fail "eof"
+  and parse_obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then (advance (); Obj [])
+    else begin
+      let fields = ref [] in
+      let rec member () =
+        skip_ws ();
+        let key = parse_string () in
+        skip_ws ();
+        expect ':';
+        let v = parse_value () in
+        fields := (key, v) :: !fields;
+        skip_ws ();
+        match peek () with
+        | Some ',' -> advance (); member ()
+        | Some '}' -> advance ()
+        | _ -> fail "expected , or }"
+      in
+      member ();
+      Obj (List.rev !fields)
+    end
+  and parse_arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then (advance (); Arr [])
+    else begin
+      let items = ref [] in
+      let rec element () =
+        let v = parse_value () in
+        items := v :: !items;
+        skip_ws ();
+        match peek () with
+        | Some ',' -> advance (); element ()
+        | Some ']' -> advance ()
+        | _ -> fail "expected , or ]"
+      in
+      element ();
+      Arr (List.rev !items)
+    end
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let obj_field name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let test_chrome_round_trip () =
+  let t = Trace.create () in
+  Trace.arrival t ~id:0 ~op:"W" ~partition:1 ~ts:100.0;
+  Trace.service_begin t ~id:0 ~lane:3 ~ts:150.0;
+  Trace.service_end t ~id:0 ~lane:3 ~phase:Trace.Service ~ts:400.0;
+  Trace.departure t ~id:0 ~lane:3 ~ts:400.0;
+  Trace.lane_span t ~lane:3 ~phase:Trace.Flush ~t0:400.0 ~t1:450.0;
+  let doc = parse_json (Chrome.to_string t) in
+  (match obj_field "displayTimeUnit" doc with
+  | Some (Str "ns") -> ()
+  | _ -> Alcotest.fail "displayTimeUnit must be \"ns\"");
+  let events =
+    match obj_field "traceEvents" doc with
+    | Some (Arr es) -> es
+    | _ -> Alcotest.fail "traceEvents must be an array"
+  in
+  let ph e = match obj_field "ph" e with Some (Str p) -> p | _ -> "?" in
+  List.iter
+    (fun e ->
+      match ph e with
+      | "X" ->
+        (* complete events need name/ts/dur and a non-negative duration *)
+        (match (obj_field "dur" e, obj_field "ts" e, obj_field "name" e) with
+        | Some (Num d), Some (Num _), Some (Str _) ->
+          if d < 0.0 then Alcotest.fail "negative span duration"
+        | _ -> Alcotest.fail "X event missing name/ts/dur")
+      | "i" | "M" -> ()
+      | p -> Alcotest.failf "unexpected phase %s" p)
+    events;
+  let count p = List.length (List.filter (fun e -> ph e = p) events) in
+  (* lanes present: NIC (arrival) + worker 3 → 2 thread_name records *)
+  Alcotest.(check int) "thread metadata per lane" 2 (count "M");
+  Alcotest.(check int) "arrival + departure instants" 2 (count "i");
+  (* queue span + service span + flush lane span *)
+  Alcotest.(check int) "complete spans" 3 (count "X");
+  (* span timestamps are microseconds: the queue span starts at 0.1 µs *)
+  let x_ts =
+    List.filter_map
+      (fun e ->
+        if ph e = "X" then
+          match obj_field "ts" e with Some (Num v) -> Some v | _ -> None
+        else None)
+      events
+  in
+  Alcotest.(check (float 1e-9)) "µs timestamps" 0.1
+    (List.fold_left Float.min infinity x_ts)
+
+(* ---------------- Snapshot ---------------- *)
+
+let test_snapshot_rows () =
+  let sim = Sim.create () in
+  let registry = Registry.create () in
+  let c = Registry.counter registry "ticks" in
+  for i = 1 to 10 do
+    ignore (Sim.schedule sim ~after:(float_of_int (i * 100)) (fun _ -> Registry.incr c))
+  done;
+  let polled = ref 0 in
+  let snap =
+    Snapshot.start
+      ~pre:(fun () -> incr polled)
+      ~sim ~registry ~interval_ns:250.0 ()
+  in
+  Sim.run sim;
+  (* events at 100..1000, samples at 250/500/750/1000; the tick sees the
+     drained queue at 1000 and stops rescheduling itself *)
+  Alcotest.(check int) "four rows" 4 (Snapshot.rows snap);
+  Alcotest.(check int) "pre hook per row" 4 !polled;
+  let lines = String.split_on_char '\n' (C4_stats.Csv.to_string (Snapshot.csv snap)) in
+  Alcotest.(check string) "header" "t_ns,ticks" (List.nth lines 0);
+  Alcotest.(check string) "first sample: 2 events by t=250" "250.0,2" (List.nth lines 1);
+  Alcotest.(check string) "last sample: all 10 by t=1000" "1000.0,10" (List.nth lines 4)
+
+(* ---------------- Whole-system properties ---------------- *)
+
+let traced_run ?(trace = Trace.null) ?n_requests:(n = 4_000) () =
+  let cfg = { (C4.Config.model C4.Config.Comp) with Server.trace } in
+  let workload =
+    {
+      (C4.Config.workload_rw_sk ~theta:1.25 ~write_fraction:0.05) with
+      C4_workload.Generator.rate = 0.06;
+    }
+  in
+  Server.run cfg ~workload ~n_requests:n
+
+let test_span_sum_equals_latency () =
+  let trace = Trace.create () in
+  let _r = traced_run ~trace () in
+  let completed = List.length (Trace.completed trace) in
+  Alcotest.(check bool) "requests completed" true (completed > 0);
+  Alcotest.(check int) "no span-sum violations" 0
+    (List.length (Report.violations trace ~tolerance_ns:1.0))
+
+let test_disabled_tracer_no_perturbation () =
+  let plain = traced_run () in
+  let traced = Trace.create () in
+  let r = traced_run ~trace:traced () in
+  let summary m =
+    ( Metrics.completed m,
+      Metrics.throughput_mrps m,
+      Metrics.p99 m,
+      Metrics.mean_latency m,
+      Metrics.drops m )
+  in
+  Alcotest.(check bool) "identical metrics with and without tracing" true
+    (summary plain.Server.metrics = summary r.Server.metrics)
+
+let test_trace_deterministic () =
+  (* Same config, two runs: Sim breaks ties by scheduling order, so the
+     span and event streams must be bit-identical. *)
+  let t1 = Trace.create () and t2 = Trace.create () in
+  let _ = traced_run ~trace:t1 ~n_requests:2_000 () in
+  let _ = traced_run ~trace:t2 ~n_requests:2_000 () in
+  Alcotest.(check bool) "same spans" true (Trace.spans t1 = Trace.spans t2);
+  Alcotest.(check bool) "same events" true (Trace.events t1 = Trace.events t2);
+  Alcotest.(check bool) "same completions" true
+    (Trace.completed t1 = Trace.completed t2)
+
+let test_sampled_run_subset () =
+  (* A sampled tracer sees exactly the 1-in-5 id subset of the full
+     tracer's completions. *)
+  let full = Trace.create () and sampled = Trace.create ~sample:5 () in
+  let _ = traced_run ~trace:full ~n_requests:2_000 () in
+  let _ = traced_run ~trace:sampled ~n_requests:2_000 () in
+  let ids t = List.map (fun (id, _, _) -> id) (Trace.completed t) in
+  let expected = List.filter (fun id -> id mod 5 = 0) (ids full) in
+  Alcotest.(check (list int)) "every 5th of the full stream" expected (ids sampled)
+
+let tests =
+  [
+    Alcotest.test_case "registry find-or-create shares handles" `Quick
+      test_registry_find_or_create;
+    Alcotest.test_case "registry rejects kind mismatch" `Quick
+      test_registry_kind_mismatch;
+    Alcotest.test_case "registry order and reads" `Quick test_registry_order_and_read;
+    Alcotest.test_case "sampling keeps exactly every nth id" `Quick
+      test_sampling_exact;
+    Alcotest.test_case "span chain tiles latency" `Quick test_span_chain_tiles_latency;
+    Alcotest.test_case "null tracer is inert" `Quick test_null_tracer_is_inert;
+    Alcotest.test_case "custom sink receives spans and events" `Quick
+      test_custom_sink;
+    Alcotest.test_case "chrome JSON round-trips through a parser" `Quick
+      test_chrome_round_trip;
+    Alcotest.test_case "snapshot samples on the sim clock" `Quick test_snapshot_rows;
+    Alcotest.test_case "span sums equal end-to-end latency" `Quick
+      test_span_sum_equals_latency;
+    Alcotest.test_case "disabled tracer perturbs nothing" `Quick
+      test_disabled_tracer_no_perturbation;
+    Alcotest.test_case "trace output is deterministic" `Quick test_trace_deterministic;
+    Alcotest.test_case "sampled run traces the id subset" `Quick
+      test_sampled_run_subset;
+  ]

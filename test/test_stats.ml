@@ -141,6 +141,44 @@ let prop_histogram_p99_bounds_p50 =
       List.iter (Histogram.add h) xs;
       Histogram.p99 h >= Histogram.median h)
 
+
+let test_histogram_merge_edges () =
+  (* Merging an empty histogram is the identity; merging INTO an empty
+     one copies the other side; a single sample survives either way. *)
+  let a = Histogram.create () and empty = Histogram.create () in
+  Histogram.add a 42.0;
+  Histogram.merge a ~other:empty;
+  Alcotest.(check int) "merge empty: count" 1 (Histogram.count a);
+  feq "merge empty: p99 unchanged" 42.0 (Histogram.p99 a);
+  let b = Histogram.create () in
+  Histogram.merge b ~other:a;
+  Alcotest.(check int) "merge into empty: count" 1 (Histogram.count b);
+  feq "merge into empty: quantiles copied" 42.0 (Histogram.median b);
+  feq "single sample: every quantile is it" (Histogram.quantile b 0.01)
+    (Histogram.quantile b 1.0)
+
+let prop_histogram_merged_p99_monotone =
+  (* p99 of a merged histogram is bracketed by its components' p99s:
+     pooling two populations cannot push the tail outside either tail.
+     Bracketing holds up to one bucket of relative error (2^-6 with the
+     default 6 sub-bucket bits): quantile clamps to the histogram's own
+     max, which merge can raise past a component's reported p99. *)
+  QCheck.Test.make ~name:"merged p99 within component p99 bounds" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 300) (float_range 1.0 1e6))
+        (list_of_size Gen.(int_range 1 300) (float_range 1.0 1e6)))
+    (fun (xs, ys) ->
+      let a = Histogram.create () and b = Histogram.create () in
+      List.iter (Histogram.add a) xs;
+      List.iter (Histogram.add b) ys;
+      let pa = Histogram.p99 a and pb = Histogram.p99 b in
+      Histogram.merge a ~other:b;
+      let pm = Histogram.p99 a in
+      let slack = 2.0 /. 64.0 in
+      Float.min pa pb *. (1.0 -. slack) <= pm
+      && pm <= Float.max pa pb *. (1.0 +. slack))
+
 (* ---------------- Reservoir ---------------- *)
 
 let test_reservoir_small_stream_exact () =
@@ -167,6 +205,31 @@ let test_reservoir_uniformity () =
   let samples = Reservoir.samples r in
   let mean = Array.fold_left ( +. ) 0.0 samples /. float_of_int (Array.length samples) in
   if abs_float (mean -. 25_000.0) > 3_000.0 then Alcotest.failf "biased reservoir: %f" mean
+
+
+let test_reservoir_quantile_edges () =
+  let r = Reservoir.create ~capacity:8 ~seed:7 in
+  feq "empty quantile" 0.0 (Reservoir.quantile r 0.5);
+  Reservoir.add r 13.0;
+  feq "single sample: q=0" 13.0 (Reservoir.quantile r 0.0);
+  feq "single sample: q=1" 13.0 (Reservoir.quantile r 1.0);
+  feq "out-of-range q clamps" 13.0 (Reservoir.quantile r 2.0);
+  Reservoir.reset r;
+  Alcotest.(check int) "reset clears" 0 (Reservoir.count r);
+  feq "quantile after reset" 0.0 (Reservoir.quantile r 0.99)
+
+let test_reservoir_quantile_bounds () =
+  (* Under overflow the quantile is still a retained sample, so it must
+     sit inside the stream's [min, max]. *)
+  let r = Reservoir.create ~capacity:16 ~seed:11 in
+  for i = 1 to 10_000 do
+    Reservoir.add r (float_of_int i)
+  done;
+  List.iter
+    (fun q ->
+      let v = Reservoir.quantile r q in
+      if v < 1.0 || v > 10_000.0 then Alcotest.failf "quantile %f escaped: %f" q v)
+    [ 0.0; 0.5; 0.99; 1.0 ]
 
 (* ---------------- Series ---------------- *)
 
@@ -246,9 +309,13 @@ let tests =
     Alcotest.test_case "histogram add_many" `Quick test_histogram_add_many;
     QCheck_alcotest.to_alcotest prop_histogram_quantile_monotone;
     QCheck_alcotest.to_alcotest prop_histogram_p99_bounds_p50;
+    Alcotest.test_case "histogram merge edge cases" `Quick test_histogram_merge_edges;
+    QCheck_alcotest.to_alcotest prop_histogram_merged_p99_monotone;
     Alcotest.test_case "reservoir exact under capacity" `Quick test_reservoir_small_stream_exact;
     Alcotest.test_case "reservoir respects capacity" `Quick test_reservoir_capacity_respected;
     Alcotest.test_case "reservoir unbiased" `Slow test_reservoir_uniformity;
+    Alcotest.test_case "reservoir quantile edge cases" `Quick test_reservoir_quantile_edges;
+    Alcotest.test_case "reservoir quantile within stream bounds" `Quick test_reservoir_quantile_bounds;
     Alcotest.test_case "series time-weighted mean" `Quick test_series_time_weighted_mean;
     Alcotest.test_case "series max" `Quick test_series_max;
     Alcotest.test_case "series rejects time reversal" `Quick test_series_backwards_time_rejected;
