@@ -190,6 +190,70 @@ let trace_run system write_frac theta rate n_requests full_system trace_file sam
     prerr_endline "warning: --metrics-csv needs --metrics-interval; no series collected"
   | None, _ -> ()
 
+(* Seeded chaos run: deform the workload with a fault profile, inject
+   faults into the server, let the client retry policy fight back, and
+   report what survived. Same --fault-seed => byte-identical run. *)
+let chaos_run system write_frac theta rate n_requests fault_seed fault_profile
+    no_retry budget_ratio shed ewt_ttl trace_file =
+  let module Server = C4_model.Server in
+  let module Fault = C4_resilience.Fault in
+  let module Retry = C4_resilience.Retry in
+  let module Chaos = C4_resilience.Chaos in
+  let profile =
+    match fault_profile with
+    | "default" -> Fault.default
+    | "none" -> Fault.none
+    | s -> (
+      match Fault.parse s with
+      | Ok p -> p
+      | Error e ->
+        prerr_endline ("c4_sim: " ^ e);
+        exit 2)
+  in
+  let tracer =
+    match trace_file with Some _ -> C4_obs.Trace.create () | None -> C4_obs.Trace.null
+  in
+  let registry = C4_obs.Registry.create () in
+  let server =
+    {
+      (C4.Config.model system) with
+      Server.trace = tracer;
+      registry = Some registry;
+      shed = (if shed then Some Server.default_shed else None);
+      ewt_ttl =
+        (if ewt_ttl > 0.0 then
+           Some { Server.ttl = ewt_ttl; sweep_interval = ewt_ttl /. 4.0 }
+         else None);
+    }
+  in
+  let workload =
+    {
+      (C4.Config.workload_rw_sk ~theta ~write_fraction:(write_frac /. 100.0)) with
+      C4_workload.Generator.rate = rate /. 1e3;
+    }
+  in
+  let retry =
+    if no_retry then None
+    else Some { Retry.default with Retry.budget_ratio }
+  in
+  let report =
+    Chaos.run ?retry ~server ~workload ~n_requests ~profile ~fault_seed ()
+  in
+  Printf.printf "system=%s gamma=%.2f f_wr=%.0f%% @ %.0f MRPS\n"
+    (C4.Config.name system) theta write_frac rate;
+  Format.printf "%a@." Chaos.pp_report report;
+  print_newline ();
+  print_endline "registered metrics:";
+  C4_stats.Table.print (C4_obs.Registry.to_table registry);
+  match trace_file with
+  | None -> ()
+  | Some path ->
+    (try C4_obs.Chrome.save tracer ~path
+     with Sys_error msg ->
+       prerr_endline ("c4_sim: cannot write trace: " ^ msg);
+       exit 1);
+    Printf.printf "\nwrote %s\n" path
+
 (* Profile a trace CSV (or a synthetic one) and recommend a mechanism. *)
 let analyze trace_file theta write_frac n =
   let trace =
@@ -471,6 +535,61 @@ let trace_cmd =
        ~doc:"Run once with end-to-end request tracing and live metrics (default command).")
     trace_term
 
+let chaos_cmd =
+  let system =
+    Arg.(value & opt system_conv C4.Config.Comp & info [ "system" ] ~docv:"SYS"
+           ~doc:"System: baseline|erew|ideal|rlu|mv-rlu|d-crew|comp.")
+  in
+  let write_frac =
+    Arg.(value & opt float 30.0 & info [ "write-frac" ] ~docv:"PCT" ~doc:"Write percentage.")
+  in
+  let theta =
+    Arg.(value & opt float 0.99 & info [ "s"; "skew" ] ~docv:"GAMMA" ~doc:"Zipf coefficient.")
+  in
+  let rate =
+    Arg.(value & opt float 60.0 & info [ "rate" ] ~docv:"MRPS" ~doc:"Offered load.")
+  in
+  let n_requests =
+    Arg.(value & opt int 100_000 & info [ "reqs-to-sim" ] ~docv:"N"
+           ~doc:"Requests to simulate.")
+  in
+  let fault_seed =
+    Arg.(value & opt int 42 & info [ "fault-seed" ] ~docv:"SEED"
+           ~doc:"Seed of the fault schedule; equal seeds replay byte-identically.")
+  in
+  let fault_profile =
+    Arg.(value & opt string "default" & info [ "fault-profile" ] ~docv:"PROFILE"
+           ~doc:"Fault intensities: $(b,default), $(b,none), or \
+                 corrupt=P,leak=P,straggler=P,straggler_scale=X,straggler_len=NS,\
+                 burst=P,burst_factor=X,burst_window=NS (unset keys are zero/neutral).")
+  in
+  let no_retry =
+    Arg.(value & flag & info [ "no-retry" ] ~doc:"Disable the client retry policy.")
+  in
+  let budget_ratio =
+    Arg.(value & opt float 0.5 & info [ "retry-budget" ] ~docv:"RATIO"
+           ~doc:"Retry-budget credits granted per dropped original.")
+  in
+  let shed =
+    Arg.(value & flag & info [ "shed" ] ~doc:"Enable adaptive load shedding.")
+  in
+  let ewt_ttl =
+    Arg.(value & opt float 0.0 & info [ "ewt-ttl" ] ~docv:"NS"
+           ~doc:"Reclaim EWT entries idle for $(docv) ns (0 = never); the \
+                 countermeasure to leaked releases.")
+  in
+  let trace_file =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event JSON of the chaotic run to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Deterministic fault-injection run: corrupted packets, stragglers, \
+             EWT leaks, bursts — with client retries fighting back.")
+    Term.(
+      const chaos_run $ system $ write_frac $ theta $ rate $ n_requests $ fault_seed
+      $ fault_profile $ no_retry $ budget_ratio $ shed $ ewt_ttl $ trace_file)
+
 let analyze_cmd =
   let trace =
     Arg.(value & opt (some file) None & info [ "trace" ] ~docv:"FILE"
@@ -551,6 +670,7 @@ let () =
             item_size_cmd;
             ewt_cmd;
             trace_cmd;
+            chaos_cmd;
             analyze_cmd;
             taxonomy_cmd;
             validate_cmd;

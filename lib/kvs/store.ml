@@ -3,11 +3,16 @@ type entry = { key : int; mutable value : bytes }
 type t = {
   buckets : entry list ref array;
   locks : Seqlock.t array;
+  (* Per-partition idempotency-token sets. A token lives in its key's
+     partition, so under CREW it is only ever touched by the partition's
+     single writer — no extra synchronisation needed. *)
+  applied_tokens : (int, unit) Hashtbl.t array;
   n_partitions : int;
   mutable count : int;
   mutable reads_n : int;
   mutable writes_n : int;
   mutable retries_n : int;
+  mutable dup_writes_n : int;
 }
 
 let create ?(n_buckets = 65536) ?(n_partitions = 1024) () =
@@ -15,11 +20,13 @@ let create ?(n_buckets = 65536) ?(n_partitions = 1024) () =
   {
     buckets = Array.init n_buckets (fun _ -> ref []);
     locks = Array.init n_partitions (fun _ -> Seqlock.create ());
+    applied_tokens = Array.init n_partitions (fun _ -> Hashtbl.create 16);
     n_partitions;
     count = 0;
     reads_n = 0;
     writes_n = 0;
     retries_n = 0;
+    dup_writes_n = 0;
   }
 
 let n_buckets t = Array.length t.buckets
@@ -53,6 +60,26 @@ let set t ~key ~value =
   Seqlock.write_begin lock;
   set_locked t ~key ~value;
   Seqlock.write_end lock
+
+(* Idempotent write: a retried write whose first attempt was actually
+   applied (the ack was lost, not the write) must not be applied twice.
+   The token set is checked and updated inside the partition's write
+   section, so a duplicate can never slip between check and apply. *)
+let set_idempotent t ~key ~value ~token =
+  let partition = partition_of_key t key in
+  let tokens = t.applied_tokens.(partition) in
+  let lock = t.locks.(partition) in
+  if Hashtbl.mem tokens token then begin
+    t.dup_writes_n <- t.dup_writes_n + 1;
+    `Duplicate
+  end
+  else begin
+    Seqlock.write_begin lock;
+    Hashtbl.replace tokens token ();
+    set_locked t ~key ~value;
+    Seqlock.write_end lock;
+    `Applied
+  end
 
 let set_batched t ~key ~values =
   match List.rev values with
@@ -97,11 +124,18 @@ let remove t ~key =
 let size t = t.count
 let partition_version t ~partition = Seqlock.version t.locks.(partition)
 
-type stats = { reads : int; writes : int; read_retries : int }
+type stats = { reads : int; writes : int; read_retries : int; duplicate_writes : int }
 
-let stats t = { reads = t.reads_n; writes = t.writes_n; read_retries = t.retries_n }
+let stats t =
+  {
+    reads = t.reads_n;
+    writes = t.writes_n;
+    read_retries = t.retries_n;
+    duplicate_writes = t.dup_writes_n;
+  }
 
 let reset_stats t =
   t.reads_n <- 0;
   t.writes_n <- 0;
-  t.retries_n <- 0
+  t.retries_n <- 0;
+  t.dup_writes_n <- 0

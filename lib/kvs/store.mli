@@ -23,6 +23,15 @@ val partition_of_key : t -> int -> int
 (** Insert or update. Runs one seqlock write section on the partition. *)
 val set : t -> key:int -> value:bytes -> unit
 
+(** Insert or update, deduplicated by idempotency [token]: if a write
+    carrying the same token was already applied to this key's partition
+    (a client retry whose original ack was lost), the store leaves the
+    value untouched and reports [`Duplicate]. Tokens are tracked per
+    partition, inside the partition's write section, so the CREW single
+    writer sees an exact record. *)
+val set_idempotent :
+  t -> key:int -> value:bytes -> token:int -> [ `Applied | `Duplicate ]
+
 (** Optimistic read; returns a private copy of the value and the number
     of version-check retries taken. *)
 val get : t -> key:int -> (bytes option * int)
@@ -43,7 +52,7 @@ val size : t -> int
 (** Partition version, for tests asserting update counts. *)
 val partition_version : t -> partition:int -> int
 
-type stats = { reads : int; writes : int; read_retries : int }
+type stats = { reads : int; writes : int; read_retries : int; duplicate_writes : int }
 
 val stats : t -> stats
 val reset_stats : t -> unit

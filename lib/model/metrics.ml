@@ -16,6 +16,8 @@ type t = {
   mutable drops_queue_full_n : int;
   mutable drops_ewt_n : int;
   mutable drops_slo_n : int;
+  mutable drops_bad_packet_n : int;
+  mutable drops_shed_n : int;
   mutable t_start : float;
   mutable t_stop : float;
   mutable on : bool;
@@ -37,6 +39,8 @@ let create ~n_workers =
     drops_queue_full_n = 0;
     drops_ewt_n = 0;
     drops_slo_n = 0;
+    drops_bad_packet_n = 0;
+    drops_shed_n = 0;
     t_start = 0.0;
     t_stop = 0.0;
     on = false;
@@ -77,12 +81,14 @@ let record_latency t ~op ~latency ~compacted ~value_size =
 
 let add_busy t ~worker ns = if t.on then t.busy_ns.(worker) <- t.busy_ns.(worker) +. ns
 
-type drop_reason = Queue_full | Ewt_exhausted | Slo_expired
+type drop_reason = Queue_full | Ewt_exhausted | Slo_expired | Bad_packet | Shed
 
 let drop_reason_name = function
   | Queue_full -> "queue_full"
   | Ewt_exhausted -> "ewt_exhausted"
   | Slo_expired -> "slo_expired"
+  | Bad_packet -> "bad_packet"
+  | Shed -> "shed"
 
 let note_drop t ~reason =
   if t.on then
@@ -90,12 +96,16 @@ let note_drop t ~reason =
     | Queue_full -> t.drops_queue_full_n <- t.drops_queue_full_n + 1
     | Ewt_exhausted -> t.drops_ewt_n <- t.drops_ewt_n + 1
     | Slo_expired -> t.drops_slo_n <- t.drops_slo_n + 1
+    | Bad_packet -> t.drops_bad_packet_n <- t.drops_bad_packet_n + 1
+    | Shed -> t.drops_shed_n <- t.drops_shed_n + 1
 
 let drops_by_reason t ~reason =
   match reason with
   | Queue_full -> t.drops_queue_full_n
   | Ewt_exhausted -> t.drops_ewt_n
   | Slo_expired -> t.drops_slo_n
+  | Bad_packet -> t.drops_bad_packet_n
+  | Shed -> t.drops_shed_n
 
 let duration t = Float.max 0.0 (t.t_stop -. t.t_start)
 
@@ -113,7 +123,9 @@ let small_latency t = t.lat_small
 let large_latency t = t.lat_large
 let p99 t = Histogram.p99 t.lat_all
 let mean_latency t = Histogram.mean t.lat_all
-let drops t = t.drops_queue_full_n + t.drops_ewt_n + t.drops_slo_n
+let drops t =
+  t.drops_queue_full_n + t.drops_ewt_n + t.drops_slo_n + t.drops_bad_packet_n
+  + t.drops_shed_n
 let compacted_count t = t.compacted_n
 let worker_completed t = Array.copy t.completed_n
 

@@ -46,9 +46,11 @@ val size_class_boundary : int
 val add_busy : t -> worker:int -> float -> unit
 
 (** Why an admitted-or-arriving request was dropped: NIC buffers full
-    (flow control), the EWT could not accommodate the write, or the
-    request's SLO expired before service. *)
-type drop_reason = Queue_full | Ewt_exhausted | Slo_expired
+    (flow control), the EWT could not accommodate the write, the
+    request's SLO expired before service, the packet failed header
+    parsing (fault-injected corruption), or the overloaded server shed
+    it to protect the SLO of admitted work. *)
+type drop_reason = Queue_full | Ewt_exhausted | Slo_expired | Bad_packet | Shed
 
 val drop_reason_name : drop_reason -> string
 val note_drop : t -> reason:drop_reason -> unit

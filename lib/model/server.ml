@@ -31,6 +31,30 @@ let default_compaction =
     deadline_from_arrival = false;
   }
 
+(* Deterministic fault-injection hooks (built by C4_resilience.Fault
+   from a seeded schedule; the server only consults them). Every hook is
+   called in simulation-event order, so a deterministic hook keeps the
+   whole run deterministic. *)
+type fault_hooks = {
+  corrupt : Request.t -> now:float -> bool;
+      (* packet fails header parsing at the NIC: dropped before admission *)
+  service_scale : worker:int -> now:float -> float;
+      (* straggler / GC-pause model: multiplies on-core service time *)
+  leak_release : Request.t -> now:float -> bool;
+      (* the write's EWT release is lost: the outstanding counter sticks *)
+}
+
+type ewt_ttl_config = { ttl : float; sweep_interval : float }
+
+type shed_config = {
+  check_interval : float;
+  shed_threshold : float;
+  recover_threshold : float;
+}
+
+let default_shed =
+  { check_interval = 20_000.0; shed_threshold = 0.05; recover_threshold = 0.01 }
+
 type config = {
   n_workers : int;
   policy : Policy.t;
@@ -47,6 +71,10 @@ type config = {
   trace : Trace.t;
   registry : Registry.t option;
   metrics_interval : float option;
+  faults : fault_hooks option;
+  ewt_ttl : ewt_ttl_config option;
+  shed : shed_config option;
+  on_drop : (Request.t -> now:float -> reason:Metrics.drop_reason -> Request.t option) option;
 }
 
 let default_config =
@@ -66,6 +94,10 @@ let default_config =
     trace = Trace.null;
     registry = None;
     metrics_interval = None;
+    faults = None;
+    ewt_ttl = None;
+    shed = None;
+    on_drop = None;
   }
 
 type result = {
@@ -77,6 +109,7 @@ type result = {
   offered_rate : float;
   mean_service : float;
   snapshot : C4_stats.Csv.t option;
+  retries_injected : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -108,11 +141,19 @@ type state = {
   drop_queue_c : Registry.counter;
   drop_ewt_c : Registry.counter;
   drop_slo_c : Registry.counter;
-  n_requests : int;
+  drop_bad_c : Registry.counter;
+  drop_shed_c : Registry.counter;
+  retry_c : Registry.counter;
+  leak_c : Registry.counter;
+  shed_level_g : Registry.gauge;
+  mutable expected : int; (* grows as dropped requests are retried *)
   warmup : int;
   mutable done_count : int;
   mutable ewt_drop_count : int;
   mutable rlu_global_writes : int;
+  mutable shed_level : int; (* 0 none, 1 reads, 2 reads + plain writes *)
+  mutable win_arrivals : int;
+  mutable win_drops : int; (* non-shed drops in the current shed window *)
 }
 
 let static_owner st partition = partition mod st.cfg.n_workers
@@ -150,7 +191,12 @@ let static_owner_in_class st cls partition =
 let note_done st =
   st.done_count <- st.done_count + 1;
   if st.done_count = st.warmup then Metrics.start_measuring st.metrics ~now:(Sim.now st.sim);
-  if st.done_count = st.n_requests then Metrics.stop st.metrics ~now:(Sim.now st.sim)
+  if st.done_count = st.expected then Metrics.stop st.metrics ~now:(Sim.now st.sim)
+
+let fault_scale st wid =
+  match st.cfg.faults with
+  | None -> 1.0
+  | Some f -> f.service_scale ~worker:wid ~now:(Sim.now st.sim)
 
 (* Treat every request as a read under Ideal: the paper's Ideal is the
    baseline running a read-only workload, i.e. perfect balance and no
@@ -194,7 +240,7 @@ let normal_service st w (r : Request.t) =
       | Request.Read -> Coherence.read_cost cache ~core:w.wid ~partition:r.partition ~lines
       | Request.Write -> Coherence.write_cost cache ~core:w.wid ~partition:r.partition ~lines)
   in
-  kvs +. p.Service.t_fixed +. coherence_cost
+  (kvs +. p.Service.t_fixed +. coherence_cost) *. fault_scale st w.wid
 
 (* The combined write a closing window performs against the datastore. *)
 let final_write_service st w ~partition =
@@ -205,7 +251,7 @@ let final_write_service st w ~partition =
     | Some cache ->
       Coherence.write_cost cache ~core:w.wid ~partition ~lines:(Service.lines st.svc)
   in
-  kvs +. coherence_cost
+  (kvs +. coherence_cost) *. fault_scale st w.wid
 
 (* RLU log promotion runs on the worker AFTER the triggering write's
    response leaves (commit deferral): the promoting request meets its
@@ -230,13 +276,39 @@ let scan_cost st w =
 
 (* Decrement the EWT's outstanding-write counter, either immediately
    (the paper's release-on-completion) or after a lingering delay that
-   keeps the partition sticky to its writer for a while longer. *)
-let release_exclusive st ~partition =
-  if st.cfg.ewt_release_delay <= 0.0 then Ewt.note_response st.ewt ~partition
-  else
-    ignore
-      (Sim.schedule st.sim ~after:st.cfg.ewt_release_delay (fun _ ->
-           Ewt.note_response st.ewt ~partition))
+   keeps the partition sticky to its writer for a while longer. A
+   fault-injected leak swallows the release entirely: the counter
+   sticks until the staleness sweep (if configured) reclaims it. *)
+let release_exclusive st (r : Request.t) =
+  let now = Sim.now st.sim in
+  let leaked =
+    match st.cfg.faults with
+    | Some f when f.leak_release r ~now ->
+      Registry.incr st.leak_c;
+      Trace.instant st.tr ~name:"ewt_leak"
+        ~args:[ ("partition", string_of_int r.partition) ] ~ts:now ();
+      true
+    | _ -> false
+  in
+  if not leaked then begin
+    let release () =
+      (* With a staleness TTL the mapping may already have been swept
+         out from under a leak, so tolerate a missing entry. *)
+      if st.cfg.ewt_ttl = None then Ewt.note_response st.ewt ~partition:r.partition
+      else ignore (Ewt.try_note_response st.ewt ~partition:r.partition)
+    in
+    if st.cfg.ewt_release_delay <= 0.0 then release ()
+    else ignore (Sim.schedule st.sim ~after:st.cfg.ewt_release_delay (fun _ -> release ()))
+  end
+
+(* Load shedding (level 1: reads; level 2: also writes that compaction
+   cannot absorb). Shedding cheap-to-retry work first keeps capacity
+   for writes whose loss would force clients into retry storms. *)
+let shed_rejects st (r : Request.t) =
+  st.shed_level >= 1
+  && (match effective_op st r with
+     | Request.Read -> true
+     | Request.Write -> st.shed_level >= 2 && st.cfg.compaction = None)
 
 (* ------------------------------------------------------------------ *)
 
@@ -342,7 +414,7 @@ and forward st w (r : Request.t) ~t_forward =
    T_fixed + T_comp, touches no shared lines, defers the response. *)
 and absorb st w log (r : Request.t) ~extra =
   let p = Service.params st.svc in
-  let service = p.Service.t_fixed +. p.Service.t_comp +. extra in
+  let service = (p.Service.t_fixed +. p.Service.t_comp +. extra) *. fault_scale st w.wid in
   Trace.service_begin st.tr ~id:r.id ~lane:w.wid ~ts:(Sim.now st.sim);
   Compaction_log.absorb log ~key:r.key
     {
@@ -378,7 +450,7 @@ and run_for st w (r : Request.t) ~service =
          Jbsq.complete st.jbsq w.wid;
          Flow_control.release st.flow;
          if Policy.uses_ewt st.cfg.policy && r.op = Request.Write then
-           release_exclusive st ~partition:r.partition;
+           release_exclusive st r;
          Trace.service_end st.tr ~id:r.id ~lane:w.wid ~phase:Trace.Service ~ts:now;
          Trace.departure st.tr ~id:r.id ~lane:w.wid ~ts:now;
          Metrics.record_service st.metrics ~op:r.op ~worker:w.wid ~service;
@@ -439,8 +511,7 @@ and close_window st w =
                  let r = Hashtbl.find w.window_reqs pending.Compaction_log.request_id in
                  Hashtbl.remove w.window_reqs pending.Compaction_log.request_id;
                  Flow_control.release st.flow;
-                 if Policy.uses_ewt st.cfg.policy then
-                   release_exclusive st ~partition:r.Request.partition;
+                 if Policy.uses_ewt st.cfg.policy then release_exclusive st r;
                  Trace.departure st.tr ~id:r.Request.id ~lane:w.wid ~ts:now;
                  Metrics.record_latency st.metrics ~op:r.op
                    ~latency:(now -. r.Request.arrival) ~compacted:true
@@ -486,7 +557,7 @@ and route_from_central st ~free_worker (r : Request.t) =
     | Some owner -> (
       Trace.request_event st.tr ~id:r.id ~name:"ewt_hit"
         ~args:[ ("owner", string_of_int owner) ] ~ts:(Sim.now st.sim) ();
-      match Ewt.note_write st.ewt ~partition:r.partition ~thread:owner with
+      match Ewt.note_write ~now:(Sim.now st.sim) st.ewt ~partition:r.partition ~thread:owner with
       | `Ok ->
         Jbsq.dispatch_to st.jbsq owner;
         enqueue owner;
@@ -496,7 +567,7 @@ and route_from_central st ~free_worker (r : Request.t) =
         false)
     | None -> (
       Trace.request_event st.tr ~id:r.id ~name:"ewt_miss" ~ts:(Sim.now st.sim) ();
-      match Ewt.note_write st.ewt ~partition:r.partition ~thread:free_worker with
+      match Ewt.note_write ~now:(Sim.now st.sim) st.ewt ~partition:r.partition ~thread:free_worker with
       | `Ok ->
         Jbsq.dispatch_to st.jbsq free_worker;
         enqueue free_worker;
@@ -516,14 +587,34 @@ and route_from_central st ~free_worker (r : Request.t) =
 and drop_late st (r : Request.t) =
   Flow_control.release st.flow;
   st.ewt_drop_count <- st.ewt_drop_count + 1;
+  st.win_drops <- st.win_drops + 1;
   Registry.incr st.drop_ewt_c;
   Metrics.note_drop st.metrics ~reason:Metrics.Ewt_exhausted;
   Trace.drop st.tr ~id:r.id ~reason:"ewt_exhausted" ~ts:(Sim.now st.sim);
+  offer_retry st r ~reason:Metrics.Ewt_exhausted;
   note_done st
+
+(* A dropped request may come back: the client-side retry policy (when
+   wired in) decides whether and when, and the re-arrival joins the
+   expected-completion count so accounting stays exact. *)
+and offer_retry st (r : Request.t) ~reason =
+  match st.cfg.on_drop with
+  | None -> ()
+  | Some hook -> (
+    let now = Sim.now st.sim in
+    match hook r ~now ~reason with
+    | None -> ()
+    | Some retry ->
+      st.expected <- st.expected + 1;
+      Registry.incr st.retry_c;
+      ignore
+        (Sim.schedule st.sim
+           ~after:(Float.max 0.0 (retry.Request.arrival -. now))
+           (fun _ -> on_arrival st retry)))
 
 (* ------------------------------------------------------------------ *)
 
-let enqueue_at st wid (r : Request.t) =
+and enqueue_at st wid (r : Request.t) =
   let w = st.workers.(wid) in
   Fifo.push w.queue r;
   Trace.request_event st.tr ~id:r.id ~name:"enqueue"
@@ -531,15 +622,36 @@ let enqueue_at st wid (r : Request.t) =
   Registry.observe st.jbsq_depth_h (float_of_int (Jbsq.occupancy st.jbsq wid));
   if not w.busy then start_next st w
 
-let on_arrival st (r : Request.t) =
+and on_arrival st (r : Request.t) =
   let now = Sim.now st.sim in
+  st.win_arrivals <- st.win_arrivals + 1;
   Trace.arrival st.tr ~id:r.id
     ~op:(match r.op with Request.Read -> "R" | Request.Write -> "W")
     ~partition:r.partition ~ts:now;
-  if not (Flow_control.admit st.flow) then begin
+  let corrupt = match st.cfg.faults with Some f -> f.corrupt r ~now | None -> false in
+  if corrupt then begin
+    (* Header parsing precedes admission (as in Nic.Pipeline.admit), so
+       a corrupted packet never charges a flow-control slot. *)
+    st.win_drops <- st.win_drops + 1;
+    Registry.incr st.drop_bad_c;
+    Metrics.note_drop st.metrics ~reason:Metrics.Bad_packet;
+    Trace.drop st.tr ~id:r.id ~reason:"bad_packet" ~ts:now;
+    offer_retry st r ~reason:Metrics.Bad_packet;
+    note_done st
+  end
+  else if shed_rejects st r then begin
+    Registry.incr st.drop_shed_c;
+    Metrics.note_drop st.metrics ~reason:Metrics.Shed;
+    Trace.drop st.tr ~id:r.id ~reason:"shed" ~ts:now;
+    offer_retry st r ~reason:Metrics.Shed;
+    note_done st
+  end
+  else if not (Flow_control.admit st.flow) then begin
+    st.win_drops <- st.win_drops + 1;
     Registry.incr st.drop_queue_c;
     Metrics.note_drop st.metrics ~reason:Metrics.Queue_full;
     Trace.drop st.tr ~id:r.id ~reason:"queue_full" ~ts:now;
+    offer_retry st r ~reason:Metrics.Queue_full;
     note_done st
   end
   else begin
@@ -551,7 +663,7 @@ let on_arrival st (r : Request.t) =
       | Some owner -> (
         Trace.request_event st.tr ~id:r.id ~name:"ewt_hit"
           ~args:[ ("owner", string_of_int owner) ] ~ts:now ();
-        match Ewt.note_write st.ewt ~partition:r.partition ~thread:owner with
+        match Ewt.note_write ~now:(Sim.now st.sim) st.ewt ~partition:r.partition ~thread:owner with
         | `Ok ->
           Jbsq.dispatch_to st.jbsq owner;
           enqueue_at st owner r
@@ -560,7 +672,7 @@ let on_arrival st (r : Request.t) =
         Trace.request_event st.tr ~id:r.id ~name:"ewt_miss" ~ts:now ();
         match try_dispatch_class st cls with
         | Some wid -> (
-          match Ewt.note_write st.ewt ~partition:r.partition ~thread:wid with
+          match Ewt.note_write ~now:(Sim.now st.sim) st.ewt ~partition:r.partition ~thread:wid with
           | `Ok -> enqueue_at st wid r
           | `Full | `Counter_saturated ->
             Jbsq.complete st.jbsq wid;
@@ -602,6 +714,11 @@ let run_stream ?(warmup_fraction = 0.2) cfg ~next_request ~n_requests ~n_partiti
   let drop_queue_c = Registry.counter reg "drops.queue_full" in
   let drop_ewt_c = Registry.counter reg "drops.ewt_exhausted" in
   let drop_slo_c = Registry.counter reg "drops.slo_expired" in
+  let drop_bad_c = Registry.counter reg "drops.bad_packet" in
+  let drop_shed_c = Registry.counter reg "drops.shed" in
+  let retry_c = Registry.counter reg "retry.injected" in
+  let leak_c = Registry.counter reg "fault.ewt_leak" in
+  let shed_level_g = Registry.gauge reg "shed.level" in
   let jbsq_depth_h = Registry.histogram reg "jbsq.depth" in
   let make_worker wid =
     {
@@ -642,11 +759,19 @@ let run_stream ?(warmup_fraction = 0.2) cfg ~next_request ~n_requests ~n_partiti
       drop_queue_c;
       drop_ewt_c;
       drop_slo_c;
-      n_requests;
+      drop_bad_c;
+      drop_shed_c;
+      retry_c;
+      leak_c;
+      shed_level_g;
+      expected = n_requests;
       warmup = int_of_float (warmup_fraction *. float_of_int n_requests);
       done_count = 0;
       ewt_drop_count = 0;
       rlu_global_writes = 0;
+      shed_level = 0;
+      win_arrivals = 0;
+      win_drops = 0;
     }
   in
   if st.warmup = 0 then Metrics.start_measuring st.metrics ~now:0.0;
@@ -669,6 +794,56 @@ let run_stream ?(warmup_fraction = 0.2) cfg ~next_request ~n_requests ~n_partiti
           ~sim ~registry:reg ~interval_ns ())
       cfg.metrics_interval
   in
+  (* Staleness sweep: reclaim EWT entries whose leaked releases would
+     otherwise pin their partitions forever. Self-rescheduling stops
+     once every expected request is accounted for, so the event queue
+     still drains. *)
+  (match cfg.ewt_ttl with
+  | None -> ()
+  | Some { ttl; sweep_interval } ->
+    if ttl <= 0.0 || sweep_interval <= 0.0 then
+      invalid_arg "Server.run: ewt_ttl fields must be positive";
+    let rec sweep () =
+      ignore
+        (Sim.schedule sim ~after:sweep_interval (fun _ ->
+             let evicted = Ewt.expire_stale st.ewt ~now:(Sim.now sim) ~ttl in
+             if evicted > 0 then
+               Trace.instant st.tr ~name:"ewt_stale_sweep"
+                 ~args:[ ("evicted", string_of_int evicted) ]
+                 ~ts:(Sim.now sim) ();
+             if st.done_count < st.expected then sweep ()))
+    in
+    sweep ());
+  (* Adaptive load shedding: compare the non-shed drop rate over the
+     last window against the thresholds and move one level at a time. *)
+  (match cfg.shed with
+  | None -> ()
+  | Some sc ->
+    if sc.check_interval <= 0.0 then invalid_arg "Server.run: shed.check_interval";
+    let rec check () =
+      ignore
+        (Sim.schedule sim ~after:sc.check_interval (fun _ ->
+             let rate =
+               if st.win_arrivals = 0 then 0.0
+               else float_of_int st.win_drops /. float_of_int st.win_arrivals
+             in
+             let level =
+               if rate > sc.shed_threshold then min 2 (st.shed_level + 1)
+               else if rate < sc.recover_threshold then max 0 (st.shed_level - 1)
+               else st.shed_level
+             in
+             if level <> st.shed_level then begin
+               st.shed_level <- level;
+               Registry.set st.shed_level_g (float_of_int level);
+               Trace.instant st.tr ~name:"shed_level"
+                 ~args:[ ("level", string_of_int level) ]
+                 ~ts:(Sim.now sim) ()
+             end;
+             st.win_arrivals <- 0;
+             st.win_drops <- 0;
+             if st.done_count < st.expected then check ()))
+    in
+    check ());
   let rec pump () =
     match next_request () with
     | None -> ()
@@ -681,10 +856,10 @@ let run_stream ?(warmup_fraction = 0.2) cfg ~next_request ~n_requests ~n_partiti
   pump ();
   Sim.run st.sim;
   (* Guard against unterminated runs (a bug, not a workload property). *)
-  if st.done_count <> n_requests then
+  if st.done_count <> st.expected then
     failwith
       (Printf.sprintf "Server.run: %d of %d requests unaccounted for"
-         (n_requests - st.done_count) n_requests);
+         (st.expected - st.done_count) st.expected);
   {
     metrics = st.metrics;
     ewt =
@@ -718,6 +893,7 @@ let run_stream ?(warmup_fraction = 0.2) cfg ~next_request ~n_requests ~n_partiti
     offered_rate;
     mean_service = Service.mean_service st.svc;
     snapshot = Option.map Snapshot.csv snapshot;
+    retries_injected = Registry.counter_value st.retry_c;
   }
 
 let run ?warmup_fraction cfg ~workload ~n_requests =

@@ -30,6 +30,37 @@ type compaction_config = {
 
 val default_compaction : compaction_config
 
+(** Deterministic fault-injection hooks, consulted in simulation-event
+    order (so a deterministic hook keeps the run deterministic). Built
+    by [C4_resilience.Fault] from a seeded schedule; the server itself
+    draws no randomness for faults. *)
+type fault_hooks = {
+  corrupt : C4_workload.Request.t -> now:float -> bool;
+      (** the packet fails NIC header parsing: dropped before admission *)
+  service_scale : worker:int -> now:float -> float;
+      (** straggler / GC-pause model: multiplies on-core service time *)
+  leak_release : C4_workload.Request.t -> now:float -> bool;
+      (** the write's EWT release is lost; its outstanding counter sticks *)
+}
+
+(** EWT staleness: entries idle for [ttl] ns are reclaimed by a sweep
+    every [sweep_interval] ns, so a leaked release cannot pin a
+    partition to one worker forever. *)
+type ewt_ttl_config = { ttl : float; sweep_interval : float }
+
+(** Adaptive load shedding. Every [check_interval] ns the non-shed drop
+    rate of the last window is compared against the thresholds: above
+    [shed_threshold] the shed level rises one step (1 = shed reads,
+    2 = also shed writes compaction cannot absorb), below
+    [recover_threshold] it falls one step. *)
+type shed_config = {
+  check_interval : float;
+  shed_threshold : float;
+  recover_threshold : float;
+}
+
+val default_shed : shed_config
+
 type config = {
   n_workers : int;
   policy : Policy.t;
@@ -65,6 +96,19 @@ type config = {
       (** [Some ns] samples every registered metric into a CSV
           time-series each [ns] of simulated time (see
           {!result.snapshot}) *)
+  faults : fault_hooks option;  (** [None] = clean run (the default) *)
+  ewt_ttl : ewt_ttl_config option;  (** [None] = entries never expire *)
+  shed : shed_config option;  (** [None] = never shed *)
+  on_drop :
+    (C4_workload.Request.t ->
+    now:float ->
+    reason:Metrics.drop_reason ->
+    C4_workload.Request.t option)
+    option;
+      (** client-side retry policy: called on every drop; [Some retry]
+          re-injects [retry] (usually the same request with a fresh id
+          and a backed-off arrival time) and extends the run's
+          expected-completion count accordingly *)
 }
 
 (** 64 workers, CREW, JBSQ(2), no compaction, no cache layer — the
@@ -82,6 +126,8 @@ type result = {
   snapshot : C4_stats.Csv.t option;
       (** metric time-series rows, when {!config.metrics_interval} was
           set *)
+  retries_injected : int;
+      (** re-arrivals injected by the {!config.on_drop} retry hook *)
 }
 
 (** [run config ~workload ~n_requests] simulates; the first

@@ -1,6 +1,6 @@
 module Registry = C4_obs.Registry
 
-type entry = { thread : int; mutable count : int }
+type entry = { thread : int; mutable count : int; mutable last_write : float }
 
 type t = {
   cap : int;
@@ -15,6 +15,8 @@ type t = {
   evict_c : Registry.counter;
   reject_full_c : Registry.counter;
   reject_saturated_c : Registry.counter;
+  stale_evict_c : Registry.counter;
+  orphan_release_c : Registry.counter;
 }
 
 let create ?registry ?(capacity = 128) ?(max_outstanding = 64) () =
@@ -28,6 +30,8 @@ let create ?registry ?(capacity = 128) ?(max_outstanding = 64) () =
   let evict_c = Registry.counter reg "ewt.evict" in
   let reject_full_c = Registry.counter reg "ewt.reject_full" in
   let reject_saturated_c = Registry.counter reg "ewt.reject_saturated" in
+  let stale_evict_c = Registry.counter reg "ewt.stale_evict" in
+  let orphan_release_c = Registry.counter reg "ewt.orphan_release" in
   {
     cap = capacity;
     max_outstanding;
@@ -41,6 +45,8 @@ let create ?registry ?(capacity = 128) ?(max_outstanding = 64) () =
     evict_c;
     reject_full_c;
     reject_saturated_c;
+    stale_evict_c;
+    orphan_release_c;
   }
 
 let capacity t = t.cap
@@ -61,7 +67,7 @@ let lookup t ~partition =
     Registry.incr t.miss_c;
     None
 
-let note_write t ~partition ~thread =
+let note_write ?(now = 0.0) t ~partition ~thread =
   match Hashtbl.find_opt t.table partition with
   | Some e ->
     if e.count >= t.max_outstanding then begin
@@ -70,6 +76,7 @@ let note_write t ~partition ~thread =
     end
     else begin
       e.count <- e.count + 1;
+      e.last_write <- now;
       sample t;
       `Ok
     end
@@ -79,7 +86,7 @@ let note_write t ~partition ~thread =
       `Full
     end
     else begin
-      Hashtbl.replace t.table partition { thread; count = 1 };
+      Hashtbl.replace t.table partition { thread; count = 1; last_write = now };
       Registry.incr t.insert_c;
       sample t;
       `Ok
@@ -95,6 +102,35 @@ let note_response t ~partition =
       Registry.incr t.evict_c
     end;
     sample t
+
+let try_note_response t ~partition =
+  match Hashtbl.find_opt t.table partition with
+  | None ->
+    (* The mapping was already reclaimed (stale-evicted after a leak, or
+       never created): count the orphan instead of tearing down the run. *)
+    Registry.incr t.orphan_release_c;
+    false
+  | Some _ ->
+    note_response t ~partition;
+    true
+
+let expire_stale t ~now ~ttl =
+  if ttl <= 0.0 then invalid_arg "Ewt.expire_stale: ttl must be positive";
+  let stale =
+    Hashtbl.fold
+      (fun partition e acc -> if now -. e.last_write > ttl then partition :: acc else acc)
+      t.table []
+  in
+  List.iter
+    (fun partition ->
+      Hashtbl.remove t.table partition;
+      Registry.incr t.stale_evict_c;
+      sample t)
+    stale;
+  List.length stale
+
+let stale_evictions t = Registry.counter_value t.stale_evict_c
+let orphan_releases t = Registry.counter_value t.orphan_release_c
 
 let outstanding t ~partition =
   match Hashtbl.find_opt t.table partition with Some e -> e.count | None -> 0

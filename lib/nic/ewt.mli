@@ -40,13 +40,35 @@ val lookup : t -> partition:int -> int option
     [`Ok] — entry created or counter bumped;
     [`Full] — table exhausted (caller must fall back: static hash or
     flow control);
-    [`Counter_saturated] — entry exists but its counter is at max. *)
-val note_write : t -> partition:int -> thread:int -> [ `Ok | `Full | `Counter_saturated ]
+    [`Counter_saturated] — entry exists but its counter is at max.
+    [now] stamps the entry for {!expire_stale} (default 0.0, i.e. no
+    staleness tracking). *)
+val note_write :
+  ?now:float -> t -> partition:int -> thread:int -> [ `Ok | `Full | `Counter_saturated ]
 
 (** Record a write response for [partition]; frees the entry at zero.
     Raises [Invalid_argument] if the partition has no entry (protocol
     violation). *)
 val note_response : t -> partition:int -> unit
+
+(** Tolerant {!note_response}: if the partition has no entry (its
+    mapping was stale-evicted after a response leak, or never existed),
+    count an [ewt.orphan_release] and return [false] instead of
+    raising. *)
+val try_note_response : t -> partition:int -> bool
+
+(** Evict every entry whose last write is older than [ttl] (ns before
+    [now]), returning the number evicted and counting each as
+    [ewt.stale_evict]. A leaked response (a write whose completion never
+    decremented the counter) would otherwise pin its partition to one
+    worker forever; the sweep bounds that blast radius. Requires
+    [ttl > 0]. *)
+val expire_stale : t -> now:float -> ttl:float -> int
+
+(** Total stale evictions / orphan releases so far. *)
+val stale_evictions : t -> int
+
+val orphan_releases : t -> int
 
 (** Live entries. *)
 val occupancy : t -> int

@@ -3,11 +3,12 @@ type t = {
   mutable current : int;
   mutable ok_n : int;
   mutable drop_n : int;
+  mutable unmatched_n : int;
 }
 
 let create ~max_outstanding =
   if max_outstanding <= 0 then invalid_arg "Flow_control.create";
-  { cap = max_outstanding; current = 0; ok_n = 0; drop_n = 0 }
+  { cap = max_outstanding; current = 0; ok_n = 0; drop_n = 0; unmatched_n = 0 }
 
 let admit t =
   if t.current < t.cap then begin
@@ -20,13 +21,18 @@ let admit t =
     false
   end
 
+(* A release without a matching admit can happen once retried requests
+   re-enter the pipeline (the retry's completion releases a slot its
+   original already gave back). Going negative would let the window
+   admit more than [cap] in-flight requests, so clamp and count. *)
 let release t =
-  if t.current <= 0 then invalid_arg "Flow_control.release: nothing in flight";
-  t.current <- t.current - 1
+  if t.current <= 0 then t.unmatched_n <- t.unmatched_n + 1
+  else t.current <- t.current - 1
 
 let in_flight t = t.current
 let admitted t = t.ok_n
 let rejected t = t.drop_n
+let unmatched_releases t = t.unmatched_n
 
 let drop_rate t =
   let total = t.ok_n + t.drop_n in

@@ -12,12 +12,17 @@ val create : max_outstanding:int -> t
 (** Try to admit one request; false = dropped. *)
 val admit : t -> bool
 
-(** One request left the system. *)
+(** One request left the system. A release with nothing in flight (an
+    unmatched release, possible once retries re-enter the pipeline) is
+    clamped at zero and counted instead of corrupting the window. *)
 val release : t -> unit
 
 val in_flight : t -> int
 val admitted : t -> int
 val rejected : t -> int
+
+(** Releases that arrived with nothing in flight. *)
+val unmatched_releases : t -> int
 
 (** Fraction rejected so far. *)
 val drop_rate : t -> float

@@ -166,6 +166,9 @@ let drop t ~id ~reason ~ts =
 let lane_span t ~lane ~phase ~t0 ~t1 =
   if t.on then emit_span t ~req:(-1) ~lane ~phase ~t0 ~t1
 
+let instant t ~name ?(args = []) ~ts () =
+  if t.on then t.sink.on_event { ev_name = name; ev_lane = nic_lane; ev_ts = ts; ev_args = args }
+
 let spans t = List.rev t.spans_rev
 let events t = List.rev t.events_rev
 let completed t = List.rev t.completed_rev

@@ -103,6 +103,10 @@ val drop : t -> id:int -> reason:string -> ts:float -> unit
 
 val lane_span : t -> lane:int -> phase:phase -> t0:float -> t1:float -> unit
 
+(** Instant event on the NIC lane, independent of any live request —
+    fault injections, shed-level changes, EWT stale sweeps. *)
+val instant : t -> name:string -> ?args:(string * string) list -> ts:float -> unit -> unit
+
 (** {1 Collected data} (empty unless built with {!create}) *)
 
 (** Spans in emission order. *)

@@ -1,0 +1,67 @@
+module Server = C4_model.Server
+module Metrics = C4_model.Metrics
+module Generator = C4_workload.Generator
+module Trace = C4_workload.Trace
+
+type report = {
+  result : Server.result;
+  retry : Retry.stats option;
+  amplification : float;
+  profile : Fault.profile;
+  fault_seed : int;
+  n_requests : int;
+}
+
+let run ?warmup_fraction ?retry ~server ~workload ~n_requests ~profile ~fault_seed () =
+  if n_requests < 1 then invalid_arg "Chaos.run: n_requests";
+  (* Record the clean arrival stream first, then let the fault schedule
+     deform it: the same (workload seed, fault seed) pair always replays
+     the same deformed trace. *)
+  let gen = Generator.create workload ~seed:server.Server.seed in
+  let trace = Trace.record gen ~n:n_requests in
+  let trace = Fault.burstify profile ~seed:fault_seed trace in
+  let retry_state =
+    Option.map (fun rc -> Retry.create rc ~seed:fault_seed ~id_base:n_requests) retry
+  in
+  let cfg =
+    {
+      server with
+      Server.faults = Some (Fault.hooks profile ~seed:fault_seed);
+      on_drop = Option.map Retry.hook retry_state;
+    }
+  in
+  let result =
+    Server.run_trace ?warmup_fraction cfg ~trace
+      ~n_partitions:workload.Generator.n_partitions
+  in
+  {
+    result;
+    retry = Option.map Retry.stats retry_state;
+    amplification =
+      (match retry_state with Some t -> Retry.amplification t | None -> 0.0);
+    profile;
+    fault_seed;
+    n_requests;
+  }
+
+let pp_report ppf r =
+  let m = r.result.Server.metrics in
+  Format.fprintf ppf "@[<v>chaos run: %d requests, fault seed %d@," r.n_requests
+    r.fault_seed;
+  Format.fprintf ppf "profile: %s@," (Fault.to_string r.profile);
+  Format.fprintf ppf "throughput: %.3f MRPS, p99: %.0f ns, completed: %d@,"
+    (Metrics.throughput_mrps m) (Metrics.p99 m) (Metrics.completed m);
+  let reason r = Metrics.drops_by_reason m ~reason:r in
+  Format.fprintf ppf
+    "drops: %d (queue_full %d, ewt %d, slo %d, bad_packet %d, shed %d)@,"
+    (Metrics.drops m) (reason Metrics.Queue_full) (reason Metrics.Ewt_exhausted)
+    (reason Metrics.Slo_expired) (reason Metrics.Bad_packet) (reason Metrics.Shed);
+  (match r.retry with
+  | None -> Format.fprintf ppf "retries: disabled"
+  | Some s ->
+    Format.fprintf ppf
+      "retries: %d injected / %d dropped originals (amplification %.2f; denied: \
+       budget %d, deadline %d, attempts %d)"
+      s.Retry.retries s.Retry.originals_dropped r.amplification s.Retry.denied_budget
+      s.Retry.denied_deadline s.Retry.denied_attempts);
+  Format.fprintf ppf "@]"

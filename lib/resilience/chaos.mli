@@ -1,0 +1,36 @@
+(** The chaos harness: one seeded fault schedule + one retry policy
+    against the simulated server, end to end.
+
+    Generates the workload trace, deforms its arrivals through
+    {!Fault.burstify}, installs the {!Fault.hooks} and the {!Retry.hook}
+    in the server config, replays, and reports. Everything downstream of
+    (server config, workload config, [fault_seed]) is deterministic:
+    equal inputs give byte-identical metrics and observability traces,
+    which is what makes a chaos failure reproducible from its seed. *)
+
+type report = {
+  result : C4_model.Server.result;
+  retry : Retry.stats option;  (** [None] when retries were disabled *)
+  amplification : float;  (** retries per dropped original *)
+  profile : Fault.profile;
+  fault_seed : int;
+  n_requests : int;
+}
+
+(** [run ~server ~workload ~n_requests ~profile ~fault_seed ()] replays
+    the deformed trace under injected faults. [server.faults] and
+    [server.on_drop] are overwritten by the harness; every other server
+    knob (policy, compaction, shedding, EWT TTL, tracer, registry) is
+    the caller's. [retry] enables the client retry policy. *)
+val run :
+  ?warmup_fraction:float ->
+  ?retry:Retry.config ->
+  server:C4_model.Server.config ->
+  workload:C4_workload.Generator.config ->
+  n_requests:int ->
+  profile:Fault.profile ->
+  fault_seed:int ->
+  unit ->
+  report
+
+val pp_report : Format.formatter -> report -> unit

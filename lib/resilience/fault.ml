@@ -1,0 +1,134 @@
+module Rng = C4_dsim.Rng
+module Request = C4_workload.Request
+module Trace = C4_workload.Trace
+
+type profile = {
+  corrupt_p : float;
+  leak_p : float;
+  straggler_p : float;
+  straggler_scale : float;
+  straggler_len : float;
+  burst_p : float;
+  burst_factor : float;
+  burst_window : float;
+}
+
+let none =
+  {
+    corrupt_p = 0.0;
+    leak_p = 0.0;
+    straggler_p = 0.0;
+    straggler_scale = 1.0;
+    straggler_len = 50_000.0;
+    burst_p = 0.0;
+    burst_factor = 1.0;
+    burst_window = 100_000.0;
+  }
+
+let default =
+  {
+    corrupt_p = 0.002;
+    leak_p = 0.002;
+    straggler_p = 0.01;
+    straggler_scale = 4.0;
+    straggler_len = 50_000.0;
+    burst_p = 0.05;
+    burst_factor = 4.0;
+    burst_window = 100_000.0;
+  }
+
+let to_string p =
+  Printf.sprintf
+    "corrupt=%g,leak=%g,straggler=%g,straggler_scale=%g,straggler_len=%g,burst=%g,burst_factor=%g,burst_window=%g"
+    p.corrupt_p p.leak_p p.straggler_p p.straggler_scale p.straggler_len
+    p.burst_p p.burst_factor p.burst_window
+
+let parse s =
+  let s = String.trim s in
+  if s = "" then Ok none
+  else
+    let parts = String.split_on_char ',' s in
+    let rec go p = function
+      | [] -> Ok p
+      | part :: rest -> (
+        match String.index_opt part '=' with
+        | None -> Error (Printf.sprintf "fault profile: expected key=value, got %S" part)
+        | Some i -> (
+          let key = String.trim (String.sub part 0 i) in
+          let v = String.trim (String.sub part (i + 1) (String.length part - i - 1)) in
+          match float_of_string_opt v with
+          | None -> Error (Printf.sprintf "fault profile: bad value %S for %s" v key)
+          | Some f -> (
+            match key with
+            | "corrupt" -> go { p with corrupt_p = f } rest
+            | "leak" -> go { p with leak_p = f } rest
+            | "straggler" -> go { p with straggler_p = f } rest
+            | "straggler_scale" -> go { p with straggler_scale = f } rest
+            | "straggler_len" -> go { p with straggler_len = f } rest
+            | "burst" -> go { p with burst_p = f } rest
+            | "burst_factor" -> go { p with burst_factor = f } rest
+            | "burst_window" -> go { p with burst_window = f } rest
+            | _ -> Error (Printf.sprintf "fault profile: unknown key %S" key))))
+    in
+    go none parts
+
+(* Per-decision determinism without per-stream state: every fault
+   decision hashes (seed, salt, coordinates) into a one-shot SplitMix64
+   stream and draws once. Decisions are therefore independent of the
+   ORDER the hooks are consulted in — retries, rescheduling, or model
+   changes cannot perturb which packets a given seed corrupts. *)
+let combine seed xs =
+  List.fold_left
+    (fun h x -> (h lxor x) * 0x9E3779B97F4A7 + 0x85EBCA6B)
+    (seed * 0x2545F4914F6CDD1D)
+    xs
+
+let draw seed xs = Rng.float (Rng.create (combine seed xs))
+
+let salt_corrupt = 1
+let salt_leak = 2
+let salt_straggle = 3
+let salt_burst = 4
+
+let hooks (p : profile) ~seed : C4_model.Server.fault_hooks =
+  {
+    corrupt =
+      (fun (r : Request.t) ~now:_ ->
+        p.corrupt_p > 0.0 && draw seed [ salt_corrupt; r.id ] < p.corrupt_p);
+    leak_release =
+      (fun (r : Request.t) ~now:_ ->
+        p.leak_p > 0.0 && Request.is_write r && draw seed [ salt_leak; r.id ] < p.leak_p);
+    service_scale =
+      (fun ~worker ~now ->
+        if p.straggler_p <= 0.0 || p.straggler_len <= 0.0 then 1.0
+        else
+          (* Time is sliced into episodes of [straggler_len]; a worker
+             independently stalls for whole episodes, modelling a GC
+             pause / frequency dip rather than per-request jitter. *)
+          let slot = int_of_float (now /. p.straggler_len) in
+          if draw seed [ salt_straggle; worker; slot ] < p.straggler_p then
+            p.straggler_scale
+          else 1.0);
+  }
+
+let burstify (p : profile) ~seed trace =
+  if p.burst_p <= 0.0 || p.burst_factor <= 1.0 || p.burst_window <= 0.0 then trace
+  else begin
+    let n = Trace.length trace in
+    let reqs = Array.init n (Trace.get trace) in
+    let bursty =
+      Array.map
+        (fun (r : Request.t) ->
+          let slot = int_of_float (r.arrival /. p.burst_window) in
+          if draw seed [ salt_burst; slot ] < p.burst_p then begin
+            (* Compress the window's arrivals toward its start: same
+               requests, same order, [burst_factor]× the instantaneous
+               rate — the overload transient flow control must absorb. *)
+            let start = float_of_int slot *. p.burst_window in
+            { r with arrival = start +. ((r.arrival -. start) /. p.burst_factor) }
+          end
+          else r)
+        reqs
+    in
+    Trace.of_array bursty
+  end

@@ -1,0 +1,46 @@
+(** Deterministic fault injection for the simulated server.
+
+    A {!profile} describes WHAT can go wrong (corrupted packets,
+    straggling workers, leaked EWT releases, arrival bursts) and with
+    what intensity; a seed decides WHICH concrete requests, workers, and
+    windows are hit. Every decision hashes (seed, fault kind,
+    coordinates) into a one-shot SplitMix64 stream, so decisions are
+    independent of hook-consultation order: the same seed produces the
+    same fault schedule — and, because the simulator itself is
+    deterministic, a byte-identical run — regardless of retries or model
+    changes elsewhere. *)
+
+type profile = {
+  corrupt_p : float;  (** P(request's packet fails header parsing) *)
+  leak_p : float;  (** P(a write's EWT release is lost) *)
+  straggler_p : float;  (** P(a worker stalls in a given episode) *)
+  straggler_scale : float;  (** service multiplier while stalled *)
+  straggler_len : float;  (** ns per stall episode *)
+  burst_p : float;  (** fraction of arrival windows burst-compressed *)
+  burst_factor : float;  (** instantaneous rate multiplier in a burst *)
+  burst_window : float;  (** ns per arrival window *)
+}
+
+(** All intensities zero: injects nothing. *)
+val none : profile
+
+(** Mild chaos: 0.2 % corruption and leaks, 1 % stall episodes at 4×,
+    5 % of windows burst at 4×. *)
+val default : profile
+
+(** [parse "corrupt=0.01,leak=0.005,burst=0.1"] — keys are [corrupt],
+    [leak], [straggler], [straggler_scale], [straggler_len], [burst],
+    [burst_factor], [burst_window]; unset keys keep {!none}'s values.
+    The empty string is {!none}. *)
+val parse : string -> (profile, string) result
+
+val to_string : profile -> string
+
+(** The server-side hooks for {!C4_model.Server.config.faults}. *)
+val hooks : profile -> seed:int -> C4_model.Server.fault_hooks
+
+(** Deterministically compress arrivals inside the seed-chosen burst
+    windows (same requests, same order, earlier arrivals) — the overload
+    transient the NIC flow-control cap must absorb. Identity when the
+    profile bursts nothing. *)
+val burstify : profile -> seed:int -> C4_workload.Trace.t -> C4_workload.Trace.t

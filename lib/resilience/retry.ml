@@ -1,0 +1,133 @@
+module Rng = C4_dsim.Rng
+module Request = C4_workload.Request
+
+type config = {
+  max_attempts : int;
+  base_backoff : float;
+  max_backoff : float;
+  deadline : float;
+  budget_ratio : float;
+  budget_burst : float;
+}
+
+let default =
+  {
+    max_attempts = 4;
+    base_backoff = 2_000.0;
+    max_backoff = 64_000.0;
+    deadline = 500_000.0;
+    budget_ratio = 0.5;
+    budget_burst = 10.0;
+  }
+
+type family = { original : int; mutable attempts : int; first_arrival : float }
+
+type stats = {
+  originals_dropped : int;
+  retries : int;
+  denied_budget : int;
+  denied_deadline : int;
+  denied_attempts : int;
+}
+
+type t = {
+  cfg : config;
+  seed : int;
+  id_base : int;
+  (* request id (original or retry) -> its retry family *)
+  families : (int, family) Hashtbl.t;
+  mutable credits : float;
+  mutable originals_dropped : int;
+  mutable retries : int;
+  mutable denied_budget : int;
+  mutable denied_deadline : int;
+  mutable denied_attempts : int;
+}
+
+let create cfg ~seed ~id_base =
+  if cfg.max_attempts < 1 then invalid_arg "Retry.create: max_attempts";
+  if cfg.base_backoff < 0.0 || cfg.max_backoff < cfg.base_backoff then
+    invalid_arg "Retry.create: backoff";
+  if cfg.budget_ratio < 0.0 || cfg.budget_burst < 0.0 then
+    invalid_arg "Retry.create: budget";
+  {
+    cfg;
+    seed;
+    id_base;
+    families = Hashtbl.create 256;
+    credits = cfg.budget_burst;
+    originals_dropped = 0;
+    retries = 0;
+    denied_budget = 0;
+    denied_deadline = 0;
+    denied_attempts = 0;
+  }
+
+(* Full jitter in [0.5, 1.5), hashed from (seed, family, attempt) so the
+   backoff sequence is deterministic yet decorrelated across families —
+   seeded chaos runs replay byte-identically, but a dropped burst does
+   not re-arrive as the same synchronised burst. *)
+let jitter t ~original ~attempt =
+  let h =
+    ((t.seed * 0x2545F4914F6CDD1D) lxor (original * 0x9E3779B97F4A7) lxor attempt)
+    * 0x85EBCA6B
+  in
+  0.5 +. Rng.float (Rng.create h)
+
+let backoff t ~original ~attempt =
+  let exp = Float.min t.cfg.max_backoff (t.cfg.base_backoff *. (2.0 ** float_of_int (attempt - 1))) in
+  exp *. jitter t ~original ~attempt
+
+(* The [Model.Server.config.on_drop] hook. The retry budget is a token
+   bucket granting [budget_ratio] credits per DROPPED ORIGINAL (plus the
+   initial [budget_burst]), and each injected retry costs one credit —
+   so total retries <= burst + ratio * dropped originals no matter how
+   hard the server is failing: the retry storm cannot amplify an
+   overload unboundedly (SRE retry-budget discipline). *)
+let hook t (r : Request.t) ~now ~reason:_ =
+  let fam =
+    match Hashtbl.find_opt t.families r.id with
+    | Some fam -> fam
+    | None ->
+      let fam = { original = r.id; attempts = 1; first_arrival = r.arrival } in
+      Hashtbl.replace t.families r.id fam;
+      t.originals_dropped <- t.originals_dropped + 1;
+      t.credits <- t.credits +. t.cfg.budget_ratio;
+      fam
+  in
+  if fam.attempts >= t.cfg.max_attempts then begin
+    t.denied_attempts <- t.denied_attempts + 1;
+    None
+  end
+  else begin
+    let next_arrival = now +. backoff t ~original:fam.original ~attempt:fam.attempts in
+    if t.cfg.deadline > 0.0 && next_arrival > fam.first_arrival +. t.cfg.deadline then begin
+      t.denied_deadline <- t.denied_deadline + 1;
+      None
+    end
+    else if t.credits < 1.0 then begin
+      t.denied_budget <- t.denied_budget + 1;
+      None
+    end
+    else begin
+      t.credits <- t.credits -. 1.0;
+      t.retries <- t.retries + 1;
+      fam.attempts <- fam.attempts + 1;
+      let id = t.id_base + t.retries in
+      Hashtbl.replace t.families id fam;
+      Some { r with id; arrival = next_arrival }
+    end
+  end
+
+let stats t =
+  {
+    originals_dropped = t.originals_dropped;
+    retries = t.retries;
+    denied_budget = t.denied_budget;
+    denied_deadline = t.denied_deadline;
+    denied_attempts = t.denied_attempts;
+  }
+
+let amplification t =
+  if t.originals_dropped = 0 then 0.0
+  else float_of_int t.retries /. float_of_int t.originals_dropped

@@ -1,0 +1,55 @@
+(** Client-side retry policy: deadline, capped exponential backoff with
+    deterministic jitter, and a token-bucket retry budget.
+
+    Plugged into {!C4_model.Server.config.on_drop}: every dropped
+    request is offered back to the policy, which either re-injects it
+    (fresh id, backed-off arrival) or gives up — because its deadline
+    passed, its attempts ran out, or the budget is empty. The budget
+    grants [budget_ratio] credits per dropped original and charges one
+    per retry, so retries <= budget_burst + budget_ratio × dropped
+    originals: a failing server sees bounded amplification, never a
+    retry storm. *)
+
+type config = {
+  max_attempts : int;  (** total attempts including the original *)
+  base_backoff : float;  (** ns before the first retry *)
+  max_backoff : float;  (** backoff growth cap, ns *)
+  deadline : float;
+      (** ns after the ORIGINAL arrival by which a retry must arrive;
+          <= 0 disables the deadline *)
+  budget_ratio : float;  (** credits granted per dropped original *)
+  budget_burst : float;  (** initial credits *)
+}
+
+(** 4 attempts, 2 µs base doubling to 64 µs, 500 µs deadline,
+    0.5 retry budget with a burst of 10. *)
+val default : config
+
+type t
+
+(** [id_base] must exceed every workload request id; retries get ids
+    [id_base+1, id_base+2, ...] so traces and histograms keep original
+    and retried arrivals distinct. *)
+val create : config -> seed:int -> id_base:int -> t
+
+(** The [on_drop] hook. Deterministic in (config, seed, drop sequence). *)
+val hook :
+  t ->
+  C4_workload.Request.t ->
+  now:float ->
+  reason:C4_model.Metrics.drop_reason ->
+  C4_workload.Request.t option
+
+type stats = {
+  originals_dropped : int;
+  retries : int;  (** re-injections granted *)
+  denied_budget : int;
+  denied_deadline : int;
+  denied_attempts : int;
+}
+
+val stats : t -> stats
+
+(** retries / dropped originals; 0 when nothing dropped. By
+    construction bounded by [budget_ratio + budget_burst/originals]. *)
+val amplification : t -> float

@@ -23,6 +23,19 @@ let push t v =
   Condition.signal t.nonempty;
   Mutex.unlock t.mutex
 
+let try_push t v =
+  Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    false
+  end
+  else begin
+    Queue.push v t.queue;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.mutex;
+    true
+  end
+
 let pop t =
   Mutex.lock t.mutex;
   let rec wait () =

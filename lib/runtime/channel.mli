@@ -11,6 +11,11 @@ val create : unit -> 'a t
 (** Producer side; wakes a blocked consumer. *)
 val push : 'a t -> 'a -> unit
 
+(** Like {!push} but returns [false] instead of raising when the
+    channel is closed — the race-free building block for callers that
+    must map "closed" to their own error (e.g. the server's [Stopped]). *)
+val try_push : 'a t -> 'a -> bool
+
 (** Consumer side: block until an element is available.
     Returns [None] after {!close} once the queue drains. *)
 val pop : 'a t -> 'a option

@@ -1,16 +1,32 @@
 module Store = C4_kvs.Store
 
+exception Stopped
+
+(* Poison value used by [inject_crash]: popping it kills the worker loop
+   mid-stream, as an abrupt domain death would, except between (not
+   inside) store operations — OCaml gives us no way to kill a domain
+   mid-instruction, and the store's seqlock would be irrecoverable if we
+   could. Acknowledged writes are still the interesting invariant: an
+   ack is only sent after the store apply, so a crash never loses one. *)
+exception Crash_injected
+
 type op =
   | Get of int * bytes option Promise.t
-  | Set of int * bytes * unit Promise.t
+  | Set of int * bytes * int option * unit Promise.t
+      (** key, value, idempotency token, ack *)
+  | Crash
 
 type worker_state = {
+  id : int;
   channel : op Channel.t;
+  alive : bool Atomic.t;
+  mutable domain : unit Domain.t option;
   mutable ops : int;
   mutable writes_n : int;
   mutable batches : int;
   mutable batched_writes : int;
   mutable retries : int;
+  mutable dups : int;
 }
 
 type config = {
@@ -19,64 +35,113 @@ type config = {
   n_partitions : int;
   compaction : bool;
   max_batch : int;
+  recovery : bool;
+  monitor_interval : float;
 }
 
 let default_config =
-  { n_workers = 4; n_buckets = 4096; n_partitions = 256; compaction = true; max_batch = 64 }
+  {
+    n_workers = 4;
+    n_buckets = 4096;
+    n_partitions = 256;
+    compaction = true;
+    max_batch = 64;
+    recovery = true;
+    monitor_interval = 0.0005;
+  }
 
 type t = {
   cfg : config;
   store : Store.t;
   workers : worker_state array;
-  domains : unit Domain.t array;
+  (* partition -> owning worker. Routing state — the owner map, the
+     reader cursor, and every channel push — is guarded by [route_lock],
+     so a recovery that remaps ownership can never race a producer
+     pushing along a stale route (the classic two-writers-after-failover
+     bug). *)
+  owner_map : int array;
+  route_lock : Mutex.t;
   mutable next_reader : int;
-  reader_lock : Mutex.t;
-  mutable stopped : bool;
+  stopped : bool Atomic.t;
+  stop_lock : Mutex.t;
+  mutable monitor : unit Domain.t option;
+  mutable recoveries_n : int;
+  mutable requeued_n : int;
 }
 
-let owner_of_key t key = Store.partition_of_key t.store key mod t.cfg.n_workers
+let owner_of_key t key =
+  Mutex.lock t.route_lock;
+  let w = t.owner_map.(Store.partition_of_key t.store key) in
+  Mutex.unlock t.route_lock;
+  w
 
-let is_set_to key = function Set (k, _, _) -> k = key | Get _ -> false
+(* Only token-free writes are harvested into a compaction batch: a
+   tokened (retried) write must go through [Store.set_idempotent]'s
+   check-and-record, which a combined batched update would bypass. *)
+let is_plain_set_to key = function
+  | Set (k, _, None, _) -> k = key
+  | Set _ | Get _ | Crash -> false
 
 (* Worker loop: CREW writes for owned partitions, balanced reads, and
    the compaction fast path — pop a write, harvest every queued write to
    the same key, apply one batched update, answer all of them. *)
 let worker_loop cfg store (w : worker_state) =
+  let apply_set key value token promise =
+    (match token with
+    | None -> Store.set store ~key ~value
+    | Some token -> (
+      match Store.set_idempotent store ~key ~value ~token with
+      | `Applied -> ()
+      | `Duplicate -> w.dups <- w.dups + 1));
+    w.ops <- w.ops + 1;
+    w.writes_n <- w.writes_n + 1;
+    Promise.fulfil promise ()
+  in
   let rec loop () =
     match Channel.pop w.channel with
     | None -> ()
+    | Some Crash -> raise Crash_injected
     | Some (Get (key, promise)) ->
       let value, retries = Store.get store ~key in
       w.retries <- w.retries + retries;
       w.ops <- w.ops + 1;
       Promise.fulfil promise value;
       loop ()
-    | Some (Set (key, value, promise)) ->
+    | Some (Set (key, value, (Some _ as token), promise)) ->
+      (* Tokened writes bypass batching; see [is_plain_set_to]. *)
+      apply_set key value token promise;
+      loop ()
+    | Some (Set (key, value, None, promise)) ->
       if cfg.compaction then begin
-        let dependents = Channel.drain_matching w.channel ~f:(is_set_to key) in
+        let dependents = Channel.drain_matching w.channel ~f:(is_plain_set_to key) in
         let dependents =
           if List.length dependents > cfg.max_batch - 1 then begin
             (* Put the overflow back in order; rare, but the window must
-               stay bounded. *)
-            let keep, overflow =
-              List.filteri (fun i _ -> i < cfg.max_batch - 1) dependents,
+               stay bounded. If the channel closed under us (shutdown),
+               fold the stragglers into this batch instead of losing
+               their promises. *)
+            let keep =
+              List.filteri (fun i _ -> i < cfg.max_batch - 1) dependents
+            and overflow =
               List.filteri (fun i _ -> i >= cfg.max_batch - 1) dependents
             in
-            List.iter (Channel.push w.channel) overflow;
-            keep
+            let orphaned =
+              List.filter (fun op -> not (Channel.try_push w.channel op)) overflow
+            in
+            keep @ orphaned
           end
           else dependents
         in
         match dependents with
         | [] ->
-          Store.set store ~key ~value;
-          w.ops <- w.ops + 1;
-          w.writes_n <- w.writes_n + 1;
-          Promise.fulfil promise ();
+          apply_set key value None promise;
           loop ()
         | _ :: _ ->
           let values =
-            value :: List.map (function Set (_, v, _) -> v | Get _ -> assert false) dependents
+            value
+            :: List.map
+                 (function Set (_, v, _, _) -> v | Get _ | Crash -> assert false)
+                 dependents
           in
           Store.set_batched store ~key ~values;
           let n = List.length values in
@@ -88,79 +153,211 @@ let worker_loop cfg store (w : worker_state) =
              combined update hit the store. *)
           Promise.fulfil promise ();
           List.iter
-            (function Set (_, _, p) -> Promise.fulfil p () | Get _ -> assert false)
+            (function
+              | Set (_, _, _, p) -> Promise.fulfil p () | Get _ | Crash -> assert false)
             dependents;
           loop ()
       end
       else begin
-        Store.set store ~key ~value;
-        w.ops <- w.ops + 1;
-        w.writes_n <- w.writes_n + 1;
-        Promise.fulfil promise ();
+        apply_set key value None promise;
         loop ()
       end
   in
   loop ()
+
+(* Run [worker_loop] and always publish death through [alive] — the
+   signal the monitor (crash) and [stop] (clean exit, ignored because
+   [stopped] is set first) both read. *)
+let run_worker cfg store (w : worker_state) () =
+  (try worker_loop cfg store w with Crash_injected -> ());
+  Atomic.set w.alive false
+
+let spawn_worker t w =
+  Atomic.set w.alive true;
+  w.domain <- Some (Domain.spawn (run_worker t.cfg t.store w))
+
+(* ---------------- crash recovery ---------------- *)
+
+(* Called by the monitor with [route_lock] HELD and producers therefore
+   blocked. Ordering: join the corpse (so the old writer provably runs
+   no more store operations), remap its partitions to a survivor, drain
+   its backlog, restart it, then requeue the backlog along the new
+   routes. Ownership stays with the survivor — handing partitions back
+   would reopen the stale-route window; the restarted worker rejoins as
+   read capacity and as a future failover target. *)
+let recover_locked t (w : worker_state) =
+  (match w.domain with Some d -> Domain.join d | None -> ());
+  w.domain <- None;
+  let survivor =
+    let rec find i =
+      if i >= t.cfg.n_workers then w.id
+      else if i <> w.id && Atomic.get t.workers.(i).alive then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  Array.iteri (fun p owner -> if owner = w.id then t.owner_map.(p) <- survivor) t.owner_map;
+  let backlog = Channel.drain_matching w.channel ~f:(fun _ -> true) in
+  spawn_worker t w;
+  List.iter
+    (fun op ->
+      match op with
+      | Crash ->
+        (* A queued crash targeted the worker that already died; do not
+           let it chase the backlog onto the survivor. *)
+        ()
+      | Get _ ->
+        ignore (Channel.try_push t.workers.(survivor).channel op);
+        t.requeued_n <- t.requeued_n + 1
+      | Set (key, _, _, _) ->
+        let dst = t.owner_map.(Store.partition_of_key t.store key) in
+        ignore (Channel.try_push t.workers.(dst).channel op);
+        t.requeued_n <- t.requeued_n + 1)
+    backlog;
+  t.recoveries_n <- t.recoveries_n + 1
+
+let rec monitor_loop t =
+  if not (Atomic.get t.stopped) then begin
+    Array.iter
+      (fun w ->
+        if not (Atomic.get w.alive) then begin
+          Mutex.lock t.route_lock;
+          (* Re-check under the lock: [stop] may have won the race, in
+             which case it owns the backlog (see [stop]'s final drain). *)
+          if (not (Atomic.get t.stopped)) && not (Atomic.get w.alive) then
+            recover_locked t w;
+          Mutex.unlock t.route_lock
+        end)
+      t.workers;
+    Unix.sleepf t.cfg.monitor_interval;
+    monitor_loop t
+  end
+
+(* ---------------- lifecycle ---------------- *)
 
 let start cfg =
   if cfg.n_workers < 1 then invalid_arg "Server.start: n_workers";
   if cfg.max_batch < 1 then invalid_arg "Server.start: max_batch";
   let store = Store.create ~n_buckets:cfg.n_buckets ~n_partitions:cfg.n_partitions () in
   let workers =
-    Array.init cfg.n_workers (fun _ ->
+    Array.init cfg.n_workers (fun id ->
         {
+          id;
           channel = Channel.create ();
+          alive = Atomic.make false;
+          domain = None;
           ops = 0;
           writes_n = 0;
           batches = 0;
           batched_writes = 0;
           retries = 0;
+          dups = 0;
         })
   in
-  let domains =
-    Array.map (fun w -> Domain.spawn (fun () -> worker_loop cfg store w)) workers
+  let t =
+    {
+      cfg;
+      store;
+      workers;
+      owner_map = Array.init cfg.n_partitions (fun p -> p mod cfg.n_workers);
+      route_lock = Mutex.create ();
+      next_reader = 0;
+      stopped = Atomic.make false;
+      stop_lock = Mutex.create ();
+      monitor = None;
+      recoveries_n = 0;
+      requeued_n = 0;
+    }
   in
-  {
-    cfg;
-    store;
-    workers;
-    domains;
-    next_reader = 0;
-    reader_lock = Mutex.create ();
-    stopped = false;
-  }
+  Array.iter (fun w -> spawn_worker t w) workers;
+  if cfg.recovery then t.monitor <- Some (Domain.spawn (fun () -> monitor_loop t));
+  t
 
-let submit t ~worker op =
-  if t.stopped then invalid_arg "Server: stopped";
-  Channel.push t.workers.(worker).channel op
+(* Route + push as one atomic step under [route_lock]. [try_push] maps a
+   closed channel (stop won the race) to [Stopped] rather than a raw
+   [Invalid_argument] escaping from the channel layer. *)
+let submit_routed t pick op =
+  Mutex.lock t.route_lock;
+  let ok =
+    (not (Atomic.get t.stopped))
+    && Channel.try_push t.workers.(pick t).channel op
+  in
+  Mutex.unlock t.route_lock;
+  if not ok then raise Stopped
 
+let pick_owner key t = t.owner_map.(Store.partition_of_key t.store key)
+
+(* Round-robin over live workers; if none is live (every worker crashed
+   at once, pre-recovery) any channel works — the monitor requeues. *)
 let pick_reader t =
-  Mutex.lock t.reader_lock;
-  let r = t.next_reader in
-  t.next_reader <- (r + 1) mod t.cfg.n_workers;
-  Mutex.unlock t.reader_lock;
+  let n = t.cfg.n_workers in
+  let rec find i tries =
+    if tries = 0 then i
+    else if Atomic.get t.workers.(i).alive then i
+    else find ((i + 1) mod n) (tries - 1)
+  in
+  let r = find t.next_reader n in
+  t.next_reader <- (r + 1) mod n;
   r
 
 let get_async t ~key =
   let promise = Promise.create () in
-  submit t ~worker:(pick_reader t) (Get (key, promise));
+  submit_routed t pick_reader (Get (key, promise));
   promise
 
-let set_async t ~key ~value =
+let set_async ?token t ~key ~value =
   let promise = Promise.create () in
   (* CREW: the partition owner is the only worker that ever writes it. *)
-  submit t ~worker:(owner_of_key t key) (Set (key, value, promise));
+  submit_routed t (pick_owner key) (Set (key, value, token, promise));
   promise
 
 let get t ~key = Promise.await (get_async t ~key)
 let set t ~key ~value = Promise.await (set_async t ~key ~value)
 
+let inject_crash t ~worker =
+  if worker < 0 || worker >= t.cfg.n_workers then invalid_arg "Server.inject_crash";
+  submit_routed t (fun _ -> worker) Crash
+
+(* Apply an op inline — only used by [stop] once every domain is joined,
+   so the single remaining thread trivially satisfies CREW. *)
+let apply_directly t = function
+  | Crash -> ()
+  | Get (key, p) -> Promise.fulfil p (fst (Store.get t.store ~key))
+  | Set (key, value, None, p) ->
+    Store.set t.store ~key ~value;
+    Promise.fulfil p ()
+  | Set (key, value, Some token, p) ->
+    ignore (Store.set_idempotent t.store ~key ~value ~token);
+    Promise.fulfil p ()
+
 let stop t =
-  if not t.stopped then begin
-    t.stopped <- true;
+  (* [stop_lock] serialises concurrent stops end-to-end: the loser
+     blocks until the winner has fully shut down, then returns. *)
+  Mutex.lock t.stop_lock;
+  if not (Atomic.get t.stopped) then begin
+    Atomic.set t.stopped true;
+    (* Taking route_lock serialises with any in-flight recovery, so the
+       domain handles we join below are final. *)
+    Mutex.lock t.route_lock;
     Array.iter (fun w -> Channel.close w.channel) t.workers;
-    Array.iter Domain.join t.domains
-  end
+    Mutex.unlock t.route_lock;
+    Array.iter
+      (fun w -> match w.domain with Some d -> Domain.join d | None -> ())
+      t.workers;
+    (match t.monitor with Some d -> Domain.join d | None -> ());
+    t.monitor <- None;
+    (* A worker that crashed in the stop window leaves a backlog the
+       monitor never got to requeue. Every promise issued before [stop]
+       must still resolve, so apply the leftovers here. *)
+    Array.iter
+      (fun w ->
+        List.iter (apply_directly t)
+          (Channel.drain_matching w.channel ~f:(fun _ -> true)))
+      t.workers
+  end;
+  Mutex.unlock t.stop_lock
+
+(* ---------------- stats ---------------- *)
 
 type stats = {
   ops_completed : int;
@@ -169,10 +366,16 @@ type stats = {
   batched_writes : int;
   read_retries : int;
   per_worker_ops : int array;
+  recoveries : int;
+  requeued_ops : int;
+  duplicate_writes : int;
 }
 
 let stats t =
   let sum f = Array.fold_left (fun acc w -> acc + f w) 0 t.workers in
+  Mutex.lock t.route_lock;
+  let recoveries = t.recoveries_n and requeued_ops = t.requeued_n in
+  Mutex.unlock t.route_lock;
   {
     ops_completed = sum (fun w -> w.ops);
     writes = sum (fun w -> w.writes_n);
@@ -180,4 +383,10 @@ let stats t =
     batched_writes = sum (fun w -> w.batched_writes);
     read_retries = sum (fun w -> w.retries);
     per_worker_ops = Array.map (fun w -> w.ops) t.workers;
+    recoveries;
+    requeued_ops;
+    duplicate_writes = sum (fun w -> w.dups);
   }
+
+let alive_workers t =
+  Array.fold_left (fun acc w -> if Atomic.get w.alive then acc + 1 else acc) 0 t.workers

@@ -1,5 +1,6 @@
 (** A real, multicore in-process KVS server: worker domains serving the
-    {!C4_kvs.Store} under CREW dispatch, with optional write compaction.
+    {!C4_kvs.Store} under CREW dispatch, with optional write compaction
+    and crash recovery.
 
     This is the runnable counterpart of the simulated server model —
     the same concurrency-control rules executed by actual domains with
@@ -8,13 +9,21 @@
     - writes are routed to the partition's owner worker (CREW), so the
       store's per-partition seqlocks never see two writers — the
       invariant the NIC enforces in C-4;
-    - reads are sprayed across workers round-robin and run the seqlock's
-      optimistic protocol against concurrent in-place updates;
+    - reads are sprayed across live workers round-robin and run the
+      seqlock's optimistic protocol against concurrent in-place updates;
     - with compaction enabled, a worker that pops a write drains every
       queued write to the same key from its channel (the dependent-write
       harvest), applies ONE batched update, and only then answers all of
       them — C-4's deferred-response rule, so recorded histories remain
-      linearizable, which the test suite verifies on real executions.
+      linearizable, which the test suite verifies on real executions;
+    - writes may carry an idempotency token: a retried write whose first
+      attempt was applied (only the ack was lost) is detected in the
+      store and NOT applied twice;
+    - a monitor domain watches for worker death (see {!inject_crash}):
+      on a crash it re-owns the dead worker's partitions on a survivor,
+      requeues the dead channel's backlog along the new routes, and
+      restarts the worker — no acknowledged write is lost, and the
+      recorded history stays linearizable.
 
     On a many-core machine this is a usable (if minimal) concurrent KVS;
     on a single core it still exercises every synchronisation path via
@@ -22,17 +31,24 @@
 
 type t
 
+(** Raised by every operation once {!stop} has begun (or won the race
+    against an in-flight submission). Distinct from the store/channel
+    [Invalid_argument]s so callers can retry-or-abandon cleanly. *)
+exception Stopped
+
 type config = {
   n_workers : int;
   n_buckets : int;
   n_partitions : int;
   compaction : bool;
   max_batch : int;  (** cap on writes compacted into one batched update *)
+  recovery : bool;  (** run the crash-monitor domain (default true) *)
+  monitor_interval : float;  (** seconds between monitor sweeps *)
 }
 
 val default_config : config
 
-(** Start the worker domains. *)
+(** Start the worker domains (plus the monitor when [recovery]). *)
 val start : config -> t
 
 (** Blocking operations (thread-safe, callable from any domain). *)
@@ -40,13 +56,25 @@ val get : t -> key:int -> bytes option
 
 val set : t -> key:int -> value:bytes -> unit
 
-(** Nonblocking variants returning promises. *)
+(** Nonblocking variants returning promises. [token] is an idempotency
+    key: two sets carrying the same token apply at most once — pass the
+    same token on a client retry and the duplicate is suppressed. *)
 val get_async : t -> key:int -> bytes option Promise.t
 
-val set_async : t -> key:int -> value:bytes -> unit Promise.t
+val set_async : ?token:int -> t -> key:int -> value:bytes -> unit Promise.t
 
-(** Drain queues, join the domains. Idempotent. Operations submitted
-    after [stop] raise. *)
+(** Simulated fail-stop of one worker domain: the worker dies between
+    operations (never mid-write — acks are sent only after the store
+    apply, so acknowledged writes survive by construction) and the
+    monitor recovers as described above. *)
+val inject_crash : t -> worker:int -> unit
+
+(** Drain queues, join the domains. Idempotent, and safe to race with
+    in-flight operations: every promise issued before [stop] resolves
+    (including the backlog of a worker that crashed in the stop window,
+    which [stop] applies itself), and operations arriving after raise
+    {!Stopped}. Concurrent [stop]s serialise; the loser returns after
+    shutdown completes. *)
 val stop : t -> unit
 
 type stats = {
@@ -56,10 +84,16 @@ type stats = {
   batched_writes : int;  (** writes answered from a batch *)
   read_retries : int;  (** seqlock retries observed by readers *)
   per_worker_ops : int array;
+  recoveries : int;  (** worker crashes recovered *)
+  requeued_ops : int;  (** backlog ops requeued by recoveries *)
+  duplicate_writes : int;  (** tokened writes suppressed as duplicates *)
 }
 
 val stats : t -> stats
 
+(** Workers currently marked alive (exposed for tests). *)
+val alive_workers : t -> int
+
 (** The worker that owns a key's partition (CREW routing; exposed for
-    tests). *)
+    tests). After a recovery this reflects the re-owned map. *)
 val owner_of_key : t -> int -> int

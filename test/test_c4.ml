@@ -23,6 +23,7 @@ let () =
       ("facade", Test_c4_facade.tests);
       ("integration", Test_integration.tests);
       ("runtime", Test_runtime.tests);
+      ("resilience", Test_resilience.tests);
       ("analysis", Test_analysis.tests);
       ("cluster", Test_cluster.tests);
       ("extensions", Test_extensions.tests);

@@ -199,9 +199,49 @@ let test_flow_control () =
   Alcotest.(check (float 1e-9)) "drop rate" (1.0 /. 4.0) (Flow.drop_rate f)
 
 let test_flow_release_underflow () =
+  (* An unmatched release (response for a request dropped elsewhere, or a
+     duplicated completion) must not wedge the NIC: in-flight clamps at
+     zero and the anomaly is counted instead of raised. *)
   let f = Flow.create ~max_outstanding:1 in
-  Alcotest.check_raises "underflow"
-    (Invalid_argument "Flow_control.release: nothing in flight") (fun () -> Flow.release f)
+  Flow.release f;
+  Alcotest.(check int) "clamped at zero" 0 (Flow.in_flight f);
+  Alcotest.(check int) "counted" 1 (Flow.unmatched_releases f);
+  Alcotest.(check bool) "still admits" true (Flow.admit f);
+  Flow.release f;
+  Alcotest.(check int) "matched release not counted" 1 (Flow.unmatched_releases f);
+  Flow.release f;
+  Alcotest.(check int) "second unmatched counted" 2 (Flow.unmatched_releases f);
+  Alcotest.(check bool) "capacity intact after anomalies" true (Flow.admit f)
+
+(* ---------------- EWT staleness ---------------- *)
+
+let test_ewt_stale_expiry () =
+  let e = Ewt.create () in
+  ignore (Ewt.note_write ~now:0.0 e ~partition:1 ~thread:0);
+  ignore (Ewt.note_write ~now:50.0 e ~partition:2 ~thread:1);
+  (* Partition 1's release leaks; partition 2 stays fresh via a later
+     write. The sweep reclaims only the stale entry. *)
+  ignore (Ewt.note_write ~now:900.0 e ~partition:2 ~thread:1);
+  let evicted = Ewt.expire_stale e ~now:1000.0 ~ttl:500.0 in
+  Alcotest.(check int) "one stale entry evicted" 1 evicted;
+  Alcotest.(check (option int)) "leaked mapping reclaimed" None (Ewt.lookup e ~partition:1);
+  Alcotest.(check (option int)) "fresh mapping survives" (Some 1) (Ewt.lookup e ~partition:2);
+  Alcotest.(check int) "evictions counted" 1 (Ewt.stale_evictions e);
+  Alcotest.check_raises "ttl must be positive"
+    (Invalid_argument "Ewt.expire_stale: ttl must be positive") (fun () ->
+      ignore (Ewt.expire_stale e ~now:0.0 ~ttl:0.0))
+
+let test_ewt_orphan_release () =
+  let e = Ewt.create () in
+  ignore (Ewt.note_write ~now:0.0 e ~partition:7 ~thread:2);
+  ignore (Ewt.expire_stale e ~now:1000.0 ~ttl:100.0);
+  (* The response of the write whose entry was swept arrives late: the
+     tolerant release reports the orphan instead of raising. *)
+  Alcotest.(check bool) "orphan tolerated" false (Ewt.try_note_response e ~partition:7);
+  Alcotest.(check int) "orphan counted" 1 (Ewt.orphan_releases e);
+  ignore (Ewt.note_write ~now:2000.0 e ~partition:7 ~thread:2);
+  Alcotest.(check bool) "matched release works" true (Ewt.try_note_response e ~partition:7);
+  Alcotest.(check (option int)) "freed at zero" None (Ewt.lookup e ~partition:7)
 
 (* ---------------- RPC ---------------- *)
 
@@ -290,6 +330,8 @@ let tests =
     QCheck_alcotest.to_alcotest prop_header_roundtrip;
     Alcotest.test_case "flow control admit/reject/release" `Quick test_flow_control;
     Alcotest.test_case "flow control underflow" `Quick test_flow_release_underflow;
+    Alcotest.test_case "EWT stale entries expire" `Quick test_ewt_stale_expiry;
+    Alcotest.test_case "EWT orphan release tolerated" `Quick test_ewt_orphan_release;
     Alcotest.test_case "rpc deliver + poll" `Quick test_rpc_deliver_poll;
     Alcotest.test_case "rpc buffer pool accounting" `Quick test_rpc_buffer_exhaustion;
     Alcotest.test_case "rpc double completion detected" `Quick test_rpc_double_completion;

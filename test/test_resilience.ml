@@ -1,0 +1,249 @@
+(* Resilience-layer tests: determinism of the seeded fault schedules
+   (the property that makes a chaos failure reproducible), the retry
+   budget's amplification bound, profile parsing, and the defences —
+   shedding and EWT staleness sweeps — actually engaging. *)
+
+module Server = C4_model.Server
+module Metrics = C4_model.Metrics
+module Fault = C4_resilience.Fault
+module Retry = C4_resilience.Retry
+module Chaos = C4_resilience.Chaos
+module Trace = C4_obs.Trace
+
+let workload =
+  {
+    C4_workload.Generator.default with
+    n_keys = 20_000;
+    n_partitions = 512;
+    theta = 0.99;
+    write_fraction = 0.3;
+    rate = 0.02;
+  }
+
+let server = { Server.default_config with Server.n_workers = 8; seed = 3 }
+
+let profile =
+  { Fault.default with Fault.corrupt_p = 0.01; leak_p = 0.01; burst_p = 0.2 }
+
+(* One comparable fingerprint of a run: every externally observable
+   count and aggregate. Two same-seed runs must produce equal ones. *)
+let fingerprint (r : Chaos.report) =
+  let m = r.result.Server.metrics in
+  let reason re = Metrics.drops_by_reason m ~reason:re in
+  ( ( Metrics.completed m,
+      Metrics.drops m,
+      reason Metrics.Queue_full,
+      reason Metrics.Ewt_exhausted,
+      reason Metrics.Bad_packet,
+      reason Metrics.Shed ),
+    ( r.result.Server.retries_injected,
+      (match r.retry with Some s -> (s.Retry.retries, s.Retry.originals_dropped) | None -> (0, 0)),
+      Metrics.p99 m,
+      Metrics.throughput_mrps m ) )
+
+let run_once ?(fault_seed = 42) ?(retry = Retry.default) ?tracer () =
+  let server =
+    match tracer with None -> server | Some t -> { server with Server.trace = t }
+  in
+  Chaos.run ~retry ~server ~workload ~n_requests:4_000 ~profile ~fault_seed ()
+
+(* Property: for 20 fault seeds, two runs of the same seed agree on
+   every drop count, retry count, and latency aggregate. *)
+let test_chaos_deterministic () =
+  let rng = C4_dsim.Rng.create 99 in
+  for _ = 1 to 20 do
+    let fault_seed = C4_dsim.Rng.int rng 1_000_000 in
+    let a = run_once ~fault_seed () and b = run_once ~fault_seed () in
+    if fingerprint a <> fingerprint b then
+      Alcotest.failf "fault seed %d not deterministic" fault_seed
+  done;
+  (* And different seeds genuinely produce different schedules. *)
+  let a = run_once ~fault_seed:1 () and b = run_once ~fault_seed:2 () in
+  Alcotest.(check bool) "seeds differ => schedules differ" true
+    (fingerprint a <> fingerprint b)
+
+(* Same seed, collecting tracers: the exported Chrome traces must be
+   byte-identical — determinism down to every span and instant event. *)
+let test_chaos_trace_byte_identical () =
+  let t1 = Trace.create () and t2 = Trace.create () in
+  ignore (run_once ~fault_seed:7 ~tracer:t1 ());
+  ignore (run_once ~fault_seed:7 ~tracer:t2 ());
+  let s1 = C4_obs.Chrome.to_string t1 and s2 = C4_obs.Chrome.to_string t2 in
+  Alcotest.(check bool) "trace non-trivial" true (String.length s1 > 1_000);
+  Alcotest.(check bool) "byte-identical obs trace" true (String.equal s1 s2)
+
+(* The retry bucket's hard bound: retries <= burst + ratio * dropped
+   originals, for every seed, including overload where drops explode. *)
+let test_retry_budget_bound () =
+  let overload =
+    { workload with C4_workload.Generator.rate = 0.08 (* ~4x capacity *) }
+  in
+  let retry = { Retry.default with Retry.budget_ratio = 0.3; budget_burst = 5.0 } in
+  let rng = C4_dsim.Rng.create 1234 in
+  for _ = 1 to 5 do
+    let fault_seed = C4_dsim.Rng.int rng 1_000_000 in
+    let r =
+      Chaos.run ~retry ~server ~workload:overload ~n_requests:6_000 ~profile
+        ~fault_seed ()
+    in
+    match r.retry with
+    | None -> Alcotest.fail "retry stats missing"
+    | Some s ->
+      let bound =
+        5.0 +. (0.3 *. float_of_int s.Retry.originals_dropped) +. 1e-9
+      in
+      if float_of_int s.Retry.retries > bound then
+        Alcotest.failf "seed %d: %d retries exceed budget bound %.1f" fault_seed
+          s.Retry.retries bound;
+      Alcotest.(check bool) "budget actually binds under overload" true
+        (s.Retry.denied_budget > 0)
+  done
+
+let test_retry_deadline_and_attempts () =
+  let r = { C4_workload.Request.id = 1; op = C4_workload.Request.Write; key = 1;
+            partition = 1; arrival = 0.0; value_size = 64 } in
+  (* max_attempts = 1: the original was the only permitted attempt. *)
+  let t = Retry.create { Retry.default with Retry.max_attempts = 1 } ~seed:5 ~id_base:100 in
+  Alcotest.(check bool) "attempts exhausted" true
+    (Retry.hook t r ~now:10.0 ~reason:Metrics.Queue_full = None);
+  Alcotest.(check int) "denied_attempts" 1 (Retry.stats t).Retry.denied_attempts;
+  (* Tight deadline: the backed-off re-arrival would land too late. *)
+  let t =
+    Retry.create { Retry.default with Retry.deadline = 1.0; base_backoff = 100.0 }
+      ~seed:5 ~id_base:100
+  in
+  Alcotest.(check bool) "deadline exceeded" true
+    (Retry.hook t r ~now:10.0 ~reason:Metrics.Queue_full = None);
+  Alcotest.(check int) "denied_deadline" 1 (Retry.stats t).Retry.denied_deadline;
+  (* Permissive policy: the retry is granted, backed off, fresh id. *)
+  let t = Retry.create Retry.default ~seed:5 ~id_base:100 in
+  (match Retry.hook t r ~now:10.0 ~reason:Metrics.Queue_full with
+  | None -> Alcotest.fail "retry should be granted"
+  | Some retry ->
+    Alcotest.(check int) "fresh id above id_base" 101 retry.C4_workload.Request.id;
+    Alcotest.(check bool) "arrival backed off" true
+      (retry.C4_workload.Request.arrival > 10.0);
+    (* base_backoff 2000 ns with jitter in [0.5, 1.5). *)
+    let delay = retry.C4_workload.Request.arrival -. 10.0 in
+    Alcotest.(check bool) "backoff within jitter bounds" true
+      (delay >= 1_000.0 && delay < 3_000.0));
+  Alcotest.(check int) "retry counted" 1 (Retry.stats t).Retry.retries
+
+let test_profile_parse () =
+  (match Fault.parse "corrupt=0.5,burst=0.25,burst_factor=8" with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+    Alcotest.(check (float 1e-9)) "corrupt" 0.5 p.Fault.corrupt_p;
+    Alcotest.(check (float 1e-9)) "burst" 0.25 p.Fault.burst_p;
+    Alcotest.(check (float 1e-9)) "burst_factor" 8.0 p.Fault.burst_factor;
+    Alcotest.(check (float 1e-9)) "unset keys stay neutral" 0.0 p.Fault.leak_p);
+  (match Fault.parse (Fault.to_string Fault.default) with
+  | Error e -> Alcotest.fail e
+  | Ok p -> Alcotest.(check bool) "round-trips" true (p = Fault.default));
+  Alcotest.(check bool) "empty = none" true (Fault.parse "" = Ok Fault.none);
+  Alcotest.(check bool) "unknown key rejected" true
+    (Result.is_error (Fault.parse "warp=0.1"));
+  Alcotest.(check bool) "bad value rejected" true
+    (Result.is_error (Fault.parse "corrupt=lots"))
+
+let test_burstify () =
+  let gen = C4_workload.Generator.create workload ~seed:77 in
+  let trace = C4_workload.Trace.record gen ~n:2_000 in
+  let bursty =
+    Fault.burstify { Fault.none with Fault.burst_p = 1.0; burst_factor = 4.0 }
+      ~seed:3 trace
+  in
+  Alcotest.(check int) "same length" (C4_workload.Trace.length trace)
+    (C4_workload.Trace.length bursty);
+  let compressed = ref 0 in
+  let prev = ref neg_infinity in
+  for i = 0 to C4_workload.Trace.length bursty - 1 do
+    let orig = C4_workload.Trace.get trace i
+    and b = C4_workload.Trace.get bursty i in
+    Alcotest.(check int) "ids preserved" orig.C4_workload.Request.id
+      b.C4_workload.Request.id;
+    if b.C4_workload.Request.arrival < orig.C4_workload.Request.arrival then
+      incr compressed;
+    if b.C4_workload.Request.arrival < !prev then
+      Alcotest.failf "arrivals not monotone at %d" i;
+    prev := b.C4_workload.Request.arrival
+  done;
+  Alcotest.(check bool) "arrivals actually compressed" true (!compressed > 0);
+  (* burst_p = 0 is the identity. *)
+  let same = Fault.burstify Fault.none ~seed:3 trace in
+  Alcotest.(check bool) "none profile is identity" true (same == trace)
+
+(* Fault decisions hash (seed, coordinates): consulting them in any
+   order, any number of times, gives the same verdicts. *)
+let test_hooks_order_independent () =
+  let hooks = Fault.hooks { Fault.default with Fault.corrupt_p = 0.3 } ~seed:11 in
+  let req id =
+    { C4_workload.Request.id; op = C4_workload.Request.Read; key = id;
+      partition = 0; arrival = 0.0; value_size = 64 }
+  in
+  let forward = List.init 100 (fun id -> hooks.Server.corrupt (req id) ~now:0.0) in
+  let backward =
+    List.rev (List.init 100 (fun i -> hooks.Server.corrupt (req (99 - i)) ~now:0.0))
+  in
+  Alcotest.(check (list bool)) "order-independent decisions" forward backward;
+  Alcotest.(check bool) "some corrupted at p=0.3" true (List.mem true forward);
+  Alcotest.(check bool) "not all corrupted" true (List.mem false forward)
+
+(* Overload + shedding: the server sheds (reporting Shed drops) and the
+   shed drops protect latency relative to letting queues fill. *)
+let test_shedding_engages () =
+  let overload =
+    { workload with C4_workload.Generator.rate = 0.08 }
+  in
+  let shed_server = { server with Server.shed = Some Server.default_shed } in
+  let r =
+    Chaos.run ~server:shed_server ~workload:overload ~n_requests:8_000
+      ~profile:Fault.none ~fault_seed:1 ()
+  in
+  let m = r.result.Server.metrics in
+  Alcotest.(check bool) "shed drops recorded" true
+    (Metrics.drops_by_reason m ~reason:Metrics.Shed > 0)
+
+(* d-CREW + leaked releases: without a TTL the EWT silts up with leaked
+   entries; the staleness sweep reclaims them. *)
+let test_ewt_ttl_reclaims_leaks () =
+  let dcrew =
+    {
+      server with
+      Server.policy = C4_model.Policy.Dcrew;
+      ewt_ttl = Some { Server.ttl = 100_000.0; sweep_interval = 25_000.0 };
+    }
+  in
+  let registry = C4_obs.Registry.create () in
+  let leaky = { Fault.none with Fault.leak_p = 0.5 } in
+  let wi = { workload with C4_workload.Generator.write_fraction = 0.8 } in
+  let _r =
+    Chaos.run ~server:{ dcrew with Server.registry = Some registry } ~workload:wi
+      ~n_requests:8_000 ~profile:leaky ~fault_seed:9 ()
+  in
+  let counter name =
+    match C4_obs.Registry.read registry name with
+    | Some v -> v
+    | None -> Alcotest.failf "metric %s not registered" name
+  in
+  Alcotest.(check bool) "leaks injected" true (counter "fault.ewt_leak" > 0.0);
+  Alcotest.(check bool) "stale sweep reclaimed leaked entries" true
+    (counter "ewt.stale_evict" > 0.0)
+
+let tests =
+  [
+    Alcotest.test_case "20 seeds: same seed, same run" `Slow test_chaos_deterministic;
+    Alcotest.test_case "same seed, byte-identical obs trace" `Quick
+      test_chaos_trace_byte_identical;
+    Alcotest.test_case "retry budget bounds amplification" `Slow test_retry_budget_bound;
+    Alcotest.test_case "retry deadline/attempts/backoff" `Quick
+      test_retry_deadline_and_attempts;
+    Alcotest.test_case "fault profile parsing" `Quick test_profile_parse;
+    Alcotest.test_case "burstify keeps order, compresses arrivals" `Quick test_burstify;
+    Alcotest.test_case "fault hooks are order-independent" `Quick
+      test_hooks_order_independent;
+    Alcotest.test_case "load shedding engages under overload" `Quick
+      test_shedding_engages;
+    Alcotest.test_case "EWT TTL reclaims leaked entries" `Quick
+      test_ewt_ttl_reclaims_leaks;
+  ]

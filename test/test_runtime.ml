@@ -116,8 +116,48 @@ let test_server_stop_idempotent () =
   let t = Server.start Server.default_config in
   Server.stop t;
   Server.stop t;
-  Alcotest.(check bool) "post-stop submit raises" true
-    (try ignore (Server.get t ~key:1); false with Invalid_argument _ -> true)
+  Alcotest.check_raises "post-stop get raises Stopped" Server.Stopped (fun () ->
+      ignore (Server.get t ~key:1));
+  Alcotest.check_raises "post-stop set raises Stopped" Server.Stopped (fun () ->
+      Server.set t ~key:1 ~value:(Bytes.of_string "x"))
+
+(* Regression: [stop] racing in-flight submissions and a concurrent
+   second [stop]. Every submission either returns a promise that
+   resolves (it beat the stop) or raises [Stopped] — never a raw
+   channel/store error, never a hung promise. *)
+let test_server_stop_race () =
+  for round = 0 to 4 do
+    let t = Server.start { Server.default_config with Server.n_workers = 3 } in
+    let resolved = Atomic.make 0 and rejected = Atomic.make 0 in
+    let clients =
+      List.init 4 (fun c ->
+          Domain.spawn (fun () ->
+              (try
+                 for i = 0 to 499 do
+                   let p =
+                     Server.set_async t ~key:((c * 1000) + i)
+                       ~value:(Bytes.of_string (string_of_int i))
+                   in
+                   (* A promise handed out before stop MUST resolve. *)
+                   Promise.await p;
+                   Atomic.incr resolved
+                 done
+               with Server.Stopped -> Atomic.incr rejected);
+              (* Everything after stop must keep raising Stopped. *)
+              match Server.get_async t ~key:0 with
+              | _ -> ()
+              | exception Server.Stopped -> ()))
+    in
+    (* Let the clients get going, then yank the server from under them
+       while a second stop races the first. *)
+    Unix.sleepf (0.001 *. float_of_int round);
+    let stopper = Domain.spawn (fun () -> Server.stop t) in
+    Server.stop t;
+    Domain.join stopper;
+    List.iter Domain.join clients;
+    Alcotest.(check bool) "some submissions observed" true
+      (Atomic.get resolved + Atomic.get rejected > 0)
+  done
 
 let test_server_crew_routing () =
   with_server (fun t ->
@@ -191,6 +231,159 @@ let test_server_concurrent_load () =
       Alcotest.(check int) "every op completed" (n_clients * per_client)
         stats.Server.ops_completed)
 
+(* Concurrent producers race [close] and [drain_matching]: every element
+   a producer successfully pushed must surface exactly once — via
+   drain, pop, or the post-close backlog — with none half-drained. *)
+let test_channel_drain_close_race () =
+  for _round = 0 to 2 do
+    let c = Channel.create () in
+    let n_producers = 4 and per_producer = 2_000 in
+    let accepted = Array.make n_producers 0 in
+    let producers =
+      List.init n_producers (fun p ->
+          Domain.spawn (fun () ->
+              for i = 0 to per_producer - 1 do
+                if Channel.try_push c ((p * per_producer) + i) then
+                  accepted.(p) <- accepted.(p) + 1
+              done))
+    in
+    let seen = Hashtbl.create 1024 in
+    let account v =
+      if Hashtbl.mem seen v then Alcotest.failf "element %d seen twice" v;
+      Hashtbl.replace seen v ()
+    in
+    let drainer =
+      Domain.spawn (fun () ->
+          let drained = ref [] in
+          for _ = 0 to 99 do
+            drained := Channel.drain_matching c ~f:(fun x -> x mod 3 = 0) :: !drained
+          done;
+          List.concat !drained)
+    in
+    (* Consume while draining and closing are in flight. *)
+    for _ = 0 to 999 do
+      match Channel.try_pop c with Some v -> account v | None -> Domain.cpu_relax ()
+    done;
+    Channel.close c;
+    List.iter Domain.join producers;
+    List.iter account (Domain.join drainer);
+    let rec mop () =
+      match Channel.pop c with
+      | Some v ->
+        account v;
+        mop ()
+      | None -> ()
+    in
+    mop ();
+    let total = Array.fold_left ( + ) 0 accepted in
+    Alcotest.(check int) "accepted elements all surface exactly once" total
+      (Hashtbl.length seen)
+  done
+
+(* ---------------- crash recovery ---------------- *)
+
+let rec await_recovery ?(tries = 5_000) t ~expect =
+  if tries = 0 then Alcotest.fail "recovery did not complete in time"
+  else if
+    Server.alive_workers t = expect && (Server.stats t).Server.recoveries > 0
+  then ()
+  else begin
+    Unix.sleepf 0.001;
+    await_recovery ~tries:(tries - 1) t ~expect
+  end
+
+let test_server_crash_recovery () =
+  let cfg = { Server.default_config with Server.n_workers = 4 } in
+  with_server ~cfg (fun t ->
+      let value_of k = Bytes.of_string (Printf.sprintf "v%d" k) in
+      for key = 0 to 999 do
+        Server.set t ~key ~value:(value_of key)
+      done;
+      let victim = Server.owner_of_key t 0 in
+      Server.inject_crash t ~worker:victim;
+      (* Hammer the server THROUGH the crash window: ops racing the
+         recovery either queue on the dead worker (requeued later) or
+         route normally; all must complete. *)
+      for key = 1000 to 1999 do
+        Server.set t ~key ~value:(value_of key)
+      done;
+      await_recovery t ~expect:4;
+      let new_owner = Server.owner_of_key t 0 in
+      Alcotest.(check bool) "partitions re-owned off the dead worker" true
+        (new_owner <> victim);
+      (* Every acknowledged write — before, during, and after the crash —
+         is present and correct. *)
+      for key = 0 to 1999 do
+        Alcotest.(check (option string))
+          (Printf.sprintf "key %d survives the crash" key)
+          (Some (Bytes.to_string (value_of key)))
+          (Option.map Bytes.to_string (Server.get t ~key))
+      done;
+      let stats = Server.stats t in
+      Alcotest.(check bool) "recovery recorded" true (stats.Server.recoveries >= 1);
+      Alcotest.(check int) "restarted worker back in service" 4 (Server.alive_workers t))
+
+(* A worker crash in the middle of a recorded single-key history: the
+   operations that span the crash + recovery must still linearize. *)
+let test_server_crash_history_linearizable () =
+  let cfg = { Server.default_config with Server.n_workers = 3 } in
+  with_server ~cfg (fun t ->
+      let key = 23 in
+      Server.set t ~key ~value:(Bytes.of_string "0");
+      let now () = Unix.gettimeofday () *. 1e6 in
+      let record_client c n_ops =
+        Domain.spawn (fun () ->
+            let rng = C4_dsim.Rng.create (7_000 + c) in
+            List.init n_ops (fun i ->
+                if c = 0 && i = 3 then
+                  Server.inject_crash t ~worker:(Server.owner_of_key t key);
+                let invoked = now () in
+                if C4_dsim.Rng.bernoulli rng ~p:0.4 then begin
+                  let v = (c * 100) + i + 1 in
+                  Server.set t ~key ~value:(Bytes.of_string (string_of_int v));
+                  History.set ~client:(string_of_int c) ~value:v ~invoked
+                    ~responded:(now ())
+                end
+                else begin
+                  let seen =
+                    match Server.get t ~key with
+                    | Some b -> int_of_string (Bytes.to_string b)
+                    | None -> -1
+                  in
+                  History.get ~client:(string_of_int c) ~value:seen ~invoked
+                    ~responded:(now ())
+                end))
+      in
+      let domains = List.init 3 (fun c -> record_client c 8) in
+      let history = List.concat_map Domain.join domains in
+      (match Lin.check ~initial:0 (History.of_ops history) with
+      | Lin.Linearizable _ -> ()
+      | Lin.Not_linearizable ->
+        Alcotest.failf "post-crash execution not linearizable:@.%a" History.pp
+          (History.of_ops history));
+      Alcotest.(check bool) "the crash actually happened" true
+        ((Server.stats t).Server.recoveries >= 1))
+
+let test_server_idempotent_retry () =
+  with_server (fun t ->
+      Server.set t ~key:5 ~value:(Bytes.of_string "orig");
+      (* An at-least-once client re-sends a write whose ack it lost; the
+         token makes the second apply a no-op. *)
+      let token = 0xfeed in
+      Promise.await (Server.set_async ~token t ~key:5 ~value:(Bytes.of_string "retry"));
+      Promise.await (Server.set_async ~token t ~key:5 ~value:(Bytes.of_string "retry"));
+      Alcotest.(check int) "duplicate suppressed" 1
+        (Server.stats t).Server.duplicate_writes;
+      Alcotest.(check (option string)) "value applied once" (Some "retry")
+        (Option.map Bytes.to_string (Server.get t ~key:5));
+      (* Distinct tokens are distinct writes. *)
+      Promise.await (Server.set_async ~token:1 t ~key:5 ~value:(Bytes.of_string "a"));
+      Promise.await (Server.set_async ~token:2 t ~key:5 ~value:(Bytes.of_string "b"));
+      Alcotest.(check (option string)) "later token wins" (Some "b")
+        (Option.map Bytes.to_string (Server.get t ~key:5));
+      Alcotest.(check int) "no extra duplicates" 1
+        (Server.stats t).Server.duplicate_writes)
+
 (* Record a timestamped history from real concurrent execution against
    one key and check it linearizes. Timestamps come from the wall clock;
    invocation is taken before submission and response after the promise
@@ -238,9 +431,17 @@ let tests =
     Alcotest.test_case "channel drain_matching" `Quick test_channel_drain_matching;
     Alcotest.test_case "channel blocking pop" `Quick test_channel_blocking_pop;
     Alcotest.test_case "channel MPSC stress" `Slow test_channel_mpsc_stress;
+    Alcotest.test_case "channel drain/close race" `Slow test_channel_drain_close_race;
     Alcotest.test_case "server set/get" `Quick test_server_set_get;
     Alcotest.test_case "server overwrite" `Quick test_server_overwrite;
     Alcotest.test_case "server stop idempotent" `Quick test_server_stop_idempotent;
+    Alcotest.test_case "server stop races in-flight submits" `Slow test_server_stop_race;
+    Alcotest.test_case "server crash recovery keeps acked writes" `Slow
+      test_server_crash_recovery;
+    Alcotest.test_case "history across crash linearizes" `Slow
+      test_server_crash_history_linearizable;
+    Alcotest.test_case "server idempotent retry applies once" `Quick
+      test_server_idempotent_retry;
     Alcotest.test_case "server CREW routing covers workers" `Quick test_server_crew_routing;
     Alcotest.test_case "server async pipeline" `Quick test_server_async_pipeline;
     Alcotest.test_case "server compaction batches writes" `Quick test_server_compaction_batches;
