@@ -1,0 +1,66 @@
+type access = Read | Write
+
+type t =
+  | Plain of { thread : int; loc : int; access : access }
+  | Atomic_op of { thread : int; loc : int; access : access }
+  | Acquire of { thread : int; lock : int }
+  | Release of { thread : int; lock : int }
+  | Fork of { parent : int; child : int }
+  | Join of { parent : int; child : int }
+
+type names = {
+  locs : (string, int) Hashtbl.t;
+  mutable loc_names : string list; (* reversed *)
+  locks : (string, int) Hashtbl.t;
+  mutable lock_names : string list; (* reversed *)
+}
+
+let names () =
+  { locs = Hashtbl.create 64; loc_names = []; locks = Hashtbl.create 16; lock_names = [] }
+
+let loc_id t name =
+  match Hashtbl.find_opt t.locs name with
+  | Some id -> id
+  | None ->
+    let id = Hashtbl.length t.locs in
+    Hashtbl.replace t.locs name id;
+    t.loc_names <- name :: t.loc_names;
+    id
+
+let lock_id t name =
+  match Hashtbl.find_opt t.locks name with
+  | Some id -> id
+  | None ->
+    let id = Hashtbl.length t.locks in
+    Hashtbl.replace t.locks name id;
+    t.lock_names <- name :: t.lock_names;
+    id
+
+let nth_name rev_names id =
+  let arr = Array.of_list (List.rev rev_names) in
+  if id >= 0 && id < Array.length arr then arr.(id) else Printf.sprintf "#%d" id
+
+let loc_name t id = nth_name t.loc_names id
+let lock_name t id = nth_name t.lock_names id
+
+let thread_of = function
+  | Plain { thread; _ } | Atomic_op { thread; _ } -> thread
+  | Acquire { thread; _ } | Release { thread; _ } -> thread
+  | Fork { parent; _ } | Join { parent; _ } -> parent
+
+let pp_access ppf = function
+  | Read -> Format.pp_print_string ppf "read"
+  | Write -> Format.pp_print_string ppf "write"
+
+let pp ?names:n ppf e =
+  let loc id = match n with Some n -> loc_name n id | None -> Printf.sprintf "loc#%d" id in
+  let lock id = match n with Some n -> lock_name n id | None -> Printf.sprintf "lock#%d" id in
+  match e with
+  | Plain { thread; loc = l; access } ->
+    Format.fprintf ppf "T%d %a %s" thread pp_access access (loc l)
+  | Atomic_op { thread; loc = l; access } ->
+    Format.fprintf ppf "T%d atomic-%a %s" thread pp_access access (loc l)
+  | Acquire { thread; lock = m } -> Format.fprintf ppf "T%d acquire %s" thread (lock m)
+  | Release { thread; lock = m } -> Format.fprintf ppf "T%d release %s" thread (lock m)
+  | Fork { parent; child } -> Format.fprintf ppf "T%d fork T%d" parent child
+  | Join { parent; child } -> Format.fprintf ppf "T%d join T%d" parent child

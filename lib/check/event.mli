@@ -1,0 +1,33 @@
+(** Events consumed by the vector-clock race detector. Threads are
+    dense ids assigned by the recorder ([Instrument]); locations and
+    locks are interned strings so reports stay human-readable. *)
+
+type access = Read | Write
+
+type t =
+  | Plain of { thread : int; loc : int; access : access }
+      (** Unsynchronised read/write of a mutable location (a [ref],
+          record field, array slot or [Hashtbl] bucket modeled as one
+          location). The only event kind that can race. *)
+  | Atomic_op of { thread : int; loc : int; access : access }
+      (** [Atomic.t] access — SC per OCaml's memory model, so it both
+          never races and orders plain accesses around it. *)
+  | Acquire of { thread : int; lock : int }
+  | Release of { thread : int; lock : int }
+  | Fork of { parent : int; child : int }
+  | Join of { parent : int; child : int }
+
+(** Interning table for location and lock names. *)
+type names
+
+val names : unit -> names
+val loc_id : names -> string -> int
+val lock_id : names -> string -> int
+val loc_name : names -> int -> string
+val lock_name : names -> int -> string
+
+(** The thread that performed the event (the parent, for fork/join). *)
+val thread_of : t -> int
+
+val pp_access : Format.formatter -> access -> unit
+val pp : ?names:names -> Format.formatter -> t -> unit

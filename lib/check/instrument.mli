@@ -1,0 +1,99 @@
+(** Instrumented concurrency primitives.
+
+    Code written against {!PRIMS} runs in two modes: {!Bare} is direct
+    aliases to the stdlib / runtime primitives (zero overhead — the
+    production configuration), while {!Traced} records every access,
+    lock transition and fork/join into a {!Recorder} whose trace feeds
+    the vector-clock {!Race} detector.
+
+    Traced atomics and channels serialise "do the op + record it" under
+    a private mutex so the recorded total order of synchronising events
+    agrees with the real one — otherwise the detector could build a
+    happens-before edge the execution never had and miss a race. That
+    serialisation adds synchronisation the bare build does not have,
+    which is why tracing is a testing mode, not a production one. *)
+
+module Recorder : sig
+  type t
+
+  (** Create a recorder; the calling domain becomes thread 0. *)
+  val create : unit -> t
+
+  val names : t -> Event.names
+
+  (** Recorded events, oldest first. *)
+  val events : t -> Event.t list
+
+  (** Run the race detector over everything recorded so far. *)
+  val analyze : t -> Race.report
+
+  (** Dense thread id of the calling domain (registering it if new). *)
+  val tid : t -> int
+
+  (** Append an event (thread-safe). *)
+  val record : t -> Event.t -> unit
+
+  (** Allocate a thread id without binding it — used by traced spawn. *)
+  val fresh_tid : t -> int
+
+  (** Bind the calling domain to a pre-allocated thread id. *)
+  val bind_self : t -> int -> unit
+end
+
+module type PRIMS = sig
+  (** Plain mutable cell — the only primitive whose accesses can race. *)
+  module Ref : sig
+    type 'a t
+
+    val make : ?name:string -> 'a -> 'a t
+    val get : 'a t -> 'a
+    val set : 'a t -> 'a -> unit
+  end
+
+  module Atomic : sig
+    type 'a t
+
+    val make : ?name:string -> 'a -> 'a t
+    val get : 'a t -> 'a
+    val set : 'a t -> 'a -> unit
+    val incr : int t -> unit
+    val compare_and_set : 'a t -> 'a -> 'a -> bool
+  end
+
+  module Mutex : sig
+    type t
+
+    val create : ?name:string -> unit -> t
+
+    (** Exception-safe critical section (the only way to lock). *)
+    val with_lock : t -> (unit -> 'a) -> 'a
+  end
+
+  (** Nonblocking view of the runtime channel. *)
+  module Channel : sig
+    type 'a t
+
+    val create : ?name:string -> unit -> 'a t
+    val try_push : 'a t -> 'a -> bool
+    val try_pop : 'a t -> 'a option
+    val drain : 'a t -> 'a list
+    val close : 'a t -> unit
+    val length : 'a t -> int
+  end
+
+  (** Domain spawn/join, so the detector sees fork/join edges. *)
+  module Domain_ : sig
+    type 'a handle
+
+    val spawn : (unit -> 'a) -> 'a handle
+    val join : 'a handle -> 'a
+  end
+end
+
+(** Production configuration: direct stdlib/runtime calls, no events. *)
+module Bare : PRIMS
+
+(** Recording configuration. *)
+module Traced (_ : sig
+  val recorder : Recorder.t
+end) : PRIMS

@@ -1,0 +1,630 @@
+module Seqlock = C4_kvs.Seqlock
+module Ewt = C4_nic.Ewt
+module Flow_control = C4_nic.Flow_control
+module Channel = C4_runtime.Channel
+module Promise = C4_runtime.Promise
+module History = C4_consistency.History
+module Lin = C4_consistency.Linearizability
+
+type packed = Pack : 'st Sched.model -> packed
+
+let name (Pack m) = m.Sched.model_name
+
+let explore ?preemption_bound ?max_schedules (Pack m) =
+  Sched.explore ?preemption_bound ?max_schedules m
+
+let replay (Pack m) schedule = Sched.replay m schedule
+
+(* ---------------- Seqlock reader/writer ---------------- *)
+
+type seqlock_broken = No_write_end | Unlocked_writer | Second_writer
+
+type seqlock_state = {
+  sl : Seqlock.t;
+  mutable a : int;
+  mutable b : int;
+  (* reader scratch *)
+  mutable r_v0 : int;
+  mutable r_a : int;
+  mutable r_b : int;
+  mutable snapshots : (int * int) list;
+}
+
+(* The writer mirrors [Store.set]'s protocol: version bump, two data
+   writes (the torn-value hazard), version bump. [n] updates end-to-end. *)
+let seqlock_writer ?(skip_end = false) ?(skip_lock = false) n =
+  let rec update i =
+    let write_end =
+      Sched.step ~touches:[ "ver" ]
+        (Printf.sprintf "write_end/%d" i)
+        (fun st ->
+          Seqlock.write_end st.sl;
+          if i < n then Sched.Continue (update (i + 1)) else Sched.stop)
+    in
+    let write_b =
+      Sched.step ~touches:[ "b" ]
+        (Printf.sprintf "write_b/%d" i)
+        (fun st ->
+          st.b <- st.b + 1;
+          if skip_end then Sched.stop else Sched.Continue write_end)
+    in
+    let write_a =
+      Sched.step ~touches:[ "a" ]
+        (Printf.sprintf "write_a/%d" i)
+        (fun st ->
+          st.a <- st.a + 1;
+          Sched.Continue write_b)
+    in
+    if skip_lock then write_a
+    else
+      Sched.step ~touches:[ "ver" ]
+        (Printf.sprintf "write_begin/%d" i)
+        (fun st ->
+          Seqlock.write_begin st.sl;
+          Sched.Continue write_a)
+  in
+  update 1
+
+(* The reader mirrors [Seqlock.read] decomposed at its atomic accesses:
+   version poll, data reads, version validation, retry on mismatch. The
+   poll models the spin loop as blocking (enabled once the version is
+   even), so exploration stays finite. *)
+let seqlock_reader () =
+  let rec read_v0 () =
+    Sched.step ~touches:[ "ver" ] "read_v0"
+      ~enabled:(fun st -> not (Seqlock.write_in_flight st.sl))
+      (fun st ->
+        st.r_v0 <- Seqlock.version st.sl;
+        Sched.Continue
+          (Sched.step ~touches:[ "a" ] "read_a" (fun st ->
+               st.r_a <- st.a;
+               Sched.Continue
+                 (Sched.step ~touches:[ "b" ] "read_b" (fun st ->
+                      st.r_b <- st.b;
+                      Sched.Continue
+                        (Sched.step ~touches:[ "ver" ] "read_validate" (fun st ->
+                             if Seqlock.version st.sl = st.r_v0 then begin
+                               st.snapshots <- (st.r_a, st.r_b) :: st.snapshots;
+                               Sched.stop
+                             end
+                             else Sched.Continue (read_v0 ()))))))))
+  in
+  read_v0 ()
+
+let seqlock ?broken () =
+  let n_writes = 2 in
+  let writer =
+    match broken with
+    | None -> seqlock_writer n_writes
+    | Some No_write_end -> seqlock_writer ~skip_end:true 1
+    | Some Unlocked_writer -> seqlock_writer ~skip_lock:true ~skip_end:true 1
+    | Some Second_writer -> seqlock_writer n_writes
+  in
+  let threads =
+    let base =
+      [
+        { Sched.name = "writer"; entry = writer };
+        { Sched.name = "reader"; entry = seqlock_reader () };
+      ]
+    in
+    if broken = Some Second_writer then
+      base @ [ { Sched.name = "writer2"; entry = seqlock_writer 1 } ]
+    else base
+  in
+  let model_name =
+    match broken with
+    | None -> "seqlock"
+    | Some No_write_end -> "seqlock/no-write-end"
+    | Some Unlocked_writer -> "seqlock/unlocked-writer"
+    | Some Second_writer -> "seqlock/second-writer"
+  in
+  Pack
+    {
+      Sched.model_name;
+      init =
+        (fun () ->
+          {
+            sl = Seqlock.create ();
+            a = 0;
+            b = 0;
+            r_v0 = 0;
+            r_a = 0;
+            r_b = 0;
+            snapshots = [];
+          });
+      threads;
+      invariant =
+        (fun st ->
+          (* Writer order: [a] leads [b] by at most one. *)
+          if st.a < st.b || st.a > st.b + 1 then
+            Error (Printf.sprintf "writer order broken: a=%d b=%d" st.a st.b)
+          else (
+            match
+              List.find_opt (fun (x, y) -> x <> y) st.snapshots
+            with
+            | Some (x, y) ->
+              Error (Printf.sprintf "torn read validated: a=%d b=%d" x y)
+            | None -> Ok ()));
+      final =
+        (fun st ->
+          if st.a <> st.b then
+            Error (Printf.sprintf "final store torn: a=%d b=%d" st.a st.b)
+          else if st.snapshots = [] then Error "reader never completed a snapshot"
+          else Ok ());
+    }
+
+(* ---------------- EWT acquire / note_response / expire_stale -------- *)
+
+type ewt_broken = Raising_response
+
+type ewt_state = {
+  ewt : Ewt.t;
+  mutable now : float;
+  shadow_out : (int, int) Hashtbl.t;
+  shadow_thread : (int, int) Hashtbl.t;
+  mutable pending_acks : int list;
+  mutable oks : int;
+  mutable acks : int;
+  mutable orphans : int;
+  mutable stale_cancelled : int;
+  mutable nic_done : bool;
+}
+
+let shadow_get h p = Option.value ~default:0 (Hashtbl.find_opt h p)
+
+let ewt_ttl = 1.5
+
+(* One NIC dispatch = lookup + note_write as a single atomic step, the
+   way the serial NIC pipeline executes it. *)
+let ewt_nic dispatches =
+  let rec go = function
+    | [] -> assert false
+    | (partition, preferred) :: rest ->
+      Sched.step ~touches:[ "ewt" ]
+        (Printf.sprintf "dispatch p%d" partition)
+        (fun st ->
+          st.now <- st.now +. 1.0;
+          let thread =
+            match Ewt.lookup st.ewt ~partition with
+            | Some t -> t
+            | None -> preferred
+          in
+          (match Ewt.note_write ~now:st.now st.ewt ~partition ~thread with
+          | `Ok ->
+            if shadow_get st.shadow_out partition = 0 then
+              Hashtbl.replace st.shadow_thread partition thread;
+            Hashtbl.replace st.shadow_out partition
+              (shadow_get st.shadow_out partition + 1);
+            st.pending_acks <- st.pending_acks @ [ partition ];
+            st.oks <- st.oks + 1
+          | `Full | `Counter_saturated -> ());
+          if rest = [] then begin
+            st.nic_done <- true;
+            Sched.stop
+          end
+          else Sched.Continue (go rest))
+  in
+  go dispatches
+
+let ewt_responder ~raising =
+  let rec ack () =
+    Sched.step ~touches:[ "ewt" ] "respond"
+      ~enabled:(fun st -> st.pending_acks <> [] || st.nic_done)
+      (fun st ->
+        st.now <- st.now +. 1.0;
+        match st.pending_acks with
+        | [] -> Sched.stop
+        | partition :: rest ->
+          st.pending_acks <- rest;
+          let acked =
+            if raising then begin
+              (* The pre-resilience protocol: assumes the mapping still
+                 exists. An expiry sweep racing the response kills it. *)
+              Ewt.note_response st.ewt ~partition;
+              true
+            end
+            else Ewt.try_note_response st.ewt ~partition
+          in
+          if acked then begin
+            st.acks <- st.acks + 1;
+            let left = shadow_get st.shadow_out partition - 1 in
+            if left <= 0 then begin
+              Hashtbl.remove st.shadow_out partition;
+              Hashtbl.remove st.shadow_thread partition
+            end
+            else Hashtbl.replace st.shadow_out partition left
+          end
+          else st.orphans <- st.orphans + 1;
+          Sched.Continue (ack ()))
+  in
+  ack ()
+
+let ewt_expirer () =
+  Sched.step ~touches:[ "ewt" ] "expire_stale" (fun st ->
+      st.now <- st.now +. 1.0;
+      let evicted = Ewt.expire_stale st.ewt ~now:st.now ~ttl:ewt_ttl in
+      (* Reconcile the shadow: partitions whose outstanding collapsed to
+         zero inside this step were stale-evicted with writes in flight. *)
+      let cancelled = ref 0 and reconciled = ref 0 in
+      Hashtbl.iter
+        (fun p out ->
+          if out > 0 && Ewt.outstanding st.ewt ~partition:p = 0 then begin
+            cancelled := !cancelled + out;
+            incr reconciled
+          end)
+        (Hashtbl.copy st.shadow_out);
+      Hashtbl.iter
+        (fun p out ->
+          if out > 0 && Ewt.outstanding st.ewt ~partition:p = 0 then begin
+            Hashtbl.remove st.shadow_out p;
+            Hashtbl.remove st.shadow_thread p
+          end)
+        (Hashtbl.copy st.shadow_out);
+      st.stale_cancelled <- st.stale_cancelled + !cancelled;
+      if !reconciled <> evicted then
+        failwith
+          (Printf.sprintf "expiry accounting mismatch: evicted %d, reconciled %d"
+             evicted !reconciled);
+      Sched.stop)
+
+let ewt ?broken () =
+  let raising = broken = Some Raising_response in
+  let capacity = 8 in
+  Pack
+    {
+      Sched.model_name = (if raising then "ewt/raising-response" else "ewt");
+      init =
+        (fun () ->
+          {
+            ewt = Ewt.create ~capacity ~max_outstanding:64 ();
+            now = 0.0;
+            shadow_out = Hashtbl.create 8;
+            shadow_thread = Hashtbl.create 8;
+            pending_acks = [];
+            oks = 0;
+            acks = 0;
+            orphans = 0;
+            stale_cancelled = 0;
+            nic_done = false;
+          });
+      threads =
+        [
+          { Sched.name = "nic"; entry = ewt_nic [ (0, 1); (1, 2); (0, 9) ] };
+          { Sched.name = "responder"; entry = ewt_responder ~raising };
+          { Sched.name = "expirer"; entry = ewt_expirer () };
+        ];
+      invariant =
+        (fun st ->
+          if Ewt.occupancy st.ewt > Ewt.capacity st.ewt then
+            Error "occupancy exceeds capacity"
+          else begin
+            let bad = ref None in
+            Hashtbl.iter
+              (fun p out ->
+                let real = Ewt.outstanding st.ewt ~partition:p in
+                if real <> out then
+                  bad := Some (Printf.sprintf "partition %d: outstanding %d, shadow %d" p real out)
+                else if
+                  (* CREW: while writes are outstanding, the partition
+                     stays mapped to the thread that first acquired it. *)
+                  out > 0
+                  && Ewt.lookup st.ewt ~partition:p
+                     <> Hashtbl.find_opt st.shadow_thread p
+                then bad := Some (Printf.sprintf "partition %d remapped mid-flight" p))
+              st.shadow_out;
+            match !bad with
+            | Some msg -> Error msg
+            | None ->
+              let outstanding_total =
+                Hashtbl.fold (fun _ out acc -> acc + out) st.shadow_out 0
+              in
+              (* Credit conservation: every accepted write is exactly one
+                 of outstanding / acked / cancelled-by-expiry. *)
+              if st.oks <> outstanding_total + st.acks + st.stale_cancelled then
+                Error
+                  (Printf.sprintf "credits leak: oks=%d outstanding=%d acks=%d cancelled=%d"
+                     st.oks outstanding_total st.acks st.stale_cancelled)
+              else Ok ()
+          end);
+      final =
+        (fun st ->
+          if not st.nic_done then Error "nic did not finish"
+          else if st.pending_acks <> [] then Error "responses still pending"
+          else if st.acks + st.orphans + st.stale_cancelled < st.oks then
+            Error "not every accepted write was resolved"
+          else Ok ());
+    }
+
+(* ---------------- Flow control ---------------- *)
+
+type flow_broken = Unmatched_release
+
+type flow_state = {
+  fc : Flow_control.t;
+  cap : int;
+  mutable sh_admitted : int;
+  mutable sh_released : int;
+}
+
+let flow_client i =
+  Sched.step ~touches:[ "fc" ]
+    (Printf.sprintf "admit/%d" i)
+    ~enabled:(fun st -> Flow_control.in_flight st.fc < st.cap)
+    (fun st ->
+      if not (Flow_control.admit st.fc) then failwith "admit failed under guard";
+      st.sh_admitted <- st.sh_admitted + 1;
+      Sched.Continue
+        (Sched.step ~touches:[ "fc" ]
+           (Printf.sprintf "release/%d" i)
+           (fun st ->
+             Flow_control.release st.fc;
+             st.sh_released <- st.sh_released + 1;
+             Sched.stop)))
+
+let flow_rogue () =
+  Sched.step ~touches:[ "fc" ] "rogue_release" (fun st ->
+      Flow_control.release st.fc;
+      Sched.stop)
+
+let flow_control ?broken () =
+  let cap = 1 in
+  let threads =
+    [
+      { Sched.name = "client0"; entry = flow_client 0 };
+      { Sched.name = "client1"; entry = flow_client 1 };
+    ]
+    @
+    if broken = Some Unmatched_release then
+      [ { Sched.name = "rogue"; entry = flow_rogue () } ]
+    else []
+  in
+  Pack
+    {
+      Sched.model_name =
+        (if broken = Some Unmatched_release then "flow-control/unmatched-release"
+         else "flow-control");
+      init =
+        (fun () ->
+          { fc = Flow_control.create ~max_outstanding:cap; cap; sh_admitted = 0; sh_released = 0 });
+      threads;
+      invariant =
+        (fun st ->
+          let inflight = Flow_control.in_flight st.fc in
+          if inflight < 0 || inflight > st.cap then
+            Error (Printf.sprintf "in_flight out of range: %d" inflight)
+          else if Flow_control.unmatched_releases st.fc > 0 then
+            Error "release without matching admit"
+          else if inflight <> st.sh_admitted - st.sh_released then
+            Error
+              (Printf.sprintf "credits leak: in_flight=%d admitted=%d released=%d"
+                 inflight st.sh_admitted st.sh_released)
+          else Ok ());
+      final =
+        (fun st ->
+          if Flow_control.in_flight st.fc <> 0 then Error "credits not all returned"
+          else Ok ());
+    }
+
+(* ---------------- Channel push/pop/close ---------------- *)
+
+type channel_broken = Pop_ignores_close
+
+type chan_state = {
+  ch : string Channel.t;
+  mutable accepted : string list; (* reversed *)
+  mutable popped : string list; (* reversed *)
+  mutable chan_closed : bool;
+}
+
+let chan_producer name items ~close_after =
+  let rec go = function
+    | [] ->
+      if close_after then
+        Sched.step ~touches:[ "ch" ] (name ^ ":close") (fun st ->
+            Channel.close st.ch;
+            st.chan_closed <- true;
+            Sched.stop)
+      else Sched.step (name ^ ":done") (fun _ -> Sched.stop)
+    | item :: rest ->
+      Sched.step ~touches:[ "ch" ]
+        (Printf.sprintf "%s:push %s" name item)
+        (fun st ->
+          if Channel.try_push st.ch item then st.accepted <- item :: st.accepted;
+          Sched.Continue (go rest))
+  in
+  go items
+
+let chan_consumer ~sees_close =
+  let rec pop () =
+    Sched.step ~touches:[ "ch" ] "pop"
+      ~enabled:(fun st ->
+        Channel.length st.ch > 0 || (sees_close && st.chan_closed))
+      (fun st ->
+        match Channel.try_pop st.ch with
+        | Some v ->
+          st.popped <- v :: st.popped;
+          Sched.Continue (pop ())
+        | None -> Sched.stop)
+  in
+  pop ()
+
+let channel ?broken () =
+  let sees_close = broken <> Some Pop_ignores_close in
+  Pack
+    {
+      Sched.model_name =
+        (if sees_close then "channel" else "channel/pop-ignores-close");
+      init =
+        (fun () ->
+          { ch = Channel.create (); accepted = []; popped = []; chan_closed = false });
+      threads =
+        [
+          { Sched.name = "producer1"; entry = chan_producer "p1" [ "a1"; "a2" ] ~close_after:false };
+          { Sched.name = "producer2"; entry = chan_producer "p2" [ "b1" ] ~close_after:true };
+          { Sched.name = "consumer"; entry = chan_consumer ~sees_close };
+        ];
+      invariant =
+        (fun st ->
+          let accepted = List.rev st.accepted and popped = List.rev st.popped in
+          if List.exists (fun v -> not (List.mem v accepted)) popped then
+            Error "popped an element never accepted"
+          else begin
+            (* FIFO per producer. *)
+            let sub prefix l = List.filter (fun v -> List.mem v l) prefix in
+            let p1_popped = List.filter (fun v -> v.[0] = 'a') popped in
+            if p1_popped <> sub [ "a1"; "a2" ] p1_popped then Error "producer1 order inverted"
+            else Ok ()
+          end);
+      final =
+        (fun st ->
+          let accepted = List.sort compare st.accepted
+          and popped = List.sort compare st.popped in
+          if accepted <> popped then
+            Error
+              (Printf.sprintf "lost elements: accepted {%s}, popped {%s}"
+                 (String.concat "," accepted) (String.concat "," popped))
+          else Ok ());
+    }
+
+(* ---------------- Promise resolve/await ---------------- *)
+
+type promise_broken = Two_resolvers
+
+type prom_state = { p : int Promise.t; mutable observed : int list }
+
+let prom_resolver name =
+  Sched.step ~touches:[ "p" ] (name ^ ":fulfil") (fun st ->
+      Promise.fulfil st.p 42;
+      Sched.stop)
+
+let prom_awaiter () =
+  Sched.step ~touches:[ "p" ] "await"
+    ~enabled:(fun st -> Promise.peek st.p <> None)
+    (fun st ->
+      (match Promise.peek st.p with
+      | Some v -> st.observed <- v :: st.observed
+      | None -> failwith "await ran while empty");
+      Sched.stop)
+
+let promise ?broken () =
+  let threads =
+    [
+      { Sched.name = "resolver"; entry = prom_resolver "r1" };
+      { Sched.name = "awaiter"; entry = prom_awaiter () };
+    ]
+    @
+    if broken = Some Two_resolvers then
+      [ { Sched.name = "resolver2"; entry = prom_resolver "r2" } ]
+    else []
+  in
+  Pack
+    {
+      Sched.model_name =
+        (if broken = Some Two_resolvers then "promise/two-resolvers" else "promise");
+      init = (fun () -> { p = Promise.create (); observed = [] });
+      threads;
+      invariant =
+        (fun st ->
+          if List.exists (fun v -> v <> 42) st.observed then
+            Error "observed a value never resolved"
+          else Ok ());
+      final =
+        (fun st -> if st.observed = [] then Error "awaiter never woke" else Ok ());
+    }
+
+(* ---------------- Compaction window ---------------- *)
+
+type compaction_broken = Early_ack
+
+type comp_state = {
+  mutable store : int;
+  mutable pending : (int * float) list; (* (value, invoked), submission order *)
+  hist : History.op list ref;
+  mutable comp_clock : float;
+  mutable writers_left : int;
+}
+
+let comp_writer ~early_ack i v =
+  Sched.step ~touches:[ "window" ]
+    (Printf.sprintf "submit/%d" i)
+    (fun st ->
+      st.comp_clock <- st.comp_clock +. 1.0;
+      let invoked = st.comp_clock in
+      st.pending <- st.pending @ [ (v, invoked) ];
+      st.writers_left <- st.writers_left - 1;
+      if early_ack then
+        (* The bug C-4's deferred responses exist to avoid: acknowledge
+           at enqueue, before the combined update reaches the store. *)
+        st.hist :=
+          History.set ~client:(Printf.sprintf "w%d" i) ~value:v ~invoked
+            ~responded:(invoked +. 0.25)
+          :: !(st.hist);
+      Sched.stop)
+
+let comp_compactor ~early_ack =
+  let rec close () =
+    Sched.step ~touches:[ "window"; "store" ] "window_close"
+      ~enabled:(fun st -> st.pending <> [] || st.writers_left = 0)
+      (fun st ->
+        st.comp_clock <- st.comp_clock +. 1.0;
+        match st.pending with
+        | [] -> Sched.stop
+        | ps ->
+          (* One combined update: last write wins... *)
+          let value, _ = List.nth ps (List.length ps - 1) in
+          st.store <- value;
+          st.comp_clock <- st.comp_clock +. 1.0;
+          (* ...and only now, with the window closed and the store
+             updated, do the deferred responses go out. *)
+          if not early_ack then
+            List.iteri
+              (fun j (v, invoked) ->
+                st.hist :=
+                  History.set ~client:(Printf.sprintf "w%d" j) ~value:v ~invoked
+                    ~responded:st.comp_clock
+                  :: !(st.hist))
+              ps;
+          st.pending <- [];
+          Sched.Continue (close ()))
+  in
+  close ()
+
+let comp_reader () =
+  Sched.step ~touches:[ "store" ] "read" (fun st ->
+      st.comp_clock <- st.comp_clock +. 1.0;
+      st.hist :=
+        History.get ~client:"r" ~value:st.store ~invoked:st.comp_clock
+          ~responded:(st.comp_clock +. 0.5)
+        :: !(st.hist);
+      Sched.stop)
+
+let compaction ?broken () =
+  let early_ack = broken = Some Early_ack in
+  let hist = ref [] in
+  let model =
+    {
+      Sched.model_name = (if early_ack then "compaction/early-ack" else "compaction");
+      init =
+        (fun () ->
+          hist := [];
+          { store = 0; pending = []; hist; comp_clock = 0.0; writers_left = 2 });
+      threads =
+        [
+          { Sched.name = "writer1"; entry = comp_writer ~early_ack 1 1 };
+          { Sched.name = "writer2"; entry = comp_writer ~early_ack 2 2 };
+          { Sched.name = "compactor"; entry = comp_compactor ~early_ack };
+          { Sched.name = "reader"; entry = comp_reader () };
+        ];
+      invariant = (fun _ -> Ok ());
+      final =
+        (fun st ->
+          (* Every complete schedule's recorded history goes through the
+             linearizability checker — the explorer/checker bridge. *)
+          let h = History.of_ops (List.rev !(st.hist)) in
+          if Lin.is_linearizable ~initial:0 h then Ok ()
+          else
+            Error
+              (Format.asprintf "history not linearizable:@.%a" History.pp h));
+    }
+  in
+  (Pack model, hist)

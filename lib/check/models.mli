@@ -1,0 +1,65 @@
+(** Model programs for the {!Sched} explorer, each mirroring one of the
+    repo's concurrency protocols at the granularity of its atomic
+    operations, with the protocol invariants from the paper asserted in
+    every explored interleaving:
+
+    - {!seqlock}: CREW (one writer per partition) and no torn validated
+      read, against the real [C4_kvs.Seqlock].
+    - {!ewt}: exclusive-writer mapping stability while writes are
+      outstanding, credit conservation across responses and stale
+      expiry, against the real [C4_nic.Ewt].
+    - {!flow_control}: window credits conserved, never negative, never
+      above the cap, against the real [C4_nic.Flow_control].
+    - {!channel}: FIFO delivery, nothing lost across [close], no lost
+      wakeup, against the real [C4_runtime.Channel].
+    - {!promise}: resolve-exactly-once, awaiter always wakes, against
+      the real [C4_runtime.Promise].
+    - {!compaction}: deferred responses only after the window closes;
+      every schedule's recorded history is fed to the
+      [C4_consistency.Linearizability] checker.
+
+    Each model has deliberately broken variants whose counterexample
+    schedules the tests replay — the seeded-bug proof that the explorer
+    actually discriminates. *)
+
+type packed
+
+val name : packed -> string
+val explore : ?preemption_bound:int -> ?max_schedules:int -> packed -> Sched.outcome
+val replay : packed -> int list -> (unit, Sched.violation) result
+
+type seqlock_broken =
+  | No_write_end  (** writer never closes the write section: lost wakeup *)
+  | Unlocked_writer  (** data writes outside the version protocol: torn read *)
+  | Second_writer  (** concurrent writer: CREW violation, seqlock raises *)
+
+val seqlock : ?broken:seqlock_broken -> unit -> packed
+
+type ewt_broken =
+  | Raising_response
+      (** respond via [note_response] (pre-resilience protocol): an
+          expiry sweep racing the response makes it raise *)
+
+val ewt : ?broken:ewt_broken -> unit -> packed
+
+type flow_broken = Unmatched_release
+
+val flow_control : ?broken:flow_broken -> unit -> packed
+
+type channel_broken =
+  | Pop_ignores_close  (** consumer never observes close: lost wakeup *)
+
+val channel : ?broken:channel_broken -> unit -> packed
+
+type promise_broken = Two_resolvers
+
+val promise : ?broken:promise_broken -> unit -> packed
+
+type compaction_broken =
+  | Early_ack  (** acknowledge at enqueue instead of window close *)
+
+(** Returns the model plus a ref holding the history recorded by the
+    most recent execution (e.g. a replayed counterexample schedule),
+    ready to hand to the linearizability checker. *)
+val compaction :
+  ?broken:compaction_broken -> unit -> packed * C4_consistency.History.op list ref

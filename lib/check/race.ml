@@ -1,0 +1,144 @@
+type race = {
+  loc : int;
+  loc_name : string;
+  first : Event.t;
+  first_index : int;
+  second : Event.t;
+  second_index : int;
+}
+
+type report = {
+  races : race list;
+  threads : int;
+  events_analyzed : int;
+}
+
+let pp_race ppf r =
+  let pp_event ppf e = Event.pp ppf e in
+  Format.fprintf ppf "race on %s: %a (event %d) unordered with %a (event %d)"
+    r.loc_name pp_event r.first r.first_index pp_event r.second r.second_index
+
+(* Per-location access summary: for reads and writes separately, the
+   clock component of each thread's last access plus the event index
+   that produced it (for reporting). *)
+type loc_state = {
+  last_read : int array; (* per-thread clock component at last read *)
+  read_ev : int array;
+  last_write : int array;
+  write_ev : int array;
+}
+
+let analyze ?names events =
+  let events = Array.of_list events in
+  let n_threads =
+    Array.fold_left
+      (fun acc e ->
+        let m =
+          match e with
+          | Event.Fork { parent; child } | Event.Join { parent; child } ->
+            max parent child
+          | e -> Event.thread_of e
+        in
+        max acc (m + 1))
+      1 events
+  in
+  let clock = Array.init n_threads (fun i ->
+      let c = Vclock.create n_threads in
+      Vclock.tick c i;
+      c)
+  in
+  let lock_clock : (int, Vclock.t) Hashtbl.t = Hashtbl.create 16 in
+  let atomic_clock : (int, Vclock.t) Hashtbl.t = Hashtbl.create 16 in
+  let loc_state : (int, loc_state) Hashtbl.t = Hashtbl.create 64 in
+  let state_of loc =
+    match Hashtbl.find_opt loc_state loc with
+    | Some s -> s
+    | None ->
+      let s =
+        {
+          last_read = Array.make n_threads 0;
+          read_ev = Array.make n_threads (-1);
+          last_write = Array.make n_threads 0;
+          write_ev = Array.make n_threads (-1);
+        }
+      in
+      Hashtbl.replace loc_state loc s;
+      s
+  in
+  let loc_label loc =
+    match names with Some n -> Event.loc_name n loc | None -> Printf.sprintf "loc#%d" loc
+  in
+  let races = ref [] in
+  let report_race loc prev_ev i =
+    if prev_ev >= 0 then
+      races :=
+        {
+          loc;
+          loc_name = loc_label loc;
+          first = events.(prev_ev);
+          first_index = prev_ev;
+          second = events.(i);
+          second_index = i;
+        }
+        :: !races
+  in
+  Array.iteri
+    (fun i e ->
+      match e with
+      | Event.Fork { parent; child } ->
+        Vclock.join clock.(child) clock.(parent);
+        Vclock.tick clock.(child) child;
+        Vclock.tick clock.(parent) parent
+      | Event.Join { parent; child } ->
+        Vclock.join clock.(parent) clock.(child);
+        Vclock.tick clock.(parent) parent
+      | Event.Acquire { thread; lock } -> (
+        match Hashtbl.find_opt lock_clock lock with
+        | Some lc -> Vclock.join clock.(thread) lc
+        | None -> ())
+      | Event.Release { thread; lock } ->
+        Hashtbl.replace lock_clock lock (Vclock.copy clock.(thread));
+        Vclock.tick clock.(thread) thread
+      | Event.Atomic_op { thread; loc; access } -> (
+        (* SC atomics: a read acquires the location's published clock, a
+           write publishes (join-then-store, so release chains across
+           several writers accumulate). *)
+        match access with
+        | Event.Read -> (
+          match Hashtbl.find_opt atomic_clock loc with
+          | Some ac -> Vclock.join clock.(thread) ac
+          | None -> ())
+        | Event.Write ->
+          (match Hashtbl.find_opt atomic_clock loc with
+          | Some ac ->
+            Vclock.join clock.(thread) ac;
+            Vclock.assign ac clock.(thread)
+          | None -> Hashtbl.replace atomic_clock loc (Vclock.copy clock.(thread)));
+          Vclock.tick clock.(thread) thread)
+      | Event.Plain { thread; loc; access } -> (
+        let s = state_of loc in
+        let c = clock.(thread) in
+        (match access with
+        | Event.Read ->
+          (* A read races with any write not in our past. *)
+          Array.iteri
+            (fun u w -> if u <> thread && w > Vclock.get c u then report_race loc s.write_ev.(u) i)
+            s.last_write
+        | Event.Write ->
+          Array.iteri
+            (fun u w -> if u <> thread && w > Vclock.get c u then report_race loc s.write_ev.(u) i)
+            s.last_write;
+          Array.iteri
+            (fun u r -> if u <> thread && r > Vclock.get c u then report_race loc s.read_ev.(u) i)
+            s.last_read);
+        match access with
+        | Event.Read ->
+          s.last_read.(thread) <- Vclock.get c thread;
+          s.read_ev.(thread) <- i
+        | Event.Write ->
+          s.last_write.(thread) <- Vclock.get c thread;
+          s.write_ev.(thread) <- i))
+    events;
+  { races = List.rev !races; threads = n_threads; events_analyzed = Array.length events }
+
+let is_race_free report = report.races = []

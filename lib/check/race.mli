@@ -1,0 +1,34 @@
+(** Happens-before data-race detection over a recorded event trace
+    (Djit+-style, full vector clocks).
+
+    The recorder serialises events into one total order; the detector
+    rebuilds the happens-before partial order from fork/join edges,
+    lock acquire/release pairs and SC atomic accesses, then flags any
+    pair of {e plain} accesses to the same location where at least one
+    is a write and neither happens-before the other. Because the
+    analysis is on the partial order, races are caught even when the
+    recorder's serialisation happened to put the two accesses "safely"
+    apart in time. *)
+
+type race = {
+  loc : int;
+  loc_name : string;
+  first : Event.t;
+  first_index : int;  (** index into the analyzed trace *)
+  second : Event.t;
+  second_index : int;
+}
+
+type report = {
+  races : race list;  (** trace order; one entry per unordered pair *)
+  threads : int;
+  events_analyzed : int;
+}
+
+val pp_race : Format.formatter -> race -> unit
+
+(** [analyze ?names events] replays the trace through the vector-clock
+    engine. [names] (from the recorder) makes reports name locations. *)
+val analyze : ?names:Event.names -> Event.t list -> report
+
+val is_race_free : report -> bool

@@ -1,0 +1,35 @@
+type t = int array
+
+let create n =
+  if n <= 0 then invalid_arg "Vclock.create";
+  Array.make n 0
+
+let size t = Array.length t
+let copy = Array.copy
+
+let get t i =
+  if i < 0 || i >= Array.length t then invalid_arg "Vclock.get";
+  t.(i)
+
+let tick t i =
+  if i < 0 || i >= Array.length t then invalid_arg "Vclock.tick";
+  t.(i) <- t.(i) + 1
+
+let join dst src =
+  if Array.length dst <> Array.length src then invalid_arg "Vclock.join";
+  Array.iteri (fun i v -> if v > dst.(i) then dst.(i) <- v) src
+
+let leq a b =
+  if Array.length a <> Array.length b then invalid_arg "Vclock.leq";
+  let ok = ref true in
+  Array.iteri (fun i v -> if v > b.(i) then ok := false) a;
+  !ok
+
+let assign dst src =
+  if Array.length dst <> Array.length src then invalid_arg "Vclock.assign";
+  Array.blit src 0 dst 0 (Array.length src)
+
+let to_string t =
+  "[" ^ String.concat " " (Array.to_list (Array.map string_of_int t)) ^ "]"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

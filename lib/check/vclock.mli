@@ -1,0 +1,29 @@
+(** Per-domain vector clocks for the happens-before race detector.
+    Index [i] is domain [i]'s logical clock; [leq a b] is the
+    happens-before partial order ([a] ≤ [b] pointwise). Clocks are
+    mutable in place — [copy] before publishing one (e.g. into a lock's
+    release clock). *)
+
+type t
+
+(** All-zero clock over [n] domains. *)
+val create : int -> t
+
+val size : t -> int
+val copy : t -> t
+val get : t -> int -> int
+
+(** Advance domain [i]'s component by one. *)
+val tick : t -> int -> unit
+
+(** [join dst src] folds [src] into [dst] (pointwise max). *)
+val join : t -> t -> unit
+
+(** [leq a b]: every component of [a] is ≤ the same component of [b]. *)
+val leq : t -> t -> bool
+
+(** [assign dst src] overwrites [dst] with [src]'s components. *)
+val assign : t -> t -> unit
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,13 +1,18 @@
 type 'a entry = { prio : float; seq : int; payload : 'a }
 
 type 'a t = {
+  (* Empty until the first push: without a dummy ['a] there is nothing
+     to pre-fill with, and faking one (e.g. [Obj.magic]) would break the
+     moment the GC scans the array. [capacity] remembers the requested
+     initial size for that first allocation. *)
   mutable entries : 'a entry array;
+  capacity : int;
   mutable size : int;
   mutable next_seq : int;
 }
 
 let create ?(capacity = 64) () =
-  { entries = Array.make (max capacity 1) (Obj.magic 0); size = 0; next_seq = 0 }
+  { entries = [||]; capacity = max capacity 1; size = 0; next_seq = 0 }
 
 let length h = h.size
 let is_empty h = h.size = 0
@@ -15,9 +20,9 @@ let is_empty h = h.size = 0
 (* [e1] sorts before [e2]: priority first, insertion order as tiebreak. *)
 let before e1 e2 = e1.prio < e2.prio || (e1.prio = e2.prio && e1.seq < e2.seq)
 
-let grow h =
-  let cap = Array.length h.entries in
-  let entries = Array.make (2 * cap) h.entries.(0) in
+let grow h seed =
+  let cap = max 1 (Array.length h.entries) in
+  let entries = Array.make (max (2 * cap) h.capacity) seed in
   Array.blit h.entries 0 entries 0 h.size;
   h.entries <- entries
 
@@ -46,8 +51,8 @@ let rec sift_down h i =
   end
 
 let push h ~priority payload =
-  if h.size = Array.length h.entries then grow h;
   let entry = { prio = priority; seq = h.next_seq; payload } in
+  if h.size = Array.length h.entries then grow h entry;
   h.next_seq <- h.next_seq + 1;
   h.entries.(h.size) <- entry;
   h.size <- h.size + 1;

@@ -14,70 +14,49 @@ let create () =
   }
 
 let push t v =
-  Mutex.lock t.mutex;
-  if t.closed then begin
-    Mutex.unlock t.mutex;
-    invalid_arg "Channel.push: closed"
-  end;
-  Queue.push v t.queue;
-  Condition.signal t.nonempty;
-  Mutex.unlock t.mutex
+  Sync.with_lock t.mutex (fun () ->
+      if t.closed then invalid_arg "Channel.push: closed";
+      Queue.push v t.queue;
+      Condition.signal t.nonempty)
 
 let try_push t v =
-  Mutex.lock t.mutex;
-  if t.closed then begin
-    Mutex.unlock t.mutex;
-    false
-  end
-  else begin
-    Queue.push v t.queue;
-    Condition.signal t.nonempty;
-    Mutex.unlock t.mutex;
-    true
-  end
+  Sync.with_lock t.mutex (fun () ->
+      if t.closed then false
+      else begin
+        Queue.push v t.queue;
+        Condition.signal t.nonempty;
+        true
+      end)
 
 let pop t =
-  Mutex.lock t.mutex;
-  let rec wait () =
-    if not (Queue.is_empty t.queue) then begin
-      let v = Queue.pop t.queue in
-      Mutex.unlock t.mutex;
-      Some v
-    end
-    else if t.closed then begin
-      Mutex.unlock t.mutex;
-      None
-    end
-    else begin
-      Condition.wait t.nonempty t.mutex;
-      wait ()
-    end
-  in
-  wait ()
+  Sync.with_lock t.mutex (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+        else if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.mutex;
+          wait ()
+        end
+      in
+      wait ())
 
 let try_pop t =
-  Mutex.lock t.mutex;
-  let v = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
-  Mutex.unlock t.mutex;
-  v
+  Sync.with_lock t.mutex (fun () ->
+      if Queue.is_empty t.queue then None else Some (Queue.pop t.queue))
 
 let drain_matching t ~f =
-  Mutex.lock t.mutex;
-  let kept = Queue.create () and matched = ref [] in
-  Queue.iter (fun v -> if f v then matched := v :: !matched else Queue.push v kept) t.queue;
-  Queue.clear t.queue;
-  Queue.transfer kept t.queue;
-  Mutex.unlock t.mutex;
-  List.rev !matched
+  Sync.with_lock t.mutex (fun () ->
+      let kept = Queue.create () and matched = ref [] in
+      Queue.iter
+        (fun v -> if f v then matched := v :: !matched else Queue.push v kept)
+        t.queue;
+      Queue.clear t.queue;
+      Queue.transfer kept t.queue;
+      List.rev !matched)
 
-let length t =
-  Mutex.lock t.mutex;
-  let n = Queue.length t.queue in
-  Mutex.unlock t.mutex;
-  n
+let length t = Sync.with_lock t.mutex (fun () -> Queue.length t.queue)
 
 let close t =
-  Mutex.lock t.mutex;
-  t.closed <- true;
-  Condition.broadcast t.nonempty;
-  Mutex.unlock t.mutex
+  Sync.with_lock t.mutex (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)

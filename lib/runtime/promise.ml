@@ -7,31 +7,22 @@ type 'a t = {
 let create () = { mutex = Mutex.create (); cond = Condition.create (); value = None }
 
 let fulfil t v =
-  Mutex.lock t.mutex;
-  (match t.value with
-  | Some _ ->
-    Mutex.unlock t.mutex;
-    invalid_arg "Promise.fulfil: already fulfilled"
-  | None ->
-    t.value <- Some v;
-    Condition.broadcast t.cond;
-    Mutex.unlock t.mutex)
+  Sync.with_lock t.mutex (fun () ->
+      match t.value with
+      | Some _ -> invalid_arg "Promise.fulfil: already fulfilled"
+      | None ->
+        t.value <- Some v;
+        Condition.broadcast t.cond)
 
 let await t =
-  Mutex.lock t.mutex;
-  let rec wait () =
-    match t.value with
-    | Some v ->
-      Mutex.unlock t.mutex;
-      v
-    | None ->
-      Condition.wait t.cond t.mutex;
-      wait ()
-  in
-  wait ()
+  Sync.with_lock t.mutex (fun () ->
+      let rec wait () =
+        match t.value with
+        | Some v -> v
+        | None ->
+          Condition.wait t.cond t.mutex;
+          wait ()
+      in
+      wait ())
 
-let peek t =
-  Mutex.lock t.mutex;
-  let v = t.value in
-  Mutex.unlock t.mutex;
-  v
+let peek t = Sync.with_lock t.mutex (fun () -> t.value)

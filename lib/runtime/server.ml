@@ -70,10 +70,8 @@ type t = {
 }
 
 let owner_of_key t key =
-  Mutex.lock t.route_lock;
-  let w = t.owner_map.(Store.partition_of_key t.store key) in
-  Mutex.unlock t.route_lock;
-  w
+  Sync.with_lock t.route_lock (fun () ->
+      t.owner_map.(Store.partition_of_key t.store key))
 
 (* Only token-free writes are harvested into a compaction batch: a
    tokened (retried) write must go through [Store.set_idempotent]'s
@@ -220,14 +218,12 @@ let rec monitor_loop t =
   if not (Atomic.get t.stopped) then begin
     Array.iter
       (fun w ->
-        if not (Atomic.get w.alive) then begin
-          Mutex.lock t.route_lock;
-          (* Re-check under the lock: [stop] may have won the race, in
-             which case it owns the backlog (see [stop]'s final drain). *)
-          if (not (Atomic.get t.stopped)) && not (Atomic.get w.alive) then
-            recover_locked t w;
-          Mutex.unlock t.route_lock
-        end)
+        if not (Atomic.get w.alive) then
+          Sync.with_lock t.route_lock (fun () ->
+              (* Re-check under the lock: [stop] may have won the race, in
+                 which case it owns the backlog (see [stop]'s final drain). *)
+              if (not (Atomic.get t.stopped)) && not (Atomic.get w.alive) then
+                recover_locked t w))
       t.workers;
     Unix.sleepf t.cfg.monitor_interval;
     monitor_loop t
@@ -277,12 +273,11 @@ let start cfg =
    closed channel (stop won the race) to [Stopped] rather than a raw
    [Invalid_argument] escaping from the channel layer. *)
 let submit_routed t pick op =
-  Mutex.lock t.route_lock;
   let ok =
-    (not (Atomic.get t.stopped))
-    && Channel.try_push t.workers.(pick t).channel op
+    Sync.with_lock t.route_lock (fun () ->
+        (not (Atomic.get t.stopped))
+        && Channel.try_push t.workers.(pick t).channel op)
   in
-  Mutex.unlock t.route_lock;
   if not ok then raise Stopped
 
 let pick_owner key t = t.owner_map.(Store.partition_of_key t.store key)
@@ -333,29 +328,27 @@ let apply_directly t = function
 let stop t =
   (* [stop_lock] serialises concurrent stops end-to-end: the loser
      blocks until the winner has fully shut down, then returns. *)
-  Mutex.lock t.stop_lock;
-  if not (Atomic.get t.stopped) then begin
-    Atomic.set t.stopped true;
-    (* Taking route_lock serialises with any in-flight recovery, so the
-       domain handles we join below are final. *)
-    Mutex.lock t.route_lock;
-    Array.iter (fun w -> Channel.close w.channel) t.workers;
-    Mutex.unlock t.route_lock;
-    Array.iter
-      (fun w -> match w.domain with Some d -> Domain.join d | None -> ())
-      t.workers;
-    (match t.monitor with Some d -> Domain.join d | None -> ());
-    t.monitor <- None;
-    (* A worker that crashed in the stop window leaves a backlog the
-       monitor never got to requeue. Every promise issued before [stop]
-       must still resolve, so apply the leftovers here. *)
-    Array.iter
-      (fun w ->
-        List.iter (apply_directly t)
-          (Channel.drain_matching w.channel ~f:(fun _ -> true)))
-      t.workers
-  end;
-  Mutex.unlock t.stop_lock
+  Sync.with_lock t.stop_lock (fun () ->
+      if not (Atomic.get t.stopped) then begin
+        Atomic.set t.stopped true;
+        (* Taking route_lock serialises with any in-flight recovery, so
+           the domain handles we join below are final. *)
+        Sync.with_lock t.route_lock (fun () ->
+            Array.iter (fun w -> Channel.close w.channel) t.workers);
+        Array.iter
+          (fun w -> match w.domain with Some d -> Domain.join d | None -> ())
+          t.workers;
+        (match t.monitor with Some d -> Domain.join d | None -> ());
+        t.monitor <- None;
+        (* A worker that crashed in the stop window leaves a backlog the
+           monitor never got to requeue. Every promise issued before
+           [stop] must still resolve, so apply the leftovers here. *)
+        Array.iter
+          (fun w ->
+            List.iter (apply_directly t)
+              (Channel.drain_matching w.channel ~f:(fun _ -> true)))
+          t.workers
+      end)
 
 (* ---------------- stats ---------------- *)
 
@@ -373,9 +366,9 @@ type stats = {
 
 let stats t =
   let sum f = Array.fold_left (fun acc w -> acc + f w) 0 t.workers in
-  Mutex.lock t.route_lock;
-  let recoveries = t.recoveries_n and requeued_ops = t.requeued_n in
-  Mutex.unlock t.route_lock;
+  let recoveries, requeued_ops =
+    Sync.with_lock t.route_lock (fun () -> (t.recoveries_n, t.requeued_n))
+  in
   {
     ops_completed = sum (fun w -> w.ops);
     writes = sum (fun w -> w.writes_n);

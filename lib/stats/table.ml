@@ -39,9 +39,9 @@ let render t =
   let rule = String.make (String.length header) '-' in
   String.concat "\n" (header :: rule :: List.map render_row rows)
 
-let print t =
-  print_string (render t);
-  print_newline ()
+let print ?(oc = stdout) t =
+  output_string oc (render t);
+  output_char oc '\n'
 
 let cell_f ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
 let cell_i v = string_of_int v

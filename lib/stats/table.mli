@@ -15,8 +15,10 @@ val add_row : t -> string list -> unit
 (** Render to a string, header first. *)
 val render : t -> string
 
-(** [print t] renders to stdout. *)
-val print : t -> unit
+(** [print t] renders to [oc] (default [stdout]) — the explicit channel
+    keeps library code honest about where output goes; the implicit
+    stdout printers are banned in [lib/] by [c4_lint]. *)
+val print : ?oc:out_channel -> t -> unit
 
 (** Formatting helpers used throughout bench output. *)
 val cell_f : ?decimals:int -> float -> string

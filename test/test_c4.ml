@@ -28,4 +28,5 @@ let () =
       ("cluster", Test_cluster.tests);
       ("extensions", Test_extensions.tests);
       ("size_aware", Test_size_aware.tests);
+      ("check", Test_check.tests);
     ]

@@ -117,19 +117,28 @@ let test_seqlock_multicore () =
     done
   in
   let torn = Atomic.make 0 in
+  let total_retries = Atomic.make 0 in
   let reader () =
     for _ = 1 to iterations do
-      let (x, y), _retries = Seqlock.read l (fun () -> (!a, !b)) in
-      if x <> y then Atomic.incr torn
+      let (x, y), retries = Seqlock.read l (fun () -> (!a, !b)) in
+      if x <> y then Atomic.incr torn;
+      if retries < 0 then Atomic.incr torn;
+      ignore (Atomic.fetch_and_add total_retries retries)
     done
   in
   let wd = Domain.spawn writer in
-  let rd1 = Domain.spawn reader and rd2 = Domain.spawn reader in
+  let readers = List.init 3 (fun _ -> Domain.spawn reader) in
   Domain.join wd;
-  Domain.join rd1;
-  Domain.join rd2;
+  List.iter Domain.join readers;
   Alcotest.(check int) "no torn reads" 0 (Atomic.get torn);
-  Alcotest.(check int) "version = 2 x writes" (2 * iterations) (Seqlock.version l)
+  Alcotest.(check int) "version = 2 x writes" (2 * iterations) (Seqlock.version l);
+  (* Retry counter sanity: contended retries were counted somewhere in
+     [0, readers x iterations x slack], and an uncontended read after
+     all domains joined never retries. *)
+  Alcotest.(check bool) "retry counter sane" true
+    (Atomic.get total_retries >= 0);
+  let _, quiescent_retries = Seqlock.read l (fun () -> (!a, !b)) in
+  Alcotest.(check int) "no retries once quiescent" 0 quiescent_retries
 
 (* ---------------- Store ---------------- *)
 
