@@ -562,6 +562,37 @@ let microbench () =
              ignore (C4_dsim.Heap.pop heap)));
       Test.make ~name:"fnv1a hash (16B key)"
         (Staged.stage (fun () -> ignore (C4_kvs.Hash.fnv1a "0123456789abcdef")));
+      (let wire = C4_net.Wire.create () in
+       let req =
+         {
+           C4_net.Wire.id = 1;
+           op = C4_net.Wire.Set;
+           key = 12345;
+           token = Some 99;
+           value;
+         }
+       in
+       Test.make ~name:"wire encode (SET, 512B)"
+         (Staged.stage (fun () -> ignore (C4_net.Wire.encode_request wire req))));
+      (let wire = C4_net.Wire.create () in
+       let frame =
+         C4_net.Wire.encode_request wire
+           {
+             C4_net.Wire.id = 1;
+             op = C4_net.Wire.Set;
+             key = 12345;
+             token = Some 99;
+             value;
+           }
+       in
+       let decoder = C4_net.Wire.Decoder.create wire in
+       Test.make ~name:"wire feed+decode (SET, 512B)"
+         (Staged.stage (fun () ->
+              C4_net.Wire.Decoder.feed decoder frame ~off:0
+                ~len:(Bytes.length frame);
+              match C4_net.Wire.Decoder.next_frame decoder with
+              | `Frame body -> ignore (C4_net.Wire.decode_request wire body)
+              | `Awaiting | `Corrupt _ -> assert false)));
     ]
   in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in

@@ -654,6 +654,173 @@ let cluster_cmd =
       const cluster_cmd_impl $ n_nodes $ system $ theta $ write_frac $ mrps $ hot_keys
       $ n_requests)
 
+(* ------------------------------------------------------------------ *)
+(* Network serving: a real TCP front-end over the multicore runtime.  *)
+
+let runtime_config n_workers n_partitions compaction =
+  {
+    C4_runtime.Server.default_config with
+    n_workers;
+    n_partitions;
+    compaction;
+  }
+
+let serve_run port n_workers n_partitions compaction duration =
+  let runtime =
+    C4_runtime.Server.start (runtime_config n_workers n_partitions compaction)
+  in
+  let srv =
+    C4_net.Server.start { C4_net.Server.default_config with port } ~runtime
+  in
+  Printf.printf "c4 server listening on 127.0.0.1:%d (%d workers, %d partitions%s)\n%!"
+    (C4_net.Server.port srv) n_workers n_partitions
+    (if compaction then ", compaction on" else "");
+  (match duration with
+  | Some s -> (try Unix.sleepf s with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+  | None ->
+    let stop_flag = Atomic.make false in
+    let on_sig _ = Atomic.set stop_flag true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_sig);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_sig);
+    while not (Atomic.get stop_flag) do
+      try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done);
+  (* Net layer first, runtime second: the drain order that guarantees
+     every accepted request is answered before workers tear down. *)
+  C4_net.Server.stop srv;
+  C4_runtime.Server.stop runtime;
+  let st = C4_net.Server.stats srv in
+  Printf.printf
+    "served %d requests on %d connections (%d B in, %d B out, %d protocol errors)\n"
+    st.C4_net.Server.requests st.C4_net.Server.conns_accepted
+    st.C4_net.Server.bytes_in st.C4_net.Server.bytes_out
+    st.C4_net.Server.protocol_errors;
+  C4_stats.Table.print (C4_obs.Registry.to_table (C4_net.Server.registry srv))
+
+let netbench_run n_workers n_partitions compaction write_frac theta rate n_ops
+    warmup delete_frac conns =
+  let runtime =
+    C4_runtime.Server.start (runtime_config n_workers n_partitions compaction)
+  in
+  let srv = C4_net.Server.start C4_net.Server.default_config ~runtime in
+  let client =
+    C4_net.Client.create
+      {
+        (C4_net.Client.default_config
+           ~hosts:[ ("127.0.0.1", C4_net.Server.port srv) ])
+        with
+        conns_per_host = conns;
+        retry = Some C4_resilience.Retry.default;
+      }
+  in
+  let workload =
+    {
+      C4_workload.Generator.default with
+      theta;
+      write_fraction = write_frac /. 100.0;
+      rate = rate *. 1e-9;  (* ops/s -> ops/ns *)
+      n_partitions;
+    }
+  in
+  let cfg =
+    {
+      (C4_net.Loadgen.default_config ~workload ~seed:42) with
+      n_ops;
+      warmup = min warmup (n_ops / 2);
+      delete_fraction = delete_frac /. 100.0;
+    }
+  in
+  let report = C4_net.Loadgen.run client cfg in
+  C4_net.Client.close client;
+  C4_net.Server.stop srv;
+  C4_runtime.Server.stop runtime;
+  let sstats = C4_net.Server.stats srv in
+  let cstats = C4_net.Client.stats client in
+  C4_stats.Table.print (C4_net.Loadgen.to_table report);
+  Printf.printf
+    "throughput %.0f ops/s (%d/%d completed, %d errors, %d unanswered) in %.2f s\n"
+    report.C4_net.Loadgen.throughput report.C4_net.Loadgen.completed
+    report.C4_net.Loadgen.issued report.C4_net.Loadgen.errors
+    report.C4_net.Loadgen.unanswered report.C4_net.Loadgen.duration_s;
+  Printf.printf "client: %d sent, %d retries, %d transport errors; server: %d protocol errors\n"
+    cstats.C4_net.Client.sent cstats.C4_net.Client.retries
+    cstats.C4_net.Client.transport_errors sstats.C4_net.Server.protocol_errors;
+  if
+    report.C4_net.Loadgen.completed = 0
+    || report.C4_net.Loadgen.errors > 0
+    || report.C4_net.Loadgen.unanswered > 0
+    || sstats.C4_net.Server.protocol_errors > 0
+  then begin
+    Printf.printf "NETBENCH FAILED\n";
+    exit 1
+  end
+
+let workers_arg =
+  Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc:"Worker domains.")
+
+let partitions_arg =
+  Arg.(value & opt int 64 & info [ "partitions" ] ~docv:"N" ~doc:"CREW partitions.")
+
+let no_compaction_arg =
+  Arg.(value & flag & info [ "no-compaction" ] ~doc:"Disable write compaction.")
+
+let serve_cmd =
+  let port =
+    Arg.(value & opt int 4150 & info [ "p"; "port" ] ~docv:"PORT"
+           ~doc:"TCP port to listen on (0 = ephemeral).")
+  in
+  let duration =
+    Arg.(value & opt (some float) None & info [ "duration" ] ~docv:"SECONDS"
+           ~doc:"Serve for $(docv) then drain and exit (default: until SIGINT).")
+  in
+  let run port workers partitions no_compaction duration =
+    serve_run port workers partitions (not no_compaction) duration
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve the multicore KVS over TCP (CREW routing, compaction, recovery).")
+    Term.(const run $ port $ workers_arg $ partitions_arg $ no_compaction_arg $ duration)
+
+let netbench_cmd =
+  let write_frac =
+    Arg.(value & opt float 30.0 & info [ "write-frac" ] ~docv:"PCT"
+           ~doc:"Write percentage of the Zipf mix.")
+  in
+  let theta =
+    Arg.(value & opt float 0.99 & info [ "s"; "skew" ] ~docv:"GAMMA" ~doc:"Zipf coefficient.")
+  in
+  let rate =
+    Arg.(value & opt float 50_000.0 & info [ "rate" ] ~docv:"OPS_PER_SEC"
+           ~doc:"Open-loop offered rate.")
+  in
+  let n_ops =
+    Arg.(value & opt int 20_000 & info [ "n" ] ~docv:"N" ~doc:"Requests to issue.")
+  in
+  let warmup =
+    Arg.(value & opt int 1_000 & info [ "warmup" ] ~docv:"N"
+           ~doc:"Responses excluded from latency stats.")
+  in
+  let delete_frac =
+    Arg.(value & opt float 5.0 & info [ "delete-frac" ] ~docv:"PCT"
+           ~doc:"Share of writes issued as DELETE.")
+  in
+  let conns =
+    Arg.(value & opt int 4 & info [ "conns" ] ~docv:"N" ~doc:"Pipelined connections.")
+  in
+  let run workers partitions no_compaction write_frac theta rate n_ops warmup
+      delete_frac conns =
+    netbench_run workers partitions (not no_compaction) write_frac theta rate
+      n_ops warmup delete_frac conns
+  in
+  Cmd.v
+    (Cmd.info "netbench"
+       ~doc:"Loopback load test: spin up the TCP server, drive it open-loop with \
+             the Zipf workload, report throughput and latency percentiles. \
+             Exits nonzero on any protocol error or unanswered request.")
+    Term.(
+      const run $ workers_arg $ partitions_arg $ no_compaction_arg $ write_frac
+      $ theta $ rate $ n_ops $ warmup $ delete_frac $ conns)
+
 let () =
   let info =
     Cmd.info "c4_sim" ~version:"1.0.0"
@@ -675,4 +842,6 @@ let () =
             taxonomy_cmd;
             validate_cmd;
             cluster_cmd;
+            serve_cmd;
+            netbench_cmd;
           ]))

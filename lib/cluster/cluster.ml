@@ -29,11 +29,11 @@ type t = {
   switch_hits : int;
 }
 
-(* Salted mix so node sharding is independent of the in-node partition
-   function (a real deployment hashes twice: consistent hashing across
-   nodes, bucket hashing within one). *)
-let node_of_key ~n_nodes key =
-  C4_kvs.Hash.mix_int (key lxor 0x5DEECE66D) mod n_nodes
+(* Node sharding is independent of the in-node partition function (a
+   real deployment hashes twice: consistent hashing across nodes, bucket
+   hashing within one). The shared helper keeps this model and the real
+   network client (C4_net.Client) routing identically. *)
+let node_of_key ~n_nodes key = C4_kvs.Hash.node_of_key ~n_nodes key
 
 let run ?(seed = 42) config ~n_requests =
   if config.n_nodes <= 0 then invalid_arg "Cluster.run: n_nodes";

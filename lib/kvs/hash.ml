@@ -25,3 +25,7 @@ let partition_of_bucket ~n_buckets ~n_partitions bucket =
 
 let partition_of_key ~n_buckets ~n_partitions key =
   partition_of_bucket ~n_buckets ~n_partitions (bucket_of_key ~n_buckets key)
+
+(* The xor constant decorrelates the node stream from the bucket stream:
+   keys sharing a partition spread over all nodes and vice versa. *)
+let node_of_key ~n_nodes key = mix_int (key lxor 0x5DEECE66D) mod n_nodes

@@ -18,3 +18,10 @@ val partition_of_bucket : n_buckets:int -> n_partitions:int -> int -> int
 
 (** Composition of the two: the f() communicated to the NIC. *)
 val partition_of_key : n_buckets:int -> n_partitions:int -> int -> int
+
+(** Node a key routes to under memcached-style client-side sharding.
+    Decorrelated from {!partition_of_key} (a different stream of the
+    same mix) so a cluster node does not own a contiguous slice of the
+    partition space. The single routing function shared by
+    [C4_cluster.Cluster] and [C4_net.Client]. *)
+val node_of_key : n_nodes:int -> int -> int

@@ -1,0 +1,345 @@
+module Sync = C4_runtime.Sync
+module Promise = C4_runtime.Promise
+module Retry = C4_resilience.Retry
+
+type config = {
+  hosts : (string * int) list;
+  conns_per_host : int;
+  max_frame : int;
+  retry : Retry.config option;
+  retry_seed : int;
+}
+
+let default_config ~hosts =
+  { hosts; conns_per_host = 1; max_frame = 1 lsl 20; retry = None; retry_seed = 1 }
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_pending : (int, Wire.response -> unit) Hashtbl.t;
+  c_lock : Mutex.t;  (* guards c_pending and socket writes *)
+  c_alive : bool Atomic.t;
+  mutable c_reader : Thread.t option;
+}
+
+type slot = {
+  s_host : string;
+  s_port : int;
+  s_lock : Mutex.t;
+  mutable s_conn : conn option;
+}
+
+type t = {
+  cfg : config;
+  wire : Wire.t;
+  slots : slot array array;  (* slots.(host).(pool index) *)
+  next_id : int Atomic.t;
+  rr : int Atomic.t;
+  budget : Retry.Budget.budget option;
+  budget_lock : Mutex.t;
+  closed : bool Atomic.t;
+  n_sent : int Atomic.t;
+  n_received : int Atomic.t;
+  s_retries : int Atomic.t;
+  n_transport_errors : int Atomic.t;
+  n_reconnects : int Atomic.t;
+}
+
+let create cfg =
+  if cfg.hosts = [] then invalid_arg "Net.Client.create: hosts";
+  if cfg.conns_per_host < 1 then invalid_arg "Net.Client.create: conns_per_host";
+  let slot (host, port) =
+    { s_host = host; s_port = port; s_lock = Mutex.create (); s_conn = None }
+  in
+  {
+    cfg;
+    wire = Wire.create ~max_frame:cfg.max_frame ();
+    slots =
+      Array.of_list
+        (List.map
+           (fun hp -> Array.init cfg.conns_per_host (fun _ -> slot hp))
+           cfg.hosts);
+    next_id = Atomic.make 0;
+    rr = Atomic.make 0;
+    budget = Option.map Retry.Budget.create cfg.retry;
+    budget_lock = Mutex.create ();
+    closed = Atomic.make false;
+    n_sent = Atomic.make 0;
+    n_received = Atomic.make 0;
+    s_retries = Atomic.make 0;
+    n_transport_errors = Atomic.make 0;
+    n_reconnects = Atomic.make 0;
+  }
+
+let node_of t ~key =
+  C4_kvs.Hash.node_of_key ~n_nodes:(Array.length t.slots) key
+
+let synth_err id msg =
+  { Wire.resp_id = id; status = Wire.Err; timing_ns = 0; resp_value = Bytes.of_string msg }
+
+(* Fail every outstanding request on a dying connection. Handlers run
+   outside the lock — they may dispatch again. *)
+let fail_pending conn msg =
+  let victims =
+    Sync.with_lock conn.c_lock (fun () ->
+        let v = Hashtbl.fold (fun id h acc -> (id, h) :: acc) conn.c_pending [] in
+        Hashtbl.reset conn.c_pending;
+        v)
+  in
+  List.iter (fun (id, h) -> h (synth_err id msg)) victims
+
+let kill_conn conn msg =
+  if Atomic.exchange conn.c_alive false |> not then ()
+  else begin
+    (try Unix.shutdown conn.c_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    fail_pending conn msg
+  end
+
+let write_all fd b =
+  let n = Bytes.length b in
+  let rec go off =
+    if off >= n then true
+    else
+      match Unix.write fd b off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _)
+        -> false
+  in
+  go 0
+
+let reader_loop t conn () =
+  let decoder = Wire.Decoder.create t.wire in
+  let chunk = Bytes.create 65536 in
+  let deliver body =
+    match Wire.decode_response t.wire body with
+    | Error msg -> Error msg
+    | Ok resp ->
+      Atomic.incr t.n_received;
+      let handler =
+        Sync.with_lock conn.c_lock (fun () ->
+            match Hashtbl.find_opt conn.c_pending resp.Wire.resp_id with
+            | Some h ->
+              Hashtbl.remove conn.c_pending resp.Wire.resp_id;
+              Some h
+            | None -> None)
+      in
+      (* An unmatched id is tolerated: it belongs to a dispatch whose
+         handler was already failed when the conn was being killed. *)
+      (match handler with Some h -> h resp | None -> ());
+      Ok ()
+  in
+  let rec frames () =
+    match Wire.Decoder.next_frame decoder with
+    | `Awaiting -> Ok ()
+    | `Corrupt msg -> Error msg
+    | `Frame body -> ( match deliver body with Ok () -> frames () | e -> e)
+  in
+  let rec loop () =
+    match Unix.read conn.c_fd chunk 0 (Bytes.length chunk) with
+    | 0 -> "connection closed by server"
+    | n ->
+      Wire.Decoder.feed decoder chunk ~off:0 ~len:n;
+      (match frames () with Ok () -> loop () | Error msg -> msg)
+    | exception
+        Unix.Unix_error
+          ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF | Unix.EINVAL | Unix.ENOTCONN), _, _)
+      ->
+      "connection reset"
+  in
+  let msg = loop () in
+  kill_conn conn msg;
+  try Unix.close conn.c_fd with Unix.Unix_error _ -> ()
+
+let connect t slot =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string slot.s_host, slot.s_port));
+    Unix.setsockopt fd Unix.TCP_NODELAY true
+  with
+  | () ->
+    let conn =
+      {
+        c_fd = fd;
+        c_pending = Hashtbl.create 64;
+        c_lock = Mutex.create ();
+        c_alive = Atomic.make true;
+        c_reader = None;
+      }
+    in
+    conn.c_reader <- Some (Thread.create (fun () -> reader_loop t conn ()) ());
+    Ok conn
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Printf.sprintf "connect %s:%d: %s" slot.s_host slot.s_port (Unix.error_message e))
+
+(* Live connection for [slot], reconnecting if the last one died. *)
+let conn_of t slot =
+  Sync.with_lock slot.s_lock (fun () ->
+      match slot.s_conn with
+      | Some c when Atomic.get c.c_alive -> Ok c
+      | prev ->
+        if prev <> None then Atomic.incr t.n_reconnects;
+        (match connect t slot with
+        | Ok c ->
+          slot.s_conn <- Some c;
+          Ok c
+        | Error _ as e ->
+          slot.s_conn <- None;
+          e))
+
+let dispatch t ~op ~key ?(value = Bytes.empty) ?token ~on_response () =
+  if op <> Wire.Set && Bytes.length value > 0 then
+    invalid_arg "Net.Client.dispatch: value on non-SET";
+  let id = Atomic.fetch_and_add t.next_id 1 in
+  if Atomic.get t.closed then begin
+    on_response (synth_err id "client closed");
+    id
+  end
+  else begin
+    let pool = t.slots.(node_of t ~key) in
+    let slot = pool.(Atomic.fetch_and_add t.rr 1 mod Array.length pool) in
+    (match conn_of t slot with
+    | Error msg ->
+      Atomic.incr t.n_transport_errors;
+      on_response (synth_err id msg)
+    | Ok conn ->
+      let frame = Wire.encode_request t.wire { Wire.id; op; key; token; value } in
+      let sent =
+        Sync.with_lock conn.c_lock (fun () ->
+            if not (Atomic.get conn.c_alive) then false
+            else begin
+              Hashtbl.replace conn.c_pending id on_response;
+              if write_all conn.c_fd frame then true
+              else begin
+                Hashtbl.remove conn.c_pending id;
+                false
+              end
+            end)
+      in
+      if sent then Atomic.incr t.n_sent
+      else begin
+        Atomic.incr t.n_transport_errors;
+        kill_conn conn "write failed";
+        on_response (synth_err id "write failed")
+      end);
+    id
+  end
+
+(* ---- synchronous retrying calls ---- *)
+
+let once t ~op ~key ~value ~token =
+  let p = Promise.create () in
+  let id =
+    dispatch t ~op ~key ~value ?token ~on_response:(fun r -> Promise.fulfil p r) ()
+  in
+  (id, Promise.await p)
+
+(* Charge the shared budget for one more retry; grants the failed
+   original its credits first. *)
+let budget_allows t =
+  match t.budget with
+  | None -> true
+  | Some b -> Sync.with_lock t.budget_lock (fun () -> Retry.Budget.try_charge b)
+
+let note_failed_original t =
+  match t.budget with
+  | None -> ()
+  | Some b -> Sync.with_lock t.budget_lock (fun () -> Retry.Budget.note_failed_original b)
+
+let call t ~op ~key ~value =
+  match t.cfg.retry with
+  | None ->
+    let _, resp = once t ~op ~key ~value ~token:None in
+    resp
+  | Some cfg ->
+    let start = Unix.gettimeofday () in
+    let deadline_ok () =
+      cfg.Retry.deadline <= 0.0
+      || (Unix.gettimeofday () -. start) *. 1e9 < cfg.Retry.deadline
+    in
+    (* The first attempt's id doubles as the idempotency token on SETs:
+       it must ride along from attempt one, or a duplicate of the
+       original could land after a tokenless first apply. *)
+    let first_id = ref None in
+    let rec attempt n =
+      let token =
+        match (op, !first_id) with Wire.Set, Some id -> Some id | _ -> None
+      in
+      let id, resp = once t ~op ~key ~value ~token in
+      if !first_id = None then first_id := Some id;
+      if resp.Wire.status <> Wire.Err then resp
+      else begin
+        if n = 1 then note_failed_original t;
+        if n >= cfg.Retry.max_attempts || not (deadline_ok ())
+           || not (budget_allows t)
+        then resp
+        else begin
+          Atomic.incr t.s_retries;
+          let ns =
+            Retry.backoff_ns cfg ~seed:t.cfg.retry_seed
+              ~original:(Option.value !first_id ~default:id)
+              ~attempt:n
+          in
+          Unix.sleepf (ns /. 1e9);
+          if deadline_ok () then attempt (n + 1) else resp
+        end
+      end
+    in
+    attempt 1
+
+let error_of resp = Bytes.to_string resp.Wire.resp_value
+
+let get t ~key =
+  let resp = call t ~op:Wire.Get ~key ~value:Bytes.empty in
+  match resp.Wire.status with
+  | Wire.Ok -> Ok (Some resp.Wire.resp_value)
+  | Wire.Not_found -> Ok None
+  | Wire.Err -> Error (error_of resp)
+
+let set t ~key ~value =
+  let resp = call t ~op:Wire.Set ~key ~value in
+  match resp.Wire.status with
+  | Wire.Ok | Wire.Not_found -> Ok ()
+  | Wire.Err -> Error (error_of resp)
+
+let delete t ~key =
+  let resp = call t ~op:Wire.Delete ~key ~value:Bytes.empty in
+  match resp.Wire.status with
+  | Wire.Ok -> Ok true
+  | Wire.Not_found -> Ok false
+  | Wire.Err -> Error (error_of resp)
+
+type stats = {
+  sent : int;
+  received : int;
+  retries : int;
+  transport_errors : int;
+  reconnects : int;
+}
+
+let stats t =
+  {
+    sent = Atomic.get t.n_sent;
+    received = Atomic.get t.n_received;
+    retries = Atomic.get t.s_retries;
+    transport_errors = Atomic.get t.n_transport_errors;
+    reconnects = Atomic.get t.n_reconnects;
+  }
+
+let close t =
+  if not (Atomic.exchange t.closed true) then
+    Array.iter
+      (fun pool ->
+        Array.iter
+          (fun slot ->
+            Sync.with_lock slot.s_lock (fun () ->
+                match slot.s_conn with
+                | None -> ()
+                | Some conn ->
+                  kill_conn conn "client closed";
+                  (match conn.c_reader with
+                  | Some r -> Thread.join r
+                  | None -> ());
+                  slot.s_conn <- None))
+          pool)
+      t.slots

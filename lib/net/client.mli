@@ -1,0 +1,81 @@
+(** Pipelined, pooled TCP client for the {!Server} wire protocol.
+
+    Sharding: keys are routed to [hosts.(C4_kvs.Hash.node_of_key)] —
+    the same function {!C4_cluster.Cluster.node_of_key} uses server
+    side, so a client talking to an N-node cluster and the cluster's
+    own router always agree on key placement (memcached-style
+    client-side sharding). Within a host, requests round-robin over
+    [conns_per_host] pooled connections, and each connection pipelines:
+    many requests can be in flight before the first response returns.
+
+    Retries: when [retry] is set, the synchronous {!get}/{!set}/
+    {!delete} calls re-issue failed requests with the policy's capped
+    exponential backoff, wall-clock deadline, and shared token-bucket
+    budget ({!C4_resilience.Retry}). A SET is made safe to retry by
+    attaching an idempotency token — the id of the {e first} attempt —
+    from the very first try, so however many duplicates reach the
+    server, {!C4_runtime.Server} applies exactly one. Transport errors
+    (connection reset, decode failure) and [Err] responses are
+    retryable; [Not_found] is a successful outcome, never retried. *)
+
+type config = {
+  hosts : (string * int) list;  (** node i's address; order fixes sharding *)
+  conns_per_host : int;
+  max_frame : int;
+  retry : C4_resilience.Retry.config option;
+      (** [None] = fail fast, no retries, no tokens *)
+  retry_seed : int;  (** jitter determinism for {!C4_resilience.Retry.backoff_ns} *)
+}
+
+(** One connection per host, 1 MiB frames, no retry, seed 1. *)
+val default_config : hosts:(string * int) list -> config
+
+type t
+
+(** Connect lazily: sockets are opened on first use (and re-opened
+    after a connection dies). Raises [Invalid_argument] on an empty
+    host list or non-positive pool size. *)
+val create : config -> t
+
+(** Which host index serves [key]. *)
+val node_of : t -> key:int -> int
+
+(** {2 Asynchronous pipelined interface}
+
+    [dispatch] assigns a fresh request id, sends the frame, and returns
+    the id immediately; [on_response] fires in the connection's reader
+    thread when the response arrives (or, on a transport failure, with
+    a synthesised [Err] response — every dispatch gets exactly one
+    callback). Raises [Invalid_argument] if [value] is given for a
+    non-SET op. *)
+val dispatch :
+  t ->
+  op:Wire.op ->
+  key:int ->
+  ?value:bytes ->
+  ?token:int ->
+  on_response:(Wire.response -> unit) ->
+  unit ->
+  int
+
+(** {2 Synchronous interface (retrying)} *)
+
+val get : t -> key:int -> (bytes option, string) result
+val set : t -> key:int -> value:bytes -> (unit, string) result
+
+(** [Ok true] when the key was present. *)
+val delete : t -> key:int -> (bool, string) result
+
+type stats = {
+  sent : int;  (** frames written, retries included *)
+  received : int;  (** responses decoded *)
+  retries : int;
+  transport_errors : int;  (** dispatches failed by connection death *)
+  reconnects : int;
+}
+
+val stats : t -> stats
+
+(** Close every pooled connection; in-flight dispatches get their
+    synthesised [Err] callback. Idempotent. *)
+val close : t -> unit

@@ -1,0 +1,140 @@
+module Channel = C4_runtime.Channel
+module Sync = C4_runtime.Sync
+
+type callbacks = {
+  handle : Wire.request -> (unit -> Wire.response);
+  on_bytes_in : int -> unit;
+  on_bytes_out : int -> unit;
+  on_protocol_error : string -> unit;
+  on_closed : unit -> unit;
+}
+
+type t = {
+  fd : Unix.file_descr;
+  wire : Wire.t;
+  cb : callbacks;
+  (* Responses-to-write, in request arrival order. *)
+  pending : (unit -> Wire.response) Channel.t;
+  mutable reader : Thread.t option;
+  mutable writer : Thread.t option;
+  drained : bool Atomic.t;
+  lifecycle : Mutex.t;
+}
+
+(* write(2) until the whole buffer is out; false = peer is gone. *)
+let write_all fd b =
+  let n = Bytes.length b in
+  let rec go off =
+    if off >= n then true
+    else
+      match Unix.write fd b off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _)
+        -> false
+  in
+  go 0
+
+let writer_loop t () =
+  let rec loop peer_alive =
+    match Channel.pop t.pending with
+    | None -> ()
+    | Some thunk ->
+      (* Run the thunk even when the peer is gone: it awaits the
+         operation's promise, and an acknowledged write must be applied
+         whether or not the ack can be delivered. *)
+      let resp = thunk () in
+      let alive =
+        if not peer_alive then false
+        else begin
+          let frame = Wire.encode_response t.wire resp in
+          let ok = write_all t.fd frame in
+          if ok then t.cb.on_bytes_out (Bytes.length frame);
+          ok
+        end
+      in
+      loop alive
+  in
+  loop true
+
+(* Decode every complete frame currently buffered; returns [false] on a
+   connection-fatal protocol error. *)
+let rec process_frames t decoder =
+  match Wire.Decoder.next_frame decoder with
+  | `Awaiting -> true
+  | `Corrupt msg ->
+    t.cb.on_protocol_error msg;
+    false
+  | `Frame body -> (
+    match Wire.decode_request t.wire body with
+    | Error msg ->
+      t.cb.on_protocol_error msg;
+      false
+    | Ok req ->
+      Channel.push t.pending (t.cb.handle req);
+      process_frames t decoder)
+
+let reader_loop t () =
+  let decoder = Wire.Decoder.create t.wire in
+  let chunk = Bytes.create 65536 in
+  let rec loop () =
+    match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      t.cb.on_bytes_in n;
+      Wire.Decoder.feed decoder chunk ~off:0 ~len:n;
+      if process_frames t decoder then loop ()
+    | exception
+        Unix.Unix_error
+          ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF | Unix.EINVAL | Unix.ENOTCONN), _, _)
+      ->
+      ()
+  in
+  loop ();
+  (* EOF / drain / fatal error: no new requests will be accepted, but
+     everything already handed to the writer still flushes. *)
+  Channel.close t.pending
+
+let start ~wire ~fd cb =
+  let t =
+    {
+      fd;
+      wire;
+      cb;
+      pending = Channel.create ();
+      reader = None;
+      writer = None;
+      drained = Atomic.make false;
+      lifecycle = Mutex.create ();
+    }
+  in
+  let reader = Thread.create (fun () -> reader_loop t ()) () in
+  let writer =
+    Thread.create
+      (fun () ->
+        writer_loop t ();
+        Thread.join reader;
+        (try Unix.close t.fd with Unix.Unix_error (Unix.EBADF, _, _) -> ());
+        t.cb.on_closed ())
+      ()
+  in
+  t.reader <- Some reader;
+  t.writer <- Some writer;
+  t
+
+let drain t =
+  if not (Atomic.exchange t.drained true) then begin
+    (* Half-close the receive side: the reader sees EOF after decoding
+       whatever already arrived, so accepted requests are never cut off
+       mid-drain. *)
+    try Unix.shutdown t.fd Unix.SHUTDOWN_RECEIVE
+    with Unix.Unix_error ((Unix.ENOTCONN | Unix.EBADF | Unix.EINVAL), _, _) -> ()
+  end
+
+let join t =
+  Sync.with_lock t.lifecycle (fun () ->
+      match t.writer with
+      | Some w ->
+        Thread.join w;
+        t.writer <- None;
+        t.reader <- None
+      | None -> ())

@@ -1,0 +1,45 @@
+(** One server-side TCP connection: a reader thread that incrementally
+    decodes request frames and hands them to the application, and a
+    writer thread that emits responses in {e request arrival order} —
+    the pipelining guarantee memcached-style clients rely on.
+
+    The application callback returns a thunk, not a response: the reader
+    submits the request (asynchronously, e.g. to
+    {!C4_runtime.Server.set_async}) and keeps reading, while the writer
+    runs the thunks — each of which awaits its own completion — strictly
+    in arrival order. Requests therefore execute concurrently but
+    responses never overtake each other on the wire, which is what lets
+    a linearizability checker treat one connection as one client: the
+    response order observed at the socket is the completion order.
+
+    Lifecycle: the connection winds down when the peer closes or
+    {!drain} is called — either way the reader first decodes every frame
+    already received (nothing accepted is dropped), the writer flushes
+    every pending response, and only then is the socket closed. A
+    protocol error (corrupt frame, undecodable body) is
+    connection-fatal: the reader stops accepting new frames, but
+    responses already owed are still flushed. *)
+
+type callbacks = {
+  handle : Wire.request -> (unit -> Wire.response);
+      (** called in the reader thread; must not block (submit async and
+          return the awaiting thunk, which the writer runs) *)
+  on_bytes_in : int -> unit;
+  on_bytes_out : int -> unit;
+  on_protocol_error : string -> unit;
+  on_closed : unit -> unit;  (** both threads done, socket closed *)
+}
+
+type t
+
+(** Take ownership of [fd] (stream socket) and start the two threads. *)
+val start : wire:Wire.t -> fd:Unix.file_descr -> callbacks -> t
+
+(** Stop reading new bytes from the peer (half-close the receive side),
+    let the pipeline drain, and return once every pending response has
+    been written and the socket closed. Idempotent. *)
+val drain : t -> unit
+
+(** Block until the connection has fully wound down (peer close or
+    {!drain}). *)
+val join : t -> unit

@@ -1,0 +1,159 @@
+module Generator = C4_workload.Generator
+module Request = C4_workload.Request
+module Histogram = C4_stats.Histogram
+module Table = C4_stats.Table
+module Sync = C4_runtime.Sync
+
+type config = {
+  workload : Generator.config;
+  seed : int;
+  n_ops : int;
+  warmup : int;
+  delete_fraction : float;
+  drain_timeout_s : float;
+}
+
+let default_config ~workload ~seed =
+  {
+    workload;
+    seed;
+    n_ops = 20_000;
+    warmup = 1_000;
+    delete_fraction = 0.0;
+    drain_timeout_s = 10.0;
+  }
+
+type report = {
+  issued : int;
+  completed : int;
+  errors : int;
+  unanswered : int;
+  duration_s : float;
+  throughput : float;
+  get_ns : Histogram.t;
+  set_ns : Histogram.t;
+  delete_ns : Histogram.t;
+  all_ns : Histogram.t;
+}
+
+(* Deterministic write->delete demotion, decorrelated from key choice. *)
+let is_delete cfg (req : Request.t) =
+  cfg.delete_fraction > 0.0
+  && Request.is_write req
+  && C4_kvs.Hash.mix_int (req.id lxor 0x9E3779B9) land 0xFFFF
+     < int_of_float (cfg.delete_fraction *. 65536.0)
+
+let run client cfg =
+  if cfg.n_ops < 1 then invalid_arg "Net.Loadgen.run: n_ops";
+  if cfg.delete_fraction < 0.0 || cfg.delete_fraction > 1.0 then
+    invalid_arg "Net.Loadgen.run: delete_fraction";
+  let gen = Generator.create cfg.workload ~seed:cfg.seed in
+  let values = Hashtbl.create 4 in
+  let value_of size =
+    match Hashtbl.find_opt values size with
+    | Some v -> v
+    | None ->
+      let v = Bytes.make size 'v' in
+      Hashtbl.add values size v;
+      v
+  in
+  let hist_lock = Mutex.create () in
+  let get_ns = Histogram.create () in
+  let set_ns = Histogram.create () in
+  let delete_ns = Histogram.create () in
+  let all_ns = Histogram.create () in
+  let completed = Atomic.make 0 in
+  let errors = Atomic.make 0 in
+  let last_response = Atomic.make 0.0 in
+  let start = Unix.gettimeofday () in
+  for _ = 1 to cfg.n_ops do
+    let req = Generator.next gen in
+    (* Open-loop pacing: dispatch at the generator's arrival time no
+       matter how many responses are outstanding. *)
+    let target = start +. (req.Request.arrival *. 1e-9) in
+    let delay = target -. Unix.gettimeofday () in
+    if delay > 0.0 then Unix.sleepf delay;
+    let op, value =
+      if is_delete cfg req then (Wire.Delete, Bytes.empty)
+      else if Request.is_write req then (Wire.Set, value_of req.Request.value_size)
+      else (Wire.Get, Bytes.empty)
+    in
+    let hist =
+      match op with
+      | Wire.Get -> get_ns
+      | Wire.Set -> set_ns
+      | Wire.Delete -> delete_ns
+    in
+    let dispatched = Unix.gettimeofday () in
+    let on_response (resp : Wire.response) =
+      let now = Unix.gettimeofday () in
+      Atomic.set last_response now;
+      if resp.Wire.status = Wire.Err then Atomic.incr errors;
+      let n = Atomic.fetch_and_add completed 1 + 1 in
+      if n > cfg.warmup then begin
+        let lat_ns = (now -. dispatched) *. 1e9 in
+        Sync.with_lock hist_lock (fun () ->
+            Histogram.add hist lat_ns;
+            Histogram.add all_ns lat_ns)
+      end
+    in
+    ignore
+      (Client.dispatch client ~op ~key:req.Request.key
+         ~value ~on_response ())
+  done;
+  let drain_deadline = Unix.gettimeofday () +. cfg.drain_timeout_s in
+  while
+    Atomic.get completed < cfg.n_ops && Unix.gettimeofday () < drain_deadline
+  do
+    Unix.sleepf 0.001
+  done;
+  let finish =
+    let lr = Atomic.get last_response in
+    if lr > start then lr else Unix.gettimeofday ()
+  in
+  let done_n = Atomic.get completed in
+  let duration_s = Float.max (finish -. start) 1e-9 in
+  {
+    issued = cfg.n_ops;
+    completed = done_n;
+    errors = Atomic.get errors;
+    unanswered = cfg.n_ops - done_n;
+    duration_s;
+    throughput = float_of_int done_n /. duration_s;
+    get_ns;
+    set_ns;
+    delete_ns;
+    all_ns;
+  }
+
+let to_table r =
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("op", Table.Left);
+          ("count", Table.Right);
+          ("mean us", Table.Right);
+          ("p50 us", Table.Right);
+          ("p99 us", Table.Right);
+          ("p999 us", Table.Right);
+        ]
+  in
+  let us x = Table.cell_f ~decimals:1 (x /. 1e3) in
+  let row name h =
+    if Histogram.count h > 0 then
+      Table.add_row t
+        [
+          name;
+          Table.cell_i (Histogram.count h);
+          us (Histogram.mean h);
+          us (Histogram.median h);
+          us (Histogram.p99 h);
+          us (Histogram.p999 h);
+        ]
+  in
+  row "GET" r.get_ns;
+  row "SET" r.set_ns;
+  row "DELETE" r.delete_ns;
+  row "all" r.all_ns;
+  t

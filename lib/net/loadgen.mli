@@ -1,0 +1,46 @@
+(** Open-loop network load generator (netbench): replays a
+    {!C4_workload.Generator} schedule against a live {!Server} through a
+    {!Client}, pacing dispatches by each request's Poisson arrival
+    timestamp — open-loop, so a slow server accumulates in-flight
+    requests instead of slowing the offered rate (the coordinated-
+    omission-free methodology the paper measures under).
+
+    Reads become GETs and writes become SETs of the request's value
+    size; [delete_fraction] deterministically converts that share of
+    writes into DELETEs (hashed on request id, so a seed reproduces the
+    exact op sequence). Client-observed latency — dispatch to response
+    callback, queueing and retries included — lands in per-op
+    {!C4_stats.Histogram}s after [warmup] responses. *)
+
+type config = {
+  workload : C4_workload.Generator.config;
+      (** arrival rate, key population, skew, write mix *)
+  seed : int;
+  n_ops : int;  (** requests to issue *)
+  warmup : int;  (** first responses excluded from latency stats *)
+  delete_fraction : float;  (** share of writes issued as DELETE, [0,1] *)
+  drain_timeout_s : float;
+      (** max wait for outstanding responses after the last dispatch *)
+}
+
+(** 20k ops, 1k warmup, no deletes, 10 s drain. *)
+val default_config : workload:C4_workload.Generator.config -> seed:int -> config
+
+type report = {
+  issued : int;
+  completed : int;  (** responses received (any status) *)
+  errors : int;  (** [Err] responses *)
+  unanswered : int;  (** still outstanding when the drain timed out *)
+  duration_s : float;  (** first dispatch to last response (or timeout) *)
+  throughput : float;  (** completed / duration *)
+  get_ns : C4_stats.Histogram.t;
+  set_ns : C4_stats.Histogram.t;
+  delete_ns : C4_stats.Histogram.t;
+  all_ns : C4_stats.Histogram.t;
+}
+
+(** Blocks until every response arrived or [drain_timeout_s] expired. *)
+val run : Client.t -> config -> report
+
+(** Per-op rows: count, mean, p50/p99/p999 (µs), plus a total row. *)
+val to_table : report -> C4_stats.Table.t

@@ -1,0 +1,259 @@
+module Runtime = C4_runtime.Server
+module Promise = C4_runtime.Promise
+module Sync = C4_runtime.Sync
+module Registry = C4_obs.Registry
+
+type config = { host : string; port : int; backlog : int; max_frame : int }
+
+let default_config =
+  { host = "127.0.0.1"; port = 0; backlog = 64; max_frame = 1 lsl 20 }
+
+type metrics = {
+  conns_accepted_c : Registry.counter;
+  conns_active_g : Registry.gauge;
+  bytes_in_c : Registry.counter;
+  bytes_out_c : Registry.counter;
+  inflight_g : Registry.gauge;
+  protocol_errors_c : Registry.counter;
+  requests_c : Registry.counter;
+  get_h : Registry.histogram;
+  set_h : Registry.histogram;
+  delete_h : Registry.histogram;
+}
+
+type t = {
+  cfg : config;
+  runtime : Runtime.t;
+  wire : Wire.t;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  reg : Registry.t;
+  m : metrics;
+  conns : (int, Conn.t) Hashtbl.t;  (* conn id -> conn, guarded *)
+  conns_lock : Mutex.t;
+  mutable next_conn : int;
+  mutable active : int;
+  mutable acceptor : Thread.t option;
+  inflight : int Atomic.t;
+  stopping : bool Atomic.t;
+  stop_lock : Mutex.t;
+}
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+let metrics_of reg =
+  {
+    conns_accepted_c = Registry.counter reg "net.conns_accepted";
+    conns_active_g = Registry.gauge reg "net.conns_active";
+    bytes_in_c = Registry.counter reg "net.bytes_in";
+    bytes_out_c = Registry.counter reg "net.bytes_out";
+    inflight_g = Registry.gauge reg "net.inflight";
+    protocol_errors_c = Registry.counter reg "net.protocol_errors";
+    requests_c = Registry.counter reg "net.requests";
+    get_h = Registry.histogram reg "net.get_ns";
+    set_h = Registry.histogram reg "net.set_ns";
+    delete_h = Registry.histogram reg "net.delete_ns";
+  }
+
+let err_response id msg =
+  {
+    Wire.resp_id = id;
+    status = Wire.Err;
+    timing_ns = 0;
+    resp_value = Bytes.of_string msg;
+  }
+
+(* Submit one decoded request to the runtime. Called in the connection's
+   reader thread; must not block, so it returns the thunk the writer
+   awaits. Inflight counts submitted-but-unanswered requests. *)
+let handle t (req : Wire.request) =
+  Registry.incr t.m.requests_c;
+  let start = now_ns () in
+  let finish hist =
+    let dt = now_ns () -. start in
+    Registry.observe hist dt;
+    Registry.set t.m.inflight_g (float_of_int (Atomic.fetch_and_add t.inflight (-1) - 1));
+    int_of_float dt
+  in
+  Registry.set t.m.inflight_g (float_of_int (Atomic.fetch_and_add t.inflight 1 + 1));
+  match req.Wire.op with
+  | Wire.Get -> (
+    match Runtime.get_async t.runtime ~key:req.Wire.key with
+    | promise ->
+      fun () ->
+        let value = Promise.await promise in
+        let timing_ns = finish t.m.get_h in
+        (match value with
+        | Some v ->
+          { Wire.resp_id = req.Wire.id; status = Wire.Ok; timing_ns; resp_value = v }
+        | None ->
+          {
+            Wire.resp_id = req.Wire.id;
+            status = Wire.Not_found;
+            timing_ns;
+            resp_value = Bytes.empty;
+          })
+    | exception Runtime.Stopped ->
+      fun () ->
+        ignore (finish t.m.get_h);
+        err_response req.Wire.id "server shutting down")
+  | Wire.Set -> (
+    match
+      Runtime.set_async ?token:req.Wire.token t.runtime ~key:req.Wire.key
+        ~value:req.Wire.value
+    with
+    | promise ->
+      fun () ->
+        Promise.await promise;
+        let timing_ns = finish t.m.set_h in
+        { Wire.resp_id = req.Wire.id; status = Wire.Ok; timing_ns; resp_value = Bytes.empty }
+    | exception Runtime.Stopped ->
+      fun () ->
+        ignore (finish t.m.set_h);
+        err_response req.Wire.id "server shutting down")
+  | Wire.Delete -> (
+    match Runtime.delete_async t.runtime ~key:req.Wire.key with
+    | promise ->
+      fun () ->
+        let present = Promise.await promise in
+        let timing_ns = finish t.m.delete_h in
+        {
+          Wire.resp_id = req.Wire.id;
+          status = (if present then Wire.Ok else Wire.Not_found);
+          timing_ns;
+          resp_value = Bytes.empty;
+        }
+    | exception Runtime.Stopped ->
+      fun () ->
+        ignore (finish t.m.delete_h);
+        err_response req.Wire.id "server shutting down")
+
+let spawn_conn t fd =
+  Sync.with_lock t.conns_lock (fun () ->
+      let id = t.next_conn in
+      t.next_conn <- id + 1;
+      Registry.incr t.m.conns_accepted_c;
+      t.active <- t.active + 1;
+      Registry.set t.m.conns_active_g (float_of_int t.active);
+      let cb =
+        {
+          Conn.handle = handle t;
+          on_bytes_in = (fun n -> Registry.incr ~by:n t.m.bytes_in_c);
+          on_bytes_out = (fun n -> Registry.incr ~by:n t.m.bytes_out_c);
+          on_protocol_error =
+            (fun _msg -> Registry.incr t.m.protocol_errors_c);
+          on_closed =
+            (fun () ->
+              Sync.with_lock t.conns_lock (fun () ->
+                  Hashtbl.remove t.conns id;
+                  t.active <- t.active - 1;
+                  Registry.set t.m.conns_active_g (float_of_int t.active)));
+        }
+      in
+      Hashtbl.replace t.conns id (Conn.start ~wire:t.wire ~fd cb))
+
+let acceptor_loop t () =
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | fd, _addr ->
+      if Atomic.get t.stopping then
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+      else begin
+        Unix.setsockopt fd Unix.TCP_NODELAY true;
+        spawn_conn t fd;
+        loop ()
+      end
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL | Unix.ENOTCONN), _, _) ->
+      (* Listening socket shut down by [stop]. *)
+      ()
+    | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR), _, _) ->
+      if Atomic.get t.stopping then () else loop ()
+  in
+  loop ()
+
+let start ?registry cfg ~runtime =
+  if cfg.backlog < 1 then invalid_arg "Net.Server.start: backlog";
+  (* A peer closing mid-write must not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let reg =
+    match registry with Some r -> r | None -> Registry.create ~thread_safe:true ()
+  in
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd
+       (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
+     Unix.listen listen_fd cfg.backlog
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> cfg.port
+  in
+  let t =
+    {
+      cfg;
+      runtime;
+      wire = Wire.create ~max_frame:cfg.max_frame ();
+      listen_fd;
+      bound_port;
+      reg;
+      m = metrics_of reg;
+      conns = Hashtbl.create 64;
+      conns_lock = Mutex.create ();
+      next_conn = 0;
+      active = 0;
+      acceptor = None;
+      inflight = Atomic.make 0;
+      stopping = Atomic.make false;
+      stop_lock = Mutex.create ();
+    }
+  in
+  t.acceptor <- Some (Thread.create (fun () -> acceptor_loop t ()) ());
+  t
+
+let port t = t.bound_port
+let registry t = t.reg
+
+let stop t =
+  Sync.with_lock t.stop_lock (fun () ->
+      if not (Atomic.exchange t.stopping true) then begin
+        (* shutdown(2), not close(2): closing an fd does not wake a
+           thread blocked in accept(2); shutting the listener down does
+           (the accept fails with EINVAL), and the fd is closed only
+           after the acceptor has exited. *)
+        (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
+         with Unix.Unix_error _ -> ());
+        (match t.acceptor with Some a -> Thread.join a | None -> ());
+        t.acceptor <- None;
+        (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+        (* Snapshot under the lock, then drain outside it: conns remove
+           themselves from the table via on_closed. *)
+        let live =
+          Sync.with_lock t.conns_lock (fun () ->
+              Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [])
+        in
+        List.iter Conn.drain live;
+        List.iter Conn.join live
+      end)
+
+type stats = {
+  conns_accepted : int;
+  conns_active : int;
+  requests : int;
+  bytes_in : int;
+  bytes_out : int;
+  protocol_errors : int;
+}
+
+let stats t =
+  {
+    conns_accepted = Registry.counter_value t.m.conns_accepted_c;
+    conns_active = Sync.with_lock t.conns_lock (fun () -> t.active);
+    requests = Registry.counter_value t.m.requests_c;
+    bytes_in = Registry.counter_value t.m.bytes_in_c;
+    bytes_out = Registry.counter_value t.m.bytes_out_c;
+    protocol_errors = Registry.counter_value t.m.protocol_errors_c;
+  }

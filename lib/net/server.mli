@@ -1,0 +1,65 @@
+(** TCP front-end for the multicore runtime KVS: an acceptor thread plus
+    one {!Conn} (reader + ordered writer) per connection, all feeding
+    one {!C4_runtime.Server} — CREW routing, write compaction, and crash
+    recovery apply to network traffic unchanged.
+
+    Request handling: GET/SET/DELETE frames are submitted through the
+    runtime's async API from the connection reader, and each response is
+    produced by a thunk the connection writer awaits in arrival order —
+    so per-connection pipelining order is preserved while operations
+    from different connections (and different keys) proceed in
+    parallel. SET acks are only emitted after the store apply (the
+    runtime's deferred-response rule), so an acknowledged write observed
+    by a client survives worker crashes.
+
+    Shutdown ({!stop}) drains gracefully: the listening socket closes
+    first (no new connections), every live connection is half-closed and
+    its already-received requests submitted, all pending responses are
+    flushed, and only then does [stop] return. The runtime server is
+    {e not} stopped — it is owned by the caller, who should call
+    {!C4_runtime.Server.stop} after this returns (that order, plus the
+    runtime's reject-then-drain stop, is what guarantees no
+    accepted-but-unanswered request is ever dropped).
+
+    Metrics (all in [registry], which must be thread-safe):
+    [net.conns_accepted], [net.conns_active], [net.bytes_in],
+    [net.bytes_out], [net.inflight], [net.protocol_errors],
+    [net.requests], and per-op service-time histograms [net.get_ns],
+    [net.set_ns], [net.delete_ns]. *)
+
+type config = {
+  host : string;  (** address to bind, e.g. "127.0.0.1" *)
+  port : int;  (** 0 = pick an ephemeral port (see {!port}) *)
+  backlog : int;
+  max_frame : int;  (** connection-fatal bound on frame size *)
+}
+
+(** Loopback, ephemeral port, 64-deep backlog, 1 MiB frames. *)
+val default_config : config
+
+type t
+
+(** Bind, listen, and start accepting. [registry] (created with
+    [~thread_safe:true] when supplied) receives the metrics; a private
+    thread-safe registry is used when omitted. Raises [Unix.Unix_error]
+    when the address cannot be bound. *)
+val start : ?registry:C4_obs.Registry.t -> config -> runtime:C4_runtime.Server.t -> t
+
+(** The port actually bound (resolves port 0). *)
+val port : t -> int
+
+val registry : t -> C4_obs.Registry.t
+
+(** Graceful drain as described above. Idempotent. *)
+val stop : t -> unit
+
+type stats = {
+  conns_accepted : int;
+  conns_active : int;
+  requests : int;  (** frames decoded and submitted *)
+  bytes_in : int;
+  bytes_out : int;
+  protocol_errors : int;
+}
+
+val stats : t -> stats

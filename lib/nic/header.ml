@@ -10,7 +10,11 @@ let register ~layout ~n_buckets ~n_partitions =
   if n_buckets <= 0 || n_partitions <= 0 then invalid_arg "Header.register";
   { layout; n_buckets; n_partitions }
 
-type parsed = { op : [ `Read | `Write ]; key : int; partition : int }
+type op = [ `Read | `Write | `Delete ]
+
+type parsed = { op : op; key : int; partition : int }
+
+let mutates = function `Write | `Delete -> true | `Read -> false
 
 (* Same mix as C4_kvs.Hash.mix_int; duplicated numerically (not as a
    dependency) because the NIC and KVS are distinct subsystems that
@@ -54,8 +58,8 @@ let parse t packet =
       (Printf.sprintf "short packet: %d bytes, need %d" (Bytes.length packet) needed)
   else begin
     match Char.code (Bytes.get packet opcode_offset) with
-    | 0 | 1 ->
-      let op = if Bytes.get packet opcode_offset = '\000' then `Read else `Write in
+    | (0 | 1 | 2) as c ->
+      let op = match c with 0 -> `Read | 1 -> `Write | _ -> `Delete in
       let key = read_key_le packet ~offset:key_offset ~length:key_length in
       Ok { op; key; partition = partition_of_key t key }
     | c -> Error (Printf.sprintf "unknown opcode %d" c)
@@ -65,7 +69,62 @@ let encode t ~op ~key ~value =
   let { opcode_offset; key_offset; key_length } = t.layout in
   let header_end = max (opcode_offset + 1) (key_offset + key_length) in
   let packet = Bytes.make (header_end + Bytes.length value) '\000' in
-  Bytes.set packet opcode_offset (match op with `Read -> '\000' | `Write -> '\001');
+  Bytes.set packet opcode_offset
+    (match op with `Read -> '\000' | `Write -> '\001' | `Delete -> '\002');
   write_key_le packet ~offset:key_offset ~length:key_length key;
   Bytes.blit value 0 packet header_end (Bytes.length value);
   packet
+
+(* ---------------- response side ---------------- *)
+
+type response_layout = {
+  status_offset : int;
+  value_len_offset : int;
+  value_len_bytes : int;
+}
+
+let default_response_layout =
+  { status_offset = 0; value_len_offset = 1; value_len_bytes = 4 }
+
+type status = [ `Ok | `Not_found | `Err ]
+
+type parsed_response = { status : status; value_len : int }
+
+let response_size rl =
+  max (rl.status_offset + 1) (rl.value_len_offset + rl.value_len_bytes)
+
+let status_byte = function `Ok -> '\000' | `Not_found -> '\001' | `Err -> '\002'
+
+let encode_response rl ~status ~value =
+  if rl.value_len_bytes < 1 || rl.value_len_bytes > 4 then
+    invalid_arg "Header.encode_response: value_len_bytes must be in 1..4";
+  let len = Bytes.length value in
+  if rl.value_len_bytes < 4 && len >= 1 lsl (8 * rl.value_len_bytes) then
+    invalid_arg "Header.encode_response: value too long for value_len_bytes";
+  let header_end = response_size rl in
+  let packet = Bytes.make (header_end + len) '\000' in
+  Bytes.set packet rl.status_offset (status_byte status);
+  write_key_le packet ~offset:rl.value_len_offset ~length:rl.value_len_bytes len;
+  Bytes.blit value 0 packet header_end len;
+  packet
+
+let parse_response rl packet =
+  let needed = response_size rl in
+  if Bytes.length packet < needed then
+    Error
+      (Printf.sprintf "short response: %d bytes, need %d" (Bytes.length packet) needed)
+  else
+    match Char.code (Bytes.get packet rl.status_offset) with
+    | (0 | 1 | 2) as c ->
+      let status = match c with 0 -> `Ok | 1 -> `Not_found | _ -> `Err in
+      let value_len =
+        read_key_le packet ~offset:rl.value_len_offset ~length:rl.value_len_bytes
+      in
+      if Bytes.length packet - needed < value_len then
+        Error
+          (Printf.sprintf "response value truncated: declared %d, %d present"
+             value_len
+             (Bytes.length packet - needed))
+      else Ok ({ status; value_len }, Bytes.sub packet needed value_len)
+    | c -> Error (Printf.sprintf "unknown status %d" c)
+

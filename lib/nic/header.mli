@@ -10,9 +10,13 @@
     The wire format modelled is the simple fixed layout of MICA/eRPC
     requests:
 
-    {v offset 0: opcode (1 B; 0 = GET, 1 = SET)
+    {v offset 0: opcode (1 B; 0 = GET, 1 = SET, 2 = DELETE)
        offset [key_offset]: key ([key_length] <= 8 B, little endian)
-       remainder: value v} *)
+       remainder: value v}
+
+    The same geometry is what [C4_net.Wire] puts on real sockets: a
+    network frame's body begins with exactly these bytes, so the
+    simulated NIC and the TCP server parse identical headers. *)
 
 type layout = {
   opcode_offset : int;
@@ -27,9 +31,17 @@ type t
 (** NIC-side parser state, configured once at setup time. *)
 val register : layout:layout -> n_buckets:int -> n_partitions:int -> t
 
-type parsed = { op : [ `Read | `Write ]; key : int; partition : int }
+type op = [ `Read | `Write | `Delete ]
 
-(** Parse a packet; [Error] on short packets or unknown opcodes. *)
+type parsed = { op : op; key : int; partition : int }
+
+(** Does the operation mutate the store? Deletes follow the write path
+    (CREW exclusivity, EWT tracking): they change partition state. *)
+val mutates : op -> bool
+
+(** Parse a packet; [Error] on short packets or unknown opcodes.
+    Backward compatible: opcodes 0 (GET) and 1 (SET) parse exactly as
+    they always did; 2 (DELETE) is the only addition. *)
 val parse : t -> bytes -> (parsed, string) result
 
 (** The registered layout. *)
@@ -40,4 +52,39 @@ val header_size : t -> int
 
 (** Encode a request into a packet (client-side helper used by tests and
     examples; round-trips with {!parse}). *)
-val encode : t -> op:[ `Read | `Write ] -> key:int -> value:bytes -> bytes
+val encode : t -> op:op -> key:int -> value:bytes -> bytes
+
+(** {2 Response-side layout}
+
+    Responses carry a status byte and an explicit value length, so a
+    NIC (or any middlebox) can delimit the value without knowing the
+    request it answers:
+
+    {v offset [status_offset]: status (1 B; 0 = OK, 1 = NOT_FOUND, 2 = ERR)
+       offset [value_len_offset]: value length ([value_len_bytes] <= 4 B, LE)
+       remainder (after {!response_size}): value v} *)
+
+type response_layout = {
+  status_offset : int;
+  value_len_offset : int;
+  value_len_bytes : int;  (** 1..4 bytes *)
+}
+
+val default_response_layout : response_layout
+
+type status = [ `Ok | `Not_found | `Err ]
+
+type parsed_response = { status : status; value_len : int }
+
+(** Bytes occupied by the fixed response header. *)
+val response_size : response_layout -> int
+
+(** Encode a response header + value into a packet. Raises
+    [Invalid_argument] when the value length does not fit in
+    [value_len_bytes]. *)
+val encode_response : response_layout -> status:status -> value:bytes -> bytes
+
+(** Parse a response packet; [Error] on short packets, unknown status
+    bytes, or a declared value length exceeding the bytes present. *)
+val parse_response :
+  response_layout -> bytes -> (parsed_response * bytes, string) result

@@ -4,7 +4,7 @@ type params = { t_parse : float; t_ewt : float; t_jbsq : float }
 
 let default_params = { t_parse = 0.5; t_ewt = 0.5; t_jbsq = 0.5 }
 
-type pending = { p_op : [ `Read | `Write ]; p_partition : int }
+type pending = { p_op : Header.op; p_partition : int }
 
 type t = {
   params : params;
@@ -50,7 +50,7 @@ let create ?registry ?(params = default_params) ~header ~n_workers ~jbsq_bound
 type decision = {
   worker : int option;
   pinned : bool;
-  op : [ `Read | `Write ];
+  op : Header.op;
   partition : int;
   latency : float;
 }
@@ -88,7 +88,9 @@ let route t (p : pending) =
       Queue.push p t.central;
       Registry.set t.central_depth_g (float_of_int (Queue.length t.central));
       Ok None)
-  | `Write -> (
+  (* Deletes mutate partition state, so they take the write path: EWT
+     exclusivity and the outstanding counter apply as for a SET. *)
+  | `Write | `Delete -> (
     match Ewt.lookup t.ewt_ ~partition:p.p_partition with
     | Some owner -> (
       match Ewt.note_write t.ewt_ ~partition:p.p_partition ~thread:owner with

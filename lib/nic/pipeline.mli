@@ -50,7 +50,7 @@ val create :
 type decision = {
   worker : int option;  (** [None] = held in the NIC's central queue *)
   pinned : bool;  (** routed by an EWT mapping *)
-  op : [ `Read | `Write ];
+  op : Header.op;  (** deletes route like writes (they mutate) *)
   partition : int;
   latency : float;  (** summed stage latencies for this decision *)
 }

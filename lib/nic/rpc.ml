@@ -56,7 +56,7 @@ let deliver t ~thread ~sender packet =
       let payload =
         match parsed.Header.op with
         | `Write -> value_of_packet t.header packet
-        | `Read -> Bytes.empty
+        | `Read | `Delete -> Bytes.empty
       in
       let rpc = { rpc_id = t.next_rpc_id; sender; parsed; payload; buffer } in
       t.next_rpc_id <- t.next_rpc_id + 1;

@@ -1,27 +1,48 @@
+(* c4-lint: allow bare-mutex-lock — this is the one base-layer module
+   (below c4_runtime, so Sync.with_lock is unavailable) that needs a
+   lock; [guarded] below is the same exception-safe pattern. *)
+
 module H = C4_stats.Histogram
 module Table = C4_stats.Table
 
-type counter = { mutable n : int }
-type gauge = { mutable v : float }
-type histogram = { hist : H.t }
+(* Handles optionally share their registry's mutex so instrumented
+   multi-threaded code (the network layer) can update them racelessly;
+   [None] (the default) keeps updates to one unsynchronised store. *)
+type counter = { mutable n : int; c_lock : Mutex.t option }
+type gauge = { mutable v : float; g_lock : Mutex.t option }
+type histogram = { hist : H.t; h_lock : Mutex.t option }
 
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
 
 type t = {
   tbl : (string, metric) Hashtbl.t;
   mutable order : string list; (* registration order, reversed *)
+  lock : Mutex.t option;
 }
 
-let create () = { tbl = Hashtbl.create 32; order = [] }
+let guarded lock f =
+  match lock with
+  | None -> f ()
+  | Some m ->
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let create ?(thread_safe = false) () =
+  {
+    tbl = Hashtbl.create 32;
+    order = [];
+    lock = (if thread_safe then Some (Mutex.create ()) else None);
+  }
 
 let register t name make =
-  match Hashtbl.find_opt t.tbl name with
-  | Some m -> m
-  | None ->
-    let m = make () in
-    Hashtbl.replace t.tbl name m;
-    t.order <- name :: t.order;
-    m
+  guarded t.lock (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some m -> m
+      | None ->
+        let m = make () in
+        Hashtbl.replace t.tbl name m;
+        t.order <- name :: t.order;
+        m)
 
 let kind_name = function
   | Counter _ -> "counter"
@@ -34,37 +55,38 @@ let wrong_kind name ~want m =
        (kind_name m))
 
 let counter t name =
-  match register t name (fun () -> Counter { n = 0 }) with
+  match register t name (fun () -> Counter { n = 0; c_lock = t.lock }) with
   | Counter c -> c
   | m -> wrong_kind name ~want:"counter" m
 
 let gauge t name =
-  match register t name (fun () -> Gauge { v = 0.0 }) with
+  match register t name (fun () -> Gauge { v = 0.0; g_lock = t.lock }) with
   | Gauge g -> g
   | m -> wrong_kind name ~want:"gauge" m
 
 let histogram t name =
   match
-    register t name (fun () -> Histogram { hist = H.create () })
+    register t name (fun () -> Histogram { hist = H.create (); h_lock = t.lock })
   with
   | Histogram h -> h
   | m -> wrong_kind name ~want:"histogram" m
 
-let incr ?(by = 1) c = c.n <- c.n + by
-let counter_value c = c.n
-let set g v = g.v <- v
-let gauge_value g = g.v
-let observe h v = H.add h.hist v
+let incr ?(by = 1) c = guarded c.c_lock (fun () -> c.n <- c.n + by)
+let counter_value c = guarded c.c_lock (fun () -> c.n)
+let set g v = guarded g.g_lock (fun () -> g.v <- v)
+let gauge_value g = guarded g.g_lock (fun () -> g.v)
+let observe h v = guarded h.h_lock (fun () -> H.add h.hist v)
 let histogram_values h = h.hist
 
-let names t = List.rev t.order
+let names t = guarded t.lock (fun () -> List.rev t.order)
 
 let read_metric = function
   | Counter c -> float_of_int c.n
   | Gauge g -> g.v
   | Histogram h -> float_of_int (H.count h.hist)
 
-let read t name = Option.map read_metric (Hashtbl.find_opt t.tbl name)
+let read t name =
+  guarded t.lock (fun () -> Option.map read_metric (Hashtbl.find_opt t.tbl name))
 
 let csv_header t = names t
 
@@ -73,9 +95,12 @@ let cell_of = function
   | Gauge g -> Printf.sprintf "%g" g.v
   | Histogram h -> string_of_int (H.count h.hist)
 
-let csv_row t = List.map (fun name -> cell_of (Hashtbl.find t.tbl name)) t.order |> List.rev
+let csv_row t =
+  guarded t.lock (fun () ->
+      List.map (fun name -> cell_of (Hashtbl.find t.tbl name)) t.order |> List.rev)
 
 let to_table t =
+  guarded t.lock @@ fun () ->
   let table =
     Table.create
       ~columns:
@@ -100,5 +125,6 @@ let to_table t =
             Table.cell_f ~decimals:1 (H.p99 h.hist) )
       in
       Table.add_row table [ name; kind_name m; value; mean; p99 ])
-    (names t);
+    (* Not [names t]: the registry lock is already held. *)
+    (List.rev t.order);
   table

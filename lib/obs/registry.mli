@@ -23,7 +23,12 @@ type gauge
 (** A value distribution, backed by {!C4_stats.Histogram}. *)
 type histogram
 
-val create : unit -> t
+(** [thread_safe] (default false) guards every handle update and read
+    behind one registry-wide mutex, for instrumented code that runs on
+    real domains/threads (the network serving layer). The default stays
+    lock-free: the simulator is single-threaded and bumps counters on
+    its hot path. *)
+val create : ?thread_safe:bool -> unit -> t
 
 (** Find-or-create. Raises [Invalid_argument] if [name] is already
     registered as a different metric kind. *)

@@ -78,6 +78,38 @@ let backoff t ~original ~attempt =
   let exp = Float.min t.cfg.max_backoff (t.cfg.base_backoff *. (2.0 ** float_of_int (attempt - 1))) in
   exp *. jitter t ~original ~attempt
 
+(* Same arithmetic without a [t]: the client-side entry point. *)
+let backoff_ns cfg ~seed ~original ~attempt =
+  let h =
+    ((seed * 0x2545F4914F6CDD1D) lxor (original * 0x9E3779B97F4A7) lxor attempt)
+    * 0x85EBCA6B
+  in
+  let jitter = 0.5 +. Rng.float (Rng.create h) in
+  let exp =
+    Float.min cfg.max_backoff (cfg.base_backoff *. (2.0 ** float_of_int (attempt - 1)))
+  in
+  exp *. jitter
+
+module Budget = struct
+  type budget = { ratio : float; mutable b_credits : float }
+
+  let create cfg =
+    if cfg.budget_ratio < 0.0 || cfg.budget_burst < 0.0 then
+      invalid_arg "Retry.Budget.create";
+    { ratio = cfg.budget_ratio; b_credits = cfg.budget_burst }
+
+  let note_failed_original b = b.b_credits <- b.b_credits +. b.ratio
+
+  let try_charge b =
+    if b.b_credits < 1.0 then false
+    else begin
+      b.b_credits <- b.b_credits -. 1.0;
+      true
+    end
+
+  let credits b = b.b_credits
+end
+
 (* The [Model.Server.config.on_drop] hook. The retry budget is a token
    bucket granting [budget_ratio] credits per DROPPED ORIGINAL (plus the
    initial [budget_burst]), and each injected retry costs one credit —

@@ -53,3 +53,31 @@ val stats : t -> stats
 (** retries / dropped originals; 0 when nothing dropped. By
     construction bounded by [budget_ratio + budget_burst/originals]. *)
 val amplification : t -> float
+
+(** {2 Reusable pieces}
+
+    The same policy arithmetic, exposed for wall-clock clients
+    ([C4_net.Client]) that drive retries themselves instead of through
+    the simulator's [on_drop] hook. *)
+
+(** Backoff before attempt [attempt+1] (ns): capped exponential with
+    deterministic jitter in [0.5, 1.5), decorrelated across [original]
+    ids. [attempt] counts from 1 (the original try). *)
+val backoff_ns : config -> seed:int -> original:int -> attempt:int -> float
+
+(** Token-bucket retry budget: [budget_ratio] credits granted per failed
+    original, one charged per retry, so retries <= burst + ratio ×
+    failed originals. Not thread-safe — callers serialise access. *)
+module Budget : sig
+  type budget
+
+  val create : config -> budget
+
+  (** A fresh original failed: grant [budget_ratio] credits. *)
+  val note_failed_original : budget -> unit
+
+  (** Spend one credit for a retry; [false] = budget empty, give up. *)
+  val try_charge : budget -> bool
+
+  val credits : budget -> float
+end

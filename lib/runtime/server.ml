@@ -14,6 +14,7 @@ type op =
   | Get of int * bytes option Promise.t
   | Set of int * bytes * int option * unit Promise.t
       (** key, value, idempotency token, ack *)
+  | Delete of int * bool Promise.t
   | Crash
 
 type worker_state = {
@@ -78,7 +79,7 @@ let owner_of_key t key =
    check-and-record, which a combined batched update would bypass. *)
 let is_plain_set_to key = function
   | Set (k, _, None, _) -> k = key
-  | Set _ | Get _ | Crash -> false
+  | Set _ | Get _ | Delete _ | Crash -> false
 
 (* Worker loop: CREW writes for owned partitions, balanced reads, and
    the compaction fast path — pop a write, harvest every queued write to
@@ -104,6 +105,12 @@ let worker_loop cfg store (w : worker_state) =
       w.retries <- w.retries + retries;
       w.ops <- w.ops + 1;
       Promise.fulfil promise value;
+      loop ()
+    | Some (Delete (key, promise)) ->
+      let present = Store.remove store ~key in
+      w.ops <- w.ops + 1;
+      w.writes_n <- w.writes_n + 1;
+      Promise.fulfil promise present;
       loop ()
     | Some (Set (key, value, (Some _ as token), promise)) ->
       (* Tokened writes bypass batching; see [is_plain_set_to]. *)
@@ -138,7 +145,9 @@ let worker_loop cfg store (w : worker_state) =
           let values =
             value
             :: List.map
-                 (function Set (_, v, _, _) -> v | Get _ | Crash -> assert false)
+                 (function
+                   | Set (_, v, _, _) -> v
+                   | Get _ | Delete _ | Crash -> assert false)
                  dependents
           in
           Store.set_batched store ~key ~values;
@@ -152,7 +161,8 @@ let worker_loop cfg store (w : worker_state) =
           Promise.fulfil promise ();
           List.iter
             (function
-              | Set (_, _, _, p) -> Promise.fulfil p () | Get _ | Crash -> assert false)
+              | Set (_, _, _, p) -> Promise.fulfil p ()
+              | Get _ | Delete _ | Crash -> assert false)
             dependents;
           loop ()
       end
@@ -207,7 +217,7 @@ let recover_locked t (w : worker_state) =
       | Get _ ->
         ignore (Channel.try_push t.workers.(survivor).channel op);
         t.requeued_n <- t.requeued_n + 1
-      | Set (key, _, _, _) ->
+      | Set (key, _, _, _) | Delete (key, _) ->
         let dst = t.owner_map.(Store.partition_of_key t.store key) in
         ignore (Channel.try_push t.workers.(dst).channel op);
         t.requeued_n <- t.requeued_n + 1)
@@ -306,8 +316,15 @@ let set_async ?token t ~key ~value =
   submit_routed t (pick_owner key) (Set (key, value, token, promise));
   promise
 
+let delete_async t ~key =
+  let promise = Promise.create () in
+  (* Deletes mutate the partition, so CREW routes them to the owner. *)
+  submit_routed t (pick_owner key) (Delete (key, promise));
+  promise
+
 let get t ~key = Promise.await (get_async t ~key)
 let set t ~key ~value = Promise.await (set_async t ~key ~value)
+let delete t ~key = Promise.await (delete_async t ~key)
 
 let inject_crash t ~worker =
   if worker < 0 || worker >= t.cfg.n_workers then invalid_arg "Server.inject_crash";
@@ -318,6 +335,7 @@ let inject_crash t ~worker =
 let apply_directly t = function
   | Crash -> ()
   | Get (key, p) -> Promise.fulfil p (fst (Store.get t.store ~key))
+  | Delete (key, p) -> Promise.fulfil p (Store.remove t.store ~key)
   | Set (key, value, None, p) ->
     Store.set t.store ~key ~value;
     Promise.fulfil p ()
@@ -325,12 +343,32 @@ let apply_directly t = function
     ignore (Store.set_idempotent t.store ~key ~value ~token);
     Promise.fulfil p ()
 
+let is_stopping t = Atomic.get t.stopped
+
+(* Phase 2 of [stop]: with new submissions already rejected, wait for
+   the still-running workers to drain their queued backlogs before any
+   channel is closed. A dead worker's backlog cannot drain (the monitor
+   skips recovery once [stopped] is set), so it is excluded here and
+   applied directly by [stop]'s final sweep. *)
+let await_backlogs_drained t =
+  let drained () =
+    Array.for_all
+      (fun w -> Channel.length w.channel = 0 || not (Atomic.get w.alive))
+      t.workers
+  in
+  while not (drained ()) do
+    Domain.cpu_relax ()
+  done
+
 let stop t =
   (* [stop_lock] serialises concurrent stops end-to-end: the loser
      blocks until the winner has fully shut down, then returns. *)
   Sync.with_lock t.stop_lock (fun () ->
       if not (Atomic.get t.stopped) then begin
         Atomic.set t.stopped true;
+        (* Reject-new is now in force; drain in-flight backlogs while
+           the workers are still up, then tear down. *)
+        await_backlogs_drained t;
         (* Taking route_lock serialises with any in-flight recovery, so
            the domain handles we join below are final. *)
         Sync.with_lock t.route_lock (fun () ->
@@ -383,3 +421,6 @@ let stats t =
 
 let alive_workers t =
   Array.fold_left (fun acc w -> if Atomic.get w.alive then acc + 1 else acc) 0 t.workers
+
+let partition_of_key t key = Store.partition_of_key t.store key
+let n_partitions t = t.cfg.n_partitions

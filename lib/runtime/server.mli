@@ -56,6 +56,10 @@ val get : t -> key:int -> bytes option
 
 val set : t -> key:int -> value:bytes -> unit
 
+(** Remove a key (routed to the partition owner like a write, since it
+    mutates partition state); [true] if the key was present. *)
+val delete : t -> key:int -> bool
+
 (** Nonblocking variants returning promises. [token] is an idempotency
     key: two sets carrying the same token apply at most once — pass the
     same token on a client retry and the duplicate is suppressed. *)
@@ -63,19 +67,29 @@ val get_async : t -> key:int -> bytes option Promise.t
 
 val set_async : ?token:int -> t -> key:int -> value:bytes -> unit Promise.t
 
+val delete_async : t -> key:int -> bool Promise.t
+
 (** Simulated fail-stop of one worker domain: the worker dies between
     operations (never mid-write — acks are sent only after the store
     apply, so acknowledged writes survive by construction) and the
     monitor recovers as described above. *)
 val inject_crash : t -> worker:int -> unit
 
-(** Drain queues, join the domains. Idempotent, and safe to race with
-    in-flight operations: every promise issued before [stop] resolves
-    (including the backlog of a worker that crashed in the stop window,
-    which [stop] applies itself), and operations arriving after raise
-    {!Stopped}. Concurrent [stop]s serialise; the loser returns after
-    shutdown completes. *)
+(** Drain queues, join the domains. Two-phase: [stop] first rejects new
+    submissions (they raise {!Stopped}), then lets the still-running
+    workers drain every queued backlog op before tearing the domains
+    down — so a front-end (e.g. [C4_net.Server]) that flushes its
+    connection backlogs before calling [stop] never has an
+    accepted-but-unanswered request dropped. Idempotent, and safe to
+    race with in-flight operations: every promise issued before [stop]
+    resolves (including the backlog of a worker that crashed in the stop
+    window, which [stop] applies itself). Concurrent [stop]s serialise;
+    the loser returns after shutdown completes. *)
 val stop : t -> unit
+
+(** [true] once {!stop} has begun: submissions will raise {!Stopped}.
+    Front-ends poll this to fail fast instead of catching. *)
+val is_stopping : t -> bool
 
 type stats = {
   ops_completed : int;
@@ -97,3 +111,15 @@ val alive_workers : t -> int
 (** The worker that owns a key's partition (CREW routing; exposed for
     tests). After a recovery this reflects the re-owned map. *)
 val owner_of_key : t -> int -> int
+
+(** {2 Client-side routing helpers}
+
+    The key→partition mapping this server computes, exported so network
+    clients can shard the memcached way: [C4_net.Client] uses
+    {!C4_kvs.Hash.node_of_key} to pick an endpoint and can use these to
+    reason about per-server partition placement. *)
+
+(** The partition a key hashes to (same f() as the store and the NIC). *)
+val partition_of_key : t -> int -> int
+
+val n_partitions : t -> int

@@ -29,4 +29,5 @@ let () =
       ("extensions", Test_extensions.tests);
       ("size_aware", Test_size_aware.tests);
       ("check", Test_check.tests);
+      ("net", Test_net.tests);
     ]

@@ -1,0 +1,445 @@
+(* Network serving tests: wire codec round-trips (qcheck), torn-frame
+   and corruption handling, NIC header interop, and live loopback
+   integration — pipelining order, concurrent-client linearizability,
+   crash recovery observed through real sockets, graceful drain. *)
+
+module Wire = C4_net.Wire
+module NetServer = C4_net.Server
+module NetClient = C4_net.Client
+module Loadgen = C4_net.Loadgen
+module Header = C4_nic.Header
+module Runtime = C4_runtime.Server
+module History = C4_consistency.History
+module Lin = C4_consistency.Linearizability
+
+let wire = Wire.create ()
+
+(* ---------------- codec: round trips ---------------- *)
+
+let request_equal (a : Wire.request) (b : Wire.request) =
+  a.Wire.id = b.Wire.id && a.Wire.op = b.Wire.op && a.Wire.key = b.Wire.key
+  && a.Wire.token = b.Wire.token
+  && Bytes.equal a.Wire.value b.Wire.value
+
+(* Body = frame minus length prefix and version byte, as the decoder
+   would yield it. *)
+let body_of_frame frame = Bytes.sub frame 5 (Bytes.length frame - 5)
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"wire request encode/decode round-trips" ~count:300
+    QCheck.(
+      pair
+        (quad (int_bound 2)
+           (int_bound ((1 lsl 40) - 1))
+           (int_bound ((1 lsl 40) - 1))
+           (option (int_bound ((1 lsl 40) - 1))))
+        (string_of_size Gen.(int_bound 600)))
+    (fun ((op_i, id, key, token), value) ->
+      let op = match op_i with 0 -> Wire.Get | 1 -> Wire.Set | _ -> Wire.Delete in
+      let value = if op = Wire.Set then Bytes.of_string value else Bytes.empty in
+      let req = { Wire.id; op; key; token; value } in
+      match Wire.decode_request wire (body_of_frame (Wire.encode_request wire req)) with
+      | Ok req' -> request_equal req req'
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~name:"wire response encode/decode round-trips" ~count:300
+    QCheck.(
+      quad (int_bound 2)
+        (int_bound ((1 lsl 40) - 1))
+        (int_bound ((1 lsl 40) - 1))
+        (string_of_size Gen.(int_bound 600)))
+    (fun (st_i, resp_id, timing_ns, value) ->
+      let status =
+        match st_i with 0 -> Wire.Ok | 1 -> Wire.Not_found | _ -> Wire.Err
+      in
+      let resp =
+        { Wire.resp_id; status; timing_ns; resp_value = Bytes.of_string value }
+      in
+      match
+        Wire.decode_response wire (body_of_frame (Wire.encode_response wire resp))
+      with
+      | Ok r ->
+        r.Wire.resp_id = resp_id && r.Wire.status = status
+        && r.Wire.timing_ns = timing_ns
+        && Bytes.equal r.Wire.resp_value resp.Wire.resp_value
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
+
+(* ---------------- codec: decoder resilience ---------------- *)
+
+let test_torn_frames () =
+  let reqs =
+    List.init 20 (fun i ->
+        {
+          Wire.id = i;
+          op = (match i mod 3 with 0 -> Wire.Get | 1 -> Wire.Set | _ -> Wire.Delete);
+          key = i * 17;
+          token = (if i mod 4 = 0 then Some (1000 + i) else None);
+          value = (if i mod 3 = 1 then Bytes.make (i * 13) 'x' else Bytes.empty);
+        })
+  in
+  let stream =
+    Bytes.concat Bytes.empty (List.map (Wire.encode_request wire) reqs)
+  in
+  let d = Wire.Decoder.create wire in
+  let decoded = ref [] in
+  (* One byte at a time: every frame arrives torn in every position. *)
+  for i = 0 to Bytes.length stream - 1 do
+    Wire.Decoder.feed d stream ~off:i ~len:1;
+    let rec pull () =
+      match Wire.Decoder.next_frame d with
+      | `Awaiting -> ()
+      | `Corrupt msg -> Alcotest.failf "corrupt at byte %d: %s" i msg
+      | `Frame body ->
+        (match Wire.decode_request wire body with
+        | Ok r -> decoded := r :: !decoded
+        | Error e -> Alcotest.failf "decode at byte %d: %s" i e);
+        pull ()
+    in
+    pull ()
+  done;
+  Alcotest.(check int) "all frames recovered" (List.length reqs)
+    (List.length !decoded);
+  Alcotest.(check bool) "frames identical and in order" true
+    (List.for_all2 request_equal reqs (List.rev !decoded));
+  Alcotest.(check int) "no residue" 0 (Wire.Decoder.buffered d)
+
+let test_oversized_frame_rejected () =
+  let small = Wire.create ~max_frame:64 () in
+  let d = Wire.Decoder.create small in
+  let b = Bytes.make 8 '\000' in
+  Bytes.set b 0 '\xff';
+  Bytes.set b 1 '\xff';
+  (* length prefix 0xffff > 64 *)
+  Wire.Decoder.feed d b ~off:0 ~len:8;
+  (match Wire.Decoder.next_frame d with
+  | `Corrupt _ -> ()
+  | `Frame _ | `Awaiting -> Alcotest.fail "oversized frame accepted");
+  (* Corruption is sticky: the stream cannot be resynchronised. *)
+  let good =
+    Wire.encode_request small
+      { Wire.id = 1; op = Wire.Get; key = 2; token = None; value = Bytes.empty }
+  in
+  Wire.Decoder.feed d good ~off:0 ~len:(Bytes.length good);
+  match Wire.Decoder.next_frame d with
+  | `Corrupt _ -> ()
+  | `Frame _ | `Awaiting -> Alcotest.fail "decoder resynchronised after corruption"
+
+let test_bad_version_rejected () =
+  let frame =
+    Wire.encode_request wire
+      { Wire.id = 7; op = Wire.Get; key = 3; token = None; value = Bytes.empty }
+  in
+  Bytes.set frame 4 '\042';
+  let d = Wire.Decoder.create wire in
+  Wire.Decoder.feed d frame ~off:0 ~len:(Bytes.length frame);
+  match Wire.Decoder.next_frame d with
+  | `Corrupt _ -> ()
+  | `Frame _ | `Awaiting -> Alcotest.fail "unknown version accepted"
+
+let test_strict_request_decode () =
+  Alcotest.check_raises "value on GET rejected at encode"
+    (Invalid_argument "Wire.encode_request: GET/DELETE carry no value")
+    (fun () ->
+      ignore
+        (Wire.encode_request wire
+           { Wire.id = 1; op = Wire.Get; key = 2; token = None;
+             value = Bytes.of_string "x" }));
+  (* Unknown flag bits are rejected, not ignored. *)
+  let hdr =
+    Header.register ~layout:(Wire.layout wire) ~n_buckets:64 ~n_partitions:4
+  in
+  let body =
+    body_of_frame
+      (Wire.encode_request wire
+         { Wire.id = 1; op = Wire.Set; key = 2; token = None;
+           value = Bytes.of_string "v" })
+  in
+  Bytes.set body (Header.header_size hdr + 8) '\x80';
+  (match Wire.decode_request wire body with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown flag bits accepted");
+  (* A GET whose body has trailing bytes after the flags is rejected. *)
+  let get_body =
+    body_of_frame
+      (Wire.encode_request wire
+         { Wire.id = 1; op = Wire.Get; key = 2; token = None; value = Bytes.empty })
+  in
+  let padded = Bytes.cat get_body (Bytes.of_string "junk") in
+  match Wire.decode_request wire padded with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "GET with trailing value accepted"
+
+(* ---------------- codec: NIC header interop ---------------- *)
+
+let test_nic_header_interop () =
+  let hdr =
+    Header.register ~layout:(Wire.layout wire) ~n_buckets:1024 ~n_partitions:16
+  in
+  List.iter
+    (fun (op, key, value) ->
+      let frame =
+        Wire.encode_request wire { Wire.id = 99; op; key; token = Some 5; value }
+      in
+      match Header.parse hdr (body_of_frame frame) with
+      | Error e -> Alcotest.failf "NIC failed to parse wire body: %s" e
+      | Ok parsed ->
+        Alcotest.(check bool) "op agrees" true
+          (parsed.Header.op = Wire.header_op op);
+        Alcotest.(check int) "key agrees" key parsed.Header.key;
+        Alcotest.(check int) "partition agrees"
+          (C4_kvs.Hash.partition_of_key ~n_buckets:1024 ~n_partitions:16 key)
+          parsed.Header.partition)
+    [
+      (Wire.Get, 12345, Bytes.empty);
+      (Wire.Set, 777, Bytes.make 32 'v');
+      (Wire.Delete, 31, Bytes.empty);
+    ]
+
+(* ---------------- loopback integration ---------------- *)
+
+let with_net ?(runtime_cfg = { Runtime.default_config with Runtime.n_workers = 2 })
+    f =
+  let runtime = Runtime.start runtime_cfg in
+  let srv = NetServer.start NetServer.default_config ~runtime in
+  let client =
+    NetClient.create
+      (NetClient.default_config ~hosts:[ ("127.0.0.1", NetServer.port srv) ])
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      NetClient.close client;
+      NetServer.stop srv;
+      Runtime.stop runtime)
+    (fun () -> f runtime srv client)
+
+let test_loopback_ops () =
+  with_net (fun _ _ client ->
+      Alcotest.(check bool) "get missing" true (NetClient.get client ~key:1 = Ok None);
+      Alcotest.(check bool) "set" true
+        (NetClient.set client ~key:1 ~value:(Bytes.of_string "alpha") = Ok ());
+      Alcotest.(check bool) "get back" true
+        (NetClient.get client ~key:1 = Ok (Some (Bytes.of_string "alpha")));
+      Alcotest.(check bool) "delete present" true
+        (NetClient.delete client ~key:1 = Ok true);
+      Alcotest.(check bool) "delete absent" true
+        (NetClient.delete client ~key:1 = Ok false);
+      Alcotest.(check bool) "gone" true (NetClient.get client ~key:1 = Ok None))
+
+let test_pipelining_order () =
+  with_net (fun _ _ client ->
+      let n = 500 in
+      let order = ref [] in
+      let lock = Mutex.create () in
+      let remaining = Atomic.make n in
+      for i = 0 to n - 1 do
+        let op = if i mod 2 = 0 then Wire.Set else Wire.Get in
+        let value = if op = Wire.Set then Bytes.of_string "v" else Bytes.empty in
+        ignore
+          (NetClient.dispatch client ~op ~key:7 ~value
+             ~on_response:(fun r ->
+               C4_runtime.Sync.with_lock lock (fun () ->
+                   order := r.Wire.resp_id :: !order);
+               Atomic.decr remaining)
+             ())
+      done;
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      while Atomic.get remaining > 0 && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.001
+      done;
+      Alcotest.(check int) "all answered" 0 (Atomic.get remaining);
+      (* One connection, one key: responses must arrive in dispatch
+         order — the per-connection pipelining guarantee. *)
+      Alcotest.(check (list int)) "responses in dispatch order"
+        (List.init n (fun i -> i))
+        (List.rev !order))
+
+let test_concurrent_clients_linearizable () =
+  with_net (fun _ srv _ ->
+      let key = 42 in
+      let now () = Unix.gettimeofday () *. 1e6 in
+      let n_clients = 4 and per_client = 12 in
+      let results = Array.make n_clients [] in
+      let run_client c =
+        Thread.create
+          (fun () ->
+            (* Each thread gets its own connection = its own client in
+               the recorded history. *)
+            let cl =
+              NetClient.create
+                (NetClient.default_config
+                   ~hosts:[ ("127.0.0.1", NetServer.port srv) ])
+            in
+            results.(c) <-
+              List.init per_client (fun i ->
+                  let invoked = now () in
+                  if (i + c) mod 3 = 0 then begin
+                    let v = (c * 100) + i + 1 in
+                    (match
+                       NetClient.set cl ~key
+                         ~value:(Bytes.of_string (string_of_int v))
+                     with
+                    | Ok () -> ()
+                    | Error e -> Alcotest.failf "set failed: %s" e);
+                    History.set ~client:(string_of_int c) ~value:v ~invoked
+                      ~responded:(now ())
+                  end
+                  else begin
+                    let seen =
+                      match NetClient.get cl ~key with
+                      | Ok (Some b) -> int_of_string (Bytes.to_string b)
+                      | Ok None -> 0
+                      | Error e -> Alcotest.failf "get failed: %s" e
+                    in
+                    History.get ~client:(string_of_int c) ~value:seen ~invoked
+                      ~responded:(now ())
+                  end);
+            NetClient.close cl)
+          ()
+      in
+      let threads = List.init n_clients run_client in
+      List.iter Thread.join threads;
+      let history = History.of_ops (List.concat (Array.to_list results)) in
+      Alcotest.(check int) "history complete" (n_clients * per_client)
+        (History.length history);
+      match Lin.check ~initial:0 history with
+      | Lin.Linearizable _ -> ()
+      | Lin.Not_linearizable ->
+        Alcotest.failf "networked execution not linearizable:@.%a" History.pp
+          history)
+
+let test_crash_recovery_over_network () =
+  let runtime_cfg =
+    { Runtime.default_config with Runtime.n_workers = 4; monitor_interval = 0.001 }
+  in
+  with_net ~runtime_cfg (fun runtime _ client ->
+      let value_of k = Bytes.of_string (Printf.sprintf "net%d" k) in
+      for key = 0 to 199 do
+        match NetClient.set client ~key ~value:(value_of key) with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "set %d failed: %s" key e
+      done;
+      Runtime.inject_crash runtime ~worker:(Runtime.owner_of_key runtime 0);
+      (* Write through the crash window too. *)
+      for key = 200 to 399 do
+        match NetClient.set client ~key ~value:(value_of key) with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "set %d (crash window) failed: %s" key e
+      done;
+      let rec await tries =
+        if tries = 0 then Alcotest.fail "recovery did not complete"
+        else if
+          Runtime.alive_workers runtime = 4
+          && (Runtime.stats runtime).Runtime.recoveries > 0
+        then ()
+        else begin
+          Unix.sleepf 0.001;
+          await (tries - 1)
+        end
+      in
+      await 5_000;
+      (* Every acknowledged write is readable through the network. *)
+      for key = 0 to 399 do
+        Alcotest.(check (option string))
+          (Printf.sprintf "key %d survives worker crash" key)
+          (Some (Bytes.to_string (value_of key)))
+          (match NetClient.get client ~key with
+          | Ok v -> Option.map Bytes.to_string v
+          | Error e -> Alcotest.failf "get %d failed: %s" key e)
+      done)
+
+let test_graceful_drain () =
+  let runtime = Runtime.start { Runtime.default_config with Runtime.n_workers = 2 } in
+  let srv = NetServer.start NetServer.default_config ~runtime in
+  let client =
+    NetClient.create
+      (NetClient.default_config ~hosts:[ ("127.0.0.1", NetServer.port srv) ])
+  in
+  let n = 300 in
+  let ok = Atomic.make 0 and answered = Atomic.make 0 in
+  for i = 0 to n - 1 do
+    ignore
+      (NetClient.dispatch client ~op:Wire.Set ~key:i ~value:(Bytes.of_string "d")
+         ~on_response:(fun r ->
+           if r.Wire.status = Wire.Ok then Atomic.incr ok;
+           Atomic.incr answered)
+         ())
+  done;
+  (* Wait until the server has decoded every frame, then stop: the
+     drain must answer all of them before tearing anything down. *)
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while
+    (NetServer.stats srv).NetServer.requests < n
+    && Unix.gettimeofday () < deadline
+  do
+    Unix.sleepf 0.001
+  done;
+  Alcotest.(check int) "all requests reached the server" n
+    (NetServer.stats srv).NetServer.requests;
+  NetServer.stop srv;
+  Runtime.stop runtime;
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while Atomic.get answered < n && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.001
+  done;
+  NetClient.close client;
+  Alcotest.(check int) "every accepted request answered" n (Atomic.get answered);
+  Alcotest.(check int) "every answer is OK (no drops during drain)" n
+    (Atomic.get ok)
+
+let test_loadgen_smoke () =
+  with_net (fun _ srv client ->
+      let workload =
+        {
+          C4_workload.Generator.default with
+          C4_workload.Generator.theta = 0.99;
+          write_fraction = 0.4;
+          rate = 20_000.0 *. 1e-9;
+        }
+      in
+      let cfg =
+        {
+          (Loadgen.default_config ~workload ~seed:7) with
+          Loadgen.n_ops = 2_000;
+          warmup = 100;
+          delete_fraction = 0.05;
+        }
+      in
+      let r = Loadgen.run client cfg in
+      Alcotest.(check int) "all completed" 2_000 r.Loadgen.completed;
+      Alcotest.(check int) "no errors" 0 r.Loadgen.errors;
+      Alcotest.(check bool) "nonzero throughput" true (r.Loadgen.throughput > 0.0);
+      Alcotest.(check int) "no protocol errors" 0
+        (NetServer.stats srv).NetServer.protocol_errors;
+      Alcotest.(check bool) "latency recorded" true
+        (C4_stats.Histogram.count r.Loadgen.all_ns > 0))
+
+let test_client_routing_matches_cluster () =
+  for key = 0 to 999 do
+    Alcotest.(check int)
+      (Printf.sprintf "key %d routes identically" key)
+      (C4_cluster.Cluster.node_of_key ~n_nodes:5 key)
+      (C4_kvs.Hash.node_of_key ~n_nodes:5 key)
+  done
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_request_roundtrip;
+    QCheck_alcotest.to_alcotest prop_response_roundtrip;
+    Alcotest.test_case "torn frames reassemble byte-by-byte" `Quick test_torn_frames;
+    Alcotest.test_case "oversized frame is sticky-fatal" `Quick
+      test_oversized_frame_rejected;
+    Alcotest.test_case "unknown version rejected" `Quick test_bad_version_rejected;
+    Alcotest.test_case "strict request decoding" `Quick test_strict_request_decode;
+    Alcotest.test_case "NIC parses wire request bodies" `Quick test_nic_header_interop;
+    Alcotest.test_case "loopback set/get/delete" `Quick test_loopback_ops;
+    Alcotest.test_case "per-connection pipelining order" `Quick test_pipelining_order;
+    Alcotest.test_case "concurrent clients linearizable" `Quick
+      test_concurrent_clients_linearizable;
+    Alcotest.test_case "crash recovery over the network" `Quick
+      test_crash_recovery_over_network;
+    Alcotest.test_case "graceful drain answers everything" `Quick test_graceful_drain;
+    Alcotest.test_case "loadgen loopback smoke" `Quick test_loadgen_smoke;
+    Alcotest.test_case "client sharding matches cluster routing" `Quick
+      test_client_routing_matches_cluster;
+  ]

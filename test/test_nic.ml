@@ -185,6 +185,68 @@ let prop_header_roundtrip =
       | Ok parsed -> parsed.Header.op = op && parsed.Header.key = key
       | Error _ -> false)
 
+let test_header_delete_roundtrip () =
+  let h = header () in
+  let packet = Header.encode h ~op:`Delete ~key:9001 ~value:Bytes.empty in
+  (match Header.parse h packet with
+  | Ok parsed ->
+    Alcotest.(check bool) "op is delete" true (parsed.Header.op = `Delete);
+    Alcotest.(check int) "key" 9001 parsed.Header.key
+  | Error e -> Alcotest.failf "delete packet rejected: %s" e);
+  Alcotest.(check bool) "delete mutates" true (Header.mutates `Delete);
+  Alcotest.(check bool) "write mutates" true (Header.mutates `Write);
+  Alcotest.(check bool) "read does not" false (Header.mutates `Read)
+
+(* GET/SET packets must parse byte-identically to the pre-DELETE
+   format: opcode 0/1 at the same offset, same key bytes. *)
+let test_header_backward_compat () =
+  let h = header () in
+  List.iter
+    (fun (op, code) ->
+      let packet = Header.encode h ~op ~key:123 ~value:Bytes.empty in
+      Alcotest.(check char)
+        (Printf.sprintf "opcode byte for %c unchanged" code)
+        code (Bytes.get packet 0);
+      match Header.parse h packet with
+      | Ok parsed -> Alcotest.(check bool) "parses back" true (parsed.Header.op = op)
+      | Error e -> Alcotest.failf "legacy opcode rejected: %s" e)
+    [ (`Read, '\000'); (`Write, '\001') ]
+
+let test_response_layout_roundtrip () =
+  let rl = Header.default_response_layout in
+  List.iter
+    (fun (status, value) ->
+      let packet = Header.encode_response rl ~status ~value in
+      match Header.parse_response rl packet with
+      | Ok (parsed, v) ->
+        Alcotest.(check bool) "status round-trips" true (parsed.Header.status = status);
+        Alcotest.(check int) "value_len" (Bytes.length value) parsed.Header.value_len;
+        Alcotest.(check bytes) "value" value v
+      | Error e -> Alcotest.failf "response rejected: %s" e)
+    [
+      (`Ok, Bytes.of_string "hello");
+      (`Ok, Bytes.empty);
+      (`Not_found, Bytes.empty);
+      (`Err, Bytes.of_string "boom");
+    ]
+
+let test_response_layout_rejects () =
+  let rl = Header.default_response_layout in
+  (match Header.parse_response rl (Bytes.create 2) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short response accepted");
+  let packet = Header.encode_response rl ~status:`Ok ~value:(Bytes.of_string "xyz") in
+  Bytes.set packet rl.Header.status_offset '\009';
+  (match Header.parse_response rl packet with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown status accepted");
+  (* Declared value length exceeding the packet is truncation. *)
+  let truncated = Header.encode_response rl ~status:`Ok ~value:(Bytes.of_string "xyz") in
+  let cut = Bytes.sub truncated 0 (Bytes.length truncated - 1) in
+  match Header.parse_response rl cut with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated value accepted"
+
 (* ---------------- Flow control ---------------- *)
 
 let test_flow_control () =
@@ -328,6 +390,14 @@ let tests =
     Alcotest.test_case "header size" `Quick test_header_size;
     Alcotest.test_case "header layout validation" `Quick test_header_key_length_validation;
     QCheck_alcotest.to_alcotest prop_header_roundtrip;
+    Alcotest.test_case "header DELETE opcode round-trips" `Quick
+      test_header_delete_roundtrip;
+    Alcotest.test_case "header GET/SET backward compatible" `Quick
+      test_header_backward_compat;
+    Alcotest.test_case "response layout round-trips" `Quick
+      test_response_layout_roundtrip;
+    Alcotest.test_case "response layout rejections" `Quick
+      test_response_layout_rejects;
     Alcotest.test_case "flow control admit/reject/release" `Quick test_flow_control;
     Alcotest.test_case "flow control underflow" `Quick test_flow_release_underflow;
     Alcotest.test_case "EWT stale entries expire" `Quick test_ewt_stale_expiry;

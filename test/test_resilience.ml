@@ -230,9 +230,49 @@ let test_ewt_ttl_reclaims_leaks () =
   Alcotest.(check bool) "stale sweep reclaimed leaked entries" true
     (counter "ewt.stale_evict" > 0.0)
 
+(* Standalone backoff arithmetic (the piece wall-clock clients reuse):
+   deterministic, jittered within [0.5, 1.5) of the capped exponential. *)
+let test_backoff_ns_bounds () =
+  let cfg = { Retry.default with Retry.base_backoff = 1_000.0; max_backoff = 16_000.0 } in
+  for attempt = 1 to 10 do
+    let b = Retry.backoff_ns cfg ~seed:7 ~original:42 ~attempt in
+    Alcotest.(check bool)
+      (Printf.sprintf "attempt %d deterministic" attempt)
+      true
+      (b = Retry.backoff_ns cfg ~seed:7 ~original:42 ~attempt);
+    let ideal =
+      Float.min cfg.Retry.max_backoff
+        (cfg.Retry.base_backoff *. (2.0 ** float_of_int (attempt - 1)))
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "attempt %d within jitter band" attempt)
+      true
+      (b >= (0.5 *. ideal) -. 1e-6 && b < (1.5 *. ideal) +. 1e-6)
+  done;
+  (* Different originals decorrelate. *)
+  Alcotest.(check bool) "decorrelated across originals" true
+    (Retry.backoff_ns cfg ~seed:7 ~original:1 ~attempt:3
+    <> Retry.backoff_ns cfg ~seed:7 ~original:2 ~attempt:3)
+
+let test_budget_accounting () =
+  let cfg = { Retry.default with Retry.budget_ratio = 0.5; budget_burst = 2.0 } in
+  let b = Retry.Budget.create cfg in
+  Alcotest.(check (float 1e-9)) "burst credits" 2.0 (Retry.Budget.credits b);
+  Alcotest.(check bool) "charge 1" true (Retry.Budget.try_charge b);
+  Alcotest.(check bool) "charge 2" true (Retry.Budget.try_charge b);
+  Alcotest.(check bool) "empty" false (Retry.Budget.try_charge b);
+  Retry.Budget.note_failed_original b;
+  Retry.Budget.note_failed_original b;
+  Alcotest.(check (float 1e-9)) "ratio credits granted" 1.0 (Retry.Budget.credits b);
+  Alcotest.(check bool) "charge after grants" true (Retry.Budget.try_charge b);
+  Alcotest.(check bool) "empty again" false (Retry.Budget.try_charge b)
+
 let tests =
   [
     Alcotest.test_case "20 seeds: same seed, same run" `Slow test_chaos_deterministic;
+    Alcotest.test_case "backoff_ns deterministic and bounded" `Quick
+      test_backoff_ns_bounds;
+    Alcotest.test_case "retry budget accounting" `Quick test_budget_accounting;
     Alcotest.test_case "same seed, byte-identical obs trace" `Quick
       test_chaos_trace_byte_identical;
     Alcotest.test_case "retry budget bounds amplification" `Slow test_retry_budget_bound;

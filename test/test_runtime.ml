@@ -104,6 +104,45 @@ let test_server_set_get () =
       Alcotest.(check (option string)) "miss" None
         (Option.map Bytes.to_string (Server.get t ~key:3)))
 
+let test_server_delete () =
+  with_server (fun t ->
+      Server.set t ~key:5 ~value:(Bytes.of_string "five");
+      Alcotest.(check bool) "delete present" true (Server.delete t ~key:5);
+      Alcotest.(check (option string)) "gone" None
+        (Option.map Bytes.to_string (Server.get t ~key:5));
+      Alcotest.(check bool) "delete absent" false (Server.delete t ~key:5);
+      (* Async variant routes like a write and fulfils with presence. *)
+      Server.set t ~key:6 ~value:(Bytes.of_string "six");
+      Alcotest.(check bool) "async delete" true
+        (Promise.await (Server.delete_async t ~key:6));
+      Alcotest.(check (option string)) "async gone" None
+        (Option.map Bytes.to_string (Server.get t ~key:6)))
+
+let test_server_partition_exports () =
+  with_server (fun t ->
+      let n = Server.n_partitions t in
+      Alcotest.(check int) "matches config" Server.default_config.Server.n_partitions n;
+      for key = 0 to 499 do
+        let p = Server.partition_of_key t key in
+        Alcotest.(check bool) "partition in range" true (p >= 0 && p < n);
+        Alcotest.(check int) "stable" p (Server.partition_of_key t key)
+      done)
+
+(* [stop] must reject new submissions but drain queued backlogs: pile
+   async writes onto the channels, stop immediately, and every promise
+   must still be fulfilled with the write applied. *)
+let test_server_stop_drains_backlog () =
+  let t = Server.start { Server.default_config with Server.n_workers = 2 } in
+  let n = 2_000 in
+  let promises = List.init n (fun i ->
+      Server.set_async t ~key:i ~value:(Bytes.of_string (string_of_int i)))
+  in
+  Server.stop t;
+  (* Every submission accepted before stop is applied, not dropped. *)
+  List.iter Promise.await promises;
+  Alcotest.(check bool) "all backlogged ops completed" true
+    ((Server.stats t).Server.ops_completed >= n)
+
 let test_server_overwrite () =
   with_server (fun t ->
       for i = 1 to 50 do
@@ -434,6 +473,9 @@ let tests =
     Alcotest.test_case "channel drain/close race" `Slow test_channel_drain_close_race;
     Alcotest.test_case "server set/get" `Quick test_server_set_get;
     Alcotest.test_case "server overwrite" `Quick test_server_overwrite;
+    Alcotest.test_case "server delete" `Quick test_server_delete;
+    Alcotest.test_case "server partition exports" `Quick test_server_partition_exports;
+    Alcotest.test_case "server stop drains backlog" `Quick test_server_stop_drains_backlog;
     Alcotest.test_case "server stop idempotent" `Quick test_server_stop_idempotent;
     Alcotest.test_case "server stop races in-flight submits" `Slow test_server_stop_race;
     Alcotest.test_case "server crash recovery keeps acked writes" `Slow
