@@ -102,8 +102,8 @@ let write_all fd b =
     else
       match Unix.write fd b off (n - off) with
       | written -> go (off + written)
-      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _)
-        -> false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (_, _, _) -> false
   in
   go 0
 
@@ -140,13 +140,18 @@ let reader_loop t conn () =
     | n ->
       Wire.Decoder.feed decoder chunk ~off:0 ~len:n;
       (match frames () with Ok () -> loop () | Error msg -> msg)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
     | exception
         Unix.Unix_error
           ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF | Unix.EINVAL | Unix.ENOTCONN), _, _)
       ->
       "connection reset"
   in
-  let msg = loop () in
+  (* Any escaping exception is connection-fatal: kill_conn must run, or
+     callers blocked in Promise.await would hang forever. *)
+  let msg =
+    try loop () with exn -> "reader failed: " ^ Printexc.to_string exn
+  in
   kill_conn conn msg;
   try Unix.close conn.c_fd with Unix.Unix_error _ -> ()
 
@@ -172,9 +177,14 @@ let connect t slot =
     (try Unix.close fd with Unix.Unix_error _ -> ());
     Error (Printf.sprintf "connect %s:%d: %s" slot.s_host slot.s_port (Unix.error_message e))
 
-(* Live connection for [slot], reconnecting if the last one died. *)
+(* Live connection for [slot], reconnecting if the last one died.
+   [t.closed] is re-checked under the slot lock: close() flips it before
+   sweeping the slots, so a dispatch racing with close can never open a
+   fresh connection that the sweep would miss. *)
 let conn_of t slot =
   Sync.with_lock slot.s_lock (fun () ->
+      if Atomic.get t.closed then Error "client closed"
+      else
       match slot.s_conn with
       | Some c when Atomic.get c.c_alive -> Ok c
       | prev ->
@@ -187,10 +197,9 @@ let conn_of t slot =
           slot.s_conn <- None;
           e))
 
-let dispatch t ~op ~key ?(value = Bytes.empty) ?token ~on_response () =
+let dispatch_with t ~id ~op ~key ~value ~token ~on_response =
   if op <> Wire.Set && Bytes.length value > 0 then
     invalid_arg "Net.Client.dispatch: value on non-SET";
-  let id = Atomic.fetch_and_add t.next_id 1 in
   if Atomic.get t.closed then begin
     on_response (synth_err id "client closed");
     id
@@ -225,12 +234,21 @@ let dispatch t ~op ~key ?(value = Bytes.empty) ?token ~on_response () =
     id
   end
 
+let dispatch t ~op ~key ?(value = Bytes.empty) ?token ~on_response () =
+  let id = Atomic.fetch_and_add t.next_id 1 in
+  dispatch_with t ~id ~op ~key ~value ~token ~on_response
+
 (* ---- synchronous retrying calls ---- *)
 
-let once t ~op ~key ~value ~token =
-  let p = Promise.create () in
+(* [id] = [Some i] reuses a pre-reserved request id (first SET attempt). *)
+let once t ~id ~op ~key ~value ~token =
   let id =
-    dispatch t ~op ~key ~value ?token ~on_response:(fun r -> Promise.fulfil p r) ()
+    match id with Some i -> i | None -> Atomic.fetch_and_add t.next_id 1
+  in
+  let p = Promise.create () in
+  let (_ : int) =
+    dispatch_with t ~id ~op ~key ~value ~token ~on_response:(fun r ->
+        Promise.fulfil p r)
   in
   (id, Promise.await p)
 
@@ -249,7 +267,7 @@ let note_failed_original t =
 let call t ~op ~key ~value =
   match t.cfg.retry with
   | None ->
-    let _, resp = once t ~op ~key ~value ~token:None in
+    let _, resp = once t ~id:None ~op ~key ~value ~token:None in
     resp
   | Some cfg ->
     let start = Unix.gettimeofday () in
@@ -259,13 +277,20 @@ let call t ~op ~key ~value =
     in
     (* The first attempt's id doubles as the idempotency token on SETs:
        it must ride along from attempt one, or a duplicate of the
-       original could land after a tokenless first apply. *)
+       original could land after a tokenless first apply. Reserve the
+       id before dispatching so attempt 1 already carries it. *)
+    let reserved =
+      match op with
+      | Wire.Set -> Some (Atomic.fetch_and_add t.next_id 1)
+      | Wire.Get | Wire.Delete -> None
+    in
     let first_id = ref None in
     let rec attempt n =
-      let token =
-        match (op, !first_id) with Wire.Set, Some id -> Some id | _ -> None
+      let id, resp =
+        once t
+          ~id:(if n = 1 then reserved else None)
+          ~op ~key ~value ~token:reserved
       in
-      let id, resp = once t ~op ~key ~value ~token in
       if !first_id = None then first_id := Some id;
       if resp.Wire.status <> Wire.Err then resp
       else begin

@@ -29,8 +29,8 @@ let write_all fd b =
     else
       match Unix.write fd b off (n - off) with
       | written -> go (off + written)
-      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _)
-        -> false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (_, _, _) -> false
   in
   go 0
 
@@ -83,13 +83,17 @@ let reader_loop t () =
       t.cb.on_bytes_in n;
       Wire.Decoder.feed decoder chunk ~off:0 ~len:n;
       if process_frames t decoder then loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
     | exception
         Unix.Unix_error
           ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF | Unix.EINVAL | Unix.ENOTCONN), _, _)
       ->
       ()
   in
-  loop ();
+  (* Any escaping exception is connection-fatal; [pending] must still be
+     closed, or the writer would block on Channel.pop forever and
+     Server.stop would hang in join. *)
+  (try loop () with _ -> ());
   (* EOF / drain / fatal error: no new requests will be accepted, but
      everything already handed to the writer still flushes. *)
   Channel.close t.pending
@@ -111,7 +115,9 @@ let start ~wire ~fd cb =
   let writer =
     Thread.create
       (fun () ->
-        writer_loop t ();
+        (* A response thunk that raises must not skip the join/close
+           below, or Server.stop would hang waiting on this conn. *)
+        (try writer_loop t () with _ -> ());
         Thread.join reader;
         (try Unix.close t.fd with Unix.Unix_error (Unix.EBADF, _, _) -> ());
         t.cb.on_closed ())

@@ -230,14 +230,18 @@ module Decoder = struct
 
   let buffered d = d.len
 
-  (* Slide pending bytes to the front and grow as needed. *)
+  (* Slide pending bytes to the front when that frees enough room;
+     allocate (2x growth) only when they genuinely don't fit. *)
   let ensure_room d extra =
     if d.start + d.len + extra > Bytes.length d.buf then begin
-      let needed = d.len + extra in
-      let cap = max needed (2 * Bytes.length d.buf) in
-      let nb = if cap > Bytes.length d.buf then Bytes.create cap else d.buf in
-      Bytes.blit d.buf d.start nb 0 d.len;
-      d.buf <- nb;
+      if d.len + extra <= Bytes.length d.buf then
+        (* In-place compaction: Bytes.blit handles overlapping ranges. *)
+        Bytes.blit d.buf d.start d.buf 0 d.len
+      else begin
+        let nb = Bytes.create (max (d.len + extra) (2 * Bytes.length d.buf)) in
+        Bytes.blit d.buf d.start nb 0 d.len;
+        d.buf <- nb
+      end;
       d.start <- 0
     end
 

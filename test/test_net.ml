@@ -414,6 +414,97 @@ let test_loadgen_smoke () =
       Alcotest.(check bool) "latency recorded" true
         (C4_stats.Histogram.count r.Loadgen.all_ns > 0))
 
+(* Regression: with retries configured, a SET must carry its idempotency
+   token (the first attempt's request id) from the very first attempt —
+   a tokenless original cannot be deduplicated against its retry — and
+   every retry must repeat that same token under a fresh request id. *)
+let test_set_token_from_first_attempt () =
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen listen_fd 1;
+  let port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  (* (id, op, token) per decoded request, newest first. *)
+  let seen = ref [] in
+  let lock = Mutex.create () in
+  let failures = ref 1 in
+  (* Raw single-connection server: record every request, answer the
+     first SET with Err to force one retry, everything else Ok. *)
+  let server =
+    Thread.create
+      (fun () ->
+        let fd, _ = Unix.accept listen_fd in
+        let d = Wire.Decoder.create wire in
+        let chunk = Bytes.create 4096 in
+        let rec serve () =
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> ()
+          | exception Unix.Unix_error _ -> ()
+          | n ->
+            Wire.Decoder.feed d chunk ~off:0 ~len:n;
+            let rec pull () =
+              match Wire.Decoder.next_frame d with
+              | `Awaiting -> ()
+              | `Corrupt _ -> ()
+              | `Frame body ->
+                (match Wire.decode_request wire body with
+                | Error _ -> ()
+                | Ok req ->
+                  C4_runtime.Sync.with_lock lock (fun () ->
+                      seen := (req.Wire.id, req.Wire.op, req.Wire.token) :: !seen);
+                  let status =
+                    if req.Wire.op = Wire.Set && !failures > 0 then begin
+                      decr failures;
+                      Wire.Err
+                    end
+                    else Wire.Ok
+                  in
+                  let frame =
+                    Wire.encode_response wire
+                      { Wire.resp_id = req.Wire.id; status; timing_ns = 0;
+                        resp_value = Bytes.empty }
+                  in
+                  ignore (Unix.write fd frame 0 (Bytes.length frame)));
+                pull ()
+            in
+            pull ();
+            serve ()
+        in
+        serve ();
+        try Unix.close fd with Unix.Unix_error _ -> ())
+      ()
+  in
+  let client =
+    NetClient.create
+      {
+        (NetClient.default_config ~hosts:[ ("127.0.0.1", port) ]) with
+        NetClient.retry =
+          Some
+            {
+              C4_resilience.Retry.default with
+              C4_resilience.Retry.max_attempts = 3;
+              deadline = 0.0;
+            };
+      }
+  in
+  Alcotest.(check bool) "set succeeds after one retry" true
+    (NetClient.set client ~key:9 ~value:(Bytes.of_string "tok") = Ok ());
+  NetClient.close client;
+  Unix.close listen_fd;
+  Thread.join server;
+  match List.rev !seen with
+  | [ (id1, Wire.Set, tok1); (id2, Wire.Set, tok2) ] ->
+    Alcotest.(check (option int)) "first attempt already carries its id as token"
+      (Some id1) tok1;
+    Alcotest.(check (option int)) "retry repeats the original token" (Some id1)
+      tok2;
+    Alcotest.(check bool) "retry uses a fresh request id" true (id2 <> id1)
+  | l -> Alcotest.failf "expected exactly 2 SET attempts, saw %d" (List.length l)
+
 let test_client_routing_matches_cluster () =
   for key = 0 to 999 do
     Alcotest.(check int)
@@ -440,6 +531,8 @@ let tests =
       test_crash_recovery_over_network;
     Alcotest.test_case "graceful drain answers everything" `Quick test_graceful_drain;
     Alcotest.test_case "loadgen loopback smoke" `Quick test_loadgen_smoke;
+    Alcotest.test_case "SET idempotency token from first attempt" `Quick
+      test_set_token_from_first_attempt;
     Alcotest.test_case "client sharding matches cluster routing" `Quick
       test_client_routing_matches_cluster;
   ]
