@@ -329,7 +329,10 @@ let ablation scale =
   let t = Table.create ~columns:[ ("k", Table.Right); ("p99 ns", Table.Right) ] in
   List.iter
     (fun k ->
-      let cfg = { (Config.model Config.Dcrew) with Server.jbsq_bound = k } in
+      let base = Config.model Config.Dcrew in
+      let cfg =
+        { base with Server.crew = { base.Server.crew with C4_crew.Config.jbsq_bound = k } }
+      in
       let p = Experiment.run_at ~n_requests:n cfg ~workload:wl ~rate:0.08 in
       Table.add_row t [ Table.cell_i k; Table.cell_f ~decimals:0 p.Experiment.p99_ns ])
     [ 1; 2; 4; 8 ];
@@ -344,8 +347,13 @@ let ablation scale =
   in
   List.iter
     (fun depth ->
-      let comp = { Server.default_compaction with Server.scan_depth = depth } in
-      let cfg = { (Config.full Config.Comp) with Server.compaction = Some comp } in
+      let comp =
+        { C4_crew.Config.default_compaction with C4_crew.Config.scan_depth = depth }
+      in
+      let base = Config.full Config.Comp in
+      let cfg =
+        { base with Server.crew = { base.Server.crew with C4_crew.Config.compaction = Some comp } }
+      in
       let p = Experiment.run_at ~n_requests:n cfg ~workload:wl_sk ~rate:0.07 in
       Table.add_row t
         [
@@ -371,12 +379,15 @@ let ablation scale =
     (fun (anchor, budget) ->
       let comp =
         {
-          Server.default_compaction with
-          Server.deadline_from_arrival = anchor;
+          C4_crew.Config.default_compaction with
+          C4_crew.Config.deadline_from_arrival = anchor;
           window_budget_fraction = budget;
         }
       in
-      let cfg = { (Config.full Config.Comp) with Server.compaction = Some comp } in
+      let base = Config.full Config.Comp in
+      let cfg =
+        { base with Server.crew = { base.Server.crew with C4_crew.Config.compaction = Some comp } }
+      in
       let p = Experiment.run_at ~n_requests:n cfg ~workload:wl_sk ~rate:0.07 in
       Table.add_row t
         [
@@ -393,8 +404,13 @@ let ablation scale =
   let t = Table.create ~columns:[ ("adaptive", Table.Left); ("p99 ns", Table.Right) ] in
   List.iter
     (fun adaptive ->
-      let comp = { Server.default_compaction with Server.adaptive_close = adaptive } in
-      let cfg = { (Config.full Config.Comp) with Server.compaction = Some comp } in
+      let comp =
+        { C4_crew.Config.default_compaction with C4_crew.Config.adaptive_close = adaptive }
+      in
+      let base = Config.full Config.Comp in
+      let cfg =
+        { base with Server.crew = { base.Server.crew with C4_crew.Config.compaction = Some comp } }
+      in
       let p = Experiment.run_at ~n_requests:n cfg ~workload:wl13 ~rate:0.02 in
       Table.add_row t
         [ string_of_bool adaptive; Table.cell_f ~decimals:0 p.Experiment.p99_ns ])
@@ -411,7 +427,10 @@ let ablation scale =
   in
   List.iter
     (fun cap ->
-      let cfg = { (Config.model Config.Dcrew) with Server.ewt_capacity = cap } in
+      let base = Config.model Config.Dcrew in
+      let cfg =
+        { base with Server.crew = { base.Server.crew with C4_crew.Config.ewt_capacity = cap } }
+      in
       let p = Experiment.run_at ~n_requests:n cfg ~workload:wl85 ~rate:0.09 in
       Table.add_row t
         [

@@ -7,819 +7,12 @@
      c4_sim item-size              Table 2
      c4_sim ewt                    Sec. 7.1.1
 
-   Each command prints a table and optionally writes a CSV. *)
+   plus trace (the default), chaos, analyze, taxonomy, validate,
+   cluster, serve and netbench. This file is only the dispatcher; the
+   subcommands live in Cmd_run / Cmd_trace / Cmd_chaos / Cmd_serve /
+   Cmd_netbench, sharing flags via Cmd_common. *)
 
 open Cmdliner
-
-let scale_conv =
-  let parse = function
-    | "smoke" -> Ok `Smoke
-    | "quick" -> Ok `Quick
-    | "full" -> Ok `Full
-    | s -> Error (`Msg (Printf.sprintf "unknown scale %S (smoke|quick|full)" s))
-  in
-  let print ppf s =
-    Format.pp_print_string ppf
-      (match s with `Smoke -> "smoke" | `Quick -> "quick" | `Full -> "full")
-  in
-  Arg.conv (parse, print)
-
-let scale_arg =
-  Arg.(value & opt scale_conv `Quick & info [ "scale" ] ~docv:"SCALE"
-         ~doc:"Simulation scale: smoke, quick or full.")
-
-let csv_arg =
-  Arg.(value & opt (some string) None & info [ "o"; "ofile" ] ~docv:"FILE"
-         ~doc:"Write results as CSV to $(docv).")
-
-let save_opt csv = function
-  | None -> ()
-  | Some path ->
-    C4_stats.Csv.save csv ~path;
-    Printf.printf "wrote %s\n" path
-
-let print_and_save table csv ofile =
-  C4_stats.Table.print table;
-  save_opt csv ofile
-
-let system_conv =
-  let parse s = Result.map_error (fun m -> `Msg m) (C4.Config.of_name s) in
-  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (C4.Config.name s))
-
-(* ------------------------------------------------------------------ *)
-
-let excess_tlat scale ofile =
-  let t = C4.Figures.Fig3.run ~scale () in
-  print_and_save (C4.Figures.Fig3.to_table t) (C4.Figures.Fig3.to_csv t) ofile
-
-let compaction_surface scale ofile =
-  let t = C4.Figures.Fig4.run ~scale () in
-  print_and_save (C4.Figures.Fig4.to_table t) (C4.Figures.Fig4.to_csv t) ofile
-
-let load_latency system write_frac theta rates n_requests full_system ofile =
-  let cfg =
-    if full_system then C4.Config.full system else C4.Config.model system
-  in
-  let workload =
-    C4.Config.workload_rw_sk ~theta ~write_fraction:(write_frac /. 100.0)
-  in
-  let points =
-    C4_model.Experiment.load_latency ~n_requests cfg ~workload
-      ~rates:(List.map (fun mrps -> mrps /. 1e3) rates)
-  in
-  let table =
-    C4_stats.Table.create
-      ~columns:
-        [
-          ("load MRPS", C4_stats.Table.Right);
-          ("achieved MRPS", C4_stats.Table.Right);
-          ("p50 ns", C4_stats.Table.Right);
-          ("p99 ns", C4_stats.Table.Right);
-        ]
-  in
-  let csv =
-    C4_stats.Csv.create ~header:[ "load_mrps"; "achieved_mrps"; "p50_ns"; "p99_ns" ]
-  in
-  List.iter
-    (fun (p : C4_model.Experiment.point) ->
-      let p50 =
-        C4_stats.Histogram.median
-          (C4_model.Metrics.latency p.result.C4_model.Server.metrics)
-      in
-      C4_stats.Table.add_row table
-        [
-          C4_stats.Table.cell_f ~decimals:1 p.offered_mrps;
-          C4_stats.Table.cell_f ~decimals:1 p.achieved_mrps;
-          C4_stats.Table.cell_f ~decimals:0 p50;
-          C4_stats.Table.cell_f ~decimals:0 p.p99_ns;
-        ];
-      C4_stats.Csv.add_row csv
-        [
-          Printf.sprintf "%.2f" p.offered_mrps;
-          Printf.sprintf "%.2f" p.achieved_mrps;
-          Printf.sprintf "%.0f" p50;
-          Printf.sprintf "%.0f" p.p99_ns;
-        ])
-    points;
-  Printf.printf "system=%s f_wr=%.0f%% gamma=%.2f\n" (C4.Config.name system)
-    write_frac theta;
-  print_and_save table csv ofile
-
-let per_thread scale ofile =
-  let t = C4.Figures.Fig12.run ~scale () in
-  print_and_save (C4.Figures.Fig12.to_table t) (C4.Figures.Fig12.to_csv t) ofile
-
-let item_size scale ofile =
-  let t = C4.Figures.Table2.run ~scale () in
-  print_and_save (C4.Figures.Table2.to_table t) (C4.Figures.Table2.to_csv t) ofile
-
-let ewt scale =
-  let t = C4.Figures.Ewt_study.run ~scale () in
-  C4_stats.Table.print (C4.Figures.Ewt_study.to_table t)
-
-(* One traced run: request-lifecycle spans to Chrome trace-event JSON,
-   registry metrics to a CSV time series, and the per-stage latency
-   decomposition printed at the end. *)
-let trace_run system write_frac theta rate n_requests full_system trace_file sample
-    metrics_interval metrics_csv =
-  let module Server = C4_model.Server in
-  let module Trace = C4_obs.Trace in
-  let module Report = C4_obs.Report in
-  if sample < 1 then begin
-    prerr_endline "c4_sim: --trace-sample must be >= 1";
-    exit 2
-  end;
-  let tracer =
-    match trace_file with
-    | Some _ -> Trace.create ~sample ()
-    | None -> Trace.null
-  in
-  let registry = C4_obs.Registry.create () in
-  let cfg = if full_system then C4.Config.full system else C4.Config.model system in
-  let cfg =
-    {
-      cfg with
-      Server.trace = tracer;
-      registry = Some registry;
-      metrics_interval;
-    }
-  in
-  let workload =
-    {
-      (C4.Config.workload_rw_sk ~theta ~write_fraction:(write_frac /. 100.0)) with
-      C4_workload.Generator.rate = rate /. 1e3;
-    }
-  in
-  let r = Server.run cfg ~workload ~n_requests in
-  Printf.printf "system=%s gamma=%.2f f_wr=%.0f%% @ %.0f MRPS, %d requests\n"
-    (C4.Config.name system) theta write_frac rate n_requests;
-  Format.printf "%a@." C4_model.Metrics.pp_summary r.Server.metrics;
-  print_newline ();
-  print_endline "registered metrics:";
-  C4_stats.Table.print (C4_obs.Registry.to_table registry);
-  (match trace_file with
-  | None -> ()
-  | Some path ->
-    (try C4_obs.Chrome.save tracer ~path
-     with Sys_error msg ->
-       prerr_endline ("c4_sim: cannot write trace: " ^ msg);
-       exit 1);
-    Printf.printf "\nwrote %s (%d spans, %d events, every %d%s request)\n" path
-      (List.length (Trace.spans tracer))
-      (List.length (Trace.events tracer))
-      sample
-      (match sample with 1 -> "st" | 2 -> "nd" | 3 -> "rd" | _ -> "th");
-    let bad = Report.violations tracer ~tolerance_ns:1.0 in
-    Printf.printf "span-sum check: %d/%d traced requests within 1 ns of end-to-end latency\n"
-      (List.length (Trace.completed tracer) - List.length bad)
-      (List.length (Trace.completed tracer));
-    print_newline ();
-    print_endline "per-stage breakdown over traced requests:";
-    C4_stats.Table.print (Report.stage_table tracer);
-    (match Report.request_at_quantile tracer ~q:0.99 with
-    | None -> ()
-    | Some b ->
-      Printf.printf "\np99 traced request (#%d, arrived t=%.0f ns):\n" b.Report.req
-        b.Report.arrival;
-      C4_stats.Table.print (Report.breakdown_table b)));
-  match (metrics_csv, r.Server.snapshot) with
-  | Some path, Some csv ->
-    C4_stats.Csv.save csv ~path;
-    Printf.printf "wrote %s\n" path
-  | Some _, None ->
-    prerr_endline "warning: --metrics-csv needs --metrics-interval; no series collected"
-  | None, _ -> ()
-
-(* Seeded chaos run: deform the workload with a fault profile, inject
-   faults into the server, let the client retry policy fight back, and
-   report what survived. Same --fault-seed => byte-identical run. *)
-let chaos_run system write_frac theta rate n_requests fault_seed fault_profile
-    no_retry budget_ratio shed ewt_ttl trace_file =
-  let module Server = C4_model.Server in
-  let module Fault = C4_resilience.Fault in
-  let module Retry = C4_resilience.Retry in
-  let module Chaos = C4_resilience.Chaos in
-  let profile =
-    match fault_profile with
-    | "default" -> Fault.default
-    | "none" -> Fault.none
-    | s -> (
-      match Fault.parse s with
-      | Ok p -> p
-      | Error e ->
-        prerr_endline ("c4_sim: " ^ e);
-        exit 2)
-  in
-  let tracer =
-    match trace_file with Some _ -> C4_obs.Trace.create () | None -> C4_obs.Trace.null
-  in
-  let registry = C4_obs.Registry.create () in
-  let server =
-    {
-      (C4.Config.model system) with
-      Server.trace = tracer;
-      registry = Some registry;
-      shed = (if shed then Some Server.default_shed else None);
-      ewt_ttl =
-        (if ewt_ttl > 0.0 then
-           Some { Server.ttl = ewt_ttl; sweep_interval = ewt_ttl /. 4.0 }
-         else None);
-    }
-  in
-  let workload =
-    {
-      (C4.Config.workload_rw_sk ~theta ~write_fraction:(write_frac /. 100.0)) with
-      C4_workload.Generator.rate = rate /. 1e3;
-    }
-  in
-  let retry =
-    if no_retry then None
-    else Some { Retry.default with Retry.budget_ratio }
-  in
-  let report =
-    Chaos.run ?retry ~server ~workload ~n_requests ~profile ~fault_seed ()
-  in
-  Printf.printf "system=%s gamma=%.2f f_wr=%.0f%% @ %.0f MRPS\n"
-    (C4.Config.name system) theta write_frac rate;
-  Format.printf "%a@." Chaos.pp_report report;
-  print_newline ();
-  print_endline "registered metrics:";
-  C4_stats.Table.print (C4_obs.Registry.to_table registry);
-  match trace_file with
-  | None -> ()
-  | Some path ->
-    (try C4_obs.Chrome.save tracer ~path
-     with Sys_error msg ->
-       prerr_endline ("c4_sim: cannot write trace: " ^ msg);
-       exit 1);
-    Printf.printf "\nwrote %s\n" path
-
-(* Profile a trace CSV (or a synthetic one) and recommend a mechanism. *)
-let analyze trace_file theta write_frac n =
-  let trace =
-    match trace_file with
-    | Some path ->
-      let ic = open_in path in
-      let contents =
-        Fun.protect
-          ~finally:(fun () -> close_in ic)
-          (fun () -> really_input_string ic (in_channel_length ic))
-      in
-      (match C4_workload.Trace.of_csv contents with
-      | Ok t -> t
-      | Error e ->
-        prerr_endline ("failed to parse trace: " ^ e);
-        exit 1)
-    | None ->
-      let gen =
-        C4_workload.Generator.create
-          {
-            C4_workload.Generator.default with
-            n_keys = 100_000;
-            n_partitions = 1024;
-            theta;
-            write_fraction = write_frac /. 100.0;
-            rate = 0.05;
-          }
-          ~seed:17
-      in
-      C4_workload.Trace.record gen ~n
-  in
-  print_endline (C4_analysis.Profile.report (C4_analysis.Profile.of_trace trace))
-
-(* Print the taxonomy map with a few reference workloads placed on it. *)
-let taxonomy () =
-  print_endline "KVS workload taxonomy (paper Fig. 1):";
-  print_endline "";
-  print_endline "  write";
-  print_endline "  frac.  ^";
-  print_endline "   100%  |   WI_uni        RW_sk";
-  print_endline "         |   (d-CREW)      (compaction)";
-  print_endline "    50%  +--------------+--------------";
-  print_endline "         |   R_uni       |  R_sk";
-  print_endline "         |   (baseline)  |  (baseline)";
-  print_endline "     0%  +---------------+-------------> skew (gamma)";
-  print_endline "         0              0.9            2.5";
-  print_endline "";
-  let place name theta write_fraction =
-    let region = C4.Region.classify ~theta ~write_fraction in
-    Printf.printf "  %-34s gamma=%.2f f_wr=%3.0f%% -> %-6s (%s)
-" name theta
-      (100.0 *. write_fraction) (C4.Region.name region)
-      (match C4.Region.recommended_mechanism region with
-      | `Dcrew -> "d-CREW"
-      | `Compaction -> "compaction"
-      | `Baseline_suffices -> "baseline suffices")
-  in
-  place "memcached-style page cache" 0.7 0.03;
-  place "YCSB-A" 0.99 0.5;
-  place "Twitter write-heavy cluster [90]" 0.5 0.65;
-  place "Facebook ML-statistics store [11]" 1.2 0.92;
-  place "message queue backend" 0.1 0.8;
-  place "product catalogue" 1.4 0.01
-
-(* Multi-node cluster study (Sec. 8). *)
-let cluster_cmd_impl n_nodes system theta write_frac mrps hot_keys n_requests =
-  let node =
-    { (C4.Config.model system) with C4_model.Server.n_workers = 16 }
-  in
-  let workload =
-    {
-      (C4.Config.workload_rw_sk ~theta ~write_fraction:(write_frac /. 100.0)) with
-      C4_workload.Generator.rate = mrps /. 1e3;
-    }
-  in
-  let netcache =
-    if hot_keys > 0 then
-      Some { C4_cluster.Cluster.hot_keys; t_switch = 300.0 }
-    else None
-  in
-  let t =
-    C4_cluster.Cluster.run
-      { C4_cluster.Cluster.n_nodes; node; workload; netcache }
-      ~n_requests
-  in
-  Printf.printf
-    "%d nodes x 16 workers, %s per node, gamma=%.2f f_wr=%.0f%% @ %.0f MRPS cluster-wide
-"
-    n_nodes (C4.Config.name system) theta write_frac mrps;
-  Printf.printf "cluster p99 = %.0f ns   mean = %.0f ns   tput = %.1f MRPS
-"
-    t.C4_cluster.Cluster.cluster_p99 t.C4_cluster.Cluster.cluster_mean
-    t.C4_cluster.Cluster.cluster_tput_mrps;
-  Printf.printf "hot-node share = %.2fx fair%s
-" t.C4_cluster.Cluster.imbalance
-    (if t.C4_cluster.Cluster.switch_hits > 0 then
-       Printf.sprintf "   (switch served %d reads)" t.C4_cluster.Cluster.switch_hits
-     else "");
-  List.iter
-    (fun (n : C4_cluster.Cluster.node_result) ->
-      Printf.printf "  node %d: %6d requests, p99 %8.0f ns
-" n.C4_cluster.Cluster.node_id
-        n.C4_cluster.Cluster.requests
-        (C4_model.Metrics.p99 n.C4_cluster.Cluster.result.C4_model.Server.metrics))
-    t.C4_cluster.Cluster.nodes
-
-(* Simulator-vs-queueing-theory comparison (the validation suite, as a
-   human-readable table). *)
-let validate () =
-  let module V = C4_model.Validation in
-  let mean, var = V.uniform_moments ~lo:500.0 ~hi:900.0 in
-  let table =
-    C4_stats.Table.create
-      ~columns:
-        [
-          ("system", C4_stats.Table.Left);
-          ("rho", C4_stats.Table.Right);
-          ("theory wait ns", C4_stats.Table.Right);
-          ("simulated ns", C4_stats.Table.Right);
-          ("error", C4_stats.Table.Right);
-        ]
-  in
-  let simulate ~n_workers ~rate =
-    let cfg =
-      {
-        C4_model.Server.default_config with
-        C4_model.Server.policy = C4_model.Policy.Ideal;
-        n_workers;
-        jbsq_bound = 1;
-        max_outstanding = 1_000_000;
-      }
-    in
-    let workload =
-      {
-        C4_workload.Generator.default with
-        n_keys = 10_000;
-        n_partitions = 256;
-        rate;
-        write_fraction = 0.0;
-      }
-    in
-    let r = C4_model.Server.run cfg ~workload ~n_requests:300_000 in
-    C4_model.Metrics.mean_latency r.C4_model.Server.metrics -. mean
-  in
-  List.iter
-    (fun (label, c, rate, theory) ->
-      let sim = simulate ~n_workers:c ~rate in
-      let rho = rate *. mean /. float_of_int c in
-      C4_stats.Table.add_row table
-        [
-          label;
-          Printf.sprintf "%.2f" rho;
-          Printf.sprintf "%.1f" theory;
-          Printf.sprintf "%.1f" sim;
-          Printf.sprintf "%.1f%%" (100.0 *. abs_float (sim -. theory) /. theory);
-        ])
-    [
-      ( "M/G/1",
-        1,
-        0.0005,
-        V.mg1_mean_wait ~lambda:0.0005 ~service_mean:mean ~service_var:var );
-      ( "M/G/1",
-        1,
-        0.001,
-        V.mg1_mean_wait ~lambda:0.001 ~service_mean:mean ~service_var:var );
-      ( "M/G/8 (Allen-Cunneen)",
-        8,
-        0.008,
-        V.mgc_mean_wait_approx ~lambda:0.008 ~service_mean:mean ~service_var:var ~c:8 );
-      ( "M/G/16 (Allen-Cunneen)",
-        16,
-        0.018,
-        V.mgc_mean_wait_approx ~lambda:0.018 ~service_mean:mean ~service_var:var ~c:16 );
-    ];
-  print_endline "mean queueing delay, simulator vs closed form (uniform service [500,900] ns):";
-  C4_stats.Table.print table
-
-(* ------------------------------------------------------------------ *)
-
-let excess_cmd =
-  Cmd.v
-    (Cmd.info "excess-tlat" ~doc:"Reproduce Fig. 3: excess tail latency vs write fraction.")
-    Term.(const excess_tlat $ scale_arg $ csv_arg)
-
-let surface_cmd =
-  Cmd.v
-    (Cmd.info "compaction-surface" ~doc:"Reproduce Fig. 4: the (gamma, f_wr) surface.")
-    Term.(const compaction_surface $ scale_arg $ csv_arg)
-
-let loadlat_cmd =
-  let system =
-    Arg.(value & opt system_conv C4.Config.Baseline & info [ "system" ] ~docv:"SYS"
-           ~doc:"System: baseline|erew|ideal|rlu|mv-rlu|d-crew|comp.")
-  in
-  let write_frac =
-    Arg.(value & opt float 50.0 & info [ "write-frac" ] ~docv:"PCT" ~doc:"Write percentage.")
-  in
-  let theta =
-    Arg.(value & opt float 0.0 & info [ "s"; "skew" ] ~docv:"GAMMA" ~doc:"Zipf coefficient.")
-  in
-  let rates =
-    Arg.(value & opt (list float) [ 10.; 30.; 50.; 70.; 80.; 90. ]
-         & info [ "rates" ] ~docv:"MRPS,..." ~doc:"Offered loads in MRPS.")
-  in
-  let n_requests =
-    Arg.(value & opt int 100_000 & info [ "reqs-to-sim" ] ~docv:"N"
-           ~doc:"Requests per simulation point.")
-  in
-  let full_system =
-    Arg.(value & flag & info [ "full-system" ]
-           ~doc:"Enable the cache-coherence cost layer (Figs. 9-13 methodology).")
-  in
-  Cmd.v
-    (Cmd.info "load-latency" ~doc:"One load-latency curve (Figs. 9/10/11/13 methodology).")
-    Term.(
-      const load_latency $ system $ write_frac $ theta $ rates $ n_requests $ full_system
-      $ csv_arg)
-
-let per_thread_cmd =
-  Cmd.v
-    (Cmd.info "per-thread" ~doc:"Reproduce Fig. 12: per-thread throughput and utilisation.")
-    Term.(const per_thread $ scale_arg $ csv_arg)
-
-let item_size_cmd =
-  Cmd.v
-    (Cmd.info "item-size" ~doc:"Reproduce Table 2: item-size sensitivity.")
-    Term.(const item_size $ scale_arg $ csv_arg)
-
-let ewt_cmd =
-  Cmd.v
-    (Cmd.info "ewt" ~doc:"Reproduce Sec. 7.1.1: EWT occupancy statistics.")
-    Term.(const ewt $ scale_arg)
-
-let trace_term =
-  let system =
-    Arg.(value & opt system_conv C4.Config.Comp & info [ "system" ] ~docv:"SYS"
-           ~doc:"System: baseline|erew|ideal|rlu|mv-rlu|d-crew|comp.")
-  in
-  let write_frac =
-    Arg.(value & opt float 5.0 & info [ "write-frac" ] ~docv:"PCT" ~doc:"Write percentage.")
-  in
-  let theta =
-    Arg.(value & opt float 1.25 & info [ "s"; "skew" ] ~docv:"GAMMA" ~doc:"Zipf coefficient.")
-  in
-  let rate =
-    Arg.(value & opt float 60.0 & info [ "rate" ] ~docv:"MRPS" ~doc:"Offered load.")
-  in
-  let n_requests =
-    Arg.(value & opt int 100_000 & info [ "reqs-to-sim" ] ~docv:"N"
-           ~doc:"Requests to simulate.")
-  in
-  let full_system =
-    Arg.(value & flag & info [ "full-system" ]
-           ~doc:"Enable the cache-coherence cost layer.")
-  in
-  let trace_file =
-    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
-           ~doc:"Write a Chrome trace-event JSON (chrome://tracing, Perfetto) to $(docv).")
-  in
-  let sample =
-    Arg.(value & opt int 1 & info [ "trace-sample" ] ~docv:"N"
-           ~doc:"Trace every $(docv)th request (default: all).")
-  in
-  let metrics_interval =
-    Arg.(value & opt (some float) None & info [ "metrics-interval" ] ~docv:"NS"
-           ~doc:"Snapshot every registered metric each $(docv) ns of simulated time.")
-  in
-  let metrics_csv =
-    Arg.(value & opt (some string) None & info [ "metrics-csv" ] ~docv:"FILE"
-           ~doc:"Write the metric time series (needs --metrics-interval) to $(docv).")
-  in
-  Term.(
-    const trace_run $ system $ write_frac $ theta $ rate $ n_requests $ full_system
-    $ trace_file $ sample $ metrics_interval $ metrics_csv)
-
-let trace_cmd =
-  Cmd.v
-    (Cmd.info "trace"
-       ~doc:"Run once with end-to-end request tracing and live metrics (default command).")
-    trace_term
-
-let chaos_cmd =
-  let system =
-    Arg.(value & opt system_conv C4.Config.Comp & info [ "system" ] ~docv:"SYS"
-           ~doc:"System: baseline|erew|ideal|rlu|mv-rlu|d-crew|comp.")
-  in
-  let write_frac =
-    Arg.(value & opt float 30.0 & info [ "write-frac" ] ~docv:"PCT" ~doc:"Write percentage.")
-  in
-  let theta =
-    Arg.(value & opt float 0.99 & info [ "s"; "skew" ] ~docv:"GAMMA" ~doc:"Zipf coefficient.")
-  in
-  let rate =
-    Arg.(value & opt float 60.0 & info [ "rate" ] ~docv:"MRPS" ~doc:"Offered load.")
-  in
-  let n_requests =
-    Arg.(value & opt int 100_000 & info [ "reqs-to-sim" ] ~docv:"N"
-           ~doc:"Requests to simulate.")
-  in
-  let fault_seed =
-    Arg.(value & opt int 42 & info [ "fault-seed" ] ~docv:"SEED"
-           ~doc:"Seed of the fault schedule; equal seeds replay byte-identically.")
-  in
-  let fault_profile =
-    Arg.(value & opt string "default" & info [ "fault-profile" ] ~docv:"PROFILE"
-           ~doc:"Fault intensities: $(b,default), $(b,none), or \
-                 corrupt=P,leak=P,straggler=P,straggler_scale=X,straggler_len=NS,\
-                 burst=P,burst_factor=X,burst_window=NS (unset keys are zero/neutral).")
-  in
-  let no_retry =
-    Arg.(value & flag & info [ "no-retry" ] ~doc:"Disable the client retry policy.")
-  in
-  let budget_ratio =
-    Arg.(value & opt float 0.5 & info [ "retry-budget" ] ~docv:"RATIO"
-           ~doc:"Retry-budget credits granted per dropped original.")
-  in
-  let shed =
-    Arg.(value & flag & info [ "shed" ] ~doc:"Enable adaptive load shedding.")
-  in
-  let ewt_ttl =
-    Arg.(value & opt float 0.0 & info [ "ewt-ttl" ] ~docv:"NS"
-           ~doc:"Reclaim EWT entries idle for $(docv) ns (0 = never); the \
-                 countermeasure to leaked releases.")
-  in
-  let trace_file =
-    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
-           ~doc:"Write a Chrome trace-event JSON of the chaotic run to $(docv).")
-  in
-  Cmd.v
-    (Cmd.info "chaos"
-       ~doc:"Deterministic fault-injection run: corrupted packets, stragglers, \
-             EWT leaks, bursts — with client retries fighting back.")
-    Term.(
-      const chaos_run $ system $ write_frac $ theta $ rate $ n_requests $ fault_seed
-      $ fault_profile $ no_retry $ budget_ratio $ shed $ ewt_ttl $ trace_file)
-
-let analyze_cmd =
-  let trace =
-    Arg.(value & opt (some file) None & info [ "trace" ] ~docv:"FILE"
-           ~doc:"Trace CSV (columns id,op,key,partition,arrival,value_size). \
-                 Without it, a synthetic trace is profiled.")
-  in
-  let theta =
-    Arg.(value & opt float 0.99 & info [ "s"; "skew" ] ~docv:"GAMMA"
-           ~doc:"Synthetic trace skew.")
-  in
-  let write_frac =
-    Arg.(value & opt float 30.0 & info [ "write-frac" ] ~docv:"PCT"
-           ~doc:"Synthetic trace write percentage.")
-  in
-  let n =
-    Arg.(value & opt int 100_000 & info [ "n" ] ~docv:"N" ~doc:"Synthetic trace length.")
-  in
-  Cmd.v
-    (Cmd.info "analyze"
-       ~doc:"Profile a workload trace: fitted skew, mix, taxonomy region, recommendation.")
-    Term.(const analyze $ trace $ theta $ write_frac $ n)
-
-let taxonomy_cmd =
-  Cmd.v
-    (Cmd.info "taxonomy" ~doc:"Print the Fig. 1 taxonomy with reference workloads placed.")
-    Term.(const taxonomy $ const ())
-
-let validate_cmd =
-  Cmd.v
-    (Cmd.info "validate" ~doc:"Compare the simulator against closed-form queueing theory.")
-    Term.(const validate $ const ())
-
-let cluster_cmd =
-  let n_nodes =
-    Arg.(value & opt int 4 & info [ "nodes" ] ~docv:"N" ~doc:"Cluster size.")
-  in
-  let system =
-    Arg.(value & opt system_conv C4.Config.Baseline & info [ "system" ] ~docv:"SYS"
-           ~doc:"Per-node system.")
-  in
-  let theta =
-    Arg.(value & opt float 0.99 & info [ "s"; "skew" ] ~docv:"GAMMA" ~doc:"Zipf coefficient.")
-  in
-  let write_frac =
-    Arg.(value & opt float 50.0 & info [ "write-frac" ] ~docv:"PCT" ~doc:"Write percentage.")
-  in
-  let mrps =
-    Arg.(value & opt float 45.0 & info [ "mrps" ] ~docv:"MRPS"
-           ~doc:"Cluster-wide offered load.")
-  in
-  let hot_keys =
-    Arg.(value & opt int 0 & info [ "netcache" ] ~docv:"K"
-           ~doc:"Enable a NetCache-style switch cache over the $(docv) hottest keys.")
-  in
-  let n_requests =
-    Arg.(value & opt int 120_000 & info [ "reqs-to-sim" ] ~docv:"N"
-           ~doc:"Requests simulated cluster-wide.")
-  in
-  Cmd.v
-    (Cmd.info "cluster" ~doc:"Multi-node deployment study (Sec. 8).")
-    Term.(
-      const cluster_cmd_impl $ n_nodes $ system $ theta $ write_frac $ mrps $ hot_keys
-      $ n_requests)
-
-(* ------------------------------------------------------------------ *)
-(* Network serving: a real TCP front-end over the multicore runtime.  *)
-
-let runtime_config n_workers n_partitions compaction =
-  {
-    C4_runtime.Server.default_config with
-    n_workers;
-    n_partitions;
-    compaction;
-  }
-
-let serve_run port n_workers n_partitions compaction duration =
-  let runtime =
-    C4_runtime.Server.start (runtime_config n_workers n_partitions compaction)
-  in
-  let srv =
-    C4_net.Server.start { C4_net.Server.default_config with port } ~runtime
-  in
-  Printf.printf "c4 server listening on 127.0.0.1:%d (%d workers, %d partitions%s)\n%!"
-    (C4_net.Server.port srv) n_workers n_partitions
-    (if compaction then ", compaction on" else "");
-  (match duration with
-  | Some s -> (try Unix.sleepf s with Unix.Unix_error (Unix.EINTR, _, _) -> ())
-  | None ->
-    let stop_flag = Atomic.make false in
-    let on_sig _ = Atomic.set stop_flag true in
-    Sys.set_signal Sys.sigint (Sys.Signal_handle on_sig);
-    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_sig);
-    while not (Atomic.get stop_flag) do
-      try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    done);
-  (* Net layer first, runtime second: the drain order that guarantees
-     every accepted request is answered before workers tear down. *)
-  C4_net.Server.stop srv;
-  C4_runtime.Server.stop runtime;
-  let st = C4_net.Server.stats srv in
-  Printf.printf
-    "served %d requests on %d connections (%d B in, %d B out, %d protocol errors)\n"
-    st.C4_net.Server.requests st.C4_net.Server.conns_accepted
-    st.C4_net.Server.bytes_in st.C4_net.Server.bytes_out
-    st.C4_net.Server.protocol_errors;
-  C4_stats.Table.print (C4_obs.Registry.to_table (C4_net.Server.registry srv))
-
-let netbench_run n_workers n_partitions compaction write_frac theta rate n_ops
-    warmup delete_frac conns =
-  let runtime =
-    C4_runtime.Server.start (runtime_config n_workers n_partitions compaction)
-  in
-  let srv = C4_net.Server.start C4_net.Server.default_config ~runtime in
-  let client =
-    C4_net.Client.create
-      {
-        (C4_net.Client.default_config
-           ~hosts:[ ("127.0.0.1", C4_net.Server.port srv) ])
-        with
-        conns_per_host = conns;
-        retry = Some C4_resilience.Retry.default;
-      }
-  in
-  let workload =
-    {
-      C4_workload.Generator.default with
-      theta;
-      write_fraction = write_frac /. 100.0;
-      rate = rate *. 1e-9;  (* ops/s -> ops/ns *)
-      n_partitions;
-    }
-  in
-  let cfg =
-    {
-      (C4_net.Loadgen.default_config ~workload ~seed:42) with
-      n_ops;
-      warmup = min warmup (n_ops / 2);
-      delete_fraction = delete_frac /. 100.0;
-    }
-  in
-  let report = C4_net.Loadgen.run client cfg in
-  C4_net.Client.close client;
-  C4_net.Server.stop srv;
-  C4_runtime.Server.stop runtime;
-  let sstats = C4_net.Server.stats srv in
-  let cstats = C4_net.Client.stats client in
-  C4_stats.Table.print (C4_net.Loadgen.to_table report);
-  Printf.printf
-    "throughput %.0f ops/s (%d/%d completed, %d errors, %d unanswered) in %.2f s\n"
-    report.C4_net.Loadgen.throughput report.C4_net.Loadgen.completed
-    report.C4_net.Loadgen.issued report.C4_net.Loadgen.errors
-    report.C4_net.Loadgen.unanswered report.C4_net.Loadgen.duration_s;
-  Printf.printf "client: %d sent, %d retries, %d transport errors; server: %d protocol errors\n"
-    cstats.C4_net.Client.sent cstats.C4_net.Client.retries
-    cstats.C4_net.Client.transport_errors sstats.C4_net.Server.protocol_errors;
-  if
-    report.C4_net.Loadgen.completed = 0
-    || report.C4_net.Loadgen.errors > 0
-    || report.C4_net.Loadgen.unanswered > 0
-    || sstats.C4_net.Server.protocol_errors > 0
-  then begin
-    Printf.printf "NETBENCH FAILED\n";
-    exit 1
-  end
-
-let workers_arg =
-  Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc:"Worker domains.")
-
-let partitions_arg =
-  Arg.(value & opt int 64 & info [ "partitions" ] ~docv:"N" ~doc:"CREW partitions.")
-
-let no_compaction_arg =
-  Arg.(value & flag & info [ "no-compaction" ] ~doc:"Disable write compaction.")
-
-let serve_cmd =
-  let port =
-    Arg.(value & opt int 4150 & info [ "p"; "port" ] ~docv:"PORT"
-           ~doc:"TCP port to listen on (0 = ephemeral).")
-  in
-  let duration =
-    Arg.(value & opt (some float) None & info [ "duration" ] ~docv:"SECONDS"
-           ~doc:"Serve for $(docv) then drain and exit (default: until SIGINT).")
-  in
-  let run port workers partitions no_compaction duration =
-    serve_run port workers partitions (not no_compaction) duration
-  in
-  Cmd.v
-    (Cmd.info "serve"
-       ~doc:"Serve the multicore KVS over TCP (CREW routing, compaction, recovery).")
-    Term.(const run $ port $ workers_arg $ partitions_arg $ no_compaction_arg $ duration)
-
-let netbench_cmd =
-  let write_frac =
-    Arg.(value & opt float 30.0 & info [ "write-frac" ] ~docv:"PCT"
-           ~doc:"Write percentage of the Zipf mix.")
-  in
-  let theta =
-    Arg.(value & opt float 0.99 & info [ "s"; "skew" ] ~docv:"GAMMA" ~doc:"Zipf coefficient.")
-  in
-  let rate =
-    Arg.(value & opt float 50_000.0 & info [ "rate" ] ~docv:"OPS_PER_SEC"
-           ~doc:"Open-loop offered rate.")
-  in
-  let n_ops =
-    Arg.(value & opt int 20_000 & info [ "n" ] ~docv:"N" ~doc:"Requests to issue.")
-  in
-  let warmup =
-    Arg.(value & opt int 1_000 & info [ "warmup" ] ~docv:"N"
-           ~doc:"Responses excluded from latency stats.")
-  in
-  let delete_frac =
-    Arg.(value & opt float 5.0 & info [ "delete-frac" ] ~docv:"PCT"
-           ~doc:"Share of writes issued as DELETE.")
-  in
-  let conns =
-    Arg.(value & opt int 4 & info [ "conns" ] ~docv:"N" ~doc:"Pipelined connections.")
-  in
-  let run workers partitions no_compaction write_frac theta rate n_ops warmup
-      delete_frac conns =
-    netbench_run workers partitions (not no_compaction) write_frac theta rate
-      n_ops warmup delete_frac conns
-  in
-  Cmd.v
-    (Cmd.info "netbench"
-       ~doc:"Loopback load test: spin up the TCP server, drive it open-loop with \
-             the Zipf workload, report throughput and latency percentiles. \
-             Exits nonzero on any protocol error or unanswered request.")
-    Term.(
-      const run $ workers_arg $ partitions_arg $ no_compaction_arg $ write_frac
-      $ theta $ rate $ n_ops $ warmup $ delete_frac $ conns)
 
 let () =
   let info =
@@ -828,20 +21,6 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group ~default:trace_term info
-          [
-            excess_cmd;
-            surface_cmd;
-            loadlat_cmd;
-            per_thread_cmd;
-            item_size_cmd;
-            ewt_cmd;
-            trace_cmd;
-            chaos_cmd;
-            analyze_cmd;
-            taxonomy_cmd;
-            validate_cmd;
-            cluster_cmd;
-            serve_cmd;
-            netbench_cmd;
-          ]))
+       (Cmd.group ~default:Cmd_trace.term info
+          (Cmd_run.cmds
+          @ [ Cmd_trace.cmd; Cmd_chaos.cmd; Cmd_serve.cmd; Cmd_netbench.cmd ])))

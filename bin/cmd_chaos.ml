@@ -1,0 +1,113 @@
+(* Seeded chaos run: deform the workload with a fault profile, inject
+   faults into the server, let the client retry policy fight back, and
+   report what survived. Same --fault-seed => byte-identical run. *)
+
+open Cmdliner
+open Cmd_common
+
+let chaos_run system write_frac theta rate n_requests fault_seed fault_profile
+    no_retry budget_ratio shed ewt_ttl trace_file =
+  let module Server = C4_model.Server in
+  let module Fault = C4_resilience.Fault in
+  let module Retry = C4_resilience.Retry in
+  let module Chaos = C4_resilience.Chaos in
+  let profile =
+    match fault_profile with
+    | "default" -> Fault.default
+    | "none" -> Fault.none
+    | s -> (
+      match Fault.parse s with
+      | Ok p -> p
+      | Error e ->
+        prerr_endline ("c4_sim: " ^ e);
+        exit 2)
+  in
+  let tracer =
+    match trace_file with Some _ -> C4_obs.Trace.create () | None -> C4_obs.Trace.null
+  in
+  let registry = C4_obs.Registry.create () in
+  let base = C4.Config.model system in
+  let server =
+    {
+      base with
+      Server.trace = tracer;
+      registry = Some registry;
+      crew =
+        {
+          base.Server.crew with
+          C4_crew.Config.shed =
+            (if shed then Some C4_crew.Config.default_shed else None);
+          ewt_ttl =
+            (if ewt_ttl > 0.0 then
+               Some { C4_crew.Config.ttl = ewt_ttl; sweep_interval = ewt_ttl /. 4.0 }
+             else None);
+        };
+    }
+  in
+  let workload =
+    {
+      (C4.Config.workload_rw_sk ~theta ~write_fraction:(write_frac /. 100.0)) with
+      C4_workload.Generator.rate = rate /. 1e3;
+    }
+  in
+  let retry =
+    if no_retry then None
+    else Some { Retry.default with Retry.budget_ratio }
+  in
+  let report =
+    Chaos.run ?retry ~server ~workload ~n_requests ~profile ~fault_seed ()
+  in
+  Printf.printf "system=%s gamma=%.2f f_wr=%.0f%% @ %.0f MRPS\n"
+    (C4.Config.name system) theta write_frac rate;
+  Format.printf "%a@." Chaos.pp_report report;
+  print_newline ();
+  print_endline "registered metrics:";
+  C4_stats.Table.print (C4_obs.Registry.to_table registry);
+  match trace_file with
+  | None -> ()
+  | Some path ->
+    (try C4_obs.Chrome.save tracer ~path
+     with Sys_error msg ->
+       prerr_endline ("c4_sim: cannot write trace: " ^ msg);
+       exit 1);
+    Printf.printf "\nwrote %s\n" path
+
+let cmd =
+  let fault_seed =
+    Arg.(value & opt int 42 & info [ "fault-seed" ] ~docv:"SEED"
+           ~doc:"Seed of the fault schedule; equal seeds replay byte-identically.")
+  in
+  let fault_profile =
+    Arg.(value & opt string "default" & info [ "fault-profile" ] ~docv:"PROFILE"
+           ~doc:"Fault intensities: $(b,default), $(b,none), or \
+                 corrupt=P,leak=P,straggler=P,straggler_scale=X,straggler_len=NS,\
+                 burst=P,burst_factor=X,burst_window=NS (unset keys are zero/neutral).")
+  in
+  let no_retry =
+    Arg.(value & flag & info [ "no-retry" ] ~doc:"Disable the client retry policy.")
+  in
+  let budget_ratio =
+    Arg.(value & opt float 0.5 & info [ "retry-budget" ] ~docv:"RATIO"
+           ~doc:"Retry-budget credits granted per dropped original.")
+  in
+  let shed =
+    Arg.(value & flag & info [ "shed" ] ~doc:"Enable adaptive load shedding.")
+  in
+  let ewt_ttl =
+    Arg.(value & opt float 0.0 & info [ "ewt-ttl" ] ~docv:"NS"
+           ~doc:"Reclaim EWT entries idle for $(docv) ns (0 = never); the \
+                 countermeasure to leaked releases.")
+  in
+  let trace_file =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event JSON of the chaotic run to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Deterministic fault-injection run: corrupted packets, stragglers, \
+             EWT leaks, bursts — with client retries fighting back.")
+    Term.(
+      const chaos_run $ system_arg ~default:C4.Config.Comp ()
+      $ write_frac_arg ~default:30.0 () $ theta_arg ~default:0.99 () $ rate_arg ()
+      $ n_requests_arg () $ fault_seed $ fault_profile $ no_retry $ budget_ratio
+      $ shed $ ewt_ttl $ trace_file)

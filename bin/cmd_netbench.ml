@@ -1,0 +1,98 @@
+(* Loopback load test: spin up the TCP server over the multicore
+   runtime, drive it open-loop with the Zipf workload, report
+   throughput and latency percentiles. *)
+
+open Cmdliner
+open Cmd_common
+
+let netbench_run n_workers n_partitions compaction write_frac theta rate n_ops
+    warmup delete_frac conns =
+  let runtime =
+    C4_runtime.Server.start (runtime_config n_workers n_partitions compaction)
+  in
+  let srv = C4_net.Server.start C4_net.Server.default_config ~runtime in
+  let client =
+    C4_net.Client.create
+      {
+        (C4_net.Client.default_config
+           ~hosts:[ ("127.0.0.1", C4_net.Server.port srv) ])
+        with
+        conns_per_host = conns;
+        retry = Some C4_resilience.Retry.default;
+      }
+  in
+  let workload =
+    {
+      C4_workload.Generator.default with
+      theta;
+      write_fraction = write_frac /. 100.0;
+      rate = rate *. 1e-9;  (* ops/s -> ops/ns *)
+      n_partitions;
+    }
+  in
+  let cfg =
+    {
+      (C4_net.Loadgen.default_config ~workload ~seed:42) with
+      n_ops;
+      warmup = min warmup (n_ops / 2);
+      delete_fraction = delete_frac /. 100.0;
+    }
+  in
+  let report = C4_net.Loadgen.run client cfg in
+  C4_net.Client.close client;
+  C4_net.Server.stop srv;
+  C4_runtime.Server.stop runtime;
+  let sstats = C4_net.Server.stats srv in
+  let cstats = C4_net.Client.stats client in
+  C4_stats.Table.print (C4_net.Loadgen.to_table report);
+  Printf.printf
+    "throughput %.0f ops/s (%d/%d completed, %d errors, %d unanswered) in %.2f s\n"
+    report.C4_net.Loadgen.throughput report.C4_net.Loadgen.completed
+    report.C4_net.Loadgen.issued report.C4_net.Loadgen.errors
+    report.C4_net.Loadgen.unanswered report.C4_net.Loadgen.duration_s;
+  Printf.printf "client: %d sent, %d retries, %d transport errors; server: %d protocol errors\n"
+    cstats.C4_net.Client.sent cstats.C4_net.Client.retries
+    cstats.C4_net.Client.transport_errors sstats.C4_net.Server.protocol_errors;
+  if
+    report.C4_net.Loadgen.completed = 0
+    || report.C4_net.Loadgen.errors > 0
+    || report.C4_net.Loadgen.unanswered > 0
+    || sstats.C4_net.Server.protocol_errors > 0
+  then begin
+    Printf.printf "NETBENCH FAILED\n";
+    exit 1
+  end
+
+let cmd =
+  let rate =
+    Arg.(value & opt float 50_000.0 & info [ "rate" ] ~docv:"OPS_PER_SEC"
+           ~doc:"Open-loop offered rate.")
+  in
+  let n_ops =
+    Arg.(value & opt int 20_000 & info [ "n" ] ~docv:"N" ~doc:"Requests to issue.")
+  in
+  let warmup =
+    Arg.(value & opt int 1_000 & info [ "warmup" ] ~docv:"N"
+           ~doc:"Responses excluded from latency stats.")
+  in
+  let delete_frac =
+    Arg.(value & opt float 5.0 & info [ "delete-frac" ] ~docv:"PCT"
+           ~doc:"Share of writes issued as DELETE.")
+  in
+  let conns =
+    Arg.(value & opt int 4 & info [ "conns" ] ~docv:"N" ~doc:"Pipelined connections.")
+  in
+  let run workers partitions no_compaction write_frac theta rate n_ops warmup
+      delete_frac conns =
+    netbench_run workers partitions (not no_compaction) write_frac theta rate
+      n_ops warmup delete_frac conns
+  in
+  Cmd.v
+    (Cmd.info "netbench"
+       ~doc:"Loopback load test: spin up the TCP server, drive it open-loop with \
+             the Zipf workload, report throughput and latency percentiles. \
+             Exits nonzero on any protocol error or unanswered request.")
+    Term.(
+      const run $ workers_arg $ partitions_arg $ no_compaction_arg
+      $ write_frac_arg ~default:30.0 ~doc:"Write percentage of the Zipf mix." ()
+      $ theta_arg ~default:0.99 () $ rate $ n_ops $ warmup $ delete_frac $ conns)

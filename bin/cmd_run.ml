@@ -1,0 +1,351 @@
+(* Figure-reproduction and analysis subcommands: the paper's plots
+   (excess-tlat, compaction-surface, load-latency, per-thread,
+   item-size, ewt), the workload analyzer/taxonomy, the queueing-theory
+   validation table, and the multi-node cluster study. *)
+
+open Cmdliner
+open Cmd_common
+
+let excess_tlat scale ofile =
+  let t = C4.Figures.Fig3.run ~scale () in
+  print_and_save (C4.Figures.Fig3.to_table t) (C4.Figures.Fig3.to_csv t) ofile
+
+let compaction_surface scale ofile =
+  let t = C4.Figures.Fig4.run ~scale () in
+  print_and_save (C4.Figures.Fig4.to_table t) (C4.Figures.Fig4.to_csv t) ofile
+
+let load_latency system write_frac theta rates n_requests full_system ofile =
+  let cfg =
+    if full_system then C4.Config.full system else C4.Config.model system
+  in
+  let workload =
+    C4.Config.workload_rw_sk ~theta ~write_fraction:(write_frac /. 100.0)
+  in
+  let points =
+    C4_model.Experiment.load_latency ~n_requests cfg ~workload
+      ~rates:(List.map (fun mrps -> mrps /. 1e3) rates)
+  in
+  let table =
+    C4_stats.Table.create
+      ~columns:
+        [
+          ("load MRPS", C4_stats.Table.Right);
+          ("achieved MRPS", C4_stats.Table.Right);
+          ("p50 ns", C4_stats.Table.Right);
+          ("p99 ns", C4_stats.Table.Right);
+        ]
+  in
+  let csv =
+    C4_stats.Csv.create ~header:[ "load_mrps"; "achieved_mrps"; "p50_ns"; "p99_ns" ]
+  in
+  List.iter
+    (fun (p : C4_model.Experiment.point) ->
+      let p50 =
+        C4_stats.Histogram.median
+          (C4_model.Metrics.latency p.result.C4_model.Server.metrics)
+      in
+      C4_stats.Table.add_row table
+        [
+          C4_stats.Table.cell_f ~decimals:1 p.offered_mrps;
+          C4_stats.Table.cell_f ~decimals:1 p.achieved_mrps;
+          C4_stats.Table.cell_f ~decimals:0 p50;
+          C4_stats.Table.cell_f ~decimals:0 p.p99_ns;
+        ];
+      C4_stats.Csv.add_row csv
+        [
+          Printf.sprintf "%.2f" p.offered_mrps;
+          Printf.sprintf "%.2f" p.achieved_mrps;
+          Printf.sprintf "%.0f" p50;
+          Printf.sprintf "%.0f" p.p99_ns;
+        ])
+    points;
+  Printf.printf "system=%s f_wr=%.0f%% gamma=%.2f\n" (C4.Config.name system)
+    write_frac theta;
+  print_and_save table csv ofile
+
+let per_thread scale ofile =
+  let t = C4.Figures.Fig12.run ~scale () in
+  print_and_save (C4.Figures.Fig12.to_table t) (C4.Figures.Fig12.to_csv t) ofile
+
+let item_size scale ofile =
+  let t = C4.Figures.Table2.run ~scale () in
+  print_and_save (C4.Figures.Table2.to_table t) (C4.Figures.Table2.to_csv t) ofile
+
+let ewt scale =
+  let t = C4.Figures.Ewt_study.run ~scale () in
+  C4_stats.Table.print (C4.Figures.Ewt_study.to_table t)
+
+(* Profile a trace CSV (or a synthetic one) and recommend a mechanism. *)
+let analyze trace_file theta write_frac n =
+  let trace =
+    match trace_file with
+    | Some path ->
+      let ic = open_in path in
+      let contents =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (match C4_workload.Trace.of_csv contents with
+      | Ok t -> t
+      | Error e ->
+        prerr_endline ("failed to parse trace: " ^ e);
+        exit 1)
+    | None ->
+      let gen =
+        C4_workload.Generator.create
+          {
+            C4_workload.Generator.default with
+            n_keys = 100_000;
+            n_partitions = 1024;
+            theta;
+            write_fraction = write_frac /. 100.0;
+            rate = 0.05;
+          }
+          ~seed:17
+      in
+      C4_workload.Trace.record gen ~n
+  in
+  print_endline (C4_analysis.Profile.report (C4_analysis.Profile.of_trace trace))
+
+(* Print the taxonomy map with a few reference workloads placed on it. *)
+let taxonomy () =
+  print_endline "KVS workload taxonomy (paper Fig. 1):";
+  print_endline "";
+  print_endline "  write";
+  print_endline "  frac.  ^";
+  print_endline "   100%  |   WI_uni        RW_sk";
+  print_endline "         |   (d-CREW)      (compaction)";
+  print_endline "    50%  +--------------+--------------";
+  print_endline "         |   R_uni       |  R_sk";
+  print_endline "         |   (baseline)  |  (baseline)";
+  print_endline "     0%  +---------------+-------------> skew (gamma)";
+  print_endline "         0              0.9            2.5";
+  print_endline "";
+  let place name theta write_fraction =
+    let region = C4.Region.classify ~theta ~write_fraction in
+    Printf.printf "  %-34s gamma=%.2f f_wr=%3.0f%% -> %-6s (%s)
+" name theta
+      (100.0 *. write_fraction) (C4.Region.name region)
+      (match C4.Region.recommended_mechanism region with
+      | `Dcrew -> "d-CREW"
+      | `Compaction -> "compaction"
+      | `Baseline_suffices -> "baseline suffices")
+  in
+  place "memcached-style page cache" 0.7 0.03;
+  place "YCSB-A" 0.99 0.5;
+  place "Twitter write-heavy cluster [90]" 0.5 0.65;
+  place "Facebook ML-statistics store [11]" 1.2 0.92;
+  place "message queue backend" 0.1 0.8;
+  place "product catalogue" 1.4 0.01
+
+(* Multi-node cluster study (Sec. 8). *)
+let cluster_cmd_impl n_nodes system theta write_frac mrps hot_keys n_requests =
+  let node =
+    { (C4.Config.model system) with C4_model.Server.n_workers = 16 }
+  in
+  let workload =
+    {
+      (C4.Config.workload_rw_sk ~theta ~write_fraction:(write_frac /. 100.0)) with
+      C4_workload.Generator.rate = mrps /. 1e3;
+    }
+  in
+  let netcache =
+    if hot_keys > 0 then
+      Some { C4_cluster.Cluster.hot_keys; t_switch = 300.0 }
+    else None
+  in
+  let t =
+    C4_cluster.Cluster.run
+      { C4_cluster.Cluster.n_nodes; node; workload; netcache }
+      ~n_requests
+  in
+  Printf.printf
+    "%d nodes x 16 workers, %s per node, gamma=%.2f f_wr=%.0f%% @ %.0f MRPS cluster-wide
+"
+    n_nodes (C4.Config.name system) theta write_frac mrps;
+  Printf.printf "cluster p99 = %.0f ns   mean = %.0f ns   tput = %.1f MRPS
+"
+    t.C4_cluster.Cluster.cluster_p99 t.C4_cluster.Cluster.cluster_mean
+    t.C4_cluster.Cluster.cluster_tput_mrps;
+  Printf.printf "hot-node share = %.2fx fair%s
+" t.C4_cluster.Cluster.imbalance
+    (if t.C4_cluster.Cluster.switch_hits > 0 then
+       Printf.sprintf "   (switch served %d reads)" t.C4_cluster.Cluster.switch_hits
+     else "");
+  List.iter
+    (fun (n : C4_cluster.Cluster.node_result) ->
+      Printf.printf "  node %d: %6d requests, p99 %8.0f ns
+" n.C4_cluster.Cluster.node_id
+        n.C4_cluster.Cluster.requests
+        (C4_model.Metrics.p99 n.C4_cluster.Cluster.result.C4_model.Server.metrics))
+    t.C4_cluster.Cluster.nodes
+
+(* Simulator-vs-queueing-theory comparison (the validation suite, as a
+   human-readable table). *)
+let validate () =
+  let module V = C4_model.Validation in
+  let mean, var = V.uniform_moments ~lo:500.0 ~hi:900.0 in
+  let table =
+    C4_stats.Table.create
+      ~columns:
+        [
+          ("system", C4_stats.Table.Left);
+          ("rho", C4_stats.Table.Right);
+          ("theory wait ns", C4_stats.Table.Right);
+          ("simulated ns", C4_stats.Table.Right);
+          ("error", C4_stats.Table.Right);
+        ]
+  in
+  let simulate ~n_workers ~rate =
+    let cfg =
+      {
+        C4_model.Server.default_config with
+        C4_model.Server.policy = C4_model.Policy.Ideal;
+        n_workers;
+        crew = { C4_crew.Config.default with C4_crew.Config.jbsq_bound = 1 };
+        max_outstanding = 1_000_000;
+      }
+    in
+    let workload =
+      {
+        C4_workload.Generator.default with
+        n_keys = 10_000;
+        n_partitions = 256;
+        rate;
+        write_fraction = 0.0;
+      }
+    in
+    let r = C4_model.Server.run cfg ~workload ~n_requests:300_000 in
+    C4_model.Metrics.mean_latency r.C4_model.Server.metrics -. mean
+  in
+  List.iter
+    (fun (label, c, rate, theory) ->
+      let sim = simulate ~n_workers:c ~rate in
+      let rho = rate *. mean /. float_of_int c in
+      C4_stats.Table.add_row table
+        [
+          label;
+          Printf.sprintf "%.2f" rho;
+          Printf.sprintf "%.1f" theory;
+          Printf.sprintf "%.1f" sim;
+          Printf.sprintf "%.1f%%" (100.0 *. abs_float (sim -. theory) /. theory);
+        ])
+    [
+      ( "M/G/1",
+        1,
+        0.0005,
+        V.mg1_mean_wait ~lambda:0.0005 ~service_mean:mean ~service_var:var );
+      ( "M/G/1",
+        1,
+        0.001,
+        V.mg1_mean_wait ~lambda:0.001 ~service_mean:mean ~service_var:var );
+      ( "M/G/8 (Allen-Cunneen)",
+        8,
+        0.008,
+        V.mgc_mean_wait_approx ~lambda:0.008 ~service_mean:mean ~service_var:var ~c:8 );
+      ( "M/G/16 (Allen-Cunneen)",
+        16,
+        0.018,
+        V.mgc_mean_wait_approx ~lambda:0.018 ~service_mean:mean ~service_var:var ~c:16 );
+    ];
+  print_endline "mean queueing delay, simulator vs closed form (uniform service [500,900] ns):";
+  C4_stats.Table.print table
+
+(* ------------------------------------------------------------------ *)
+
+let excess_cmd =
+  Cmd.v
+    (Cmd.info "excess-tlat" ~doc:"Reproduce Fig. 3: excess tail latency vs write fraction.")
+    Term.(const excess_tlat $ scale_arg $ csv_arg)
+
+let surface_cmd =
+  Cmd.v
+    (Cmd.info "compaction-surface" ~doc:"Reproduce Fig. 4: the (gamma, f_wr) surface.")
+    Term.(const compaction_surface $ scale_arg $ csv_arg)
+
+let loadlat_cmd =
+  let rates =
+    Arg.(value & opt (list float) [ 10.; 30.; 50.; 70.; 80.; 90. ]
+         & info [ "rates" ] ~docv:"MRPS,..." ~doc:"Offered loads in MRPS.")
+  in
+  Cmd.v
+    (Cmd.info "load-latency" ~doc:"One load-latency curve (Figs. 9/10/11/13 methodology).")
+    Term.(
+      const load_latency $ system_arg () $ write_frac_arg () $ theta_arg () $ rates
+      $ n_requests_arg ~doc:"Requests per simulation point." () $ full_system_arg
+      $ csv_arg)
+
+let per_thread_cmd =
+  Cmd.v
+    (Cmd.info "per-thread" ~doc:"Reproduce Fig. 12: per-thread throughput and utilisation.")
+    Term.(const per_thread $ scale_arg $ csv_arg)
+
+let item_size_cmd =
+  Cmd.v
+    (Cmd.info "item-size" ~doc:"Reproduce Table 2: item-size sensitivity.")
+    Term.(const item_size $ scale_arg $ csv_arg)
+
+let ewt_cmd =
+  Cmd.v
+    (Cmd.info "ewt" ~doc:"Reproduce Sec. 7.1.1: EWT occupancy statistics.")
+    Term.(const ewt $ scale_arg)
+
+let analyze_cmd =
+  let trace =
+    Arg.(value & opt (some file) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Trace CSV (columns id,op,key,partition,arrival,value_size). \
+                 Without it, a synthetic trace is profiled.")
+  in
+  let n =
+    Arg.(value & opt int 100_000 & info [ "n" ] ~docv:"N" ~doc:"Synthetic trace length.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Profile a workload trace: fitted skew, mix, taxonomy region, recommendation.")
+    Term.(
+      const analyze $ trace
+      $ theta_arg ~default:0.99 ~doc:"Synthetic trace skew." ()
+      $ write_frac_arg ~default:30.0 ~doc:"Synthetic trace write percentage." ()
+      $ n)
+
+let taxonomy_cmd =
+  Cmd.v
+    (Cmd.info "taxonomy" ~doc:"Print the Fig. 1 taxonomy with reference workloads placed.")
+    Term.(const taxonomy $ const ())
+
+let validate_cmd =
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Compare the simulator against closed-form queueing theory.")
+    Term.(const validate $ const ())
+
+let cluster_cmd =
+  let n_nodes =
+    Arg.(value & opt int 4 & info [ "nodes" ] ~docv:"N" ~doc:"Cluster size.")
+  in
+  let mrps =
+    Arg.(value & opt float 45.0 & info [ "mrps" ] ~docv:"MRPS"
+           ~doc:"Cluster-wide offered load.")
+  in
+  Cmd.v
+    (Cmd.info "cluster" ~doc:"Multi-node deployment study (Sec. 8).")
+    Term.(
+      const cluster_cmd_impl $ n_nodes $ system_arg ~doc:"Per-node system." ()
+      $ theta_arg ~default:0.99 () $ write_frac_arg () $ mrps
+      $ Arg.(value & opt int 0 & info [ "netcache" ] ~docv:"K"
+               ~doc:"Enable a NetCache-style switch cache over the $(docv) hottest keys.")
+      $ n_requests_arg ~default:120_000 ~doc:"Requests simulated cluster-wide." ())
+
+let cmds =
+  [
+    excess_cmd;
+    surface_cmd;
+    loadlat_cmd;
+    per_thread_cmd;
+    item_size_cmd;
+    ewt_cmd;
+    analyze_cmd;
+    taxonomy_cmd;
+    validate_cmd;
+    cluster_cmd;
+  ]

@@ -1,0 +1,53 @@
+(* Network serving: a real TCP front-end over the multicore runtime. *)
+
+open Cmdliner
+open Cmd_common
+
+let serve_run port n_workers n_partitions compaction duration =
+  let runtime =
+    C4_runtime.Server.start (runtime_config n_workers n_partitions compaction)
+  in
+  let srv =
+    C4_net.Server.start { C4_net.Server.default_config with port } ~runtime
+  in
+  Printf.printf "c4 server listening on 127.0.0.1:%d (%d workers, %d partitions%s)\n%!"
+    (C4_net.Server.port srv) n_workers n_partitions
+    (if compaction then ", compaction on" else "");
+  (match duration with
+  | Some s -> (try Unix.sleepf s with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+  | None ->
+    let stop_flag = Atomic.make false in
+    let on_sig _ = Atomic.set stop_flag true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_sig);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_sig);
+    while not (Atomic.get stop_flag) do
+      try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done);
+  (* Net layer first, runtime second: the drain order that guarantees
+     every accepted request is answered before workers tear down. *)
+  C4_net.Server.stop srv;
+  C4_runtime.Server.stop runtime;
+  let st = C4_net.Server.stats srv in
+  Printf.printf
+    "served %d requests on %d connections (%d B in, %d B out, %d protocol errors)\n"
+    st.C4_net.Server.requests st.C4_net.Server.conns_accepted
+    st.C4_net.Server.bytes_in st.C4_net.Server.bytes_out
+    st.C4_net.Server.protocol_errors;
+  C4_stats.Table.print (C4_obs.Registry.to_table (C4_net.Server.registry srv))
+
+let cmd =
+  let port =
+    Arg.(value & opt int 4150 & info [ "p"; "port" ] ~docv:"PORT"
+           ~doc:"TCP port to listen on (0 = ephemeral).")
+  in
+  let duration =
+    Arg.(value & opt (some float) None & info [ "duration" ] ~docv:"SECONDS"
+           ~doc:"Serve for $(docv) then drain and exit (default: until SIGINT).")
+  in
+  let run port workers partitions no_compaction duration =
+    serve_run port workers partitions (not no_compaction) duration
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve the multicore KVS over TCP (CREW routing, compaction, recovery).")
+    Term.(const run $ port $ workers_arg $ partitions_arg $ no_compaction_arg $ duration)

@@ -1,0 +1,104 @@
+(* The default subcommand: one traced simulator run — request-lifecycle
+   spans to Chrome trace-event JSON, registry metrics to a CSV time
+   series, and the per-stage latency decomposition printed at the end. *)
+
+open Cmdliner
+open Cmd_common
+
+let trace_run system write_frac theta rate n_requests full_system trace_file sample
+    metrics_interval metrics_csv =
+  let module Server = C4_model.Server in
+  let module Trace = C4_obs.Trace in
+  let module Report = C4_obs.Report in
+  if sample < 1 then begin
+    prerr_endline "c4_sim: --trace-sample must be >= 1";
+    exit 2
+  end;
+  let tracer =
+    match trace_file with
+    | Some _ -> Trace.create ~sample ()
+    | None -> Trace.null
+  in
+  let registry = C4_obs.Registry.create () in
+  let cfg = if full_system then C4.Config.full system else C4.Config.model system in
+  let cfg =
+    {
+      cfg with
+      Server.trace = tracer;
+      registry = Some registry;
+      metrics_interval;
+    }
+  in
+  let workload =
+    {
+      (C4.Config.workload_rw_sk ~theta ~write_fraction:(write_frac /. 100.0)) with
+      C4_workload.Generator.rate = rate /. 1e3;
+    }
+  in
+  let r = Server.run cfg ~workload ~n_requests in
+  Printf.printf "system=%s gamma=%.2f f_wr=%.0f%% @ %.0f MRPS, %d requests\n"
+    (C4.Config.name system) theta write_frac rate n_requests;
+  Format.printf "%a@." C4_model.Metrics.pp_summary r.Server.metrics;
+  print_newline ();
+  print_endline "registered metrics:";
+  C4_stats.Table.print (C4_obs.Registry.to_table registry);
+  (match trace_file with
+  | None -> ()
+  | Some path ->
+    (try C4_obs.Chrome.save tracer ~path
+     with Sys_error msg ->
+       prerr_endline ("c4_sim: cannot write trace: " ^ msg);
+       exit 1);
+    Printf.printf "\nwrote %s (%d spans, %d events, every %d%s request)\n" path
+      (List.length (Trace.spans tracer))
+      (List.length (Trace.events tracer))
+      sample
+      (match sample with 1 -> "st" | 2 -> "nd" | 3 -> "rd" | _ -> "th");
+    let bad = Report.violations tracer ~tolerance_ns:1.0 in
+    Printf.printf "span-sum check: %d/%d traced requests within 1 ns of end-to-end latency\n"
+      (List.length (Trace.completed tracer) - List.length bad)
+      (List.length (Trace.completed tracer));
+    print_newline ();
+    print_endline "per-stage breakdown over traced requests:";
+    C4_stats.Table.print (Report.stage_table tracer);
+    (match Report.request_at_quantile tracer ~q:0.99 with
+    | None -> ()
+    | Some b ->
+      Printf.printf "\np99 traced request (#%d, arrived t=%.0f ns):\n" b.Report.req
+        b.Report.arrival;
+      C4_stats.Table.print (Report.breakdown_table b)));
+  match (metrics_csv, r.Server.snapshot) with
+  | Some path, Some csv ->
+    C4_stats.Csv.save csv ~path;
+    Printf.printf "wrote %s\n" path
+  | Some _, None ->
+    prerr_endline "warning: --metrics-csv needs --metrics-interval; no series collected"
+  | None, _ -> ()
+
+let term =
+  let trace_file =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event JSON (chrome://tracing, Perfetto) to $(docv).")
+  in
+  let sample =
+    Arg.(value & opt int 1 & info [ "trace-sample" ] ~docv:"N"
+           ~doc:"Trace every $(docv)th request (default: all).")
+  in
+  let metrics_interval =
+    Arg.(value & opt (some float) None & info [ "metrics-interval" ] ~docv:"NS"
+           ~doc:"Snapshot every registered metric each $(docv) ns of simulated time.")
+  in
+  let metrics_csv =
+    Arg.(value & opt (some string) None & info [ "metrics-csv" ] ~docv:"FILE"
+           ~doc:"Write the metric time series (needs --metrics-interval) to $(docv).")
+  in
+  Term.(
+    const trace_run $ system_arg ~default:C4.Config.Comp () $ write_frac_arg ~default:5.0 ()
+    $ theta_arg ~default:1.25 () $ rate_arg () $ n_requests_arg () $ full_system_arg
+    $ trace_file $ sample $ metrics_interval $ metrics_csv)
+
+let cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run once with end-to-end request tracing and live metrics (default command).")
+    term

@@ -51,8 +51,13 @@ let act1 () =
     ~retry:Retry.default
     {
       model_server with
-      Server.shed = Some Server.default_shed;
-      ewt_ttl = Some { Server.ttl = 200_000.0; sweep_interval = 50_000.0 };
+      Server.crew =
+        {
+          C4_crew.Config.default with
+          C4_crew.Config.shed = Some C4_crew.Config.default_shed;
+          ewt_ttl =
+            Some { C4_crew.Config.ttl = 200_000.0; sweep_interval = 50_000.0 };
+        };
     }
 
 let act2 () =

@@ -35,6 +35,7 @@ let () =
       Models.flow_control ();
       Models.channel ();
       Models.promise ();
+      Models.crew_core ();
       fst (Models.compaction ());
     ];
   List.iter
@@ -47,6 +48,7 @@ let () =
       Models.flow_control ~broken:Models.Unmatched_release ();
       Models.channel ~broken:Models.Pop_ignores_close ();
       Models.promise ~broken:Models.Two_resolvers ();
+      Models.crew_core ~broken:Models.Strict_release ();
     ];
   (* Counterexample -> replay -> linearizability checker, end to end. *)
   let packed, history = Models.compaction ~broken:Models.Early_ack () in

@@ -61,7 +61,12 @@ let () =
   let workload = C4.Config.workload_wi_uni ~write_fraction:0.85 in
   List.iter
     (fun capacity ->
-      let cfg = { cfg with Server.ewt_capacity = capacity } in
+      let cfg =
+        {
+          cfg with
+          Server.crew = { cfg.Server.crew with C4_crew.Config.ewt_capacity = capacity };
+        }
+      in
       let point = Experiment.run_at ~n_requests:80_000 cfg ~workload ~rate:0.09 in
       Printf.printf "  capacity %4d -> %5d drops\n" capacity
         point.Experiment.result.Server.ewt_drops)

@@ -12,7 +12,11 @@ module Generator = C4_workload.Generator
 module Request = C4_workload.Request
 
 let run_workload ~compaction ~theta ~write_fraction ~n_ops =
-  let cfg = { Server.default_config with Server.n_workers = 4; compaction } in
+  let crew =
+    if compaction then C4_crew.Config.queued
+    else { C4_crew.Config.queued with C4_crew.Config.compaction = None }
+  in
+  let cfg = { Server.default_config with Server.n_workers = 4; crew } in
   let t = Server.start cfg in
   Fun.protect
     ~finally:(fun () -> Server.stop t)

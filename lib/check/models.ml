@@ -532,6 +532,229 @@ let promise ?broken () =
         (fun st -> if st.observed = [] then Error "awaiter never woke" else Ok ());
     }
 
+(* ---------------- Crew policy core ---------------- *)
+
+module Crew_core = C4_crew.Core
+module Crew_config = C4_crew.Config
+module Decision = C4_crew.Decision
+
+type crew_broken = Strict_release
+
+type crew_state = {
+  core : Crew_core.t;
+  mutable crew_now : float;
+  crew_out : (int, int) Hashtbl.t; (* partition -> outstanding (shadow) *)
+  crew_owner : (int, int) Hashtbl.t; (* partition -> pinned worker (shadow) *)
+  mutable crew_pending : int list; (* partitions awaiting release, in order *)
+  mutable crew_admitted : int;
+  mutable crew_released : int;
+  mutable crew_orphans : int;
+  mutable crew_cancelled : int; (* outstanding cancelled by stale sweeps *)
+  mutable crew_absorbed : int list; (* write ids absorbed, in order *)
+  mutable crew_closed : int list option; (* ids close_window answered *)
+  mutable crew_admit_done : bool;
+}
+
+let crew_cfg =
+  {
+    Crew_config.default with
+    Crew_config.ewt_capacity = 8;
+    pin_fallback = Crew_config.Static;
+    compaction = Some Crew_config.default_compaction;
+    ewt_ttl = Some { Crew_config.ttl = 1.5; sweep_interval = 1.0 };
+  }
+
+(* Admissions run through the real [Core.admit_write]; the shadow tables
+   record what the core promised (owner, outstanding) so the invariant
+   can hold it to that. *)
+let crew_admitter partitions =
+  let rec go = function
+    | [] -> assert false
+    | partition :: rest ->
+      Sched.step ~touches:[ "core" ]
+        (Printf.sprintf "admit p%d" partition)
+        (fun st ->
+          st.crew_now <- st.crew_now +. 0.1;
+          (match
+             Crew_core.admit_write st.core ~partition ~now:st.crew_now ~pick:`Static
+           with
+          | Crew_core.Admitted { worker; fresh } ->
+            if fresh then Hashtbl.replace st.crew_owner partition worker;
+            Hashtbl.replace st.crew_out partition
+              (shadow_get st.crew_out partition + 1);
+            st.crew_pending <- st.crew_pending @ [ partition ];
+            st.crew_admitted <- st.crew_admitted + 1
+          | Crew_core.No_slot | Crew_core.Rejected _ -> ());
+          if rest = [] then begin
+            st.crew_admit_done <- true;
+            Sched.stop
+          end
+          else Sched.Continue (go rest))
+  in
+  go partitions
+
+let crew_releaser ~strict =
+  let rec release () =
+    Sched.step ~touches:[ "core" ] "write_done"
+      ~enabled:(fun st -> st.crew_pending <> [] || st.crew_admit_done)
+      (fun st ->
+        st.crew_now <- st.crew_now +. 0.1;
+        match st.crew_pending with
+        | [] -> Sched.stop
+        | partition :: rest ->
+          st.crew_pending <- rest;
+          (* With [strict], this is the pre-resilience protocol: it
+             raises if a TTL sweep already reclaimed the pin. *)
+          Crew_core.write_done ~strict st.core ~partition;
+          if shadow_get st.crew_out partition > 0 then begin
+            let left = shadow_get st.crew_out partition - 1 in
+            if left = 0 then begin
+              Hashtbl.remove st.crew_out partition;
+              Hashtbl.remove st.crew_owner partition
+            end
+            else Hashtbl.replace st.crew_out partition left;
+            st.crew_released <- st.crew_released + 1
+          end
+          else st.crew_orphans <- st.crew_orphans + 1;
+          Sched.Continue (release ()))
+  in
+  release ()
+
+let crew_sweeper () =
+  Sched.step ~touches:[ "core" ] "sweep_stale" (fun st ->
+      (* Jump past the TTL so every idle pin is reclaimable. *)
+      st.crew_now <- st.crew_now +. 10.0;
+      let evicted = Crew_core.sweep_stale st.core ~now:st.crew_now in
+      List.iter
+        (fun p ->
+          st.crew_cancelled <- st.crew_cancelled + shadow_get st.crew_out p;
+          Hashtbl.remove st.crew_out p;
+          Hashtbl.remove st.crew_owner p)
+        evicted;
+      Sched.stop)
+
+(* A compaction window on worker 0 riding the same core instance the
+   sweeps hit: open, absorb three writes, close — the close must answer
+   exactly the absorbed ids no matter how sweeps interleave. *)
+let crew_windower () =
+  let close =
+    Sched.step ~touches:[ "core" ] "window_close" (fun st ->
+        st.crew_now <- st.crew_now +. 0.1;
+        (match Crew_core.close_window st.core ~worker:0 ~now:st.crew_now with
+        | Some closed ->
+          st.crew_closed <-
+            Some
+              (List.map
+                 (fun p -> p.C4_kvs.Compaction_log.request_id)
+                 closed.C4_kvs.Compaction_log.writes)
+        | None -> ());
+        Sched.stop)
+  in
+  let rec absorb i =
+    Sched.step ~touches:[ "core" ]
+      (Printf.sprintf "absorb/%d" i)
+      (fun st ->
+        st.crew_now <- st.crew_now +. 0.1;
+        Crew_core.absorb st.core ~worker:0 ~key:7 ~id:i ~now:st.crew_now;
+        st.crew_absorbed <- st.crew_absorbed @ [ i ];
+        if i < 2 then Sched.Continue (absorb (i + 1)) else Sched.Continue close)
+  in
+  Sched.step ~touches:[ "core" ] "window_open" (fun st ->
+      st.crew_now <- st.crew_now +. 0.1;
+      ignore
+        (Crew_core.open_window st.core ~worker:0 ~key:7 ~now:st.crew_now
+           ~arrival:st.crew_now ~mean_service:1.0);
+      Sched.Continue (absorb 0))
+
+let crew_core ?broken () =
+  let strict = broken = Some Strict_release in
+  Pack
+    {
+      Sched.model_name = (if strict then "crew-core/strict-release" else "crew-core");
+      init =
+        (fun () ->
+          {
+            core =
+              Crew_core.create ~cfg:crew_cfg ~n_workers:2 ~n_partitions:4 ();
+            crew_now = 0.0;
+            crew_out = Hashtbl.create 8;
+            crew_owner = Hashtbl.create 8;
+            crew_pending = [];
+            crew_admitted = 0;
+            crew_released = 0;
+            crew_orphans = 0;
+            crew_cancelled = 0;
+            crew_absorbed = [];
+            crew_closed = None;
+            crew_admit_done = false;
+          });
+      threads =
+        [
+          { Sched.name = "admitter"; entry = crew_admitter [ 0; 1; 0 ] };
+          { Sched.name = "releaser"; entry = crew_releaser ~strict };
+          { Sched.name = "sweeper"; entry = crew_sweeper () };
+          { Sched.name = "windower"; entry = crew_windower () };
+        ];
+      invariant =
+        (fun st ->
+          let bad = ref None in
+          Hashtbl.iter
+            (fun p out ->
+              (* CREW: while (un-evicted) writes are outstanding, the
+                 routing view must keep pointing at the pinning worker. *)
+              if out > 0 then begin
+                let owner = Hashtbl.find st.crew_owner p in
+                if Crew_core.route_owner st.core ~partition:p <> owner then
+                  bad :=
+                    Some (Printf.sprintf "partition %d remapped mid-flight" p)
+                else if Crew_core.ewt_outstanding st.core ~partition:p <> out
+                then
+                  bad :=
+                    Some
+                      (Printf.sprintf "partition %d: core outstanding %d, shadow %d" p
+                         (Crew_core.ewt_outstanding st.core ~partition:p)
+                         out)
+              end)
+            st.crew_out;
+          match !bad with
+          | Some msg -> Error msg
+          | None ->
+            if Crew_core.ewt_occupancy st.core <> Hashtbl.length st.crew_out then
+              Error
+                (Printf.sprintf "occupancy %d, shadow has %d pinned partitions"
+                   (Crew_core.ewt_occupancy st.core)
+                   (Hashtbl.length st.crew_out))
+            else begin
+              (* Credit conservation: every admitted write is exactly one
+                 of outstanding / released / cancelled-by-sweep. *)
+              let outstanding =
+                Hashtbl.fold (fun _ out acc -> acc + out) st.crew_out 0
+              in
+              if
+                st.crew_admitted
+                <> outstanding + st.crew_released + st.crew_cancelled
+              then
+                Error
+                  (Printf.sprintf
+                     "credits leak: admitted=%d outstanding=%d released=%d cancelled=%d"
+                     st.crew_admitted outstanding st.crew_released st.crew_cancelled)
+              else Ok ()
+            end);
+      final =
+        (fun st ->
+          if not st.crew_admit_done then Error "admitter did not finish"
+          else if st.crew_pending <> [] then Error "releases still pending"
+          else
+            match st.crew_closed with
+            | None -> Error "window never closed"
+            | Some ids when ids <> st.crew_absorbed ->
+              Error
+                (Printf.sprintf "window answered {%s}, absorbed {%s}"
+                   (String.concat "," (List.map string_of_int ids))
+                   (String.concat "," (List.map string_of_int st.crew_absorbed)))
+            | Some _ -> Ok ());
+    }
+
 (* ---------------- Compaction window ---------------- *)
 
 type compaction_broken = Early_ack

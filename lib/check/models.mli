@@ -14,6 +14,12 @@
       wakeup, against the real [C4_runtime.Channel].
     - {!promise}: resolve-exactly-once, awaiter always wakes, against
       the real [C4_runtime.Promise].
+    - {!crew_core}: the engine-agnostic d-CREW policy core
+      ([C4_crew.Core]) itself — an admitter, a releaser, a TTL sweeper
+      and a window lifecycle interleaved over one core instance, with
+      CREW routing stability, occupancy/credit conservation and
+      close-answers-exactly-the-absorbed-writes asserted in every
+      interleaving.
     - {!compaction}: deferred responses only after the window closes;
       every schedule's recorded history is fed to the
       [C4_consistency.Linearizability] checker.
@@ -54,6 +60,13 @@ val channel : ?broken:channel_broken -> unit -> packed
 type promise_broken = Two_resolvers
 
 val promise : ?broken:promise_broken -> unit -> packed
+
+type crew_broken =
+  | Strict_release
+      (** release via [write_done ~strict:true] even though a TTL is
+          configured: a sweep racing the release makes it raise *)
+
+val crew_core : ?broken:crew_broken -> unit -> packed
 
 type compaction_broken =
   | Early_ack  (** acknowledge at enqueue instead of window close *)

@@ -42,7 +42,14 @@ let model ?(seed = 42) system =
   {
     Server.default_config with
     Server.policy = policy_of system;
-    compaction = (match system with Comp -> Some Server.default_compaction | _ -> None);
+    crew =
+      (match system with
+      | Comp ->
+        {
+          C4_crew.Config.default with
+          C4_crew.Config.compaction = Some C4_crew.Config.default_compaction;
+        }
+      | _ -> C4_crew.Config.default);
     seed;
   }
 

@@ -1,0 +1,88 @@
+type compaction = {
+  scan_depth : int;
+  window_slo_multiplier : float;
+  window_budget_fraction : float;
+  scan_cost_per_slot : float;
+  adaptive_close : bool;
+  deadline_from_arrival : bool;
+  max_batch : int;
+}
+
+type ewt_ttl = { ttl : float; sweep_interval : float }
+
+type shed = {
+  check_interval : float;
+  shed_threshold : float;
+  recover_threshold : float;
+}
+
+type pin_fallback = Balanced | Static
+
+type t = {
+  jbsq_bound : int;
+  ewt_capacity : int;
+  ewt_max_outstanding : int;
+  pin_fallback : pin_fallback;
+  compaction : compaction option;
+  ewt_ttl : ewt_ttl option;
+  shed : shed option;
+}
+
+let default_compaction =
+  {
+    scan_depth = 8;
+    window_slo_multiplier = 10.0;
+    window_budget_fraction = 0.5;
+    scan_cost_per_slot = 5.0;
+    adaptive_close = false;
+    deadline_from_arrival = false;
+    max_batch = 64;
+  }
+
+let default_shed =
+  { check_interval = 20_000.0; shed_threshold = 0.05; recover_threshold = 0.01 }
+
+let default =
+  {
+    jbsq_bound = 2;
+    ewt_capacity = 128;
+    ewt_max_outstanding = 64;
+    pin_fallback = Balanced;
+    compaction = None;
+    ewt_ttl = None;
+    shed = None;
+  }
+
+(* The runtime's channels hold the backlog the NIC's buffer slots would;
+   a saturating per-entry counter must therefore never reject. *)
+let queued =
+  {
+    default with
+    compaction = Some default_compaction;
+    ewt_max_outstanding = 1_000_000;
+  }
+
+let validate t =
+  if t.jbsq_bound < 1 then invalid_arg "Crew.Config: jbsq_bound must be >= 1";
+  if t.ewt_capacity < 1 then invalid_arg "Crew.Config: ewt_capacity must be >= 1";
+  if t.ewt_max_outstanding < 1 then
+    invalid_arg "Crew.Config: ewt_max_outstanding must be >= 1";
+  (match t.compaction with
+  | None -> ()
+  | Some c ->
+    if c.scan_depth < 1 then invalid_arg "Crew.Config: scan_depth must be >= 1";
+    if c.max_batch < 1 then invalid_arg "Crew.Config: max_batch must be >= 1";
+    if c.window_slo_multiplier < 1.0 then
+      invalid_arg "Crew.Config: window_slo_multiplier must be >= 1";
+    if c.window_budget_fraction <= 0.0 then
+      invalid_arg "Crew.Config: window_budget_fraction must be positive");
+  (match t.ewt_ttl with
+  | None -> ()
+  | Some { ttl; sweep_interval } ->
+    if ttl <= 0.0 || sweep_interval <= 0.0 then
+      invalid_arg "Crew.Config: ewt_ttl fields must be positive");
+  match t.shed with
+  | None -> ()
+  | Some sc ->
+    if sc.check_interval <= 0.0 then
+      invalid_arg "Crew.Config: shed.check_interval must be positive"

@@ -1,0 +1,85 @@
+(** Unified d-CREW policy configuration.
+
+    Every engine that executes the paper's policy — the discrete-event
+    model ([C4_model.Server]), the multicore runtime
+    ([C4_runtime.Server]) and, through it, the network stack — is
+    parameterised by this one record, so the stacks cannot drift on
+    thresholds: the scan depth the simulator validates is the scan depth
+    the real server runs.
+
+    All durations are nanoseconds of the driving engine's clock
+    (simulated time for the model, wall-clock for the runtime). *)
+
+(** Write-compaction window parameters (paper Sec. 4.3, 5.3). *)
+type compaction = {
+  scan_depth : int;  (** queue slots scanned for dependent writes *)
+  window_slo_multiplier : float;
+      (** the SLO (in multiples of S̄) the window must respect *)
+  window_budget_fraction : float;
+      (** fraction of the SLO slack S̄·(multiplier − 1) one window may
+          consume. 0.5 (default) keeps even a write that just missed one
+          window inside the SLO; 1.0 reproduces the paper's
+          T_expiry = T_open + S̄·(SLO−1) formula *)
+  scan_cost_per_slot : float;  (** ns of service added per scanned slot *)
+  adaptive_close : bool;
+      (** close the window early when the worker would otherwise idle
+          (the Sec. 7.2 "software modification"); off = paper default *)
+  deadline_from_arrival : bool;
+      (** anchor the window deadline at the opening request's arrival
+          instead of the open instant (the paper's choice): arrival
+          anchoring protects the opener's SLO but collapses window
+          lengths once queueing delay builds *)
+  max_batch : int;  (** cap on writes combined into one window *)
+}
+
+(** EWT staleness: entries idle for [ttl] ns are reclaimed by a sweep
+    every [sweep_interval] ns, so a leaked release cannot pin a
+    partition to one worker forever. *)
+type ewt_ttl = { ttl : float; sweep_interval : float }
+
+(** Adaptive load shedding. Every [check_interval] ns the non-shed drop
+    rate of the last window is compared against the thresholds: above
+    [shed_threshold] the shed level rises one step (1 = shed reads,
+    2 = also shed writes compaction cannot absorb), below
+    [recover_threshold] it falls one step. *)
+type shed = {
+  check_interval : float;
+  shed_threshold : float;
+  recover_threshold : float;
+}
+
+(** Where a write to an UNOWNED partition pins when the engine asks for
+    a balanced pick: [Balanced] consults JBSQ (the paper's NIC, and the
+    model's default); [Static] hashes the partition onto the pick range
+    (deterministic regardless of queue state — what the runtime does,
+    and what the differential parity test sets on both engines). *)
+type pin_fallback = Balanced | Static
+
+type t = {
+  jbsq_bound : int;  (** k of JBSQ(k); the paper uses 2 *)
+  ewt_capacity : int;  (** EWT entries (default 128, the paper's sizing) *)
+  ewt_max_outstanding : int;  (** per-entry outstanding-write cap *)
+  pin_fallback : pin_fallback;
+  compaction : compaction option;  (** [None] = never open windows *)
+  ewt_ttl : ewt_ttl option;  (** [None] = entries never expire *)
+  shed : shed option;  (** [None] = never shed *)
+}
+
+val default_compaction : compaction
+val default_shed : shed
+
+(** The paper's NIC profile: JBSQ(2), 128-entry EWT with 64 outstanding
+    writes per entry, balanced pin fallback, no compaction, no TTL, no
+    shedding — the model's baseline. *)
+val default : t
+
+(** The queued-engine profile the multicore runtime starts from. Same
+    thresholds as {!default} with two documented deltas: compaction on
+    (the runtime's historical default), and [ewt_max_outstanding] so
+    large it never rejects — a real server's channel provides the
+    backpressure the NIC's buffer-slot counter models, so saturating a
+    6-bit counter must not drop writes that the channel can hold. *)
+val queued : t
+
+(** Raises [Invalid_argument] on non-positive bounds/intervals. *)
+val validate : t -> unit

@@ -1,0 +1,337 @@
+module Ewt = C4_nic.Ewt
+module Jbsq = C4_nic.Jbsq
+module Compaction_log = C4_kvs.Compaction_log
+module Registry = C4_obs.Registry
+
+module type ENGINE = sig
+  val now : unit -> float
+  val at : float -> (unit -> unit) -> unit
+  val dependent_queued : worker:int -> key:int -> bool
+  val respond : request:int -> unit
+end
+
+type t = {
+  cfg : Config.t;
+  n_workers : int;
+  n_partitions : int;
+  owners : int array; (* durable partition -> worker assignment *)
+  ewt : Ewt.t;
+  jbsq : Jbsq.t;
+  logs : Compaction_log.t array; (* empty when compaction is off *)
+  mutable shed : int;
+  mutable win_arrivals : int;
+  mutable win_drops : int;
+  on_decision : (Decision.t -> unit) option;
+  pin_c : Registry.counter;
+  route_c : Registry.counter;
+  unpin_c : Registry.counter;
+  reject_c : Registry.counter;
+  window_open_c : Registry.counter;
+  window_close_c : Registry.counter;
+  shed_c : Registry.counter;
+  stale_c : Registry.counter;
+  remap_c : Registry.counter;
+}
+
+let emit t counter d =
+  Registry.incr counter;
+  match t.on_decision with None -> () | Some f -> f d
+
+let create ?registry ?on_decision ~cfg ~n_workers ~n_partitions () =
+  Config.validate cfg;
+  if n_workers < 1 then invalid_arg "Crew.Core.create: n_workers";
+  if n_partitions < 1 then invalid_arg "Crew.Core.create: n_partitions";
+  let reg = match registry with Some r -> r | None -> Registry.create () in
+  let ewt =
+    Ewt.create ~registry:reg ~capacity:cfg.Config.ewt_capacity
+      ~max_outstanding:cfg.Config.ewt_max_outstanding ()
+  in
+  let logs =
+    match cfg.Config.compaction with
+    | None -> [||]
+    | Some c ->
+      Array.init n_workers (fun _ ->
+          Compaction_log.create ~registry:reg ~scan_depth:c.Config.scan_depth ())
+  in
+  {
+    cfg;
+    n_workers;
+    n_partitions;
+    owners = Array.init n_partitions (fun p -> p mod n_workers);
+    ewt;
+    jbsq = Jbsq.create ~n_workers ~bound:cfg.Config.jbsq_bound;
+    logs;
+    shed = 0;
+    win_arrivals = 0;
+    win_drops = 0;
+    on_decision;
+    pin_c = Registry.counter reg "crew.pin";
+    route_c = Registry.counter reg "crew.route";
+    unpin_c = Registry.counter reg "crew.unpin";
+    reject_c = Registry.counter reg "crew.reject";
+    window_open_c = Registry.counter reg "crew.window_open";
+    window_close_c = Registry.counter reg "crew.window_close";
+    shed_c = Registry.counter reg "crew.shed_change";
+    stale_c = Registry.counter reg "crew.stale_evict";
+    remap_c = Registry.counter reg "crew.remap";
+  }
+
+let config t = t.cfg
+let n_workers t = t.n_workers
+let n_partitions t = t.n_partitions
+
+(* ---------------- ownership ---------------- *)
+
+let assigned_owner t ~partition = t.owners.(partition)
+
+let route_owner t ~partition =
+  match Ewt.lookup t.ewt ~partition with
+  | Some owner -> owner
+  | None -> t.owners.(partition)
+
+let reassign t ~from_worker ~to_worker =
+  if from_worker = to_worker then 0
+  else begin
+  (* Transient pins first: a pin left pointing at the dead worker would
+     keep routing writes onto its channel after the durable map moved. *)
+  List.iter
+    (fun partition -> emit t t.unpin_c (Decision.Unpin { partition }))
+    (Ewt.evict_thread t.ewt ~thread:from_worker);
+  let moved = ref 0 in
+  Array.iteri
+    (fun partition owner ->
+      if owner = from_worker then begin
+        t.owners.(partition) <- to_worker;
+        incr moved;
+        emit t t.remap_c
+          (Decision.Remap { partition; from_worker; to_worker })
+      end)
+    t.owners;
+  !moved
+  end
+
+let static_owner ~partition ~lo ~hi = lo + (partition mod (hi - lo))
+
+(* ---------------- JBSQ ---------------- *)
+
+let try_dispatch t ~lo ~hi = Jbsq.try_dispatch_range t.jbsq ~lo ~hi
+let dispatch_to t ~worker = Jbsq.dispatch_to t.jbsq worker
+let complete t ~worker = Jbsq.complete t.jbsq worker
+let has_slot t ~worker = Jbsq.has_slot t.jbsq worker
+let occupancy t ~worker = Jbsq.occupancy t.jbsq worker
+
+(* ---------------- EWT admission ---------------- *)
+
+type admit =
+  | Admitted of { worker : int; fresh : bool }
+  | No_slot
+  | Rejected of { reason : Decision.reject_reason; owner : int option }
+
+let admit_write t ~partition ~now ~pick =
+  (* JBSQ occupancy is the NIC's queue accounting; a [`Static] engine
+     (the runtime) accounts for its own channels instead. *)
+  let charge = pick <> `Static in
+  match Ewt.lookup t.ewt ~partition with
+  | Some owner -> (
+    match Ewt.note_write ~now t.ewt ~partition ~thread:owner with
+    | `Ok ->
+      if charge then Jbsq.dispatch_to t.jbsq owner;
+      emit t t.route_c (Decision.Route { partition; worker = owner });
+      Admitted { worker = owner; fresh = false }
+    | `Counter_saturated ->
+      emit t t.reject_c
+        (Decision.Reject { partition; reason = Decision.Counter_saturated });
+      Rejected { reason = Decision.Counter_saturated; owner = Some owner }
+    | `Full ->
+      (* note_write on an existing entry never reports a full table *)
+      assert false)
+  | None -> (
+    (* Unowned: pick the pinning worker. Only a genuinely balanced JBSQ
+       pick charges a slot as a side effect of picking. *)
+    let chosen =
+      match pick with
+      | `Worker w -> Some (w, charge)
+      | `Static -> Some (t.owners.(partition), false)
+      | `Balanced (lo, hi) -> (
+        match t.cfg.Config.pin_fallback with
+        | Config.Static -> Some (static_owner ~partition ~lo ~hi, charge)
+        | Config.Balanced -> (
+          match Jbsq.try_dispatch_range t.jbsq ~lo ~hi with
+          | None -> None
+          | Some w -> Some (w, false) (* try_dispatch already charged *)))
+    in
+    match chosen with
+    | None -> No_slot
+    | Some (w, charge_now) -> (
+      match Ewt.note_write ~now t.ewt ~partition ~thread:w with
+      | `Ok ->
+        if charge_now then Jbsq.dispatch_to t.jbsq w;
+        emit t t.pin_c (Decision.Pin { partition; worker = w });
+        Admitted { worker = w; fresh = true }
+      | (`Full | `Counter_saturated) as r ->
+        (* Undo the slot a balanced pick charged before the table said no. *)
+        (match pick with
+        | `Balanced _ when t.cfg.Config.pin_fallback = Config.Balanced ->
+          Jbsq.complete t.jbsq w
+        | _ -> ());
+        let reason =
+          match r with
+          | `Full -> Decision.Table_full
+          | `Counter_saturated -> Decision.Counter_saturated
+        in
+        emit t t.reject_c (Decision.Reject { partition; reason });
+        Rejected { reason; owner = None }))
+
+let write_done ?strict t ~partition =
+  let strict =
+    match strict with Some s -> s | None -> t.cfg.Config.ewt_ttl = None
+  in
+  let released =
+    if strict then begin
+      Ewt.note_response t.ewt ~partition;
+      true
+    end
+    else Ewt.try_note_response t.ewt ~partition
+  in
+  if released && Ewt.outstanding t.ewt ~partition = 0 then
+    emit t t.unpin_c (Decision.Unpin { partition })
+
+let sweep_stale t ~now =
+  match t.cfg.Config.ewt_ttl with
+  | None -> []
+  | Some { Config.ttl; _ } ->
+    let evicted = Ewt.expire_stale_partitions t.ewt ~now ~ttl in
+    List.iter
+      (fun partition -> emit t t.stale_c (Decision.Stale_evict { partition }))
+      evicted;
+    evicted
+
+let ewt_occupancy t = Ewt.occupancy t.ewt
+let ewt_outstanding t ~partition = Ewt.outstanding t.ewt ~partition
+let ewt_stats t = Ewt.occupancy_stats t.ewt
+
+(* ---------------- compaction windows ---------------- *)
+
+let compaction_enabled t = t.cfg.Config.compaction <> None
+
+let scan_depth t =
+  match t.cfg.Config.compaction with None -> 0 | Some c -> c.Config.scan_depth
+
+let max_batch t =
+  match t.cfg.Config.compaction with None -> 1 | Some c -> c.Config.max_batch
+
+let scan_cost t ~queued =
+  match t.cfg.Config.compaction with
+  | None -> 0.0
+  | Some c ->
+    c.Config.scan_cost_per_slot *. float_of_int (min queued c.Config.scan_depth)
+
+let window_is_open t ~worker =
+  compaction_enabled t && Compaction_log.window_open t.logs.(worker)
+
+let window_accepts t ~worker ~key =
+  compaction_enabled t && Compaction_log.is_open_for t.logs.(worker) ~key
+
+let window_buffered t ~worker =
+  if compaction_enabled t then Compaction_log.buffered t.logs.(worker) else 0
+
+let open_window t ~worker ~key ~now ~arrival ~mean_service =
+  match t.cfg.Config.compaction with
+  | None -> invalid_arg "Crew.Core.open_window: compaction disabled"
+  | Some c ->
+    (* "Just in time before the SLO expires": the batch must complete
+       before the opener's own deadline. Each window consumes at most
+       [window_budget_fraction] of the SLO slack S̄·(SLO−1), so a write
+       that waits out one window's tail and rides the whole next one
+       still answers within SLO; the paper's formula is the
+       fraction-1, anchor-at-open special case. *)
+    let anchor = if c.Config.deadline_from_arrival then arrival else now in
+    let slack =
+      mean_service
+      *. (c.Config.window_slo_multiplier -. 1.0)
+      *. c.Config.window_budget_fraction
+    in
+    let deadline = Float.max now (anchor +. slack) in
+    Compaction_log.open_window t.logs.(worker) ~key ~now ~expires_at:deadline;
+    emit t t.window_open_c (Decision.Window_open { worker; key });
+    deadline
+
+let absorb t ~worker ~key ~id ~now =
+  Compaction_log.absorb t.logs.(worker) ~key
+    { Compaction_log.request_id = id; sender = 0; value = Bytes.empty; buffered_at = now }
+
+let must_close t ~worker ~now ~queue_empty =
+  match t.cfg.Config.compaction with
+  | None -> false
+  | Some c ->
+    let log = t.logs.(worker) in
+    Compaction_log.window_open log
+    && (Compaction_log.expired log ~now || (c.Config.adaptive_close && queue_empty))
+
+let close_window t ~worker ~now =
+  if not (compaction_enabled t) then None
+  else
+    match Compaction_log.close t.logs.(worker) ~now with
+    | None -> None
+    | Some closed ->
+      emit t t.window_close_c
+        (Decision.Window_close
+           {
+             worker;
+             key = closed.Compaction_log.key;
+             absorbed = List.length closed.Compaction_log.writes;
+           });
+      Some closed
+
+let compaction_stats t =
+  if not (compaction_enabled t) then None
+  else
+    Array.fold_left
+      (fun acc log ->
+        let s = Compaction_log.stats log in
+        match acc with
+        | None -> Some s
+        | Some a ->
+          Some
+            {
+              Compaction_log.windows_opened =
+                a.Compaction_log.windows_opened + s.Compaction_log.windows_opened;
+              writes_compacted =
+                a.Compaction_log.writes_compacted + s.Compaction_log.writes_compacted;
+              largest_window =
+                max a.Compaction_log.largest_window s.Compaction_log.largest_window;
+            })
+      None t.logs
+
+(* ---------------- adaptive load shedding ---------------- *)
+
+let shed_level t = t.shed
+let note_arrival t = t.win_arrivals <- t.win_arrivals + 1
+let note_drop t = t.win_drops <- t.win_drops + 1
+
+let shed_check t ~now:_ =
+  match t.cfg.Config.shed with
+  | None -> t.shed
+  | Some sc ->
+    let rate =
+      if t.win_arrivals = 0 then 0.0
+      else float_of_int t.win_drops /. float_of_int t.win_arrivals
+    in
+    let level =
+      if rate > sc.Config.shed_threshold then min 2 (t.shed + 1)
+      else if rate < sc.Config.recover_threshold then max 0 (t.shed - 1)
+      else t.shed
+    in
+    if level <> t.shed then begin
+      t.shed <- level;
+      emit t t.shed_c (Decision.Shed_level { level })
+    end;
+    t.win_arrivals <- 0;
+    t.win_drops <- 0;
+    t.shed
+
+(* Shed cheap-to-retry work first: reads, then only the writes
+   compaction cannot absorb — losing an absorbable write would forfeit
+   the batching capacity that is digging the server out. *)
+let shed_rejects t ~is_read =
+  t.shed >= 1 && (is_read || (t.shed >= 2 && t.cfg.Config.compaction = None))

@@ -1,0 +1,230 @@
+(** The engine-agnostic d-CREW policy core.
+
+    One explicit-state machine holds every policy the paper contributes
+    — EWT exclusive-writer ownership, JBSQ(k) queue selection, the
+    compaction-window lifecycle (open / absorb / apply / deferred
+    respond / close), EWT TTL staleness sweeps, and adaptive load-shed
+    levels — as transition functions with no wall-clock, no threads and
+    no I/O inside. Both execution engines drive the same instance of
+    this code: the discrete-event model feeds it simulated time, the
+    multicore runtime feeds it wall-clock time, and the differential
+    parity test checks that the two produce identical
+    {!Decision.t} sequences for one recorded trace.
+
+    {2 The clock/effects signature}
+
+    The core is pure with respect to its engine: time only enters
+    through explicit [~now] arguments, and effects only leave through
+    return values and the {!Decision.t} stream. {!ENGINE} names the
+    obligations a driver discharges around the core; it is the contract
+    both [C4_model.Server] (simulated) and [C4_runtime.Server]
+    (domains + channels) implement. *)
+
+(** What a driving engine must supply around the core. The core never
+    calls these — inversion of control runs the other way: the engine
+    reads the clock, hands [now] to each transition, and turns the
+    returned instructions into mechanism. *)
+module type ENGINE = sig
+  (** Current time in ns (simulated or wall-clock — the core does not
+      care, only that it is monotone per driver). *)
+  val now : unit -> float
+
+  (** Arrange for a callback at an absolute deadline — window-close
+      timers and periodic sweep/shed ticks. A queued engine that closes
+      windows as soon as the harvest is applied may discharge this
+      trivially. *)
+  val at : float -> (unit -> unit) -> unit
+
+  (** Look ahead in the worker's queue for a dependent (same-key)
+      write, up to the core's scan depth. *)
+  val dependent_queued : worker:int -> key:int -> bool
+
+  (** Deliver a response. The compaction contract: responses for
+      absorbed writes are delivered only after {!val-close_window}
+      returns them — never early — which is what keeps compacted
+      histories linearizable on both engines. *)
+  val respond : request:int -> unit
+end
+
+type t
+
+(** The admission verdict for one write. *)
+type admit =
+  | Admitted of { worker : int; fresh : bool }
+      (** route to [worker]; [fresh] means this write created the pin
+          (an EWT miss), otherwise it rode an existing one (a hit) *)
+  | No_slot
+      (** partition unowned and no balanced slot free: the engine
+          should park the write in its central queue and retry via
+          [pick:`Worker] when a slot frees *)
+  | Rejected of { reason : Decision.reject_reason; owner : int option }
+      (** dropped by the EWT; [owner] is the pinned worker when the
+          reject was a saturated counter (a hit), [None] on a full
+          table (a miss) *)
+
+(** [create ~cfg ~n_workers ~n_partitions ()] validates [cfg]
+    ({!Config.validate}) and builds the initial state: durable
+    ownership assigns partition [p] to worker [p mod n_workers], the
+    EWT is empty, no windows are open, shed level 0.
+
+    @param registry receives the EWT / compaction metrics plus one
+    [crew.*] counter per decision kind; private when omitted. Pass a
+    thread-safe registry when workers on several domains drive the
+    core.
+    @param on_decision called synchronously with every decision, in
+    decision order — the parity recorder. *)
+val create :
+  ?registry:C4_obs.Registry.t ->
+  ?on_decision:(Decision.t -> unit) ->
+  cfg:Config.t ->
+  n_workers:int ->
+  n_partitions:int ->
+  unit ->
+  t
+
+val config : t -> Config.t
+val n_workers : t -> int
+val n_partitions : t -> int
+
+(** {2 Ownership}
+
+    Two layers, consulted pin-first. The durable assignment is the
+    crash-recovery ground truth (what the runtime's owner map used to
+    be); the EWT pin is the transient exclusive-writer mapping the NIC
+    holds while writes are outstanding. *)
+
+(** Durable assignment of [partition]. *)
+val assigned_owner : t -> partition:int -> int
+
+(** Pin-aware view: the EWT pin when one exists (it always agrees with
+    the durable assignment under static pinning), else the durable
+    assignment. This is the ownership view the network stack routes
+    through. *)
+val route_owner : t -> partition:int -> int
+
+(** Move every durable assignment (and evict every EWT pin) of
+    [from_worker] to [to_worker], emitting one [Remap] per moved
+    partition; returns how many moved. Crash recovery. No-op when
+    [from_worker = to_worker] (sole-survivor recovery). *)
+val reassign : t -> from_worker:int -> to_worker:int -> int
+
+(** The static hash fallback for unowned writes confined to the worker
+    range [lo, hi) — pure, shared by both engines so they cannot
+    disagree on it. *)
+val static_owner : partition:int -> lo:int -> hi:int -> int
+
+(** {2 JBSQ(k) queue selection}
+
+    Occupancy counts and choice logic only; the request objects live in
+    the engine's queues. *)
+
+val try_dispatch : t -> lo:int -> hi:int -> int option
+val dispatch_to : t -> worker:int -> unit
+val complete : t -> worker:int -> unit
+val has_slot : t -> worker:int -> bool
+val occupancy : t -> worker:int -> int
+
+(** {2 EWT write admission}
+
+    [admit_write] runs the paper's d-CREW dispatch for one write:
+    consult the EWT; on a hit bump the pin's counter and route to the
+    owner; on a miss pick a worker — [`Balanced (lo, hi)] asks JBSQ
+    (or the static hash, per {!Config.pin_fallback}), [`Worker w] pins
+    to a given worker (central-queue hand-out), [`Static] uses the
+    durable assignment — and install the pin. JBSQ occupancy is charged
+    for every admission except [`Static] picks, whose engine owns its
+    own queue accounting (the runtime's channels). *)
+val admit_write :
+  t ->
+  partition:int ->
+  now:float ->
+  pick:[ `Balanced of int * int | `Static | `Worker of int ] ->
+  admit
+
+(** The write's response left: decrement the pin's counter, emitting
+    [Unpin] when it frees. [strict] defaults to [true] exactly when no
+    TTL is configured: then a missing pin is a protocol violation and
+    raises; with a TTL (or [~strict:false]) a missing pin counts an
+    orphan release instead — the sweep may legitimately have reclaimed
+    the mapping. *)
+val write_done : ?strict:bool -> t -> partition:int -> unit
+
+(** Evict pins idle past the TTL, emitting [Stale_evict] per partition
+    (ascending); no-op returning [[]] when no TTL is configured. *)
+val sweep_stale : t -> now:float -> int list
+
+val ewt_occupancy : t -> int
+val ewt_outstanding : t -> partition:int -> int
+val ewt_stats : t -> C4_nic.Ewt.occupancy_stats
+
+(** {2 Compaction windows}
+
+    One window per worker, at most. The engine detects the trigger (a
+    dependent write within scan depth — a queue scan in the model, a
+    channel harvest in the runtime), and the core owns the lifecycle:
+    when a window may open, what its deadline is, what it absorbed, and
+    when it must close. Absorbed writes are answered only from the list
+    {!close_window} returns. *)
+
+val compaction_enabled : t -> bool
+
+(** Scan depth (0 when compaction is disabled). *)
+val scan_depth : t -> int
+
+(** Max writes per window (1 when compaction is disabled). *)
+val max_batch : t -> int
+
+(** Service-time cost of scanning [queued] slots (capped at scan
+    depth); 0 when compaction is disabled. *)
+val scan_cost : t -> queued:int -> float
+
+val window_is_open : t -> worker:int -> bool
+
+(** Does [worker]'s open window accept [key]? (False when no window.) *)
+val window_accepts : t -> worker:int -> key:int -> bool
+
+val window_buffered : t -> worker:int -> int
+
+(** Open a window on [worker] for [key] and return its absolute close
+    deadline: [max now (anchor + S̄·(multiplier−1)·budget)] where the
+    anchor is [arrival] or [now] per {!Config.compaction}. Emits
+    [Window_open]. Raises if compaction is off or a window is already
+    open on this worker. *)
+val open_window :
+  t -> worker:int -> key:int -> now:float -> arrival:float -> mean_service:float -> float
+
+(** Buffer write [id] into the open window (deferring its response). *)
+val absorb : t -> worker:int -> key:int -> id:int -> now:float -> unit
+
+(** Must [worker]'s window close now — deadline reached, or queue dry
+    under adaptive close? False when no window is open. *)
+val must_close : t -> worker:int -> now:float -> queue_empty:bool -> bool
+
+(** Close the window and return the absorbed writes in buffering order
+    — the engine applies ONE combined update and only then delivers
+    these responses. Emits [Window_close]; [None] if no window. *)
+val close_window : t -> worker:int -> now:float -> C4_kvs.Compaction_log.closed option
+
+(** Lifetime window stats merged across workers; [None] when
+    compaction is disabled. *)
+val compaction_stats : t -> C4_kvs.Compaction_log.stats option
+
+(** {2 Adaptive load shedding}
+
+    The engine feeds arrival/drop counts and a periodic tick; the core
+    owns the thresholds and the level. *)
+
+val shed_level : t -> int
+val note_arrival : t -> unit
+
+(** Count one non-shed drop in the current window. *)
+val note_drop : t -> unit
+
+(** Periodic tick: compare the window's drop rate against the
+    thresholds, move the level one step, reset the window, return the
+    (possibly new) level. Emits [Shed_level] on change. *)
+val shed_check : t -> now:float -> int
+
+(** Would the current level reject this request? Level ≥ 1 sheds reads;
+    level ≥ 2 also sheds writes when compaction cannot absorb them. *)
+val shed_rejects : t -> is_read:bool -> bool

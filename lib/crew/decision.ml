@@ -1,0 +1,29 @@
+type reject_reason = Table_full | Counter_saturated
+
+type t =
+  | Pin of { partition : int; worker : int }
+  | Route of { partition : int; worker : int }
+  | Unpin of { partition : int }
+  | Reject of { partition : int; reason : reject_reason }
+  | Window_open of { worker : int; key : int }
+  | Window_close of { worker : int; key : int; absorbed : int }
+  | Shed_level of { level : int }
+  | Stale_evict of { partition : int }
+  | Remap of { partition : int; from_worker : int; to_worker : int }
+
+let to_string = function
+  | Pin { partition; worker } -> Printf.sprintf "pin p%d -> w%d" partition worker
+  | Route { partition; worker } -> Printf.sprintf "route p%d -> w%d" partition worker
+  | Unpin { partition } -> Printf.sprintf "unpin p%d" partition
+  | Reject { partition; reason } ->
+    Printf.sprintf "reject p%d (%s)" partition
+      (match reason with
+      | Table_full -> "table_full"
+      | Counter_saturated -> "counter_saturated")
+  | Window_open { worker; key } -> Printf.sprintf "window_open w%d k%d" worker key
+  | Window_close { worker; key; absorbed } ->
+    Printf.sprintf "window_close w%d k%d n=%d" worker key absorbed
+  | Shed_level { level } -> Printf.sprintf "shed_level %d" level
+  | Stale_evict { partition } -> Printf.sprintf "stale_evict p%d" partition
+  | Remap { partition; from_worker; to_worker } ->
+    Printf.sprintf "remap p%d w%d -> w%d" partition from_worker to_worker

@@ -1,0 +1,39 @@
+(** Policy decisions emitted by {!Core} — the core's entire effect on
+    the outside world.
+
+    Each value names one state transition the d-CREW policy took:
+    pinning a partition to a writer, routing along an existing pin,
+    opening or closing a compaction window, changing the shed level,
+    evicting a stale mapping, or remapping ownership after a crash. The
+    driving engine turns decisions into mechanism (queue pushes, store
+    writes, timers); the differential parity test replays one trace
+    through the discrete-event model and the multicore runtime and
+    asserts the two decision sequences are identical.
+
+    Deliberately engine-comparable: payloads carry only stable
+    identifiers (partitions, workers, keys, counts, levels), never
+    timestamps — sim-time and wall-clock could never agree on those. *)
+
+type reject_reason =
+  | Table_full  (** EWT at capacity; no entry could be allocated *)
+  | Counter_saturated  (** the pin exists but its write counter is maxed *)
+
+type t =
+  | Pin of { partition : int; worker : int }
+      (** first outstanding write: partition enters exclusive-write mode *)
+  | Route of { partition : int; worker : int }
+      (** subsequent write routed along the existing pin *)
+  | Unpin of { partition : int }
+      (** last outstanding write completed: partition balanceable again *)
+  | Reject of { partition : int; reason : reject_reason }
+  | Window_open of { worker : int; key : int }
+  | Window_close of { worker : int; key : int; absorbed : int }
+      (** [absorbed] counts every write answered by the window, opener
+          included *)
+  | Shed_level of { level : int }
+  | Stale_evict of { partition : int }
+      (** TTL sweep reclaimed an idle pin *)
+  | Remap of { partition : int; from_worker : int; to_worker : int }
+      (** durable ownership moved (crash recovery) *)
+
+val to_string : t -> string

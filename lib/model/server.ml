@@ -3,7 +3,6 @@ module Rng = C4_dsim.Rng
 module Fifo = C4_dsim.Fifo
 module Request = C4_workload.Request
 module Generator = C4_workload.Generator
-module Jbsq = C4_nic.Jbsq
 module Ewt = C4_nic.Ewt
 module Flow_control = C4_nic.Flow_control
 module Coherence = C4_cache.Coherence
@@ -11,25 +10,8 @@ module Compaction_log = C4_kvs.Compaction_log
 module Trace = C4_obs.Trace
 module Registry = C4_obs.Registry
 module Snapshot = C4_obs.Snapshot
-
-type compaction_config = {
-  scan_depth : int;
-  window_slo_multiplier : float;
-  window_budget_fraction : float;
-  scan_cost_per_slot : float;
-  adaptive_close : bool;
-  deadline_from_arrival : bool;
-}
-
-let default_compaction =
-  {
-    scan_depth = 8;
-    window_slo_multiplier = 10.0;
-    window_budget_fraction = 0.5;
-    scan_cost_per_slot = 5.0;
-    adaptive_close = false;
-    deadline_from_arrival = false;
-  }
+module Crew_config = C4_crew.Config
+module Core = C4_crew.Core
 
 (* Deterministic fault-injection hooks (built by C4_resilience.Fault
    from a seeded schedule; the server only consults them). Every hook is
@@ -44,27 +26,13 @@ type fault_hooks = {
       (* the write's EWT release is lost: the outstanding counter sticks *)
 }
 
-type ewt_ttl_config = { ttl : float; sweep_interval : float }
-
-type shed_config = {
-  check_interval : float;
-  shed_threshold : float;
-  recover_threshold : float;
-}
-
-let default_shed =
-  { check_interval = 20_000.0; shed_threshold = 0.05; recover_threshold = 0.01 }
-
 type config = {
   n_workers : int;
   policy : Policy.t;
   service : Service.params;
-  jbsq_bound : int;
-  compaction : compaction_config option;
+  crew : Crew_config.t;
   cache : Coherence.params option;
   max_outstanding : int;
-  ewt_capacity : int;
-  ewt_max_outstanding : int;
   ewt_release_delay : float;
   boosted_workers : (int * float) list;
   seed : int;
@@ -72,8 +40,7 @@ type config = {
   registry : Registry.t option;
   metrics_interval : float option;
   faults : fault_hooks option;
-  ewt_ttl : ewt_ttl_config option;
-  shed : shed_config option;
+  on_decision : (C4_crew.Decision.t -> unit) option;
   on_drop : (Request.t -> now:float -> reason:Metrics.drop_reason -> Request.t option) option;
 }
 
@@ -82,12 +49,9 @@ let default_config =
     n_workers = 64;
     policy = Policy.Crew;
     service = Service.default;
-    jbsq_bound = 2;
-    compaction = None;
+    crew = Crew_config.default;
     cache = None;
     max_outstanding = 4096;
-    ewt_capacity = 128;
-    ewt_max_outstanding = 64;
     ewt_release_delay = 0.0;
     boosted_workers = [];
     seed = 42;
@@ -95,8 +59,7 @@ let default_config =
     registry = None;
     metrics_interval = None;
     faults = None;
-    ewt_ttl = None;
-    shed = None;
+    on_decision = None;
     on_drop = None;
   }
 
@@ -118,12 +81,15 @@ type worker = {
   wid : int;
   queue : Request.t Fifo.t;
   mutable busy : bool;
-  log : Compaction_log.t option;
   window_reqs : (int, Request.t) Hashtbl.t; (* request id -> request *)
   mutable window_timer : Sim.event_id option;
   mutable rlu_writes : int;
 }
 
+(* The discrete-event driver around the crew policy core (the model's
+   half of the {!C4_crew.Core.ENGINE} contract): the core decides, this
+   state machine turns decisions into simulated mechanism — queue
+   pushes, service events, window-close timers. *)
 type state = {
   cfg : config;
   sim : Sim.t;
@@ -131,9 +97,8 @@ type state = {
   tr : Trace.t;
   rlu_rng : Rng.t;
   workers : worker array;
-  jbsq : Jbsq.t;
+  core : Core.t;
   centrals : Request.t Fifo.t array; (* one per worker class *)
-  ewt : Ewt.t;
   flow : Flow_control.t;
   cache : Coherence.t option;
   metrics : Metrics.t;
@@ -151,12 +116,10 @@ type state = {
   mutable done_count : int;
   mutable ewt_drop_count : int;
   mutable rlu_global_writes : int;
-  mutable shed_level : int; (* 0 none, 1 reads, 2 reads + plain writes *)
-  mutable win_arrivals : int;
-  mutable win_drops : int; (* non-shed drops in the current shed window *)
 }
 
-let static_owner st partition = partition mod st.cfg.n_workers
+let static_owner st partition =
+  Core.static_owner ~partition ~lo:0 ~hi:st.cfg.n_workers
 
 (* Size-aware partitioning of the worker pool: the last
    [reserved_workers] ids serve large items, everyone else small ones.
@@ -180,13 +143,13 @@ let class_range st cls =
 
 let try_dispatch_class st cls =
   let lo, hi = class_range st cls in
-  Jbsq.try_dispatch_range st.jbsq ~lo ~hi
+  Core.try_dispatch st.core ~lo ~hi
 
 (* The partition owner for statically hashed requests, confined to the
    request's class range under size-aware partitioning. *)
 let static_owner_in_class st cls partition =
   let lo, hi = class_range st cls in
-  lo + (partition mod (hi - lo))
+  Core.static_owner ~partition ~lo ~hi
 
 let note_done st =
   st.done_count <- st.done_count + 1;
@@ -269,10 +232,7 @@ let rlu_background_work st w (r : Request.t) =
     else 0.0
   | _ -> 0.0
 
-let scan_cost st w =
-  match st.cfg.compaction with
-  | None -> 0.0
-  | Some c -> c.scan_cost_per_slot *. float_of_int (min (Fifo.length w.queue) c.scan_depth)
+let scan_cost st w = Core.scan_cost st.core ~queued:(Fifo.length w.queue)
 
 (* Decrement the EWT's outstanding-write counter, either immediately
    (the paper's release-on-completion) or after a lingering delay that
@@ -291,24 +251,13 @@ let release_exclusive st (r : Request.t) =
     | _ -> false
   in
   if not leaked then begin
-    let release () =
-      (* With a staleness TTL the mapping may already have been swept
-         out from under a leak, so tolerate a missing entry. *)
-      if st.cfg.ewt_ttl = None then Ewt.note_response st.ewt ~partition:r.partition
-      else ignore (Ewt.try_note_response st.ewt ~partition:r.partition)
-    in
+    let release () = Core.write_done st.core ~partition:r.partition in
     if st.cfg.ewt_release_delay <= 0.0 then release ()
     else ignore (Sim.schedule st.sim ~after:st.cfg.ewt_release_delay (fun _ -> release ()))
   end
 
-(* Load shedding (level 1: reads; level 2: also writes that compaction
-   cannot absorb). Shedding cheap-to-retry work first keeps capacity
-   for writes whose loss would force clients into retry storms. *)
 let shed_rejects st (r : Request.t) =
-  st.shed_level >= 1
-  && (match effective_op st r with
-     | Request.Read -> true
-     | Request.Write -> st.shed_level >= 2 && st.cfg.compaction = None)
+  Core.shed_rejects st.core ~is_read:(effective_op st r = Request.Read)
 
 (* ------------------------------------------------------------------ *)
 
@@ -317,15 +266,10 @@ let rec start_next st w =
     (* A window whose deadline passed while the worker was busy (or that
        must close because the queue ran dry under adaptive close) closes
        before new work starts. *)
-    let must_close =
-      match (w.log, st.cfg.compaction) with
-      | Some log, Some c ->
-        Compaction_log.window_open log
-        && (Compaction_log.expired log ~now:(Sim.now st.sim)
-           || (c.adaptive_close && Fifo.is_empty w.queue))
-      | _ -> false
-    in
-    if must_close then close_window st w
+    if
+      Core.must_close st.core ~worker:w.wid ~now:(Sim.now st.sim)
+        ~queue_empty:(Fifo.is_empty w.queue)
+    then close_window st w
     else begin
       match Fifo.pop w.queue with
       | None -> ()
@@ -344,35 +288,23 @@ and process st w (r : Request.t) =
   | _ -> process_local st w r ~now
 
 and process_local st w (r : Request.t) ~now =
-  match (w.log, r.op) with
-  | Some log, Request.Write when Compaction_log.is_open_for log ~key:r.key ->
-    absorb st w log r ~extra:0.0
-  | Some log, Request.Write when not (Compaction_log.window_open log) ->
+  match r.op with
+  | Request.Write when Core.window_accepts st.core ~worker:w.wid ~key:r.key ->
+    absorb st w r ~extra:0.0
+  | Request.Write
+    when Core.compaction_enabled st.core
+         && not (Core.window_is_open st.core ~worker:w.wid) ->
     (* Hunt for dependent writes among the next few queue slots. *)
     let cost = scan_cost st w in
     let dependent =
-      Fifo.exists w.queue ~depth:(Compaction_log.scan_depth log) ~f:(fun (q : Request.t) ->
+      Fifo.exists w.queue ~depth:(Core.scan_depth st.core) ~f:(fun (q : Request.t) ->
           q.op = Request.Write && q.key = r.key)
     in
     if dependent then begin
-      let c = Option.get st.cfg.compaction in
-      (* "Just in time before the SLO expires": the batch must complete
-         before the opener's own deadline, which runs from its arrival.
-         The paper's artifact anchors at the current clock instead
-         (equivalent when queueing delay is small); [deadline_from_arrival
-         = false] reproduces that choice for the ablation. *)
-      let anchor = if c.deadline_from_arrival then r.arrival else now in
-      (* A dependent write can wait out the tail of the current window
-         and then ride the whole next one, so each window consumes at
-         most [window_budget_fraction] (default half) of the SLO slack
-         S̄·(SLO−1) to keep every compacted response within SLO. The
-         paper's formula is the fraction-1 special case. *)
-      let slack =
-        Service.mean_service st.svc *. (c.window_slo_multiplier -. 1.0)
-        *. c.window_budget_fraction
+      let deadline =
+        Core.open_window st.core ~worker:w.wid ~key:r.key ~now ~arrival:r.arrival
+          ~mean_service:(Service.mean_service st.svc)
       in
-      let deadline = Float.max now (anchor +. slack) in
-      Compaction_log.open_window log ~key:r.key ~now ~expires_at:deadline;
       Trace.request_event st.tr ~id:r.id ~name:"window_open"
         ~args:
           [ ("key", string_of_int r.key); ("deadline", Printf.sprintf "%.1f" deadline) ]
@@ -383,14 +315,14 @@ and process_local st w (r : Request.t) ~now =
             if not w.busy then start_next st w)
       in
       w.window_timer <- Some timer;
-      absorb st w log r ~extra:cost
+      absorb st w r ~extra:cost
     end
     else run_for st w r ~service:(normal_service st w r +. cost)
-  | Some _, Request.Write ->
+  | Request.Write when Core.compaction_enabled st.core ->
     (* Window open for a different key: this write is independent of the
        batch and runs normally (plus the mandatory scan). *)
     run_for st w r ~service:(normal_service st w r +. scan_cost st w)
-  | _, _ -> run_for st w r ~service:(normal_service st w r)
+  | _ -> run_for st w r ~service:(normal_service st w r)
 
 and forward st w (r : Request.t) ~t_forward =
   Trace.service_begin st.tr ~id:r.id ~lane:w.wid ~ts:(Sim.now st.sim);
@@ -399,11 +331,11 @@ and forward st w (r : Request.t) ~t_forward =
   ignore
     (Sim.schedule st.sim ~after:t_forward (fun _ ->
          w.busy <- false;
-         Jbsq.complete st.jbsq w.wid;
+         Core.complete st.core ~worker:w.wid;
          Trace.service_end st.tr ~id:r.id ~lane:w.wid ~phase:Trace.Forward
            ~ts:(Sim.now st.sim);
          let owner = static_owner st r.Request.partition in
-         Jbsq.dispatch_to st.jbsq owner;
+         Core.dispatch_to st.core ~worker:owner;
          let target = st.workers.(owner) in
          Fifo.push target.queue r;
          if not target.busy then start_next st target;
@@ -412,17 +344,11 @@ and forward st w (r : Request.t) ~t_forward =
 
 (* Buffer a write into the open window: occupies the core for
    T_fixed + T_comp, touches no shared lines, defers the response. *)
-and absorb st w log (r : Request.t) ~extra =
+and absorb st w (r : Request.t) ~extra =
   let p = Service.params st.svc in
   let service = (p.Service.t_fixed +. p.Service.t_comp +. extra) *. fault_scale st w.wid in
   Trace.service_begin st.tr ~id:r.id ~lane:w.wid ~ts:(Sim.now st.sim);
-  Compaction_log.absorb log ~key:r.key
-    {
-      Compaction_log.request_id = r.id;
-      sender = 0;
-      value = Bytes.empty;
-      buffered_at = Sim.now st.sim;
-    };
+  Core.absorb st.core ~worker:w.wid ~key:r.key ~id:r.id ~now:(Sim.now st.sim);
   Hashtbl.replace w.window_reqs r.id r;
   w.busy <- true;
   Metrics.add_busy st.metrics ~worker:w.wid service;
@@ -432,7 +358,7 @@ and absorb st w log (r : Request.t) ~extra =
          (* The request left the worker's queue slot; balancing capacity
             frees now, while the NIC buffer stays held until the
             response goes out at window close. *)
-         Jbsq.complete st.jbsq w.wid;
+         Core.complete st.core ~worker:w.wid;
          Trace.service_end st.tr ~id:r.id ~lane:w.wid ~phase:Trace.Absorb
            ~ts:(Sim.now st.sim);
          Metrics.record_service st.metrics ~op:r.op ~worker:w.wid ~service;
@@ -447,7 +373,7 @@ and run_for st w (r : Request.t) ~service =
     (Sim.schedule st.sim ~after:service (fun _ ->
          let now = Sim.now st.sim in
          w.busy <- false;
-         Jbsq.complete st.jbsq w.wid;
+         Core.complete st.core ~worker:w.wid;
          Flow_control.release st.flow;
          if Policy.uses_ewt st.cfg.policy && r.op = Request.Write then
            release_exclusive st r;
@@ -460,14 +386,14 @@ and run_for st w (r : Request.t) ~service =
          let background = rlu_background_work st w r in
          if background > 0.0 then begin
            w.busy <- true;
-           Jbsq.dispatch_to st.jbsq w.wid;
+           Core.dispatch_to st.core ~worker:w.wid;
            Trace.lane_span st.tr ~lane:w.wid ~phase:Trace.Background ~t0:now
              ~t1:(now +. background);
            Metrics.add_busy st.metrics ~worker:w.wid background;
            ignore
              (Sim.schedule st.sim ~after:background (fun _ ->
                   w.busy <- false;
-                  Jbsq.complete st.jbsq w.wid;
+                  Core.complete st.core ~worker:w.wid;
                   refill_from_central st w.wid;
                   start_next st w))
          end
@@ -477,49 +403,46 @@ and run_for st w (r : Request.t) ~service =
          end))
 
 and close_window st w =
-  match w.log with
-  | None -> ()
-  | Some log -> (
-    (match w.window_timer with
-    | Some timer ->
-      Sim.cancel st.sim timer;
-      w.window_timer <- None
-    | None -> ());
-    match Compaction_log.close log ~now:(Sim.now st.sim) with
-    | None -> start_next st w
-    | Some closed ->
-      let partition =
-        match Hashtbl.length w.window_reqs with
-        | 0 -> 0
-        | _ ->
-          (* All buffered requests share the key, hence the partition. *)
-          let any = List.hd closed.Compaction_log.writes in
-          (Hashtbl.find w.window_reqs any.Compaction_log.request_id).Request.partition
-      in
-      let service = final_write_service st w ~partition in
-      let flush_start = Sim.now st.sim in
-      w.busy <- true;
-      Metrics.add_busy st.metrics ~worker:w.wid service;
-      ignore
-        (Sim.schedule st.sim ~after:service (fun _ ->
-             let now = Sim.now st.sim in
-             w.busy <- false;
-             Trace.lane_span st.tr ~lane:w.wid ~phase:Trace.Flush ~t0:flush_start
-               ~t1:now;
-             List.iter
-               (fun (pending : Compaction_log.pending) ->
-                 let r = Hashtbl.find w.window_reqs pending.Compaction_log.request_id in
-                 Hashtbl.remove w.window_reqs pending.Compaction_log.request_id;
-                 Flow_control.release st.flow;
-                 if Policy.uses_ewt st.cfg.policy then release_exclusive st r;
-                 Trace.departure st.tr ~id:r.Request.id ~lane:w.wid ~ts:now;
-                 Metrics.record_latency st.metrics ~op:r.op
-                   ~latency:(now -. r.Request.arrival) ~compacted:true
-                   ~value_size:r.Request.value_size;
-                 note_done st)
-               closed.Compaction_log.writes;
-             refill_from_central st w.wid;
-             start_next st w)))
+  (match w.window_timer with
+  | Some timer ->
+    Sim.cancel st.sim timer;
+    w.window_timer <- None
+  | None -> ());
+  match Core.close_window st.core ~worker:w.wid ~now:(Sim.now st.sim) with
+  | None -> start_next st w
+  | Some closed ->
+    let partition =
+      match Hashtbl.length w.window_reqs with
+      | 0 -> 0
+      | _ ->
+        (* All buffered requests share the key, hence the partition. *)
+        let any = List.hd closed.Compaction_log.writes in
+        (Hashtbl.find w.window_reqs any.Compaction_log.request_id).Request.partition
+    in
+    let service = final_write_service st w ~partition in
+    let flush_start = Sim.now st.sim in
+    w.busy <- true;
+    Metrics.add_busy st.metrics ~worker:w.wid service;
+    ignore
+      (Sim.schedule st.sim ~after:service (fun _ ->
+           let now = Sim.now st.sim in
+           w.busy <- false;
+           Trace.lane_span st.tr ~lane:w.wid ~phase:Trace.Flush ~t0:flush_start
+             ~t1:now;
+           List.iter
+             (fun (pending : Compaction_log.pending) ->
+               let r = Hashtbl.find w.window_reqs pending.Compaction_log.request_id in
+               Hashtbl.remove w.window_reqs pending.Compaction_log.request_id;
+               Flow_control.release st.flow;
+               if Policy.uses_ewt st.cfg.policy then release_exclusive st r;
+               Trace.departure st.tr ~id:r.Request.id ~lane:w.wid ~ts:now;
+               Metrics.record_latency st.metrics ~op:r.op
+                 ~latency:(now -. r.Request.arrival) ~compacted:true
+                 ~value_size:r.Request.value_size;
+               note_done st)
+             closed.Compaction_log.writes;
+           refill_from_central st w.wid;
+           start_next st w))
 
 (* After a worker frees a balanced slot, pull waiting work from the
    NIC's central queue. Pinned d-CREW writes re-resolve against the EWT
@@ -528,7 +451,7 @@ and refill_from_central st wid =
   let w = st.workers.(wid) in
   let central = st.centrals.(class_of_worker st wid) in
   let rec loop () =
-    if Jbsq.has_slot st.jbsq wid && not (Fifo.is_empty central) then begin
+    if Core.has_slot st.core ~worker:wid && not (Fifo.is_empty central) then begin
       match Fifo.pop central with
       | None -> ()
       | Some r ->
@@ -544,40 +467,38 @@ and refill_from_central st wid =
 
 (* Returns true when the request consumed [free_worker]'s slot. *)
 and route_from_central st ~free_worker (r : Request.t) =
+  let now = Sim.now st.sim in
   let enqueue wid =
     Fifo.push st.workers.(wid).queue r;
     Trace.request_event st.tr ~id:r.id ~name:"enqueue"
-      ~args:[ ("worker", string_of_int wid) ] ~ts:(Sim.now st.sim) ();
-    Registry.observe st.jbsq_depth_h (float_of_int (Jbsq.occupancy st.jbsq wid));
+      ~args:[ ("worker", string_of_int wid) ] ~ts:now ();
+    Registry.observe st.jbsq_depth_h (float_of_int (Core.occupancy st.core ~worker:wid));
     let target = st.workers.(wid) in
     if not target.busy then start_next st target
   in
   if Policy.uses_ewt st.cfg.policy && r.op = Request.Write then begin
-    match Ewt.lookup st.ewt ~partition:r.partition with
-    | Some owner -> (
-      Trace.request_event st.tr ~id:r.id ~name:"ewt_hit"
-        ~args:[ ("owner", string_of_int owner) ] ~ts:(Sim.now st.sim) ();
-      match Ewt.note_write ~now:(Sim.now st.sim) st.ewt ~partition:r.partition ~thread:owner with
-      | `Ok ->
-        Jbsq.dispatch_to st.jbsq owner;
-        enqueue owner;
-        owner = free_worker
-      | `Full | `Counter_saturated ->
-        drop_late st r;
-        false)
-    | None -> (
-      Trace.request_event st.tr ~id:r.id ~name:"ewt_miss" ~ts:(Sim.now st.sim) ();
-      match Ewt.note_write ~now:(Sim.now st.sim) st.ewt ~partition:r.partition ~thread:free_worker with
-      | `Ok ->
-        Jbsq.dispatch_to st.jbsq free_worker;
-        enqueue free_worker;
-        true
-      | `Full | `Counter_saturated ->
-        drop_late st r;
-        false)
+    match Core.admit_write st.core ~partition:r.partition ~now ~pick:(`Worker free_worker) with
+    | Core.Admitted { worker; fresh } ->
+      if fresh then Trace.request_event st.tr ~id:r.id ~name:"ewt_miss" ~ts:now ()
+      else
+        Trace.request_event st.tr ~id:r.id ~name:"ewt_hit"
+          ~args:[ ("owner", string_of_int worker) ] ~ts:now ();
+      enqueue worker;
+      worker = free_worker
+    | Core.No_slot ->
+      (* [`Worker _] picks never come back empty-handed. *)
+      assert false
+    | Core.Rejected { owner; _ } ->
+      (match owner with
+      | Some o ->
+        Trace.request_event st.tr ~id:r.id ~name:"ewt_hit"
+          ~args:[ ("owner", string_of_int o) ] ~ts:now ()
+      | None -> Trace.request_event st.tr ~id:r.id ~name:"ewt_miss" ~ts:now ());
+      drop_late st r;
+      false
   end
   else begin
-    Jbsq.dispatch_to st.jbsq free_worker;
+    Core.dispatch_to st.core ~worker:free_worker;
     enqueue free_worker;
     true
   end
@@ -587,7 +508,7 @@ and route_from_central st ~free_worker (r : Request.t) =
 and drop_late st (r : Request.t) =
   Flow_control.release st.flow;
   st.ewt_drop_count <- st.ewt_drop_count + 1;
-  st.win_drops <- st.win_drops + 1;
+  Core.note_drop st.core;
   Registry.incr st.drop_ewt_c;
   Metrics.note_drop st.metrics ~reason:Metrics.Ewt_exhausted;
   Trace.drop st.tr ~id:r.id ~reason:"ewt_exhausted" ~ts:(Sim.now st.sim);
@@ -619,12 +540,12 @@ and enqueue_at st wid (r : Request.t) =
   Fifo.push w.queue r;
   Trace.request_event st.tr ~id:r.id ~name:"enqueue"
     ~args:[ ("worker", string_of_int wid) ] ~ts:(Sim.now st.sim) ();
-  Registry.observe st.jbsq_depth_h (float_of_int (Jbsq.occupancy st.jbsq wid));
+  Registry.observe st.jbsq_depth_h (float_of_int (Core.occupancy st.core ~worker:wid));
   if not w.busy then start_next st w
 
 and on_arrival st (r : Request.t) =
   let now = Sim.now st.sim in
-  st.win_arrivals <- st.win_arrivals + 1;
+  Core.note_arrival st.core;
   Trace.arrival st.tr ~id:r.id
     ~op:(match r.op with Request.Read -> "R" | Request.Write -> "W")
     ~partition:r.partition ~ts:now;
@@ -632,7 +553,7 @@ and on_arrival st (r : Request.t) =
   if corrupt then begin
     (* Header parsing precedes admission (as in Nic.Pipeline.admit), so
        a corrupted packet never charges a flow-control slot. *)
-    st.win_drops <- st.win_drops + 1;
+    Core.note_drop st.core;
     Registry.incr st.drop_bad_c;
     Metrics.note_drop st.metrics ~reason:Metrics.Bad_packet;
     Trace.drop st.tr ~id:r.id ~reason:"bad_packet" ~ts:now;
@@ -647,7 +568,7 @@ and on_arrival st (r : Request.t) =
     note_done st
   end
   else if not (Flow_control.admit st.flow) then begin
-    st.win_drops <- st.win_drops + 1;
+    Core.note_drop st.core;
     Registry.incr st.drop_queue_c;
     Metrics.note_drop st.metrics ~reason:Metrics.Queue_full;
     Trace.drop st.tr ~id:r.id ~reason:"queue_full" ~ts:now;
@@ -659,25 +580,24 @@ and on_arrival st (r : Request.t) =
     let op = effective_op st r in
     let cls = class_of_request st r in
     if Policy.uses_ewt policy && op = Request.Write then begin
-      match Ewt.lookup st.ewt ~partition:r.partition with
-      | Some owner -> (
-        Trace.request_event st.tr ~id:r.id ~name:"ewt_hit"
-          ~args:[ ("owner", string_of_int owner) ] ~ts:now ();
-        match Ewt.note_write ~now:(Sim.now st.sim) st.ewt ~partition:r.partition ~thread:owner with
-        | `Ok ->
-          Jbsq.dispatch_to st.jbsq owner;
-          enqueue_at st owner r
-        | `Full | `Counter_saturated -> drop_late st r)
-      | None -> (
+      let lo, hi = class_range st cls in
+      match Core.admit_write st.core ~partition:r.partition ~now ~pick:(`Balanced (lo, hi)) with
+      | Core.Admitted { worker; fresh } ->
+        if fresh then Trace.request_event st.tr ~id:r.id ~name:"ewt_miss" ~ts:now ()
+        else
+          Trace.request_event st.tr ~id:r.id ~name:"ewt_hit"
+            ~args:[ ("owner", string_of_int worker) ] ~ts:now ();
+        enqueue_at st worker r
+      | Core.No_slot ->
         Trace.request_event st.tr ~id:r.id ~name:"ewt_miss" ~ts:now ();
-        match try_dispatch_class st cls with
-        | Some wid -> (
-          match Ewt.note_write ~now:(Sim.now st.sim) st.ewt ~partition:r.partition ~thread:wid with
-          | `Ok -> enqueue_at st wid r
-          | `Full | `Counter_saturated ->
-            Jbsq.complete st.jbsq wid;
-            drop_late st r)
-        | None -> Fifo.push st.centrals.(cls) r)
+        Fifo.push st.centrals.(cls) r
+      | Core.Rejected { owner; _ } ->
+        (match owner with
+        | Some o ->
+          Trace.request_event st.tr ~id:r.id ~name:"ewt_hit"
+            ~args:[ ("owner", string_of_int o) ] ~ts:now ()
+        | None -> Trace.request_event st.tr ~id:r.id ~name:"ewt_miss" ~ts:now ());
+        drop_late st r
     end
     else if Policy.balanceable policy op then begin
       match try_dispatch_class st cls with
@@ -686,7 +606,7 @@ and on_arrival st (r : Request.t) =
     end
     else begin
       let wid = static_owner_in_class st cls r.partition in
-      Jbsq.dispatch_to st.jbsq wid;
+      Core.dispatch_to st.core ~worker:wid;
       enqueue_at st wid r
     end
   end
@@ -720,16 +640,15 @@ let run_stream ?(warmup_fraction = 0.2) cfg ~next_request ~n_requests ~n_partiti
   let leak_c = Registry.counter reg "fault.ewt_leak" in
   let shed_level_g = Registry.gauge reg "shed.level" in
   let jbsq_depth_h = Registry.histogram reg "jbsq.depth" in
+  let core =
+    Core.create ~registry:reg ?on_decision:cfg.on_decision ~cfg:cfg.crew
+      ~n_workers:cfg.n_workers ~n_partitions ()
+  in
   let make_worker wid =
     {
       wid;
       queue = Fifo.create ();
       busy = false;
-      log =
-        Option.map
-          (fun (c : compaction_config) ->
-            Compaction_log.create ~registry:reg ~scan_depth:c.scan_depth ())
-          cfg.compaction;
       window_reqs = Hashtbl.create 64;
       window_timer = None;
       rlu_writes = 0;
@@ -743,11 +662,8 @@ let run_stream ?(warmup_fraction = 0.2) cfg ~next_request ~n_requests ~n_partiti
       tr = cfg.trace;
       rlu_rng;
       workers = Array.init cfg.n_workers make_worker;
-      jbsq = Jbsq.create ~n_workers:cfg.n_workers ~bound:cfg.jbsq_bound;
+      core;
       centrals = [| Fifo.create (); Fifo.create () |];
-      ewt =
-        Ewt.create ~registry:reg ~capacity:cfg.ewt_capacity
-          ~max_outstanding:cfg.ewt_max_outstanding ();
       flow = Flow_control.create ~max_outstanding:cfg.max_outstanding;
       cache =
         Option.map
@@ -769,9 +685,6 @@ let run_stream ?(warmup_fraction = 0.2) cfg ~next_request ~n_requests ~n_partiti
       done_count = 0;
       ewt_drop_count = 0;
       rlu_global_writes = 0;
-      shed_level = 0;
-      win_arrivals = 0;
-      win_drops = 0;
     }
   in
   if st.warmup = 0 then Metrics.start_measuring st.metrics ~now:0.0;
@@ -787,7 +700,7 @@ let run_stream ?(warmup_fraction = 0.2) cfg ~next_request ~n_requests ~n_partiti
         Snapshot.start
           ~pre:(fun () ->
             Registry.set flow_g (float_of_int (Flow_control.in_flight st.flow));
-            Registry.set ewt_occ_g (float_of_int (Ewt.occupancy st.ewt));
+            Registry.set ewt_occ_g (float_of_int (Core.ewt_occupancy st.core));
             Registry.set central_g
               (float_of_int
                  (Fifo.length st.centrals.(0) + Fifo.length st.centrals.(1))))
@@ -798,49 +711,36 @@ let run_stream ?(warmup_fraction = 0.2) cfg ~next_request ~n_requests ~n_partiti
      otherwise pin their partitions forever. Self-rescheduling stops
      once every expected request is accounted for, so the event queue
      still drains. *)
-  (match cfg.ewt_ttl with
+  (match cfg.crew.Crew_config.ewt_ttl with
   | None -> ()
-  | Some { ttl; sweep_interval } ->
-    if ttl <= 0.0 || sweep_interval <= 0.0 then
-      invalid_arg "Server.run: ewt_ttl fields must be positive";
+  | Some { Crew_config.sweep_interval; _ } ->
     let rec sweep () =
       ignore
         (Sim.schedule sim ~after:sweep_interval (fun _ ->
-             let evicted = Ewt.expire_stale st.ewt ~now:(Sim.now sim) ~ttl in
-             if evicted > 0 then
+             let evicted = Core.sweep_stale st.core ~now:(Sim.now sim) in
+             if evicted <> [] then
                Trace.instant st.tr ~name:"ewt_stale_sweep"
-                 ~args:[ ("evicted", string_of_int evicted) ]
+                 ~args:[ ("evicted", string_of_int (List.length evicted)) ]
                  ~ts:(Sim.now sim) ();
              if st.done_count < st.expected then sweep ()))
     in
     sweep ());
-  (* Adaptive load shedding: compare the non-shed drop rate over the
-     last window against the thresholds and move one level at a time. *)
-  (match cfg.shed with
+  (* Adaptive load shedding: the periodic tick; the thresholds and the
+     level live in the core. *)
+  (match cfg.crew.Crew_config.shed with
   | None -> ()
   | Some sc ->
-    if sc.check_interval <= 0.0 then invalid_arg "Server.run: shed.check_interval";
     let rec check () =
       ignore
-        (Sim.schedule sim ~after:sc.check_interval (fun _ ->
-             let rate =
-               if st.win_arrivals = 0 then 0.0
-               else float_of_int st.win_drops /. float_of_int st.win_arrivals
-             in
-             let level =
-               if rate > sc.shed_threshold then min 2 (st.shed_level + 1)
-               else if rate < sc.recover_threshold then max 0 (st.shed_level - 1)
-               else st.shed_level
-             in
-             if level <> st.shed_level then begin
-               st.shed_level <- level;
+        (Sim.schedule sim ~after:sc.Crew_config.check_interval (fun _ ->
+             let prev = Core.shed_level st.core in
+             let level = Core.shed_check st.core ~now:(Sim.now sim) in
+             if level <> prev then begin
                Registry.set st.shed_level_g (float_of_int level);
                Trace.instant st.tr ~name:"shed_level"
                  ~args:[ ("level", string_of_int level) ]
                  ~ts:(Sim.now sim) ()
              end;
-             st.win_arrivals <- 0;
-             st.win_drops <- 0;
              if st.done_count < st.expected then check ()))
     in
     check ());
@@ -863,31 +763,8 @@ let run_stream ?(warmup_fraction = 0.2) cfg ~next_request ~n_requests ~n_partiti
   {
     metrics = st.metrics;
     ewt =
-      (if Policy.uses_ewt cfg.policy then Some (Ewt.occupancy_stats st.ewt) else None);
-    compaction =
-      (match cfg.compaction with
-      | None -> None
-      | Some _ ->
-        let merged =
-          Array.fold_left
-            (fun (acc : Compaction_log.stats option) w ->
-              match (acc, w.log) with
-              | None, Some log -> Some (Compaction_log.stats log)
-              | Some a, Some log ->
-                let s = Compaction_log.stats log in
-                Some
-                  {
-                    Compaction_log.windows_opened =
-                      a.Compaction_log.windows_opened + s.Compaction_log.windows_opened;
-                    writes_compacted =
-                      a.Compaction_log.writes_compacted + s.Compaction_log.writes_compacted;
-                    largest_window =
-                      max a.Compaction_log.largest_window s.Compaction_log.largest_window;
-                  }
-              | acc, None -> acc)
-            None st.workers
-        in
-        merged);
+      (if Policy.uses_ewt cfg.policy then Some (Core.ewt_stats st.core) else None);
+    compaction = Core.compaction_stats st.core;
     flow_drops = Flow_control.rejected st.flow;
     ewt_drops = st.ewt_drop_count;
     offered_rate;

@@ -3,32 +3,18 @@
     policy, with optional write compaction and an optional cache-
     coherence cost layer.
 
+    Since the policy extraction this module is a {e discrete-event
+    driver} around the shared d-CREW policy core ([C4_crew.Core]): the
+    core decides (pins, routes, window opens/closes, shed levels, stale
+    evictions), and this driver feeds it simulated time and turns its
+    decisions into simulated mechanism — queues, service events,
+    window-close timers. The multicore runtime ([C4_runtime.Server])
+    drives the same core with wall-clock events; the differential
+    parity test holds the two decision streams equal on one trace.
+
     One [run] simulates a fixed number of requests at a fixed offered
     load and returns the measured {!Metrics.t} plus subsystem statistics.
     Runs are deterministic in (config, workload, seed). *)
-
-type compaction_config = {
-  scan_depth : int;  (** queue slots scanned for dependent writes *)
-  window_slo_multiplier : float;
-      (** the SLO (in multiples of S̄) the window must respect *)
-  window_budget_fraction : float;
-      (** fraction of the SLO slack S̄·(multiplier − 1) one window may
-          consume. 0.5 (default) keeps even a write that just missed one
-          window inside the SLO; 1.0 reproduces the paper's
-          T_expiry = T_open + S̄·(SLO−1) formula *)
-  scan_cost_per_slot : float;  (** ns of service added per scanned slot *)
-  adaptive_close : bool;
-      (** close the window early when the worker would otherwise idle
-          (the Sec. 7.2 "software modification"); off = paper default *)
-  deadline_from_arrival : bool;
-      (** anchor the window deadline at the opening request's arrival
-          instead of the open instant (the paper's choice, and the
-          default): arrival anchoring protects the opener's SLO but
-          collapses window lengths once queueing delay builds, costing
-          throughput — see the ablation bench *)
-}
-
-val default_compaction : compaction_config
 
 (** Deterministic fault-injection hooks, consulted in simulation-event
     order (so a deterministic hook keeps the run deterministic). Built
@@ -43,36 +29,19 @@ type fault_hooks = {
       (** the write's EWT release is lost; its outstanding counter sticks *)
 }
 
-(** EWT staleness: entries idle for [ttl] ns are reclaimed by a sweep
-    every [sweep_interval] ns, so a leaked release cannot pin a
-    partition to one worker forever. *)
-type ewt_ttl_config = { ttl : float; sweep_interval : float }
-
-(** Adaptive load shedding. Every [check_interval] ns the non-shed drop
-    rate of the last window is compared against the thresholds: above
-    [shed_threshold] the shed level rises one step (1 = shed reads,
-    2 = also shed writes compaction cannot absorb), below
-    [recover_threshold] it falls one step. *)
-type shed_config = {
-  check_interval : float;
-  shed_threshold : float;
-  recover_threshold : float;
-}
-
-val default_shed : shed_config
-
 type config = {
   n_workers : int;
   policy : Policy.t;
   service : Service.params;
-  jbsq_bound : int;  (** k of JBSQ(k); the paper uses 2 *)
-  compaction : compaction_config option;
+  crew : C4_crew.Config.t;
+      (** the shared d-CREW policy configuration — JBSQ bound, EWT
+          sizing, compaction window, TTL sweeps, shed thresholds. The
+          same record type the runtime server takes, so the two engines
+          cannot drift on thresholds *)
   cache : C4_cache.Coherence.params option;
       (** [Some _] enables the full-system coherence cost layer;
           [None] reproduces the pure queueing model of Sec. 3 *)
   max_outstanding : int;  (** NIC flow-control cap *)
-  ewt_capacity : int;
-  ewt_max_outstanding : int;
   ewt_release_delay : float;
       (** ns an exclusive mapping lingers after its last write completes
           (0 = release immediately, the paper's choice). Lingering trades
@@ -90,15 +59,17 @@ type config = {
           for Chrome-trace export *)
   registry : C4_obs.Registry.t option;
       (** metrics registry shared by every layer of the run (EWT,
-          pipeline, compaction logs, server drop counters). [None]
-          instruments against a private registry the caller never sees *)
+          pipeline, compaction logs, server drop counters, the core's
+          [crew.*] decision counters). [None] instruments against a
+          private registry the caller never sees *)
   metrics_interval : float option;
       (** [Some ns] samples every registered metric into a CSV
           time-series each [ns] of simulated time (see
           {!result.snapshot}) *)
   faults : fault_hooks option;  (** [None] = clean run (the default) *)
-  ewt_ttl : ewt_ttl_config option;  (** [None] = entries never expire *)
-  shed : shed_config option;  (** [None] = never shed *)
+  on_decision : (C4_crew.Decision.t -> unit) option;
+      (** called with every policy decision the core takes, in decision
+          order — the differential parity test's recorder *)
   on_drop :
     (C4_workload.Request.t ->
     now:float ->
@@ -140,9 +111,9 @@ val run :
   result
 
 (** [run_trace config ~trace] replays a recorded request stream instead
-    of generating one — the basis for trace-driven studies and the
-    multi-node cluster model, where one generated stream is sharded
-    across nodes. [n_partitions] tells the server how many partitions
+    of generating one — the basis for trace-driven studies, the
+    multi-node cluster model, and the sim-vs-runtime differential
+    parity test. [n_partitions] tells the server how many partitions
     the trace's requests were hashed into. *)
 val run_trace :
   ?warmup_fraction:float ->

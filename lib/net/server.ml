@@ -55,6 +55,15 @@ let metrics_of reg =
     delete_h = Registry.histogram reg "net.delete_ns";
   }
 
+(* Count each mutation against the worker the policy core's ownership
+   view routes it to ([Runtime.owner_of_key] = the core's pin-aware
+   [route_owner]). Registration is find-or-create, so the per-owner
+   counters appear lazily as owners are first routed to; after a crash
+   recovery the counts visibly migrate to the survivor. *)
+let note_routed t key =
+  let owner = Runtime.owner_of_key t.runtime key in
+  Registry.incr (Registry.counter t.reg (Printf.sprintf "net.routed_w%d" owner))
+
 let err_response id msg =
   {
     Wire.resp_id = id;
@@ -98,6 +107,7 @@ let handle t (req : Wire.request) =
         ignore (finish t.m.get_h);
         err_response req.Wire.id "server shutting down")
   | Wire.Set -> (
+    note_routed t req.Wire.key;
     match
       Runtime.set_async ?token:req.Wire.token t.runtime ~key:req.Wire.key
         ~value:req.Wire.value
@@ -112,6 +122,7 @@ let handle t (req : Wire.request) =
         ignore (finish t.m.set_h);
         err_response req.Wire.id "server shutting down")
   | Wire.Delete -> (
+    note_routed t req.Wire.key;
     match Runtime.delete_async t.runtime ~key:req.Wire.key with
     | promise ->
       fun () ->

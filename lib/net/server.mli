@@ -25,7 +25,11 @@
     [net.conns_accepted], [net.conns_active], [net.bytes_in],
     [net.bytes_out], [net.inflight], [net.protocol_errors],
     [net.requests], and per-op service-time histograms [net.get_ns],
-    [net.set_ns], [net.delete_ns]. *)
+    [net.set_ns], [net.delete_ns]. Each mutation additionally bumps a
+    lazily-registered [net.routed_w<i>] counter for the worker the
+    d-CREW policy core's ownership view ([C4_runtime.Server.owner_of_key],
+    i.e. [C4_crew.Core.route_owner]) routes it to — after a crash
+    recovery the counts visibly migrate to the surviving owner. *)
 
 type config = {
   host : string;  (** address to bind, e.g. "127.0.0.1" *)

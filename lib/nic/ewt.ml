@@ -114,20 +114,38 @@ let try_note_response t ~partition =
     note_response t ~partition;
     true
 
-let expire_stale t ~now ~ttl =
+let expire_stale_partitions t ~now ~ttl =
   if ttl <= 0.0 then invalid_arg "Ewt.expire_stale: ttl must be positive";
   let stale =
     Hashtbl.fold
       (fun partition e acc -> if now -. e.last_write > ttl then partition :: acc else acc)
       t.table []
   in
+  let stale = List.sort compare stale in
   List.iter
     (fun partition ->
       Hashtbl.remove t.table partition;
       Registry.incr t.stale_evict_c;
       sample t)
     stale;
-  List.length stale
+  stale
+
+let expire_stale t ~now ~ttl = List.length (expire_stale_partitions t ~now ~ttl)
+
+let evict_thread t ~thread =
+  let owned =
+    Hashtbl.fold
+      (fun partition e acc -> if e.thread = thread then partition :: acc else acc)
+      t.table []
+  in
+  let owned = List.sort compare owned in
+  List.iter
+    (fun partition ->
+      Hashtbl.remove t.table partition;
+      Registry.incr t.evict_c;
+      sample t)
+    owned;
+  owned
 
 let stale_evictions t = Registry.counter_value t.stale_evict_c
 let orphan_releases t = Registry.counter_value t.orphan_release_c

@@ -65,6 +65,18 @@ val try_note_response : t -> partition:int -> bool
     [ttl > 0]. *)
 val expire_stale : t -> now:float -> ttl:float -> int
 
+(** Like {!expire_stale} but returns the evicted partitions in
+    ascending order — callers that log or act per partition (the crew
+    policy core's staleness decisions) need the identities, not just
+    the count. *)
+val expire_stale_partitions : t -> now:float -> ttl:float -> int list
+
+(** Evict every entry pinned to [thread] (ascending partition order,
+    each counted as [ewt.evict]). Crash recovery uses this: a dead
+    worker's pins must not keep routing writes to its channel once its
+    partitions are re-owned elsewhere. *)
+val evict_thread : t -> thread:int -> int list
+
 (** Total stale evictions / orphan releases so far. *)
 val stale_evictions : t -> int
 

@@ -1,4 +1,7 @@
 module Store = C4_kvs.Store
+module Crew_config = C4_crew.Config
+module Core = C4_crew.Core
+module Registry = C4_obs.Registry
 
 exception Stopped
 
@@ -15,6 +18,9 @@ type op =
   | Set of int * bytes * int option * unit Promise.t
       (** key, value, idempotency token, ack *)
   | Delete of int * bool Promise.t
+  | Gate of unit Promise.t * unit Promise.t
+      (** park the worker: fulfil [entered], block on [release] —
+          deterministic-replay support (see [pause_worker]) *)
   | Crash
 
 type worker_state = {
@@ -34,10 +40,11 @@ type config = {
   n_workers : int;
   n_buckets : int;
   n_partitions : int;
-  compaction : bool;
-  max_batch : int;
+  crew : Crew_config.t;
   recovery : bool;
   monitor_interval : float;
+  clock : unit -> float;
+  on_decision : (C4_crew.Decision.t -> unit) option;
 }
 
 let default_config =
@@ -45,22 +52,29 @@ let default_config =
     n_workers = 4;
     n_buckets = 4096;
     n_partitions = 256;
-    compaction = true;
-    max_batch = 64;
+    crew = Crew_config.queued;
     recovery = true;
     monitor_interval = 0.0005;
+    (* ns, to match the policy core's time unit across both engines *)
+    clock = (fun () -> Unix.gettimeofday () *. 1e9);
+    on_decision = None;
   }
 
+(* The multicore driver around the crew policy core (the runtime's half
+   of the {!C4_crew.Core.ENGINE} contract): the core decides, worker
+   domains and channels execute. All core transitions that touch shared
+   routing state (admission, releases, sweeps, recovery remaps) run
+   under [route_lock]; per-worker window transitions are worker-private
+   and rely on the thread-safe registry for their counters. *)
 type t = {
   cfg : config;
   store : Store.t;
   workers : worker_state array;
-  (* partition -> owning worker. Routing state — the owner map, the
-     reader cursor, and every channel push — is guarded by [route_lock],
-     so a recovery that remaps ownership can never race a producer
-     pushing along a stale route (the classic two-writers-after-failover
-     bug). *)
-  owner_map : int array;
+  core : Core.t;
+  (* Routing state — the core's ownership view, the reader cursor, and
+     every channel push — is guarded by [route_lock], so a recovery that
+     remaps ownership can never race a producer pushing along a stale
+     route (the classic two-writers-after-failover bug). *)
   route_lock : Mutex.t;
   mutable next_reader : int;
   stopped : bool Atomic.t;
@@ -72,19 +86,30 @@ type t = {
 
 let owner_of_key t key =
   Sync.with_lock t.route_lock (fun () ->
-      t.owner_map.(Store.partition_of_key t.store key))
+      Core.route_owner t.core ~partition:(Store.partition_of_key t.store key))
 
 (* Only token-free writes are harvested into a compaction batch: a
    tokened (retried) write must go through [Store.set_idempotent]'s
    check-and-record, which a combined batched update would bypass. *)
 let is_plain_set_to key = function
   | Set (k, _, None, _) -> k = key
-  | Set _ | Get _ | Delete _ | Crash -> false
+  | Set _ | Get _ | Delete _ | Gate _ | Crash -> false
+
+(* The write's response left: hand the release to the policy core.
+   Non-strict because a TTL sweep (or a recovery eviction) may have
+   legitimately reclaimed the pin — the core counts the orphan. *)
+let release_write t key =
+  Sync.with_lock t.route_lock (fun () ->
+      Core.write_done ~strict:false t.core
+        ~partition:(Store.partition_of_key t.store key))
 
 (* Worker loop: CREW writes for owned partitions, balanced reads, and
    the compaction fast path — pop a write, harvest every queued write to
-   the same key, apply one batched update, answer all of them. *)
-let worker_loop cfg store (w : worker_state) =
+   the same key, and drive the core's window lifecycle: open, absorb
+   each harvested write, apply ONE batched update, close, and only then
+   answer all of them (deferred responses). *)
+let worker_loop t (w : worker_state) =
+  let store = t.store in
   let apply_set key value token promise =
     (match token with
     | None -> Store.set store ~key ~value
@@ -94,12 +119,17 @@ let worker_loop cfg store (w : worker_state) =
       | `Duplicate -> w.dups <- w.dups + 1));
     w.ops <- w.ops + 1;
     w.writes_n <- w.writes_n + 1;
+    release_write t key;
     Promise.fulfil promise ()
   in
   let rec loop () =
     match Channel.pop w.channel with
     | None -> ()
     | Some Crash -> raise Crash_injected
+    | Some (Gate (entered, release)) ->
+      Promise.fulfil entered ();
+      Promise.await release;
+      loop ()
     | Some (Get (key, promise)) ->
       let value, retries = Store.get store ~key in
       w.retries <- w.retries + retries;
@@ -110,6 +140,7 @@ let worker_loop cfg store (w : worker_state) =
       let present = Store.remove store ~key in
       w.ops <- w.ops + 1;
       w.writes_n <- w.writes_n + 1;
+      release_write t key;
       Promise.fulfil promise present;
       loop ()
     | Some (Set (key, value, (Some _ as token), promise)) ->
@@ -117,19 +148,17 @@ let worker_loop cfg store (w : worker_state) =
       apply_set key value token promise;
       loop ()
     | Some (Set (key, value, None, promise)) ->
-      if cfg.compaction then begin
+      if Core.compaction_enabled t.core then begin
         let dependents = Channel.drain_matching w.channel ~f:(is_plain_set_to key) in
+        let max_batch = Core.max_batch t.core in
         let dependents =
-          if List.length dependents > cfg.max_batch - 1 then begin
+          if List.length dependents > max_batch - 1 then begin
             (* Put the overflow back in order; rare, but the window must
                stay bounded. If the channel closed under us (shutdown),
                fold the stragglers into this batch instead of losing
                their promises. *)
-            let keep =
-              List.filteri (fun i _ -> i < cfg.max_batch - 1) dependents
-            and overflow =
-              List.filteri (fun i _ -> i >= cfg.max_batch - 1) dependents
-            in
+            let keep = List.filteri (fun i _ -> i < max_batch - 1) dependents
+            and overflow = List.filteri (fun i _ -> i >= max_batch - 1) dependents in
             let orphaned =
               List.filter (fun op -> not (Channel.try_push w.channel op)) overflow
             in
@@ -142,27 +171,45 @@ let worker_loop cfg store (w : worker_state) =
           apply_set key value None promise;
           loop ()
         | _ :: _ ->
+          (* The harvest found dependent writes: a compaction window in
+             core terms. Wall-clock engines hold no SLO budget, so the
+             window's deadline is "now" and it closes as soon as the
+             harvest is absorbed — the adaptive-close limit of the
+             model's policy (the queue IS empty: we just drained it). *)
+          let now = t.cfg.clock () in
+          ignore
+            (Core.open_window t.core ~worker:w.id ~key ~now ~arrival:now
+               ~mean_service:0.0);
+          Core.absorb t.core ~worker:w.id ~key ~id:0 ~now;
+          List.iteri
+            (fun i _ -> Core.absorb t.core ~worker:w.id ~key ~id:(i + 1) ~now)
+            dependents;
           let values =
             value
             :: List.map
                  (function
                    | Set (_, v, _, _) -> v
-                   | Get _ | Delete _ | Crash -> assert false)
+                   | Get _ | Delete _ | Gate _ | Crash -> assert false)
                  dependents
           in
           Store.set_batched store ~key ~values;
+          ignore (Core.close_window t.core ~worker:w.id ~now:(t.cfg.clock ()));
           let n = List.length values in
           w.ops <- w.ops + n;
           w.writes_n <- w.writes_n + n;
           w.batches <- w.batches + 1;
           w.batched_writes <- w.batched_writes + n;
           (* Deferred responses: nothing was acknowledged before the
-             combined update hit the store. *)
+             combined update hit the store, and nothing is released
+             before the window closed. *)
+          release_write t key;
           Promise.fulfil promise ();
           List.iter
             (function
-              | Set (_, _, _, p) -> Promise.fulfil p ()
-              | Get _ | Delete _ | Crash -> assert false)
+              | Set (k, _, _, p) ->
+                release_write t k;
+                Promise.fulfil p ()
+              | Get _ | Delete _ | Gate _ | Crash -> assert false)
             dependents;
           loop ()
       end
@@ -176,23 +223,25 @@ let worker_loop cfg store (w : worker_state) =
 (* Run [worker_loop] and always publish death through [alive] — the
    signal the monitor (crash) and [stop] (clean exit, ignored because
    [stopped] is set first) both read. *)
-let run_worker cfg store (w : worker_state) () =
-  (try worker_loop cfg store w with Crash_injected -> ());
+let run_worker t (w : worker_state) () =
+  (try worker_loop t w with Crash_injected -> ());
   Atomic.set w.alive false
 
 let spawn_worker t w =
   Atomic.set w.alive true;
-  w.domain <- Some (Domain.spawn (run_worker t.cfg t.store w))
+  w.domain <- Some (Domain.spawn (run_worker t w))
 
 (* ---------------- crash recovery ---------------- *)
 
 (* Called by the monitor with [route_lock] HELD and producers therefore
    blocked. Ordering: join the corpse (so the old writer provably runs
-   no more store operations), remap its partitions to a survivor, drain
-   its backlog, restart it, then requeue the backlog along the new
-   routes. Ownership stays with the survivor — handing partitions back
-   would reopen the stale-route window; the restarted worker rejoins as
-   read capacity and as a future failover target. *)
+   no more store operations), remap its partitions to a survivor through
+   the core (which also evicts the dead worker's EWT pins — a stale pin
+   would keep routing writes at the corpse's channel), drain its
+   backlog, restart it, then requeue the backlog along the new routes.
+   Ownership stays with the survivor — handing partitions back would
+   reopen the stale-route window; the restarted worker rejoins as read
+   capacity and as a future failover target. *)
 let recover_locked t (w : worker_state) =
   (match w.domain with Some d -> Domain.join d | None -> ());
   w.domain <- None;
@@ -204,7 +253,7 @@ let recover_locked t (w : worker_state) =
     in
     find 0
   in
-  Array.iteri (fun p owner -> if owner = w.id then t.owner_map.(p) <- survivor) t.owner_map;
+  ignore (Core.reassign t.core ~from_worker:w.id ~to_worker:survivor);
   let backlog = Channel.drain_matching w.channel ~f:(fun _ -> true) in
   spawn_worker t w;
   List.iter
@@ -214,11 +263,13 @@ let recover_locked t (w : worker_state) =
         (* A queued crash targeted the worker that already died; do not
            let it chase the backlog onto the survivor. *)
         ()
-      | Get _ ->
+      | Get _ | Gate _ ->
         ignore (Channel.try_push t.workers.(survivor).channel op);
         t.requeued_n <- t.requeued_n + 1
       | Set (key, _, _, _) | Delete (key, _) ->
-        let dst = t.owner_map.(Store.partition_of_key t.store key) in
+        let dst =
+          Core.route_owner t.core ~partition:(Store.partition_of_key t.store key)
+        in
         ignore (Channel.try_push t.workers.(dst).channel op);
         t.requeued_n <- t.requeued_n + 1)
     backlog;
@@ -243,7 +294,6 @@ let rec monitor_loop t =
 
 let start cfg =
   if cfg.n_workers < 1 then invalid_arg "Server.start: n_workers";
-  if cfg.max_batch < 1 then invalid_arg "Server.start: max_batch";
   let store = Store.create ~n_buckets:cfg.n_buckets ~n_partitions:cfg.n_partitions () in
   let workers =
     Array.init cfg.n_workers (fun id ->
@@ -260,12 +310,28 @@ let start cfg =
           dups = 0;
         })
   in
+  (* The model's EWT is a scarce CAM; the runtime's is bookkeeping, so
+     size it to hold every partition — a capacity reject here would
+     only degrade the decision stream, never protect hardware. *)
+  let crew_cfg =
+    {
+      cfg.crew with
+      Crew_config.ewt_capacity =
+        max cfg.crew.Crew_config.ewt_capacity cfg.n_partitions;
+    }
+  in
+  let core =
+    Core.create
+      ~registry:(Registry.create ~thread_safe:true ())
+      ?on_decision:cfg.on_decision ~cfg:crew_cfg ~n_workers:cfg.n_workers
+      ~n_partitions:cfg.n_partitions ()
+  in
   let t =
     {
       cfg;
       store;
       workers;
-      owner_map = Array.init cfg.n_partitions (fun p -> p mod cfg.n_workers);
+      core;
       route_lock = Mutex.create ();
       next_reader = 0;
       stopped = Atomic.make false;
@@ -290,11 +356,27 @@ let submit_routed t pick op =
   in
   if not ok then raise Stopped
 
-let pick_owner key t = t.owner_map.(Store.partition_of_key t.store key)
+(* CREW admission through the policy core: on a pinned partition ride
+   the pin, otherwise pin at the durable assignment ([`Static] — the
+   runtime's channels do their own queue accounting, so no JBSQ charge).
+   A reject is unreachable with the queued profile's effectively
+   unbounded counter; if it ever fires, route durably anyway. *)
+let pick_writer key t =
+  let partition = Store.partition_of_key t.store key in
+  Core.note_arrival t.core;
+  match
+    Core.admit_write t.core ~partition ~now:(t.cfg.clock ()) ~pick:`Static
+  with
+  | Core.Admitted { worker; _ } -> worker
+  | Core.Rejected _ -> Core.assigned_owner t.core ~partition
+  | Core.No_slot -> assert false
 
 (* Round-robin over live workers; if none is live (every worker crashed
-   at once, pre-recovery) any channel works — the monitor requeues. *)
+   at once, pre-recovery) any channel works — the monitor requeues. Read
+   spray is engine mechanism, not a policy decision: the model balances
+   reads through JBSQ slots, the runtime through this cursor. *)
 let pick_reader t =
+  Core.note_arrival t.core;
   let n = t.cfg.n_workers in
   let rec find i tries =
     if tries = 0 then i
@@ -313,13 +395,13 @@ let get_async t ~key =
 let set_async ?token t ~key ~value =
   let promise = Promise.create () in
   (* CREW: the partition owner is the only worker that ever writes it. *)
-  submit_routed t (pick_owner key) (Set (key, value, token, promise));
+  submit_routed t (pick_writer key) (Set (key, value, token, promise));
   promise
 
 let delete_async t ~key =
   let promise = Promise.create () in
   (* Deletes mutate the partition, so CREW routes them to the owner. *)
-  submit_routed t (pick_owner key) (Delete (key, promise));
+  submit_routed t (pick_writer key) (Delete (key, promise));
   promise
 
 let get t ~key = Promise.await (get_async t ~key)
@@ -330,10 +412,30 @@ let inject_crash t ~worker =
   if worker < 0 || worker >= t.cfg.n_workers then invalid_arg "Server.inject_crash";
   submit_routed t (fun _ -> worker) Crash
 
+let pause_worker t ~worker =
+  if worker < 0 || worker >= t.cfg.n_workers then invalid_arg "Server.pause_worker";
+  let entered = Promise.create () in
+  let release = Promise.create () in
+  submit_routed t (fun _ -> worker) (Gate (entered, release));
+  Promise.await entered;
+  fun () -> Promise.fulfil release ()
+
+let sweep_stale t ~now =
+  Sync.with_lock t.route_lock (fun () -> Core.sweep_stale t.core ~now)
+
+let shed_check t ~now =
+  Sync.with_lock t.route_lock (fun () -> Core.shed_check t.core ~now)
+
+let shed_level t = Core.shed_level t.core
+
 (* Apply an op inline — only used by [stop] once every domain is joined,
    so the single remaining thread trivially satisfies CREW. *)
 let apply_directly t = function
   | Crash -> ()
+  | Gate (entered, _) ->
+    (* Unblock a waiting [pause_worker]; the release side no longer has
+       a worker to wake. *)
+    if Promise.peek entered = None then Promise.fulfil entered ()
   | Get (key, p) -> Promise.fulfil p (fst (Store.get t.store ~key))
   | Delete (key, p) -> Promise.fulfil p (Store.remove t.store ~key)
   | Set (key, value, None, p) ->

@@ -1,29 +1,39 @@
 (** A real, multicore in-process KVS server: worker domains serving the
-    {!C4_kvs.Store} under CREW dispatch, with optional write compaction
-    and crash recovery.
+    {!C4_kvs.Store} under the shared d-CREW policy core
+    ([C4_crew.Core]), with optional write compaction and crash
+    recovery.
 
-    This is the runnable counterpart of the simulated server model —
-    the same concurrency-control rules executed by actual domains with
-    actual locks:
+    Since the policy extraction this module is a {e wall-clock driver}
+    around the same core the discrete-event model drives: the core
+    decides (pins, routes, window opens/closes, shed levels, stale
+    evictions), and this driver turns those decisions into mechanism —
+    worker domains, MPSC channels, promises, a crash monitor. The
+    differential parity test replays one recorded trace through both
+    drivers and holds their decision streams equal.
 
-    - writes are routed to the partition's owner worker (CREW), so the
-      store's per-partition seqlocks never see two writers — the
-      invariant the NIC enforces in C-4;
+    - writes are admitted through [Core.admit_write] and routed to the
+      partition's pinned owner (CREW), so the store's per-partition
+      seqlocks never see two writers — the invariant the NIC enforces
+      in C-4;
     - reads are sprayed across live workers round-robin and run the
       seqlock's optimistic protocol against concurrent in-place updates;
-    - with compaction enabled, a worker that pops a write drains every
-      queued write to the same key from its channel (the dependent-write
-      harvest), applies ONE batched update, and only then answers all of
-      them — C-4's deferred-response rule, so recorded histories remain
-      linearizable, which the test suite verifies on real executions;
+    - with compaction enabled (via {!config.crew}), a worker that pops
+      a write drains every queued write to the same key from its
+      channel (the dependent-write harvest), runs the core's window
+      lifecycle (open / absorb / close), applies ONE batched update,
+      and only then answers all of them — C-4's deferred-response rule,
+      so recorded histories remain linearizable, which the test suite
+      verifies on real executions;
     - writes may carry an idempotency token: a retried write whose first
       attempt was applied (only the ack was lost) is detected in the
       store and NOT applied twice;
     - a monitor domain watches for worker death (see {!inject_crash}):
-      on a crash it re-owns the dead worker's partitions on a survivor,
-      requeues the dead channel's backlog along the new routes, and
-      restarts the worker — no acknowledged write is lost, and the
-      recorded history stays linearizable.
+      on a crash it re-owns the dead worker's partitions on a survivor
+      through [Core.reassign] (which also evicts the dead worker's EWT
+      pins, so no stale pin keeps routing at the corpse), requeues the
+      dead channel's backlog along the new routes, and restarts the
+      worker — no acknowledged write is lost, and the recorded history
+      stays linearizable.
 
     On a many-core machine this is a usable (if minimal) concurrent KVS;
     on a single core it still exercises every synchronisation path via
@@ -40,12 +50,28 @@ type config = {
   n_workers : int;
   n_buckets : int;
   n_partitions : int;
-  compaction : bool;
-  max_batch : int;  (** cap on writes compacted into one batched update *)
+  crew : C4_crew.Config.t;
+      (** the shared d-CREW policy configuration — the same record type
+          the model server takes, so the two engines cannot drift on
+          thresholds. Compaction on/off and the batch cap now live
+          here. The EWT capacity is raised to [n_partitions] at start
+          if smaller: the runtime's table is bookkeeping, not a scarce
+          CAM *)
   recovery : bool;  (** run the crash-monitor domain (default true) *)
   monitor_interval : float;  (** seconds between monitor sweeps *)
+  clock : unit -> float;
+      (** the time source fed to the policy core, in ns. Defaults to
+          wall clock; the parity test injects a logical clock so both
+          engines see the same timestamps *)
+  on_decision : (C4_crew.Decision.t -> unit) option;
+      (** called with every policy decision the core takes, in decision
+          order — the differential parity test's recorder. Called with
+          [route_lock] held for routing decisions; keep it cheap *)
 }
 
+(** 4 workers, {!C4_crew.Config.queued} policy profile (compaction on,
+    effectively unbounded outstanding-write counters — the channels
+    provide the backpressure), recovery on, wall clock. *)
 val default_config : config
 
 (** Start the worker domains (plus the monitor when [recovery]). *)
@@ -74,6 +100,26 @@ val delete_async : t -> key:int -> bool Promise.t
     apply, so acknowledged writes survive by construction) and the
     monitor recovers as described above. *)
 val inject_crash : t -> worker:int -> unit
+
+(** Park a worker: the call blocks until the worker has entered the
+    gate, then returns a release closure. While parked the worker pops
+    nothing, so ops submitted to it queue in its channel — the
+    deterministic-replay hook the parity test uses to force a harvest
+    batch. The caller MUST invoke the release before {!stop} (a parked
+    worker never drains its backlog). *)
+val pause_worker : t -> worker:int -> unit -> unit
+
+(** Run the core's EWT TTL staleness sweep at logical time [now];
+    returns the evicted partitions (ascending). Exposed for harnesses
+    and tests — the server does not tick this itself. *)
+val sweep_stale : t -> now:float -> int list
+
+(** Run the core's load-shed check at logical time [now]; returns the
+    (possibly new) level. Exposed for harnesses — this server never
+    rejects on shed itself (its channels backpressure instead). *)
+val shed_check : t -> now:float -> int
+
+val shed_level : t -> int
 
 (** Drain queues, join the domains. Two-phase: [stop] first rejects new
     submissions (they raise {!Stopped}), then lets the still-running
@@ -108,8 +154,9 @@ val stats : t -> stats
 (** Workers currently marked alive (exposed for tests). *)
 val alive_workers : t -> int
 
-(** The worker that owns a key's partition (CREW routing; exposed for
-    tests). After a recovery this reflects the re-owned map. *)
+(** The worker that owns a key's partition — the core's pin-aware
+    ownership view ([Core.route_owner]), which the network stack also
+    routes through. After a recovery this reflects the re-owned map. *)
 val owner_of_key : t -> int -> int
 
 (** {2 Client-side routing helpers}

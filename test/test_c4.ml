@@ -28,6 +28,7 @@ let () =
       ("cluster", Test_cluster.tests);
       ("extensions", Test_extensions.tests);
       ("size_aware", Test_size_aware.tests);
+      ("crew", Test_crew.tests);
       ("check", Test_check.tests);
       ("net", Test_net.tests);
     ]

@@ -63,9 +63,9 @@ let test_config_policies () =
   Alcotest.(check bool) "comp keeps CREW" true
     ((Config.model Config.Comp).Server.policy = Policy.Crew);
   Alcotest.(check bool) "comp enables compaction" true
-    ((Config.model Config.Comp).Server.compaction <> None);
+    ((Config.model Config.Comp).Server.crew.C4_crew.Config.compaction <> None);
   Alcotest.(check bool) "baseline has no compaction" true
-    ((Config.model Config.Baseline).Server.compaction = None);
+    ((Config.model Config.Baseline).Server.crew.C4_crew.Config.compaction = None);
   Alcotest.(check bool) "model has no cache layer" true
     ((Config.model Config.Dcrew).Server.cache = None);
   Alcotest.(check bool) "full has cache layer" true

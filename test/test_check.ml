@@ -509,6 +509,7 @@ let test_models_hold () =
   check_complete "flow" (Models.flow_control ());
   check_complete "channel" (Models.channel ());
   check_complete "promise" (Models.promise ());
+  check_complete "crew-core" (Models.crew_core ());
   check_complete "compaction" (fst (Models.compaction ()))
 
 let expect_violation ?(substring = "") name packed =
@@ -553,6 +554,13 @@ let test_promise_broken_variant () =
   ignore
     (expect_violation ~substring:"fulfil" "two-resolvers"
        (Models.promise ~broken:Models.Two_resolvers ()))
+
+let test_crew_core_broken_variant () =
+  (* The policy core's pre-resilience release protocol: a TTL sweep
+     racing [write_done ~strict:true] makes the core raise. *)
+  ignore
+    (expect_violation ~substring:"note_response" "strict-release"
+       (Models.crew_core ~broken:Models.Strict_release ()))
 
 let test_compaction_bridge_to_linearizability () =
   (* The tentpole bridge: the early-ack compaction counterexample's
@@ -603,6 +611,7 @@ let tests =
     Alcotest.test_case "models: flow-control seeded bug" `Quick test_flow_broken_variant;
     Alcotest.test_case "models: channel seeded bug" `Quick test_channel_broken_variant;
     Alcotest.test_case "models: promise seeded bug" `Quick test_promise_broken_variant;
+    Alcotest.test_case "models: crew core seeded bug" `Quick test_crew_core_broken_variant;
     Alcotest.test_case "models: compaction -> linearizability" `Quick
       test_compaction_bridge_to_linearizability;
   ]

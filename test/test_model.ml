@@ -102,7 +102,8 @@ let small_workload ?(theta = 0.0) ?(write_fraction = 0.5) ?(rate = 0.05) () =
   { Generator.default with n_keys = 50_000; n_partitions = 1024; theta; write_fraction; rate }
 
 let small_config ?(policy = Policy.Crew) ?compaction ?cache () =
-  { Server.default_config with Server.policy; compaction; cache; n_workers = 16 }
+  let crew = { C4_crew.Config.default with C4_crew.Config.compaction } in
+  { Server.default_config with Server.policy; crew; cache; n_workers = 16 }
 
 let run ?(n = 20_000) cfg wl = Server.run cfg ~workload:wl ~n_requests:n
 
@@ -219,7 +220,8 @@ let test_ewt_occupancy_tracks_load () =
 
 let test_tiny_ewt_forces_drops () =
   let cfg =
-    { (small_config ~policy:Policy.Dcrew ()) with Server.ewt_capacity = 2 }
+    let base = small_config ~policy:Policy.Dcrew () in
+    { base with Server.crew = { base.Server.crew with C4_crew.Config.ewt_capacity = 2 } }
   in
   let r = run cfg (small_workload ~rate:0.03 ()) in
   Alcotest.(check bool) "EWT exhaustion drops" true (r.Server.ewt_drops > 0)
@@ -228,7 +230,7 @@ let test_tiny_ewt_forces_drops () =
 
 let skewed ?(rate = 0.02) () = small_workload ~theta:1.3 ~write_fraction:0.3 ~rate ()
 
-let comp_config ?(compaction = Server.default_compaction) () =
+let comp_config ?(compaction = C4_crew.Config.default_compaction) () =
   small_config ~policy:Policy.Crew ~compaction ()
 
 let test_compaction_opens_windows_under_skew () =
@@ -270,7 +272,9 @@ let test_compaction_conserves_responses () =
 let test_adaptive_close_cuts_low_load_tail () =
   let wl = skewed ~rate:0.008 () in
   let p99 adaptive =
-    let compaction = { Server.default_compaction with Server.adaptive_close = adaptive } in
+    let compaction =
+      { C4_crew.Config.default_compaction with C4_crew.Config.adaptive_close = adaptive }
+    in
     Metrics.p99 (run (comp_config ~compaction ()) wl).Server.metrics
   in
   Alcotest.(check bool) "adaptive close reduces low-load p99" true (p99 true < p99 false)
@@ -285,7 +289,7 @@ let test_compaction_improves_hot_thread_under_cache_model () =
   let base = hot (small_config ~cache:C4_cache.Coherence.default_params ()) in
   let comp =
     hot
-      (small_config ~compaction:Server.default_compaction
+      (small_config ~compaction:C4_crew.Config.default_compaction
          ~cache:C4_cache.Coherence.default_params ())
   in
   Alcotest.(check bool) "hot thread accelerated by compaction" true (comp < base *. 0.8)
@@ -364,7 +368,7 @@ let prop_compaction_robust =
       let rate = float_of_int rate_scaled /. 1000.0 in
       let wl = small_workload ~theta ~write_fraction ~rate () in
       let cfg =
-        small_config ~compaction:Server.default_compaction
+        small_config ~compaction:C4_crew.Config.default_compaction
           ~cache:C4_cache.Coherence.default_params ()
       in
       let r = Server.run cfg ~workload:wl ~n_requests:5_000 in

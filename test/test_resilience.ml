@@ -195,7 +195,16 @@ let test_shedding_engages () =
   let overload =
     { workload with C4_workload.Generator.rate = 0.08 }
   in
-  let shed_server = { server with Server.shed = Some Server.default_shed } in
+  let shed_server =
+    {
+      server with
+      Server.crew =
+        {
+          server.Server.crew with
+          C4_crew.Config.shed = Some C4_crew.Config.default_shed;
+        };
+    }
+  in
   let r =
     Chaos.run ~server:shed_server ~workload:overload ~n_requests:8_000
       ~profile:Fault.none ~fault_seed:1 ()
@@ -211,7 +220,12 @@ let test_ewt_ttl_reclaims_leaks () =
     {
       server with
       Server.policy = C4_model.Policy.Dcrew;
-      ewt_ttl = Some { Server.ttl = 100_000.0; sweep_interval = 25_000.0 };
+      crew =
+        {
+          server.Server.crew with
+          C4_crew.Config.ewt_ttl =
+            Some { C4_crew.Config.ttl = 100_000.0; sweep_interval = 25_000.0 };
+        };
     }
   in
   let registry = C4_obs.Registry.create () in

@@ -224,7 +224,7 @@ let test_server_async_pipeline () =
 
 let test_server_compaction_batches () =
   with_server
-    ~cfg:{ Server.default_config with Server.n_workers = 2; compaction = true }
+    ~cfg:{ Server.default_config with Server.n_workers = 2 }
     (fun t ->
       (* Fire many async writes to one key so they pile up in the
          owner's channel, then confirm batching happened. *)
@@ -241,7 +241,13 @@ let test_server_compaction_batches () =
         (Option.map Bytes.to_string (Server.get t ~key:7)))
 
 let test_server_no_compaction_no_batches () =
-  with_server ~cfg:{ Server.default_config with Server.compaction = false } (fun t ->
+  with_server
+    ~cfg:
+      {
+        Server.default_config with
+        Server.crew = { C4_crew.Config.queued with C4_crew.Config.compaction = None };
+      }
+    (fun t ->
       List.iter Promise.await
         (List.init 200 (fun i ->
              Server.set_async t ~key:3 ~value:(Bytes.of_string (string_of_int i))));

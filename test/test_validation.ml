@@ -53,7 +53,11 @@ let simulated_mean_wait ~n_workers ~rate =
       Server.default_config with
       Server.policy = Policy.Ideal;
       n_workers;
-      jbsq_bound = 1 (* JBSQ(1) + central queue = exactly M/G/c *);
+      crew =
+        {
+          C4_crew.Config.default with
+          C4_crew.Config.jbsq_bound = 1 (* JBSQ(1) + central queue = exactly M/G/c *);
+        };
       max_outstanding = 1_000_000;
     }
   in
