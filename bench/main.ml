@@ -588,6 +588,7 @@ let microbench () =
            op = C4_net.Wire.Set;
            key = 12345;
            token = Some 99;
+           trace = None;
            value;
          }
        in
@@ -601,6 +602,7 @@ let microbench () =
              op = C4_net.Wire.Set;
              key = 12345;
              token = Some 99;
+             trace = None;
              value;
            }
        in
@@ -620,16 +622,31 @@ let microbench () =
   let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"c4" ~fmt:"%s %s" tests) in
   let results = List.map (fun i -> Analyze.all ols i raw) instances in
   let merged = Analyze.merge ols instances results in
+  let estimates = ref [] in
   Hashtbl.iter
     (fun _metric tbl ->
       let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) tbl [] in
       List.iter
         (fun (name, result) ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "  %-50s %10.1f ns/op\n" name est
+          | Some [ est ] ->
+            estimates := (name, est) :: !estimates;
+            Printf.printf "  %-50s %10.1f ns/op\n" name est
           | _ -> Printf.printf "  %-50s (no estimate)\n" name)
         (List.sort compare rows))
-    merged
+    merged;
+  List.sort compare !estimates
+
+(* Append the microbench estimates to the perf-trajectory log (JSON
+   Lines, same envelope as netbench's --bench-json records). *)
+let append_microbench_json ~path estimates =
+  let module Json = C4_obs.Json in
+  C4_obs.Benchlog.append ~path
+    (C4_obs.Benchlog.record ~kind:"microbench"
+       ~config:[ ("quota_s", Json.Float 0.25); ("limit", Json.Int 2000) ]
+       ~results:
+         (List.map (fun (name, est) -> (name, Json.Float est)) estimates));
+  Printf.printf "  appended %d estimates to %s\n" (List.length estimates) path
 
 (* ------------------------------------------------------------------ *)
 
@@ -655,6 +672,7 @@ let all_experiments =
 let () =
   let scale = ref `Quick in
   let only = ref [] in
+  let json_path = ref None in
   let rec parse = function
     | [] -> ()
     | "smoke" :: rest ->
@@ -668,6 +686,9 @@ let () =
       parse rest
     | "--csv" :: dir :: rest ->
       csv_dir := Some dir;
+      parse rest
+    | "--json" :: path :: rest ->
+      json_path := Some path;
       parse rest
     | name :: rest ->
       only := name :: !only;
@@ -683,5 +704,8 @@ let () =
   Printf.printf "C-4 evaluation reproduction — scale: %s\n"
     (match !scale with `Smoke -> "smoke" | `Quick -> "quick" | `Full -> "full");
   List.iter (fun (_, f) -> f !scale) selected;
-  if !only = [] then microbench ();
+  if !only = [] then begin
+    let estimates = microbench () in
+    Option.iter (fun path -> append_microbench_json ~path estimates) !json_path
+  end;
   Printf.printf "\nTotal: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -70,7 +70,7 @@ let partitions_arg =
 let no_compaction_arg =
   Arg.(value & flag & info [ "no-compaction" ] ~doc:"Disable write compaction.")
 
-let runtime_config n_workers n_partitions compaction =
+let runtime_config ?registry ?on_decision n_workers n_partitions compaction =
   {
     C4_runtime.Server.default_config with
     n_workers;
@@ -78,4 +78,6 @@ let runtime_config n_workers n_partitions compaction =
     crew =
       (if compaction then C4_crew.Config.queued
        else { C4_crew.Config.queued with C4_crew.Config.compaction = None });
+    registry;
+    on_decision;
   }

@@ -1,16 +1,75 @@
 (* Loopback load test: spin up the TCP server over the multicore
    runtime, drive it open-loop with the Zipf workload, report
-   throughput and latency percentiles. *)
+   throughput and latency percentiles — optionally appending the run
+   to the BENCH_net.json trajectory and exporting a stitched
+   client+server Chrome trace. *)
 
 open Cmdliner
 open Cmd_common
+module Json = C4_obs.Json
+module Span = C4_obs.Span
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+let bench_record ~n_workers ~n_partitions ~compaction ~write_frac ~theta ~rate
+    ~n_ops ~delete_frac ~conns report =
+  let open C4_net.Loadgen in
+  let hist name h = (name, Json.Obj (C4_obs.Benchlog.percentiles_of h)) in
+  C4_obs.Benchlog.record ~kind:"netbench"
+    ~config:
+      [
+        ("workers", Json.Int n_workers);
+        ("partitions", Json.Int n_partitions);
+        ("compaction", Json.Bool compaction);
+        ("write_frac_pct", Json.Float write_frac);
+        ("theta", Json.Float theta);
+        ("rate_ops_s", Json.Float rate);
+        ("n_ops", Json.Int n_ops);
+        ("delete_frac_pct", Json.Float delete_frac);
+        ("conns", Json.Int conns);
+      ]
+    ~results:
+      [
+        ("throughput_ops_s", Json.Float report.throughput);
+        ("issued", Json.Int report.issued);
+        ("completed", Json.Int report.completed);
+        ("errors", Json.Int report.errors);
+        ("unanswered", Json.Int report.unanswered);
+        ("duration_s", Json.Float report.duration_s);
+        hist "get_ns" report.get_ns;
+        hist "set_ns" report.set_ns;
+        hist "delete_ns" report.delete_ns;
+        hist "all_ns" report.all_ns;
+      ]
 
 let netbench_run n_workers n_partitions compaction write_frac theta rate n_ops
-    warmup delete_frac conns =
-  let runtime =
-    C4_runtime.Server.start (runtime_config n_workers n_partitions compaction)
+    warmup delete_frac conns bench_json trace_out =
+  let tracing = trace_out <> None in
+  let client_spans = if tracing then Some (Span.create ~process:"client" ()) else None in
+  let server_spans = if tracing then Some (Span.create ~process:"server" ()) else None in
+  let on_decision =
+    match server_spans with
+    | None -> None
+    | Some buf ->
+      (* Stamp each admission decision on the request span being
+         admitted; decisions taken with no request in flight (monitor
+         sweeps) land as free-standing events instead. *)
+      Some
+        (fun d ->
+          let s = C4_crew.Decision.to_string d in
+          if not (Span.annotate_current buf ~key:"crew" ~value:s) then
+            Span.event buf ~name:"crew" ~args:[ ("decision", s) ]
+              ~ts:(now_ns ()))
   in
-  let srv = C4_net.Server.start C4_net.Server.default_config ~runtime in
+  let runtime =
+    C4_runtime.Server.start
+      (runtime_config ?on_decision n_workers n_partitions compaction)
+  in
+  let srv =
+    C4_net.Server.start
+      { C4_net.Server.default_config with spans = server_spans }
+      ~runtime
+  in
   let client =
     C4_net.Client.create
       {
@@ -19,6 +78,7 @@ let netbench_run n_workers n_partitions compaction write_frac theta rate n_ops
         with
         conns_per_host = conns;
         retry = Some C4_resilience.Retry.default;
+        spans = client_spans;
       }
   in
   let workload =
@@ -53,6 +113,21 @@ let netbench_run n_workers n_partitions compaction write_frac theta rate n_ops
   Printf.printf "client: %d sent, %d retries, %d transport errors; server: %d protocol errors\n"
     cstats.C4_net.Client.sent cstats.C4_net.Client.retries
     cstats.C4_net.Client.transport_errors sstats.C4_net.Server.protocol_errors;
+  (match bench_json with
+  | None -> ()
+  | Some path ->
+    C4_obs.Benchlog.append ~path
+      (bench_record ~n_workers ~n_partitions ~compaction ~write_frac ~theta
+         ~rate ~n_ops ~delete_frac ~conns report);
+    Printf.printf "appended run to %s\n" path);
+  (match (trace_out, client_spans, server_spans) with
+  | Some path, Some cbuf, Some sbuf ->
+    Span.save_chrome ~extra:[ sbuf ] cbuf ~path;
+    Printf.printf "wrote stitched trace (%d client + %d server spans) to %s\n"
+      (List.length (Span.spans cbuf))
+      (List.length (Span.spans sbuf))
+      path
+  | _ -> ());
   if
     report.C4_net.Loadgen.completed = 0
     || report.C4_net.Loadgen.errors > 0
@@ -82,10 +157,20 @@ let cmd =
   let conns =
     Arg.(value & opt int 4 & info [ "conns" ] ~docv:"N" ~doc:"Pipelined connections.")
   in
+  let bench_json =
+    Arg.(value & opt (some string) None & info [ "bench-json" ] ~docv:"FILE"
+           ~doc:"Append this run's config fingerprint and results to $(docv) \
+                 as one JSON line (the perf trajectory log).")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Enable distributed tracing and write the stitched \
+                 client+server Chrome trace to $(docv).")
+  in
   let run workers partitions no_compaction write_frac theta rate n_ops warmup
-      delete_frac conns =
+      delete_frac conns bench_json trace_out =
     netbench_run workers partitions (not no_compaction) write_frac theta rate
-      n_ops warmup delete_frac conns
+      n_ops warmup delete_frac conns bench_json trace_out
   in
   Cmd.v
     (Cmd.info "netbench"
@@ -95,4 +180,5 @@ let cmd =
     Term.(
       const run $ workers_arg $ partitions_arg $ no_compaction_arg
       $ write_frac_arg ~default:30.0 ~doc:"Write percentage of the Zipf mix." ()
-      $ theta_arg ~default:0.99 () $ rate $ n_ops $ warmup $ delete_frac $ conns)
+      $ theta_arg ~default:0.99 () $ rate $ n_ops $ warmup $ delete_frac
+      $ conns $ bench_json $ trace_out)

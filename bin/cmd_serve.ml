@@ -1,14 +1,61 @@
-(* Network serving: a real TCP front-end over the multicore runtime. *)
+(* Network serving: a real TCP front-end over the multicore runtime,
+   with an optional live telemetry plane on a second port. *)
 
 open Cmdliner
 open Cmd_common
+module Json = C4_obs.Json
 
-let serve_run port n_workers n_partitions compaction duration =
+(* The /healthz document: liveness plus the load-visible runtime state
+   (shed level, inflight, per-worker ownership census). *)
+let health_doc ~t0 ~runtime ~srv () =
+  let sstats = C4_net.Server.stats srv in
+  let rstats = C4_runtime.Server.stats runtime in
+  let ownership =
+    Array.to_list (C4_runtime.Server.ownership_counts runtime)
+  in
+  Json.Obj
+    [
+      ("status", Json.Str "ok");
+      ("uptime_s", Json.Float (Unix.gettimeofday () -. t0));
+      ("port", Json.Int (C4_net.Server.port srv));
+      ("conns_active", Json.Int sstats.C4_net.Server.conns_active);
+      ("conns_accepted", Json.Int sstats.C4_net.Server.conns_accepted);
+      ("requests", Json.Int sstats.C4_net.Server.requests);
+      ("inflight", Json.Int sstats.C4_net.Server.inflight);
+      ("protocol_errors", Json.Int sstats.C4_net.Server.protocol_errors);
+      ("shed_level", Json.Int (C4_runtime.Server.shed_level runtime));
+      ("alive_workers", Json.Int (C4_runtime.Server.alive_workers runtime));
+      ("recoveries", Json.Int rstats.C4_runtime.Server.recoveries);
+      ( "ownership_counts",
+        Json.List (List.map (fun c -> Json.Int c) ownership) );
+    ]
+
+let serve_run port telemetry_port n_workers n_partitions compaction duration =
+  let t0 = Unix.gettimeofday () in
+  (* One shared thread-safe registry: crew.* (runtime), net.* (server)
+     and the telemetry endpoint all see the same metric namespace. *)
+  let registry = C4_obs.Registry.create ~thread_safe:true () in
   let runtime =
-    C4_runtime.Server.start (runtime_config n_workers n_partitions compaction)
+    C4_runtime.Server.start
+      (runtime_config ~registry n_workers n_partitions compaction)
   in
   let srv =
-    C4_net.Server.start { C4_net.Server.default_config with port } ~runtime
+    C4_net.Server.start ~registry
+      { C4_net.Server.default_config with port }
+      ~runtime
+  in
+  let telemetry =
+    match telemetry_port with
+    | None -> None
+    | Some tport ->
+      let tel =
+        C4_obs.Telemetry.start ~port:tport ~registry
+          ~health:(health_doc ~t0 ~runtime ~srv)
+          ()
+      in
+      Printf.printf "telemetry on http://127.0.0.1:%d (/metrics, /healthz)\n%!"
+        (C4_obs.Telemetry.port tel);
+      Some tel
   in
   Printf.printf "c4 server listening on 127.0.0.1:%d (%d workers, %d partitions%s)\n%!"
     (C4_net.Server.port srv) n_workers n_partitions
@@ -23,8 +70,10 @@ let serve_run port n_workers n_partitions compaction duration =
     while not (Atomic.get stop_flag) do
       try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
     done);
-  (* Net layer first, runtime second: the drain order that guarantees
-     every accepted request is answered before workers tear down. *)
+  (* Telemetry first (health reads server stats), then net layer, then
+     runtime: the drain order that guarantees every accepted request is
+     answered before workers tear down. *)
+  Option.iter C4_obs.Telemetry.stop telemetry;
   C4_net.Server.stop srv;
   C4_runtime.Server.stop runtime;
   let st = C4_net.Server.stats srv in
@@ -40,14 +89,22 @@ let cmd =
     Arg.(value & opt int 4150 & info [ "p"; "port" ] ~docv:"PORT"
            ~doc:"TCP port to listen on (0 = ephemeral).")
   in
+  let telemetry_port =
+    Arg.(value & opt (some int) None & info [ "telemetry-port" ] ~docv:"PORT"
+           ~doc:"Serve Prometheus /metrics and JSON /healthz over HTTP on \
+                 $(docv) (0 = ephemeral; default: no telemetry listener).")
+  in
   let duration =
     Arg.(value & opt (some float) None & info [ "duration" ] ~docv:"SECONDS"
            ~doc:"Serve for $(docv) then drain and exit (default: until SIGINT).")
   in
-  let run port workers partitions no_compaction duration =
-    serve_run port workers partitions (not no_compaction) duration
+  let run port telemetry_port workers partitions no_compaction duration =
+    serve_run port telemetry_port workers partitions (not no_compaction) duration
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Serve the multicore KVS over TCP (CREW routing, compaction, recovery).")
-    Term.(const run $ port $ workers_arg $ partitions_arg $ no_compaction_arg $ duration)
+       ~doc:"Serve the multicore KVS over TCP (CREW routing, compaction, \
+             recovery), optionally exposing live telemetry on a second port.")
+    Term.(
+      const run $ port $ telemetry_port $ workers_arg $ partitions_arg
+      $ no_compaction_arg $ duration)

@@ -84,6 +84,11 @@ let n_partitions t = t.n_partitions
 
 let assigned_owner t ~partition = t.owners.(partition)
 
+let ownership_counts t =
+  let counts = Array.make t.n_workers 0 in
+  Array.iter (fun w -> counts.(w) <- counts.(w) + 1) t.owners;
+  counts
+
 let route_owner t ~partition =
   match Ewt.lookup t.ewt ~partition with
   | Some owner -> owner

@@ -96,6 +96,13 @@ val n_partitions : t -> int
 (** Durable assignment of [partition]. *)
 val assigned_owner : t -> partition:int -> int
 
+(** Per-worker durable-assignment census: [counts.(w)] partitions are
+    assigned to worker [w] (they sum to [n_partitions]). The balance —
+    and, after a {!reassign}, the skew — a telemetry plane should show.
+    Snapshot semantics only under the engine's routing lock, like every
+    other read of the ownership map. *)
+val ownership_counts : t -> int array
+
 (** Pin-aware view: the EWT pin when one exists (it always agrees with
     the durable assignment under static pinning), else the durable
     assignment. This is the ownership view the network stack routes

@@ -1,6 +1,7 @@
 module Sync = C4_runtime.Sync
 module Promise = C4_runtime.Promise
 module Retry = C4_resilience.Retry
+module Span = C4_obs.Span
 
 type config = {
   hosts : (string * int) list;
@@ -8,10 +9,27 @@ type config = {
   max_frame : int;
   retry : Retry.config option;
   retry_seed : int;
+  spans : Span.t option;
 }
 
 let default_config ~hosts =
-  { hosts; conns_per_host = 1; max_frame = 1 lsl 20; retry = None; retry_seed = 1 }
+  {
+    hosts;
+    conns_per_host = 1;
+    max_frame = 1 lsl 20;
+    retry = None;
+    retry_seed = 1;
+    spans = None;
+  }
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+let op_name = function Wire.Get -> "GET" | Wire.Set -> "SET" | Wire.Delete -> "DELETE"
+
+let status_name = function
+  | Wire.Ok -> "ok"
+  | Wire.Not_found -> "not_found"
+  | Wire.Err -> "err"
 
 type conn = {
   c_fd : Unix.file_descr;
@@ -197,9 +215,39 @@ let conn_of t slot =
           slot.s_conn <- None;
           e))
 
-let dispatch_with t ~id ~op ~key ~value ~token ~on_response =
+let dispatch_with t ~id ~op ~key ~value ~token ~parent ~on_response =
   if op <> Wire.Set && Bytes.length value > 0 then
     invalid_arg "Net.Client.dispatch: value on non-SET";
+  (* The client span is the root of the request's trace (or a child of
+     [parent] when the caller is itself traced): it opens before the
+     frame is built, covers client queueing + wire transit + server
+     time, and closes in the reader thread with the response. Its
+     context rides the wire so the server's spans parent under it. *)
+  let sp =
+    match t.cfg.spans with
+    | None -> None
+    | Some buf ->
+      let s = Span.start ?parent buf ~name:"client.dispatch" ~ts:(now_ns ()) in
+      Span.annotate buf s ~key:"op" ~value:(op_name op);
+      Span.annotate buf s ~key:"key" ~value:(string_of_int key);
+      Span.annotate buf s ~key:"req_id" ~value:(string_of_int id);
+      Some (buf, s)
+  in
+  let trace =
+    Option.map
+      (fun (_, s) ->
+        let c = Span.context s in
+        { Wire.trace_id = c.Span.trace_id; parent_span = c.Span.span_id })
+      sp
+  in
+  let on_response resp =
+    (match sp with
+    | None -> ()
+    | Some (buf, s) ->
+      Span.annotate buf s ~key:"status" ~value:(status_name resp.Wire.status);
+      Span.finish buf s ~ts:(now_ns ()));
+    on_response resp
+  in
   if Atomic.get t.closed then begin
     on_response (synth_err id "client closed");
     id
@@ -212,7 +260,7 @@ let dispatch_with t ~id ~op ~key ~value ~token ~on_response =
       Atomic.incr t.n_transport_errors;
       on_response (synth_err id msg)
     | Ok conn ->
-      let frame = Wire.encode_request t.wire { Wire.id; op; key; token; value } in
+      let frame = Wire.encode_request t.wire { Wire.id; op; key; token; trace; value } in
       let sent =
         Sync.with_lock conn.c_lock (fun () ->
             if not (Atomic.get conn.c_alive) then false
@@ -234,9 +282,9 @@ let dispatch_with t ~id ~op ~key ~value ~token ~on_response =
     id
   end
 
-let dispatch t ~op ~key ?(value = Bytes.empty) ?token ~on_response () =
+let dispatch t ~op ~key ?(value = Bytes.empty) ?token ?parent ~on_response () =
   let id = Atomic.fetch_and_add t.next_id 1 in
-  dispatch_with t ~id ~op ~key ~value ~token ~on_response
+  dispatch_with t ~id ~op ~key ~value ~token ~parent ~on_response
 
 (* ---- synchronous retrying calls ---- *)
 
@@ -247,7 +295,7 @@ let once t ~id ~op ~key ~value ~token =
   in
   let p = Promise.create () in
   let (_ : int) =
-    dispatch_with t ~id ~op ~key ~value ~token ~on_response:(fun r ->
+    dispatch_with t ~id ~op ~key ~value ~token ~parent:None ~on_response:(fun r ->
         Promise.fulfil p r)
   in
   (id, Promise.await p)

@@ -25,9 +25,17 @@ type config = {
   retry : C4_resilience.Retry.config option;
       (** [None] = fail fast, no retries, no tokens *)
   retry_seed : int;  (** jitter determinism for {!C4_resilience.Retry.backoff_ns} *)
+  spans : C4_obs.Span.t option;
+      (** when set, every dispatch opens a [client.dispatch] span in
+          this buffer and propagates its context in-band
+          ({!Wire.request}[.trace]), making the client the root of a
+          cross-process trace the server's spans stitch onto. [None]
+          (the default) keeps the wire format at version 1 and costs
+          nothing. *)
 }
 
-(** One connection per host, 1 MiB frames, no retry, seed 1. *)
+(** One connection per host, 1 MiB frames, no retry, seed 1, no span
+    buffer. *)
 val default_config : hosts:(string * int) list -> config
 
 type t
@@ -47,13 +55,17 @@ val node_of : t -> key:int -> int
     thread when the response arrives (or, on a transport failure, with
     a synthesised [Err] response — every dispatch gets exactly one
     callback). Raises [Invalid_argument] if [value] is given for a
-    non-SET op. *)
+    non-SET op.
+
+    With {!config.spans} set, the dispatch's span starts a fresh trace,
+    or joins the caller's when [parent] is given. *)
 val dispatch :
   t ->
   op:Wire.op ->
   key:int ->
   ?value:bytes ->
   ?token:int ->
+  ?parent:C4_obs.Span.context ->
   on_response:(Wire.response -> unit) ->
   unit ->
   int

@@ -5,6 +5,7 @@ type callbacks = {
   handle : Wire.request -> (unit -> Wire.response);
   on_bytes_in : int -> unit;
   on_bytes_out : int -> unit;
+  on_response_written : Wire.response -> unit;
   on_protocol_error : string -> unit;
   on_closed : unit -> unit;
 }
@@ -52,6 +53,10 @@ let writer_loop t () =
           ok
         end
       in
+      (* Written or abandoned (dead peer), the response's lifecycle is
+         over — the instrumentation hook fires either way, so a span
+         covering the respond stage always closes. *)
+      t.cb.on_response_written resp;
       loop alive
   in
   loop true

@@ -26,6 +26,12 @@ type callbacks = {
           return the awaiting thunk, which the writer runs) *)
   on_bytes_in : int -> unit;
   on_bytes_out : int -> unit;
+  on_response_written : Wire.response -> unit;
+      (** called in the writer thread once this response's write
+          completed (or was abandoned because the peer is gone) —
+          responses on one connection finish strictly in arrival order,
+          so this hook sees them in wire order. Tracing uses it to
+          close the respond span. *)
   on_protocol_error : string -> unit;
   on_closed : unit -> unit;  (** both threads done, socket closed *)
 }

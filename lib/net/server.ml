@@ -2,11 +2,18 @@ module Runtime = C4_runtime.Server
 module Promise = C4_runtime.Promise
 module Sync = C4_runtime.Sync
 module Registry = C4_obs.Registry
+module Span = C4_obs.Span
 
-type config = { host : string; port : int; backlog : int; max_frame : int }
+type config = {
+  host : string;
+  port : int;
+  backlog : int;
+  max_frame : int;
+  spans : Span.t option;
+}
 
 let default_config =
-  { host = "127.0.0.1"; port = 0; backlog = 64; max_frame = 1 lsl 20 }
+  { host = "127.0.0.1"; port = 0; backlog = 64; max_frame = 1 lsl 20; spans = None }
 
 type metrics = {
   conns_accepted_c : Registry.counter;
@@ -19,6 +26,7 @@ type metrics = {
   get_h : Registry.histogram;
   set_h : Registry.histogram;
   delete_h : Registry.histogram;
+  routed_c : Registry.counter array;  (* per-worker mutation attribution *)
 }
 
 type t = {
@@ -41,7 +49,7 @@ type t = {
 
 let now_ns () = Unix.gettimeofday () *. 1e9
 
-let metrics_of reg =
+let metrics_of reg ~n_workers =
   {
     conns_accepted_c = Registry.counter reg "net.conns_accepted";
     conns_active_g = Registry.gauge reg "net.conns_active";
@@ -53,16 +61,23 @@ let metrics_of reg =
     get_h = Registry.histogram reg "net.get_ns";
     set_h = Registry.histogram reg "net.set_ns";
     delete_h = Registry.histogram reg "net.delete_ns";
+    (* Eagerly registered for every worker the runtime was started
+       with: a telemetry scrape sees all owners at zero from the first
+       request, and a routed count can only ever land on a real worker
+       id — never a dangling one minted from a stale ownership view. *)
+    routed_c =
+      Array.init n_workers (fun w ->
+          Registry.counter reg (Printf.sprintf "net.routed_w%d" w));
   }
 
 (* Count each mutation against the worker the policy core's ownership
    view routes it to ([Runtime.owner_of_key] = the core's pin-aware
-   [route_owner]). Registration is find-or-create, so the per-owner
-   counters appear lazily as owners are first routed to; after a crash
-   recovery the counts visibly migrate to the survivor. *)
+   [route_owner]). After a crash recovery the remap changes what
+   [owner_of_key] returns, so the counts visibly migrate to the
+   survivor while the dead worker's counter freezes. *)
 let note_routed t key =
   let owner = Runtime.owner_of_key t.runtime key in
-  Registry.incr (Registry.counter t.reg (Printf.sprintf "net.routed_w%d" owner))
+  Registry.incr t.m.routed_c.(owner)
 
 let err_response id msg =
   {
@@ -72,12 +87,83 @@ let err_response id msg =
     resp_value = Bytes.of_string msg;
   }
 
+let op_name = function Wire.Get -> "GET" | Wire.Set -> "SET" | Wire.Delete -> "DELETE"
+
+let status_name = function
+  | Wire.Ok -> "ok"
+  | Wire.Not_found -> "not_found"
+  | Wire.Err -> "err"
+
+(* Per-request server spans, built only when the server has a span
+   buffer AND the request carried a trace context to adopt:
+
+     server.recv    decode + crew admission (the submit), child of the
+                    client's in-band context; admission decisions the
+                    policy core emits on the submitting thread land
+                    here as annotations via [Span.with_current]
+     server.apply   submission to promise fulfilment (queueing +
+                    store apply, compaction windows included)
+     server.respond response serialisation + socket write, closed by
+                    the connection writer's [on_response_written]
+
+   Each parents on the previous, so the client's dispatch span and
+   these three form one chain walkable from either end. *)
+type req_trace = { tr_buf : Span.t; tr_recv : Span.span }
+
+let start_trace t (req : Wire.request) ~ts =
+  match (t.cfg.spans, req.Wire.trace) with
+  | Some buf, Some ctx ->
+    let parent =
+      { Span.trace_id = ctx.Wire.trace_id; span_id = ctx.Wire.parent_span }
+    in
+    let recv = Span.start ~parent buf ~name:"server.recv" ~ts in
+    Span.annotate buf recv ~key:"op" ~value:(op_name req.Wire.op);
+    Span.annotate buf recv ~key:"key" ~value:(string_of_int req.Wire.key);
+    Span.annotate buf recv ~key:"req_id" ~value:(string_of_int req.Wire.id);
+    Some { tr_buf = buf; tr_recv = recv }
+  | _ -> None
+
+(* Run the runtime submission with the recv span current on this (conn
+   reader) thread, so the policy core's on_decision hook can annotate
+   it; the recv span closes when the submission returns, Stopped
+   included. *)
+let traced_submit tr f =
+  match tr with
+  | None -> f ()
+  | Some { tr_buf; tr_recv } ->
+    Fun.protect
+      ~finally:(fun () -> Span.finish tr_buf tr_recv ~ts:(now_ns ()))
+      (fun () -> Span.with_current tr_buf tr_recv f)
+
+(* Wrap the writer-side thunk: the apply span opens now (submission
+   done), closes when the thunk's await returns; the respond span is
+   parked in the connection's cell for [on_response_written]. *)
+let traced_thunk tr respond_cell thunk =
+  match tr with
+  | None -> thunk
+  | Some { tr_buf; tr_recv } ->
+    let apply =
+      Span.start ~parent:(Span.context tr_recv) tr_buf ~name:"server.apply"
+        ~ts:(now_ns ())
+    in
+    fun () ->
+      let resp = thunk () in
+      let now = now_ns () in
+      Span.finish tr_buf apply ~ts:now;
+      let respond =
+        Span.start ~parent:(Span.context apply) tr_buf ~name:"server.respond" ~ts:now
+      in
+      Span.annotate tr_buf respond ~key:"status" ~value:(status_name resp.Wire.status);
+      respond_cell := Some (tr_buf, respond);
+      resp
+
 (* Submit one decoded request to the runtime. Called in the connection's
    reader thread; must not block, so it returns the thunk the writer
    awaits. Inflight counts submitted-but-unanswered requests. *)
-let handle t (req : Wire.request) =
+let handle t respond_cell (req : Wire.request) =
   Registry.incr t.m.requests_c;
   let start = now_ns () in
+  let tr = start_trace t req ~ts:start in
   let finish hist =
     let dt = now_ns () -. start in
     Registry.observe hist dt;
@@ -85,59 +171,63 @@ let handle t (req : Wire.request) =
     int_of_float dt
   in
   Registry.set t.m.inflight_g (float_of_int (Atomic.fetch_and_add t.inflight 1 + 1));
-  match req.Wire.op with
-  | Wire.Get -> (
-    match Runtime.get_async t.runtime ~key:req.Wire.key with
-    | promise ->
-      fun () ->
-        let value = Promise.await promise in
-        let timing_ns = finish t.m.get_h in
-        (match value with
-        | Some v ->
-          { Wire.resp_id = req.Wire.id; status = Wire.Ok; timing_ns; resp_value = v }
-        | None ->
+  let thunk =
+    match req.Wire.op with
+    | Wire.Get -> (
+      match traced_submit tr (fun () -> Runtime.get_async t.runtime ~key:req.Wire.key) with
+      | promise ->
+        fun () ->
+          let value = Promise.await promise in
+          let timing_ns = finish t.m.get_h in
+          (match value with
+          | Some v ->
+            { Wire.resp_id = req.Wire.id; status = Wire.Ok; timing_ns; resp_value = v }
+          | None ->
+            {
+              Wire.resp_id = req.Wire.id;
+              status = Wire.Not_found;
+              timing_ns;
+              resp_value = Bytes.empty;
+            })
+      | exception Runtime.Stopped ->
+        fun () ->
+          ignore (finish t.m.get_h);
+          err_response req.Wire.id "server shutting down")
+    | Wire.Set -> (
+      note_routed t req.Wire.key;
+      match
+        traced_submit tr (fun () ->
+            Runtime.set_async ?token:req.Wire.token t.runtime ~key:req.Wire.key
+              ~value:req.Wire.value)
+      with
+      | promise ->
+        fun () ->
+          Promise.await promise;
+          let timing_ns = finish t.m.set_h in
+          { Wire.resp_id = req.Wire.id; status = Wire.Ok; timing_ns; resp_value = Bytes.empty }
+      | exception Runtime.Stopped ->
+        fun () ->
+          ignore (finish t.m.set_h);
+          err_response req.Wire.id "server shutting down")
+    | Wire.Delete -> (
+      note_routed t req.Wire.key;
+      match traced_submit tr (fun () -> Runtime.delete_async t.runtime ~key:req.Wire.key) with
+      | promise ->
+        fun () ->
+          let present = Promise.await promise in
+          let timing_ns = finish t.m.delete_h in
           {
             Wire.resp_id = req.Wire.id;
-            status = Wire.Not_found;
+            status = (if present then Wire.Ok else Wire.Not_found);
             timing_ns;
             resp_value = Bytes.empty;
-          })
-    | exception Runtime.Stopped ->
-      fun () ->
-        ignore (finish t.m.get_h);
-        err_response req.Wire.id "server shutting down")
-  | Wire.Set -> (
-    note_routed t req.Wire.key;
-    match
-      Runtime.set_async ?token:req.Wire.token t.runtime ~key:req.Wire.key
-        ~value:req.Wire.value
-    with
-    | promise ->
-      fun () ->
-        Promise.await promise;
-        let timing_ns = finish t.m.set_h in
-        { Wire.resp_id = req.Wire.id; status = Wire.Ok; timing_ns; resp_value = Bytes.empty }
-    | exception Runtime.Stopped ->
-      fun () ->
-        ignore (finish t.m.set_h);
-        err_response req.Wire.id "server shutting down")
-  | Wire.Delete -> (
-    note_routed t req.Wire.key;
-    match Runtime.delete_async t.runtime ~key:req.Wire.key with
-    | promise ->
-      fun () ->
-        let present = Promise.await promise in
-        let timing_ns = finish t.m.delete_h in
-        {
-          Wire.resp_id = req.Wire.id;
-          status = (if present then Wire.Ok else Wire.Not_found);
-          timing_ns;
-          resp_value = Bytes.empty;
-        }
-    | exception Runtime.Stopped ->
-      fun () ->
-        ignore (finish t.m.delete_h);
-        err_response req.Wire.id "server shutting down")
+          }
+      | exception Runtime.Stopped ->
+        fun () ->
+          ignore (finish t.m.delete_h);
+          err_response req.Wire.id "server shutting down")
+  in
+  traced_thunk tr respond_cell thunk
 
 let spawn_conn t fd =
   Sync.with_lock t.conns_lock (fun () ->
@@ -146,11 +236,22 @@ let spawn_conn t fd =
       Registry.incr t.m.conns_accepted_c;
       t.active <- t.active + 1;
       Registry.set t.m.conns_active_g (float_of_int t.active);
+      (* The respond-span hand-off cell: set by the thunk and cleared by
+         on_response_written, both on this connection's writer thread,
+         strictly alternating — so a plain ref needs no lock. *)
+      let respond_cell = ref None in
       let cb =
         {
-          Conn.handle = handle t;
+          Conn.handle = handle t respond_cell;
           on_bytes_in = (fun n -> Registry.incr ~by:n t.m.bytes_in_c);
           on_bytes_out = (fun n -> Registry.incr ~by:n t.m.bytes_out_c);
+          on_response_written =
+            (fun _resp ->
+              match !respond_cell with
+              | None -> ()
+              | Some (buf, sp) ->
+                respond_cell := None;
+                Span.finish buf sp ~ts:(now_ns ()));
           on_protocol_error =
             (fun _msg -> Registry.incr t.m.protocol_errors_c);
           on_closed =
@@ -211,7 +312,7 @@ let start ?registry cfg ~runtime =
       listen_fd;
       bound_port;
       reg;
-      m = metrics_of reg;
+      m = metrics_of reg ~n_workers:(Runtime.n_workers runtime);
       conns = Hashtbl.create 64;
       conns_lock = Mutex.create ();
       next_conn = 0;
@@ -254,6 +355,7 @@ type stats = {
   conns_accepted : int;
   conns_active : int;
   requests : int;
+  inflight : int;
   bytes_in : int;
   bytes_out : int;
   protocol_errors : int;
@@ -264,6 +366,7 @@ let stats t =
     conns_accepted = Registry.counter_value t.m.conns_accepted_c;
     conns_active = Sync.with_lock t.conns_lock (fun () -> t.active);
     requests = Registry.counter_value t.m.requests_c;
+    inflight = Atomic.get t.inflight;
     bytes_in = Registry.counter_value t.m.bytes_in_c;
     bytes_out = Registry.counter_value t.m.bytes_out_c;
     protocol_errors = Registry.counter_value t.m.protocol_errors_c;

@@ -26,19 +26,35 @@
     [net.bytes_out], [net.inflight], [net.protocol_errors],
     [net.requests], and per-op service-time histograms [net.get_ns],
     [net.set_ns], [net.delete_ns]. Each mutation additionally bumps a
-    lazily-registered [net.routed_w<i>] counter for the worker the
-    d-CREW policy core's ownership view ([C4_runtime.Server.owner_of_key],
-    i.e. [C4_crew.Core.route_owner]) routes it to — after a crash
-    recovery the counts visibly migrate to the surviving owner. *)
+    [net.routed_w<i>] counter for the worker the d-CREW policy core's
+    ownership view ([C4_runtime.Server.owner_of_key], i.e.
+    [C4_crew.Core.route_owner]) routes it to. One counter per worker is
+    registered eagerly at start, so a telemetry scrape sees every owner
+    from the first request and a count can never land on a dangling
+    worker id — after a crash recovery the counts visibly migrate to
+    the surviving owner while the dead worker's counter freezes.
+
+    Tracing: with {!config.spans} set, a request that arrives carrying
+    a {!Wire.trace_context} grows a three-span chain in the buffer —
+    [server.recv] (decode + crew admission, annotated with the policy
+    decisions taken while submitting, parented on the client's in-band
+    context), [server.apply] (submission to promise fulfilment) and
+    [server.respond] (closed when the connection writer finished
+    writing the response) — one connected chain with the client's
+    dispatch span. Context-free requests trace nothing. *)
 
 type config = {
   host : string;  (** address to bind, e.g. "127.0.0.1" *)
   port : int;  (** 0 = pick an ephemeral port (see {!port}) *)
   backlog : int;
   max_frame : int;  (** connection-fatal bound on frame size *)
+  spans : C4_obs.Span.t option;
+      (** adopt incoming trace contexts into this buffer; [None] (the
+          default) disables server-side tracing *)
 }
 
-(** Loopback, ephemeral port, 64-deep backlog, 1 MiB frames. *)
+(** Loopback, ephemeral port, 64-deep backlog, 1 MiB frames, no span
+    buffer. *)
 val default_config : config
 
 type t
@@ -61,6 +77,7 @@ type stats = {
   conns_accepted : int;
   conns_active : int;
   requests : int;  (** frames decoded and submitted *)
+  inflight : int;  (** submitted but not yet answered *)
   bytes_in : int;
   bytes_out : int;
   protocol_errors : int;

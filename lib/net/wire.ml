@@ -2,11 +2,14 @@ module Header = C4_nic.Header
 
 type op = Get | Set | Delete
 
+type trace_context = { trace_id : int; parent_span : int }
+
 type request = {
   id : int;
   op : op;
   key : int;
   token : int option;
+  trace : trace_context option;
   value : bytes;
 }
 
@@ -19,7 +22,8 @@ type response = {
   resp_value : bytes;
 }
 
-let version = 1
+let version = 2
+let min_version = 1
 
 type t = {
   layout : Header.layout;
@@ -83,11 +87,11 @@ let op_of_header = function
   | `Write -> Set
   | `Delete -> Delete
 
-let frame_of_body body =
+let frame_of_body ~version:v body =
   let n = Bytes.length body in
   let frame = Bytes.create (4 + 1 + n) in
   put_le frame ~off:0 ~len:4 (n + 1);
-  Bytes.set frame 4 (Char.chr version);
+  Bytes.set frame 4 (Char.chr v);
   Bytes.blit body 0 frame 5 n;
   frame
 
@@ -108,21 +112,39 @@ let encode_request t r =
     if Bytes.length r.value > 0 then
       invalid_arg "Wire.encode_request: GET/DELETE carry no value");
   let token_bytes = match r.token with None -> 0 | Some _ -> 8 in
+  let trace_bytes = match r.trace with None -> 0 | Some _ -> 16 in
   let body =
-    Bytes.make (t.header_size + 8 + 1 + token_bytes + Bytes.length r.value) '\000'
+    Bytes.make
+      (t.header_size + 8 + 1 + token_bytes + trace_bytes + Bytes.length r.value)
+      '\000'
   in
   Bytes.set body t.layout.Header.opcode_offset (opcode_byte r.op);
   put_le body ~off:t.layout.Header.key_offset ~len:kl r.key;
   put_le body ~off:t.header_size ~len:8 r.id;
+  let flags =
+    (if r.token = None then 0 else 1) lor if r.trace = None then 0 else 2
+  in
+  Bytes.set body (t.header_size + 8) (Char.chr flags);
   (match r.token with
   | None -> ()
   | Some tok ->
     if tok < 0 then invalid_arg "Wire.encode_request: negative token";
-    Bytes.set body (t.header_size + 8) '\001';
     put_le body ~off:(t.header_size + 9) ~len:8 tok);
-  Bytes.blit r.value 0 body (t.header_size + 9 + token_bytes) (Bytes.length r.value);
+  (match r.trace with
+  | None -> ()
+  | Some ctx ->
+    if ctx.trace_id < 0 || ctx.parent_span < 0 then
+      invalid_arg "Wire.encode_request: negative trace context id";
+    put_le body ~off:(t.header_size + 9 + token_bytes) ~len:8 ctx.trace_id;
+    put_le body ~off:(t.header_size + 9 + token_bytes + 8) ~len:8 ctx.parent_span);
+  Bytes.blit r.value 0 body
+    (t.header_size + 9 + token_bytes + trace_bytes)
+    (Bytes.length r.value);
   check_frame_size t body;
-  frame_of_body body
+  (* Trace-context-free requests still frame as version 1 — byte-
+     identical to what a v1 encoder produces, so old decoders keep
+     working until a frame actually carries the new field. *)
+  frame_of_body ~version:(if r.trace = None then min_version else version) body
 
 let decode_request t body =
   let fixed = t.header_size + 8 + 1 in
@@ -137,23 +159,33 @@ let decode_request t body =
       in
       let id = get_le body ~off:t.header_size ~len:8 in
       let flags = Char.code (Bytes.get body (t.header_size + 8)) in
-      if flags land lnot 1 <> 0 then Error (Printf.sprintf "unknown flags 0x%02x" flags)
+      if flags land lnot 3 <> 0 then Error (Printf.sprintf "unknown flags 0x%02x" flags)
       else begin
         let token_bytes = if flags land 1 = 1 then 8 else 0 in
-        if Bytes.length body < fixed + token_bytes then
-          Error "request body truncated inside token"
+        let trace_bytes = if flags land 2 = 2 then 16 else 0 in
+        if Bytes.length body < fixed + token_bytes + trace_bytes then
+          Error "request body truncated inside token/trace context"
         else begin
           let token =
             if token_bytes = 0 then None else Some (get_le body ~off:fixed ~len:8)
           in
-          let value_off = fixed + token_bytes in
+          let trace =
+            if trace_bytes = 0 then None
+            else
+              Some
+                {
+                  trace_id = get_le body ~off:(fixed + token_bytes) ~len:8;
+                  parent_span = get_le body ~off:(fixed + token_bytes + 8) ~len:8;
+                }
+          in
+          let value_off = fixed + token_bytes + trace_bytes in
           let value = Bytes.sub body value_off (Bytes.length body - value_off) in
           match op with
-          | Set -> Ok { id; op; key; token; value }
+          | Set -> Ok { id; op; key; token; trace; value }
           | Get | Delete ->
             if Bytes.length value > 0 then
               Error "GET/DELETE request carries a value"
-            else Ok { id; op; key; token; value = Bytes.empty }
+            else Ok { id; op; key; token; trace; value = Bytes.empty }
         end
       end
     | c -> Error (Printf.sprintf "unknown opcode %d" c)
@@ -182,7 +214,8 @@ let encode_response t r =
   put_le body ~off:(t.resp_size + 8) ~len:8 r.timing_ns;
   Bytes.blit r.resp_value 0 body (t.resp_size + 16) (Bytes.length r.resp_value);
   check_frame_size t body;
-  frame_of_body body
+  (* Responses carry nothing v2 added; keep them decodable by v1 peers. *)
+  frame_of_body ~version:min_version body
 
 let decode_response t body =
   let fixed = t.resp_size + 16 in
@@ -270,7 +303,7 @@ module Decoder = struct
         else if d.len < 4 + frame_len then `Awaiting
         else begin
           let v = Char.code (Bytes.get d.buf (d.start + 4)) in
-          if v <> version then begin
+          if v < min_version || v > version then begin
             let msg = Printf.sprintf "unknown protocol version %d" v in
             d.corrupt <- Some msg;
             `Corrupt msg

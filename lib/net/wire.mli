@@ -15,13 +15,23 @@
     bytes the TCP server decodes — the paper's premise that NIC and
     software agree on one fixed layout (Sec. 5.1), made literal. After
     the fixed header come the request id (8 B LE), a flags byte (bit 0:
-    idempotency token present), the optional token (8 B LE), and the
-    value (SET only):
+    idempotency token present; bit 1: trace context present), the
+    optional token (8 B LE), the optional trace context (trace id then
+    parent span id, 8 B LE each), and the value (SET only):
 
     {v [opcode : 1 B] [key : <=8 B LE]   <- Header.layout geometry
        [request id : 8 B LE]
        [flags : 1 B] ([token : 8 B LE] if bit 0)
+       ([trace id : 8 B LE] [parent span id : 8 B LE] if bit 1)
        [value : rest]                    v}
+
+    Versioning: the trace-context field is what bumped the protocol to
+    version 2. An encoder stamps each frame with the {e lowest} version
+    that can represent it — a request without trace context still goes
+    out as a byte-identical version-1 frame, so a v2 client talking to
+    a v1 decoder only breaks on frames that genuinely carry the new
+    field (which a v1 decoder rejects cleanly, by version byte). A v2
+    decoder accepts versions {!min_version}..{!version}.
 
     A {e response} body reuses {!C4_nic.Header.default_response_layout}
     for its first bytes (status byte, value length), then carries the
@@ -38,11 +48,18 @@
 
 type op = Get | Set | Delete
 
+(** In-band distributed-tracing identity ({!C4_obs.Span.context}'s wire
+    shape): the request's trace id and the span id of the client span
+    that caused it. Both non-negative, 8 B LE each on the wire. *)
+type trace_context = { trace_id : int; parent_span : int }
+
 type request = {
   id : int;  (** per-client request id; responses echo it *)
   op : op;
   key : int;
   token : int option;  (** idempotency token, attached on retries *)
+  trace : trace_context option;
+      (** propagated trace context; forces a version-2 frame *)
   value : bytes;  (** SET payload; must be empty for GET/DELETE *)
 }
 
@@ -55,8 +72,12 @@ type response = {
   resp_value : bytes;  (** GET value, or an error message for [Err] *)
 }
 
-(** The protocol version this codec speaks. *)
+(** The newest protocol version this codec speaks (2: trace context). *)
 val version : int
+
+(** The oldest version this codec still decodes (1: pre-trace-context
+    frames; also what context-free frames are stamped with). *)
+val min_version : int
 
 type t
 

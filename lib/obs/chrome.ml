@@ -3,19 +3,7 @@
    the paper's dataflow (NIC on top, workers below). *)
 let tid_of_lane lane = lane + 1
 
-let escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let escape = Json.escape
 
 (* Timestamps are ns in the simulator, µs in the trace-event format. *)
 let us ns = ns /. 1e3

@@ -1,0 +1,24 @@
+(** Minimal JSON construction — the one escaping/serialising routine
+    every exporter in the observability layer shares ({!Chrome} trace
+    events, the {!Telemetry} health document, {!Benchlog} records), so
+    a span name with a quote in it cannot be escaped correctly in one
+    exporter and incorrectly in another.
+
+    Construction only: the tests that need to parse JSON back keep
+    their own checking parser, the library never reads JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** NaN/infinity serialise as [null] *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Escape a string for inclusion inside JSON double quotes: quote,
+    backslash, newline and all control characters below 0x20. *)
+val escape : string -> string
+
+(** Compact (single-line) serialisation. *)
+val to_string : t -> string

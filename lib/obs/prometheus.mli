@@ -1,0 +1,20 @@
+(** Prometheus text exposition (format version 0.0.4) of a
+    {!Registry}.
+
+    Counters and gauges render as their kinds; histograms render as
+    summaries (p50/p90/p99/p999 quantiles plus [_sum]/[_count]) — the
+    registry's log-linear buckets are not cumulative le-buckets, and
+    the quantiles are the measurements that matter here. All values
+    are read through {!Registry.snapshot}, so one scrape is mutually
+    consistent and histogram count/sum never tear under concurrent
+    writers. *)
+
+(** Sanitise a registry metric name ([net.set_ns] → [net_set_ns]). *)
+val metric_name : string -> string
+
+(** Render one consistent snapshot (as returned by
+    {!Registry.snapshot}). *)
+val of_snapshot : (string * Registry.reading) list -> string
+
+(** [of_snapshot] of a fresh {!Registry.snapshot}. *)
+val of_registry : Registry.t -> string

@@ -80,6 +80,25 @@ let histogram_values h = h.hist
 
 let names t = guarded t.lock (fun () -> List.rev t.order)
 
+type reading =
+  | Counter_reading of int
+  | Gauge_reading of float
+  | Histogram_reading of H.t
+
+(* Direct field reads, NOT counter_value/histogram_values: the registry
+   lock is already held (it is the same mutex every handle shares when
+   thread_safe), and H.copy under it is what makes the histogram
+   reading tear-free — a concurrent [observe] can never be half-applied
+   (count bumped, sum not) in the copy. *)
+let reading_of = function
+  | Counter c -> Counter_reading c.n
+  | Gauge g -> Gauge_reading g.v
+  | Histogram h -> Histogram_reading (H.copy h.hist)
+
+let snapshot t =
+  guarded t.lock (fun () ->
+      List.rev_map (fun name -> (name, reading_of (Hashtbl.find t.tbl name))) t.order)
+
 let read_metric = function
   | Counter c -> float_of_int c.n
   | Gauge g -> g.v

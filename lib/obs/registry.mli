@@ -47,6 +47,21 @@ val histogram_values : histogram -> C4_stats.Histogram.t
 (** Registered names, in registration order. *)
 val names : t -> string list
 
+(** One atomically-read value per metric. Histogram readings are
+    private copies taken under the registry lock, so a snapshot racing
+    concurrent [observe]s can never expose torn totals (a count/sum
+    mismatch) — unlike {!histogram_values}, which hands out the live
+    histogram and is only safe to read quiescently. Exporters (the
+    telemetry endpoint's Prometheus rendering) read through this. *)
+type reading =
+  | Counter_reading of int
+  | Gauge_reading of float
+  | Histogram_reading of C4_stats.Histogram.t
+
+(** Every metric's current {!reading}, in registration order, taken in
+    one lock hold — mutually consistent for thread-safe registries. *)
+val snapshot : t -> (string * reading) list
+
 (** Current scalar reading of metric [name]: a counter's count, a
     gauge's value, a histogram's sample count. *)
 val read : t -> string -> float option

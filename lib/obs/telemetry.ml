@@ -1,0 +1,176 @@
+(* c4-lint: allow bare-mutex-lock — below c4_runtime, same exemption
+   (and pattern) as Registry. *)
+
+type t = {
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  registry : Registry.t;
+  health : unit -> Json.t;
+  mutable acceptor : Thread.t option;
+  conns : (int, Thread.t) Hashtbl.t; (* live connection threads, guarded *)
+  lock : Mutex.t;
+  mutable next_conn : int;
+  stopping : bool Atomic.t;
+}
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* ---------------- HTTP/1.0-with-Content-Length responses ---------------- *)
+
+let write_all fd b =
+  let n = Bytes.length b in
+  let rec go off =
+    if off >= n then true
+    else
+      match Unix.write fd b off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (_, _, _) -> false
+  in
+  go 0
+
+let respond fd ~status ~content_type body =
+  let head =
+    Printf.sprintf
+      "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+      status content_type (String.length body)
+  in
+  ignore (write_all fd (Bytes.of_string (head ^ body)))
+
+(* First request line of a GET fits one read in practice, but headers
+   may trail in; read until the blank line (or a small cap) so keep-
+   alive-happy clients like curl are not answered mid-request. *)
+let read_request fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 1024 in
+  let rec go () =
+    if Buffer.length buf > 8192 then Buffer.contents buf
+    else
+      let has_terminator =
+        let s = Buffer.contents buf in
+        let rec find i =
+          i + 3 < String.length s
+          && (String.sub s i 4 = "\r\n\r\n" || find (i + 1))
+        in
+        String.length s > 3 && find 0
+      in
+      if has_terminator then Buffer.contents buf
+      else
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> Buffer.contents buf
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error (_, _, _) -> Buffer.contents buf
+  in
+  go ()
+
+let path_of_request raw =
+  match String.split_on_char '\r' raw with
+  | [] -> None
+  | line :: _ -> (
+    match String.split_on_char ' ' line with
+    | [ "GET"; path ] | "GET" :: path :: _ -> Some path
+    | _ -> None)
+
+let index_body =
+  "c4 telemetry\n\
+   /metrics  Prometheus text exposition of every registry metric\n\
+   /healthz  JSON health/stats document\n"
+
+let serve_request t fd =
+  match path_of_request (read_request fd) with
+  | None -> respond fd ~status:"400 Bad Request" ~content_type:"text/plain" "bad request\n"
+  | Some path -> (
+    (* Strip any ?query. *)
+    let path =
+      match String.index_opt path '?' with
+      | Some i -> String.sub path 0 i
+      | None -> path
+    in
+    match path with
+    | "/metrics" ->
+      respond fd ~status:"200 OK"
+        ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+        (Prometheus.of_registry t.registry)
+    | "/healthz" | "/health" | "/stats" ->
+      respond fd ~status:"200 OK" ~content_type:"application/json"
+        (Json.to_string (t.health ()) ^ "\n")
+    | "/" -> respond fd ~status:"200 OK" ~content_type:"text/plain" index_body
+    | _ -> respond fd ~status:"404 Not Found" ~content_type:"text/plain" "not found\n")
+
+let conn_loop t id fd () =
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      locked t.lock (fun () -> Hashtbl.remove t.conns id))
+    (fun () -> try serve_request t fd with _ -> ())
+
+let acceptor_loop t () =
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | fd, _addr ->
+      if Atomic.get t.stopping then (
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        ())
+      else begin
+        locked t.lock (fun () ->
+            let id = t.next_conn in
+            t.next_conn <- id + 1;
+            Hashtbl.replace t.conns id (Thread.create (conn_loop t id fd) ()));
+        loop ()
+      end
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL | Unix.ENOTCONN), _, _) -> ()
+    | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR), _, _) ->
+      if Atomic.get t.stopping then () else loop ()
+  in
+  loop ()
+
+let start ?(host = "127.0.0.1") ~port ~registry ~health () =
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.listen listen_fd 16
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  let t =
+    {
+      listen_fd;
+      bound_port;
+      registry;
+      health;
+      acceptor = None;
+      conns = Hashtbl.create 8;
+      lock = Mutex.create ();
+      next_conn = 0;
+      stopping = Atomic.make false;
+    }
+  in
+  t.acceptor <- Some (Thread.create (acceptor_loop t) ());
+  t
+
+let port t = t.bound_port
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (* shutdown, not close: closing does not wake a thread blocked in
+       accept(2); shutting down does (EINVAL), and the fd is closed
+       only after the acceptor exits. *)
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (match t.acceptor with Some a -> Thread.join a | None -> ());
+    t.acceptor <- None;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (* In-flight scrapes are short; join them so stop means stopped. *)
+    let live = locked t.lock (fun () -> Hashtbl.fold (fun _ th acc -> th :: acc) t.conns []) in
+    List.iter Thread.join live
+  end

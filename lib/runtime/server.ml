@@ -45,6 +45,7 @@ type config = {
   monitor_interval : float;
   clock : unit -> float;
   on_decision : (C4_crew.Decision.t -> unit) option;
+  registry : Registry.t option;
 }
 
 let default_config =
@@ -58,6 +59,7 @@ let default_config =
     (* ns, to match the policy core's time unit across both engines *)
     clock = (fun () -> Unix.gettimeofday () *. 1e9);
     on_decision = None;
+    registry = None;
   }
 
 (* The multicore driver around the crew policy core (the runtime's half
@@ -320,11 +322,19 @@ let start cfg =
         max cfg.crew.Crew_config.ewt_capacity cfg.n_partitions;
     }
   in
+  let core_registry =
+    (* A caller-supplied registry must be thread-safe (workers on
+       several domains bump the crew counters); the private fallback
+       always is. Sharing one registry with the network front-end is
+       what lets a single telemetry scrape expose crew.* and net.*
+       metrics together. *)
+    match cfg.registry with
+    | Some r -> r
+    | None -> Registry.create ~thread_safe:true ()
+  in
   let core =
-    Core.create
-      ~registry:(Registry.create ~thread_safe:true ())
-      ?on_decision:cfg.on_decision ~cfg:crew_cfg ~n_workers:cfg.n_workers
-      ~n_partitions:cfg.n_partitions ()
+    Core.create ~registry:core_registry ?on_decision:cfg.on_decision
+      ~cfg:crew_cfg ~n_workers:cfg.n_workers ~n_partitions:cfg.n_partitions ()
   in
   let t =
     {
@@ -526,3 +536,7 @@ let alive_workers t =
 
 let partition_of_key t key = Store.partition_of_key t.store key
 let n_partitions t = t.cfg.n_partitions
+let n_workers t = t.cfg.n_workers
+
+let ownership_counts t =
+  Sync.with_lock t.route_lock (fun () -> Core.ownership_counts t.core)

@@ -65,8 +65,17 @@ type config = {
           engines see the same timestamps *)
   on_decision : (C4_crew.Decision.t -> unit) option;
       (** called with every policy decision the core takes, in decision
-          order — the differential parity test's recorder. Called with
+          order — the differential parity test's recorder, and the
+          tracing hook that stamps admission decisions onto request
+          spans ([C4_obs.Span.annotate_current]: admission decisions
+          fire synchronously on the submitting thread). Called with
           [route_lock] held for routing decisions; keep it cheap *)
+  registry : C4_obs.Registry.t option;
+      (** receives the policy core's crew.* / EWT / compaction metrics.
+          Must be thread-safe when supplied (worker domains bump it);
+          a private thread-safe registry is used when [None]. Share one
+          registry with [C4_net.Server] and the telemetry endpoint to
+          expose the whole stack in one scrape *)
 }
 
 (** 4 workers, {!C4_crew.Config.queued} policy profile (compaction on,
@@ -170,3 +179,12 @@ val owner_of_key : t -> int -> int
 val partition_of_key : t -> int -> int
 
 val n_partitions : t -> int
+val n_workers : t -> int
+
+(** Per-worker durable partition-ownership census
+    ([C4_crew.Core.ownership_counts] under the routing lock, so it
+    never interleaves with a recovery remap): [counts.(w)] partitions
+    currently assigned to worker [w]. The health-document view of who
+    owns how much — uniform at start, visibly skewed after a crash
+    moves a dead worker's partitions to a survivor. *)
+val ownership_counts : t -> int array

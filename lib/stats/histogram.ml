@@ -102,6 +102,17 @@ let reset t =
   t.sum <- 0.0;
   t.max_seen <- 0.0
 
+let copy t =
+  {
+    sub_bits = t.sub_bits;
+    sub_count = t.sub_count;
+    octaves = t.octaves;
+    counts = Array.copy t.counts;
+    total = t.total;
+    sum = t.sum;
+    max_seen = t.max_seen;
+  }
+
 let merge t ~other =
   if t.sub_bits <> other.sub_bits || Array.length t.counts <> Array.length other.counts
   then invalid_arg "Histogram.merge: incompatible layouts";

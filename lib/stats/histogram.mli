@@ -38,6 +38,13 @@ val p999 : t -> float
 val mean : t -> float
 val max_recorded : t -> float
 val reset : t -> unit
+
+(** An independent deep copy: later [add]s to either histogram leave
+    the other untouched. The consistent-snapshot building block —
+    {!C4_obs.Registry} copies under its lock so exporters never read
+    torn totals. *)
+val copy : t -> t
+
 val merge : t -> other:t -> unit
 
 (** Nonempty buckets as [(upper_edge, count)] pairs, ascending. *)

@@ -18,7 +18,7 @@ let wire = Wire.create ()
 
 let request_equal (a : Wire.request) (b : Wire.request) =
   a.Wire.id = b.Wire.id && a.Wire.op = b.Wire.op && a.Wire.key = b.Wire.key
-  && a.Wire.token = b.Wire.token
+  && a.Wire.token = b.Wire.token && a.Wire.trace = b.Wire.trace
   && Bytes.equal a.Wire.value b.Wire.value
 
 (* Body = frame minus length prefix and version byte, as the decoder
@@ -37,8 +37,33 @@ let prop_request_roundtrip =
     (fun ((op_i, id, key, token), value) ->
       let op = match op_i with 0 -> Wire.Get | 1 -> Wire.Set | _ -> Wire.Delete in
       let value = if op = Wire.Set then Bytes.of_string value else Bytes.empty in
-      let req = { Wire.id; op; key; token; value } in
+      let req = { Wire.id; op; key; token; trace = None; value } in
       match Wire.decode_request wire (body_of_frame (Wire.encode_request wire req)) with
+      | Ok req' -> request_equal req req'
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
+
+let prop_traced_request_roundtrip =
+  QCheck.Test.make ~name:"wire trace-context encode/decode round-trips"
+    ~count:300
+    QCheck.(
+      pair
+        (quad (int_bound 2)
+           (int_bound ((1 lsl 40) - 1))
+           (option (int_bound ((1 lsl 40) - 1)))
+           (pair (int_bound max_int) (int_bound max_int)))
+        (string_of_size Gen.(int_bound 600)))
+    (fun ((op_i, id, token, (trace_id, parent_span)), value) ->
+      let op = match op_i with 0 -> Wire.Get | 1 -> Wire.Set | _ -> Wire.Delete in
+      let value = if op = Wire.Set then Bytes.of_string value else Bytes.empty in
+      let req =
+        { Wire.id; op; key = id * 3; token;
+          trace = Some { Wire.trace_id; parent_span }; value }
+      in
+      let frame = Wire.encode_request wire req in
+      (* Trace context needs the v2 layout. *)
+      if Bytes.get_uint8 frame 4 <> 2 then
+        QCheck.Test.fail_reportf "traced frame stamped v%d" (Bytes.get_uint8 frame 4);
+      match Wire.decode_request wire (body_of_frame frame) with
       | Ok req' -> request_equal req req'
       | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
 
@@ -75,6 +100,11 @@ let test_torn_frames () =
           op = (match i mod 3 with 0 -> Wire.Get | 1 -> Wire.Set | _ -> Wire.Delete);
           key = i * 17;
           token = (if i mod 4 = 0 then Some (1000 + i) else None);
+          trace =
+            (* Mix v1 (ctx-free) and v2 (traced) frames in one stream. *)
+            (if i mod 5 = 0 then
+               Some { Wire.trace_id = (i * 7) + 1; parent_span = (i * 11) + 2 }
+             else None);
           value = (if i mod 3 = 1 then Bytes.make (i * 13) 'x' else Bytes.empty);
         })
   in
@@ -118,7 +148,8 @@ let test_oversized_frame_rejected () =
   (* Corruption is sticky: the stream cannot be resynchronised. *)
   let good =
     Wire.encode_request small
-      { Wire.id = 1; op = Wire.Get; key = 2; token = None; value = Bytes.empty }
+      { Wire.id = 1; op = Wire.Get; key = 2; token = None; trace = None;
+        value = Bytes.empty }
   in
   Wire.Decoder.feed d good ~off:0 ~len:(Bytes.length good);
   match Wire.Decoder.next_frame d with
@@ -128,7 +159,8 @@ let test_oversized_frame_rejected () =
 let test_bad_version_rejected () =
   let frame =
     Wire.encode_request wire
-      { Wire.id = 7; op = Wire.Get; key = 3; token = None; value = Bytes.empty }
+      { Wire.id = 7; op = Wire.Get; key = 3; token = None; trace = None;
+        value = Bytes.empty }
   in
   Bytes.set frame 4 '\042';
   let d = Wire.Decoder.create wire in
@@ -143,7 +175,7 @@ let test_strict_request_decode () =
     (fun () ->
       ignore
         (Wire.encode_request wire
-           { Wire.id = 1; op = Wire.Get; key = 2; token = None;
+           { Wire.id = 1; op = Wire.Get; key = 2; token = None; trace = None;
              value = Bytes.of_string "x" }));
   (* Unknown flag bits are rejected, not ignored. *)
   let hdr =
@@ -152,7 +184,7 @@ let test_strict_request_decode () =
   let body =
     body_of_frame
       (Wire.encode_request wire
-         { Wire.id = 1; op = Wire.Set; key = 2; token = None;
+         { Wire.id = 1; op = Wire.Set; key = 2; token = None; trace = None;
            value = Bytes.of_string "v" })
   in
   Bytes.set body (Header.header_size hdr + 8) '\x80';
@@ -163,7 +195,8 @@ let test_strict_request_decode () =
   let get_body =
     body_of_frame
       (Wire.encode_request wire
-         { Wire.id = 1; op = Wire.Get; key = 2; token = None; value = Bytes.empty })
+         { Wire.id = 1; op = Wire.Get; key = 2; token = None; trace = None;
+           value = Bytes.empty })
   in
   let padded = Bytes.cat get_body (Bytes.of_string "junk") in
   match Wire.decode_request wire padded with
@@ -179,7 +212,8 @@ let test_nic_header_interop () =
   List.iter
     (fun (op, key, value) ->
       let frame =
-        Wire.encode_request wire { Wire.id = 99; op; key; token = Some 5; value }
+        Wire.encode_request wire
+          { Wire.id = 99; op; key; token = Some 5; trace = None; value }
       in
       match Header.parse hdr (body_of_frame frame) with
       | Error e -> Alcotest.failf "NIC failed to parse wire body: %s" e
@@ -505,6 +539,217 @@ let test_set_token_from_first_attempt () =
     Alcotest.(check bool) "retry uses a fresh request id" true (id2 <> id1)
   | l -> Alcotest.failf "expected exactly 2 SET attempts, saw %d" (List.length l)
 
+(* ---------------- versioning compatibility ---------------- *)
+
+(* A context-free request must still go out as a version-1 frame,
+   byte-compatible with pre-trace decoders: the encoder stamps the
+   lowest version that can represent the content. *)
+let test_ctx_free_frames_stay_v1 () =
+  let frame =
+    Wire.encode_request wire
+      { Wire.id = 11; op = Wire.Set; key = 4; token = Some 8; trace = None;
+        value = Bytes.of_string "v1" }
+  in
+  Alcotest.(check int) "ctx-free frame stamped v1" 1 (Bytes.get_uint8 frame 4);
+  let traced =
+    Wire.encode_request wire
+      { Wire.id = 11; op = Wire.Set; key = 4; token = Some 8;
+        trace = Some { Wire.trace_id = 5; parent_span = 6 };
+        value = Bytes.of_string "v2" }
+  in
+  Alcotest.(check int) "traced frame stamped v2" 2 (Bytes.get_uint8 traced 4);
+  (* Responses never carry context: always v1. *)
+  let resp =
+    Wire.encode_response wire
+      { Wire.resp_id = 11; status = Wire.Ok; timing_ns = 1;
+        resp_value = Bytes.empty }
+  in
+  Alcotest.(check int) "responses stamped v1" 1 (Bytes.get_uint8 resp 4);
+  (* The decoder accepts both versions in one stream. *)
+  let d = Wire.Decoder.create wire in
+  Wire.Decoder.feed d frame ~off:0 ~len:(Bytes.length frame);
+  Wire.Decoder.feed d traced ~off:0 ~len:(Bytes.length traced);
+  let next () =
+    match Wire.Decoder.next_frame d with
+    | `Frame body -> (
+      match Wire.decode_request wire body with
+      | Ok r -> r
+      | Error e -> Alcotest.failf "decode: %s" e)
+    | `Awaiting | `Corrupt _ -> Alcotest.fail "frame not yielded"
+  in
+  Alcotest.(check bool) "v1 frame decodes ctx-free" true ((next ()).Wire.trace = None);
+  Alcotest.(check bool) "v2 frame decodes with ctx" true
+    ((next ()).Wire.trace = Some { Wire.trace_id = 5; parent_span = 6 })
+
+(* ---------------- distributed tracing ---------------- *)
+
+(* One traced request must yield one connected span chain across both
+   processes: client.dispatch -> server.recv -> server.apply ->
+   server.respond, all in one trace, with the crew admission decision
+   stamped on the recv span. *)
+let test_stitched_span_chain () =
+  let module Span = C4_obs.Span in
+  let client_buf = Span.create ~process:"client" () in
+  let server_buf = Span.create ~process:"server" () in
+  let runtime_cfg =
+    {
+      Runtime.default_config with
+      Runtime.n_workers = 2;
+      on_decision =
+        Some
+          (fun d ->
+            ignore
+              (Span.annotate_current server_buf ~key:"crew"
+                 ~value:(C4_crew.Decision.to_string d)));
+    }
+  in
+  let runtime = Runtime.start runtime_cfg in
+  let srv =
+    NetServer.start
+      { NetServer.default_config with NetServer.spans = Some server_buf }
+      ~runtime
+  in
+  let client =
+    NetClient.create
+      {
+        (NetClient.default_config ~hosts:[ ("127.0.0.1", NetServer.port srv) ])
+        with
+        NetClient.spans = Some client_buf;
+      }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      NetClient.close client;
+      NetServer.stop srv;
+      Runtime.stop runtime)
+    (fun () ->
+      Alcotest.(check bool) "set ok" true
+        (NetClient.set client ~key:5 ~value:(Bytes.of_string "traced") = Ok ());
+      (* The respond span closes in the server's writer thread after the
+         response bytes go out — strictly after the client's callback
+         fired, so give it a moment. *)
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      let all_finished () =
+        let spans = Span.spans server_buf in
+        List.length spans = 3 && List.for_all Span.finished spans
+      in
+      while (not (all_finished ())) && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.001
+      done;
+      let dispatch =
+        match Span.spans client_buf with
+        | [ s ] -> s
+        | l -> Alcotest.failf "expected 1 client span, got %d" (List.length l)
+      in
+      Alcotest.(check string) "client span name" "client.dispatch"
+        (Span.name dispatch);
+      Alcotest.(check bool) "client span is the root" true
+        (Span.parent_id dispatch = None);
+      let find_server name =
+        match
+          List.find_opt (fun s -> Span.name s = name) (Span.spans server_buf)
+        with
+        | Some s -> s
+        | None -> Alcotest.failf "server span %s missing" name
+      in
+      let recv = find_server "server.recv" in
+      let apply = find_server "server.apply" in
+      let respond = find_server "server.respond" in
+      (* Walk the parent links back across the process boundary. *)
+      Alcotest.(check (option int)) "respond parented on apply"
+        (Some (Span.span_id apply))
+        (Span.parent_id respond);
+      Alcotest.(check (option int)) "apply parented on recv"
+        (Some (Span.span_id recv))
+        (Span.parent_id apply);
+      Alcotest.(check (option int)) "recv parented on the client dispatch"
+        (Some (Span.span_id dispatch))
+        (Span.parent_id recv);
+      List.iter
+        (fun s ->
+          Alcotest.(check int) "one trace id end to end"
+            (Span.trace_id dispatch) (Span.trace_id s);
+          Alcotest.(check bool) "span finished" true (Span.finished s))
+        [ dispatch; recv; apply; respond ];
+      (* The admission decision the policy core took while the reader
+         submitted this write landed on the recv span. *)
+      Alcotest.(check bool) "crew decision stamped on recv" true
+        (List.mem_assoc "crew" (Span.annotations recv));
+      (* The merged Chrome export contains both process rows. *)
+      let chrome = Span.to_chrome ~extra:[ server_buf ] client_buf in
+      let contains needle =
+        let nl = String.length needle and hl = String.length chrome in
+        let rec scan i =
+          i + nl <= hl && (String.sub chrome i nl = needle || scan (i + 1))
+        in
+        scan 0
+      in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool)
+            (Printf.sprintf "chrome export mentions %s" needle)
+            true (contains needle))
+        [ "client.dispatch"; "server.recv"; "server.respond" ])
+
+(* ---------------- metric migration on recovery ---------------- *)
+
+let counter_value reg name =
+  match List.assoc_opt name (C4_obs.Registry.snapshot reg) with
+  | Some (C4_obs.Registry.Counter_reading n) -> n
+  | Some _ -> Alcotest.failf "%s is not a counter" name
+  | None -> Alcotest.failf "counter %s not registered" name
+
+(* After a crash remap, routed-write counts must attribute to the new
+   owner — the dead worker's counter freezes, it never dangles. *)
+let test_routed_counter_migration () =
+  let runtime_cfg =
+    { Runtime.default_config with Runtime.n_workers = 4; monitor_interval = 0.001 }
+  in
+  with_net ~runtime_cfg (fun runtime srv client ->
+      let reg = NetServer.registry srv in
+      let routed w = counter_value reg (Printf.sprintf "net.routed_w%d" w) in
+      (* Eager registration: every worker's counter is scrapable before
+         any traffic reaches it. *)
+      for w = 0 to 3 do
+        Alcotest.(check int) (Printf.sprintf "routed_w%d starts at 0" w) 0 (routed w)
+      done;
+      let key = 0 in
+      let set () =
+        match NetClient.set client ~key ~value:(Bytes.of_string "m") with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "set failed: %s" e
+      in
+      let owner = Runtime.owner_of_key runtime key in
+      for _ = 1 to 25 do set () done;
+      Alcotest.(check int) "all sets routed to the owner" 25 (routed owner);
+      Runtime.inject_crash runtime ~worker:owner;
+      let rec await tries =
+        if tries = 0 then Alcotest.fail "recovery did not complete"
+        else if
+          Runtime.alive_workers runtime = 4
+          && (Runtime.stats runtime).Runtime.recoveries > 0
+          && Runtime.owner_of_key runtime key <> owner
+        then ()
+        else begin
+          Unix.sleepf 0.001;
+          await (tries - 1)
+        end
+      in
+      await 5_000;
+      let new_owner = Runtime.owner_of_key runtime key in
+      let frozen = routed owner in
+      let before = routed new_owner in
+      for _ = 1 to 25 do set () done;
+      Alcotest.(check int) "post-recovery sets attribute to the new owner"
+        (before + 25) (routed new_owner);
+      Alcotest.(check int) "dead worker's counter is frozen" frozen (routed owner);
+      (* The ownership census agrees: the dead worker re-registered with
+         zero partitions until re-pinned, the survivor absorbed them. *)
+      let counts = Runtime.ownership_counts runtime in
+      Alcotest.(check int) "census sums to the partition count"
+        (Runtime.n_partitions runtime)
+        (Array.fold_left ( + ) 0 counts))
+
 let test_client_routing_matches_cluster () =
   for key = 0 to 999 do
     Alcotest.(check int)
@@ -516,6 +761,7 @@ let test_client_routing_matches_cluster () =
 let tests =
   [
     QCheck_alcotest.to_alcotest prop_request_roundtrip;
+    QCheck_alcotest.to_alcotest prop_traced_request_roundtrip;
     QCheck_alcotest.to_alcotest prop_response_roundtrip;
     Alcotest.test_case "torn frames reassemble byte-by-byte" `Quick test_torn_frames;
     Alcotest.test_case "oversized frame is sticky-fatal" `Quick
@@ -535,4 +781,10 @@ let tests =
       test_set_token_from_first_attempt;
     Alcotest.test_case "client sharding matches cluster routing" `Quick
       test_client_routing_matches_cluster;
+    Alcotest.test_case "ctx-free frames stay version 1" `Quick
+      test_ctx_free_frames_stay_v1;
+    Alcotest.test_case "one request, one stitched span chain" `Quick
+      test_stitched_span_chain;
+    Alcotest.test_case "routed counters migrate on recovery" `Quick
+      test_routed_counter_migration;
   ]

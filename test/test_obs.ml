@@ -371,6 +371,294 @@ let test_sampled_run_subset () =
   let expected = List.filter (fun id -> id mod 5 = 0) (ids full) in
   Alcotest.(check (list int)) "every 5th of the full stream" expected (ids sampled)
 
+(* ---------------- JSON emitter and escaping ---------------- *)
+
+module Json = C4_obs.Json
+module Span = C4_obs.Span
+module Prometheus = C4_obs.Prometheus
+module Telemetry = C4_obs.Telemetry
+
+let test_json_escaping () =
+  Alcotest.(check string) "quote" {|a\"b|} (Json.escape "a\"b");
+  Alcotest.(check string) "backslash" {|a\\b|} (Json.escape "a\\b");
+  Alcotest.(check string) "newline" {|a\nb|} (Json.escape "a\nb");
+  Alcotest.(check string) "tab and cr as \\u escapes" "\\u0009\\u000d"
+    (Json.escape "\t\r");
+  Alcotest.(check string) "control byte" "\\u0001" (Json.escape "\x01");
+  Alcotest.(check string) "plain text untouched" "hello w0rld"
+    (Json.escape "hello w0rld");
+  (* A document full of hostile strings must still parse, and the
+     parser-visible escapes must invert back to the original bytes. *)
+  let doc =
+    Json.Obj
+      [
+        ("q\"k", Json.Str "v\"1");
+        ("b\\k", Json.Str "v\\2");
+        ("n\nk", Json.Str "v\n3");
+        ("nan", Json.Float Float.nan);
+        ("inf", Json.Float Float.infinity);
+        ("list", Json.List [ Json.Int 1; Json.Bool false; Json.Null ]);
+      ]
+  in
+  let parsed = parse_json (Json.to_string doc) in
+  Alcotest.(check bool) "escaped quote key round-trips" true
+    (obj_field "q\"k" parsed = Some (Str "v\"1"));
+  Alcotest.(check bool) "escaped backslash round-trips" true
+    (obj_field "b\\k" parsed = Some (Str "v\\2"));
+  Alcotest.(check bool) "escaped newline round-trips" true
+    (obj_field "n\nk" parsed = Some (Str "v\n3"));
+  Alcotest.(check bool) "NaN serialises as null" true
+    (obj_field "nan" parsed = Some Null);
+  Alcotest.(check bool) "infinity serialises as null" true
+    (obj_field "inf" parsed = Some Null)
+
+(* Chrome exports route every string through the same escaper: a trace
+   whose op names carry quotes/backslashes/newlines must still be
+   valid JSON. *)
+let test_chrome_escaping () =
+  let t = Trace.create () in
+  Trace.arrival t ~id:0 ~op:"W\"eird\\op\nname" ~partition:0 ~ts:10.0;
+  Trace.service_begin t ~id:0 ~lane:0 ~ts:20.0;
+  Trace.service_end t ~id:0 ~lane:0 ~phase:Trace.Service ~ts:30.0;
+  Trace.departure t ~id:0 ~lane:0 ~ts:30.0;
+  match parse_json (Chrome.to_string t) with
+  | exception Parse_error e -> Alcotest.failf "chrome export unparseable: %s" e
+  | doc -> (
+    match obj_field "traceEvents" doc with
+    | Some (Arr (_ :: _)) -> ()
+    | _ -> Alcotest.fail "traceEvents missing")
+
+(* ---------------- Request spans ---------------- *)
+
+let test_span_links_and_ambient () =
+  let buf = Span.create ~process:"test" () in
+  let root = Span.start buf ~name:"root" ~ts:100.0 in
+  let child = Span.start ~parent:(Span.context root) buf ~name:"child" ~ts:110.0 in
+  Alcotest.(check bool) "root has no parent" true (Span.parent_id root = None);
+  Alcotest.(check (option int)) "child links to root"
+    (Some (Span.span_id root)) (Span.parent_id child);
+  Alcotest.(check int) "one trace" (Span.trace_id root) (Span.trace_id child);
+  Alcotest.(check bool) "distinct span ids" true
+    (Span.span_id root <> Span.span_id child);
+  (* A fresh root starts a fresh trace. *)
+  let other = Span.start buf ~name:"other" ~ts:120.0 in
+  Alcotest.(check bool) "separate roots, separate traces" true
+    (Span.trace_id other <> Span.trace_id root);
+  (* Ambient current span: annotate_current hits the innermost active
+     span on this thread, and nothing once the scope unwinds. *)
+  Alcotest.(check bool) "no current span outside a scope" false
+    (Span.annotate_current buf ~key:"k" ~value:"v");
+  Span.with_current buf root (fun () ->
+      Alcotest.(check bool) "outer current" true
+        (Span.annotate_current buf ~key:"outer" ~value:"1");
+      Span.with_current buf child (fun () ->
+          Alcotest.(check bool) "inner current" true
+            (Span.annotate_current buf ~key:"inner" ~value:"2"));
+      Alcotest.(check bool) "outer restored after nesting" true
+        (Span.annotate_current buf ~key:"outer2" ~value:"3"));
+  Alcotest.(check bool) "scope unwound" false
+    (Span.annotate_current buf ~key:"k" ~value:"v");
+  Alcotest.(check (list (pair string string))) "annotations in order"
+    [ ("outer", "1"); ("outer2", "3") ]
+    (Span.annotations root);
+  Alcotest.(check (list (pair string string))) "child annotation"
+    [ ("inner", "2") ]
+    (Span.annotations child);
+  (* finish clamps and records. *)
+  Span.finish buf child ~ts:105.0;
+  Alcotest.(check (option (float 0.0))) "finish clamped to start" (Some 110.0)
+    (Span.t1 child);
+  Span.finish buf root ~ts:140.0;
+  (* The Chrome export parses and carries the identity args. *)
+  let doc = parse_json (Span.to_chrome buf) in
+  let events =
+    match obj_field "traceEvents" doc with
+    | Some (Arr es) -> es
+    | _ -> Alcotest.fail "traceEvents missing"
+  in
+  let x_events =
+    List.filter (fun e -> obj_field "ph" e = Some (Str "X")) events
+  in
+  Alcotest.(check int) "three complete spans exported" 3 (List.length x_events);
+  List.iter
+    (fun e ->
+      let args = obj_field "args" e in
+      match args with
+      | Some (Obj fields) ->
+        Alcotest.(check bool) "span_id arg present" true
+          (List.mem_assoc "span_id" fields);
+        Alcotest.(check bool) "trace_id arg present" true
+          (List.mem_assoc "trace_id" fields)
+      | _ -> Alcotest.fail "X event without args")
+    x_events
+
+(* ---------------- Consistent snapshots under writers ---------------- *)
+
+(* Satellite: a scrape while domains record must never observe a torn
+   histogram (count bumped, sum not). Every observation is 10.0, so any
+   consistent reading has mean exactly 10.0. *)
+let test_snapshot_not_torn_under_writers () =
+  let r = Registry.create ~thread_safe:true () in
+  let stop = Atomic.make false in
+  let writers =
+    List.init 3 (fun d ->
+        Domain.spawn (fun () ->
+            (* Each domain re-resolves its handle: same underlying metric. *)
+            let h = Registry.histogram r "obs.stress_ns" in
+            let c = Registry.counter r "obs.stress_ops" in
+            let n = ref 0 in
+            while not (Atomic.get stop) do
+              Registry.observe h 10.0;
+              Registry.incr c;
+              incr n
+            done;
+            ignore d;
+            !n))
+  in
+  let torn = ref 0 and scrapes = ref 0 in
+  let deadline = Unix.gettimeofday () +. 0.5 in
+  while Unix.gettimeofday () < deadline do
+    (match List.assoc_opt "obs.stress_ns" (Registry.snapshot r) with
+    | Some (Registry.Histogram_reading h) ->
+      incr scrapes;
+      let count = C4_stats.Histogram.count h in
+      if count > 0 && C4_stats.Histogram.mean h <> 10.0 then incr torn
+    | Some _ | None -> ())
+  done;
+  Atomic.set stop true;
+  let written = List.fold_left (fun acc d -> acc + Domain.join d) 0 writers in
+  Alcotest.(check bool) "writers made progress" true (written > 0);
+  Alcotest.(check bool) "scrapes happened" true (!scrapes > 0);
+  Alcotest.(check int) "no torn count/sum readings" 0 !torn;
+  (* The final quiesced snapshot agrees with the writers exactly. *)
+  match Registry.snapshot r with
+  | snap -> (
+    match
+      (List.assoc "obs.stress_ns" snap, List.assoc "obs.stress_ops" snap)
+    with
+    | Registry.Histogram_reading h, Registry.Counter_reading ops ->
+      Alcotest.(check int) "histogram saw every observation" written
+        (C4_stats.Histogram.count h);
+      Alcotest.(check int) "counter saw every increment" written ops
+    | _ -> Alcotest.fail "unexpected reading kinds")
+
+(* ---------------- Prometheus exposition ---------------- *)
+
+let test_prometheus_exposition () =
+  Alcotest.(check string) "dots sanitised" "net_requests"
+    (Prometheus.metric_name "net.requests");
+  Alcotest.(check string) "leading digit prefixed" "_9lives"
+    (Prometheus.metric_name "9lives");
+  let r = Registry.create () in
+  Registry.incr ~by:3 (Registry.counter r "crew.pins");
+  Registry.set (Registry.gauge r "net.shed_level") 1.0;
+  let h = Registry.histogram r "net.get_ns" in
+  List.iter (Registry.observe h) [ 100.0; 200.0; 300.0 ];
+  let text = Prometheus.of_registry r in
+  let lines = String.split_on_char '\n' text in
+  let has l = List.mem l lines in
+  Alcotest.(check bool) "counter TYPE line" true
+    (has "# TYPE crew_pins counter");
+  Alcotest.(check bool) "counter sample" true (has "crew_pins 3");
+  Alcotest.(check bool) "gauge sample" true (has "net_shed_level 1");
+  Alcotest.(check bool) "histogram exposed as summary" true
+    (has "# TYPE net_get_ns summary");
+  Alcotest.(check bool) "summary count" true (has "net_get_ns_count 3");
+  Alcotest.(check bool) "p50 quantile line present" true
+    (List.exists
+       (fun l -> String.length l > 0 && String.index_opt l '{' <> None
+                 && l.[0] = 'n'
+                 && String.sub l 0 (String.index l '{') = "net_get_ns")
+       lines);
+  Alcotest.(check bool) "ends with newline" true
+    (text <> "" && text.[String.length text - 1] = '\n')
+
+(* ---------------- Telemetry endpoint ---------------- *)
+
+let http_get ~port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req = Printf.sprintf "GET %s HTTP/1.0\r\nHost: x\r\n\r\n" path in
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      let buf = Buffer.create 4096 and chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+      in
+      drain ();
+      let raw = Buffer.contents buf in
+      match String.index_opt raw '\r' with
+      | None -> Alcotest.failf "no status line in %S" raw
+      | Some eol ->
+        let status = String.sub raw 0 eol in
+        let body =
+          (* Body starts after the first blank line. *)
+          let rec find i =
+            if i + 3 >= String.length raw then Alcotest.fail "no header end"
+            else if String.sub raw i 4 = "\r\n\r\n" then
+              String.sub raw (i + 4) (String.length raw - i - 4)
+            else find (i + 1)
+          in
+          find 0
+        in
+        (status, body))
+
+(* Scrape the live endpoint while writer domains hammer the registry:
+   every response must be well-formed, and /healthz must carry the
+   host-supplied document. *)
+let test_telemetry_endpoint_under_load () =
+  let r = Registry.create ~thread_safe:true () in
+  let tel =
+    Telemetry.start ~port:0 ~registry:r
+      ~health:(fun () ->
+        Json.Obj
+          [ ("status", Json.Str "ok"); ("shed_level", Json.Int 0) ])
+      ()
+  in
+  let port = Telemetry.port tel in
+  let stop = Atomic.make false in
+  let writers =
+    List.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            let h = Registry.histogram r "tel.lat_ns" in
+            let c = Registry.counter r "tel.ops" in
+            while not (Atomic.get stop) do
+              Registry.observe h 10.0;
+              Registry.incr c
+            done))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      List.iter Domain.join writers;
+      Telemetry.stop tel)
+    (fun () ->
+      for _ = 1 to 20 do
+        let status, body = http_get ~port "/metrics" in
+        Alcotest.(check string) "metrics 200" "HTTP/1.0 200 OK" status;
+        Alcotest.(check bool) "exposition has TYPE lines" true
+          (List.exists
+             (fun l ->
+               String.length l > 7 && String.sub l 0 7 = "# TYPE ")
+             (String.split_on_char '\n' body));
+        let status, body = http_get ~port "/healthz" in
+        Alcotest.(check string) "healthz 200" "HTTP/1.0 200 OK" status;
+        match parse_json body with
+        | exception Parse_error e -> Alcotest.failf "healthz not JSON: %s" e
+        | doc ->
+          Alcotest.(check bool) "health document served" true
+            (obj_field "status" doc = Some (Str "ok"))
+      done;
+      let status, _ = http_get ~port "/nope" in
+      Alcotest.(check string) "unknown path is 404" "HTTP/1.0 404 Not Found"
+        status)
+
 let tests =
   [
     Alcotest.test_case "registry find-or-create shares handles" `Quick
@@ -394,4 +682,14 @@ let tests =
     Alcotest.test_case "trace output is deterministic" `Quick test_trace_deterministic;
     Alcotest.test_case "sampled run traces the id subset" `Quick
       test_sampled_run_subset;
+    Alcotest.test_case "JSON string escaping" `Quick test_json_escaping;
+    Alcotest.test_case "chrome escapes hostile names" `Quick test_chrome_escaping;
+    Alcotest.test_case "request spans: links, ambient, export" `Quick
+      test_span_links_and_ambient;
+    Alcotest.test_case "snapshots are not torn under writers" `Quick
+      test_snapshot_not_torn_under_writers;
+    Alcotest.test_case "prometheus exposition format" `Quick
+      test_prometheus_exposition;
+    Alcotest.test_case "telemetry endpoint under load" `Quick
+      test_telemetry_endpoint_under_load;
   ]
