@@ -70,7 +70,36 @@ let partitions_arg =
 let no_compaction_arg =
   Arg.(value & flag & info [ "no-compaction" ] ~doc:"Disable write compaction.")
 
-let runtime_config ?registry ?on_decision n_workers n_partitions compaction =
+let wal_dir_arg =
+  Arg.(value & opt (some string) None & info [ "wal-dir" ] ~docv:"DIR"
+         ~doc:"Enable durability: write-ahead log directory (created if \
+               absent; replayed on start if it holds a previous log).")
+
+let fsync_policy_conv =
+  let parse s =
+    Result.map_error (fun m -> `Msg m) (C4_wal.Wal.fsync_policy_of_string s)
+  in
+  let print ppf p =
+    Format.pp_print_string ppf (C4_wal.Wal.fsync_policy_to_string p)
+  in
+  Arg.conv (parse, print)
+
+let fsync_policy_arg =
+  Arg.(value & opt fsync_policy_conv C4_wal.Wal.Window
+         & info [ "fsync-policy" ] ~docv:"POLICY"
+             ~doc:"WAL fsync policy: always (group-commit every ack), window \
+                   (group-commit compaction windows, default), \
+                   interval:<ms>, or never (fsync only at shutdown). Only \
+                   meaningful with $(b,--wal-dir).")
+
+let wal_config ~wal_dir ~fsync_policy ~n_partitions =
+  Option.map
+    (fun dir ->
+      { (C4_wal.Wal.default_config ~dir ~n_partitions) with
+        C4_wal.Wal.fsync = fsync_policy })
+    wal_dir
+
+let runtime_config ?registry ?on_decision ?wal n_workers n_partitions compaction =
   {
     C4_runtime.Server.default_config with
     n_workers;
@@ -80,4 +109,5 @@ let runtime_config ?registry ?on_decision n_workers n_partitions compaction =
        else { C4_crew.Config.queued with C4_crew.Config.compaction = None });
     registry;
     on_decision;
+    wal;
   }

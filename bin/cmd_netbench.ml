@@ -12,7 +12,7 @@ module Span = C4_obs.Span
 let now_ns () = Unix.gettimeofday () *. 1e9
 
 let bench_record ~n_workers ~n_partitions ~compaction ~write_frac ~theta ~rate
-    ~n_ops ~delete_frac ~conns report =
+    ~n_ops ~delete_frac ~conns ~wal ~fsync_policy report =
   let open C4_net.Loadgen in
   let hist name h = (name, Json.Obj (C4_obs.Benchlog.percentiles_of h)) in
   C4_obs.Benchlog.record ~kind:"netbench"
@@ -27,6 +27,8 @@ let bench_record ~n_workers ~n_partitions ~compaction ~write_frac ~theta ~rate
         ("n_ops", Json.Int n_ops);
         ("delete_frac_pct", Json.Float delete_frac);
         ("conns", Json.Int conns);
+        ("wal", Json.Bool wal);
+        ("fsync_policy", Json.Str (C4_wal.Wal.fsync_policy_to_string fsync_policy));
       ]
     ~results:
       [
@@ -43,7 +45,7 @@ let bench_record ~n_workers ~n_partitions ~compaction ~write_frac ~theta ~rate
       ]
 
 let netbench_run n_workers n_partitions compaction write_frac theta rate n_ops
-    warmup delete_frac conns bench_json trace_out =
+    warmup delete_frac conns wal_dir fsync_policy bench_json trace_out =
   let tracing = trace_out <> None in
   let client_spans = if tracing then Some (Span.create ~process:"client" ()) else None in
   let server_spans = if tracing then Some (Span.create ~process:"server" ()) else None in
@@ -61,9 +63,10 @@ let netbench_run n_workers n_partitions compaction write_frac theta rate n_ops
             Span.event buf ~name:"crew" ~args:[ ("decision", s) ]
               ~ts:(now_ns ()))
   in
+  let wal = wal_config ~wal_dir ~fsync_policy ~n_partitions in
   let runtime =
     C4_runtime.Server.start
-      (runtime_config ?on_decision n_workers n_partitions compaction)
+      (runtime_config ?on_decision ?wal n_workers n_partitions compaction)
   in
   let srv =
     C4_net.Server.start
@@ -118,7 +121,8 @@ let netbench_run n_workers n_partitions compaction write_frac theta rate n_ops
   | Some path ->
     C4_obs.Benchlog.append ~path
       (bench_record ~n_workers ~n_partitions ~compaction ~write_frac ~theta
-         ~rate ~n_ops ~delete_frac ~conns report);
+         ~rate ~n_ops ~delete_frac ~conns ~wal:(wal_dir <> None) ~fsync_policy
+         report);
     Printf.printf "appended run to %s\n" path);
   (match (trace_out, client_spans, server_spans) with
   | Some path, Some cbuf, Some sbuf ->
@@ -168,17 +172,19 @@ let cmd =
                  client+server Chrome trace to $(docv).")
   in
   let run workers partitions no_compaction write_frac theta rate n_ops warmup
-      delete_frac conns bench_json trace_out =
+      delete_frac conns wal_dir fsync_policy bench_json trace_out =
     netbench_run workers partitions (not no_compaction) write_frac theta rate
-      n_ops warmup delete_frac conns bench_json trace_out
+      n_ops warmup delete_frac conns wal_dir fsync_policy bench_json trace_out
   in
   Cmd.v
     (Cmd.info "netbench"
        ~doc:"Loopback load test: spin up the TCP server, drive it open-loop with \
-             the Zipf workload, report throughput and latency percentiles. \
-             Exits nonzero on any protocol error or unanswered request.")
+             the Zipf workload (optionally durable via --wal-dir, to measure \
+             the fsync-policy cost), report throughput and latency \
+             percentiles. Exits nonzero on any protocol error or unanswered \
+             request.")
     Term.(
       const run $ workers_arg $ partitions_arg $ no_compaction_arg
       $ write_frac_arg ~default:30.0 ~doc:"Write percentage of the Zipf mix." ()
       $ theta_arg ~default:0.99 () $ rate $ n_ops $ warmup $ delete_frac
-      $ conns $ bench_json $ trace_out)
+      $ conns $ wal_dir_arg $ fsync_policy_arg $ bench_json $ trace_out)

@@ -1,13 +1,14 @@
 (* Network serving: a real TCP front-end over the multicore runtime,
-   with an optional live telemetry plane on a second port. *)
+   with an optional live telemetry plane on a second port and an
+   optional per-partition WAL for durability across restarts. *)
 
 open Cmdliner
 open Cmd_common
 module Json = C4_obs.Json
 
 (* The /healthz document: liveness plus the load-visible runtime state
-   (shed level, inflight, per-worker ownership census). *)
-let health_doc ~t0 ~runtime ~srv () =
+   (shed level, inflight, per-worker ownership census, durability). *)
+let health_doc ~t0 ~runtime ~srv ~wal_enabled () =
   let sstats = C4_net.Server.stats srv in
   let rstats = C4_runtime.Server.stats runtime in
   let ownership =
@@ -26,19 +27,40 @@ let health_doc ~t0 ~runtime ~srv () =
       ("shed_level", Json.Int (C4_runtime.Server.shed_level runtime));
       ("alive_workers", Json.Int (C4_runtime.Server.alive_workers runtime));
       ("recoveries", Json.Int rstats.C4_runtime.Server.recoveries);
+      ("wal_enabled", Json.Bool wal_enabled);
+      ("wal_replayed", Json.Int rstats.C4_runtime.Server.wal_replayed);
       ( "ownership_counts",
         Json.List (List.map (fun c -> Json.Int c) ownership) );
     ]
 
-let serve_run port telemetry_port n_workers n_partitions compaction duration =
+let serve_run port telemetry_port n_workers n_partitions compaction wal_dir
+    fsync_policy duration =
   let t0 = Unix.gettimeofday () in
-  (* One shared thread-safe registry: crew.* (runtime), net.* (server)
-     and the telemetry endpoint all see the same metric namespace. *)
+  (* One shared thread-safe registry: crew.* (runtime), net.* (server),
+     wal.* and the telemetry endpoint all see the same namespace. *)
   let registry = C4_obs.Registry.create ~thread_safe:true () in
+  let wal = wal_config ~wal_dir ~fsync_policy ~n_partitions in
   let runtime =
     C4_runtime.Server.start
-      (runtime_config ~registry n_workers n_partitions compaction)
+      (runtime_config ~registry ?wal n_workers n_partitions compaction)
   in
+  (* Parseable recovery line (before the listening line, so harnesses
+     reading stdout sequentially see recovery state first). *)
+  (match wal_dir with
+  | None -> ()
+  | Some dir ->
+    let rstats = C4_runtime.Server.stats runtime in
+    let read name =
+      match C4_obs.Registry.read registry name with
+      | Some v -> int_of_float v
+      | None -> 0
+    in
+    Printf.printf
+      "wal: dir %s, replayed %d records, %d torn truncations, policy %s\n%!"
+      dir
+      rstats.C4_runtime.Server.wal_replayed
+      (read "wal.torn_truncations")
+      (C4_wal.Wal.fsync_policy_to_string fsync_policy));
   let srv =
     C4_net.Server.start ~registry
       { C4_net.Server.default_config with port }
@@ -50,16 +72,18 @@ let serve_run port telemetry_port n_workers n_partitions compaction duration =
     | Some tport ->
       let tel =
         C4_obs.Telemetry.start ~port:tport ~registry
-          ~health:(health_doc ~t0 ~runtime ~srv)
+          ~health:
+            (health_doc ~t0 ~runtime ~srv ~wal_enabled:(wal_dir <> None))
           ()
       in
       Printf.printf "telemetry on http://127.0.0.1:%d (/metrics, /healthz)\n%!"
         (C4_obs.Telemetry.port tel);
       Some tel
   in
-  Printf.printf "c4 server listening on 127.0.0.1:%d (%d workers, %d partitions%s)\n%!"
+  Printf.printf "c4 server listening on 127.0.0.1:%d (%d workers, %d partitions%s%s)\n%!"
     (C4_net.Server.port srv) n_workers n_partitions
-    (if compaction then ", compaction on" else "");
+    (if compaction then ", compaction on" else "")
+    (if wal_dir <> None then ", wal on" else "");
   (match duration with
   | Some s -> (try Unix.sleepf s with Unix.Unix_error (Unix.EINTR, _, _) -> ())
   | None ->
@@ -72,7 +96,9 @@ let serve_run port telemetry_port n_workers n_partitions compaction duration =
     done);
   (* Telemetry first (health reads server stats), then net layer, then
      runtime: the drain order that guarantees every accepted request is
-     answered before workers tear down. *)
+     answered before workers tear down. Runtime [stop] finishes by
+     flushing + fsyncing + closing the WAL, so a SIGTERM'd server leaves
+     no torn tail — the clean-shutdown durability contract. *)
   Option.iter C4_obs.Telemetry.stop telemetry;
   C4_net.Server.stop srv;
   C4_runtime.Server.stop runtime;
@@ -98,13 +124,16 @@ let cmd =
     Arg.(value & opt (some float) None & info [ "duration" ] ~docv:"SECONDS"
            ~doc:"Serve for $(docv) then drain and exit (default: until SIGINT).")
   in
-  let run port telemetry_port workers partitions no_compaction duration =
-    serve_run port telemetry_port workers partitions (not no_compaction) duration
+  let run port telemetry_port workers partitions no_compaction wal_dir
+      fsync_policy duration =
+    serve_run port telemetry_port workers partitions (not no_compaction)
+      wal_dir fsync_policy duration
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve the multicore KVS over TCP (CREW routing, compaction, \
-             recovery), optionally exposing live telemetry on a second port.")
+             recovery), optionally durable via a per-partition write-ahead \
+             log and observable via live telemetry on a second port.")
     Term.(
       const run $ port $ telemetry_port $ workers_arg $ partitions_arg
-      $ no_compaction_arg $ duration)
+      $ no_compaction_arg $ wal_dir_arg $ fsync_policy_arg $ duration)

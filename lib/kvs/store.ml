@@ -5,28 +5,48 @@ type t = {
   locks : Seqlock.t array;
   (* Per-partition idempotency-token sets. A token lives in its key's
      partition, so under CREW it is only ever touched by the partition's
-     single writer — no extra synchronisation needed. *)
+     single writer — no extra synchronisation needed. Retention is
+     bounded: [token_order] remembers arrival order and once a
+     partition holds [token_capacity] tokens the oldest is evicted per
+     new one, so a long-lived server's memory stays flat. The dedup
+     guarantee this implies: a retry is suppressed as long as fewer
+     than [token_capacity] newer tokened writes have hit its partition
+     since the original applied — far beyond any client's retry
+     deadline at the default capacity. *)
   applied_tokens : (int, unit) Hashtbl.t array;
+  token_order : int Queue.t array;
+  token_capacity : int;
   n_partitions : int;
   mutable count : int;
   mutable reads_n : int;
   mutable writes_n : int;
   mutable retries_n : int;
   mutable dup_writes_n : int;
+  mutable tokens_evicted_n : int;
+  evicted_c : C4_obs.Registry.counter option;
 }
 
-let create ?(n_buckets = 65536) ?(n_partitions = 1024) () =
-  if n_buckets <= 0 || n_partitions <= 0 then invalid_arg "Store.create";
+let default_token_capacity = 8192
+
+let create ?(n_buckets = 65536) ?(n_partitions = 1024)
+    ?(token_capacity = default_token_capacity) ?registry () =
+  if n_buckets <= 0 || n_partitions <= 0 || token_capacity <= 0 then
+    invalid_arg "Store.create";
   {
     buckets = Array.init n_buckets (fun _ -> ref []);
     locks = Array.init n_partitions (fun _ -> Seqlock.create ());
     applied_tokens = Array.init n_partitions (fun _ -> Hashtbl.create 16);
+    token_order = Array.init n_partitions (fun _ -> Queue.create ());
+    token_capacity;
     n_partitions;
     count = 0;
     reads_n = 0;
     writes_n = 0;
     retries_n = 0;
     dup_writes_n = 0;
+    tokens_evicted_n = 0;
+    evicted_c =
+      Option.map (fun reg -> C4_obs.Registry.counter reg "store.tokens_evicted") registry;
   }
 
 let n_buckets t = Array.length t.buckets
@@ -75,7 +95,17 @@ let set_idempotent t ~key ~value ~token =
   end
   else begin
     Seqlock.write_begin lock;
+    (* FIFO retention bound: make room before recording the new token,
+       inside the write section so the CREW single writer sees an exact
+       record at every instant. *)
+    let order = t.token_order.(partition) in
+    if Queue.length order >= t.token_capacity then begin
+      Hashtbl.remove tokens (Queue.pop order);
+      t.tokens_evicted_n <- t.tokens_evicted_n + 1;
+      Option.iter C4_obs.Registry.incr t.evicted_c
+    end;
     Hashtbl.replace tokens token ();
+    Queue.push token order;
     set_locked t ~key ~value;
     Seqlock.write_end lock;
     `Applied
@@ -124,7 +154,13 @@ let remove t ~key =
 let size t = t.count
 let partition_version t ~partition = Seqlock.version t.locks.(partition)
 
-type stats = { reads : int; writes : int; read_retries : int; duplicate_writes : int }
+type stats = {
+  reads : int;
+  writes : int;
+  read_retries : int;
+  duplicate_writes : int;
+  tokens_evicted : int;
+}
 
 let stats t =
   {
@@ -132,6 +168,7 @@ let stats t =
     writes = t.writes_n;
     read_retries = t.retries_n;
     duplicate_writes = t.dup_writes_n;
+    tokens_evicted = t.tokens_evicted_n;
   }
 
 let reset_stats t =

@@ -13,7 +13,21 @@
 
 type t
 
-val create : ?n_buckets:int -> ?n_partitions:int -> unit -> t
+(** Tokens remembered per partition before FIFO eviction kicks in (see
+    {!set_idempotent}); the default. *)
+val default_token_capacity : int
+
+(** [token_capacity] bounds per-partition idempotency-token retention
+    (default {!default_token_capacity}); [registry] receives a
+    [store.tokens_evicted] counter when supplied. *)
+val create :
+  ?n_buckets:int ->
+  ?n_partitions:int ->
+  ?token_capacity:int ->
+  ?registry:C4_obs.Registry.t ->
+  unit ->
+  t
+
 val n_buckets : t -> int
 val n_partitions : t -> int
 
@@ -28,7 +42,16 @@ val set : t -> key:int -> value:bytes -> unit
     (a client retry whose original ack was lost), the store leaves the
     value untouched and reports [`Duplicate]. Tokens are tracked per
     partition, inside the partition's write section, so the CREW single
-    writer sees an exact record. *)
+    writer sees an exact record.
+
+    Retention is bounded: each partition remembers at most
+    [token_capacity] tokens, evicting the oldest (FIFO) to admit a new
+    one, so long-lived servers do not leak. The implied guarantee: a
+    retry dedups as long as fewer than [token_capacity] {e newer}
+    tokened writes reached its partition since the original applied —
+    a retry window that dwarfs any client retry deadline at the
+    default capacity. Evictions are counted in {!stats} and in the
+    registry's [store.tokens_evicted]. *)
 val set_idempotent :
   t -> key:int -> value:bytes -> token:int -> [ `Applied | `Duplicate ]
 
@@ -52,7 +75,13 @@ val size : t -> int
 (** Partition version, for tests asserting update counts. *)
 val partition_version : t -> partition:int -> int
 
-type stats = { reads : int; writes : int; read_retries : int; duplicate_writes : int }
+type stats = {
+  reads : int;
+  writes : int;
+  read_retries : int;
+  duplicate_writes : int;
+  tokens_evicted : int;  (** idempotency tokens dropped by the FIFO bound *)
+}
 
 val stats : t -> stats
 val reset_stats : t -> unit

@@ -51,6 +51,7 @@ type t = {
   wire : Wire.t;
   slots : slot array array;  (* slots.(host).(pool index) *)
   next_id : int Atomic.t;
+  token_nonce : int;
   rr : int Atomic.t;
   budget : Retry.Budget.budget option;
   budget_lock : Mutex.t;
@@ -62,8 +63,26 @@ type t = {
   n_reconnects : int Atomic.t;
 }
 
+(* Idempotency tokens must be unique across client INSTANCES, not just
+   within one: the server's per-partition token table is shared by every
+   client, so two processes both counting 0, 1, 2... would suppress each
+   other's genuinely-new writes as duplicates. Each client mixes a
+   60-bit nonce (pid, wall clock, per-process instance counter) into its
+   tokens; request ids stay small and per-connection. *)
+let instance_counter = Atomic.make 0
+
+let make_token_nonce () =
+  let c = Atomic.fetch_and_add instance_counter 1 in
+  let now = Unix.gettimeofday () in
+  let h1 = Hashtbl.hash (Unix.getpid (), now, c) in
+  let h2 = Hashtbl.hash (c, now, Unix.getpid (), 0xc4) in
+  ((h1 lsl 30) lxor h2) land max_int
+
 let create cfg =
   if cfg.hosts = [] then invalid_arg "Net.Client.create: hosts";
+  (* A server dying mid-write must surface as EPIPE on the socket, not
+     kill the whole client process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   if cfg.conns_per_host < 1 then invalid_arg "Net.Client.create: conns_per_host";
   let slot (host, port) =
     { s_host = host; s_port = port; s_lock = Mutex.create (); s_conn = None }
@@ -77,6 +96,7 @@ let create cfg =
            (fun hp -> Array.init cfg.conns_per_host (fun _ -> slot hp))
            cfg.hosts);
     next_id = Atomic.make 0;
+    token_nonce = make_token_nonce ();
     rr = Atomic.make 0;
     budget = Option.map Retry.Budget.create cfg.retry;
     budget_lock = Mutex.create ();
@@ -323,21 +343,24 @@ let call t ~op ~key ~value =
       cfg.Retry.deadline <= 0.0
       || (Unix.gettimeofday () -. start) *. 1e9 < cfg.Retry.deadline
     in
-    (* The first attempt's id doubles as the idempotency token on SETs:
-       it must ride along from attempt one, or a duplicate of the
+    (* SETs carry an idempotency token derived from the first attempt's
+       id: it must ride along from attempt one, or a duplicate of the
        original could land after a tokenless first apply. Reserve the
-       id before dispatching so attempt 1 already carries it. *)
+       id before dispatching so attempt 1 already carries it. The token
+       mixes in the per-instance nonce so tokens never collide across
+       clients sharing a server. *)
     let reserved =
       match op with
       | Wire.Set -> Some (Atomic.fetch_and_add t.next_id 1)
       | Wire.Get | Wire.Delete -> None
     in
+    let token = Option.map (fun id -> t.token_nonce lxor id) reserved in
     let first_id = ref None in
     let rec attempt n =
       let id, resp =
         once t
           ~id:(if n = 1 then reserved else None)
-          ~op ~key ~value ~token:reserved
+          ~op ~key ~value ~token
       in
       if !first_id = None then first_id := Some id;
       if resp.Wire.status <> Wire.Err then resp

@@ -12,9 +12,11 @@
     {!delete} calls re-issue failed requests with the policy's capped
     exponential backoff, wall-clock deadline, and shared token-bucket
     budget ({!C4_resilience.Retry}). A SET is made safe to retry by
-    attaching an idempotency token — the id of the {e first} attempt —
-    from the very first try, so however many duplicates reach the
-    server, {!C4_runtime.Server} applies exactly one. Transport errors
+    attaching an idempotency token — the {e first} attempt's id mixed
+    with a per-client-instance nonce, so tokens are unique across every
+    client sharing a server — from the very first try, so however many
+    duplicates reach the server, {!C4_runtime.Server} applies exactly
+    one. Transport errors
     (connection reset, decode failure) and [Err] responses are
     retryable; [Not_found] is a successful outcome, never retried. *)
 

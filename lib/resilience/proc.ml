@@ -1,0 +1,89 @@
+(* Child-process management for crash testing real servers.
+
+   The in-process chaos harness ([Chaos]) kills simulated workers; this
+   module is the fault injector one level up — it runs a whole server as
+   a child process so the test can SIGKILL it mid-load and restart it,
+   proving durability claims against a genuinely dead process rather
+   than a cooperative shutdown. Kept free of any networking dependency
+   so it sits below [c4_net] in the build graph; the client-side driving
+   lives with the CLI ([cmd_chaos]). *)
+
+type t = {
+  pid : int;
+  stdout : Unix.file_descr;
+  mutable buf : Buffer.t;  (* bytes read but not yet returned as a line *)
+  mutable status : Unix.process_status option;  (* set once reaped *)
+}
+
+let spawn ~prog ~args =
+  let r, w = Unix.pipe ~cloexec:false () in
+  let pid =
+    Unix.create_process prog
+      (Array.of_list (prog :: args))
+      Unix.stdin w Unix.stderr
+  in
+  Unix.close w;
+  { pid; stdout = r; buf = Buffer.create 256; status = None }
+
+let pid t = t.pid
+
+(* Pull one '\n'-terminated line out of [buf], if present. *)
+let take_line t =
+  let s = Buffer.contents t.buf in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+    Buffer.clear t.buf;
+    Buffer.add_string t.buf (String.sub s (i + 1) (String.length s - i - 1));
+    Some (String.sub s 0 i)
+
+let await_line ?(timeout = 10.0) t =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match take_line t with
+    | Some line -> Some line
+    | None ->
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0.0 then None
+      else begin
+        match Unix.select [ t.stdout ] [] [] remaining with
+        | [], _, _ -> None
+        | _ :: _, _, _ ->
+          let n = Unix.read t.stdout chunk 0 (Bytes.length chunk) in
+          if n = 0 then take_line t (* EOF: flush whatever is buffered *)
+          else begin
+            Buffer.add_subbytes t.buf chunk 0 n;
+            go ()
+          end
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      end
+  in
+  go ()
+
+let kill ?(signal = Sys.sigkill) t =
+  match t.status with
+  | Some _ -> ()
+  | None -> ( try Unix.kill t.pid signal with Unix.Unix_error (Unix.ESRCH, _, _) -> ())
+
+let wait ?(timeout = 10.0) t =
+  match t.status with
+  | Some status -> Some status
+  | None ->
+    let deadline = Unix.gettimeofday () +. timeout in
+    let rec go () =
+      match Unix.waitpid [ Unix.WNOHANG ] t.pid with
+      | 0, _ ->
+        if Unix.gettimeofday () >= deadline then None
+        else begin
+          Unix.sleepf 0.02;
+          go ()
+        end
+      | _, status ->
+        t.status <- Some status;
+        (try Unix.close t.stdout with Unix.Unix_error _ -> ());
+        Some status
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) -> None
+    in
+    go ()

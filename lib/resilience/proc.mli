@@ -1,0 +1,36 @@
+(** Child-process management for crash testing real servers.
+
+    The in-process chaos harness ({!Chaos}) kills simulated workers;
+    this module is the fault injector one level up: it runs a whole
+    server binary as a child process so a test can [SIGKILL] it
+    mid-load and restart it on the same state directory — proving
+    durability claims against a genuinely dead process (no atexit, no
+    flush, no cooperative shutdown) rather than a polite stop.
+
+    Deliberately free of networking dependencies so it sits below
+    [c4_net] in the build graph; the client-side load driving lives in
+    the CLI's kill-chaos command. *)
+
+type t
+
+(** [spawn ~prog ~args] starts [prog] with [args] (argv.(0) is set to
+    [prog]); the child's stdout is captured for {!await_line}, stderr
+    passes through. *)
+val spawn : prog:string -> args:string list -> t
+
+val pid : t -> int
+
+(** Next '\n'-terminated line of the child's stdout, waiting up to
+    [timeout] seconds (default 10). [None] on timeout or EOF with no
+    complete buffered line. The harness's handshake channel: the server
+    prints its bound port and recovery summary as single lines. *)
+val await_line : ?timeout:float -> t -> string option
+
+(** Send [signal] (default [SIGKILL] — this is a crash harness) to the
+    child. No-op once the child has been reaped. *)
+val kill : ?signal:int -> t -> unit
+
+(** Reap the child, polling up to [timeout] seconds (default 10).
+    [None] on timeout; the status is cached, so [wait] after a
+    successful wait returns the same status without syscalls. *)
+val wait : ?timeout:float -> t -> Unix.process_status option

@@ -2,6 +2,8 @@ module Store = C4_kvs.Store
 module Crew_config = C4_crew.Config
 module Core = C4_crew.Core
 module Registry = C4_obs.Registry
+module Wal = C4_wal.Wal
+module Record = C4_wal.Record
 
 exception Stopped
 
@@ -46,6 +48,7 @@ type config = {
   clock : unit -> float;
   on_decision : (C4_crew.Decision.t -> unit) option;
   registry : Registry.t option;
+  wal : Wal.config option;
 }
 
 let default_config =
@@ -60,6 +63,7 @@ let default_config =
     clock = (fun () -> Unix.gettimeofday () *. 1e9);
     on_decision = None;
     registry = None;
+    wal = None;
   }
 
 (* The multicore driver around the crew policy core (the runtime's half
@@ -84,6 +88,13 @@ type t = {
   mutable monitor : unit Domain.t option;
   mutable recoveries_n : int;
   mutable requeued_n : int;
+  (* Durability tier: [None] keeps the pre-WAL behaviour (everything
+     dies with the process). With a WAL, every mutation is appended
+     BEFORE its promise is fulfilled, and the fulfilment itself is
+     routed through [Wal.commit] so an ack can additionally wait for
+     the group-commit fsync — on the WAL's sync domain, never a worker. *)
+  wal : Wal.t option;
+  wal_replayed_n : int;
 }
 
 let owner_of_key t key =
@@ -105,6 +116,25 @@ let release_write t key =
       Core.write_done ~strict:false t.core
         ~partition:(Store.partition_of_key t.store key))
 
+(* Log the mutation (when a WAL is configured) and route [ack] — the
+   release + fulfil step — through the durability policy. Append runs
+   here, on the worker, BEFORE any acknowledgement exists; the ack
+   itself runs inline without a WAL, and through [Wal.commit] with one,
+   so fsync-gated policies fulfil from the WAL's sync domain after the
+   group commit. [group] marks a compaction-window close (the window's
+   deferred responses are the natural group-commit batch). [record] is
+   [None] for a mutation that changed nothing worth logging (a
+   suppressed duplicate — its original is already in the log). *)
+let log_then_ack t ~key ~record ~group ack =
+  match t.wal with
+  | None -> ack ()
+  | Some wal ->
+    let partition = Store.partition_of_key t.store key in
+    (match record with
+    | Some op -> ignore (Wal.append wal ~partition ~op)
+    | None -> ());
+    Wal.commit wal ~partition ~group ack
+
 (* Worker loop: CREW writes for owned partitions, balanced reads, and
    the compaction fast path — pop a write, harvest every queued write to
    the same key, and drive the core's window lifecycle: open, absorb
@@ -113,16 +143,24 @@ let release_write t key =
 let worker_loop t (w : worker_state) =
   let store = t.store in
   let apply_set key value token promise =
-    (match token with
-    | None -> Store.set store ~key ~value
-    | Some token -> (
-      match Store.set_idempotent store ~key ~value ~token with
-      | `Applied -> ()
-      | `Duplicate -> w.dups <- w.dups + 1));
+    let applied =
+      match token with
+      | None ->
+        Store.set store ~key ~value;
+        true
+      | Some token -> (
+        match Store.set_idempotent store ~key ~value ~token with
+        | `Applied -> true
+        | `Duplicate ->
+          w.dups <- w.dups + 1;
+          false)
+    in
     w.ops <- w.ops + 1;
     w.writes_n <- w.writes_n + 1;
-    release_write t key;
-    Promise.fulfil promise ()
+    let record = if applied then Some (Record.Set { key; value; token }) else None in
+    log_then_ack t ~key ~record ~group:false (fun () ->
+        release_write t key;
+        Promise.fulfil promise ())
   in
   let rec loop () =
     match Channel.pop w.channel with
@@ -142,8 +180,10 @@ let worker_loop t (w : worker_state) =
       let present = Store.remove store ~key in
       w.ops <- w.ops + 1;
       w.writes_n <- w.writes_n + 1;
-      release_write t key;
-      Promise.fulfil promise present;
+      log_then_ack t ~key ~record:(Some (Record.Delete { key })) ~group:false
+        (fun () ->
+          release_write t key;
+          Promise.fulfil promise present);
       loop ()
     | Some (Set (key, value, (Some _ as token), promise)) ->
       (* Tokened writes bypass batching; see [is_plain_set_to]. *)
@@ -201,18 +241,34 @@ let worker_loop t (w : worker_state) =
           w.writes_n <- w.writes_n + n;
           w.batches <- w.batches + 1;
           w.batched_writes <- w.batched_writes + n;
+          (* Durability at window close: every absorbed write is logged
+             individually (replay re-applies them in order and converges
+             on the same final value the combined update produced), and
+             the window's deferred responses form ONE group-commit batch
+             — a single fsync covers them all. *)
+          (match t.wal with
+          | None -> ()
+          | Some wal ->
+            let partition = Store.partition_of_key store key in
+            List.iter
+              (fun value ->
+                ignore
+                  (Wal.append wal ~partition ~op:(Record.Set { key; value; token = None })))
+              values);
           (* Deferred responses: nothing was acknowledged before the
              combined update hit the store, and nothing is released
-             before the window closed. *)
-          release_write t key;
-          Promise.fulfil promise ();
-          List.iter
-            (function
-              | Set (k, _, _, p) ->
-                release_write t k;
-                Promise.fulfil p ()
-              | Get _ | Delete _ | Gate _ | Crash -> assert false)
-            dependents;
+             before the window closed (nor, with a WAL, before the
+             group commit). *)
+          log_then_ack t ~key ~record:None ~group:true (fun () ->
+              release_write t key;
+              Promise.fulfil promise ();
+              List.iter
+                (function
+                  | Set (k, _, _, p) ->
+                    release_write t k;
+                    Promise.fulfil p ()
+                  | Get _ | Delete _ | Gate _ | Crash -> assert false)
+                dependents);
           loop ()
       end
       else begin
@@ -296,7 +352,43 @@ let rec monitor_loop t =
 
 let start cfg =
   if cfg.n_workers < 1 then invalid_arg "Server.start: n_workers";
-  let store = Store.create ~n_buckets:cfg.n_buckets ~n_partitions:cfg.n_partitions () in
+  let registry =
+    (* A caller-supplied registry must be thread-safe (workers on
+       several domains bump the crew counters); the private fallback
+       always is. Sharing one registry with the network front-end is
+       what lets a single telemetry scrape expose crew.*, wal.* and
+       net.* metrics together. *)
+    match cfg.registry with
+    | Some r -> r
+    | None -> Registry.create ~thread_safe:true ()
+  in
+  let store =
+    Store.create ~n_buckets:cfg.n_buckets ~n_partitions:cfg.n_partitions ~registry ()
+  in
+  (* Durability: open (and recover) the WAL before any worker exists.
+     Replay is single-threaded here, so it trivially satisfies CREW;
+     records carrying an idempotency token go back through
+     [Store.set_idempotent], re-installing the token so a client retry
+     of a persisted-but-unacked write is still suppressed after the
+     restart. Serving counters are reset afterwards so replay traffic
+     never pollutes them. *)
+  let wal, wal_replayed =
+    match cfg.wal with
+    | None -> (None, 0)
+    | Some wcfg ->
+      if wcfg.Wal.n_partitions <> cfg.n_partitions then
+        invalid_arg "Server.start: wal.n_partitions must match n_partitions";
+      let replay ~partition:_ (r : Record.t) =
+        match r.Record.op with
+        | Record.Set { key; value; token = None } -> Store.set store ~key ~value
+        | Record.Set { key; value; token = Some token } ->
+          ignore (Store.set_idempotent store ~key ~value ~token)
+        | Record.Delete { key } -> ignore (Store.remove store ~key)
+      in
+      let w, rstats = Wal.open_ ~registry ~replay wcfg in
+      Store.reset_stats store;
+      (Some w, rstats.Wal.replayed)
+  in
   let workers =
     Array.init cfg.n_workers (fun id ->
         {
@@ -322,18 +414,8 @@ let start cfg =
         max cfg.crew.Crew_config.ewt_capacity cfg.n_partitions;
     }
   in
-  let core_registry =
-    (* A caller-supplied registry must be thread-safe (workers on
-       several domains bump the crew counters); the private fallback
-       always is. Sharing one registry with the network front-end is
-       what lets a single telemetry scrape expose crew.* and net.*
-       metrics together. *)
-    match cfg.registry with
-    | Some r -> r
-    | None -> Registry.create ~thread_safe:true ()
-  in
   let core =
-    Core.create ~registry:core_registry ?on_decision:cfg.on_decision
+    Core.create ~registry ?on_decision:cfg.on_decision
       ~cfg:crew_cfg ~n_workers:cfg.n_workers ~n_partitions:cfg.n_partitions ()
   in
   let t =
@@ -349,6 +431,8 @@ let start cfg =
       monitor = None;
       recoveries_n = 0;
       requeued_n = 0;
+      wal;
+      wal_replayed_n = wal_replayed;
     }
   in
   Array.iter (fun w -> spawn_worker t w) workers;
@@ -439,20 +523,37 @@ let shed_check t ~now =
 let shed_level t = Core.shed_level t.core
 
 (* Apply an op inline — only used by [stop] once every domain is joined,
-   so the single remaining thread trivially satisfies CREW. *)
-let apply_directly t = function
+   so the single remaining thread trivially satisfies CREW. Mutations
+   are still appended to the WAL (the [Wal.close] that follows fsyncs
+   them), but the acks are fulfilled directly: the sync domain is about
+   to be drained anyway and every promise must resolve before [stop]
+   returns. *)
+let apply_directly t op =
+  let log key op =
+    match t.wal with
+    | None -> ()
+    | Some wal ->
+      ignore (Wal.append wal ~partition:(Store.partition_of_key t.store key) ~op)
+  in
+  match op with
   | Crash -> ()
   | Gate (entered, _) ->
     (* Unblock a waiting [pause_worker]; the release side no longer has
        a worker to wake. *)
     if Promise.peek entered = None then Promise.fulfil entered ()
   | Get (key, p) -> Promise.fulfil p (fst (Store.get t.store ~key))
-  | Delete (key, p) -> Promise.fulfil p (Store.remove t.store ~key)
+  | Delete (key, p) ->
+    let present = Store.remove t.store ~key in
+    log key (Record.Delete { key });
+    Promise.fulfil p present
   | Set (key, value, None, p) ->
     Store.set t.store ~key ~value;
+    log key (Record.Set { key; value; token = None });
     Promise.fulfil p ()
-  | Set (key, value, Some token, p) ->
-    ignore (Store.set_idempotent t.store ~key ~value ~token);
+  | Set (key, value, (Some tok as token), p) ->
+    (match Store.set_idempotent t.store ~key ~value ~token:tok with
+    | `Applied -> log key (Record.Set { key; value; token })
+    | `Duplicate -> ());
     Promise.fulfil p ()
 
 let is_stopping t = Atomic.get t.stopped
@@ -497,7 +598,11 @@ let stop t =
           (fun w ->
             List.iter (apply_directly t)
               (Channel.drain_matching w.channel ~f:(fun _ -> true)))
-          t.workers
+          t.workers;
+        (* Durability epilogue: drain the sync domain's pending acks,
+           fsync every partition, close the segment fds. After this a
+           restart replays the full log with no torn tail. *)
+        Option.iter Wal.close t.wal
       end)
 
 (* ---------------- stats ---------------- *)
@@ -512,6 +617,8 @@ type stats = {
   recoveries : int;
   requeued_ops : int;
   duplicate_writes : int;
+  wal_replayed : int;
+  tokens_evicted : int;
 }
 
 let stats t =
@@ -529,6 +636,8 @@ let stats t =
     recoveries;
     requeued_ops;
     duplicate_writes = sum (fun w -> w.dups);
+    wal_replayed = t.wal_replayed_n;
+    tokens_evicted = (Store.stats t.store).Store.tokens_evicted;
   }
 
 let alive_workers t =

@@ -33,7 +33,17 @@
       pins, so no stale pin keeps routing at the corpse), requeues the
       dead channel's backlog along the new routes, and restarts the
       worker — no acknowledged write is lost, and the recorded history
-      stays linearizable.
+      stays linearizable;
+    - with a WAL configured ({!config.wal}), every mutation is appended
+      to its partition's log BEFORE the ack, and the ack is routed
+      through the WAL's group-commit machinery ([C4_wal.Wal.commit]) so
+      fsync-gated policies acknowledge from the WAL's sync domain —
+      workers never block on fsync. A compaction window's deferred
+      responses form one group-commit batch (one fsync covers the whole
+      window). On {!start} the log is replayed into the store before
+      any worker exists; tokened records go back through
+      [Store.set_idempotent], so client retries still dedup across a
+      restart.
 
     On a many-core machine this is a usable (if minimal) concurrent KVS;
     on a single core it still exercises every synchronisation path via
@@ -76,6 +86,13 @@ type config = {
           a private thread-safe registry is used when [None]. Share one
           registry with [C4_net.Server] and the telemetry endpoint to
           expose the whole stack in one scrape *)
+  wal : C4_wal.Wal.config option;
+      (** durability tier: [None] (default) keeps the in-memory-only
+          behaviour; [Some cfg] opens (and, on restart, replays) a
+          per-partition write-ahead log under [cfg.dir] before serving.
+          [cfg.n_partitions] must equal [n_partitions] — the key→
+          partition map fixes per-key replay order, so it may not drift
+          across restarts of the same log directory *)
 }
 
 (** 4 workers, {!C4_crew.Config.queued} policy profile (compaction on,
@@ -138,8 +155,10 @@ val shed_level : t -> int
     accepted-but-unanswered request dropped. Idempotent, and safe to
     race with in-flight operations: every promise issued before [stop]
     resolves (including the backlog of a worker that crashed in the stop
-    window, which [stop] applies itself). Concurrent [stop]s serialise;
-    the loser returns after shutdown completes. *)
+    window, which [stop] applies itself). With a WAL, [stop] finishes by
+    flushing and fsyncing every partition's log and closing it — a clean
+    shutdown leaves no torn tail. Concurrent [stop]s serialise; the
+    loser returns after shutdown completes. *)
 val stop : t -> unit
 
 (** [true] once {!stop} has begun: submissions will raise {!Stopped}.
@@ -156,6 +175,9 @@ type stats = {
   recoveries : int;  (** worker crashes recovered *)
   requeued_ops : int;  (** backlog ops requeued by recoveries *)
   duplicate_writes : int;  (** tokened writes suppressed as duplicates *)
+  wal_replayed : int;  (** records replayed from the WAL at {!start} *)
+  tokens_evicted : int;
+      (** idempotency tokens dropped by the store's FIFO retention bound *)
 }
 
 val stats : t -> stats

@@ -1,0 +1,15 @@
+(** CRC-32C (Castagnoli, the iSCSI/ext4 polynomial 0x1EDC6F41),
+    table-driven over the reflected polynomial 0x82F63B78.
+
+    Chosen over plain CRC-32 for its better error-detection properties
+    on short records and because it is the checksum real log formats
+    (RocksDB WAL, LevelDB) frame records with — a WAL tail torn by a
+    mid-write crash must be distinguishable from a valid record with
+    overwhelming probability. *)
+
+(** [digest b ~pos ~len] is the CRC-32C of the slice as an unsigned
+    32-bit value (initial value [0xFFFFFFFF], final xor [0xFFFFFFFF]).
+    The check value: [digest "123456789"] = [0xE3069283]. *)
+val digest : Bytes.t -> pos:int -> len:int -> int
+
+val digest_string : string -> int

@@ -1,0 +1,112 @@
+type op =
+  | Set of { key : int; value : bytes; token : int option }
+  | Delete of { key : int }
+
+type t = { seqno : int; op : op }
+
+let max_value_len = 16 * 1024 * 1024
+let header_len = 8 (* length + crc *)
+
+(* seqno(8) op(1) key(8) tokflag(1) [token(8)] vlen(4) value *)
+let payload_len ~has_token ~vlen = 8 + 1 + 8 + 1 + (if has_token then 8 else 0) + 4 + vlen
+let min_payload_len = payload_len ~has_token:false ~vlen:0
+let max_payload_len = payload_len ~has_token:true ~vlen:max_value_len
+
+let encoded_size t =
+  match t.op with
+  | Set { value; token; _ } ->
+    header_len + payload_len ~has_token:(token <> None) ~vlen:(Bytes.length value)
+  | Delete _ -> header_len + min_payload_len
+
+let add_i64 buf v = Buffer.add_int64_le buf (Int64.of_int v)
+let add_i32 buf v = Buffer.add_int32_le buf (Int32.of_int v)
+
+let encode buf t =
+  let key, value, token, tag =
+    match t.op with
+    | Set { key; value; token } ->
+      if Bytes.length value > max_value_len then invalid_arg "Record.encode: value too large";
+      (key, value, token, 1)
+    | Delete { key } -> (key, Bytes.empty, None, 2)
+  in
+  let vlen = Bytes.length value in
+  let plen = payload_len ~has_token:(token <> None) ~vlen in
+  (* Build the payload in a scratch buffer so the CRC can be computed
+     before the header is emitted. *)
+  let payload = Buffer.create plen in
+  add_i64 payload t.seqno;
+  Buffer.add_char payload (Char.chr tag);
+  add_i64 payload key;
+  (match token with
+  | None -> Buffer.add_char payload '\000'
+  | Some tok ->
+    Buffer.add_char payload '\001';
+    add_i64 payload tok);
+  add_i32 payload vlen;
+  Buffer.add_bytes payload value;
+  assert (Buffer.length payload = plen);
+  let pbytes = Buffer.to_bytes payload in
+  add_i32 buf plen;
+  add_i32 buf (Crc32c.digest pbytes ~pos:0 ~len:plen);
+  Buffer.add_bytes buf pbytes
+
+type decoded = Ok of t * int | Torn | Corrupt of string
+
+let get_u32 b pos = Int32.to_int (Bytes.get_int32_le b pos) land 0xFFFFFFFF
+let get_i64 b pos = Int64.to_int (Bytes.get_int64_le b pos)
+
+let decode b ~pos =
+  let len = Bytes.length b in
+  if pos + header_len > len then Torn
+  else begin
+    let plen = get_u32 b pos in
+    let crc = get_u32 b (pos + 4) in
+    if plen < min_payload_len || plen > max_payload_len then
+      Corrupt (Printf.sprintf "implausible payload length %d" plen)
+    else if pos + header_len + plen > len then Torn
+    else begin
+      let p = pos + header_len in
+      if Crc32c.digest b ~pos:p ~len:plen <> crc then Corrupt "crc mismatch"
+      else begin
+        let seqno = get_i64 b p in
+        let tag = Char.code (Bytes.get b (p + 8)) in
+        let key = get_i64 b (p + 9) in
+        let tokflag = Char.code (Bytes.get b (p + 17)) in
+        match (tag, tokflag) with
+        | (1 | 2), (0 | 1) ->
+          let token, voff =
+            if tokflag = 1 then (Some (get_i64 b (p + 18)), p + 26) else (None, p + 18)
+          in
+          if voff + 4 > p + plen then Corrupt "payload underrun"
+          else begin
+            let vlen = get_u32 b voff in
+            if voff + 4 + vlen <> p + plen then
+              Corrupt (Printf.sprintf "value length %d inconsistent with payload" vlen)
+            else if tag = 1 then
+              Ok
+                ( { seqno; op = Set { key; value = Bytes.sub b (voff + 4) vlen; token } },
+                  p + plen )
+            else if vlen <> 0 || token <> None then
+              Corrupt "delete with value or token"
+            else Ok ({ seqno; op = Delete { key } }, p + plen)
+          end
+        | _ -> Corrupt (Printf.sprintf "bad op tag %d or token flag %d" tag tokflag)
+      end
+    end
+  end
+
+let equal a b =
+  a.seqno = b.seqno
+  &&
+  match (a.op, b.op) with
+  | Set s1, Set s2 ->
+    s1.key = s2.key && Bytes.equal s1.value s2.value && s1.token = s2.token
+  | Delete d1, Delete d2 -> d1.key = d2.key
+  | Set _, Delete _ | Delete _, Set _ -> false
+
+let pp ppf t =
+  match t.op with
+  | Set { key; value; token } ->
+    Format.fprintf ppf "#%d SET %d (%d B%s)" t.seqno key (Bytes.length value)
+      (match token with None -> "" | Some tok -> Format.sprintf ", token %d" tok)
+  | Delete { key } -> Format.fprintf ppf "#%d DELETE %d" t.seqno key

@@ -1,0 +1,58 @@
+(** The WAL record codec: one mutation, CRC32C-framed.
+
+    Frame layout (all integers little-endian):
+
+    {v
+      length : 4 bytes   payload length in bytes
+      crc    : 4 bytes   CRC-32C of the payload
+      payload:
+        seqno : 8 bytes  per-partition append sequence number
+        op    : 1 byte   1 = SET, 2 = DELETE
+        key   : 8 bytes
+        tok?  : 1 byte   1 if an idempotency token follows, else 0
+        token : 8 bytes  present iff tok? = 1
+        vlen  : 4 bytes  value length (0 for DELETE)
+        value : vlen bytes
+    v}
+
+    The CRC covers the payload only; the length field is validated by
+    bounds checks ([vlen] must account for exactly the payload bytes, so
+    a bit-flipped length cannot smuggle a shifted-but-CRC-valid record).
+    Decoding distinguishes a {e torn} tail (fewer bytes than the frame
+    claims — the normal result of a crash mid-append, silently
+    truncated by recovery) from a {e corrupt} record (CRC mismatch or
+    malformed payload — counted by recovery before truncating). *)
+
+type op =
+  | Set of { key : int; value : bytes; token : int option }
+      (** [token] is the idempotency token the write carried, replayed
+          through [C4_kvs.Store.set_idempotent] so a persisted-but-
+          unacked write is never double-applied by a client retry that
+          straddles the restart *)
+  | Delete of { key : int }
+
+type t = { seqno : int; op : op }
+
+(** Values larger than this are refused by {!encode} (and a decoded
+    length claiming more is corrupt, not torn — it bounds allocation
+    when the length field itself is damaged). *)
+val max_value_len : int
+
+(** Append the framed record to [buf]. Raises [Invalid_argument] when
+    the value exceeds {!max_value_len}. *)
+val encode : Buffer.t -> t -> unit
+
+(** Frame size {!encode} would emit, in bytes. *)
+val encoded_size : t -> int
+
+type decoded =
+  | Ok of t * int  (** the record and the position just past its frame *)
+  | Torn  (** fewer bytes than the frame needs: a truncated tail *)
+  | Corrupt of string  (** CRC mismatch or malformed payload *)
+
+(** Decode one frame starting at [pos]. [Ok (_, next)] allows iterating
+    a segment; [Torn] at exactly the end of valid data is a clean tail. *)
+val decode : Bytes.t -> pos:int -> decoded
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

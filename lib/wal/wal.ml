@@ -1,0 +1,436 @@
+(* c4-lint: allow bare-mutex-lock — c4_wal sits below c4_runtime (the
+   runtime depends on it), so Runtime.Sync is unavailable; the local
+   [with_lock] below is the same exception-safe wrapper. *)
+
+module Registry = C4_obs.Registry
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+type fsync_policy = Always | Window | Interval of float | Never
+
+let fsync_policy_of_string s =
+  match String.lowercase_ascii s with
+  | "always" -> Ok Always
+  | "window" -> Ok Window
+  | "never" -> Ok Never
+  | s when String.length s > 9 && String.sub s 0 9 = "interval:" -> (
+    let ms = String.sub s 9 (String.length s - 9) in
+    match float_of_string_opt ms with
+    | Some ms when ms > 0.0 -> Ok (Interval (ms /. 1e3))
+    | Some _ | None -> Error (Printf.sprintf "bad fsync interval %S (want ms > 0)" ms))
+  | _ ->
+    Error
+      (Printf.sprintf "unknown fsync policy %S (always|window|interval:<ms>|never)" s)
+
+let fsync_policy_to_string = function
+  | Always -> "always"
+  | Window -> "window"
+  | Interval s -> Printf.sprintf "interval:%g" (s *. 1e3)
+  | Never -> "never"
+
+type config = {
+  dir : string;
+  n_partitions : int;
+  fsync : fsync_policy;
+  segment_bytes : int;
+}
+
+let default_config ~dir ~n_partitions =
+  { dir; n_partitions; fsync = Window; segment_bytes = 8 * 1024 * 1024 }
+
+type recovery_stats = {
+  replayed : int;
+  truncations : int;
+  recovered_partitions : int;
+}
+
+type partition_log = {
+  p_dir : string;
+  p_lock : Mutex.t;
+  p_buf : Buffer.t;  (* encode scratch, guarded by [p_lock] *)
+  mutable p_fd : Unix.file_descr option;  (* current segment, append mode *)
+  mutable p_seg : int;  (* current segment number *)
+  mutable p_seg_bytes : int;
+  mutable p_next_seqno : int;
+  mutable p_dirty : bool;  (* bytes written since the last fsync *)
+}
+
+type metrics = {
+  appends_c : Registry.counter;
+  bytes_c : Registry.counter;
+  fsyncs_c : Registry.counter;
+  group_h : Registry.histogram;
+  rotations_c : Registry.counter;
+  recoveries_c : Registry.counter;
+  replayed_c : Registry.counter;
+  torn_c : Registry.counter;
+}
+
+type request = { rq_partition : int; rq_cb : unit -> unit }
+
+type t = {
+  cfg : config;
+  parts : partition_log array;
+  m : metrics;
+  q_lock : Mutex.t;
+  q_cond : Condition.t;
+  mutable queue : request list;  (* newest first; reversed on drain *)
+  mutable closing : bool;
+  mutable syncer : unit Domain.t option;
+}
+
+(* ---------------- paths ---------------- *)
+
+let mkdir_p path =
+  let rec mk path =
+    if not (Sys.file_exists path) then begin
+      mk (Filename.dirname path);
+      try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  mk path
+
+let partition_dir cfg partition = Filename.concat cfg.dir (Printf.sprintf "p%04d" partition)
+let segment_path p_dir seg = Filename.concat p_dir (Printf.sprintf "%06d.seg" seg)
+
+let segment_number name =
+  if Filename.check_suffix name ".seg" then
+    int_of_string_opt (Filename.chop_suffix name ".seg")
+  else None
+
+let list_segments p_dir =
+  if not (Sys.file_exists p_dir) then []
+  else
+    Sys.readdir p_dir |> Array.to_list
+    |> List.filter_map (fun name ->
+           Option.map (fun n -> (n, Filename.concat p_dir name)) (segment_number name))
+    |> List.sort compare
+
+(* ---------------- meta ---------------- *)
+
+let meta_path cfg = Filename.concat cfg.dir "wal.meta"
+
+let check_meta cfg =
+  let path = meta_path cfg in
+  if Sys.file_exists path then begin
+    let ic = open_in path in
+    let line = try input_line ic with End_of_file -> "" in
+    close_in ic;
+    match int_of_string_opt (String.trim line) with
+    | Some n when n = cfg.n_partitions -> ()
+    | Some n ->
+      invalid_arg
+        (Printf.sprintf
+           "Wal.open_: %s was written with %d partitions, reopened with %d — \
+            replaying under a different key map would reorder same-key writes"
+           cfg.dir n cfg.n_partitions)
+    | None -> invalid_arg (Printf.sprintf "Wal.open_: unreadable meta %s" path)
+  end
+  else begin
+    let oc = open_out path in
+    output_string oc (string_of_int cfg.n_partitions ^ "\n");
+    close_out oc
+  end
+
+(* ---------------- fd helpers ---------------- *)
+
+let write_all fd b pos len =
+  let rec go pos len =
+    if len > 0 then begin
+      let n =
+        try Unix.write fd b pos len
+        with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      in
+      go (pos + n) (len - n)
+    end
+  in
+  go pos len
+
+let fsync_fd fd = try Unix.fsync fd with Unix.Unix_error (Unix.EINTR, _, _) -> Unix.fsync fd
+
+(* ---------------- recovery ---------------- *)
+
+let read_file path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let len = (Unix.fstat fd).Unix.st_size in
+      let b = Bytes.create len in
+      let rec go pos =
+        if pos < len then
+          match Unix.read fd b pos (len - pos) with
+          | 0 -> pos (* shorter than stat said; scan what we have *)
+          | n -> go (pos + n)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+        else pos
+      in
+      let got = go 0 in
+      if got = len then b else Bytes.sub b 0 got)
+
+let truncate_file path len =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.ftruncate fd len;
+      fsync_fd fd)
+
+(* Scan one partition's segments in order, replaying valid records and
+   cutting at the first torn/corrupt one. Returns
+   (records replayed, truncations performed, max seqno seen, last segment number). *)
+let recover_partition ~replay ~partition p_dir =
+  let segments = list_segments p_dir in
+  let replayed = ref 0 and truncations = ref 0 and max_seqno = ref 0 in
+  let last_seg = ref (match segments with [] -> 0 | l -> fst (List.hd (List.rev l))) in
+  let rec scan_segments = function
+    | [] -> ()
+    | (seg, path) :: rest ->
+      let b = read_file path in
+      let len = Bytes.length b in
+      let rec scan pos =
+        if pos >= len then `Clean
+        else
+          match Record.decode b ~pos with
+          | Record.Ok (r, next) ->
+            replay ~partition r;
+            incr replayed;
+            if r.Record.seqno > !max_seqno then max_seqno := r.Record.seqno;
+            scan next
+          | Record.Torn | Record.Corrupt _ -> `Bad pos
+      in
+      (match scan 0 with
+      | `Clean -> scan_segments rest
+      | `Bad pos ->
+        (* Truncate here; drop every later segment so nothing after the
+           first bad record can ever be applied. *)
+        truncate_file path pos;
+        incr truncations;
+        List.iter (fun (_, later) -> Sys.remove later) rest;
+        (* Appends resume in the truncated segment. *)
+        last_seg := seg)
+  in
+  scan_segments segments;
+  (!replayed, !truncations, !max_seqno, !last_seg)
+
+(* ---------------- lifecycle ---------------- *)
+
+let metrics_of reg =
+  {
+    appends_c = Registry.counter reg "wal.appends";
+    bytes_c = Registry.counter reg "wal.bytes";
+    fsyncs_c = Registry.counter reg "wal.fsyncs";
+    group_h = Registry.histogram reg "wal.group_size";
+    rotations_c = Registry.counter reg "wal.rotations";
+    recoveries_c = Registry.counter reg "wal.recoveries";
+    replayed_c = Registry.counter reg "wal.replayed";
+    torn_c = Registry.counter reg "wal.torn_truncations";
+  }
+
+(* Fsync [t.parts.(p)] if dirty; under the partition lock so a rotation
+   cannot close the fd out from under the fsync. *)
+let fsync_partition t p =
+  let part = t.parts.(p) in
+  with_lock part.p_lock (fun () ->
+      if part.p_dirty then begin
+        (match part.p_fd with Some fd -> fsync_fd fd | None -> ());
+        part.p_dirty <- false;
+        Registry.incr t.m.fsyncs_c
+      end)
+
+let flush_sync t =
+  Array.iteri (fun p _ -> fsync_partition t p) t.parts
+
+(* One group-commit round: fsync each distinct dirty partition once,
+   then acknowledge every request, in submission order. *)
+let run_round t reqs =
+  (match reqs with
+  | [] -> ()
+  | _ ->
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun rq ->
+        if not (Hashtbl.mem seen rq.rq_partition) then begin
+          Hashtbl.replace seen rq.rq_partition ();
+          fsync_partition t rq.rq_partition
+        end)
+      reqs;
+    Registry.observe t.m.group_h (float_of_int (List.length reqs)));
+  List.iter (fun rq -> rq.rq_cb ()) reqs
+
+let syncer_loop t () =
+  match t.cfg.fsync with
+  | Interval every ->
+    (* Periodic sweep; commits never queue under this policy. Sleep in
+       small slices so close is prompt even with long intervals. *)
+    let slice = Float.min every 0.05 in
+    let rec loop slept =
+      if not (with_lock t.q_lock (fun () -> t.closing)) then begin
+        Unix.sleepf slice;
+        let slept = slept +. slice in
+        if slept >= every then begin
+          flush_sync t;
+          loop 0.0
+        end
+        else loop slept
+      end
+    in
+    loop 0.0
+  | Always | Window | Never ->
+    let rec loop () =
+      let reqs, closing =
+        with_lock t.q_lock (fun () ->
+            while t.queue = [] && not t.closing do
+              Condition.wait t.q_cond t.q_lock
+            done;
+            let reqs = List.rev t.queue in
+            t.queue <- [];
+            (reqs, t.closing))
+      in
+      run_round t reqs;
+      if not (closing && with_lock t.q_lock (fun () -> t.queue = [])) then loop ()
+    in
+    loop ()
+
+let open_ ?registry ~replay cfg =
+  if cfg.n_partitions <= 0 then invalid_arg "Wal.open_: n_partitions";
+  if cfg.segment_bytes <= 0 then invalid_arg "Wal.open_: segment_bytes";
+  mkdir_p cfg.dir;
+  check_meta cfg;
+  let reg =
+    match registry with Some r -> r | None -> Registry.create ~thread_safe:true ()
+  in
+  let m = metrics_of reg in
+  let replayed = ref 0 and truncations = ref 0 and recovered = ref 0 in
+  let had_segments = ref false in
+  let parts =
+    Array.init cfg.n_partitions (fun p ->
+        let p_dir = partition_dir cfg p in
+        mkdir_p p_dir;
+        if list_segments p_dir <> [] then had_segments := true;
+        let n, cut, max_seqno, last_seg = recover_partition ~replay ~partition:p p_dir in
+        replayed := !replayed + n;
+        truncations := !truncations + cut;
+        if n > 0 then incr recovered;
+        let seg = max last_seg 1 in
+        let path = segment_path p_dir seg in
+        let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644 in
+        {
+          p_dir;
+          p_lock = Mutex.create ();
+          p_buf = Buffer.create 256;
+          p_fd = Some fd;
+          p_seg = seg;
+          p_seg_bytes = (Unix.fstat fd).Unix.st_size;
+          p_next_seqno = max_seqno + 1;
+          p_dirty = false;
+        })
+  in
+  if !had_segments then Registry.incr m.recoveries_c;
+  Registry.incr ~by:!replayed m.replayed_c;
+  Registry.incr ~by:!truncations m.torn_c;
+  let t =
+    {
+      cfg;
+      parts;
+      m;
+      q_lock = Mutex.create ();
+      q_cond = Condition.create ();
+      queue = [];
+      closing = false;
+      syncer = None;
+    }
+  in
+  (match cfg.fsync with
+  | Always | Window | Interval _ -> t.syncer <- Some (Domain.spawn (syncer_loop t))
+  | Never -> ());
+  ( t,
+    {
+      replayed = !replayed;
+      truncations = !truncations;
+      recovered_partitions = !recovered;
+    } )
+
+let config t = t.cfg
+
+let rotate_locked t part =
+  (match part.p_fd with
+  | Some fd ->
+    (* The retired segment is made durable before we move on: recovery
+       scans segments in order and must never find a durable successor
+       after a lost predecessor. *)
+    fsync_fd fd;
+    part.p_dirty <- false;
+    Registry.incr t.m.fsyncs_c;
+    Unix.close fd
+  | None -> ());
+  part.p_seg <- part.p_seg + 1;
+  let path = segment_path part.p_dir part.p_seg in
+  part.p_fd <-
+    Some (Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644);
+  part.p_seg_bytes <- 0;
+  Registry.incr t.m.rotations_c
+
+let append t ~partition ~op =
+  if partition < 0 || partition >= Array.length t.parts then
+    invalid_arg "Wal.append: partition";
+  let part = t.parts.(partition) in
+  with_lock part.p_lock (fun () ->
+      let fd =
+        match part.p_fd with
+        | Some fd -> fd
+        | None -> invalid_arg "Wal.append: closed"
+      in
+      let seqno = part.p_next_seqno in
+      part.p_next_seqno <- seqno + 1;
+      Buffer.clear part.p_buf;
+      Record.encode part.p_buf { Record.seqno; op };
+      let len = Buffer.length part.p_buf in
+      write_all fd (Buffer.to_bytes part.p_buf) 0 len;
+      part.p_seg_bytes <- part.p_seg_bytes + len;
+      part.p_dirty <- true;
+      Registry.incr t.m.appends_c;
+      Registry.incr ~by:len t.m.bytes_c;
+      if part.p_seg_bytes >= t.cfg.segment_bytes then rotate_locked t part;
+      seqno)
+
+let enqueue t rq =
+  with_lock t.q_lock (fun () ->
+      t.queue <- rq :: t.queue;
+      Condition.signal t.q_cond)
+
+let commit t ~partition ~group cb =
+  match t.cfg.fsync with
+  | Never | Interval _ -> cb ()
+  | Window when not group -> cb ()
+  | Always | Window -> enqueue t { rq_partition = partition; rq_cb = cb }
+
+let close t =
+  let already =
+    with_lock t.q_lock (fun () ->
+        let was = t.closing in
+        t.closing <- true;
+        Condition.broadcast t.q_cond;
+        was)
+  in
+  if not already then begin
+    (match t.syncer with Some d -> Domain.join d | None -> ());
+    t.syncer <- None;
+    (* Anything enqueued after the syncer's last drain. *)
+    run_round t (with_lock t.q_lock (fun () ->
+        let reqs = List.rev t.queue in
+        t.queue <- [];
+        reqs));
+    flush_sync t;
+    Array.iter
+      (fun part ->
+        with_lock part.p_lock (fun () ->
+            match part.p_fd with
+            | Some fd ->
+              Unix.close fd;
+              part.p_fd <- None
+            | None -> ()))
+      t.parts
+  end

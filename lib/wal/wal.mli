@@ -1,0 +1,106 @@
+(** Per-partition segmented write-ahead log with group commit.
+
+    One append-only log per store partition, each a directory of
+    numbered segment files of CRC32C-framed {!Record} frames. The CREW
+    discipline makes the log single-writer for free: the partition's
+    exclusive owner is the only domain that ever appends to it, so
+    appends need no cross-partition ordering and recovery can replay
+    partitions independently (per-key order is per-partition order).
+
+    {2 Write path}
+
+    {!append} frames the record and hands it to the OS with one
+    [write(2)] — no userspace buffering, so once {!append} returns the
+    bytes survive the {e process} dying ([kill -9] included); only an
+    OS crash or power loss can lose them, which is what [fsync] and the
+    {!fsync_policy} govern. {!commit} then schedules the acknowledgement:
+    depending on the policy it runs the callback immediately or defers
+    it onto the background sync domain, which coalesces every pending
+    request into one [fsync] per dirty partition (group commit) and
+    only then acknowledges — so an fsync never runs on a worker domain,
+    and concurrent windows closing across workers share fsyncs.
+
+    {2 Recovery}
+
+    {!open_} scans each partition's segments in order, replaying every
+    valid record through the caller's callback. At the first torn or
+    corrupt record it truncates the segment right there, discards any
+    later segment of that partition, and stops — nothing after the
+    first bad record is ever applied, so the replayed prefix is exactly
+    a prefix of what was logged. A run killed mid-append therefore
+    recovers every complete record and silently drops the torn tail.
+
+    Metrics (in [registry]): [wal.appends], [wal.bytes], [wal.fsyncs],
+    [wal.group_size] (requests coalesced per group-commit fsync round),
+    [wal.rotations], [wal.recoveries], [wal.replayed],
+    [wal.torn_truncations]. *)
+
+type fsync_policy =
+  | Always  (** every mutation's ack waits for a (group-commit) fsync *)
+  | Window
+      (** group commit at compaction-window close: a closing window's
+          deferred acks additionally wait for one fsync; singleton
+          mutations ack after the [write(2)] and their durability rides
+          the next group commit (or {!close}) *)
+  | Interval of float
+      (** seconds between background fsync sweeps; acks never wait *)
+  | Never  (** no fsync until {!close} *)
+
+(** ["always" | "window" | "interval:<ms>" | "never"]. *)
+val fsync_policy_of_string : string -> (fsync_policy, string) result
+
+val fsync_policy_to_string : fsync_policy -> string
+
+type config = {
+  dir : string;  (** created (with parents' leaf) when missing *)
+  n_partitions : int;  (** must match the store; recorded in [wal.meta] *)
+  fsync : fsync_policy;
+  segment_bytes : int;  (** rotate the segment once it grows past this *)
+}
+
+(** [Window] policy, 8 MiB segments. *)
+val default_config : dir:string -> n_partitions:int -> config
+
+type recovery_stats = {
+  replayed : int;  (** records applied through the replay callback *)
+  truncations : int;  (** torn/corrupt tails cut (segments dropped included) *)
+  recovered_partitions : int;  (** partitions holding at least one record *)
+}
+
+type t
+
+(** Open (creating the directory tree if needed), replay existing
+    segments through [replay] in per-partition seqno order, truncate
+    torn tails, and position every partition log for appending. Raises
+    [Invalid_argument] when [wal.meta] records a different
+    [n_partitions] (replaying under a different key→partition map could
+    reorder writes to the same key across partitions). [registry] must
+    be thread-safe; a private one is created when omitted. *)
+val open_ :
+  ?registry:C4_obs.Registry.t ->
+  replay:(partition:int -> Record.t -> unit) ->
+  config ->
+  t * recovery_stats
+
+val config : t -> config
+
+(** Append one mutation to [partition]'s log (caller must be the
+    partition's CREW owner, or otherwise serialise appends per
+    partition); returns the record's seqno. Rotates the segment when
+    full. The bytes are handed to the OS before this returns. *)
+val append : t -> partition:int -> op:Record.op -> int
+
+(** Schedule [cb] for when [partition]'s appended records are durable
+    per the policy. [group] marks a compaction-window close (the acks
+    the window deferred): [Always] defers every callback onto the sync
+    domain's group commit; [Window] defers only [group] callbacks;
+    [Interval _] and [Never] run [cb] inline. Callbacks for one
+    partition run in submission order. *)
+val commit : t -> partition:int -> group:bool -> (unit -> unit) -> unit
+
+(** Fsync every dirty partition now, on the calling thread. *)
+val flush_sync : t -> unit
+
+(** Drain pending commits, run their callbacks, fsync everything and
+    close all segments — after this returns no tail is torn. Idempotent. *)
+val close : t -> unit

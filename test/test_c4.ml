@@ -23,6 +23,7 @@ let () =
       ("facade", Test_c4_facade.tests);
       ("integration", Test_integration.tests);
       ("runtime", Test_runtime.tests);
+      ("wal", Test_wal.tests);
       ("resilience", Test_resilience.tests);
       ("analysis", Test_analysis.tests);
       ("cluster", Test_cluster.tests);

@@ -222,6 +222,53 @@ let test_store_stats () =
   Store.reset_stats s;
   Alcotest.(check int) "reset" 0 (Store.stats s).Store.reads
 
+let test_store_token_dedup () =
+  let s = Store.create () in
+  Alcotest.(check bool) "first applies" true
+    (Store.set_idempotent s ~key:1 ~value:(bytes_of "a") ~token:7 = `Applied);
+  Alcotest.(check bool) "same token suppressed" true
+    (Store.set_idempotent s ~key:1 ~value:(bytes_of "b") ~token:7 = `Duplicate);
+  Alcotest.(check (option string)) "value untouched" (Some "a")
+    (Option.map Bytes.to_string (fst (Store.get s ~key:1)));
+  Alcotest.(check int) "duplicate counted" 1 (Store.stats s).Store.duplicate_writes
+
+let test_store_token_fifo_eviction () =
+  (* One partition so every token lands in the same FIFO; capacity 2
+     means the third token evicts the first. *)
+  let registry = C4_obs.Registry.create () in
+  let s = Store.create ~n_partitions:1 ~token_capacity:2 ~registry () in
+  ignore (Store.set_idempotent s ~key:1 ~value:(bytes_of "a") ~token:100);
+  ignore (Store.set_idempotent s ~key:2 ~value:(bytes_of "b") ~token:200);
+  Alcotest.(check int) "within capacity, nothing evicted" 0
+    (Store.stats s).Store.tokens_evicted;
+  ignore (Store.set_idempotent s ~key:3 ~value:(bytes_of "c") ~token:300);
+  Alcotest.(check int) "oldest evicted at capacity" 1
+    (Store.stats s).Store.tokens_evicted;
+  Alcotest.(check (option (float 0.0))) "evictions exported" (Some 1.0)
+    (C4_obs.Registry.read registry "store.tokens_evicted");
+  (* The evicted token no longer dedups (bounded retention, not a leak):
+     its retry applies again. Newer tokens still dedup. *)
+  Alcotest.(check bool) "evicted token reapplies" true
+    (Store.set_idempotent s ~key:1 ~value:(bytes_of "a2") ~token:100 = `Applied);
+  Alcotest.(check bool) "recent token still dedups" true
+    (Store.set_idempotent s ~key:3 ~value:(bytes_of "c2") ~token:300 = `Duplicate);
+  Alcotest.(check int) "memory stays flat: another eviction" 2
+    (Store.stats s).Store.tokens_evicted
+
+let test_store_token_eviction_bounds_memory () =
+  let s = Store.create ~n_partitions:1 ~token_capacity:8 () in
+  for i = 0 to 999 do
+    ignore (Store.set_idempotent s ~key:(i mod 10) ~value:(bytes_of "v") ~token:i)
+  done;
+  Alcotest.(check int) "exactly capacity survives" (1000 - 8)
+    (Store.stats s).Store.tokens_evicted;
+  (* The newest [capacity] tokens all still dedup. *)
+  for i = 992 to 999 do
+    Alcotest.(check bool) (Printf.sprintf "token %d retained" i) true
+      (Store.set_idempotent s ~key:(i mod 10) ~value:(bytes_of "w") ~token:i
+      = `Duplicate)
+  done
+
 let test_store_many_keys_chaining () =
   (* Force chains: more keys than buckets. *)
   let s = Store.create ~n_buckets:16 ~n_partitions:4 () in
@@ -365,6 +412,9 @@ let tests =
     Alcotest.test_case "store versions count updates" `Quick test_store_versions_count_updates;
     Alcotest.test_case "batched write = one version bump" `Quick test_store_batched_single_version_bump;
     Alcotest.test_case "store stats" `Quick test_store_stats;
+    Alcotest.test_case "store token dedup" `Quick test_store_token_dedup;
+    Alcotest.test_case "store token FIFO eviction" `Quick test_store_token_fifo_eviction;
+    Alcotest.test_case "store token retention is bounded" `Quick test_store_token_eviction_bounds_memory;
     Alcotest.test_case "store chains under small index" `Quick test_store_many_keys_chaining;
     QCheck_alcotest.to_alcotest prop_store_models_map;
     Alcotest.test_case "compaction log lifecycle" `Quick test_log_lifecycle;

@@ -532,10 +532,12 @@ let test_set_token_from_first_attempt () =
   Thread.join server;
   match List.rev !seen with
   | [ (id1, Wire.Set, tok1); (id2, Wire.Set, tok2) ] ->
-    Alcotest.(check (option int)) "first attempt already carries its id as token"
-      (Some id1) tok1;
-    Alcotest.(check (option int)) "retry repeats the original token" (Some id1)
-      tok2;
+    Alcotest.(check bool) "first attempt already carries a token" true
+      (tok1 <> None);
+    (* The token mixes a per-instance nonce with the first attempt's id,
+       so it is NOT the bare id — that made tokens collide across client
+       instances sharing a server. *)
+    Alcotest.(check (option int)) "retry repeats the original token" tok1 tok2;
     Alcotest.(check bool) "retry uses a fresh request id" true (id2 <> id1)
   | l -> Alcotest.failf "expected exactly 2 SET attempts, saw %d" (List.length l)
 
