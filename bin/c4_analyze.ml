@@ -1,0 +1,28 @@
+(* c4_analyze [--json] [--baseline FILE] DIR...  — run the typed-AST
+   concurrency analyzer over every .cmt beneath the given directories
+   (default: lib) and exit non-zero on findings not covered by the
+   baseline. Wired to `dune build @analyze`. *)
+
+let () =
+  let json = ref false in
+  let baseline_file = ref "" in
+  let dirs = ref [] in
+  Arg.parse
+    [
+      ("--json", Arg.Set json, "emit the report as JSON");
+      ( "--baseline",
+        Arg.Set_string baseline_file,
+        "FILE known findings; only fresh ones fail the run" );
+    ]
+    (fun d -> dirs := d :: !dirs)
+    "c4_analyze [--json] [--baseline FILE] DIR...";
+  let dirs = if !dirs = [] then [ "lib" ] else List.rev !dirs in
+  let baseline =
+    if !baseline_file = "" then []
+    else C4_check.Staticcheck.load_baseline !baseline_file
+  in
+  let r = C4_check.Staticcheck.analyze ~baseline dirs in
+  print_string
+    (if !json then C4_check.Staticcheck.to_json r ^ "\n"
+     else C4_check.Staticcheck.to_text r);
+  exit (if r.C4_check.Staticcheck.fresh = [] then 0 else 1)

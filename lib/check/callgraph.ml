@@ -1,0 +1,234 @@
+(* Interprocedural layer over {!Tast_facts}: resolves textual call
+   targets to defined functions, and computes the two transitive
+   closures the rules need — which locks a function eventually takes
+   and which blocking primitives it eventually reaches — each with a
+   shortest witness call chain for the report. *)
+
+module F = Tast_facts
+
+type resolved_call = {
+  rc_caller : string;
+  rc_callee : string;  (** defined function name *)
+  rc_line : int;
+  rc_under : string option;
+}
+
+type t = {
+  units : F.unit_facts list;
+  funcs : (string, F.func * F.unit_facts) Hashtbl.t;  (* fn_name -> def *)
+  by_suffix : (string, string list) Hashtbl.t;
+      (* "M.f" and "f" suffix -> candidate fn_names *)
+  aliases : (string, string) Hashtbl.t;  (* "Unit|M" -> target path *)
+  mutable adj : (string, resolved_call list) Hashtbl.t;
+}
+
+let suffixes_of name =
+  (* every dot-suffix of [A.B.c]: ["A.B.c"; "B.c"; "c"] *)
+  let parts = String.split_on_char '.' name in
+  let rec go = function
+    | [] -> []
+    | _ :: rest as l -> String.concat "." l :: go rest
+  in
+  go parts
+
+let source_of t fn =
+  match Hashtbl.find_opt t.funcs fn with
+  | Some (_, uf) -> uf.F.uf_source
+  | None -> ""
+
+let unit_of_fn fn =
+  match String.rindex_opt fn '.' with
+  | Some i -> String.sub fn 0 i
+  | None -> fn
+
+(* Expand a leading local module alias: in a unit with
+   [module Core = C4_crew.Core], target [Core.sweep] becomes
+   [C4_crew.Core.sweep]. *)
+let expand_alias t ~caller_unit target =
+  match String.index_opt target '.' with
+  | None -> target
+  | Some i -> (
+    let head = String.sub target 0 i in
+    let rest = String.sub target (i + 1) (String.length target - i - 1) in
+    match Hashtbl.find_opt t.aliases (caller_unit ^ "|" ^ head) with
+    | Some real -> real ^ "." ^ rest
+    | None -> target)
+
+(* Resolve a textual target to defined functions. Bare names (no dot)
+   resolve only inside the caller's unit — cross-unit references always
+   carry a module component, and a global single-name match would drown
+   the graph in [create]/[stop] false edges. Dotted names resolve by
+   longest-suffix match; ambiguity keeps every candidate (the rules
+   over-approximate). *)
+let resolve t ~caller_unit target =
+  let target = expand_alias t ~caller_unit target in
+  if not (String.contains target '.') then
+    let local = caller_unit ^ "." ^ target in
+    if Hashtbl.mem t.funcs local then [ local ] else []
+  else
+    match Hashtbl.find_opt t.funcs target with
+    | Some _ -> [ target ]
+    | None -> (
+      match Hashtbl.find_opt t.by_suffix target with
+      | Some fns -> List.sort compare fns
+      | None -> [])
+
+let build (units : F.unit_facts list) =
+  let funcs = Hashtbl.create 512 in
+  let by_suffix = Hashtbl.create 1024 in
+  let aliases = Hashtbl.create 64 in
+  List.iter
+    (fun uf ->
+      List.iter
+        (fun (a, target) -> Hashtbl.replace aliases (uf.F.uf_unit ^ "|" ^ a) target)
+        uf.F.uf_aliases;
+      List.iter
+        (fun (f : F.func) ->
+          Hashtbl.replace funcs f.F.fn_name (f, uf);
+          (* Register dotted proper suffixes (not the full name — exact
+             matches hit [funcs] first; not the bare last component —
+             single names stay unit-local). *)
+          match suffixes_of f.F.fn_name with
+          | _full :: rest ->
+            List.iter
+              (fun s ->
+                if String.contains s '.' then
+                  Hashtbl.replace by_suffix s
+                    (f.F.fn_name
+                    :: (Option.value (Hashtbl.find_opt by_suffix s) ~default:[])))
+              rest
+          | [] -> ())
+        uf.F.uf_funcs)
+    units;
+  let t = { units; funcs; by_suffix; aliases; adj = Hashtbl.create 512 } in
+  (* Resolve every call once, up front. *)
+  Hashtbl.iter
+    (fun fn ((f : F.func), (uf : F.unit_facts)) ->
+      let edges =
+        List.concat_map
+          (fun (c : F.call) ->
+            List.map
+              (fun callee ->
+                { rc_caller = fn; rc_callee = callee; rc_line = c.F.c_line;
+                  rc_under = c.F.c_under })
+              (resolve t ~caller_unit:uf.F.uf_unit c.F.callee))
+          f.F.calls
+      in
+      (* Deterministic order, deduplicated. *)
+      let edges = List.sort_uniq compare edges in
+      Hashtbl.replace t.adj fn edges)
+    funcs;
+  t
+
+let callees t fn = Option.value (Hashtbl.find_opt t.adj fn) ~default:[]
+let find t fn = Option.map fst (Hashtbl.find_opt t.funcs fn)
+
+let iter_funcs t f =
+  let all =
+    Hashtbl.fold (fun fn (fc, uf) acc -> (fn, fc, uf) :: acc) t.funcs []
+  in
+  List.iter (fun (fn, fc, uf) -> f fn fc uf) (List.sort compare all)
+
+(* ---------------- transitive closures with witness chains ----------------
+
+   Generic fixpoint: each function starts with a set of directly
+   produced items (lock acquired, blocking primitive called) and
+   inherits its callees' sets, extending the witness chain through the
+   call edge. Chains are shortest-first because propagation is
+   breadth-first over rounds. An item is (name, site-line-in-origin);
+   the witness is the call path from [fn] to the origin function. *)
+
+type witnessed = { w_item : string; w_line : int; w_chain : string list }
+
+let transitive ~direct t =
+  let table : (string, witnessed list) Hashtbl.t =
+    Hashtbl.create (Hashtbl.length t.funcs)
+  in
+  let get fn = Option.value (Hashtbl.find_opt table fn) ~default:[] in
+  let keys l = List.map (fun w -> w.w_item) l in
+  iter_funcs t (fun fn fc _uf ->
+      Hashtbl.replace table fn
+        (List.map (fun (item, line) -> { w_item = item; w_line = line; w_chain = [] })
+           (direct fc)));
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 64 do
+    changed := false;
+    incr rounds;
+    iter_funcs t (fun fn _fc _uf ->
+        let mine = get fn in
+        let have = keys mine in
+        let extra =
+          List.concat_map
+            (fun rc ->
+              List.filter_map
+                (fun w ->
+                  if List.mem w.w_item have then None
+                  else
+                    Some
+                      {
+                        w_item = w.w_item;
+                        w_line = rc.rc_line;
+                        w_chain = rc.rc_callee :: w.w_chain;
+                      })
+                (get rc.rc_callee))
+            (callees t fn)
+        in
+        match extra with
+        | [] -> ()
+        | _ ->
+          (* keep first witness per item, deterministically *)
+          let extra =
+            List.fold_left
+              (fun acc w ->
+                if List.exists (fun x -> x.w_item = w.w_item) acc then acc
+                else acc @ [ w ])
+              []
+              (List.sort compare extra)
+          in
+          Hashtbl.replace table fn (mine @ extra);
+          changed := true)
+  done;
+  fun fn -> get fn
+
+(* Locks a function (transitively) acquires, with a witness chain. *)
+let transitive_locks t =
+  transitive t ~direct:(fun (fc : F.func) ->
+      List.map (fun (a : F.acq) -> (a.F.a_lock, a.F.a_line)) fc.F.acquires)
+
+(* Blocking primitives a function (transitively) calls. [is_blocking]
+   classifies raw callee names (resolved or not — blocking primitives
+   live in Unix/Thread/Domain/Condition, outside the fact base). *)
+let transitive_blocking t ~is_blocking =
+  let direct (fc : F.func) =
+    List.filter_map
+      (fun (c : F.call) ->
+        if is_blocking c.F.callee then Some (c.F.callee, c.F.c_line) else None)
+      fc.F.calls
+  in
+  transitive t ~direct
+
+(* Reachability from a set of roots, returning for each reached
+   function the call path from its root. *)
+let reachable t ~roots =
+  let seen : (string, string list) Hashtbl.t = Hashtbl.create 64 in
+  let q = Queue.create () in
+  List.iter
+    (fun r ->
+      if Hashtbl.mem t.funcs r && not (Hashtbl.mem seen r) then begin
+        Hashtbl.replace seen r [ r ];
+        Queue.push r q
+      end)
+    roots;
+  while not (Queue.is_empty q) do
+    let fn = Queue.pop q in
+    let path = Hashtbl.find seen fn in
+    List.iter
+      (fun rc ->
+        if not (Hashtbl.mem seen rc.rc_callee) then begin
+          Hashtbl.replace seen rc.rc_callee (path @ [ rc.rc_callee ]);
+          Queue.push rc.rc_callee q
+        end)
+      (callees t fn)
+  done;
+  seen

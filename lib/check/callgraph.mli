@@ -1,0 +1,64 @@
+(** Interprocedural layer over {!Tast_facts}: call-target resolution,
+    reachability, and witnessed transitive closures (locks eventually
+    acquired, blocking primitives eventually reached).
+
+    Resolution is deliberately conservative-by-over-approximation:
+    dotted targets resolve through local module aliases then by
+    longest dotted suffix (every candidate is kept on ambiguity);
+    bare names resolve only within the caller's unit. *)
+
+type resolved_call = {
+  rc_caller : string;
+  rc_callee : string;  (** defined function name *)
+  rc_line : int;
+  rc_under : string option;  (** innermost lock held at the call site *)
+}
+
+type t
+
+val build : Tast_facts.unit_facts list -> t
+
+(** Resolved outgoing edges of a defined function, sorted. *)
+val callees : t -> string -> resolved_call list
+
+val find : t -> string -> Tast_facts.func option
+
+(** Source path of the unit defining [fn] ("" if unknown). *)
+val source_of : t -> string -> string
+
+(** [A.B.c] -> [A.B]. *)
+val unit_of_fn : string -> string
+
+(** Iterate all defined functions in sorted order. *)
+val iter_funcs : t -> (string -> Tast_facts.func -> Tast_facts.unit_facts -> unit) -> unit
+
+(** Resolve a textual call target as seen from [caller_unit]. *)
+val resolve : t -> caller_unit:string -> string -> string list
+
+type witnessed = {
+  w_item : string;
+  w_line : int;
+      (** line of the acquisition/blocking call itself (chain empty) or
+          of the call edge that leads towards it *)
+  w_chain : string list;  (** callee path towards the item's origin *)
+}
+
+(** Generic witnessed fixpoint: [direct fc] lists the (item, line)
+    pairs a function produces itself; the result maps each function to
+    every item it transitively produces, with a shortest witness call
+    chain. Exposed so rules can plug custom item extractors. *)
+val transitive :
+  direct:(Tast_facts.func -> (string * int) list) ->
+  t -> string -> witnessed list
+
+(** For each function, every lock it transitively acquires with a
+    shortest witness call chain. *)
+val transitive_locks : t -> string -> witnessed list
+
+(** For each function, every blocking primitive it transitively calls.
+    [is_blocking] classifies raw callee names ([Unix.fsync], ...). *)
+val transitive_blocking : t -> is_blocking:(string -> bool) -> string -> witnessed list
+
+(** BFS from [roots] (unknown roots are skipped); maps each reached
+    function to its call path [root; ...; fn]. *)
+val reachable : t -> roots:string list -> (string, string list) Hashtbl.t

@@ -563,23 +563,23 @@ let to_text { violations; files_scanned } =
        (List.length violations));
   Buffer.contents buf
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (function
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
+(* Serialise through the shared Obs.Json writer so escaping (control
+   characters, quotes in messages) matches every other exporter. *)
 let to_json { violations; files_scanned } =
+  let module J = C4_obs.Json in
   let item v =
-    Printf.sprintf
-      "    {\"file\": \"%s\", \"line\": %d, \"rule\": \"%s\", \"message\": \"%s\"}"
-      (json_escape v.file) v.line v.rule (json_escape v.message)
+    J.Obj
+      [
+        ("file", J.Str v.file);
+        ("line", J.Int v.line);
+        ("rule", J.Str v.rule);
+        ("message", J.Str v.message);
+      ]
   in
-  Printf.sprintf
-    "{\n  \"files_scanned\": %d,\n  \"violations\": [\n%s\n  ]\n}\n" files_scanned
-    (String.concat ",\n" (List.map item violations))
+  J.to_string
+    (J.Obj
+       [
+         ("files_scanned", J.Int files_scanned);
+         ("violations", J.List (List.map item violations));
+       ])
+  ^ "\n"

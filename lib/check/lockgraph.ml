@@ -1,0 +1,152 @@
+(* Lock-acquisition-order graph. A node is a lock (as named by
+   {!Tast_facts}); an edge A -> B means "B is acquired while A is
+   held" — either lexically (a nested [with_lock] in the same
+   function) or interprocedurally (a function called under A
+   transitively acquires B). Any cycle, including a self-edge (the
+   repo's mutexes are not reentrant), is a potential deadlock; each
+   cycle is reported with one witness acquisition path per edge. *)
+
+type edge = {
+  e_from : string;
+  e_to : string;
+  e_file : string;
+  e_line : int;  (** the inner acquisition (or the call leading to it) *)
+  e_via : string list;  (** call chain from the holding site, [] if lexical *)
+}
+
+type t = { edges : edge list }
+
+let edges t = t.edges
+
+let build (cg : Callgraph.t) =
+  let locks_of = Callgraph.transitive_locks cg in
+  let acc = ref [] in
+  Callgraph.iter_funcs cg (fun fn (fc : Tast_facts.func) uf ->
+      let file = uf.Tast_facts.uf_source in
+      (* Lexical nesting: acquisition recorded with an outer lock held. *)
+      List.iter
+        (fun (a : Tast_facts.acq) ->
+          match a.Tast_facts.a_under with
+          | Some outer ->
+            acc :=
+              {
+                e_from = outer;
+                e_to = a.Tast_facts.a_lock;
+                e_file = file;
+                e_line = a.Tast_facts.a_line;
+                e_via = [];
+              }
+              :: !acc
+          | None -> ())
+        fc.Tast_facts.acquires;
+      (* Interprocedural: a call under a lock to a function that
+         transitively acquires locks of its own. *)
+      List.iter
+        (fun (rc : Callgraph.resolved_call) ->
+          match rc.Callgraph.rc_under with
+          | None -> ()
+          | Some outer ->
+            List.iter
+              (fun (w : Callgraph.witnessed) ->
+                acc :=
+                  {
+                    e_from = outer;
+                    e_to = w.Callgraph.w_item;
+                    e_file = file;
+                    e_line = rc.Callgraph.rc_line;
+                    e_via = (rc.Callgraph.rc_callee :: w.Callgraph.w_chain) |> fun l ->
+                            (* drop a duplicated head when the witness
+                               chain already starts at the callee *)
+                            (match l with
+                            | x :: y :: rest when x = y -> x :: rest
+                            | l -> l);
+                  }
+                  :: !acc)
+              (locks_of rc.Callgraph.rc_callee))
+        (Callgraph.callees cg fn);
+      ignore fn);
+  (* One representative edge per (from, to), smallest witness first —
+     determinism matters for the baseline keys. *)
+  let all = List.sort compare !acc in
+  let seen = Hashtbl.create 64 in
+  let edges =
+    List.filter
+      (fun e ->
+        let k = (e.e_from, e.e_to) in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.replace seen k ();
+          true
+        end)
+      all
+  in
+  { edges }
+
+(* ---------------- cycle detection ----------------
+
+   DFS with a three-colour marking over the edge list; every back edge
+   closes a cycle, reported as the list of edges along the stack from
+   the back edge's target. Deterministic: nodes and successors are
+   visited in sorted order, and each cycle is canonicalized to start
+   at its smallest lock, deduplicated on the node multiset. *)
+
+let cycles t =
+  let succ : (string, edge list) Hashtbl.t = Hashtbl.create 32 in
+  let nodes = ref [] in
+  List.iter
+    (fun e ->
+      if not (List.mem e.e_from !nodes) then nodes := e.e_from :: !nodes;
+      if not (List.mem e.e_to !nodes) then nodes := e.e_to :: !nodes;
+      Hashtbl.replace succ e.e_from
+        (Option.value (Hashtbl.find_opt succ e.e_from) ~default:[] @ [ e ]))
+    t.edges;
+  let nodes = List.sort compare !nodes in
+  let colour : (string, [ `Grey | `Black ]) Hashtbl.t = Hashtbl.create 32 in
+  let found = ref [] in
+  let canon cycle =
+    (* rotate so the lexicographically smallest e_from leads *)
+    let n = List.length cycle in
+    let rec rotate k l = if k = 0 then l else
+      match l with [] -> [] | x :: rest -> rotate (k - 1) (rest @ [ x ])
+    in
+    let best = ref cycle in
+    for k = 1 to n - 1 do
+      let r = rotate k cycle in
+      if List.map (fun e -> e.e_from) r < List.map (fun e -> e.e_from) !best then
+        best := r
+    done;
+    !best
+  in
+  let key cycle = List.sort compare (List.map (fun e -> e.e_from) cycle) in
+  let rec dfs stack node =
+    Hashtbl.replace colour node `Grey;
+    List.iter
+      (fun e ->
+        match Hashtbl.find_opt colour e.e_to with
+        | Some `Grey ->
+          (* Back edge: grey nodes are exactly the current DFS path, so
+             the cycle is the stack segment from the edge leaving
+             [e.e_to] down to [node], closed by [e]. [stack] is
+             leaf-to-root (head = edge into [node]); prepending while
+             walking it yields the segment in path order. *)
+          let cycle =
+            if e.e_from = e.e_to then [ e ]  (* self-deadlock *)
+            else
+              let rec collect acc = function
+                | [] -> acc
+                | x :: rest ->
+                  if x.e_from = e.e_to then x :: acc
+                  else collect (x :: acc) rest
+              in
+              collect [] stack @ [ e ]
+          in
+          let cycle = canon cycle in
+          if not (List.exists (fun c -> key c = key cycle) !found) then
+            found := !found @ [ cycle ]
+        | Some `Black -> ()
+        | None -> dfs (e :: stack) e.e_to)
+      (Option.value (Hashtbl.find_opt succ node) ~default:[]);
+    Hashtbl.replace colour node `Black
+  in
+  List.iter (fun n -> if not (Hashtbl.mem colour n) then dfs [] n) nodes;
+  !found

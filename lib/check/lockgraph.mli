@@ -1,0 +1,31 @@
+(** Lock-acquisition-order graph and deadlock-cycle detection.
+
+    An edge [A -> B] means "lock B is acquired while A is held",
+    observed either lexically (nested [with_lock] in one function) or
+    interprocedurally (a call made under A reaches a function that
+    acquires B, via {!Callgraph.transitive_locks}). Cycles — including
+    self-edges, since the repo's mutexes are non-reentrant — are
+    potential deadlocks; each comes with one witness per edge. *)
+
+type edge = {
+  e_from : string;
+  e_to : string;
+  e_file : string;  (** unit where the inner acquisition happens *)
+  e_line : int;  (** the nested acquisition, or the call leading to it *)
+  e_via : string list;
+      (** witness call chain from the holding site to the acquiring
+          function; [[]] when the nesting is lexical *)
+}
+
+type t
+
+(** One representative edge per ordered lock pair, deterministic. *)
+val build : Callgraph.t -> t
+
+val edges : t -> edge list
+
+(** Every distinct cycle found by DFS over the sorted edge list, each
+    as its edge sequence canonicalized to start at the smallest lock.
+    Deduplicated on the participating lock set. Empty = no potential
+    lock-order deadlock observed. *)
+val cycles : t -> edge list list

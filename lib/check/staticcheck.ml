@@ -1,0 +1,161 @@
+(* Driver for the typed-AST analyzer: discovers [.cmt] files under the
+   build tree, extracts facts, runs {!Rules}, filters through source
+   pragmas, and diffs against the checked-in baseline so CI fails only
+   on findings that are new. *)
+
+module Json = C4_obs.Json
+
+type report = {
+  violations : Lint.violation list;  (** everything found, post-pragma *)
+  fresh : Lint.violation list;  (** not covered by the baseline *)
+  baselined : Lint.violation list;
+  stale : string list;  (** baseline keys matching nothing — prunable *)
+  units : int;  (** compilation units analyzed *)
+}
+
+(* ---------------- discovery ---------------- *)
+
+let rec walk acc path =
+  match (Unix.lstat path).Unix.st_kind with
+  | Unix.S_DIR ->
+    (* dune hides object dirs as [.libname.objs] — do NOT skip
+       dot-directories here, unlike a source walk *)
+    Array.fold_left
+      (fun acc entry -> walk acc (Filename.concat path entry))
+      acc
+      (let es = Sys.readdir path in Array.sort compare es; es)
+  | Unix.S_REG when Filename.check_suffix path ".cmt" -> path :: acc
+  | _ -> acc
+  | exception Unix.Unix_error _ -> acc
+
+let find_cmts dirs =
+  List.sort_uniq compare (List.fold_left walk [] dirs)
+
+let load_units cmts =
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun cmt ->
+      match Tast_facts.load cmt with
+      | None -> None
+      | Some uf ->
+        (* skip dune-generated library alias modules and duplicates *)
+        if Filename.check_suffix uf.Tast_facts.uf_source ".ml-gen"
+           || Hashtbl.mem seen uf.Tast_facts.uf_unit
+        then None
+        else begin
+          Hashtbl.replace seen uf.Tast_facts.uf_unit ();
+          Some uf
+        end)
+    cmts
+
+(* ---------------- pragmas ---------------- *)
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Some s
+  with Sys_error _ -> None
+
+(* A source file opts out of a rule with the same
+   [(* c4-lint: allow <rule> *)] pragma the token lint honours. *)
+let apply_pragmas vs =
+  let allowed = Hashtbl.create 8 in
+  let allowed_for file =
+    match Hashtbl.find_opt allowed file with
+    | Some rules -> rules
+    | None ->
+      let rules =
+        match read_file file with Some src -> Lint.pragmas src | None -> []
+      in
+      Hashtbl.replace allowed file rules;
+      rules
+  in
+  List.filter
+    (fun (v : Lint.violation) -> not (List.mem v.Lint.rule (allowed_for v.Lint.file)))
+    vs
+
+(* ---------------- baseline ---------------- *)
+
+(* Stable line-free key: messages are deterministic and carry the
+   function/lock/primitive names, so this survives line drift. *)
+let key (v : Lint.violation) =
+  Printf.sprintf "%s|%s|%s" v.Lint.rule v.Lint.file v.Lint.message
+
+(* Baseline document: {"findings": [{"rule","file","message","note"?}]}.
+   Raises [Json.Parse_error] or [Failure] on a malformed file. *)
+let load_baseline path =
+  match read_file path with
+  | None -> []
+  | Some src ->
+    let j = Json.of_string src in
+    (match Json.member "findings" j with
+    | Some (Json.List items) ->
+      List.map
+        (fun item ->
+          let field k =
+            match Option.bind (Json.member k item) Json.to_string_opt with
+            | Some s -> s
+            | None -> failwith (Printf.sprintf "baseline finding missing %S" k)
+          in
+          Printf.sprintf "%s|%s|%s" (field "rule") (field "file")
+            (field "message"))
+        items
+    | _ -> failwith "baseline: expected top-level {\"findings\": [...]}")
+
+(* ---------------- analysis ---------------- *)
+
+let analyze ?is_crew_core ?(baseline = []) cmt_dirs =
+  let units = load_units (find_cmts cmt_dirs) in
+  let vs = apply_pragmas (Rules.run ?is_crew_core units) in
+  let fresh, baselined =
+    List.partition (fun v -> not (List.mem (key v) baseline)) vs
+  in
+  let live = List.map key vs in
+  let stale = List.filter (fun k -> not (List.mem k live)) baseline in
+  { violations = vs; fresh; baselined; stale = List.sort_uniq compare stale;
+    units = List.length units }
+
+(* ---------------- rendering ---------------- *)
+
+let to_text r =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (v : Lint.violation) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s:%d: [%s] %s%s\n" v.Lint.file v.Lint.line v.Lint.rule
+           v.Lint.message
+           (if List.memq v r.baselined then " (baselined)" else "")))
+    r.violations;
+  Buffer.add_string buf
+    (Printf.sprintf "%d finding%s (%d fresh, %d baselined) in %d units\n"
+       (List.length r.violations)
+       (if List.length r.violations = 1 then "" else "s")
+       (List.length r.fresh) (List.length r.baselined) r.units);
+  List.iter
+    (fun k ->
+      Buffer.add_string buf (Printf.sprintf "stale baseline entry: %s\n" k))
+    r.stale;
+  Buffer.contents buf
+
+let violation_json (v : Lint.violation) =
+  Json.Obj
+    [
+      ("file", Json.Str v.Lint.file);
+      ("line", Json.Int v.Lint.line);
+      ("rule", Json.Str v.Lint.rule);
+      ("message", Json.Str v.Lint.message);
+    ]
+
+let to_json r =
+  Json.to_string
+    (Json.Obj
+       [
+         ("violations", Json.List (List.map violation_json r.violations));
+         ("fresh", Json.List (List.map violation_json r.fresh));
+         ("baselined", Json.Int (List.length r.baselined));
+         ("stale_baseline", Json.List (List.map (fun k -> Json.Str k) r.stale));
+         ("units", Json.Int r.units);
+       ])

@@ -1,0 +1,48 @@
+(** Driver for the typed-AST concurrency analyzer: [.cmt] discovery
+    under the dune build tree, {!Rules} execution, [c4-lint: allow]
+    pragma filtering, and baseline diffing.
+
+    The baseline (checked in as [analysis-baseline.json]) lists known,
+    reviewed findings by their stable line-free key; the analyzer then
+    fails only on {e fresh} findings, so pre-existing design-intended
+    blocking (a WAL syncer calling [fsync], workers parking on their
+    channel) does not wedge CI while still catching regressions. *)
+
+type report = {
+  violations : Lint.violation list;  (** everything found, post-pragma *)
+  fresh : Lint.violation list;  (** not covered by the baseline *)
+  baselined : Lint.violation list;
+  stale : string list;  (** baseline keys matching nothing — prunable *)
+  units : int;  (** compilation units analyzed *)
+}
+
+(** Recursively collect [.cmt] files (descends into dot-directories —
+    dune object dirs are [.libname.objs]). *)
+val find_cmts : string list -> string list
+
+(** Load facts, skipping dune-generated alias modules and duplicate
+    unit names. *)
+val load_units : string list -> Tast_facts.unit_facts list
+
+(** Stable baseline key of a finding: [rule|file|message] (messages
+    are line-free by construction in {!Rules}). *)
+val key : Lint.violation -> string
+
+(** Keys from a baseline document
+    [{"findings": [{"rule","file","message","note"?}]}]. Missing file
+    = empty baseline; malformed file raises. *)
+val load_baseline : string -> string list
+
+(** Run the analyzer over all [.cmt]s beneath the given directories.
+    [is_crew_core] is passed through to {!Rules.run}. *)
+val analyze :
+  ?is_crew_core:(Tast_facts.unit_facts -> bool) ->
+  ?baseline:string list ->
+  string list ->
+  report
+
+val to_text : report -> string
+
+(** Compact JSON via {!C4_obs.Json} — same violation object shape as
+    [c4_lint --json]. *)
+val to_json : report -> string

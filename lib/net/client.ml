@@ -428,14 +428,25 @@ let close t =
       (fun pool ->
         Array.iter
           (fun slot ->
-            Sync.with_lock slot.s_lock (fun () ->
-                match slot.s_conn with
-                | None -> ()
-                | Some conn ->
-                  kill_conn conn "client closed";
-                  (match conn.c_reader with
-                  | Some r -> Thread.join r
-                  | None -> ());
-                  slot.s_conn <- None))
+            (* Detach under the lock; kill and join outside it.
+               [fail_pending] runs response handlers that may dispatch
+               again and re-enter [conn_of] (which takes [s_lock]), and
+               the reader thread's exit path runs [kill_conn] too —
+               holding [s_lock] across either is a self-deadlock.
+               [conn_of] re-checks [t.closed] under the slot lock, so
+               nothing can repopulate the slot after the detach. *)
+            let detached =
+              Sync.with_lock slot.s_lock (fun () ->
+                  let c = slot.s_conn in
+                  slot.s_conn <- None;
+                  c)
+            in
+            match detached with
+            | None -> ()
+            | Some conn ->
+              kill_conn conn "client closed";
+              (match conn.c_reader with
+              | Some r -> Thread.join r
+              | None -> ()))
           pool)
       t.slots

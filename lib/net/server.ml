@@ -230,38 +230,48 @@ let handle t respond_cell (req : Wire.request) =
   traced_thunk tr respond_cell thunk
 
 let spawn_conn t fd =
+  (* Only the id/metric updates need [conns_lock]; the callback record
+     is built outside it so the locked section stays minimal (and the
+     [on_closed] closure, which takes [conns_lock] itself when the
+     connection later dies, is not constructed under it). *)
+  let id =
+    Sync.with_lock t.conns_lock (fun () ->
+        let id = t.next_conn in
+        t.next_conn <- id + 1;
+        Registry.incr t.m.conns_accepted_c;
+        t.active <- t.active + 1;
+        Registry.set t.m.conns_active_g (float_of_int t.active);
+        id)
+  in
+  (* The respond-span hand-off cell: set by the thunk and cleared by
+     on_response_written, both on this connection's writer thread,
+     strictly alternating — so a plain ref needs no lock. *)
+  let respond_cell = ref None in
+  let cb =
+    {
+      Conn.handle = handle t respond_cell;
+      on_bytes_in = (fun n -> Registry.incr ~by:n t.m.bytes_in_c);
+      on_bytes_out = (fun n -> Registry.incr ~by:n t.m.bytes_out_c);
+      on_response_written =
+        (fun _resp ->
+          match !respond_cell with
+          | None -> ()
+          | Some (buf, sp) ->
+            respond_cell := None;
+            Span.finish buf sp ~ts:(now_ns ()));
+      on_protocol_error = (fun _msg -> Registry.incr t.m.protocol_errors_c);
+      on_closed =
+        (fun () ->
+          Sync.with_lock t.conns_lock (fun () ->
+              Hashtbl.remove t.conns id;
+              t.active <- t.active - 1;
+              Registry.set t.m.conns_active_g (float_of_int t.active)));
+    }
+  in
+  (* Start-and-register stays atomic under [conns_lock]: [on_closed]
+     fires from the connection's own threads and must observe the table
+     entry it removes, even if the peer disconnects instantly. *)
   Sync.with_lock t.conns_lock (fun () ->
-      let id = t.next_conn in
-      t.next_conn <- id + 1;
-      Registry.incr t.m.conns_accepted_c;
-      t.active <- t.active + 1;
-      Registry.set t.m.conns_active_g (float_of_int t.active);
-      (* The respond-span hand-off cell: set by the thunk and cleared by
-         on_response_written, both on this connection's writer thread,
-         strictly alternating — so a plain ref needs no lock. *)
-      let respond_cell = ref None in
-      let cb =
-        {
-          Conn.handle = handle t respond_cell;
-          on_bytes_in = (fun n -> Registry.incr ~by:n t.m.bytes_in_c);
-          on_bytes_out = (fun n -> Registry.incr ~by:n t.m.bytes_out_c);
-          on_response_written =
-            (fun _resp ->
-              match !respond_cell with
-              | None -> ()
-              | Some (buf, sp) ->
-                respond_cell := None;
-                Span.finish buf sp ~ts:(now_ns ()));
-          on_protocol_error =
-            (fun _msg -> Registry.incr t.m.protocol_errors_c);
-          on_closed =
-            (fun () ->
-              Sync.with_lock t.conns_lock (fun () ->
-                  Hashtbl.remove t.conns id;
-                  t.active <- t.active - 1;
-                  Registry.set t.m.conns_active_g (float_of_int t.active)));
-        }
-      in
       Hashtbl.replace t.conns id (Conn.start ~wire:t.wire ~fd cb))
 
 let acceptor_loop t () =

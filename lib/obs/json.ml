@@ -66,3 +66,156 @@ let to_string v =
   let buf = Buffer.create 256 in
   write buf v;
   Buffer.contents buf
+
+(* ---------------- parsing ----------------
+
+   Recursive-descent over the grammar {!to_string} emits (plus
+   insignificant whitespace), so any document this module wrote — and
+   ordinary hand-edited baselines — round-trip. Numbers with [.], [e]
+   or [E] parse as [Float], everything else as [Int]. *)
+
+exception Parse_error of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin pos := !pos + String.length word; v end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+        incr pos;
+        if !pos >= n then fail "unterminated escape";
+        (match s.[!pos] with
+        | '"' -> Buffer.add_char buf '"'; incr pos
+        | '\\' -> Buffer.add_char buf '\\'; incr pos
+        | '/' -> Buffer.add_char buf '/'; incr pos
+        | 'n' -> Buffer.add_char buf '\n'; incr pos
+        | 't' -> Buffer.add_char buf '\t'; incr pos
+        | 'r' -> Buffer.add_char buf '\r'; incr pos
+        | 'b' -> Buffer.add_char buf '\b'; incr pos
+        | 'f' -> Buffer.add_char buf '\012'; incr pos
+        | 'u' ->
+          if !pos + 4 >= n then fail "truncated \\u escape";
+          let code =
+            try int_of_string ("0x" ^ String.sub s (!pos + 1) 4)
+            with _ -> fail "bad \\u escape"
+          in
+          pos := !pos + 5;
+          (* UTF-8 encode the code point (surrogate pairs untreated —
+             the serialiser only emits \u for control characters). *)
+          if code < 0x80 then Buffer.add_char buf (Char.chr code)
+          else if code < 0x800 then begin
+            Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+          end
+          else begin
+            Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+            Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+          end
+        | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+        go ()
+      | c -> Buffer.add_char buf c; incr pos; go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do incr pos done;
+    let text = String.sub s start (!pos - start) in
+    if String.exists (function '.' | 'e' | 'E' -> true | _ -> false) text then
+      try Float (float_of_string text) with _ -> fail "bad number"
+    else
+      try Int (int_of_string text)
+      with _ -> (try Float (float_of_string text) with _ -> fail "bad number")
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then begin incr pos; Obj [] end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          fields := (k, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> incr pos; members ()
+          | Some '}' -> incr pos
+          | _ -> fail "expected ',' or '}'"
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then begin incr pos; List [] end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value () in
+          items := v :: !items;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> incr pos; elements ()
+          | Some ']' -> incr pos
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements ();
+        List (List.rev !items)
+      end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* ---------------- accessors ---------------- *)
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let to_list_opt = function List xs -> Some xs | _ -> None
+let to_string_opt = function Str s -> Some s | _ -> None
+let to_int_opt = function Int i -> Some i | _ -> None

@@ -4,8 +4,9 @@
     a span name with a quote in it cannot be escaped correctly in one
     exporter and incorrectly in another.
 
-    Construction only: the tests that need to parse JSON back keep
-    their own checking parser, the library never reads JSON. *)
+    Also carries the one JSON {e parser} in the tree ({!of_string}),
+    used by the static analyzer to load its checked-in findings
+    baseline and by tests to round-trip exporter output. *)
 
 type t =
   | Null
@@ -22,3 +23,17 @@ val escape : string -> string
 
 (** Compact (single-line) serialisation. *)
 val to_string : t -> string
+
+exception Parse_error of string
+
+(** Strict parse of a complete JSON document (whitespace-tolerant).
+    Numbers containing [.], [e] or [E] become [Float]; the rest [Int].
+    Raises {!Parse_error} with an offset on malformed input. *)
+val of_string : string -> t
+
+(** [member k j] is the value of field [k] if [j] is an [Obj]. *)
+val member : string -> t -> t option
+
+val to_list_opt : t -> t list option
+val to_string_opt : t -> string option
+val to_int_opt : t -> int option

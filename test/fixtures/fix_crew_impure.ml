@@ -1,0 +1,6 @@
+(* Seeded crew-core-purity: a fake policy core reading the wall clock
+   directly instead of taking time through its ENGINE signature. *)
+
+let now () = Unix.gettimeofday ()
+
+let decide x = if now () > 0. then x else x + 1

@@ -1,0 +1,12 @@
+(* Seeded shared-mutable-escape: the spawned function writes a mutable
+   field and a captured ref with no lock and no Atomic.t. *)
+
+type w = { mutable count : int }
+
+let total = ref 0
+
+let run w () =
+  w.count <- w.count + 1;
+  incr total
+
+let start w = Domain.spawn (run w)

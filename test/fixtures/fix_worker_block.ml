@@ -1,0 +1,9 @@
+(* Seeded blocking-in-worker: the spawned worker loop parks the whole
+   domain in Unix.sleepf. *)
+
+let worker_loop () =
+  while true do
+    Unix.sleepf 0.01
+  done
+
+let start () = Domain.spawn worker_loop

@@ -31,5 +31,6 @@ let () =
       ("size_aware", Test_size_aware.tests);
       ("crew", Test_crew.tests);
       ("check", Test_check.tests);
+      ("check.static", Test_static.tests);
       ("net", Test_net.tests);
     ]

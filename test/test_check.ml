@@ -166,9 +166,10 @@ let test_lint_dirs_and_mli_required () =
       Alcotest.(check bool) "missing mli caught" true (List.mem "mli-required" rules);
       Alcotest.(check bool) "obj magic caught" true (List.mem "no-obj-magic" rules);
       Alcotest.(check int) "exactly two violations" 2 (List.length rules);
+      (* compact Obs.Json serialisation: no space after the colon *)
       let json = Lint.to_json report in
       Alcotest.(check bool) "json mentions rule" true
-        (contains ~needle:{|"rule": "mli-required"|} json);
+        (contains ~needle:{|"rule":"mli-required"|} json);
       let text = Lint.to_text report in
       Alcotest.(check bool) "text mentions file:line" true
         (contains ~needle:"bad.ml:1:" text))
