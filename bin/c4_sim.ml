@@ -8,9 +8,11 @@
      c4_sim ewt                    Sec. 7.1.1
 
    plus trace (the default), chaos, analyze, taxonomy, validate,
-   cluster, serve and netbench. This file is only the dispatcher; the
-   subcommands live in Cmd_run / Cmd_trace / Cmd_chaos / Cmd_serve /
-   Cmd_netbench, sharing flags via Cmd_common. *)
+   cluster, serve, netbench and clusterd (a real multi-node replicated
+   cluster on loopback, as opposed to the simulated deployment study).
+   This file is only the dispatcher; the subcommands live in Cmd_run /
+   Cmd_trace / Cmd_chaos / Cmd_serve / Cmd_netbench / Cmd_cluster,
+   sharing flags via Cmd_common. *)
 
 open Cmdliner
 
@@ -23,4 +25,7 @@ let () =
     (Cmd.eval
        (Cmd.group ~default:Cmd_trace.term info
           (Cmd_run.cmds
-          @ [ Cmd_trace.cmd; Cmd_chaos.cmd; Cmd_serve.cmd; Cmd_netbench.cmd ])))
+          @ [
+              Cmd_trace.cmd; Cmd_chaos.cmd; Cmd_serve.cmd; Cmd_netbench.cmd;
+              Cmd_cluster.cmd;
+            ])))

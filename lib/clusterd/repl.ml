@@ -1,0 +1,145 @@
+module Record = C4_wal.Record
+
+let magic = 0x43345250 (* "C4RP" *)
+
+type hello = { h_epoch : int; h_node_id : int }
+
+type welcome =
+  | Accept of int array  (** per-shard replica watermarks *)
+  | Reject of { r_epoch : int }
+
+(* ---------------- blocking fd helpers ---------------- *)
+
+let write_all fd b =
+  let len = Bytes.length b in
+  let rec go pos =
+    if pos < len then begin
+      let n =
+        try Unix.write fd b pos (len - pos)
+        with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      in
+      go (pos + n)
+    end
+  in
+  go 0
+
+(* [Ok bytes] on a full read, [Error `Eof] on clean close before or
+   during, [Error `Closed] on reset/abort. *)
+let read_exact fd n =
+  let b = Bytes.create n in
+  let rec go pos =
+    if pos >= n then Ok b
+    else
+      match Unix.read fd b pos (n - pos) with
+      | 0 -> Error `Eof
+      | got -> go (pos + got)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+      | exception Unix.Unix_error (_, _, _) -> Error `Closed
+  in
+  go 0
+
+let u32 b off = Bytes.get_int32_le b off |> Int32.to_int |> ( land ) 0xFFFFFFFF
+let u64 b off = Bytes.get_int64_le b off |> Int64.to_int
+
+let put_u32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+let put_u64 b off v = Bytes.set_int64_le b off (Int64.of_int v)
+
+(* ---------------- handshake ---------------- *)
+
+let write_hello fd { h_epoch; h_node_id } =
+  let b = Bytes.create 20 in
+  put_u32 b 0 magic;
+  put_u64 b 4 h_epoch;
+  put_u64 b 12 h_node_id;
+  write_all fd b
+
+let read_hello fd =
+  match read_exact fd 20 with
+  | Error _ -> Error "hello: connection closed"
+  | Ok b ->
+    if u32 b 0 <> magic then Error "hello: bad magic"
+    else Ok { h_epoch = u64 b 4; h_node_id = u64 b 12 }
+
+let write_welcome fd = function
+  | Accept wms ->
+    let n = Array.length wms in
+    let b = Bytes.create (5 + (8 * n)) in
+    Bytes.set b 0 '\000';
+    put_u32 b 1 n;
+    Array.iteri (fun i wm -> put_u64 b (5 + (8 * i)) wm) wms;
+    write_all fd b
+  | Reject { r_epoch } ->
+    let b = Bytes.create 9 in
+    Bytes.set b 0 '\001';
+    put_u64 b 1 r_epoch;
+    write_all fd b
+
+let read_welcome fd =
+  match read_exact fd 1 with
+  | Error _ -> Error "welcome: connection closed"
+  | Ok tag -> (
+    match Bytes.get tag 0 with
+    | '\000' -> (
+      match read_exact fd 4 with
+      | Error _ -> Error "welcome: connection closed"
+      | Ok nb -> (
+        let n = u32 nb 0 in
+        if n < 0 || n > 1 lsl 20 then Error "welcome: implausible shard count"
+        else
+          match read_exact fd (8 * n) with
+          | Error _ -> Error "welcome: connection closed"
+          | Ok b -> Ok (Accept (Array.init n (fun i -> u64 b (8 * i))))))
+    | '\001' -> (
+      match read_exact fd 8 with
+      | Error _ -> Error "welcome: connection closed"
+      | Ok b -> Ok (Reject { r_epoch = u64 b 0 }))
+    | c -> Error (Printf.sprintf "welcome: unknown tag %d" (Char.code c)))
+
+(* ---------------- data frames (leader -> replica) ----------------
+
+   [u32 len][u32 shard][Record frame bytes] where [len] counts the
+   shard field plus the record bytes. The record keeps its own CRC
+   framing, so a replica validates payload integrity with the same
+   {!C4_wal.Record} codec the WAL uses on disk. *)
+
+let write_record buf fd ~shard record =
+  Buffer.clear buf;
+  Record.encode buf record;
+  let rlen = Buffer.length buf in
+  let b = Bytes.create (8 + rlen) in
+  put_u32 b 0 (4 + rlen);
+  put_u32 b 4 shard;
+  Buffer.blit buf 0 b 8 rlen;
+  write_all fd b
+
+let read_record fd ~max_frame =
+  match read_exact fd 4 with
+  | Error `Eof -> Error "eof"
+  | Error `Closed -> Error "closed"
+  | Ok lb -> (
+    let len = u32 lb 0 in
+    if len < 4 || len > max_frame then
+      Error (Printf.sprintf "record frame length %d out of range" len)
+    else
+      match read_exact fd len with
+      | Error _ -> Error "closed mid-frame"
+      | Ok b -> (
+        let shard = u32 b 0 in
+        match Record.decode (Bytes.sub b 4 (len - 4)) ~pos:0 with
+        | Record.Ok (r, _) -> Ok (shard, r)
+        | Record.Torn -> Error "torn record frame"
+        | Record.Corrupt msg -> Error ("corrupt record frame: " ^ msg)))
+
+(* ---------------- acks (replica -> leader) ---------------- *)
+
+let write_ack fd ~shard ~sseq =
+  let b = Bytes.create 12 in
+  put_u32 b 0 shard;
+  put_u64 b 4 sseq;
+  write_all fd b
+
+let read_ack fd =
+  match read_exact fd 12 with
+  | Error `Eof -> Error "eof"
+  | Error `Closed -> Error "closed"
+  | Ok b -> Ok (u32 b 0, u64 b 4)

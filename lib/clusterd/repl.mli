@@ -1,0 +1,47 @@
+(** Wire codec for the leader→replica replication stream — the framing
+    only, kept free of cluster state so it unit-tests over a socketpair.
+
+    One TCP connection per (leader, replica) pair, opened by the
+    leader to the replica's [repl_port]:
+
+    + leader sends a {!hello} ([magic][epoch: u64][node id: u64]);
+    + replica answers {!welcome} — [Accept] with its per-shard
+      replication watermarks (newest shard seqno it holds durably, one
+      per shard, so the leader knows where catch-up starts), or
+      [Reject] carrying its own epoch when the hello's epoch is stale
+      (the split-brain fence: a deposed leader that missed the new map
+      cannot feed replicas);
+    + leader streams {!write_record} data frames
+      ([u32 len][u32 shard][Record bytes] — the record keeps its
+      on-disk CRC framing, so integrity is checked with the same
+      {!C4_wal.Record} codec), strictly in shard-seqno order per shard;
+    + replica sends a 12-byte {!write_ack} ([u32 shard][u64 sseq]) for
+      each record once it is applied and durable on its side.
+
+    All integers little-endian. Reads are blocking and return [Error]
+    on EOF/reset rather than raising — connection death is routine
+    (failover kills leaders mid-frame by design). *)
+
+val magic : int
+
+type hello = { h_epoch : int; h_node_id : int }
+
+type welcome =
+  | Accept of int array  (** index = shard, value = replica's watermark *)
+  | Reject of { r_epoch : int }  (** replica's current map epoch *)
+
+val write_hello : Unix.file_descr -> hello -> unit
+val read_hello : Unix.file_descr -> (hello, string) result
+val write_welcome : Unix.file_descr -> welcome -> unit
+val read_welcome : Unix.file_descr -> (welcome, string) result
+
+(** [buf] is caller-owned encode scratch (cleared each call). *)
+val write_record :
+  Buffer.t -> Unix.file_descr -> shard:int -> C4_wal.Record.t -> unit
+
+(** [Ok (shard, record)]; [Error "eof"] on clean close. *)
+val read_record :
+  Unix.file_descr -> max_frame:int -> (int * C4_wal.Record.t, string) result
+
+val write_ack : Unix.file_descr -> shard:int -> sseq:int -> unit
+val read_ack : Unix.file_descr -> (int * int, string) result

@@ -1,0 +1,60 @@
+(** Shard-map-aware client: caches an epoch-versioned {!Shardmap},
+    sends each request to the key's current leader, and converges on
+    map changes by following WRONG_SHARD redirects (which carry the
+    answering node's map inline) and by refetching the map from
+    surviving nodes when a cached leader stops answering.
+
+    Retry semantics sit on {!C4_resilience.Retry}: capped exponential
+    backoff with a wall-clock deadline and a shared token-bucket
+    budget, exactly as the single-node client — redirects are the one
+    exception, retried immediately (a redirect is fresh routing
+    information, not congestion) though still bounded by
+    [max_attempts] and the deadline.
+
+    Exactly-once across nodes: a SET carries one idempotency token,
+    fixed at the first attempt and reused for every retry {e wherever
+    it lands}. Leaders replicate the token with the record and replicas
+    preserve it when re-applying, so a retry that reaches a {e newly
+    promoted} leader whose replica already applied the original still
+    deduplicates — at most one apply, cluster-wide, per logical SET. *)
+
+type config = {
+  retry : C4_resilience.Retry.config;
+  retry_seed : int;
+  conns_per_host : int;
+  max_frame : int;
+}
+
+(** Seed 1, one connection per node, 1 MiB frames. *)
+val default_config : retry:C4_resilience.Retry.config -> config
+
+type t
+
+(** [map] seeds the cache (fetch one via
+    {!C4_net.Client.cluster_info}, or load the supervisor's file).
+    Connections open lazily, one pool per node. *)
+val create : config -> map:Shardmap.t -> t
+
+val current_map : t -> Shardmap.t
+
+(** Install a newer map directly (no-op unless strictly newer). *)
+val install : t -> Shardmap.t -> unit
+
+val get : t -> key:int -> (bytes option, string) result
+val set : t -> key:int -> value:bytes -> (unit, string) result
+
+(** [Ok true] when the key was present. *)
+val delete : t -> key:int -> (bool, string) result
+
+type stats = {
+  epoch : int;  (** cached map's epoch *)
+  wrong_shard_redirects : int;
+  map_refetches : int;  (** CLUSTER_INFO sweeps after failures *)
+  map_installs : int;  (** newer maps actually adopted *)
+  retries : int;  (** backed-off re-attempts (redirect hops excluded) *)
+}
+
+val stats : t -> stats
+
+(** Close every node client. Idempotent. *)
+val close : t -> unit

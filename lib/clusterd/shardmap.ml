@@ -1,0 +1,206 @@
+module Json = C4_obs.Json
+module Hash = C4_kvs.Hash
+
+type node = {
+  id : int;
+  host : string;
+  port : int;
+  repl_port : int;
+  telemetry_port : int;
+}
+
+type shard = { leader : int; replicas : int list }
+
+type t = { epoch : int; n_shards : int; nodes : node array; shards : shard array }
+
+let epoch t = t.epoch
+let n_shards t = t.n_shards
+let n_nodes t = Array.length t.nodes
+let node t i = t.nodes.(i)
+let shard t s = t.shards.(s)
+let shard_of_key t key = Hash.node_of_key ~n_nodes:t.n_shards key
+let leader_of_shard t s = t.shards.(s).leader
+let leader_of_key t key = leader_of_shard t (shard_of_key t key)
+let replicas_of_shard t s = t.shards.(s).replicas
+
+(* Replica acks the leader must collect before acking a quorum-mode
+   write: ceil(r/2) of the r replicas, i.e. (r+1)/2. Together with the
+   leader's own durable append that is a strict majority of the full
+   r+1-member replication group (r=1 -> 1 ack, group 2/2; r=2 -> 1+
+   leader = 2 of 3; r=3 -> 2+leader = 3 of 4). r=0 -> 0: an
+   unreplicated shard acks on local durability alone. *)
+let quorum_needed t ~shard = (List.length t.shards.(shard).replicas + 1) / 2
+
+let validate t =
+  let n = Array.length t.nodes in
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if t.epoch < 0 then fail "epoch %d < 0" t.epoch
+  else if t.n_shards <= 0 then fail "n_shards %d <= 0" t.n_shards
+  else if n = 0 then fail "no nodes"
+  else if Array.length t.shards <> t.n_shards then
+    fail "shards array length %d <> n_shards %d" (Array.length t.shards) t.n_shards
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun i nd -> if !bad = None && nd.id <> i then bad := Some (`Node_id (i, nd.id)))
+      t.nodes;
+    Array.iteri
+      (fun s sh ->
+        if !bad = None then begin
+          if sh.leader < 0 || sh.leader >= n then bad := Some (`Leader (s, sh.leader));
+          List.iter
+            (fun r ->
+              if !bad = None && (r < 0 || r >= n || r = sh.leader) then
+                bad := Some (`Replica (s, r)))
+            sh.replicas;
+          let sorted = List.sort_uniq compare sh.replicas in
+          if !bad = None && List.length sorted <> List.length sh.replicas then
+            bad := Some (`Dup_replica s)
+        end)
+      t.shards;
+    match !bad with
+    | None -> Ok ()
+    | Some (`Node_id (i, id)) -> fail "nodes.(%d).id = %d (must equal index)" i id
+    | Some (`Leader (s, l)) -> fail "shard %d leader %d out of range" s l
+    | Some (`Replica (s, r)) -> fail "shard %d replica %d invalid" s r
+    | Some (`Dup_replica s) -> fail "shard %d has duplicate replicas" s
+  end
+
+(* ---------------- codec ---------------- *)
+
+let to_json t =
+  Json.Obj
+    [
+      ("epoch", Json.Int t.epoch);
+      ("n_shards", Json.Int t.n_shards);
+      ( "nodes",
+        Json.List
+          (Array.to_list t.nodes
+          |> List.map (fun nd ->
+                 Json.Obj
+                   [
+                     ("id", Json.Int nd.id);
+                     ("host", Json.Str nd.host);
+                     ("port", Json.Int nd.port);
+                     ("repl_port", Json.Int nd.repl_port);
+                     ("telemetry_port", Json.Int nd.telemetry_port);
+                   ])) );
+      ( "shards",
+        Json.List
+          (Array.to_list t.shards
+          |> List.map (fun sh ->
+                 Json.Obj
+                   [
+                     ("leader", Json.Int sh.leader);
+                     ("replicas", Json.List (List.map (fun r -> Json.Int r) sh.replicas));
+                   ])) );
+    ]
+
+let encode t = Bytes.of_string (Json.to_string (to_json t))
+
+let int_field name j =
+  match Option.bind (Json.member name j) Json.to_int_opt with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing int field %S" name)
+
+let str_field name j =
+  match Option.bind (Json.member name j) Json.to_string_opt with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing string field %S" name)
+
+let list_field name j =
+  match Option.bind (Json.member name j) Json.to_list_opt with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing list field %S" name)
+
+let ( let* ) = Result.bind
+
+let node_of_json j =
+  let* id = int_field "id" j in
+  let* host = str_field "host" j in
+  let* port = int_field "port" j in
+  let* repl_port = int_field "repl_port" j in
+  let* telemetry_port = int_field "telemetry_port" j in
+  Ok { id; host; port; repl_port; telemetry_port }
+
+let shard_of_json j =
+  let* leader = int_field "leader" j in
+  let* reps = list_field "replicas" j in
+  let* replicas =
+    List.fold_left
+      (fun acc r ->
+        let* acc = acc in
+        match Json.to_int_opt r with
+        | Some i -> Ok (i :: acc)
+        | None -> Error "non-int replica")
+      (Ok []) reps
+  in
+  Ok { leader; replicas = List.rev replicas }
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+    let* y = f x in
+    let* ys = map_result f rest in
+    Ok (y :: ys)
+
+let decode b =
+  match Json.of_string (Bytes.to_string b) with
+  | exception Json.Parse_error msg -> Error ("shardmap: " ^ msg)
+  | j ->
+    let* epoch = int_field "epoch" j in
+    let* n_shards = int_field "n_shards" j in
+    let* nodes_j = list_field "nodes" j in
+    let* shards_j = list_field "shards" j in
+    let* nodes = map_result node_of_json nodes_j in
+    let* shards = map_result shard_of_json shards_j in
+    let t =
+      { epoch; n_shards; nodes = Array.of_list nodes; shards = Array.of_list shards }
+    in
+    let* () = validate t in
+    Ok t
+
+(* ---------------- construction ---------------- *)
+
+let initial ~nodes ~n_shards =
+  if n_shards <= 0 then invalid_arg "Shardmap.initial: n_shards";
+  if nodes = [] then invalid_arg "Shardmap.initial: no nodes";
+  let nodes = Array.of_list nodes in
+  Array.iteri
+    (fun i nd -> if nd.id <> i then invalid_arg "Shardmap.initial: node ids must be 0..n-1")
+    nodes;
+  let n = Array.length nodes in
+  let shards =
+    Array.init n_shards (fun s ->
+        let leader = s mod n in
+        let replicas =
+          List.filter (fun i -> i <> leader) (List.init n (fun i -> i))
+        in
+        { leader; replicas })
+  in
+  { epoch = 1; n_shards; nodes; shards }
+
+let promote t ~dead ~new_leaders =
+  let shards =
+    Array.mapi
+      (fun s sh ->
+        let sh =
+          if sh.leader = dead then
+            match List.assoc_opt s new_leaders with
+            | Some l -> { leader = l; replicas = List.filter (fun r -> r <> l) sh.replicas }
+            | None -> sh
+          else sh
+        in
+        { sh with replicas = List.filter (fun r -> r <> dead) sh.replicas })
+      t.shards
+  in
+  { t with epoch = t.epoch + 1; shards }
+
+let pp ppf t =
+  Format.fprintf ppf "epoch %d, %d shards over %d nodes:" t.epoch t.n_shards
+    (Array.length t.nodes);
+  Array.iteri
+    (fun s sh ->
+      Format.fprintf ppf "@ s%d->n%d[%s]" s sh.leader
+        (String.concat "," (List.map string_of_int sh.replicas)))
+    t.shards

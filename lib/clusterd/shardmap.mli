@@ -1,0 +1,76 @@
+(** Epoch-versioned shard→nodes routing map — the cluster runtime's one
+    piece of shared configuration.
+
+    A map assigns each of [n_shards] shards a leader node and an
+    ordered list of replica nodes, and carries a monotonically
+    increasing [epoch]. Every cluster member serves its current map
+    (over {!C4_net.Wire.Cluster_info} frames and inline in
+    [Wrong_shard] responses) and installs any map with a strictly
+    newer epoch; the supervisor is the only writer, bumping the epoch
+    exactly once per failover. Clients therefore converge on the newest
+    map by gossip-free pull: any response from any member either
+    confirms their cached epoch or hands them a newer map.
+
+    Keys map to shards with {!C4_kvs.Hash.node_of_key} applied with
+    [n_nodes = n_shards] — the same mixer the single-node stack uses
+    for client-side sharding, so shard placement is stable across
+    epochs (failover moves {e leadership}, never key→shard
+    assignment; contrast with the paper's d-CREW worker-level remaps,
+    which move key ownership between workers inside one node).
+
+    The wire/file codec is the observability layer's JSON ({!encode} /
+    {!decode}); [decode] validates structurally, so a member can
+    install a map received off the network without further checks. *)
+
+type node = {
+  id : int;  (** index in the map's node table; stable across epochs *)
+  host : string;
+  port : int;  (** KVS wire-protocol port *)
+  repl_port : int;  (** leader→replica replication stream port *)
+  telemetry_port : int;  (** /healthz + /metrics *)
+}
+
+type shard = { leader : int; replicas : int list }  (** node indices *)
+
+type t
+
+val epoch : t -> int
+val n_shards : t -> int
+val n_nodes : t -> int
+val node : t -> int -> node
+val shard : t -> int -> shard
+
+(** [C4_kvs.Hash.node_of_key ~n_nodes:(n_shards t)] — epoch-invariant. *)
+val shard_of_key : t -> int -> int
+
+val leader_of_shard : t -> int -> int
+val leader_of_key : t -> int -> int
+val replicas_of_shard : t -> int -> int list
+
+(** Replica acks needed before a quorum-mode write is acknowledged:
+    [(r+1)/2] for [r] replicas (a strict majority of the r+1-member
+    group counting the leader's own durable append); [0] for an
+    unreplicated shard. *)
+val quorum_needed : t -> shard:int -> int
+
+(** Structural checks: non-negative epoch, node ids equal their index,
+    leaders/replicas in range, no replica duplicated or equal to its
+    leader. *)
+val validate : t -> (unit, string) result
+
+val encode : t -> bytes
+
+(** Parse and {!validate}. *)
+val decode : bytes -> (t, string) result
+
+(** Epoch-1 map: shard [s]'s leader is node [s mod n], every other node
+    replicates it. Node ids must equal their list position. *)
+val initial : nodes:node list -> n_shards:int -> t
+
+(** The failover step: drop [dead] from every replica set, and for each
+    shard it led install the promoted leader from [new_leaders]
+    (shard → node index; the new leader is removed from that shard's
+    replicas). Bumps the epoch by one. *)
+val promote : t -> dead:int -> new_leaders:(int * int) list -> t
+
+val pp : Format.formatter -> t -> unit

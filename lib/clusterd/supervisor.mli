@@ -1,0 +1,52 @@
+(** Failure detector + failover driver: polls every node's [/healthz],
+    and when a node misses [fail_threshold] consecutive probes, bumps
+    the map epoch exactly once, promotes the most-caught-up live
+    replica of each shard the dead node led (highest per-shard
+    repl-log watermark, read from the candidates' health documents —
+    by the quorum-ack invariant that replica holds every acknowledged
+    write), and publishes the new map to the survivors over
+    CLUSTER_INFO.
+
+    The supervisor is the cluster's only map {e writer}; members and
+    clients only ever install strictly-newer maps, so a slow publish
+    or a crossed probe can delay but never un-do a failover.
+
+    It does not spawn or restart nodes — process lifecycle belongs to
+    the caller (the [c4 cluster] command uses
+    {!C4_resilience.Proc}). A failed-over node stays dead from the
+    supervisor's point of view even if its process returns. *)
+
+type event =
+  | Probe_failed of { node : int; consecutive : int }
+  | Node_dead of int  (** threshold crossed; failover starts *)
+  | Promoted of { epoch : int; dead : int; new_leaders : (int * int) list }
+  | Published of { epoch : int; node : int }
+  | Publish_failed of { node : int; reason : string }
+  | Shard_stranded of int
+      (** no live replica left to promote — the shard is lost until an
+          operator intervenes *)
+
+type config = {
+  poll_interval : float;  (** seconds between probe sweeps *)
+  fail_threshold : int;  (** consecutive failures = dead *)
+  probe_timeout : float;  (** per-probe connect/read timeout, seconds *)
+  on_event : event -> unit;
+      (** observability hook (the library never prints); called from
+          the supervisor thread *)
+}
+
+(** 150 ms sweeps, 2 strikes, 1 s probes, silent. *)
+val default_config : config
+
+type t
+
+(** Start polling. Raises [Invalid_argument] on an invalid map. *)
+val start : config -> map:Shardmap.t -> t
+
+(** The newest map (epoch bumps visible after each failover). *)
+val current_map : t -> Shardmap.t
+
+val dead_nodes : t -> int list
+
+(** Stop the poll thread (any in-flight failover completes first). *)
+val stop : t -> unit

@@ -24,12 +24,18 @@ let default_config ~hosts =
 
 let now_ns () = Unix.gettimeofday () *. 1e9
 
-let op_name = function Wire.Get -> "GET" | Wire.Set -> "SET" | Wire.Delete -> "DELETE"
+let op_name = function
+  | Wire.Get -> "GET"
+  | Wire.Set -> "SET"
+  | Wire.Delete -> "DELETE"
+  | Wire.Cluster_info -> "CLUSTER_INFO"
 
 let status_name = function
   | Wire.Ok -> "ok"
   | Wire.Not_found -> "not_found"
   | Wire.Err -> "err"
+  | Wire.Wrong_shard -> "wrong_shard"
+  | Wire.Cluster_ok -> "cluster_ok"
 
 type conn = {
   c_fd : Unix.file_descr;
@@ -236,8 +242,11 @@ let conn_of t slot =
           e))
 
 let dispatch_with t ~id ~op ~key ~value ~token ~parent ~on_response =
-  if op <> Wire.Set && Bytes.length value > 0 then
-    invalid_arg "Net.Client.dispatch: value on non-SET";
+  (match op with
+  | Wire.Set | Wire.Cluster_info -> ()
+  | Wire.Get | Wire.Delete ->
+    if Bytes.length value > 0 then
+      invalid_arg "Net.Client.dispatch: value on non-SET");
   (* The client span is the root of the request's trace (or a child of
      [parent] when the caller is itself traced): it opens before the
      frame is built, covers client queueing + wire transit + server
@@ -352,7 +361,7 @@ let call t ~op ~key ~value =
     let reserved =
       match op with
       | Wire.Set -> Some (Atomic.fetch_and_add t.next_id 1)
-      | Wire.Get | Wire.Delete -> None
+      | Wire.Get | Wire.Delete | Wire.Cluster_info -> None
     in
     let token = Option.map (fun id -> t.token_nonce lxor id) reserved in
     let first_id = ref None in
@@ -391,12 +400,14 @@ let get t ~key =
   | Wire.Ok -> Ok (Some resp.Wire.resp_value)
   | Wire.Not_found -> Ok None
   | Wire.Err -> Error (error_of resp)
+  | Wire.Wrong_shard | Wire.Cluster_ok -> Error "wrong shard (use C4_clusterd.Routing)"
 
 let set t ~key ~value =
   let resp = call t ~op:Wire.Set ~key ~value in
   match resp.Wire.status with
   | Wire.Ok | Wire.Not_found -> Ok ()
   | Wire.Err -> Error (error_of resp)
+  | Wire.Wrong_shard | Wire.Cluster_ok -> Error "wrong shard (use C4_clusterd.Routing)"
 
 let delete t ~key =
   let resp = call t ~op:Wire.Delete ~key ~value:Bytes.empty in
@@ -404,6 +415,18 @@ let delete t ~key =
   | Wire.Ok -> Ok true
   | Wire.Not_found -> Ok false
   | Wire.Err -> Error (error_of resp)
+  | Wire.Wrong_shard | Wire.Cluster_ok -> Error "wrong shard (use C4_clusterd.Routing)"
+
+(* One-shot CLUSTER_INFO exchange (no retry loop: the routing layer that
+   calls this drives its own retries). [payload] empty = fetch the map;
+   non-empty = offer a map to install if newer. *)
+let cluster_info t ?(payload = Bytes.empty) () =
+  let _, resp = once t ~id:None ~op:Wire.Cluster_info ~key:0 ~value:payload ~token:None in
+  match resp.Wire.status with
+  | Wire.Cluster_ok -> Ok resp.Wire.resp_value
+  | Wire.Err -> Error (error_of resp)
+  | Wire.Ok | Wire.Not_found | Wire.Wrong_shard ->
+    Error ("unexpected status " ^ status_name resp.Wire.status)
 
 type stats = {
   sent : int;

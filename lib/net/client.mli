@@ -80,6 +80,14 @@ val set : t -> key:int -> value:bytes -> (unit, string) result
 (** [Ok true] when the key was present. *)
 val delete : t -> key:int -> (bool, string) result
 
+(** One CLUSTER_INFO exchange with the host key 0 routes to — no retry loop, the
+    caller (normally [C4_clusterd.Routing]) drives its own. Empty
+    [payload] (the default) fetches the node's shard map; a non-empty
+    payload is an encoded map to install if newer. [Ok bytes] is the
+    node's current encoded map ({!Wire.Cluster_ok}); single-node
+    servers answer [Err]. *)
+val cluster_info : t -> ?payload:bytes -> unit -> (bytes, string) result
+
 type stats = {
   sent : int;  (** frames written, retries included *)
   received : int;  (** responses decoded *)

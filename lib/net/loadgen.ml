@@ -83,6 +83,7 @@ let run client cfg =
       | Wire.Get -> get_ns
       | Wire.Set -> set_ns
       | Wire.Delete -> delete_ns
+      | Wire.Cluster_info -> assert false (* the generator never emits control ops *)
     in
     let dispatched = Unix.gettimeofday () in
     let on_response (resp : Wire.response) =

@@ -4,16 +4,34 @@ module Sync = C4_runtime.Sync
 module Registry = C4_obs.Registry
 module Span = C4_obs.Span
 
+(* Cluster hooks are plain functions over bytes (the encoded shard map)
+   so this module needs no dependency on the cluster runtime that
+   implements them — C4_clusterd sits above c4_net in the build graph
+   and injects its member state here. *)
+type cluster = {
+  cl_check : key:int -> write:bool -> (unit, bytes) result;
+  cl_read_fence : key:int -> unit;
+  cl_info : bytes -> (bytes, string) result;
+}
+
 type config = {
   host : string;
   port : int;
   backlog : int;
   max_frame : int;
   spans : Span.t option;
+  cluster : cluster option;
 }
 
 let default_config =
-  { host = "127.0.0.1"; port = 0; backlog = 64; max_frame = 1 lsl 20; spans = None }
+  {
+    host = "127.0.0.1";
+    port = 0;
+    backlog = 64;
+    max_frame = 1 lsl 20;
+    spans = None;
+    cluster = None;
+  }
 
 type metrics = {
   conns_accepted_c : Registry.counter;
@@ -23,6 +41,7 @@ type metrics = {
   inflight_g : Registry.gauge;
   protocol_errors_c : Registry.counter;
   requests_c : Registry.counter;
+  wrong_shard_c : Registry.counter;
   get_h : Registry.histogram;
   set_h : Registry.histogram;
   delete_h : Registry.histogram;
@@ -58,6 +77,7 @@ let metrics_of reg ~n_workers =
     inflight_g = Registry.gauge reg "net.inflight";
     protocol_errors_c = Registry.counter reg "net.protocol_errors";
     requests_c = Registry.counter reg "net.requests";
+    wrong_shard_c = Registry.counter reg "net.wrong_shard";
     get_h = Registry.histogram reg "net.get_ns";
     set_h = Registry.histogram reg "net.set_ns";
     delete_h = Registry.histogram reg "net.delete_ns";
@@ -87,12 +107,18 @@ let err_response id msg =
     resp_value = Bytes.of_string msg;
   }
 
-let op_name = function Wire.Get -> "GET" | Wire.Set -> "SET" | Wire.Delete -> "DELETE"
+let op_name = function
+  | Wire.Get -> "GET"
+  | Wire.Set -> "SET"
+  | Wire.Delete -> "DELETE"
+  | Wire.Cluster_info -> "CLUSTER_INFO"
 
 let status_name = function
   | Wire.Ok -> "ok"
   | Wire.Not_found -> "not_found"
   | Wire.Err -> "err"
+  | Wire.Wrong_shard -> "wrong_shard"
+  | Wire.Cluster_ok -> "cluster_ok"
 
 (* Per-request server spans, built only when the server has a span
    buffer AND the request carried a trace context to adopt:
@@ -171,13 +197,76 @@ let handle t respond_cell (req : Wire.request) =
     int_of_float dt
   in
   Registry.set t.m.inflight_g (float_of_int (Atomic.fetch_and_add t.inflight 1 + 1));
+  (* Cluster routing happens before any runtime submission: a request
+     for a shard this node does not lead is answered WRONG_SHARD with
+     the node's current map, and CLUSTER_INFO never touches the store. *)
+  let misrouted =
+    match (t.cfg.cluster, req.Wire.op) with
+    | Some cl, (Wire.Get | Wire.Set | Wire.Delete) -> (
+      match
+        cl.cl_check ~key:req.Wire.key ~write:(req.Wire.op <> Wire.Get)
+      with
+      | Ok () -> None
+      | Error map -> Some map)
+    | _ -> None
+  in
   let thunk =
+    match misrouted with
+    | Some map ->
+      Registry.incr t.m.wrong_shard_c;
+      fun () ->
+        let timing_ns = finish t.m.get_h in
+        {
+          Wire.resp_id = req.Wire.id;
+          status = Wire.Wrong_shard;
+          timing_ns;
+          resp_value = map;
+        }
+    | None -> (
     match req.Wire.op with
+    | Wire.Cluster_info -> (
+      match t.cfg.cluster with
+      | None ->
+        fun () ->
+          let timing_ns = finish t.m.get_h in
+          {
+            Wire.resp_id = req.Wire.id;
+            status = Wire.Err;
+            timing_ns;
+            resp_value = Bytes.of_string "not a cluster member";
+          }
+      | Some cl ->
+        fun () ->
+          let r = cl.cl_info req.Wire.value in
+          let timing_ns = finish t.m.get_h in
+          (match r with
+          | Ok map ->
+            {
+              Wire.resp_id = req.Wire.id;
+              status = Wire.Cluster_ok;
+              timing_ns;
+              resp_value = map;
+            }
+          | Error e ->
+            {
+              Wire.resp_id = req.Wire.id;
+              status = Wire.Err;
+              timing_ns;
+              resp_value = Bytes.of_string e;
+            }))
     | Wire.Get -> (
       match traced_submit tr (fun () -> Runtime.get_async t.runtime ~key:req.Wire.key) with
       | promise ->
         fun () ->
           let value = Promise.await promise in
+          (* Quorum-read fence: the value just read may include writes
+             applied locally but not yet replicated; in quorum-ack
+             cluster mode the response waits until the key's partition
+             has no unreplicated suffix, so an observed value can never
+             vanish in a failover (which would break linearizability). *)
+          (match t.cfg.cluster with
+          | Some cl -> cl.cl_read_fence ~key:req.Wire.key
+          | None -> ());
           let timing_ns = finish t.m.get_h in
           (match value with
           | Some v ->
@@ -225,7 +314,7 @@ let handle t respond_cell (req : Wire.request) =
       | exception Runtime.Stopped ->
         fun () ->
           ignore (finish t.m.delete_h);
-          err_response req.Wire.id "server shutting down")
+          err_response req.Wire.id "server shutting down"))
   in
   traced_thunk tr respond_cell thunk
 

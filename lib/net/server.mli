@@ -43,6 +43,28 @@
     writing the response) — one connected chain with the client's
     dispatch span. Context-free requests trace nothing. *)
 
+(** Cluster-runtime hooks, injected by [C4_clusterd.Member] (which sits
+    {e above} this library in the build graph — hence plain functions
+    over the encoded-shard-map bytes rather than cluster types).
+
+    With [config.cluster] set, every GET/SET/DELETE first passes
+    [cl_check ~key ~write]: [Error map] answers the request with
+    {!Wire.Wrong_shard} carrying [map] (the node's current encoded
+    shard map) and never reaches the runtime. {!Wire.Cluster_info}
+    requests are answered by [cl_info] (payload = an encoded map to
+    install if newer, or empty to just fetch) with {!Wire.Cluster_ok}
+    carrying the node's current map. [cl_read_fence ~key] is called on
+    the connection writer after a GET's store read and before its
+    response goes out; it must block until the key's partition has no
+    locally-applied-but-unreplicated suffix (quorum-ack mode), so a
+    value a client observed can never be lost to a failover. Requests
+    answered WRONG_SHARD bump [net.wrong_shard]. *)
+type cluster = {
+  cl_check : key:int -> write:bool -> (unit, bytes) result;
+  cl_read_fence : key:int -> unit;
+  cl_info : bytes -> (bytes, string) result;
+}
+
 type config = {
   host : string;  (** address to bind, e.g. "127.0.0.1" *)
   port : int;  (** 0 = pick an ephemeral port (see {!port}) *)
@@ -51,10 +73,13 @@ type config = {
   spans : C4_obs.Span.t option;
       (** adopt incoming trace contexts into this buffer; [None] (the
           default) disables server-side tracing *)
+  cluster : cluster option;
+      (** shard-map routing + replication hooks; [None] (the default)
+          serves every key and rejects CLUSTER_INFO *)
 }
 
 (** Loopback, ephemeral port, 64-deep backlog, 1 MiB frames, no span
-    buffer. *)
+    buffer, no cluster hooks. *)
 val default_config : config
 
 type t

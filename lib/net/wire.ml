@@ -1,6 +1,6 @@
 module Header = C4_nic.Header
 
-type op = Get | Set | Delete
+type op = Get | Set | Delete | Cluster_info
 
 type trace_context = { trace_id : int; parent_span : int }
 
@@ -13,7 +13,7 @@ type request = {
   value : bytes;
 }
 
-type status = Ok | Not_found | Err
+type status = Ok | Not_found | Err | Wrong_shard | Cluster_ok
 
 type response = {
   resp_id : int;
@@ -75,12 +75,20 @@ let get_le b ~off ~len =
 
 (* ---------------- request codec ---------------- *)
 
-let opcode_byte = function Get -> '\000' | Set -> '\001' | Delete -> '\002'
+let opcode_byte = function
+  | Get -> '\000'
+  | Set -> '\001'
+  | Delete -> '\002'
+  | Cluster_info -> '\003'
 
 let header_op = function
   | Get -> `Read
   | Set -> `Write
   | Delete -> `Delete
+  | Cluster_info ->
+    (* The NIC header has no cluster opcode: CLUSTER_INFO frames are a
+       net-layer control plane the simulated NIC never parses. *)
+    invalid_arg "Wire.header_op: Cluster_info has no NIC equivalent"
 
 let op_of_header = function
   | `Read -> Get
@@ -107,7 +115,7 @@ let encode_request t r =
   if r.key < 0 || (kl < 8 && r.key >= 1 lsl (8 * kl)) then
     invalid_arg "Wire.encode_request: key does not fit key_length";
   (match r.op with
-  | Set -> ()
+  | Set | Cluster_info -> ()
   | Get | Delete ->
     if Bytes.length r.value > 0 then
       invalid_arg "Wire.encode_request: GET/DELETE carry no value");
@@ -152,8 +160,10 @@ let decode_request t body =
     Error (Printf.sprintf "short request body: %d bytes, need %d" (Bytes.length body) fixed)
   else
     match Char.code (Bytes.get body t.layout.Header.opcode_offset) with
-    | (0 | 1 | 2) as c ->
-      let op = match c with 0 -> Get | 1 -> Set | _ -> Delete in
+    | (0 | 1 | 2 | 3) as c ->
+      let op =
+        match c with 0 -> Get | 1 -> Set | 2 -> Delete | _ -> Cluster_info
+      in
       let key =
         get_le body ~off:t.layout.Header.key_offset ~len:t.layout.Header.key_length
       in
@@ -181,7 +191,7 @@ let decode_request t body =
           let value_off = fixed + token_bytes + trace_bytes in
           let value = Bytes.sub body value_off (Bytes.length body - value_off) in
           match op with
-          | Set -> Ok { id; op; key; token; trace; value }
+          | Set | Cluster_info -> Ok { id; op; key; token; trace; value }
           | Get | Delete ->
             if Bytes.length value > 0 then
               Error "GET/DELETE request carries a value"
@@ -192,9 +202,19 @@ let decode_request t body =
 
 (* ---------------- response codec ---------------- *)
 
-let header_status = function Ok -> `Ok | Not_found -> `Not_found | Err -> `Err
+let header_status = function
+  | Ok -> `Ok
+  | Not_found -> `Not_found
+  | Err -> `Err
+  | Wrong_shard -> `Wrong_shard
+  | Cluster_ok -> `Cluster_ok
 
-let status_of_header = function `Ok -> Ok | `Not_found -> Not_found | `Err -> Err
+let status_of_header = function
+  | `Ok -> Ok
+  | `Not_found -> Not_found
+  | `Err -> Err
+  | `Wrong_shard -> Wrong_shard
+  | `Cluster_ok -> Cluster_ok
 
 let encode_response t r =
   if r.resp_id < 0 then invalid_arg "Wire.encode_response: negative id";

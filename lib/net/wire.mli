@@ -46,7 +46,17 @@
     (bytes arrive in any segmentation) and rejects oversized frames and
     unknown versions as connection-fatal corruption. *)
 
-type op = Get | Set | Delete
+type op =
+  | Get
+  | Set
+  | Delete
+  | Cluster_info
+      (** cluster-runtime control op (opcode 3): an empty value asks
+          the node for its current shard map; a non-empty value is an
+          encoded map the node should install if the epoch is newer
+          (and it still answers with its current map). Answered with
+          {!Cluster_ok} by cluster members, [Err] by single-node
+          servers. *)
 
 (** In-band distributed-tracing identity ({!C4_obs.Span.context}'s wire
     shape): the request's trace id and the span id of the client span
@@ -60,10 +70,19 @@ type request = {
   token : int option;  (** idempotency token, attached on retries *)
   trace : trace_context option;
       (** propagated trace context; forces a version-2 frame *)
-  value : bytes;  (** SET payload; must be empty for GET/DELETE *)
+  value : bytes;
+      (** SET payload or CLUSTER_INFO map; must be empty for GET/DELETE *)
 }
 
-type status = Ok | Not_found | Err
+type status =
+  | Ok
+  | Not_found
+  | Err
+  | Wrong_shard
+      (** the node does not own the key's shard under its current map;
+          [resp_value] is the node's encoded shard map so the client can
+          re-route without a second round trip *)
+  | Cluster_ok  (** CLUSTER_INFO answer; [resp_value] is the encoded map *)
 
 type response = {
   resp_id : int;  (** the request id this answers *)
@@ -105,7 +124,9 @@ val decode_request : t -> bytes -> (request, string) result
 val decode_response : t -> bytes -> (response, string) result
 
 (** NIC interop: a request body's first bytes are a {!C4_nic.Header}
-    packet, so the op enums convert both ways. *)
+    packet, so the op enums convert both ways. [Cluster_info] is
+    net-layer-only (the NIC never parses cluster control frames) —
+    {!header_op} raises [Invalid_argument] on it. *)
 val header_op : op -> C4_nic.Header.op
 
 val op_of_header : C4_nic.Header.op -> op

@@ -86,14 +86,19 @@ type response_layout = {
 let default_response_layout =
   { status_offset = 0; value_len_offset = 1; value_len_bytes = 4 }
 
-type status = [ `Ok | `Not_found | `Err ]
+type status = [ `Ok | `Not_found | `Err | `Wrong_shard | `Cluster_ok ]
 
 type parsed_response = { status : status; value_len : int }
 
 let response_size rl =
   max (rl.status_offset + 1) (rl.value_len_offset + rl.value_len_bytes)
 
-let status_byte = function `Ok -> '\000' | `Not_found -> '\001' | `Err -> '\002'
+let status_byte = function
+  | `Ok -> '\000'
+  | `Not_found -> '\001'
+  | `Err -> '\002'
+  | `Wrong_shard -> '\003'
+  | `Cluster_ok -> '\004'
 
 let encode_response rl ~status ~value =
   if rl.value_len_bytes < 1 || rl.value_len_bytes > 4 then
@@ -115,8 +120,15 @@ let parse_response rl packet =
       (Printf.sprintf "short response: %d bytes, need %d" (Bytes.length packet) needed)
   else
     match Char.code (Bytes.get packet rl.status_offset) with
-    | (0 | 1 | 2) as c ->
-      let status = match c with 0 -> `Ok | 1 -> `Not_found | _ -> `Err in
+    | (0 | 1 | 2 | 3 | 4) as c ->
+      let status =
+        match c with
+        | 0 -> `Ok
+        | 1 -> `Not_found
+        | 2 -> `Err
+        | 3 -> `Wrong_shard
+        | _ -> `Cluster_ok
+      in
       let value_len =
         read_key_le packet ~offset:rl.value_len_offset ~length:rl.value_len_bytes
       in

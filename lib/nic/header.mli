@@ -60,9 +60,15 @@ val encode : t -> op:op -> key:int -> value:bytes -> bytes
     NIC (or any middlebox) can delimit the value without knowing the
     request it answers:
 
-    {v offset [status_offset]: status (1 B; 0 = OK, 1 = NOT_FOUND, 2 = ERR)
+    {v offset [status_offset]: status (1 B; 0 = OK, 1 = NOT_FOUND, 2 = ERR,
+                                       3 = WRONG_SHARD, 4 = CLUSTER_OK)
        offset [value_len_offset]: value length ([value_len_bytes] <= 4 B, LE)
-       remainder (after {!response_size}): value v} *)
+       remainder (after {!response_size}): value v}
+
+    Statuses 3 and 4 belong to the cluster runtime ([C4_clusterd]): a
+    WRONG_SHARD response carries the answering node's current shard map
+    as its value, and CLUSTER_OK answers a CLUSTER_INFO request the same
+    way. Single-node deployments never emit either. *)
 
 type response_layout = {
   status_offset : int;
@@ -72,7 +78,7 @@ type response_layout = {
 
 val default_response_layout : response_layout
 
-type status = [ `Ok | `Not_found | `Err ]
+type status = [ `Ok | `Not_found | `Err | `Wrong_shard | `Cluster_ok ]
 
 type parsed_response = { status : status; value_len : int }
 

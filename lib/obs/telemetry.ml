@@ -159,6 +159,15 @@ let start ?(host = "127.0.0.1") ~port ~registry ~health () =
   t.acceptor <- Some (Thread.create (acceptor_loop t) ());
   t
 
+let try_start ?host ~port ~registry ~health () =
+  match start ?host ~port ~registry ~health () with
+  | t -> Ok t
+  | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) ->
+    Error (Printf.sprintf "telemetry port %d already in use" port)
+  | exception Unix.Unix_error (e, _, _) ->
+    Error
+      (Printf.sprintf "telemetry port %d: %s" port (Unix.error_message e))
+
 let port t = t.bound_port
 
 let stop t =

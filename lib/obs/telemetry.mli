@@ -33,6 +33,18 @@ val start :
   unit ->
   t
 
+(** Like {!start}, but a bind failure — above all [EADDRINUSE], the
+    routine "two servers on one box" collision — comes back as
+    [Error] with a human-readable message instead of an exception, so
+    a host process can report it and keep serving without telemetry. *)
+val try_start :
+  ?host:string ->
+  port:int ->
+  registry:Registry.t ->
+  health:(unit -> Json.t) ->
+  unit ->
+  (t, string) result
+
 (** The port actually bound. *)
 val port : t -> int
 

@@ -646,6 +646,7 @@ let alive_workers t =
 let partition_of_key t key = Store.partition_of_key t.store key
 let n_partitions t = t.cfg.n_partitions
 let n_workers t = t.cfg.n_workers
+let wal_handle t = t.wal
 
 let ownership_counts t =
   Sync.with_lock t.route_lock (fun () -> Core.ownership_counts t.core)

@@ -203,6 +203,13 @@ val partition_of_key : t -> int -> int
 val n_partitions : t -> int
 val n_workers : t -> int
 
+(** The runtime's WAL, when {!config.wal} enabled one — exposed so the
+    cluster runtime ([C4_clusterd.Member]) can install its replication
+    tap ({!C4_wal.Wal.set_append_hook}) and quorum ack gate
+    ({!C4_wal.Wal.set_ack_gate}) before serving traffic. Owned by the
+    runtime: do not close it. *)
+val wal_handle : t -> C4_wal.Wal.t option
+
 (** Per-worker durable partition-ownership census
     ([C4_crew.Core.ownership_counts] under the routing lock, so it
     never interleaves with a recovery remap): [counts.(w)] partitions

@@ -79,6 +79,8 @@ type t = {
   mutable queue : request list;  (* newest first; reversed on drain *)
   mutable closing : bool;
   mutable syncer : unit Domain.t option;
+  mutable append_hook : (partition:int -> Record.t -> unit) option;
+  mutable ack_gate : (partition:int -> seqno:int -> (unit -> unit) -> unit) option;
 }
 
 (* ---------------- paths ---------------- *)
@@ -341,6 +343,8 @@ let open_ ?registry ~replay cfg =
       queue = [];
       closing = false;
       syncer = None;
+      append_hook = None;
+      ack_gate = None;
     }
   in
   (match cfg.fsync with
@@ -373,6 +377,15 @@ let rotate_locked t part =
   part.p_seg_bytes <- 0;
   Registry.incr t.m.rotations_c
 
+let set_append_hook t hook = t.append_hook <- hook
+let set_ack_gate t gate = t.ack_gate <- gate
+
+let last_seqno t ~partition =
+  if partition < 0 || partition >= Array.length t.parts then
+    invalid_arg "Wal.last_seqno: partition";
+  let part = t.parts.(partition) in
+  with_lock part.p_lock (fun () -> part.p_next_seqno - 1)
+
 let append t ~partition ~op =
   if partition < 0 || partition >= Array.length t.parts then
     invalid_arg "Wal.append: partition";
@@ -385,8 +398,9 @@ let append t ~partition ~op =
       in
       let seqno = part.p_next_seqno in
       part.p_next_seqno <- seqno + 1;
+      let record = { Record.seqno; op } in
       Buffer.clear part.p_buf;
-      Record.encode part.p_buf { Record.seqno; op };
+      Record.encode part.p_buf record;
       let len = Buffer.length part.p_buf in
       write_all fd (Buffer.to_bytes part.p_buf) 0 len;
       part.p_seg_bytes <- part.p_seg_bytes + len;
@@ -394,7 +408,35 @@ let append t ~partition ~op =
       Registry.incr t.m.appends_c;
       Registry.incr ~by:len t.m.bytes_c;
       if part.p_seg_bytes >= t.cfg.segment_bytes then rotate_locked t part;
+      (* Inside [p_lock]: the hook observes records in exactly seqno
+         order per partition, which the replication tap relies on. *)
+      (match t.append_hook with Some hook -> hook ~partition record | None -> ());
       seqno)
+
+(* Read-only scan of a partition's durable suffix. Stops at the first
+   torn/corrupt record (a concurrent append's tail reads as torn — the
+   caller re-exports from its new watermark later). *)
+let export t ~partition ~from_seqno ~f =
+  if partition < 0 || partition >= Array.length t.parts then
+    invalid_arg "Wal.export: partition";
+  let p_dir = t.parts.(partition).p_dir in
+  let rec scan_segments = function
+    | [] -> ()
+    | (_, path) :: rest ->
+      let b = read_file path in
+      let len = Bytes.length b in
+      let rec scan pos =
+        if pos >= len then `Clean
+        else
+          match Record.decode b ~pos with
+          | Record.Ok (r, next) ->
+            if r.Record.seqno >= from_seqno then f r;
+            scan next
+          | Record.Torn | Record.Corrupt _ -> `Cut
+      in
+      (match scan 0 with `Clean -> scan_segments rest | `Cut -> ())
+  in
+  scan_segments (list_segments p_dir)
 
 let enqueue t rq =
   with_lock t.q_lock (fun () ->
@@ -402,6 +444,16 @@ let enqueue t rq =
       Condition.signal t.q_cond)
 
 let commit t ~partition ~group cb =
+  let cb =
+    match t.ack_gate with
+    | None -> cb
+    | Some gate ->
+      (* Bind the gate to the newest seqno now, on the appending worker,
+         so the durability callback carries the exact record it covers
+         even when the group-commit syncer runs it later. *)
+      let seqno = last_seqno t ~partition in
+      fun () -> gate ~partition ~seqno cb
+  in
   match t.cfg.fsync with
   | Never | Interval _ -> cb ()
   | Window when not group -> cb ()

@@ -101,6 +101,41 @@ val commit : t -> partition:int -> group:bool -> (unit -> unit) -> unit
 (** Fsync every dirty partition now, on the calling thread. *)
 val flush_sync : t -> unit
 
+(** {2 Cluster-replication extension points}
+
+    These exist for [C4_clusterd.Member], which taps the runtime's WAL
+    to drive leader→replica streaming and gates durability acks on
+    replica acknowledgements. Both are [None] by default and must be
+    installed before traffic starts (plain mutable fields, not
+    synchronised). *)
+
+(** Install (or clear) a hook called by {!append} {e inside} the
+    partition lock, immediately after the bytes reach the OS — so the
+    hook observes each partition's records in exactly seqno order. Keep
+    it cheap (enqueue work, don't do I/O that can block appends). *)
+val set_append_hook : t -> (partition:int -> Record.t -> unit) option -> unit
+
+(** Install (or clear) a gate that {!commit} threads every callback
+    through: instead of [cb], the policy runs
+    [gate ~partition ~seqno cb] where [seqno] is the partition's newest
+    record at commit time (bound on the appending worker, so it covers
+    exactly the record being acknowledged). The gate decides when local
+    durability is enough — e.g. quorum replication holds [cb] until
+    enough replicas acked the covering shard sequence numbers. *)
+val set_ack_gate :
+  t -> (partition:int -> seqno:int -> (unit -> unit) -> unit) option -> unit
+
+(** Newest seqno appended to [partition] (0 when empty). *)
+val last_seqno : t -> partition:int -> int
+
+(** Read-only scan of [partition]'s durable records with
+    [seqno >= from_seqno], in seqno order, stopping silently at the
+    first torn/corrupt record (a concurrent append's in-flight tail
+    reads as torn — re-export from the new watermark later). Used by
+    replica catch-up. Safe to run concurrently with appends. *)
+val export :
+  t -> partition:int -> from_seqno:int -> f:(Record.t -> unit) -> unit
+
 (** Drain pending commits, run their callbacks, fsync everything and
     close all segments — after this returns no tail is torn. Idempotent. *)
 val close : t -> unit

@@ -33,4 +33,5 @@ let () =
       ("check", Test_check.tests);
       ("check.static", Test_static.tests);
       ("net", Test_net.tests);
+      ("clusterd", Test_clusterd.tests);
     ]

@@ -55,6 +55,39 @@ let prop_hash_distribution =
       (* Expect 1000 per bucket; allow generous 25% deviation. *)
       Array.for_all (fun c -> c > 750 && c < 1250) counts)
 
+(* node_of_key is the routing contract shared by Cluster, Net.Client
+   and Clusterd.Shardmap: pin the two properties routing relies on. *)
+
+let prop_node_of_key_stable =
+  QCheck.Test.make ~name:"node_of_key is a pure function of (key, n_nodes)"
+    ~count:500
+    QCheck.(pair (int_range 1 64) int)
+    (fun (n_nodes, key) ->
+      let n = Hash.node_of_key ~n_nodes key in
+      n >= 0 && n < n_nodes
+      (* Recomputation (any process, any time) gives the same node —
+         no hidden seed or global state may leak in. *)
+      && n = Hash.node_of_key ~n_nodes key)
+
+let prop_node_of_key_uniform =
+  QCheck.Test.make ~name:"node_of_key spreads keys near-uniformly" ~count:5
+    QCheck.(pair (int_range 2 16) (int_range 1 1_000_000))
+    (fun (n_nodes, seed) ->
+      let per_node = 4_000 in
+      let n = n_nodes * per_node in
+      let counts = Array.make n_nodes 0 in
+      for key = seed to seed + n - 1 do
+        let node = Hash.node_of_key ~n_nodes key in
+        counts.(node) <- counts.(node) + 1
+      done;
+      (* Sequential keys (the worst realistic case) must still balance
+         to within 25% of the ideal share. *)
+      Array.for_all
+        (fun c ->
+          float_of_int c > 0.75 *. float_of_int per_node
+          && float_of_int c < 1.25 *. float_of_int per_node)
+        counts)
+
 (* ---------------- Item ---------------- *)
 
 let test_item_lines () =
@@ -397,6 +430,8 @@ let tests =
     Alcotest.test_case "bucket/partition ranges" `Quick test_bucket_partition_ranges;
     Alcotest.test_case "partition grouping is contiguous" `Quick test_partition_of_bucket_contiguous;
     QCheck_alcotest.to_alcotest prop_hash_distribution;
+    QCheck_alcotest.to_alcotest prop_node_of_key_stable;
+    QCheck_alcotest.to_alcotest prop_node_of_key_uniform;
     Alcotest.test_case "item cache-line geometry" `Quick test_item_lines;
     Alcotest.test_case "item names" `Quick test_item_names;
     Alcotest.test_case "seqlock version protocol" `Quick test_seqlock_protocol;
