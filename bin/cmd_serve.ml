@@ -53,7 +53,7 @@ let load_cluster_map path =
   | Error e -> failwith (Printf.sprintf "bad cluster map %s: %s" path e)
 
 let serve_run port telemetry_port n_workers n_partitions compaction wal_dir
-    fsync_policy duration cluster_map node_id repl_ack =
+    fsync_policy duration cluster_map node_id repl_ack net_engine =
   let t0 = Unix.gettimeofday () in
   let cluster =
     match cluster_map with
@@ -126,6 +126,7 @@ let serve_run port telemetry_port n_workers n_partitions compaction wal_dir
       {
         C4_net.Server.default_config with
         port;
+        engine = net_engine;
         cluster = Option.map C4_clusterd.Member.hooks member;
       }
       ~runtime
@@ -150,8 +151,10 @@ let serve_run port telemetry_port n_workers n_partitions compaction wal_dir
         Printf.printf "telemetry disabled: %s\n%!" msg;
         None)
   in
-  Printf.printf "c4 server listening on 127.0.0.1:%d (%d workers, %d partitions%s%s%s)\n%!"
+  Printf.printf
+    "c4 server listening on 127.0.0.1:%d (%d workers, %d partitions, %s engine%s%s%s)\n%!"
     (C4_net.Server.port srv) n_workers n_partitions
+    (C4_net.Server.engine_to_string net_engine)
     (if compaction then ", compaction on" else "")
     (if wal_dir <> None then ", wal on" else "")
     (if Option.is_some member then ", cluster on" else "");
@@ -226,9 +229,9 @@ let cmd =
                  asynchronously).")
   in
   let run port telemetry_port workers partitions no_compaction wal_dir
-      fsync_policy duration cluster_map node_id repl_ack =
+      fsync_policy duration cluster_map node_id repl_ack net_engine =
     serve_run port telemetry_port workers partitions (not no_compaction)
-      wal_dir fsync_policy duration cluster_map node_id repl_ack
+      wal_dir fsync_policy duration cluster_map node_id repl_ack net_engine
   in
   Cmd.v
     (Cmd.info "serve"
@@ -239,4 +242,4 @@ let cmd =
     Term.(
       const run $ port $ telemetry_port $ workers_arg $ partitions_arg
       $ no_compaction_arg $ wal_dir_arg $ fsync_policy_arg $ duration
-      $ cluster_map $ node_id $ repl_ack)
+      $ cluster_map $ node_id $ repl_ack $ net_engine_arg)

@@ -203,7 +203,10 @@ let gate t ~partition ~seqno cb =
 
 (* GET fence (quorum mode): block until the key's partition has no
    locally-applied-but-unacked suffix, so a read can never observe a
-   value that a failover then forgets. *)
+   value that a failover then forgets. Runs on the serving layer's
+   completion side — the connection writer thread under the threads
+   engine, a completion-executor thread under the event engine — never
+   on an event-loop domain, which must not block. *)
 let read_fence t ~key =
   if t.cfg.ack = Quorum then begin
     let partition = Runtime.partition_of_key t.runtime key in

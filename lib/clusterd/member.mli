@@ -34,7 +34,9 @@
     Reads: {!hooks}'s [cl_read_fence] blocks a GET response (quorum
     mode) until the key's partition has no applied-but-unacked suffix,
     so no client can observe a value that a subsequent failover
-    forgets.
+    forgets. The serving layer calls it from a thread that may block
+    (connection writer or completion executor, per
+    {!C4_net.Server.cluster}), never from an event-loop domain.
 
     Metrics (in [registry]): [cluster.epoch] (gauge),
     [cluster.repl_records_out], [cluster.repl_records_in],

@@ -1,0 +1,512 @@
+module Channel = C4_runtime.Channel
+module Sync = C4_runtime.Sync
+
+(* The event-loop engine: a fixed pool of loop domains multiplexing all
+   connections with poll(2) plus a self-pipe wakeup, replacing the
+   threads engine's two-OS-threads-per-connection model. Each loop owns
+   a disjoint set of connections (round-robin assignment at accept
+   time): connection membership, the decoder and the [eof] flag are
+   touched only by the owning loop domain, so they need no lock; the
+   output buffer, response boundaries and the pending count are shared
+   with the completion executor and guarded by the per-connection
+   mutex.
+
+   Division of labour per request: the loop does the nonblocking batched
+   read into its per-loop scratch buffer, feeds the connection's
+   incremental [Wire.Decoder], and calls [cb.handle] — the server's
+   nonblocking runtime submission — inline, preserving the threads
+   engine's reader-side semantics (recv span, admission annotations).
+   The returned thunk *blocks* (promise await, cluster read fence), so
+   it is handed to a completion executor: a small pool of threads with
+   per-connection affinity (conn id mod pool size), which keeps one
+   connection's thunks executing serially in arrival order — the
+   pipelining guarantee — while different connections' thunks overlap.
+   A finished response is encoded, appended to the connection's output
+   buffer with its end offset recorded as a boundary, and the owning
+   loop woken through its self-pipe; the loop drains the buffer with
+   one coalesced write per wakeup (a writev of the pipelined responses,
+   flattened), firing [on_response_written] for each boundary the flush
+   crosses — in wire order, which is what lets tracing close respond
+   spans exactly when bytes hit the socket. *)
+
+type conn = {
+  id : int;
+  fd : Unix.file_descr;
+  cb : Conn.callbacks;
+  decoder : Wire.Decoder.decoder;
+  c_loop : loop;
+  lock : Mutex.t;  (* guards every mutable field below except [eof]/[drained] *)
+  mutable obuf : Bytes.t;  (* encoded responses, [o_start, o_end) valid *)
+  mutable o_start : int;
+  mutable o_end : int;
+  (* (queued_total offset at end of frame, response): crossed by the
+     flush cursor in order, each firing on_response_written. *)
+  bounds : (int * Wire.response) Queue.t;
+  mutable queued_total : int;
+  mutable flushed_total : int;
+  mutable pending : int;  (* submitted, response not yet retired *)
+  mutable eof : bool;  (* loop-only: no further frames will be decoded *)
+  mutable dead : bool;  (* peer unwritable (gone or dropped as slow) *)
+  mutable drained : bool;  (* loop-only: receive side already shut down *)
+}
+
+and loop = {
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  l_lock : Mutex.t;  (* guards [incoming] *)
+  incoming : conn Queue.t;
+  conns : (int, conn) Hashtbl.t;  (* loop-domain only *)
+  scratch : Bytes.t;  (* per-loop read buffer, shared by its conns *)
+  wake_buf : Bytes.t;
+  mutable pfds : Unix.file_descr array;
+  mutable pevents : int array;
+  mutable prevents : int array;
+  mutable porder : conn option array;
+  mutable domain : unit Domain.t option;
+}
+
+and t = {
+  wire : Wire.t;
+  max_pending : int;
+  on_slow_drop : unit -> unit;
+  loops : loop array;
+  comps : (conn * (unit -> Wire.response)) Channel.t array;
+  mutable comp_threads : Thread.t list;
+  mutable next_loop : int;  (* under p_lock *)
+  mutable next_id : int;  (* under p_lock *)
+  p_lock : Mutex.t;
+  active : int Atomic.t;
+  stopping : bool Atomic.t;
+  draining : bool Atomic.t;
+  q_lock : Mutex.t;  (* with q_cond: signals active reaching zero *)
+  q_cond : Condition.t;
+}
+
+let wake_byte = Bytes.make 1 'w'
+
+(* Nonblocking self-pipe write; a full pipe already guarantees a wakeup
+   is pending, and EBADF just means the pool already shut down. *)
+let wake l =
+  try ignore (Unix.write l.wake_w wake_byte 0 1)
+  with Unix.Unix_error _ -> ()
+
+let drain_wake l =
+  let continue = ref true in
+  while !continue do
+    match Unix.read l.wake_r l.wake_buf 0 (Bytes.length l.wake_buf) with
+    | 0 -> continue := false
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> continue := false
+  done
+
+(* --- output buffer (under c.lock) --- *)
+
+let append_out c frame resp =
+  let flen = Bytes.length frame in
+  let len = c.o_end - c.o_start in
+  let cap = Bytes.length c.obuf in
+  if c.o_end + flen > cap then begin
+    if len + flen <= cap then Bytes.blit c.obuf c.o_start c.obuf 0 len
+    else begin
+      let nb = Bytes.create (max (cap * 2) (len + flen)) in
+      Bytes.blit c.obuf c.o_start nb 0 len;
+      c.obuf <- nb
+    end;
+    c.o_start <- 0;
+    c.o_end <- len
+  end;
+  Bytes.blit frame 0 c.obuf c.o_end flen;
+  c.o_end <- c.o_end + flen;
+  c.queued_total <- c.queued_total + flen;
+  Queue.add (c.queued_total, resp) c.bounds
+
+(* Fire on_response_written for every boundary the flush cursor has
+   crossed, in wire order. *)
+let retire_flushed c =
+  let continue = ref true in
+  while !continue && not (Queue.is_empty c.bounds) do
+    let off, resp = Queue.peek c.bounds in
+    if off <= c.flushed_total then begin
+      ignore (Queue.pop c.bounds);
+      c.pending <- c.pending - 1;
+      c.cb.on_response_written resp
+    end
+    else continue := false
+  done
+
+(* Peer unwritable: abandon buffered output, but retire every owed
+   response through its hook — like the threads engine, a response's
+   lifecycle ends (and its respond span closes) whether or not the ack
+   could be delivered. *)
+let mark_dead c =
+  if not c.dead then begin
+    c.dead <- true;
+    while not (Queue.is_empty c.bounds) do
+      let _, resp = Queue.pop c.bounds in
+      c.pending <- c.pending - 1;
+      c.cb.on_response_written resp
+    done;
+    c.o_start <- 0;
+    c.o_end <- 0
+  end
+
+(* One coalesced write per wakeup: everything buffered goes out in a
+   single write(2); a partial write leaves the tail for the next
+   POLLOUT. Nonblocking, so holding c.lock across it cannot stall the
+   completion threads for long. *)
+let rec flush_locked c =
+  if (not c.dead) && c.o_start < c.o_end then
+    match Unix.write c.fd c.obuf c.o_start (c.o_end - c.o_start) with
+    | n ->
+      c.o_start <- c.o_start + n;
+      c.flushed_total <- c.flushed_total + n;
+      c.cb.on_bytes_out n;
+      retire_flushed c;
+      if c.o_start = c.o_end then begin
+        c.o_start <- 0;
+        c.o_end <- 0
+      end
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> flush_locked c
+    | exception Unix.Unix_error (_, _, _) -> mark_dead c
+
+(* --- completion executor --- *)
+
+let comp_loop pool ch () =
+  let rec go () =
+    match Channel.pop ch with
+    | None -> ()
+    | Some (c, thunk) ->
+      (match thunk () with
+      | resp ->
+        let frame = Wire.encode_response pool.wire resp in
+        Sync.with_lock c.lock (fun () ->
+            if c.dead then begin
+              c.pending <- c.pending - 1;
+              c.cb.on_response_written resp
+            end
+            else append_out c frame resp);
+        wake c.c_loop
+      | exception _ ->
+        (* A raising thunk is connection-fatal in the threads engine
+           too; retire the slot so the drain can still complete. *)
+        Sync.with_lock c.lock (fun () ->
+            c.pending <- c.pending - 1;
+            mark_dead c);
+        wake c.c_loop);
+      go ()
+  in
+  go ()
+
+(* --- read path (loop domain) --- *)
+
+let slow_drop pool c =
+  pool.on_slow_drop ();
+  c.cb.on_protocol_error "slow client: pending-response bound exceeded";
+  Sync.with_lock c.lock (fun () -> mark_dead c);
+  c.eof <- true;
+  try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
+let process_frames pool c =
+  let rec go () =
+    if not c.eof then
+      match Wire.Decoder.next_frame c.decoder with
+      | `Awaiting -> ()
+      | `Corrupt msg ->
+        c.cb.on_protocol_error msg;
+        c.eof <- true
+      | `Frame body -> (
+        match Wire.decode_request pool.wire body with
+        | Error msg ->
+          c.cb.on_protocol_error msg;
+          c.eof <- true
+        | Ok req ->
+          let over =
+            Sync.with_lock c.lock (fun () ->
+                if c.pending >= pool.max_pending then true
+                else begin
+                  c.pending <- c.pending + 1;
+                  false
+                end)
+          in
+          if over then slow_drop pool c
+          else begin
+            match c.cb.handle req with
+            | thunk ->
+              Channel.push
+                pool.comps.(c.id mod Array.length pool.comps)
+                (c, thunk);
+              go ()
+            | exception _ ->
+              Sync.with_lock c.lock (fun () -> c.pending <- c.pending - 1);
+              c.cb.on_protocol_error "request handler raised";
+              c.eof <- true
+          end)
+  in
+  go ()
+
+let read_conn pool l c =
+  (* Batched reads: drain the socket up to a per-wakeup budget (poll is
+     level-triggered, so leftover bytes re-report as readable — the
+     budget is fairness across the loop's conns, not a correctness
+     bound). *)
+  let budget = ref 8 in
+  let continue = ref true in
+  while !continue && !budget > 0 && not c.eof do
+    decr budget;
+    match Unix.read c.fd l.scratch 0 (Bytes.length l.scratch) with
+    | 0 ->
+      c.eof <- true;
+      continue := false
+    | n ->
+      c.cb.on_bytes_in n;
+      Wire.Decoder.feed c.decoder l.scratch ~off:0 ~len:n;
+      process_frames pool c
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) ->
+      c.eof <- true;
+      Sync.with_lock c.lock (fun () -> mark_dead c);
+      continue := false
+  done
+
+(* --- loop domain --- *)
+
+let closable c = c.eof && c.pending = 0 && (c.dead || c.o_start = c.o_end)
+
+let close_conn pool l c =
+  Hashtbl.remove l.conns c.id;
+  (try Unix.close c.fd with Unix.Unix_error _ -> ());
+  c.cb.on_closed ();
+  let now = Atomic.fetch_and_add pool.active (-1) - 1 in
+  if now = 0 then
+    Sync.with_lock pool.q_lock (fun () -> Condition.broadcast pool.q_cond)
+
+let ensure_capacity l n =
+  if Array.length l.pfds < n then begin
+    let cap = max n (2 * Array.length l.pfds) in
+    l.pfds <- Array.make cap l.wake_r;
+    l.pevents <- Array.make cap 0;
+    l.prevents <- Array.make cap 0;
+    l.porder <- Array.make cap None
+  end
+
+let loop_iter pool l =
+  (* Splice newly accepted connections in. *)
+  let fresh =
+    Sync.with_lock l.l_lock (fun () ->
+        let xs = List.rev (Queue.fold (fun acc c -> c :: acc) [] l.incoming) in
+        Queue.clear l.incoming;
+        xs)
+  in
+  List.iter (fun c -> Hashtbl.replace l.conns c.id c) fresh;
+  (* Graceful drain: half-close every receive side once; buffered bytes
+     still read out (and decode, and get answered) before EOF shows. *)
+  if Atomic.get pool.draining then
+    Hashtbl.iter
+      (fun _ c ->
+        if not c.drained then begin
+          c.drained <- true;
+          try Unix.shutdown c.fd Unix.SHUTDOWN_RECEIVE
+          with Unix.Unix_error _ -> ()
+        end)
+      l.conns;
+  (* Interest set: self-pipe + every conn (read unless EOF, write while
+     output is buffered). *)
+  let n = 1 + Hashtbl.length l.conns in
+  ensure_capacity l n;
+  l.pfds.(0) <- l.wake_r;
+  l.pevents.(0) <- Poll.pollin;
+  l.porder.(0) <- None;
+  let i = ref 1 in
+  Hashtbl.iter
+    (fun _ c ->
+      let ev = ref 0 in
+      if not c.eof then ev := !ev lor Poll.pollin;
+      Sync.with_lock c.lock (fun () ->
+          if (not c.dead) && c.o_start < c.o_end then
+            ev := !ev lor Poll.pollout);
+      l.pfds.(!i) <- c.fd;
+      l.pevents.(!i) <- !ev;
+      l.porder.(!i) <- Some c;
+      incr i)
+    l.conns;
+  ignore
+    (Poll.poll ~fds:l.pfds ~events:l.pevents ~revents:l.prevents ~n:!i
+       ~timeout_ms:250);
+  if Poll.readable l.prevents.(0) || Poll.errored l.prevents.(0) then
+    drain_wake l;
+  for j = 1 to !i - 1 do
+    match l.porder.(j) with
+    | None -> ()
+    | Some c ->
+      let re = l.prevents.(j) in
+      if (Poll.readable re || Poll.errored re) && not c.eof then
+        read_conn pool l c;
+      if Poll.writable re || Poll.errored re then
+        Sync.with_lock c.lock (fun () -> flush_locked c);
+      l.porder.(j) <- None
+  done;
+  (* Opportunistic flush for conns whose output arrived between the
+     interest-set snapshot and now (the wakeup that interrupted poll):
+     saves one poll round-trip on the common small-response path. *)
+  Hashtbl.iter
+    (fun _ c -> Sync.with_lock c.lock (fun () -> flush_locked c))
+    l.conns;
+  let finished =
+    Hashtbl.fold
+      (fun _ c acc ->
+        if Sync.with_lock c.lock (fun () -> closable c) then c :: acc else acc)
+      l.conns []
+  in
+  List.iter (fun c -> close_conn pool l c) finished
+
+let loop_run pool l () =
+  let rec go () =
+    loop_iter pool l;
+    let should_exit =
+      Atomic.get pool.stopping
+      && Hashtbl.length l.conns = 0
+      && Sync.with_lock l.l_lock (fun () -> Queue.is_empty l.incoming)
+    in
+    if not should_exit then go ()
+  in
+  (try go ()
+   with _ ->
+     (* A loop domain must never die silently rich with connections:
+        close them all so Server.stop's quiesce wait cannot hang. *)
+     let fresh =
+       Sync.with_lock l.l_lock (fun () ->
+           let xs = List.rev (Queue.fold (fun acc c -> c :: acc) [] l.incoming) in
+           Queue.clear l.incoming;
+           xs)
+     in
+     List.iter (fun c -> Hashtbl.replace l.conns c.id c) fresh;
+     let all = Hashtbl.fold (fun _ c acc -> c :: acc) l.conns [] in
+     List.iter (fun c -> close_conn pool l c) all)
+
+(* --- pool lifecycle --- *)
+
+let create ~wire ~loops ~completions ~max_pending ~on_slow_drop () =
+  if loops < 1 then invalid_arg "Evloop.create: loops";
+  if completions < 1 then invalid_arg "Evloop.create: completions";
+  if max_pending < 1 then invalid_arg "Evloop.create: max_pending";
+  let mk_loop _ =
+    let r, w = Unix.pipe () in
+    Unix.set_nonblock r;
+    Unix.set_nonblock w;
+    {
+      wake_r = r;
+      wake_w = w;
+      l_lock = Mutex.create ();
+      incoming = Queue.create ();
+      conns = Hashtbl.create 64;
+      scratch = Bytes.create 65536;
+      wake_buf = Bytes.create 64;
+      pfds = Array.make 16 r;
+      pevents = Array.make 16 0;
+      prevents = Array.make 16 0;
+      porder = Array.make 16 None;
+      domain = None;
+    }
+  in
+  let pool =
+    {
+      wire;
+      max_pending;
+      on_slow_drop;
+      loops = Array.init loops mk_loop;
+      comps = Array.init completions (fun _ -> Channel.create ());
+      comp_threads = [];
+      next_loop = 0;
+      next_id = 0;
+      p_lock = Mutex.create ();
+      active = Atomic.make 0;
+      stopping = Atomic.make false;
+      draining = Atomic.make false;
+      q_lock = Mutex.create ();
+      q_cond = Condition.create ();
+    }
+  in
+  Array.iter
+    (fun l -> l.domain <- Some (Domain.spawn (fun () -> loop_run pool l ())))
+    pool.loops;
+  pool.comp_threads <-
+    Array.to_list
+      (Array.map (fun ch -> Thread.create (comp_loop pool ch) ()) pool.comps);
+  pool
+
+let n_loops pool = Array.length pool.loops
+
+let add pool ~fd cb =
+  if Atomic.get pool.stopping then begin
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    cb.Conn.on_closed ()
+  end
+  else begin
+    Unix.set_nonblock fd;
+    let id, l =
+      Sync.with_lock pool.p_lock (fun () ->
+          let id = pool.next_id in
+          pool.next_id <- id + 1;
+          let l = pool.loops.(pool.next_loop mod Array.length pool.loops) in
+          pool.next_loop <- pool.next_loop + 1;
+          (id, l))
+    in
+    let c =
+      {
+        id;
+        fd;
+        cb;
+        decoder = Wire.Decoder.create pool.wire;
+        c_loop = l;
+        lock = Mutex.create ();
+        obuf = Bytes.create 4096;
+        o_start = 0;
+        o_end = 0;
+        bounds = Queue.create ();
+        queued_total = 0;
+        flushed_total = 0;
+        pending = 0;
+        eof = false;
+        dead = false;
+        drained = false;
+      }
+    in
+    Atomic.incr pool.active;
+    Sync.with_lock l.l_lock (fun () -> Queue.add c l.incoming);
+    wake l
+  end
+
+let stop pool =
+  if not (Atomic.exchange pool.stopping true) then begin
+    Atomic.set pool.draining true;
+    Array.iter wake pool.loops;
+    (* Loops keep running while connections drain — they do the
+       flushing; quiesce first, then tear the machinery down. *)
+    Sync.with_lock pool.q_lock (fun () ->
+        while Atomic.get pool.active > 0 do
+          Condition.wait pool.q_cond pool.q_lock
+        done);
+    Array.iter wake pool.loops;
+    Array.iter
+      (fun l ->
+        match l.domain with
+        | Some d ->
+          Domain.join d;
+          l.domain <- None
+        | None -> ())
+      pool.loops;
+    Array.iter Channel.close pool.comps;
+    List.iter Thread.join pool.comp_threads;
+    pool.comp_threads <- [];
+    Array.iter
+      (fun l ->
+        (try Unix.close l.wake_r with Unix.Unix_error _ -> ());
+        try Unix.close l.wake_w with Unix.Unix_error _ -> ())
+      pool.loops
+  end

@@ -1,0 +1,60 @@
+(** Event-loop serving engine: a fixed pool of loop domains multiplexing
+    every connection with poll(2) (see {!Poll}) plus a self-pipe wakeup,
+    replacing the threads engine's reader + writer pair per connection —
+    the engine behind {!Server}'s [Evloop] mode.
+
+    Per connection, the owning loop does nonblocking batched reads into
+    a {e per-loop} scratch buffer, feeds the incremental
+    {!Wire.Decoder}, and calls [cb.handle] inline (runtime submission is
+    nonblocking). The blocking part of a request — awaiting the
+    runtime's promise, the cluster read fence — runs on a completion
+    executor: a small thread pool with per-connection affinity, so one
+    connection's thunks execute serially in arrival order (the
+    pipelining guarantee) while connections overlap. Completed
+    responses accumulate in the connection's output buffer and are
+    flushed with one coalesced write per wakeup, [on_response_written]
+    firing per response exactly when its last byte is handed to the
+    socket — in wire order, as the threads engine's writer does.
+
+    Semantics preserved from the threads engine: per-connection response
+    order = request arrival order; protocol errors are connection-fatal
+    but owed responses still flush; a dead peer's thunks still run (an
+    acknowledged write is applied whether or not the ack is
+    deliverable) with their hooks fired; {!stop} half-closes every
+    receive side, answers everything accepted, and only then tears the
+    loops down.
+
+    New behaviour: a connection whose pending-response count (submitted
+    but not yet flushed) reaches [max_pending] is dropped as a slow
+    client — [on_slow_drop] then [on_protocol_error] fire, buffered
+    output is abandoned, already-submitted operations still apply. *)
+
+type t
+
+(** Start [loops] loop domains and [completions] completion threads.
+    [on_slow_drop] fires once per connection dropped for exceeding
+    [max_pending]. Raises [Invalid_argument] unless all three counts
+    are positive. *)
+val create :
+  wire:Wire.t ->
+  loops:int ->
+  completions:int ->
+  max_pending:int ->
+  on_slow_drop:(unit -> unit) ->
+  unit ->
+  t
+
+val n_loops : t -> int
+
+(** Take ownership of [fd] (a connected stream socket): set it
+    nonblocking and hand it to a loop (round-robin). After {!stop} has
+    begun, the fd is closed and [on_closed] fired immediately. *)
+val add : t -> fd:Unix.file_descr -> Conn.callbacks -> unit
+
+(** Graceful drain: half-close every connection's receive side, decode
+    and answer everything already received, flush every pending
+    response, then join the loop domains and completion threads.
+    Blocks until done. Idempotent (concurrent calls may return before
+    the drain completes; the caller serialises, as {!Server.stop}
+    does). *)
+val stop : t -> unit

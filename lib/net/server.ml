@@ -14,6 +14,19 @@ type cluster = {
   cl_info : bytes -> (bytes, string) result;
 }
 
+(* Which serving engine fronts the runtime: the event-loop pool (a few
+   loop domains multiplexing every connection with poll(2)) or the
+   legacy two-threads-per-connection model, kept for comparison
+   benchmarks and as a fallback. *)
+type engine = Evloop | Threads
+
+let engine_to_string = function Evloop -> "evloop" | Threads -> "threads"
+
+let engine_of_string = function
+  | "evloop" -> Ok Evloop
+  | "threads" -> Ok Threads
+  | s -> Error (Printf.sprintf "unknown net engine %S (evloop|threads)" s)
+
 type config = {
   host : string;
   port : int;
@@ -21,6 +34,9 @@ type config = {
   max_frame : int;
   spans : Span.t option;
   cluster : cluster option;
+  engine : engine;
+  loops : int;
+  max_pending : int;
 }
 
 let default_config =
@@ -31,6 +47,9 @@ let default_config =
     max_frame = 1 lsl 20;
     spans = None;
     cluster = None;
+    engine = Evloop;
+    loops = 2;
+    max_pending = 1024;
   }
 
 type metrics = {
@@ -46,6 +65,8 @@ type metrics = {
   set_h : Registry.histogram;
   delete_h : Registry.histogram;
   routed_c : Registry.counter array;  (* per-worker mutation attribution *)
+  accept_errors_c : Registry.counter;  (* EMFILE/ENFILE backoffs survived *)
+  slow_client_drops_c : Registry.counter;
 }
 
 type t = {
@@ -56,11 +77,12 @@ type t = {
   bound_port : int;
   reg : Registry.t;
   m : metrics;
-  conns : (int, Conn.t) Hashtbl.t;  (* conn id -> conn, guarded *)
+  conns : (int, Conn.t) Hashtbl.t;  (* threads engine: conn id -> conn *)
   conns_lock : Mutex.t;
   mutable next_conn : int;
   mutable active : int;
   mutable acceptor : Thread.t option;
+  mutable ev : Evloop.t option;  (* event engine: owns the conns itself *)
   inflight : int Atomic.t;
   stopping : bool Atomic.t;
   stop_lock : Mutex.t;
@@ -88,6 +110,8 @@ let metrics_of reg ~n_workers =
     routed_c =
       Array.init n_workers (fun w ->
           Registry.counter reg (Printf.sprintf "net.routed_w%d" w));
+    accept_errors_c = Registry.counter reg "net.accept_errors";
+    slow_client_drops_c = Registry.counter reg "net.slow_client_drops";
   }
 
 (* Count each mutation against the worker the policy core's ownership
@@ -161,12 +185,24 @@ let traced_submit tr f =
       ~finally:(fun () -> Span.finish tr_buf tr_recv ~ts:(now_ns ()))
       (fun () -> Span.with_current tr_buf tr_recv f)
 
-(* Wrap the writer-side thunk: the apply span opens now (submission
+(* Wrap the completion-side thunk: the apply span opens now (submission
    done), closes when the thunk's await returns; the respond span is
-   parked in the connection's cell for [on_response_written]. *)
-let traced_thunk tr respond_cell thunk =
+   enqueued — via [push] — in the connection's respond FIFO for
+   [on_response_written]. Untraced requests enqueue a [None]
+   placeholder: thunks complete in arrival order and
+   [on_response_written] fires in wire order, so the FIFO pairs every
+   response with its (possible) span even when traced and untraced
+   requests interleave. (The threads engine's strict
+   thunk-then-write alternation allowed a single cell; the event
+   engine overlaps later thunk completions with earlier flushes, so
+   the hand-off must be a queue.) *)
+let traced_thunk tr push thunk =
   match tr with
-  | None -> thunk
+  | None ->
+    fun () ->
+      let resp = thunk () in
+      push None;
+      resp
   | Some { tr_buf; tr_recv } ->
     let apply =
       Span.start ~parent:(Span.context tr_recv) tr_buf ~name:"server.apply"
@@ -180,13 +216,14 @@ let traced_thunk tr respond_cell thunk =
         Span.start ~parent:(Span.context apply) tr_buf ~name:"server.respond" ~ts:now
       in
       Span.annotate tr_buf respond ~key:"status" ~value:(status_name resp.Wire.status);
-      respond_cell := Some (tr_buf, respond);
+      push (Some (tr_buf, respond));
       resp
 
-(* Submit one decoded request to the runtime. Called in the connection's
-   reader thread; must not block, so it returns the thunk the writer
-   awaits. Inflight counts submitted-but-unanswered requests. *)
-let handle t respond_cell (req : Wire.request) =
+(* Submit one decoded request to the runtime. Called on the connection's
+   read side (reader thread or loop domain); must not block, so it
+   returns the thunk the completion side awaits. Inflight counts
+   submitted-but-unanswered requests. *)
+let handle t push (req : Wire.request) =
   Registry.incr t.m.requests_c;
   let start = now_ns () in
   let tr = start_trace t req ~ts:start in
@@ -316,7 +353,7 @@ let handle t respond_cell (req : Wire.request) =
           ignore (finish t.m.delete_h);
           err_response req.Wire.id "server shutting down"))
   in
-  traced_thunk tr respond_cell thunk
+  traced_thunk tr push thunk
 
 let spawn_conn t fd =
   (* Only the id/metric updates need [conns_lock]; the callback record
@@ -332,22 +369,25 @@ let spawn_conn t fd =
         Registry.set t.m.conns_active_g (float_of_int t.active);
         id)
   in
-  (* The respond-span hand-off cell: set by the thunk and cleared by
-     on_response_written, both on this connection's writer thread,
-     strictly alternating — so a plain ref needs no lock. *)
-  let respond_cell = ref None in
+  (* The respond-span hand-off FIFO: thunks push one entry per response
+     at completion (in arrival order), [on_response_written] pops one
+     per response written (in wire order) — the two orders agree on
+     both engines, so entry k always belongs to response k. *)
+  let respond_q : (Span.t * Span.span) option Queue.t = Queue.create () in
+  let rq_lock = Mutex.create () in
+  let push sp = Sync.with_lock rq_lock (fun () -> Queue.add sp respond_q) in
   let cb =
     {
-      Conn.handle = handle t respond_cell;
+      Conn.handle = handle t push;
       on_bytes_in = (fun n -> Registry.incr ~by:n t.m.bytes_in_c);
       on_bytes_out = (fun n -> Registry.incr ~by:n t.m.bytes_out_c);
       on_response_written =
         (fun _resp ->
-          match !respond_cell with
-          | None -> ()
-          | Some (buf, sp) ->
-            respond_cell := None;
-            Span.finish buf sp ~ts:(now_ns ()));
+          match
+            Sync.with_lock rq_lock (fun () -> Queue.take_opt respond_q)
+          with
+          | Some (Some (buf, sp)) -> Span.finish buf sp ~ts:(now_ns ())
+          | Some None | None -> ());
       on_protocol_error = (fun _msg -> Registry.incr t.m.protocol_errors_c);
       on_closed =
         (fun () ->
@@ -357,11 +397,14 @@ let spawn_conn t fd =
               Registry.set t.m.conns_active_g (float_of_int t.active)));
     }
   in
-  (* Start-and-register stays atomic under [conns_lock]: [on_closed]
-     fires from the connection's own threads and must observe the table
-     entry it removes, even if the peer disconnects instantly. *)
-  Sync.with_lock t.conns_lock (fun () ->
-      Hashtbl.replace t.conns id (Conn.start ~wire:t.wire ~fd cb))
+  match t.ev with
+  | Some pool -> Evloop.add pool ~fd cb
+  | None ->
+    (* Start-and-register stays atomic under [conns_lock]: [on_closed]
+       fires from the connection's own threads and must observe the
+       table entry it removes, even if the peer disconnects instantly. *)
+    Sync.with_lock t.conns_lock (fun () ->
+        Hashtbl.replace t.conns id (Conn.start ~wire:t.wire ~fd cb))
 
 let acceptor_loop t () =
   let rec loop () =
@@ -379,6 +422,19 @@ let acceptor_loop t () =
       ()
     | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR), _, _) ->
       if Atomic.get t.stopping then () else loop ()
+    | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) ->
+      (* Out of file descriptors — process- or system-wide. Shed this
+         accept and back off briefly instead of dying: the listener
+         stays open (pending peers wait in the backlog), existing
+         connections keep being served, and the counter makes the
+         episode visible to telemetry. *)
+      Registry.incr t.m.accept_errors_c;
+      if Atomic.get t.stopping then ()
+      else begin
+        (try Unix.sleepf 0.05
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        loop ()
+      end
   in
   loop ()
 
@@ -417,11 +473,26 @@ let start ?registry cfg ~runtime =
       next_conn = 0;
       active = 0;
       acceptor = None;
+      ev = None;
       inflight = Atomic.make 0;
       stopping = Atomic.make false;
       stop_lock = Mutex.create ();
     }
   in
+  (match cfg.engine with
+  | Threads -> ()
+  | Evloop ->
+    let on_slow_drop () =
+      Registry.incr t.m.slow_client_drops_c;
+      match cfg.spans with
+      | Some buf -> Span.event buf ~name:"net.slow_client_drop" ~ts:(now_ns ())
+      | None -> ()
+    in
+    t.ev <-
+      Some
+        (Evloop.create ~wire:t.wire ~loops:cfg.loops
+           ~completions:(max 4 (2 * cfg.loops))
+           ~max_pending:cfg.max_pending ~on_slow_drop ()));
   t.acceptor <- Some (Thread.create (fun () -> acceptor_loop t ()) ());
   t
 
@@ -440,14 +511,21 @@ let stop t =
         (match t.acceptor with Some a -> Thread.join a | None -> ());
         t.acceptor <- None;
         (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-        (* Snapshot under the lock, then drain outside it: conns remove
-           themselves from the table via on_closed. *)
-        let live =
-          Sync.with_lock t.conns_lock (fun () ->
-              Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [])
-        in
-        List.iter Conn.drain live;
-        List.iter Conn.join live
+        match t.ev with
+        | Some pool ->
+          (* The pool drains every connection it owns: half-close the
+             receive sides, answer everything accepted, flush, then
+             join the loop domains and completion threads. *)
+          Evloop.stop pool
+        | None ->
+          (* Snapshot under the lock, then drain outside it: conns
+             remove themselves from the table via on_closed. *)
+          let live =
+            Sync.with_lock t.conns_lock (fun () ->
+                Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [])
+          in
+          List.iter Conn.drain live;
+          List.iter Conn.join live
       end)
 
 type stats = {
@@ -458,6 +536,8 @@ type stats = {
   bytes_in : int;
   bytes_out : int;
   protocol_errors : int;
+  accept_errors : int;
+  slow_client_drops : int;
 }
 
 let stats t =
@@ -469,4 +549,6 @@ let stats t =
     bytes_in = Registry.counter_value t.m.bytes_in_c;
     bytes_out = Registry.counter_value t.m.bytes_out_c;
     protocol_errors = Registry.counter_value t.m.protocol_errors_c;
+    accept_errors = Registry.counter_value t.m.accept_errors_c;
+    slow_client_drops = Registry.counter_value t.m.slow_client_drops_c;
   }

@@ -1,16 +1,31 @@
 (** TCP front-end for the multicore runtime KVS: an acceptor thread plus
-    one {!Conn} (reader + ordered writer) per connection, all feeding
-    one {!C4_runtime.Server} — CREW routing, write compaction, and crash
-    recovery apply to network traffic unchanged.
+    a serving engine, all feeding one {!C4_runtime.Server} — CREW
+    routing, write compaction, and crash recovery apply to network
+    traffic unchanged.
+
+    Two engines ({!config.engine}), identical in semantics:
+
+    {ul
+    {- [Evloop] (the default): a fixed pool of {!config.loops} event-loop
+       domains (see {!Evloop}), each multiplexing its share of the
+       connections with poll(2) plus a self-pipe wakeup — batched
+       nonblocking reads into per-loop scratch buffers, pipelined
+       responses coalesced into one write per wakeup. Scales to tens of
+       thousands of connections on a handful of domains.}
+    {- [Threads]: one {!Conn} (reader + ordered writer thread) per
+       connection — two OS threads each; kept for comparison benchmarks
+       (netbench's threads-vs-evloop rows) and as a fallback.}}
 
     Request handling: GET/SET/DELETE frames are submitted through the
-    runtime's async API from the connection reader, and each response is
-    produced by a thunk the connection writer awaits in arrival order —
-    so per-connection pipelining order is preserved while operations
-    from different connections (and different keys) proceed in
-    parallel. SET acks are only emitted after the store apply (the
-    runtime's deferred-response rule), so an acknowledged write observed
-    by a client survives worker crashes.
+    runtime's async API from the connection's read side (reader thread
+    or loop domain — submission never blocks), and each response is
+    produced by a thunk awaited in arrival order (on the connection
+    writer, or on the event engine's completion executor, which keeps
+    per-connection affinity) — so per-connection pipelining order is
+    preserved while operations from different connections (and
+    different keys) proceed in parallel. SET acks are only emitted
+    after the store apply (the runtime's deferred-response rule), so an
+    acknowledged write observed by a client survives worker crashes.
 
     Shutdown ({!stop}) drains gracefully: the listening socket closes
     first (no new connections), every live connection is half-closed and
@@ -19,12 +34,17 @@
     {e not} stopped — it is owned by the caller, who should call
     {!C4_runtime.Server.stop} after this returns (that order, plus the
     runtime's reject-then-drain stop, is what guarantees no
-    accepted-but-unanswered request is ever dropped).
+    accepted-but-unanswered request is ever dropped). Both engines
+    honour this contract.
 
     Metrics (all in [registry], which must be thread-safe):
     [net.conns_accepted], [net.conns_active], [net.bytes_in],
     [net.bytes_out], [net.inflight], [net.protocol_errors],
-    [net.requests], and per-op service-time histograms [net.get_ns],
+    [net.requests], [net.accept_errors] (accepts shed to
+    [EMFILE]/[ENFILE] fd exhaustion — the acceptor backs off and
+    survives instead of dying), [net.slow_client_drops] (connections
+    dropped for exceeding {!config.max_pending}), and per-op
+    service-time histograms [net.get_ns],
     [net.set_ns], [net.delete_ns]. Each mutation additionally bumps a
     [net.routed_w<i>] counter for the worker the d-CREW policy core's
     ownership view ([C4_runtime.Server.owner_of_key], i.e.
@@ -54,7 +74,10 @@
     requests are answered by [cl_info] (payload = an encoded map to
     install if newer, or empty to just fetch) with {!Wire.Cluster_ok}
     carrying the node's current map. [cl_read_fence ~key] is called on
-    the connection writer after a GET's store read and before its
+    the connection's completion side (the connection writer on the
+    threads engine, a completion-executor thread on the event engine —
+    never a loop domain, precisely because the fence blocks) after a
+    GET's store read and before its
     response goes out; it must block until the key's partition has no
     locally-applied-but-unreplicated suffix (quorum-ack mode), so a
     value a client observed can never be lost to a failover. Requests
@@ -64,6 +87,15 @@ type cluster = {
   cl_read_fence : key:int -> unit;
   cl_info : bytes -> (bytes, string) result;
 }
+
+(** The serving engine: [Evloop] (poll-based event-loop domains, the
+    default) or [Threads] (reader + writer thread per connection). *)
+type engine = Evloop | Threads
+
+val engine_to_string : engine -> string
+
+(** Inverse of {!engine_to_string}; [Error] names the valid forms. *)
+val engine_of_string : string -> (engine, string) result
 
 type config = {
   host : string;  (** address to bind, e.g. "127.0.0.1" *)
@@ -76,10 +108,18 @@ type config = {
   cluster : cluster option;
       (** shard-map routing + replication hooks; [None] (the default)
           serves every key and rejects CLUSTER_INFO *)
+  engine : engine;
+  loops : int;  (** event-loop domains ([Evloop] engine only) *)
+  max_pending : int;
+      (** slow-client bound: a connection holding this many submitted
+          but not-yet-flushed responses is dropped (counted in
+          [net.slow_client_drops], annotated as a protocol error on
+          its trace) instead of buffering unboundedly *)
 }
 
 (** Loopback, ephemeral port, 64-deep backlog, 1 MiB frames, no span
-    buffer, no cluster hooks. *)
+    buffer, no cluster hooks; [Evloop] engine with 2 loop domains and a
+    1024-response slow-client bound. *)
 val default_config : config
 
 type t
@@ -106,6 +146,8 @@ type stats = {
   bytes_in : int;
   bytes_out : int;
   protocol_errors : int;
+  accept_errors : int;  (** accepts shed to fd exhaustion *)
+  slow_client_drops : int;  (** conns dropped at the max_pending bound *)
 }
 
 val stats : t -> stats

@@ -233,9 +233,9 @@ let test_nic_header_interop () =
 (* ---------------- loopback integration ---------------- *)
 
 let with_net ?(runtime_cfg = { Runtime.default_config with Runtime.n_workers = 2 })
-    f =
+    ?(server_cfg = NetServer.default_config) f =
   let runtime = Runtime.start runtime_cfg in
-  let srv = NetServer.start NetServer.default_config ~runtime in
+  let srv = NetServer.start server_cfg ~runtime in
   let client =
     NetClient.create
       (NetClient.default_config ~hosts:[ ("127.0.0.1", NetServer.port srv) ])
@@ -760,6 +760,176 @@ let test_client_routing_matches_cluster () =
       (C4_kvs.Hash.node_of_key ~n_nodes:5 key)
   done
 
+(* ---------------- event-engine edge cases ---------------- *)
+
+(* Raw blocking socket straight at the server, no NetClient. *)
+let raw_connect srv =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd
+    (Unix.ADDR_INET (Unix.inet_addr_loopback, NetServer.port srv));
+  fd
+
+let write_all fd b =
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+(* The wire decoder promises byte-at-a-time reassembly; this drives the
+   same promise through the real serving stack: a client that dribbles
+   one byte per write(2) — every frame torn across hundreds of loop
+   wakeups — and then reads one byte per read(2) must still get every
+   pipelined GET/SET/DELETE response, in order. *)
+let test_one_byte_dribble () =
+  with_net (fun _ srv _ ->
+      let fd = raw_connect srv in
+      Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let key = 77 in
+          let req i op value =
+            { Wire.id = i; op; key; token = None; trace = None; value }
+          in
+          let reqs =
+            [
+              req 0 Wire.Set (Bytes.of_string "dribble");
+              req 1 Wire.Get Bytes.empty;
+              req 2 Wire.Delete Bytes.empty;
+              req 3 Wire.Set (Bytes.of_string "again");
+              req 4 Wire.Get Bytes.empty;
+              req 5 Wire.Delete Bytes.empty;
+            ]
+          in
+          let out = Buffer.create 256 in
+          List.iter
+            (fun r -> Buffer.add_bytes out (Wire.encode_request wire r))
+            reqs;
+          let out = Buffer.to_bytes out in
+          let one = Bytes.create 1 in
+          Bytes.iter
+            (fun ch ->
+              Bytes.set one 0 ch;
+              let n = Unix.write fd one 0 1 in
+              Alcotest.(check int) "wrote the byte" 1 n)
+            out;
+          let dec = Wire.Decoder.create wire in
+          let got = ref [] in
+          let deadline = Unix.gettimeofday () +. 10.0 in
+          while List.length !got < List.length reqs do
+            if Unix.gettimeofday () > deadline then
+              Alcotest.fail "timed out awaiting dribbled responses";
+            (match Unix.read fd one 0 1 with
+            | 0 -> Alcotest.fail "server closed mid-dribble"
+            | _ -> Wire.Decoder.feed dec one ~off:0 ~len:1);
+            let rec drain () =
+              match Wire.Decoder.next_frame dec with
+              | `Frame body -> (
+                match Wire.decode_response wire body with
+                | Ok r -> got := r :: !got; drain ()
+                | Error e -> Alcotest.failf "bad response: %s" e)
+              | `Awaiting -> ()
+              | `Corrupt e -> Alcotest.failf "corrupt response stream: %s" e
+            in
+            drain ()
+          done;
+          let got = List.rev !got in
+          Alcotest.(check (list int)) "responses in pipeline order"
+            [ 0; 1; 2; 3; 4; 5 ]
+            (List.map (fun r -> r.Wire.resp_id) got);
+          List.iter
+            (fun r ->
+              match (r.Wire.resp_id, r.Wire.status) with
+              | (0 | 3), Wire.Ok -> ()
+              | (0 | 3), _ -> Alcotest.failf "SET %d not Ok" r.Wire.resp_id
+              | _, (Wire.Ok | Wire.Not_found) -> ()
+              | _, _ -> Alcotest.failf "response %d errored" r.Wire.resp_id)
+            got))
+
+(* A client that pipelines requests with large responses and never reads
+   must be dropped at the max_pending bound (counted in
+   net.slow_client_drops), with the server still serving everyone
+   else — not buffer the abandoned output without bound. *)
+let test_slow_client_dropped () =
+  let server_cfg = { NetServer.default_config with NetServer.max_pending = 4 } in
+  with_net ~server_cfg (fun _ srv client ->
+      let key = 9 in
+      let big = Bytes.make (512 * 1024) 'x' in
+      (match NetClient.set client ~key ~value:big with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "priming set failed: %s" e);
+      let fd = raw_connect srv in
+      Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* 64 pipelined GETs of a 512 KiB value, never reading: the
+             responses cannot fit any socket buffer, so pending must hit
+             the bound. *)
+          for i = 0 to 63 do
+            write_all fd
+              (Wire.encode_request wire
+                 { Wire.id = i; op = Wire.Get; key; token = None;
+                   trace = None; value = Bytes.empty })
+          done;
+          let reg = NetServer.registry srv in
+          let drops () = counter_value reg "net.slow_client_drops" in
+          let deadline = Unix.gettimeofday () +. 10.0 in
+          while drops () = 0 && Unix.gettimeofday () < deadline do
+            Unix.sleepf 0.005
+          done;
+          Alcotest.(check bool) "slow client dropped" true (drops () >= 1);
+          (* The drop closes the connection: reading drains whatever was
+             already in flight, then hits EOF or a reset. *)
+          let buf = Bytes.create 65536 in
+          let closed = ref false in
+          let deadline = Unix.gettimeofday () +. 10.0 in
+          while (not !closed) && Unix.gettimeofday () < deadline do
+            match Unix.read fd buf 0 (Bytes.length buf) with
+            | 0 -> closed := true
+            | _ -> ()
+            | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)
+              -> closed := true
+          done;
+          Alcotest.(check bool) "connection closed after drop" true !closed);
+      (* The server survives its slow client: a well-behaved client
+         still gets answers. *)
+      Alcotest.(check bool) "server still serves" true
+        (NetClient.get client ~key = Ok (Some big)))
+
+(* The threads engine stays selectable (and correct) behind the same
+   config — the comparison baseline for the evloop benchmarks. *)
+let test_threads_engine_serves () =
+  let server_cfg =
+    { NetServer.default_config with NetServer.engine = NetServer.Threads }
+  in
+  with_net ~server_cfg (fun _ _ client ->
+      Alcotest.(check bool) "set" true
+        (NetClient.set client ~key:3 ~value:(Bytes.of_string "thr") = Ok ());
+      Alcotest.(check bool) "get back" true
+        (NetClient.get client ~key:3 = Ok (Some (Bytes.of_string "thr")));
+      let n = 100 in
+      let order = ref [] in
+      let lock = Mutex.create () in
+      let remaining = Atomic.make n in
+      let dispatched =
+        List.init n (fun i ->
+            let op = if i mod 2 = 0 then Wire.Set else Wire.Get in
+            let value =
+              if op = Wire.Set then Bytes.of_string "v" else Bytes.empty
+            in
+            NetClient.dispatch client ~op ~key:7 ~value
+              ~on_response:(fun r ->
+                C4_runtime.Sync.with_lock lock (fun () ->
+                    order := r.Wire.resp_id :: !order);
+                Atomic.decr remaining)
+              ())
+      in
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      while Atomic.get remaining > 0 && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.001
+      done;
+      Alcotest.(check int) "all answered" 0 (Atomic.get remaining);
+      Alcotest.(check (list int)) "responses in dispatch order" dispatched
+        (List.rev !order))
+
 let tests =
   [
     QCheck_alcotest.to_alcotest prop_request_roundtrip;
@@ -789,4 +959,10 @@ let tests =
       test_stitched_span_chain;
     Alcotest.test_case "routed counters migrate on recovery" `Quick
       test_routed_counter_migration;
+    Alcotest.test_case "one-byte dribble completes in order" `Quick
+      test_one_byte_dribble;
+    Alcotest.test_case "slow client dropped at the pending bound" `Quick
+      test_slow_client_dropped;
+    Alcotest.test_case "threads engine stays selectable" `Quick
+      test_threads_engine_serves;
   ]
